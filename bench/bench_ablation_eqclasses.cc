@@ -1,0 +1,57 @@
+// Ablation of Section 5.2's concise representation: CoreCover with and
+// without (a) grouping views into equivalence classes and (b) grouping view
+// tuples by tuple-core. The paper attributes CoreCover's flat scaling to
+// these two groupings; this bench quantifies each one's contribution.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "rewrite/core_cover.h"
+
+namespace vbr {
+namespace {
+
+void RunAblation(benchmark::State& state, bool group_views,
+                 bool group_tuples) {
+  const size_t num_views = static_cast<size_t>(state.range(0));
+  const auto& batch =
+      bench_util::WorkloadBatch(QueryShape::kStar, num_views, 0);
+  CoreCoverOptions options;
+  options.group_views = group_views;
+  options.group_view_tuples = group_tuples;
+  size_t rewritings = 0;
+  for (auto _ : state) {
+    rewritings = 0;
+    for (const Workload& w : batch) {
+      const auto result = CoreCover(w.query, w.views, options);
+      benchmark::DoNotOptimize(result.rewritings.size());
+      rewritings += result.rewritings.size();
+    }
+  }
+  state.counters["views"] = static_cast<double>(num_views);
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+}
+
+void BM_GroupBoth(benchmark::State& state) { RunAblation(state, true, true); }
+void BM_GroupViewsOnly(benchmark::State& state) {
+  RunAblation(state, true, false);
+}
+void BM_GroupTuplesOnly(benchmark::State& state) {
+  RunAblation(state, false, true);
+}
+void BM_GroupNeither(benchmark::State& state) {
+  RunAblation(state, false, false);
+}
+
+#define VBR_ABLATION_ARGS \
+  ->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_GroupBoth) VBR_ABLATION_ARGS;
+BENCHMARK(BM_GroupViewsOnly) VBR_ABLATION_ARGS;
+BENCHMARK(BM_GroupTuplesOnly) VBR_ABLATION_ARGS;
+BENCHMARK(BM_GroupNeither) VBR_ABLATION_ARGS;
+
+}  // namespace
+}  // namespace vbr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Microbenchmark of the containment-mapping machinery — the inner loop of
+// everything in the library (equivalence tests, minimization, the
+// rewriting checks). Chains and stars of growing length, plus query
+// minimization with redundant subgoals.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "cq/containment.h"
+#include "cq/parser.h"
+
+namespace vbr {
+namespace {
+
+ConjunctiveQuery Chain(size_t n, const std::string& var_prefix) {
+  std::string body;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) body += ", ";
+    body += "e(" + var_prefix + std::to_string(i) + "," + var_prefix +
+            std::to_string(i + 1) + ")";
+  }
+  return MustParseQuery("q(" + var_prefix + "0," + var_prefix +
+                        std::to_string(n) + ") :- " + body);
+}
+
+ConjunctiveQuery Star(size_t n) {
+  std::string body;
+  std::string head = "q(C";
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) body += ", ";
+    body += "p" + std::to_string(i % 4) + "(C,X" + std::to_string(i) + ")";
+    head += ",X" + std::to_string(i);
+  }
+  return MustParseQuery(head + ") :- " + body);
+}
+
+void BM_ChainSelfContainment(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto q1 = Chain(n, "A");
+  const auto q2 = Chain(n, "B");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsContainedIn(q1, q2));
+  }
+  state.counters["subgoals"] = static_cast<double>(n);
+}
+
+void BM_StarEquivalence(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto q = Star(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AreEquivalent(q, q));
+  }
+  state.counters["subgoals"] = static_cast<double>(n);
+}
+
+void BM_MinimizeWithRedundancy(benchmark::State& state) {
+  // A chain with each subgoal duplicated under fresh variables: n redundant
+  // subgoals fold away.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string body;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) body += ", ";
+    body += "e(X" + std::to_string(i) + ",X" + std::to_string(i + 1) + ")";
+    body += ", e(Y" + std::to_string(i) + ",X" + std::to_string(i + 1) + ")";
+  }
+  const auto q = MustParseQuery("q(X0,X" + std::to_string(n) + ") :- " + body);
+  size_t out_size = 0;
+  for (auto _ : state) {
+    const auto m = Minimize(q);
+    benchmark::DoNotOptimize(out_size = m.num_subgoals());
+  }
+  state.counters["in_subgoals"] = static_cast<double>(2 * n);
+  state.counters["out_subgoals"] = static_cast<double>(out_size);
+}
+
+void BM_NegativeContainment(benchmark::State& state) {
+  // Chain into a chain one shorter: no mapping exists; measures full
+  // backtracking exhaustion.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto q1 = Chain(n, "A");
+  const auto q2 = Chain(n - 1, "B");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsContainedIn(q2, q1));
+  }
+  state.counters["subgoals"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_ChainSelfContainment)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StarEquivalence)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MinimizeWithRedundancy)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NegativeContainment)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vbr
+
+BENCHMARK_MAIN();

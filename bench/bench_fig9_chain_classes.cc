@@ -1,0 +1,59 @@
+// Figure 9: equivalence-class counts for CHAIN queries as the number of
+// views grows — view classes saturate with a decreasing slope while the
+// representative view tuples stay nearly constant (the paper's Figure 9(b)
+// shows the raw tuple count climbing past 300 while the representatives
+// stay flat).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "rewrite/core_cover.h"
+
+namespace vbr {
+namespace {
+
+void RunFigure9(benchmark::State& state, size_t nondistinguished) {
+  const size_t num_views = static_cast<size_t>(state.range(0));
+  const auto& batch = bench_util::WorkloadBatch(QueryShape::kChain, num_views,
+                                                nondistinguished);
+  double view_classes = 0;
+  double tuple_classes = 0;
+  double view_tuples = 0;
+  for (auto _ : state) {
+    view_classes = tuple_classes = view_tuples = 0;
+    for (const Workload& w : batch) {
+      CoreCoverOptions options;
+      options.group_views = false;
+      const auto result = CoreCover(w.query, w.views, options);
+      benchmark::DoNotOptimize(result.stats.num_tuple_classes);
+      view_tuples += static_cast<double>(result.stats.num_view_tuples);
+      tuple_classes += static_cast<double>(result.stats.num_tuple_classes);
+      view_classes += static_cast<double>(
+          GroupViewsByEquivalence(w.views).num_classes());
+    }
+  }
+  const double n = static_cast<double>(batch.size());
+  state.counters["views"] = static_cast<double>(num_views);
+  state.counters["avg_view_classes"] = view_classes / n;
+  state.counters["avg_view_tuples"] = view_tuples / n;
+  state.counters["avg_tuple_classes"] = tuple_classes / n;
+}
+
+void BM_Fig9_Chain_AllDistinguished(benchmark::State& state) {
+  RunFigure9(state, 0);
+}
+void BM_Fig9_Chain_OneNondistinguished(benchmark::State& state) {
+  RunFigure9(state, 1);
+}
+
+BENCHMARK(BM_Fig9_Chain_AllDistinguished)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(600)->Arg(800)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig9_Chain_OneNondistinguished)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(600)->Arg(800)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vbr
+
+BENCHMARK_MAIN();

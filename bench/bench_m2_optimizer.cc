@@ -1,0 +1,95 @@
+// Cost model M2 (Section 5): the subset-DP join-order optimizer, and the
+// paper's claim that ADDING a view subgoal can reduce cost. The sweep
+// controls the selectivity of v3 (how many stores actually match the
+// anderson pattern): when v3 is selective, rewriting P3 = P2 + v3 wins;
+// as v3 grows towards v2's size, P2 wins back — the crossover the paper's
+// discussion of rewritings P2/P3 predicts.
+
+#include <benchmark/benchmark.h>
+
+#include "cost/filter_advisor.h"
+#include "cost/m2_optimizer.h"
+#include "cq/parser.h"
+#include "engine/materialize.h"
+
+namespace vbr {
+namespace {
+
+struct Scenario {
+  Database view_db;
+  ConjunctiveQuery p2;
+  ConjunctiveQuery p3;
+};
+
+// matching_parts controls |v3|: the number of parts that join with
+// anderson's car/loc pairs.
+Scenario MakeScenario(int matching_parts) {
+  Database base;
+  const Value a = EncodeConstant(Const("a"));
+  for (Value m = 0; m < 20; ++m) base.AddRow("car", {m, a});
+  for (Value c = 0; c < 20; ++c) base.AddRow("loc", {a, 100 + c});
+  for (Value i = 0; i < 1000; ++i) {
+    base.AddRow("part", {2000 + i, 500 + (i % 100), 900 + (i % 50)});
+  }
+  for (Value i = 0; i < matching_parts; ++i) {
+    base.AddRow("part", {3000 + i, i % 20, 100 + (i % 20)});
+  }
+  const ViewSet views = MustParseProgram(R"(
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v2(S,M,C) :- part(S,M,C)
+    v3(S) :- car(M,a), loc(a,C), part(S,M,C)
+  )");
+  Scenario s{MaterializeViews(views, base),
+             MustParseQuery("q1(S,C) :- v1(M,a,C), v2(S,M,C)"),
+             MustParseQuery("q1(S,C) :- v3(S), v1(M,a,C), v2(S,M,C)")};
+  return s;
+}
+
+void BM_M2_P2_vs_P3(benchmark::State& state) {
+  const Scenario s = MakeScenario(static_cast<int>(state.range(0)));
+  size_t cost_p2 = 0;
+  size_t cost_p3 = 0;
+  for (auto _ : state) {
+    cost_p2 = OptimizeOrderM2(s.p2, s.view_db).cost;
+    cost_p3 = OptimizeOrderM2(s.p3, s.view_db).cost;
+    benchmark::DoNotOptimize(cost_p2 + cost_p3);
+  }
+  state.counters["matching_parts"] = static_cast<double>(state.range(0));
+  state.counters["cost_P2"] = static_cast<double>(cost_p2);
+  state.counters["cost_P3_with_filter"] = static_cast<double>(cost_p3);
+  state.counters["filter_wins"] = cost_p3 < cost_p2 ? 1 : 0;
+}
+
+// Raw optimizer throughput as the rewriting widens (subset DP is 2^n).
+void BM_M2_OptimizerScaling(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Database db;
+  std::string body;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string v = "u" + std::to_string(i);
+    for (Value r = 0; r < 30; ++r) {
+      db.AddRow(v, {r % 7, (r + static_cast<Value>(i)) % 7});
+    }
+    if (i > 0) body += ", ";
+    body += v + "(X" + std::to_string(i) + ",X" + std::to_string(i + 1) + ")";
+  }
+  const ConjunctiveQuery p =
+      MustParseQuery("q(X0,X" + std::to_string(n) + ") :- " + body);
+  for (auto _ : state) {
+    const auto result = OptimizeOrderM2(p, db);
+    benchmark::DoNotOptimize(result.cost);
+  }
+  state.counters["subgoals"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_M2_P2_vs_P3)
+    ->Arg(5)->Arg(20)->Arg(100)->Arg(400)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_M2_OptimizerScaling)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vbr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// The paper's third workload shape: randomly generated queries (after
+// Steinbrunn et al.). Same protocol as Figures 6/8 — time for CoreCover to
+// produce all GMRs of 8-subgoal random queries as the number of views
+// grows — completing the shape coverage of Section 7.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "rewrite/core_cover.h"
+
+namespace vbr {
+namespace {
+
+void BM_Random_AllDistinguished(benchmark::State& state) {
+  const size_t num_views = static_cast<size_t>(state.range(0));
+  const auto& batch =
+      bench_util::WorkloadBatch(QueryShape::kRandom, num_views, 0);
+  size_t gmrs = 0;
+  for (auto _ : state) {
+    gmrs = 0;
+    for (const Workload& w : batch) {
+      const auto result = CoreCover(w.query, w.views);
+      benchmark::DoNotOptimize(result.rewritings.size());
+      gmrs += result.rewritings.size();
+    }
+  }
+  state.counters["views"] = static_cast<double>(num_views);
+  state.counters["avg_gmrs"] =
+      static_cast<double>(gmrs) / static_cast<double>(batch.size());
+  state.counters["sec_per_query"] = benchmark::Counter(
+      static_cast<double>(batch.size()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_Random_AllDistinguished)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(600)->Arg(800)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vbr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+#ifndef VBR_BENCH_BENCH_UTIL_H_
+#define VBR_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace vbr {
+namespace bench_util {
+
+// The paper's Section 7 setup: 8-subgoal queries, views of 1-3 subgoals,
+// a fixed base-relation pool, N views, averaged over a batch of queries
+// (the paper uses 40 per point; benches default to a smaller batch since
+// each iteration re-runs the whole batch).
+inline constexpr size_t kQuerySubgoals = 8;
+inline constexpr size_t kPredicatePool = 10;
+inline constexpr size_t kBatch = 8;
+
+// Generates (and memoizes) a batch of workloads for one figure point.
+inline const std::vector<Workload>& WorkloadBatch(QueryShape shape,
+                                                  size_t num_views,
+                                                  size_t nondistinguished) {
+  static std::map<std::tuple<int, size_t, size_t>, std::vector<Workload>>*
+      cache = new std::map<std::tuple<int, size_t, size_t>,
+                           std::vector<Workload>>;
+  const auto key =
+      std::make_tuple(static_cast<int>(shape), num_views, nondistinguished);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  std::vector<Workload> batch;
+  batch.reserve(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) {
+    WorkloadConfig config;
+    config.shape = shape;
+    config.num_query_subgoals = kQuerySubgoals;
+    config.num_predicates = kPredicatePool;
+    config.num_views = num_views;
+    config.num_nondistinguished_query_vars = nondistinguished;
+    config.num_nondistinguished_view_vars = nondistinguished;
+    config.seed = 1000 + i * 97 + num_views;
+    batch.push_back(GenerateWorkload(config));
+  }
+  return cache->emplace(key, std::move(batch)).first->second;
+}
+
+}  // namespace bench_util
+}  // namespace vbr
+
+#endif  // VBR_BENCH_BENCH_UTIL_H_

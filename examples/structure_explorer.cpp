@@ -1,0 +1,90 @@
+// Explores Section 3's structure of rewritings (Figures 1 and 2): checks
+// which of the paper's rewritings P1..P5 are locally minimal, reconstructs
+// the proper-containment partial order among them, enumerates the LMRs over
+// view tuples, and replays Example 3.1's chain of LMRs of growing length.
+
+#include <cstdio>
+
+#include "cq/parser.h"
+#include "rewrite/lmr.h"
+#include "rewrite/rewriting.h"
+
+namespace {
+
+void PrintHeader(const char* title) { std::printf("\n=== %s ===\n", title); }
+
+}  // namespace
+
+int main() {
+  using namespace vbr;
+
+  const ConjunctiveQuery query =
+      MustParseQuery("q1(S,C) :- car(M,a), loc(a,C), part(S,M,C)");
+  const ViewSet views = MustParseProgram(R"(
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v2(S,M,C) :- part(S,M,C)
+    v3(S) :- car(M,a), loc(a,C), part(S,M,C)
+    v4(M,D,C,S) :- car(M,D), loc(D,C), part(S,M,C)
+    v5(M,D,C) :- car(M,D), loc(D,C)
+  )");
+  const std::vector<ConjunctiveQuery> named = {
+      MustParseQuery("q1(S,C) :- v1(M,a,C1), v1(M1,a,C), v2(S,M,C)"),   // P1
+      MustParseQuery("q1(S,C) :- v1(M,a,C), v2(S,M,C)"),                // P2
+      MustParseQuery("q1(S,C) :- v3(S), v1(M,a,C), v2(S,M,C)"),         // P3
+      MustParseQuery("q1(S,C) :- v4(M,a,C,S)"),                         // P4
+      MustParseQuery("q1(S,C) :- v1(M,a,C1), v5(M1,a,C), v2(S,M,C)"),   // P5
+  };
+
+  PrintHeader("Local minimality of the paper's P1..P5");
+  std::vector<ConjunctiveQuery> lmrs;
+  std::vector<int> lmr_ids;
+  for (size_t i = 0; i < named.size(); ++i) {
+    const bool eq = IsEquivalentRewriting(named[i], query, views);
+    const bool lmr = IsLocallyMinimalRewriting(named[i], query, views);
+    std::printf("  P%zu: equivalent=%s locally-minimal=%s  %s\n", i + 1,
+                eq ? "yes" : "no", lmr ? "yes" : "no",
+                named[i].ToString().c_str());
+    if (lmr) {
+      lmrs.push_back(named[i]);
+      lmr_ids.push_back(static_cast<int>(i + 1));
+    }
+  }
+
+  PrintHeader("Proper containment among the LMRs (Figure 2a)");
+  for (const auto& [i, j] : ProperContainmentEdges(lmrs)) {
+    std::printf("  P%d is properly contained in P%d (so |P%d| <= |P%d|: %zu <= %zu)\n",
+                lmr_ids[i], lmr_ids[j], lmr_ids[i], lmr_ids[j],
+                lmrs[i].num_subgoals(), lmrs[j].num_subgoals());
+  }
+  std::printf("  containment-minimal: ");
+  for (size_t i : ContainmentMinimalIndices(lmrs)) {
+    std::printf("P%d ", lmr_ids[i]);
+  }
+  std::printf("\n");
+
+  PrintHeader("LMRs over view tuples");
+  for (const auto& p : EnumerateLmrsOverViewTuples(query, views, 3)) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+
+  PrintHeader("Example 3.1: a chain of LMRs (Figure 2b)");
+  const ConjunctiveQuery q31 =
+      MustParseQuery("q(X,Y,Z) :- e1(X,c), e2(Y,c), e3(Z,c)");
+  const ViewSet v31 =
+      MustParseProgram("v(X,Y,Z,W) :- e1(X,W), e2(Y,W), e3(Z,W)");
+  const std::vector<ConjunctiveQuery> chain = {
+      MustParseQuery("q(X,Y,Z) :- v(X,Y,Z,c)"),
+      MustParseQuery("q(X,Y,Z) :- v(X,Y,Z1,c), v(X1,Y1,Z,c)"),
+      MustParseQuery(
+          "q(X,Y,Z) :- v(X,Y1,Z1,c), v(X2,Y,Z2,c), v(X3,Y3,Z,c)"),
+  };
+  for (size_t i = 0; i < chain.size(); ++i) {
+    std::printf("  |P| = %zu, LMR = %s : %s\n", chain[i].num_subgoals(),
+                IsLocallyMinimalRewriting(chain[i], q31, v31) ? "yes" : "no",
+                chain[i].ToString().c_str());
+  }
+  for (const auto& [i, j] : ProperContainmentEdges(chain)) {
+    if (j == i + 1) std::printf("  chain link: P(%zu) < P(%zu)\n", i + 1, j + 1);
+  }
+  return 0;
+}

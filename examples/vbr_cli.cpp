@@ -1,0 +1,158 @@
+// vbr_cli — command-line front end for the rewriting generator.
+//
+// Reads a datalog program whose FIRST rule is the query and whose remaining
+// rules are view definitions, then prints the globally-minimal rewritings
+// (default) or the full M2 search space. With --data, additionally
+// materializes the views over the given ground facts, picks a cost-based
+// physical plan through the ViewPlanner facade, executes it, and prints the
+// answer.
+//
+// Usage:
+//   vbr_cli [--all-minimal] [--show-tuples] [--no-grouping]
+//           [--data FACTS_FILE [--model m1|m2|m3]] [file]
+//
+// With no file, reads the program from standard input. Example program:
+//
+//   q1(S,C) :- car(M,a), loc(a,C), part(S,M,C).
+//   v1(M,D,C) :- car(M,D), loc(D,C).
+//   v2(S,M,C) :- part(S,M,C).
+//   v4(M,D,C,S) :- car(M,D), loc(D,C), part(S,M,C).
+//
+// Example facts file:
+//
+//   car(toyota, a).  loc(a, sf).  part(store1, toyota, sf).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cq/parser.h"
+#include "engine/io.h"
+#include "engine/materialize.h"
+#include "planner/planner.h"
+#include "rewrite/core_cover.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "vbr_cli: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+
+  bool all_minimal = false;
+  bool show_tuples = false;
+  CoreCoverOptions options;
+  const char* path = nullptr;
+  const char* data_path = nullptr;
+  CostModel model = CostModel::kM2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all-minimal") == 0) {
+      all_minimal = true;
+    } else if (std::strcmp(argv[i], "--show-tuples") == 0) {
+      show_tuples = true;
+    } else if (std::strcmp(argv[i], "--no-grouping") == 0) {
+      options.group_views = false;
+      options.group_view_tuples = false;
+    } else if (std::strcmp(argv[i], "--data") == 0) {
+      if (++i >= argc) return Fail("--data needs a file argument");
+      data_path = argv[i];
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      if (++i >= argc) return Fail("--model needs m1, m2, or m3");
+      if (std::strcmp(argv[i], "m1") == 0) {
+        model = CostModel::kM1;
+      } else if (std::strcmp(argv[i], "m2") == 0) {
+        model = CostModel::kM2;
+      } else if (std::strcmp(argv[i], "m3") == 0) {
+        model = CostModel::kM3;
+      } else {
+        return Fail("--model needs m1, m2, or m3");
+      }
+    } else if (argv[i][0] == '-') {
+      return Fail(std::string("unknown flag ") + argv[i]);
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::string text;
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) return Fail(std::string("cannot open ") + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  std::string error;
+  auto program = ParseProgram(text, &error);
+  if (!program.has_value()) return Fail("parse error: " + error);
+  if (program->size() < 2) {
+    return Fail("need a query rule followed by at least one view rule");
+  }
+  const ConjunctiveQuery query = (*program)[0];
+  const ViewSet views(program->begin() + 1, program->end());
+  if (!query.IsSafe()) return Fail("query is unsafe");
+  for (const View& v : views) {
+    if (!v.IsSafe()) return Fail("unsafe view: " + v.ToString());
+  }
+
+  const CoreCoverResult result = all_minimal
+                                     ? CoreCoverStar(query, views, options)
+                                     : CoreCover(query, views, options);
+
+  if (show_tuples) {
+    std::printf("%% view tuples (T(Q,V)) and their cores:\n");
+    for (const auto& t : result.view_tuples) {
+      std::printf("%%   %-20s core size %zu%s\n",
+                  t.tuple.atom.ToString().c_str(), t.core.size(),
+                  t.core.empty() ? " (filter candidate)" : "");
+    }
+  }
+
+  if (!result.has_rewriting) {
+    std::printf("%% no equivalent rewriting exists\n");
+    return 2;
+  }
+  std::printf("%% %zu %s rewriting(s); minimum subgoals = %zu; %.2f ms\n",
+              result.rewritings.size(),
+              all_minimal ? "minimal" : "globally-minimal",
+              result.stats.minimum_cover_size, result.stats.total_ms);
+  for (const auto& p : result.rewritings) {
+    std::printf("%s.\n", p.ToString().c_str());
+  }
+
+  // Optional execution against concrete data.
+  if (data_path != nullptr) {
+    std::string data_error;
+    auto base = LoadDatabaseFile(data_path, &data_error);
+    if (!base.has_value()) return Fail(data_error);
+    ViewPlanner planner(views, MaterializeViews(views, *base));
+    auto choice = planner.Plan(query, model);
+    if (!choice.has_value()) return Fail("planner found no plan");
+    std::printf("%%\n%% chosen physical plan (cost %zu):\n%%   %s\n",
+                choice->cost, choice->physical.ToString().c_str());
+    const Relation answer = planner.Execute(*choice);
+    std::printf("%% answer (%zu row(s)):\n", answer.size());
+    for (const auto& row : answer.SortedRows()) {
+      std::string line = query.head().predicate_name() + "(";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += ValueToString(row[i]);
+      }
+      std::printf("%s).\n", line.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Rebuilds everything, runs the full test suite, regenerates every paper
+# figure/table, and leaves the raw outputs next to this script's repo root
+# (test_output.txt, bench_output.txt). See EXPERIMENTS.md for how each
+# benchmark maps to a figure in the paper.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+{
+  for b in build/bench/bench_*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "### $(basename "$b")"
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,130 @@
+#include "baseline/bucket.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "cq/containment.h"
+#include "cq/homomorphism.h"
+#include "rewrite/expansion.h"
+#include "rewrite/view_tuple.h"
+
+namespace vbr {
+
+namespace {
+
+// Local admission test: can `subgoal` map into the expansion of `tuple`
+// with distinguished query variables landing on tuple arguments? This is
+// the bucket algorithm's per-subgoal filter — necessary, not sufficient.
+bool TupleCanCoverSubgoal(const Atom& subgoal, const Atom& tuple_atom,
+                          const std::vector<Atom>& tuple_expansion,
+                          const ConjunctiveQuery& query) {
+  for (const Atom& target : tuple_expansion) {
+    if (target.predicate() != subgoal.predicate() ||
+        target.arity() != subgoal.arity()) {
+      continue;
+    }
+    bool ok = true;
+    Substitution partial;
+    for (size_t i = 0; i < subgoal.arity() && ok; ++i) {
+      const Term s = subgoal.arg(i);
+      const Term t = target.arg(i);
+      if (s.is_constant()) {
+        ok = (s == t) || t.is_variable();
+        continue;
+      }
+      if (!partial.Bind(s, t)) {
+        ok = false;
+        continue;
+      }
+      if (query.IsDistinguished(s)) {
+        // A distinguished variable must be retrievable from the tuple.
+        ok = !t.is_variable() || tuple_atom.Mentions(t);
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+std::string CanonicalBodyKey(const std::vector<Atom>& body) {
+  std::vector<std::string> parts;
+  parts.reserve(body.size());
+  for (const Atom& a : body) parts.push_back(a.ToString());
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const std::string& p : parts) key += p + ";";
+  return key;
+}
+
+}  // namespace
+
+BucketResult BucketAlgorithm(const ConjunctiveQuery& query,
+                             const ViewSet& views, size_t max_results,
+                             size_t max_combinations) {
+  VBR_CHECK_MSG(query.IsSafe(), "bucket algorithm requires a safe query");
+  BucketResult result;
+  const ConjunctiveQuery minimal = Minimize(query);
+  const std::vector<ViewTuple> tuples = ComputeViewTuples(minimal, views);
+
+  // Pre-expand each tuple once.
+  std::vector<std::vector<Atom>> expansions;
+  expansions.reserve(tuples.size());
+  for (const ViewTuple& t : tuples) {
+    expansions.push_back(
+        ExpandViewAtom(t.atom, views[t.view_index]));
+  }
+
+  result.buckets.resize(minimal.num_subgoals());
+  for (size_t i = 0; i < minimal.num_subgoals(); ++i) {
+    for (size_t j = 0; j < tuples.size(); ++j) {
+      if (TupleCanCoverSubgoal(minimal.subgoal(i), tuples[j].atom,
+                               expansions[j], minimal)) {
+        result.buckets[i].push_back(tuples[j].atom);
+      }
+    }
+    if (result.buckets[i].empty()) return result;  // No rewriting possible.
+  }
+
+  // Cartesian product of buckets.
+  std::set<std::string> seen;
+  std::vector<size_t> choice(minimal.num_subgoals(), 0);
+  while (true) {
+    if (result.combinations_tested >= max_combinations ||
+        result.rewritings.size() >= max_results) {
+      result.truncated = true;
+      break;
+    }
+    ++result.combinations_tested;
+    // Build the candidate body, deduplicating repeated atoms.
+    std::vector<Atom> body;
+    std::unordered_set<Atom, AtomHash> atom_set;
+    for (size_t i = 0; i < choice.size(); ++i) {
+      const Atom& atom = result.buckets[i][choice[i]];
+      if (atom_set.insert(atom).second) body.push_back(atom);
+    }
+    const std::string key = CanonicalBodyKey(body);
+    if (seen.insert(key).second) {
+      ConjunctiveQuery candidate(minimal.head(), body);
+      if (candidate.IsSafe()) {
+        const Expansion exp = ExpandRewriting(candidate, views);
+        if (FindContainmentMapping(minimal, exp.query).has_value()) {
+          result.rewritings.push_back(std::move(candidate));
+        }
+      }
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < choice.size()) {
+      if (++choice[pos] < result.buckets[pos].size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == choice.size()) break;
+  }
+  return result;
+}
+
+}  // namespace vbr

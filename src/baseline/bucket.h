@@ -1,0 +1,37 @@
+#ifndef VBR_BASELINE_BUCKET_H_
+#define VBR_BASELINE_BUCKET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cq/atom.h"
+#include "cq/query.h"
+
+namespace vbr {
+
+// The Bucket algorithm (Levy et al.), adapted to the closed-world setting by
+// drawing candidate literals from the view tuples T(Q, V): for every query
+// subgoal, collect the view tuples that can cover it (a cheap local test),
+// then form the cartesian product of the buckets and keep the combinations
+// whose expansion is equivalent to the query. The cartesian product is the
+// algorithm's well-known weakness — the benchmarks quantify it against
+// CoreCover.
+
+struct BucketResult {
+  // buckets[i] holds the candidate view-tuple atoms for query subgoal i (of
+  // the minimized query).
+  std::vector<std::vector<Atom>> buckets;
+  // Equivalent rewritings found (deduplicated by atom set).
+  std::vector<ConjunctiveQuery> rewritings;
+  // Combinations drawn from the cartesian product and tested.
+  size_t combinations_tested = 0;
+  bool truncated = false;
+};
+
+BucketResult BucketAlgorithm(const ConjunctiveQuery& query,
+                             const ViewSet& views, size_t max_results = 1024,
+                             size_t max_combinations = 1u << 20);
+
+}  // namespace vbr
+
+#endif  // VBR_BASELINE_BUCKET_H_

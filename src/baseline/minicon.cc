@@ -1,0 +1,343 @@
+#include "baseline/minicon.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "cq/containment.h"
+#include "cq/term.h"
+#include "rewrite/expansion.h"
+#include "rewrite/rewriting.h"
+
+namespace vbr {
+
+namespace {
+
+// Union-find over the view's variables, tracking per class whether it
+// contains a head variable, an existential variable, or an attached
+// constant (from a selection by a query constant). The head homomorphism of
+// an MCD is exactly the partition of head variables these classes induce.
+class ViewVarClasses {
+ public:
+  ViewVarClasses(const ConjunctiveQuery& view) {
+    for (Term t : view.Variables()) {
+      const Symbol s = t.symbol();
+      parent_.emplace(s, s);
+      Info info;
+      info.has_head_var = view.head().Mentions(t);
+      info.has_existential = !info.has_head_var;
+      info_.emplace(s, info);
+    }
+  }
+
+  Symbol Find(Symbol v) {
+    Symbol root = v;
+    while (parent_.at(root) != root) root = parent_.at(root);
+    while (parent_.at(v) != root) {
+      Symbol next = parent_.at(v);
+      parent_[v] = root;
+      v = next;
+    }
+    return root;
+  }
+
+  // Merges the classes of a and b. Returns false (leaving a consistent but
+  // possibly partially-merged state; callers copy the whole structure per
+  // branch) if the merge is not expressible by a head homomorphism: a class
+  // containing an existential variable must stay a singleton without
+  // constants.
+  bool Union(Symbol a, Symbol b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    const Info& ia = info_.at(a);
+    const Info& ib = info_.at(b);
+    if (ia.has_existential || ib.has_existential) return false;
+    if (ia.constant.is_valid() && ib.constant.is_valid() &&
+        ia.constant != ib.constant) {
+      return false;
+    }
+    parent_[b] = a;
+    Info& merged = info_[a];
+    merged.has_head_var = ia.has_head_var || ib.has_head_var;
+    if (!merged.constant.is_valid()) merged.constant = ib.constant;
+    return true;
+  }
+
+  // Attaches a selection constant to v's class; fails on conflicts or
+  // existential classes.
+  bool AttachConstant(Symbol v, Term constant) {
+    const Symbol root = Find(v);
+    Info& info = info_[root];
+    if (info.has_existential) return false;
+    if (info.constant.is_valid()) return info.constant == constant;
+    info.constant = constant;
+    return true;
+  }
+
+  bool HasExistential(Symbol v) { return info_.at(Find(v)).has_existential; }
+  bool HasHeadVar(Symbol v) { return info_.at(Find(v)).has_head_var; }
+  Term ConstantOf(Symbol v) { return info_.at(Find(v)).constant; }
+
+ private:
+  struct Info {
+    bool has_head_var = false;
+    bool has_existential = false;
+    Term constant;  // invalid if none
+  };
+  std::unordered_map<Symbol, Symbol> parent_;
+  std::unordered_map<Symbol, Info> info_;
+};
+
+// The in-progress mapping phi from query terms into a view's variable
+// classes (or constants), branched depth-first over target atoms.
+struct McdState {
+  ViewVarClasses classes;
+  // Query variable -> view term (variable => interpreted through classes).
+  std::unordered_map<Symbol, Term> phi;
+  uint64_t covered = 0;
+  std::vector<size_t> agenda;  // Subgoals that C2 forces into G.
+};
+
+class McdBuilder {
+ public:
+  McdBuilder(const ConjunctiveQuery& query, const ViewSet& views)
+      : query_(query), views_(views) {
+    for (size_t i = 0; i < query.num_subgoals(); ++i) {
+      for (Term t : query.subgoal(i).args()) {
+        if (t.is_variable()) {
+          subgoals_of_var_[t.symbol()] |= uint64_t{1} << i;
+        }
+      }
+    }
+  }
+
+  std::vector<Mcd> BuildAll() {
+    std::vector<Mcd> result;
+    std::set<std::string> seen;
+    for (size_t vi = 0; vi < views_.size(); ++vi) {
+      const View& view = views_[vi];
+      for (size_t seed = 0; seed < query_.num_subgoals(); ++seed) {
+        McdState state{ViewVarClasses(view), {}, 0, {seed}};
+        Grow(vi, std::move(state), &result, &seen);
+      }
+    }
+    return result;
+  }
+
+ private:
+  // Processes the agenda depth-first, branching over target atoms.
+  void Grow(size_t view_index, McdState state, std::vector<Mcd>* out,
+            std::set<std::string>* seen) {
+    // Pop the next uncovered agenda item.
+    size_t subgoal = SIZE_MAX;
+    while (!state.agenda.empty()) {
+      const size_t g = state.agenda.back();
+      state.agenda.pop_back();
+      if (!(state.covered & (uint64_t{1} << g))) {
+        subgoal = g;
+        break;
+      }
+    }
+    if (subgoal == SIZE_MAX) {
+      Finalize(view_index, state, out, seen);
+      return;
+    }
+    const Atom& g = query_.subgoal(subgoal);
+    const View& view = views_[view_index];
+    for (const Atom& target : view.body()) {
+      if (target.predicate() != g.predicate() ||
+          target.arity() != g.arity()) {
+        continue;
+      }
+      McdState branch = state;  // Copy-per-branch keeps backtracking simple.
+      branch.covered |= uint64_t{1} << subgoal;
+      if (MatchAtom(g, target, &branch)) {
+        Grow(view_index, std::move(branch), out, seen);
+      }
+    }
+  }
+
+  bool MatchAtom(const Atom& g, const Atom& target, McdState* state) {
+    for (size_t i = 0; i < g.arity(); ++i) {
+      const Term qs = g.arg(i);
+      const Term vt = target.arg(i);
+      if (qs.is_constant()) {
+        if (vt.is_constant()) {
+          if (qs != vt) return false;
+        } else if (!state->classes.AttachConstant(vt.symbol(), qs)) {
+          return false;
+        }
+        continue;
+      }
+      auto it = state->phi.find(qs.symbol());
+      if (it == state->phi.end()) {
+        state->phi.emplace(qs.symbol(), vt);
+        if (vt.is_variable() && state->classes.HasExistential(vt.symbol())) {
+          // Property C2: an existential image pulls in every subgoal of qs.
+          const uint64_t needed = subgoals_of_var_.at(qs.symbol());
+          for (size_t j = 0; j < query_.num_subgoals(); ++j) {
+            if (needed & (uint64_t{1} << j)) state->agenda.push_back(j);
+          }
+        }
+        continue;
+      }
+      // qs already mapped: unify the old and new images.
+      const Term prev = it->second;
+      if (prev.is_constant() && vt.is_constant()) {
+        if (prev != vt) return false;
+      } else if (prev.is_constant()) {
+        if (!state->classes.AttachConstant(vt.symbol(), prev)) return false;
+      } else if (vt.is_constant()) {
+        if (!state->classes.AttachConstant(prev.symbol(), vt)) return false;
+      } else if (!state->classes.Union(prev.symbol(), vt.symbol())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Finalize(size_t view_index, McdState& state, std::vector<Mcd>* out,
+                std::set<std::string>* seen) {
+    const View& view = views_[view_index];
+    // Property C1: distinguished query variables must be retrievable.
+    for (const auto& [qvar, image] : state.phi) {
+      if (!query_.IsDistinguished(Term::Variable(qvar))) continue;
+      if (image.is_constant()) continue;
+      if (!state.classes.HasHeadVar(image.symbol()) &&
+          !state.classes.ConstantOf(image.symbol()).is_valid()) {
+        return;
+      }
+    }
+    // Build the literal: one argument per view-head position.
+    // Representative query term per class: smallest symbol for determinism.
+    std::map<Symbol, Term> class_rep;  // class root -> query term
+    for (const auto& [qvar, image] : state.phi) {
+      if (!image.is_variable()) continue;
+      const Symbol root = state.classes.Find(image.symbol());
+      const Term qterm = Term::Variable(qvar);
+      auto it = class_rep.find(root);
+      if (it == class_rep.end() || qterm < it->second) {
+        class_rep[root] = qterm;
+      }
+    }
+    std::vector<Term> args;
+    args.reserve(view.head().arity());
+    for (Term hv : view.head().args()) {
+      if (hv.is_constant()) {
+        args.push_back(hv);
+        continue;
+      }
+      const Symbol root = state.classes.Find(hv.symbol());
+      const Term constant = state.classes.ConstantOf(hv.symbol());
+      auto it = class_rep.find(root);
+      if (it != class_rep.end()) {
+        args.push_back(it->second);
+      } else if (constant.is_valid()) {
+        args.push_back(constant);
+      } else {
+        args.push_back(FreshVar("F"));
+      }
+    }
+    Mcd mcd;
+    mcd.view_index = view_index;
+    mcd.covered_mask = state.covered;
+    mcd.literal = Atom(view.head().predicate(), std::move(args));
+
+    // Deduplicate by (view, mask, literal-with-normalized-fresh-vars).
+    std::string key = std::to_string(view_index) + "|" +
+                      std::to_string(state.covered) + "|";
+    for (Term t : mcd.literal.args()) {
+      // Fresh variables (names containing '$') normalize to "_".
+      const std::string name = t.ToString();
+      key += (t.is_variable() && name.find('$') != std::string::npos)
+                 ? "_"
+                 : name;
+      key += ",";
+    }
+    if (seen->insert(key).second) out->push_back(std::move(mcd));
+  }
+
+  const ConjunctiveQuery& query_;
+  const ViewSet& views_;
+  std::unordered_map<Symbol, uint64_t> subgoals_of_var_;
+};
+
+// Exact disjoint cover over MCD masks.
+void CombineMcds(const ConjunctiveQuery& query, const std::vector<Mcd>& mcds,
+                 size_t max_results, MiniConResult* result) {
+  const size_t n = query.num_subgoals();
+  const uint64_t universe = (n == 64) ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  std::set<std::string> seen;
+  std::vector<size_t> chosen;
+
+  std::function<void(uint64_t)> dfs = [&](uint64_t covered) {
+    if (result->contained_rewritings.size() >= max_results) {
+      result->truncated = true;
+      return;
+    }
+    if (covered == universe) {
+      ++result->combinations_tested;
+      std::vector<Atom> body;
+      body.reserve(chosen.size());
+      for (size_t i : chosen) body.push_back(mcds[i].literal);
+      std::vector<std::string> parts;
+      for (const Atom& a : body) parts.push_back(a.ToString());
+      std::sort(parts.begin(), parts.end());
+      std::string key;
+      for (const std::string& p : parts) key += p + ";";
+      if (seen.insert(key).second) {
+        result->contained_rewritings.emplace_back(query.head(),
+                                                  std::move(body));
+      }
+      return;
+    }
+    const uint64_t uncovered = universe & ~covered;
+    const uint64_t lowest = uncovered & (~uncovered + 1);
+    for (size_t i = 0; i < mcds.size(); ++i) {
+      if ((mcds[i].covered_mask & lowest) == 0) continue;
+      if ((mcds[i].covered_mask & covered) != 0) continue;  // Must tile.
+      chosen.push_back(i);
+      dfs(covered | mcds[i].covered_mask);
+      chosen.pop_back();
+    }
+  };
+  dfs(0);
+}
+
+}  // namespace
+
+MiniConResult MiniCon(const ConjunctiveQuery& query, const ViewSet& views,
+                      size_t max_results) {
+  VBR_CHECK_MSG(query.IsSafe(), "MiniCon requires a safe query");
+  VBR_CHECK_MSG(!query.HasBuiltins(),
+                "MiniCon requires comparison-free queries");
+  MiniConResult result;
+  result.minimized_query = Minimize(query);
+  VBR_CHECK_MSG(result.minimized_query.num_subgoals() <= 64,
+                "queries are limited to 64 subgoals");
+
+  McdBuilder builder(result.minimized_query, views);
+  result.mcds = builder.BuildAll();
+  CombineMcds(result.minimized_query, result.mcds, max_results, &result);
+
+  for (const ConjunctiveQuery& p : result.contained_rewritings) {
+    if (IsEquivalentRewriting(p, result.minimized_query, views)) {
+      result.equivalent_rewritings.push_back(p);
+    }
+  }
+  return result;
+}
+
+UnionQuery MaximallyContainedRewriting(const MiniConResult& result) {
+  VBR_CHECK_MSG(!result.contained_rewritings.empty(),
+                "MiniCon found no contained rewriting");
+  return UnionQuery(result.contained_rewritings);
+}
+
+}  // namespace vbr

@@ -1,0 +1,57 @@
+#ifndef VBR_BASELINE_MINICON_H_
+#define VBR_BASELINE_MINICON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cq/atom.h"
+#include "cq/query.h"
+#include "rewrite/union_rewriting.h"
+
+namespace vbr {
+
+// The MiniCon algorithm (Pottinger & Levy, VLDB 2000), the open-world
+// baseline Section 4.3 compares CoreCover against.
+//
+// MiniCon forms MiniCon Descriptions (MCDs): per view, a head homomorphism
+// plus a mapping from a MINIMAL set of query subgoals into the view body
+// satisfying the same properties (2) and (3) as tuple-cores. Contained
+// rewritings are combinations of MCDs with pairwise-disjoint subgoal sets
+// covering the query. Because MCDs are minimal and must tile the query
+// disjointly, MiniCon can emit rewritings with redundant subgoals that
+// CoreCover avoids (Example 4.2); under the closed-world assumption we then
+// filter the combinations for equivalent rewritings.
+
+struct Mcd {
+  size_t view_index = 0;
+  // Subgoals of the minimized query this MCD covers (its minimal set G).
+  uint64_t covered_mask = 0;
+  // The view literal this MCD contributes to a rewriting.
+  Atom literal;
+};
+
+struct MiniConResult {
+  ConjunctiveQuery minimized_query;
+  std::vector<Mcd> mcds;
+  // Contained rewritings from disjoint MCD combinations (deduplicated).
+  std::vector<ConjunctiveQuery> contained_rewritings;
+  // The subset of contained_rewritings that are equivalent rewritings under
+  // the closed-world assumption.
+  std::vector<ConjunctiveQuery> equivalent_rewritings;
+  size_t combinations_tested = 0;
+  bool truncated = false;
+};
+
+MiniConResult MiniCon(const ConjunctiveQuery& query, const ViewSet& views,
+                      size_t max_results = 1024);
+
+// The union of all contained rewritings MiniCon produced — its
+// maximally-contained rewriting, the open-world answer the paper contrasts
+// with closed-world equivalent rewritings. CHECK-fails if `result` holds no
+// contained rewriting.
+UnionQuery MaximallyContainedRewriting(const MiniConResult& result);
+
+}  // namespace vbr
+
+#endif  // VBR_BASELINE_MINICON_H_

@@ -1,0 +1,87 @@
+#include "baseline/naive_enum.h"
+
+#include "common/check.h"
+#include "cq/containment.h"
+#include "rewrite/expansion.h"
+#include "rewrite/view_tuple.h"
+
+namespace vbr {
+
+namespace {
+
+// Recursively enumerates k-combinations of tuple indices.
+class CombinationEnumerator {
+ public:
+  CombinationEnumerator(const ConjunctiveQuery& minimal_query,
+                        const ViewSet& views,
+                        const std::vector<ViewTuple>& tuples,
+                        NaiveEnumerationResult* result, size_t max_results)
+      : query_(minimal_query),
+        views_(views),
+        tuples_(tuples),
+        result_(result),
+        max_results_(max_results) {}
+
+  void RunAtSize(size_t k) { Choose(0, k); }
+
+ private:
+  void Choose(size_t start, size_t remaining) {
+    if (result_->rewritings.size() >= max_results_) return;
+    if (remaining == 0) {
+      Test();
+      return;
+    }
+    if (tuples_.size() - start < remaining) return;
+    for (size_t i = start; i < tuples_.size(); ++i) {
+      chosen_.push_back(i);
+      Choose(i + 1, remaining - 1);
+      chosen_.pop_back();
+    }
+  }
+
+  void Test() {
+    ++result_->combinations_tested;
+    std::vector<Atom> body;
+    body.reserve(chosen_.size());
+    for (size_t i : chosen_) body.push_back(tuples_[i].atom);
+    ConjunctiveQuery candidate(query_.head(), std::move(body));
+    if (!candidate.IsSafe()) return;
+    // View tuples guarantee a containment mapping from the expansion into
+    // the query; only the other direction needs testing.
+    const Expansion exp = ExpandRewriting(candidate, views_);
+    if (FindContainmentMapping(query_, exp.query).has_value()) {
+      result_->rewritings.push_back(std::move(candidate));
+    }
+  }
+
+  const ConjunctiveQuery& query_;
+  const ViewSet& views_;
+  const std::vector<ViewTuple>& tuples_;
+  NaiveEnumerationResult* result_;
+  const size_t max_results_;
+  std::vector<size_t> chosen_;
+};
+
+}  // namespace
+
+NaiveEnumerationResult NaiveEnumerateGmrs(const ConjunctiveQuery& query,
+                                          const ViewSet& views,
+                                          size_t max_results) {
+  VBR_CHECK_MSG(query.IsSafe(), "naive enumeration requires a safe query");
+  NaiveEnumerationResult result;
+  const ConjunctiveQuery minimal = Minimize(query);
+  const std::vector<ViewTuple> tuples = ComputeViewTuples(minimal, views);
+  CombinationEnumerator enumerator(minimal, views, tuples, &result,
+                                   max_results);
+  for (size_t k = 1; k <= minimal.num_subgoals(); ++k) {
+    enumerator.RunAtSize(k);
+    if (!result.rewritings.empty()) {
+      result.has_rewriting = true;
+      result.min_size = k;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace vbr

@@ -1,0 +1,33 @@
+#ifndef VBR_BASELINE_NAIVE_ENUM_H_
+#define VBR_BASELINE_NAIVE_ENUM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace vbr {
+
+// The naive algorithm Theorem 3.1 suggests: enumerate combinations of view
+// tuples by increasing cardinality (1, 2, ..., n where n is the number of
+// query subgoals) and test each combination for being an equivalent
+// rewriting with a containment-mapping check. Sound and complete for GMRs,
+// but exponential in the number of view tuples — the baseline CoreCover is
+// measured against.
+
+struct NaiveEnumerationResult {
+  bool has_rewriting = false;
+  size_t min_size = 0;
+  // All globally-minimal rewritings found (deduplicated by tuple set).
+  std::vector<ConjunctiveQuery> rewritings;
+  // Number of candidate combinations subjected to the containment test.
+  size_t combinations_tested = 0;
+};
+
+NaiveEnumerationResult NaiveEnumerateGmrs(const ConjunctiveQuery& query,
+                                          const ViewSet& views,
+                                          size_t max_results = 1024);
+
+}  // namespace vbr
+
+#endif  // VBR_BASELINE_NAIVE_ENUM_H_

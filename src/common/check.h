@@ -1,0 +1,40 @@
+#ifndef VBR_COMMON_CHECK_H_
+#define VBR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight assertion macros. The library does not throw exceptions;
+// internal invariant violations terminate with a source location.
+//
+// VBR_CHECK is always on; use it for cheap invariants and API contract
+// violations. VBR_DCHECK compiles away in NDEBUG builds; use it inside hot
+// loops.
+
+#define VBR_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "VBR_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define VBR_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "VBR_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                    \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define VBR_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define VBR_DCHECK(cond) VBR_CHECK(cond)
+#endif
+
+#endif  // VBR_COMMON_CHECK_H_

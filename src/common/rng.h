@@ -1,0 +1,49 @@
+#ifndef VBR_COMMON_RNG_H_
+#define VBR_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace vbr {
+
+// Deterministic 64-bit pseudo-random generator (splitmix64). All workload
+// generation and property tests derive their randomness from this type so
+// experiments are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    VBR_DCHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Forks an independent stream; deterministic in (this stream, salt).
+  Rng Fork(uint64_t salt) { return Rng(Next() ^ (salt * 0xd1342543de82ef95ULL)); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_COMMON_RNG_H_

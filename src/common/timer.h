@@ -1,0 +1,28 @@
+#ifndef VBR_COMMON_TIMER_H_
+#define VBR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace vbr {
+
+// Wall-clock stopwatch used by the experiment harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_COMMON_TIMER_H_

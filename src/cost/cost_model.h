@@ -1,0 +1,33 @@
+#ifndef VBR_COST_COST_MODEL_H_
+#define VBR_COST_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "cq/query.h"
+
+namespace vbr {
+
+// The paper's three cost models (Table 1):
+//
+//   M1 — a physical plan is the set of view subgoals; its cost is the number
+//        of subgoals (joins dominate, so fewer is better).
+//   M2 — a physical plan is an ordering g1..gn; its cost is
+//        sum_i (size(g_i) + size(IR_i)) where IR_i joins the first i
+//        subgoals with ALL attributes retained.
+//   M3 — each step may also drop attributes; the intermediate relations
+//        become generalized supplementary relations GSR_i and the cost is
+//        sum_i (size(g_i) + size(GSR_i)).
+enum class CostModel {
+  kM1,
+  kM2,
+  kM3,
+};
+
+// M1 cost of a logical plan: its subgoal count.
+inline size_t CostM1(const ConjunctiveQuery& rewriting) {
+  return rewriting.num_subgoals();
+}
+
+}  // namespace vbr
+
+#endif  // VBR_COST_COST_MODEL_H_

@@ -1,0 +1,134 @@
+#include "cost/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "engine/value.h"
+
+namespace vbr {
+
+StatsCatalog StatsCatalog::Collect(const Database& db) {
+  StatsCatalog catalog;
+  for (Symbol predicate : db.Predicates()) {
+    const Relation& rel = *db.Find(predicate);
+    RelationStats stats;
+    stats.rows = rel.size();
+    stats.distinct.resize(rel.arity(), 0);
+    for (size_t col = 0; col < rel.arity(); ++col) {
+      std::unordered_set<Value> values;
+      for (size_t r = 0; r < rel.size(); ++r) {
+        values.insert(rel.row(r)[col]);
+      }
+      stats.distinct[col] = values.size();
+    }
+    catalog.stats_.emplace(predicate, std::move(stats));
+  }
+  return catalog;
+}
+
+const RelationStats* StatsCatalog::Find(Symbol predicate) const {
+  auto it = stats_.find(predicate);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+double EstimateJoinSize(const std::vector<Atom>& atoms,
+                        const StatsCatalog& catalog) {
+  if (atoms.empty()) return 1.0;
+  double size = 1.0;
+  // (atom index, position) occurrences per variable; constants collected
+  // with their column's distinct count.
+  std::unordered_map<Symbol, std::vector<size_t>> var_distincts;
+  std::vector<size_t> constant_distincts;
+
+  for (const Atom& atom : atoms) {
+    VBR_CHECK_MSG(!atom.is_builtin(),
+                  "the estimator handles relational atoms only");
+    const RelationStats* stats = catalog.Find(atom.predicate());
+    if (stats == nullptr || stats->rows == 0) return 0.0;
+    size *= static_cast<double>(stats->rows);
+    for (size_t p = 0; p < atom.arity(); ++p) {
+      const size_t distinct = std::max<size_t>(stats->distinct[p], 1);
+      const Term t = atom.arg(p);
+      if (t.is_constant()) {
+        constant_distincts.push_back(distinct);
+      } else {
+        var_distincts[t.symbol()].push_back(distinct);
+      }
+    }
+  }
+  // Each constant selection keeps ~1/distinct of its relation.
+  for (size_t d : constant_distincts) {
+    size /= static_cast<double>(d);
+  }
+  // A variable with k occurrences induces k-1 equalities; under the
+  // containment-of-values assumption each costs 1/max(distinct of the two
+  // sides); the standard simplification divides by every occurrence's
+  // distinct count except the smallest.
+  for (auto& [var, distincts] : var_distincts) {
+    if (distincts.size() < 2) continue;
+    std::sort(distincts.begin(), distincts.end());
+    for (size_t i = 1; i < distincts.size(); ++i) {
+      size /= static_cast<double>(distincts[i]);
+    }
+  }
+  return std::max(size, 1.0);
+}
+
+M2OptimizationResult OptimizeOrderM2Estimated(
+    const ConjunctiveQuery& rewriting, const StatsCatalog& catalog) {
+  const size_t n = rewriting.num_subgoals();
+  VBR_CHECK_MSG(n >= 1, "cannot optimize an empty rewriting");
+  VBR_CHECK_MSG(n <= 20, "subset DP is limited to 20 subgoals");
+
+  const uint32_t full = (uint32_t{1} << n) - 1;
+  // Estimated |IR(S)| per subset.
+  std::vector<double> ir(full + 1, 0.0);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    std::vector<Atom> atoms;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint32_t{1} << i)) atoms.push_back(rewriting.subgoal(i));
+    }
+    ir[mask] = EstimateJoinSize(atoms, catalog);
+  }
+  std::vector<double> rel_size(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const RelationStats* stats =
+        catalog.Find(rewriting.subgoal(i).predicate());
+    rel_size[i] = stats == nullptr ? 0.0 : static_cast<double>(stats->rows);
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(full + 1, kInf);
+  std::vector<int> last(full + 1, -1);
+  best[0] = 0.0;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    for (size_t g = 0; g < n; ++g) {
+      const uint32_t bit = uint32_t{1} << g;
+      if (!(mask & bit)) continue;
+      const double total = best[mask ^ bit] + rel_size[g] + ir[mask];
+      if (total < best[mask]) {
+        best[mask] = total;
+        last[mask] = static_cast<int>(g);
+      }
+    }
+  }
+
+  M2OptimizationResult result;
+  result.cost = static_cast<size_t>(std::llround(best[full]));
+  result.subsets_costed = full;
+  result.plan.rewriting = rewriting;
+  std::vector<size_t> reversed;
+  for (uint32_t mask = full; mask != 0;) {
+    const int g = last[mask];
+    VBR_CHECK(g >= 0);
+    reversed.push_back(static_cast<size_t>(g));
+    mask ^= uint32_t{1} << g;
+  }
+  result.plan.order.assign(reversed.rbegin(), reversed.rend());
+  return result;
+}
+
+}  // namespace vbr

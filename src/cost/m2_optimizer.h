@@ -1,0 +1,39 @@
+#ifndef VBR_COST_M2_OPTIMIZER_H_
+#define VBR_COST_M2_OPTIMIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cost/physical_plan.h"
+#include "cq/query.h"
+#include "engine/database.h"
+
+namespace vbr {
+
+// Join-order optimization under cost model M2. Because IR_i retains all
+// attributes, its size depends only on the SET of the first i subgoals, so
+// an exact optimum falls out of dynamic programming over subsets (the
+// System-R idea specialized to M2's cost).
+//
+// Sizes are measured exactly by evaluating joins against the materialized
+// view relations: this plays the role of the optimizer's statistics.
+
+struct M2OptimizationResult {
+  PhysicalPlan plan;       // Best order, no drop annotations.
+  size_t cost = 0;         // M2 cost of the best order.
+  size_t subsets_costed = 0;  // Number of distinct IR sizes measured.
+};
+
+// Exact M2-optimal order for `rewriting` against `view_db`. The rewriting
+// must have at most 20 subgoals (2^n subset DP).
+M2OptimizationResult OptimizeOrderM2(const ConjunctiveQuery& rewriting,
+                                     const Database& view_db);
+
+// M2 cost of one specific order (sum of view sizes and IR sizes).
+size_t CostOfOrderM2(const ConjunctiveQuery& rewriting,
+                     const std::vector<size_t>& order,
+                     const Database& view_db);
+
+}  // namespace vbr
+
+#endif  // VBR_COST_M2_OPTIMIZER_H_

@@ -1,0 +1,42 @@
+#ifndef VBR_COST_M3_OPTIMIZER_H_
+#define VBR_COST_M3_OPTIMIZER_H_
+
+#include <cstddef>
+
+#include "cost/physical_plan.h"
+#include "cq/query.h"
+#include "engine/database.h"
+
+namespace vbr {
+
+// Cost-based optimization under M3 — the "improved optimizer" the paper's
+// Section 6.2 sketches. The GSR heuristic identifies which attributes CAN
+// be dropped (renaming-safe), but dropping a renaming-safe attribute
+// removes an equality and may inflate later intermediates, so the choice
+// should be cost-based. This optimizer enumerates join orders and, per
+// order, every keep/drop decision over the renaming-safe candidates
+// (classical supplementary drops are always taken: removing an unused
+// column never grows a set-semantics state), evaluating each plan's true
+// M3 cost against the view database.
+//
+// Exponential in (orders x safe candidates); intended for the paper-scale
+// plans (<= 8 subgoals) where it is exact.
+
+struct M3OptimizationResult {
+  // The cheapest plan found. Its rewriting may be a renamed variant of the
+  // input (renamings make dropped equalities explicit); it computes the
+  // same answer.
+  PhysicalPlan plan;
+  size_t cost = 0;
+  // Number of complete physical plans whose cost was measured.
+  size_t plans_evaluated = 0;
+};
+
+M3OptimizationResult OptimizeM3(const ConjunctiveQuery& rewriting,
+                                const ConjunctiveQuery& query,
+                                const ViewSet& views,
+                                const Database& view_db);
+
+}  // namespace vbr
+
+#endif  // VBR_COST_M3_OPTIMIZER_H_

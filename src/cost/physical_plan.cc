@@ -1,0 +1,222 @@
+#include "cost/physical_plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "engine/value.h"
+
+namespace vbr {
+
+namespace {
+
+// Mutable join state: a relation over a list of variable columns.
+struct State {
+  std::vector<Term> columns;
+  Relation rows{0};
+};
+
+// Joins `atom`'s relation into `state`: shared variables are equated,
+// constants selected, new variables appended as columns.
+State JoinStep(const State& state, const Atom& atom, const Relation& rel) {
+  // Classify atom positions.
+  std::unordered_map<Symbol, size_t> state_col;
+  for (size_t i = 0; i < state.columns.size(); ++i) {
+    state_col.emplace(state.columns[i].symbol(), i);
+  }
+  struct Position {
+    enum Kind { kConstant, kShared, kNew, kRepeatedNew } kind;
+    size_t index;     // state column (kShared) or first atom position
+                      // (kRepeatedNew)
+    Value constant;   // kConstant
+  };
+  std::vector<Position> positions(atom.arity());
+  std::unordered_map<Symbol, size_t> first_pos_of_new;
+  State next;
+  next.columns = state.columns;
+  for (size_t i = 0; i < atom.arity(); ++i) {
+    const Term t = atom.arg(i);
+    if (t.is_constant()) {
+      positions[i] = {Position::kConstant, 0, EncodeConstant(t)};
+      continue;
+    }
+    auto it = state_col.find(t.symbol());
+    if (it != state_col.end()) {
+      positions[i] = {Position::kShared, it->second, 0};
+      continue;
+    }
+    auto [fit, inserted] = first_pos_of_new.emplace(t.symbol(), i);
+    if (inserted) {
+      positions[i] = {Position::kNew, 0, 0};
+      next.columns.push_back(t);
+    } else {
+      positions[i] = {Position::kRepeatedNew, fit->second, 0};
+    }
+  }
+  next.rows = Relation(next.columns.size());
+
+  // Index the atom's relation on the bound positions (constants + shared).
+  std::vector<size_t> key_cols;
+  for (size_t i = 0; i < atom.arity(); ++i) {
+    if (positions[i].kind == Position::kConstant ||
+        positions[i].kind == Position::kShared) {
+      key_cols.push_back(i);
+    }
+  }
+  const RelationIndex index(rel, key_cols);
+
+  std::vector<Value> key(key_cols.size());
+  std::vector<Value> out(next.columns.size());
+  auto emit_matches = [&](std::span<const Value> state_row) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      const Position& p = positions[key_cols[k]];
+      key[k] = (p.kind == Position::kConstant) ? p.constant
+                                               : state_row[p.index];
+    }
+    for (size_t row_idx : index.Probe(key)) {
+      auto rel_row = rel.row(row_idx);
+      bool ok = true;
+      for (size_t i = 0; i < atom.arity() && ok; ++i) {
+        switch (positions[i].kind) {
+          case Position::kConstant:
+            ok = rel_row[i] == positions[i].constant;
+            break;
+          case Position::kShared:
+            ok = rel_row[i] == state_row[positions[i].index];
+            break;
+          case Position::kRepeatedNew:
+            ok = rel_row[i] == rel_row[positions[i].index];
+            break;
+          case Position::kNew:
+            break;
+        }
+      }
+      if (!ok) continue;
+      std::copy(state_row.begin(), state_row.end(), out.begin());
+      size_t next_col = state_row.size();
+      for (size_t i = 0; i < atom.arity(); ++i) {
+        if (positions[i].kind == Position::kNew) out[next_col++] = rel_row[i];
+      }
+      next.rows.Insert(out);
+    }
+  };
+
+  if (state.columns.empty()) {
+    // Nullary state: either the seed tuple (emit once) or annihilated.
+    if (state.rows.size() == 1) {
+      emit_matches(std::span<const Value>{});
+    }
+  } else {
+    for (size_t r = 0; r < state.rows.size(); ++r) {
+      emit_matches(state.rows.row(r));
+    }
+  }
+  return next;
+}
+
+// Projects `state` onto the columns not listed in `drops`.
+State DropColumns(const State& state, const std::vector<Term>& drops) {
+  if (drops.empty()) return state;
+  State next;
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < state.columns.size(); ++i) {
+    if (std::find(drops.begin(), drops.end(), state.columns[i]) ==
+        drops.end()) {
+      keep.push_back(i);
+      next.columns.push_back(state.columns[i]);
+    }
+  }
+  next.rows = Relation(keep.size());
+  std::vector<Value> out(keep.size());
+  for (size_t r = 0; r < state.rows.size(); ++r) {
+    auto row = state.rows.row(r);
+    for (size_t k = 0; k < keep.size(); ++k) out[k] = row[keep[k]];
+    next.rows.Insert(out);
+  }
+  return next;
+}
+
+}  // namespace
+
+std::string PhysicalPlan::ToString() const {
+  std::string s = "[";
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (k > 0) s += ", ";
+    s += rewriting.subgoal(order[k]).ToString();
+    if (k < drop_after.size() && !drop_after[k].empty()) {
+      s += "{drop ";
+      for (size_t i = 0; i < drop_after[k].size(); ++i) {
+        if (i > 0) s += ",";
+        s += drop_after[k][i].ToString();
+      }
+      s += "}";
+    }
+  }
+  s += "]";
+  return s;
+}
+
+size_t PlanExecution::TotalCost() const {
+  size_t total = 0;
+  for (size_t s : relation_sizes) total += s;
+  for (size_t s : state_sizes) total += s;
+  return total;
+}
+
+PlanExecution ExecutePlan(const PhysicalPlan& plan, const Database& view_db) {
+  const ConjunctiveQuery& p = plan.rewriting;
+  VBR_CHECK(plan.order.size() == p.num_subgoals());
+  VBR_CHECK(plan.drop_after.empty() ||
+            plan.drop_after.size() == plan.order.size());
+  for (const auto& drops : plan.drop_after) {
+    for (Term t : drops) {
+      VBR_CHECK_MSG(!p.head().Mentions(t),
+                    "physical plans must not drop head variables");
+    }
+  }
+
+  PlanExecution result;
+  State state;
+  state.rows = Relation(0);
+  state.rows.Insert(std::span<const Value>{});  // The nullary seed tuple.
+  for (size_t k = 0; k < plan.order.size(); ++k) {
+    const Atom& atom = p.subgoal(plan.order[k]);
+    const Relation* rel = view_db.Find(atom.predicate());
+    const Relation empty_of_arity(atom.arity());
+    if (rel == nullptr) rel = &empty_of_arity;
+    VBR_CHECK_MSG(rel->arity() == atom.arity(),
+                  "view relation arity mismatches subgoal");
+    result.relation_sizes.push_back(rel->size());
+    state = JoinStep(state, atom, *rel);
+    if (!plan.drop_after.empty()) {
+      state = DropColumns(state, plan.drop_after[k]);
+    }
+    result.state_sizes.push_back(state.rows.size());
+  }
+
+  // Project onto the head.
+  std::unordered_map<Symbol, size_t> col_of;
+  for (size_t i = 0; i < state.columns.size(); ++i) {
+    col_of.emplace(state.columns[i].symbol(), i);
+  }
+  result.answer = Relation(p.head().arity());
+  std::vector<Value> out(p.head().arity());
+  for (size_t r = 0; r < state.rows.size(); ++r) {
+    auto row = state.rows.row(r);
+    for (size_t i = 0; i < p.head().arity(); ++i) {
+      const Term t = p.head().arg(i);
+      if (t.is_constant()) {
+        out[i] = EncodeConstant(t);
+      } else {
+        auto it = col_of.find(t.symbol());
+        VBR_CHECK_MSG(it != col_of.end(),
+                      "head variable missing from final state");
+        out[i] = row[it->second];
+      }
+    }
+    result.answer.Insert(out);
+  }
+  return result;
+}
+
+}  // namespace vbr

@@ -1,0 +1,52 @@
+#ifndef VBR_COST_PHYSICAL_PLAN_H_
+#define VBR_COST_PHYSICAL_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "engine/database.h"
+#include "engine/relation.h"
+
+namespace vbr {
+
+// A physical plan for a rewriting: a join order over its subgoals, each step
+// optionally annotated with the variables dropped once the step completes
+// (cost model M3; leave the drop lists empty for M2 semantics).
+struct PhysicalPlan {
+  // The logical plan (a rewriting over view predicates).
+  ConjunctiveQuery rewriting;
+  // Permutation of [0, rewriting.num_subgoals()).
+  std::vector<size_t> order;
+  // drop_after[k] lists variables dropped after the k-th step of `order`.
+  // Must be empty or have order.size() entries.
+  std::vector<std::vector<Term>> drop_after;
+
+  std::string ToString() const;
+};
+
+// The result of executing a physical plan against materialized views.
+struct PlanExecution {
+  // size(g_i) for each step (raw view-relation sizes).
+  std::vector<size_t> relation_sizes;
+  // size of the state after each step and its drops: IR_i under M2
+  // semantics (no drops), GSR_i under M3.
+  std::vector<size_t> state_sizes;
+  // Answer projected onto the rewriting's head.
+  Relation answer{0};
+
+  // The paper's cost: sum_i (size(g_i) + size(state_i)).
+  size_t TotalCost() const;
+};
+
+// Executes `plan` over `view_db` step by step: each step joins the next
+// subgoal's relation into the running state (equating shared retained
+// variables and applying constant selections), then projects away the
+// step's dropped variables. Head variables must never be dropped
+// (VBR_CHECKed).
+PlanExecution ExecutePlan(const PhysicalPlan& plan, const Database& view_db);
+
+}  // namespace vbr
+
+#endif  // VBR_COST_PHYSICAL_PLAN_H_

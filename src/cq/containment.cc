@@ -1,0 +1,112 @@
+#include "cq/containment.h"
+
+#include "common/check.h"
+#include "cq/homomorphism.h"
+
+namespace vbr {
+
+namespace {
+
+// Seeds a substitution that forces head(source) to map onto head(target).
+// Returns nullopt on an immediate conflict (mismatched arity, clashing
+// constants, or a source head variable required to map to two targets).
+std::optional<Substitution> SeedFromHeads(const ConjunctiveQuery& source,
+                                          const ConjunctiveQuery& target) {
+  const Atom& sh = source.head();
+  const Atom& th = target.head();
+  if (sh.arity() != th.arity()) return std::nullopt;
+  Substitution seed;
+  for (size_t i = 0; i < sh.arity(); ++i) {
+    const Term s = sh.arg(i);
+    const Term t = th.arg(i);
+    if (s.is_constant()) {
+      if (s != t) return std::nullopt;
+      continue;
+    }
+    if (!seed.Bind(s, t)) return std::nullopt;
+  }
+  return seed;
+}
+
+void CheckNoBuiltins(const ConjunctiveQuery& q) {
+  VBR_CHECK_MSG(!q.HasBuiltins(),
+                "containment tests require comparison-free queries");
+}
+
+}  // namespace
+
+bool IsContainmentMapping(const ConjunctiveQuery& source,
+                          const ConjunctiveQuery& target,
+                          const Substitution& mapping) {
+  if (mapping.Apply(source.head()).args() != target.head().args()) {
+    return false;
+  }
+  for (const Atom& atom : source.body()) {
+    const Atom mapped = mapping.Apply(atom);
+    bool found = false;
+    for (const Atom& candidate : target.body()) {
+      if (candidate == mapped) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::optional<Substitution> FindContainmentMapping(
+    const ConjunctiveQuery& source, const ConjunctiveQuery& target) {
+  CheckNoBuiltins(source);
+  CheckNoBuiltins(target);
+  std::optional<Substitution> seed = SeedFromHeads(source, target);
+  if (!seed.has_value()) return std::nullopt;
+  return FindHomomorphism(source.body(), target.body(), *seed);
+}
+
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return FindContainmentMapping(q2, q1).has_value();
+}
+
+bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return IsContainedIn(q1, q2) && IsContainedIn(q2, q1);
+}
+
+bool IsProperlyContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) {
+  return IsContainedIn(q1, q2) && !IsContainedIn(q2, q1);
+}
+
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q) {
+  CheckNoBuiltins(q);
+  VBR_CHECK_MSG(q.IsSafe(), "cannot minimize an unsafe query");
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.num_subgoals(); ++i) {
+      ConjunctiveQuery candidate = current.WithoutSubgoal(i);
+      if (!candidate.IsSafe()) continue;
+      // Removing a subgoal only relaxes the query (current ⊑ candidate), so
+      // equivalence holds iff candidate ⊑ current, i.e., iff there is a
+      // containment mapping from current into candidate.
+      if (FindContainmentMapping(current, candidate).has_value()) {
+        current = candidate;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+bool IsMinimal(const ConjunctiveQuery& q) {
+  for (size_t i = 0; i < q.num_subgoals(); ++i) {
+    ConjunctiveQuery candidate = q.WithoutSubgoal(i);
+    if (!candidate.IsSafe()) continue;
+    if (FindContainmentMapping(q, candidate).has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace vbr

@@ -1,0 +1,57 @@
+#ifndef VBR_CQ_CONTAINMENT_H_
+#define VBR_CQ_CONTAINMENT_H_
+
+#include <optional>
+
+#include "cq/query.h"
+#include "cq/substitution.h"
+
+namespace vbr {
+
+// Conjunctive-query containment and minimization (Chandra & Merlin 1977).
+//
+// Q1 is contained in Q2 (Q1 ⊑ Q2: Q1's answer is a subset of Q2's on every
+// database) iff there is a containment mapping from Q2 to Q1 — a
+// homomorphism on Q2's body whose head image is Q1's head. These procedures
+// require comparison-free queries (VBR_CHECKed); the union-rewriting
+// extension layers its own treatment of builtins on top.
+
+// Returns a containment mapping from `source` into `target`: a substitution
+// h with h(head(source)) = head(target) and h(body(source)) ⊆ body(target).
+// Its existence witnesses target ⊑ source. Heads must have equal arity;
+// head predicates are ignored (answers are compared positionally).
+std::optional<Substitution> FindContainmentMapping(
+    const ConjunctiveQuery& source, const ConjunctiveQuery& target);
+
+// Verifies WITHOUT search that `mapping` is a containment mapping from
+// `source` into `target`: head(source) maps onto head(target) and every
+// mapped body atom of `source` appears in `target`'s body. Used by the
+// certificate checker to validate witnesses independently of how they were
+// found.
+bool IsContainmentMapping(const ConjunctiveQuery& source,
+                          const ConjunctiveQuery& target,
+                          const Substitution& mapping);
+
+// q1 ⊑ q2.
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+// q1 ⊑ q2 and q2 ⊑ q1.
+bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+// q1 ⊑ q2 but not q2 ⊑ q1.
+bool IsProperlyContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2);
+
+// The core of `q`: an equivalent query with no redundant subgoal, obtained
+// by greedily removing subgoals whose removal preserves equivalence. The
+// result is unique up to variable renaming. Removal order is deterministic
+// (left to right, restarting after each removal).
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q);
+
+// True if no single subgoal can be removed from `q` while preserving
+// equivalence as a query.
+bool IsMinimal(const ConjunctiveQuery& q);
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_CONTAINMENT_H_

@@ -1,0 +1,148 @@
+#include "cq/homomorphism.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace vbr {
+
+namespace {
+
+// Backtracking matcher. Atoms of `from` are visited in a connectivity-aware
+// order (most-constrained first) and matched against the per-predicate
+// candidate lists of `to`.
+class Matcher {
+ public:
+  Matcher(const std::vector<Atom>& from, const std::vector<Atom>& to,
+          const Substitution& seed,
+          const std::function<bool(const Substitution&)>& callback)
+      : from_(from), seed_(seed), callback_(callback) {
+    for (const Atom& a : to) {
+      VBR_CHECK_MSG(!a.is_builtin(),
+                    "homomorphism search does not support builtin atoms");
+      by_predicate_[a.predicate()].push_back(&a);
+    }
+    order_ = PlanOrder();
+    subst_ = seed_;
+  }
+
+  // Runs the enumeration; returns true when not stopped by the callback.
+  bool Run() { return Recurse(0); }
+
+ private:
+  // Orders `from` atoms so that each step is as constrained as possible:
+  // start from atoms with bound/constant arguments, then grow along shared
+  // variables.
+  std::vector<size_t> PlanOrder() const {
+    const size_t n = from_.size();
+    std::vector<size_t> order;
+    order.reserve(n);
+    std::vector<bool> placed(n, false);
+    std::unordered_set<Symbol> bound_vars;
+    for (const auto& [var, target] : seed_.bindings()) {
+      bound_vars.insert(var);
+    }
+    for (size_t step = 0; step < n; ++step) {
+      size_t best = n;
+      long best_score = std::numeric_limits<long>::min();
+      for (size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        long score = 0;
+        for (Term t : from_[i].args()) {
+          if (t.is_constant() || (t.is_variable() &&
+                                  bound_vars.count(t.symbol()) > 0)) {
+            score += 4;
+          }
+        }
+        // Prefer rarer predicates as a cheap selectivity proxy.
+        auto it = by_predicate_.find(from_[i].predicate());
+        const size_t candidates =
+            it == by_predicate_.end() ? 0 : it->second.size();
+        score = score * 64 - static_cast<long>(std::min<size_t>(candidates, 63));
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      VBR_DCHECK(best < n);
+      placed[best] = true;
+      order.push_back(best);
+      for (Term t : from_[best].args()) {
+        if (t.is_variable()) bound_vars.insert(t.symbol());
+      }
+    }
+    return order;
+  }
+
+  bool Recurse(size_t step) {
+    if (step == order_.size()) return callback_(subst_);
+    const Atom& atom = from_[order_[step]];
+    VBR_CHECK_MSG(!atom.is_builtin(),
+                  "homomorphism search does not support builtin atoms");
+    auto it = by_predicate_.find(atom.predicate());
+    if (it == by_predicate_.end()) return true;  // No candidates: dead end.
+    for (const Atom* candidate : it->second) {
+      if (candidate->arity() != atom.arity()) continue;
+      std::vector<Term> newly_bound;
+      if (TryMatch(atom, *candidate, &newly_bound)) {
+        if (!Recurse(step + 1)) return false;
+      }
+      for (Term v : newly_bound) subst_.Unbind(v);
+    }
+    return true;
+  }
+
+  // Attempts to unify atom against candidate under subst_; records the
+  // variables bound by this attempt so the caller can undo them.
+  bool TryMatch(const Atom& atom, const Atom& candidate,
+                std::vector<Term>* newly_bound) {
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      const Term s = atom.arg(i);
+      const Term t = candidate.arg(i);
+      if (s.is_constant()) {
+        if (s != t) return false;
+        continue;
+      }
+      if (auto image = subst_.Lookup(s)) {
+        if (*image != t) return false;
+        continue;
+      }
+      subst_.Bind(s, t);
+      newly_bound->push_back(s);
+    }
+    return true;
+  }
+
+  const std::vector<Atom>& from_;
+  const Substitution& seed_;
+  const std::function<bool(const Substitution&)>& callback_;
+  std::unordered_map<Symbol, std::vector<const Atom*>> by_predicate_;
+  std::vector<size_t> order_;
+  Substitution subst_;
+};
+
+}  // namespace
+
+std::optional<Substitution> FindHomomorphism(const std::vector<Atom>& from,
+                                             const std::vector<Atom>& to,
+                                             const Substitution& seed) {
+  std::optional<Substitution> found;
+  ForEachHomomorphism(from, to, seed, [&](const Substitution& h) {
+    found = h;
+    return false;  // Stop at the first hit.
+  });
+  return found;
+}
+
+bool ForEachHomomorphism(
+    const std::vector<Atom>& from, const std::vector<Atom>& to,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& callback) {
+  Matcher matcher(from, to, seed, callback);
+  return matcher.Run();
+}
+
+}  // namespace vbr

@@ -1,0 +1,44 @@
+#ifndef VBR_CQ_HOMOMORPHISM_H_
+#define VBR_CQ_HOMOMORPHISM_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cq/atom.h"
+#include "cq/substitution.h"
+
+namespace vbr {
+
+// Homomorphism search between atom lists.
+//
+// A homomorphism from `from` into `to` is a substitution h on the variables
+// of `from` such that h(a) appears in `to` for every atom a of `from`
+// (constants map to themselves). This is the workhorse behind containment
+// mappings (Chandra & Merlin), canonical-database evaluation, and the
+// tuple-core computation.
+//
+// Builtin comparison atoms are not supported here; callers must strip them
+// first (VBR_CHECKed).
+
+// Returns a homomorphism extending `seed`, or nullopt if none exists.
+std::optional<Substitution> FindHomomorphism(const std::vector<Atom>& from,
+                                             const std::vector<Atom>& to,
+                                             const Substitution& seed = {});
+
+// Invokes `callback` for every homomorphism from `from` into `to` extending
+// `seed`. The callback may return false to stop the enumeration early.
+// Returns true if the enumeration ran to completion (i.e., was not stopped).
+//
+// The same total assignment can be reported once per distinct choice of
+// target atoms only when two identical atoms occur in `to`; `to` lists with
+// duplicate atoms therefore may repeat callbacks. Deduplicate in the caller
+// if that matters (the library's `to` lists are duplicate-free).
+bool ForEachHomomorphism(
+    const std::vector<Atom>& from, const std::vector<Atom>& to,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& callback);
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_HOMOMORPHISM_H_

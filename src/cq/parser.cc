@@ -1,0 +1,312 @@
+#include "cq/parser.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/check.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kImplies,  // ":-"
+  kCompare,  // "<", "<=", ">", ">=", "!="
+  kNewline,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  // Tokenizes the whole input. Returns false and sets *error on a bad
+  // character.
+  bool Tokenize(std::vector<Token>* out, std::string* error) {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        out->push_back({TokenKind::kNewline, "\n", line_});
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '(') {
+        out->push_back({TokenKind::kLParen, "(", line_});
+        ++pos_;
+      } else if (c == ')') {
+        out->push_back({TokenKind::kRParen, ")", line_});
+        ++pos_;
+      } else if (c == ',') {
+        out->push_back({TokenKind::kComma, ",", line_});
+        ++pos_;
+      } else if (c == '.') {
+        out->push_back({TokenKind::kPeriod, ".", line_});
+        ++pos_;
+      } else if (c == ':') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+          out->push_back({TokenKind::kImplies, ":-", line_});
+          pos_ += 2;
+        } else {
+          return Fail(error, "expected ':-'");
+        }
+      } else if (c == '<' || c == '>') {
+        std::string op(1, c);
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          op += '=';
+          ++pos_;
+        }
+        out->push_back({TokenKind::kCompare, op, line_});
+      } else if (c == '!') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          out->push_back({TokenKind::kCompare, "!=", line_});
+          pos_ += 2;
+        } else {
+          return Fail(error, "expected '!='");
+        }
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '$')) {
+          ++pos_;
+        }
+        out->push_back({TokenKind::kIdent,
+                        std::string(text_.substr(start, pos_ - start)),
+                        line_});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        size_t start = pos_;
+        ++pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        out->push_back({TokenKind::kNumber,
+                        std::string(text_.substr(start, pos_ - start)),
+                        line_});
+      } else {
+        return Fail(error, std::string("unexpected character '") + c + "'");
+      }
+    }
+    out->push_back({TokenKind::kEnd, "", line_});
+    return true;
+  }
+
+ private:
+  bool Fail(std::string* error, const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_) + ": " + message;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+// A term identifier is a variable iff it starts with an upper-case letter or
+// underscore.
+Term MakeTerm(const Token& token) {
+  if (token.kind == TokenKind::kNumber) return Const(token.text);
+  const char first = token.text[0];
+  if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+    return Var(token.text);
+  }
+  return Const(token.text);
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string* error)
+      : tokens_(std::move(tokens)), error_(error) {}
+
+  std::optional<std::vector<ConjunctiveQuery>> ParseAll() {
+    std::vector<ConjunctiveQuery> rules;
+    SkipSeparators();
+    while (Peek().kind != TokenKind::kEnd) {
+      std::optional<ConjunctiveQuery> rule = ParseRule();
+      if (!rule.has_value()) return std::nullopt;
+      rules.push_back(std::move(*rule));
+      SkipSeparators();
+    }
+    return rules;
+  }
+
+  std::optional<ConjunctiveQuery> ParseRule() {
+    std::optional<Atom> head = ParseRelationAtom();
+    if (!head.has_value()) return std::nullopt;
+    if (!Expect(TokenKind::kImplies, "':-'")) return std::nullopt;
+    std::vector<Atom> body;
+    while (true) {
+      SkipNewlines();
+      std::optional<Atom> atom = ParseBodyAtom();
+      if (!atom.has_value()) return std::nullopt;
+      body.push_back(std::move(*atom));
+      SkipNewlines();
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    // Rule ends at '.', newline, or end of input.
+    if (Peek().kind == TokenKind::kPeriod) Advance();
+    return ConjunctiveQuery(std::move(*head), std::move(body));
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  void SkipNewlines() {
+    while (Peek().kind == TokenKind::kNewline) Advance();
+  }
+  void SkipSeparators() {
+    while (Peek().kind == TokenKind::kNewline ||
+           Peek().kind == TokenKind::kPeriod) {
+      Advance();
+    }
+  }
+
+  bool Expect(TokenKind kind, const char* what) {
+    SkipNewlines();
+    if (Peek().kind != kind) {
+      return Fail(std::string("expected ") + what + ", found '" +
+                  Peek().text + "'");
+    }
+    Advance();
+    return true;
+  }
+
+  // Either p(args...) or an infix comparison `t1 <= t2`.
+  std::optional<Atom> ParseBodyAtom() {
+    SkipNewlines();
+    const Token& first = Peek();
+    if (first.kind != TokenKind::kIdent && first.kind != TokenKind::kNumber) {
+      Fail("expected an atom, found '" + first.text + "'");
+      return std::nullopt;
+    }
+    // Lookahead: ident '(' is a relation atom; otherwise a comparison.
+    if (first.kind == TokenKind::kIdent &&
+        tokens_[pos_ + 1].kind == TokenKind::kLParen) {
+      return ParseRelationAtom();
+    }
+    const Token lhs = Advance();
+    if (Peek().kind != TokenKind::kCompare) {
+      Fail("expected a comparison operator after '" + lhs.text + "'");
+      return std::nullopt;
+    }
+    const Token op = Advance();
+    const Token& rhs_tok = Peek();
+    if (rhs_tok.kind != TokenKind::kIdent &&
+        rhs_tok.kind != TokenKind::kNumber) {
+      Fail("expected a term after '" + op.text + "'");
+      return std::nullopt;
+    }
+    const Token rhs = Advance();
+    return Atom(op.text, {MakeTerm(lhs), MakeTerm(rhs)});
+  }
+
+  std::optional<Atom> ParseRelationAtom() {
+    SkipNewlines();
+    if (Peek().kind != TokenKind::kIdent) {
+      Fail("expected a predicate name, found '" + Peek().text + "'");
+      return std::nullopt;
+    }
+    const Token name = Advance();
+    if (!Expect(TokenKind::kLParen, "'('")) return std::nullopt;
+    std::vector<Term> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        SkipNewlines();
+        const Token& t = Peek();
+        if (t.kind != TokenKind::kIdent && t.kind != TokenKind::kNumber) {
+          Fail("expected a term, found '" + t.text + "'");
+          return std::nullopt;
+        }
+        args.push_back(MakeTerm(Advance()));
+        SkipNewlines();
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Expect(TokenKind::kRParen, "')'")) return std::nullopt;
+    return Atom(name.text, std::move(args));
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      *error_ = "line " + std::to_string(Peek().line) + ": " + message;
+    }
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                           std::string* error) {
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  if (!lexer.Tokenize(&tokens, error)) return std::nullopt;
+  Parser parser(std::move(tokens), error);
+  std::optional<std::vector<ConjunctiveQuery>> rules = parser.ParseAll();
+  if (!rules.has_value()) return std::nullopt;
+  if (rules->size() != 1) {
+    if (error != nullptr) {
+      *error = "expected exactly one rule, found " +
+               std::to_string(rules->size());
+    }
+    return std::nullopt;
+  }
+  return std::move(rules->front());
+}
+
+std::optional<std::vector<ConjunctiveQuery>> ParseProgram(
+    std::string_view text, std::string* error) {
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  if (!lexer.Tokenize(&tokens, error)) return std::nullopt;
+  Parser parser(std::move(tokens), error);
+  return parser.ParseAll();
+}
+
+ConjunctiveQuery MustParseQuery(std::string_view text) {
+  std::string error;
+  std::optional<ConjunctiveQuery> q = ParseQuery(text, &error);
+  VBR_CHECK_MSG(q.has_value(), error.c_str());
+  return std::move(*q);
+}
+
+std::vector<ConjunctiveQuery> MustParseProgram(std::string_view text) {
+  std::string error;
+  std::optional<std::vector<ConjunctiveQuery>> p = ParseProgram(text, &error);
+  VBR_CHECK_MSG(p.has_value(), error.c_str());
+  return std::move(*p);
+}
+
+}  // namespace vbr

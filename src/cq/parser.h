@@ -1,0 +1,38 @@
+#ifndef VBR_CQ_PARSER_H_
+#define VBR_CQ_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace vbr {
+
+// Parser for a datalog-style surface syntax:
+//
+//     q(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C).
+//
+// Conventions (following the paper): identifiers starting with an upper-case
+// letter or '_' are variables; identifiers starting with a lower-case letter
+// and integer literals are constants. Builtin comparison subgoals are
+// written infix: `X <= Y`. A program is a sequence of rules separated by
+// periods or newlines; `%` and `#` start comments that run to end of line.
+
+// Parses a single rule. On failure returns nullopt and, if `error` is
+// non-null, stores a message with position information.
+std::optional<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                           std::string* error = nullptr);
+
+// Parses a sequence of rules.
+std::optional<std::vector<ConjunctiveQuery>> ParseProgram(
+    std::string_view text, std::string* error = nullptr);
+
+// CHECK-failing convenience wrappers for tests and examples.
+ConjunctiveQuery MustParseQuery(std::string_view text);
+std::vector<ConjunctiveQuery> MustParseProgram(std::string_view text);
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_PARSER_H_

@@ -1,0 +1,97 @@
+#include "cq/query.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace vbr {
+
+ConjunctiveQuery::ConjunctiveQuery(Atom head, std::vector<Atom> body)
+    : head_(std::move(head)), body_(std::move(body)) {}
+
+const Atom& ConjunctiveQuery::subgoal(size_t i) const {
+  VBR_CHECK(i < body_.size());
+  return body_[i];
+}
+
+std::vector<Term> ConjunctiveQuery::Variables() const {
+  return CollectVariables(body_);
+}
+
+std::vector<Term> ConjunctiveQuery::DistinguishedVariables() const {
+  std::vector<Term> result;
+  std::unordered_set<Term, TermHash> seen;
+  for (Term t : head_.args()) {
+    if (t.is_variable() && seen.insert(t).second) result.push_back(t);
+  }
+  return result;
+}
+
+std::vector<Term> ConjunctiveQuery::ExistentialVariables() const {
+  std::vector<Term> result;
+  for (Term t : Variables()) {
+    if (!IsDistinguished(t)) result.push_back(t);
+  }
+  return result;
+}
+
+bool ConjunctiveQuery::IsDistinguished(Term t) const {
+  return head_.Mentions(t);
+}
+
+bool ConjunctiveQuery::IsSafe() const {
+  for (Term t : head_.args()) {
+    if (!t.is_variable()) continue;
+    bool found = false;
+    for (const Atom& a : body_) {
+      if (!a.is_builtin() && a.Mentions(t)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool ConjunctiveQuery::HasBuiltins() const {
+  for (const Atom& a : body_) {
+    if (a.is_builtin()) return true;
+  }
+  return false;
+}
+
+ConjunctiveQuery ConjunctiveQuery::WithoutSubgoal(size_t index) const {
+  VBR_CHECK(index < body_.size());
+  std::vector<Atom> body;
+  body.reserve(body_.size() - 1);
+  for (size_t i = 0; i < body_.size(); ++i) {
+    if (i != index) body.push_back(body_[i]);
+  }
+  return ConjunctiveQuery(head_, std::move(body));
+}
+
+ConjunctiveQuery ConjunctiveQuery::WithSubgoals(
+    const std::vector<size_t>& keep) const {
+  std::vector<Atom> body;
+  body.reserve(keep.size());
+  for (size_t i : keep) {
+    VBR_CHECK(i < body_.size());
+    body.push_back(body_[i]);
+  }
+  return ConjunctiveQuery(head_, std::move(body));
+}
+
+ConjunctiveQuery ConjunctiveQuery::WithBody(std::vector<Atom> body) const {
+  return ConjunctiveQuery(head_, std::move(body));
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string s = head_.ToString();
+  s += " :- ";
+  s += AtomsToString(body_);
+  return s;
+}
+
+}  // namespace vbr

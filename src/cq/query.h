@@ -1,0 +1,79 @@
+#ifndef VBR_CQ_QUERY_H_
+#define VBR_CQ_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cq/atom.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+// A conjunctive (select-project-join) query
+//
+//     h(X1,...,Xm) :- g1(Y1), ..., gk(Yk)
+//
+// The head arguments may be variables or constants; a variable is
+// "distinguished" if it appears in the head. A query is "safe" if every head
+// variable appears in some non-builtin body atom.
+//
+// A view is a ConjunctiveQuery whose head predicate names the view relation,
+// so `View` is an alias below.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(Atom head, std::vector<Atom> body);
+
+  const Atom& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  size_t num_subgoals() const { return body_.size(); }
+  const Atom& subgoal(size_t i) const;
+
+  // Distinct body variables in first-occurrence order (head-only variables
+  // never exist in safe queries).
+  std::vector<Term> Variables() const;
+
+  // Distinct head variables in first-occurrence order.
+  std::vector<Term> DistinguishedVariables() const;
+
+  // Distinct body variables that do not appear in the head.
+  std::vector<Term> ExistentialVariables() const;
+
+  bool IsDistinguished(Term t) const;
+
+  // Every head variable appears in a non-builtin body atom.
+  bool IsSafe() const;
+
+  // True if any body atom uses a comparison predicate.
+  bool HasBuiltins() const;
+
+  // Copy of this query with body atom `index` removed.
+  ConjunctiveQuery WithoutSubgoal(size_t index) const;
+
+  // Copy of this query with body atoms at positions in `keep` (in the given
+  // order).
+  ConjunctiveQuery WithSubgoals(const std::vector<size_t>& keep) const;
+
+  // Copy with the same head and a new body.
+  ConjunctiveQuery WithBody(std::vector<Atom> body) const;
+
+  // "h(X,Y) :- g1(X,Z), g2(Z,Y)"
+  std::string ToString() const;
+
+  friend bool operator==(const ConjunctiveQuery& a,
+                         const ConjunctiveQuery& b) = default;
+
+ private:
+  Atom head_;
+  std::vector<Atom> body_;
+};
+
+// A view definition over the base relations. The head predicate is the view
+// name; materializing the view stores its answer under that predicate.
+using View = ConjunctiveQuery;
+using ViewSet = std::vector<View>;
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_QUERY_H_

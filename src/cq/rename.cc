@@ -1,0 +1,22 @@
+#include "cq/rename.h"
+
+#include "cq/term.h"
+
+namespace vbr {
+
+ConjunctiveQuery RenameVariablesApart(const ConjunctiveQuery& q,
+                                      std::string_view prefix,
+                                      Substitution* out_mapping) {
+  Substitution subst;
+  // Head variables first so safe queries stay readable, then body.
+  for (Term t : q.DistinguishedVariables()) {
+    subst.Bind(t, FreshVar(prefix));
+  }
+  for (Term t : q.Variables()) {
+    if (!subst.IsBound(t)) subst.Bind(t, FreshVar(prefix));
+  }
+  if (out_mapping != nullptr) *out_mapping = subst;
+  return subst.Apply(q);
+}
+
+}  // namespace vbr

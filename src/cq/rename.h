@@ -1,0 +1,21 @@
+#ifndef VBR_CQ_RENAME_H_
+#define VBR_CQ_RENAME_H_
+
+#include <string_view>
+
+#include "cq/query.h"
+#include "cq/substitution.h"
+
+namespace vbr {
+
+// Returns a copy of `q` whose variables are all replaced by fresh variables
+// (named "<prefix>$<n>"), guaranteeing disjointness from every other query's
+// variables. If `out_mapping` is non-null, receives the old-to-new variable
+// substitution.
+ConjunctiveQuery RenameVariablesApart(const ConjunctiveQuery& q,
+                                      std::string_view prefix,
+                                      Substitution* out_mapping = nullptr);
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_RENAME_H_

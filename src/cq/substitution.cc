@@ -1,0 +1,74 @@
+#include "cq/substitution.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace vbr {
+
+bool Substitution::Bind(Term var, Term target) {
+  VBR_DCHECK(var.is_variable());
+  auto [it, inserted] = map_.emplace(var.symbol(), target);
+  return inserted || it->second == target;
+}
+
+void Substitution::Unbind(Term var) { map_.erase(var.symbol()); }
+
+std::optional<Term> Substitution::Lookup(Term var) const {
+  auto it = map_.find(var.symbol());
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+Term Substitution::Apply(Term t) const {
+  if (!t.is_variable()) return t;
+  auto it = map_.find(t.symbol());
+  return it == map_.end() ? t : it->second;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.arity());
+  for (Term t : atom.args()) args.push_back(Apply(t));
+  return Atom(atom.predicate(), std::move(args));
+}
+
+std::vector<Atom> Substitution::Apply(const std::vector<Atom>& atoms) const {
+  std::vector<Atom> result;
+  result.reserve(atoms.size());
+  for (const Atom& a : atoms) result.push_back(Apply(a));
+  return result;
+}
+
+ConjunctiveQuery Substitution::Apply(const ConjunctiveQuery& query) const {
+  return ConjunctiveQuery(Apply(query.head()), Apply(query.body()));
+}
+
+bool Substitution::IsInjective() const {
+  std::unordered_set<Term, TermHash> images;
+  for (const auto& [var, target] : map_) {
+    if (!images.insert(target).second) return false;
+  }
+  return true;
+}
+
+std::string Substitution::ToString() const {
+  // Sort by variable name for deterministic output.
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(map_.size());
+  for (const auto& [var, target] : map_) {
+    entries.emplace_back(SymbolTable::Global().NameOf(var),
+                         target.ToString());
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string s = "{";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += entries[i].first + " -> " + entries[i].second;
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace vbr

@@ -1,0 +1,61 @@
+#ifndef VBR_CQ_SUBSTITUTION_H_
+#define VBR_CQ_SUBSTITUTION_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/atom.h"
+#include "cq/query.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+// A mapping from variables to terms. Constants always map to themselves, so
+// a Substitution represents exactly the variable part of a homomorphism /
+// containment mapping.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  // Binds `var` (a variable term) to `target`. Returns false and leaves the
+  // substitution unchanged if `var` is already bound to a different term.
+  bool Bind(Term var, Term target);
+
+  // Removes the binding for `var` (used by backtracking search). No-op if
+  // unbound.
+  void Unbind(Term var);
+
+  // The binding for `var`, if any.
+  std::optional<Term> Lookup(Term var) const;
+
+  bool IsBound(Term var) const { return map_.count(var.symbol()) > 0; }
+
+  // Applies the substitution: bound variables are replaced, unbound
+  // variables and constants pass through.
+  Term Apply(Term t) const;
+  Atom Apply(const Atom& atom) const;
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const;
+  ConjunctiveQuery Apply(const ConjunctiveQuery& query) const;
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  // All (variable symbol, target) pairs, unordered.
+  const std::unordered_map<Symbol, Term>& bindings() const { return map_; }
+
+  // True if no two bound variables share a target and no bound variable maps
+  // onto a constant bound from another variable... strictly: all images of
+  // distinct domain terms are distinct.
+  bool IsInjective() const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<Symbol, Term> map_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_SUBSTITUTION_H_

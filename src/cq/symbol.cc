@@ -1,0 +1,41 @@
+#include "cq/symbol.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace vbr {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Symbol SymbolTable::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolTable::NameOf(Symbol sym) const {
+  VBR_CHECK(sym >= 0 && static_cast<size_t>(sym) < names_.size());
+  return names_[static_cast<size_t>(sym)];
+}
+
+Symbol SymbolTable::Fresh(std::string_view prefix) {
+  while (true) {
+    std::string candidate =
+        std::string(prefix) + "$" + std::to_string(fresh_counter_++);
+    if (ids_.find(candidate) == ids_.end()) return Intern(candidate);
+  }
+}
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable;
+  return *table;
+}
+
+}  // namespace vbr

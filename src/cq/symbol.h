@@ -1,0 +1,59 @@
+#ifndef VBR_CQ_SYMBOL_H_
+#define VBR_CQ_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vbr {
+
+// A Symbol is a dense integer id for an interned string (predicate name,
+// variable name, or constant name).
+using Symbol = int32_t;
+
+inline constexpr Symbol kInvalidSymbol = -1;
+
+// Interns strings to Symbols and back.
+//
+// The library routes all naming through SymbolTable::Global() so that terms
+// and atoms are cheap value types (a Symbol plus a tag). The table only
+// grows; Symbols are never invalidated. The global table is NOT thread-safe;
+// the library is designed for single-threaded use (benchmark drivers run
+// repetitions sequentially).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id for `name`, interning it on first use.
+  Symbol Intern(std::string_view name);
+
+  // Returns the id for `name` if already interned, kInvalidSymbol otherwise.
+  Symbol Find(std::string_view name) const;
+
+  // Returns the string for an id. `sym` must have been produced by this
+  // table.
+  const std::string& NameOf(Symbol sym) const;
+
+  // Interns and returns a name of the form "<prefix>$<n>" that was not
+  // previously interned. Used to create fresh variables during expansion.
+  Symbol Fresh(std::string_view prefix);
+
+  size_t size() const { return names_.size(); }
+
+  // The process-wide table used by the convenience constructors in term.h
+  // and the parser.
+  static SymbolTable& Global();
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> ids_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_SYMBOL_H_

@@ -1,0 +1,78 @@
+#ifndef VBR_CQ_TERM_H_
+#define VBR_CQ_TERM_H_
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "cq/symbol.h"
+
+namespace vbr {
+
+// A term is a variable or a constant, identified by an interned Symbol.
+// Terms are small value types; copying is free.
+//
+// Following the paper's convention, variables print with a leading
+// upper-case letter and constants with a lower-case letter or digit, but the
+// kind is carried explicitly so any spelling works.
+class Term {
+ public:
+  // Default-constructed terms are invalid; is_valid() is false.
+  constexpr Term() = default;
+
+  static constexpr Term Variable(Symbol sym) { return Term(sym, /*var=*/true); }
+  static constexpr Term Constant(Symbol sym) {
+    return Term(sym, /*var=*/false);
+  }
+
+  bool is_valid() const { return sym_ != kInvalidSymbol; }
+  bool is_variable() const { return is_valid() && is_var_; }
+  bool is_constant() const { return is_valid() && !is_var_; }
+  Symbol symbol() const { return sym_; }
+
+  // Name as interned in the global symbol table.
+  std::string ToString() const {
+    return is_valid() ? SymbolTable::Global().NameOf(sym_) : "<invalid>";
+  }
+
+  friend bool operator==(Term a, Term b) = default;
+  friend auto operator<=>(Term a, Term b) = default;
+
+ private:
+  constexpr Term(Symbol sym, bool var) : sym_(sym), is_var_(var) {}
+
+  Symbol sym_ = kInvalidSymbol;
+  bool is_var_ = false;
+};
+
+// Convenience constructors interning into the global symbol table.
+inline Term Var(std::string_view name) {
+  return Term::Variable(SymbolTable::Global().Intern(name));
+}
+inline Term Const(std::string_view name) {
+  return Term::Constant(SymbolTable::Global().Intern(name));
+}
+
+// Fresh variable whose name starts with `prefix` and is guaranteed new.
+inline Term FreshVar(std::string_view prefix) {
+  return Term::Variable(SymbolTable::Global().Fresh(prefix));
+}
+
+// Fresh constant, used when freezing a query into its canonical database.
+inline Term FreshConst(std::string_view prefix) {
+  return Term::Constant(SymbolTable::Global().Fresh(prefix));
+}
+
+struct TermHash {
+  size_t operator()(Term t) const {
+    const uint64_t x = (static_cast<uint64_t>(t.symbol()) << 1) |
+                       (t.is_variable() ? 1u : 0u);
+    return std::hash<uint64_t>()(x * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_TERM_H_

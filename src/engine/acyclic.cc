@@ -1,0 +1,246 @@
+#include "engine/acyclic.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "engine/evaluator.h"
+#include "engine/value.h"
+
+namespace vbr {
+
+namespace {
+
+using VarSet = std::unordered_set<Symbol>;
+
+VarSet VarsOf(const Atom& atom) {
+  VarSet vars;
+  for (Term t : atom.args()) {
+    if (t.is_variable()) vars.insert(t.symbol());
+  }
+  return vars;
+}
+
+// Applies constant selections and intra-atom repeated-variable filters,
+// producing the node relation for `atom`.
+Relation NodeRelation(const Atom& atom, const Database& db) {
+  Relation result(atom.arity());
+  const Relation* rel = db.Find(atom.predicate());
+  if (rel == nullptr) return result;
+  VBR_CHECK_MSG(rel->arity() == atom.arity(),
+                "relation arity mismatches atom");
+  std::unordered_map<Symbol, size_t> first_pos;
+  for (size_t r = 0; r < rel->size(); ++r) {
+    auto row = rel->row(r);
+    bool ok = true;
+    first_pos.clear();
+    for (size_t p = 0; p < atom.arity() && ok; ++p) {
+      const Term t = atom.arg(p);
+      if (t.is_constant()) {
+        ok = row[p] == EncodeConstant(t);
+      } else {
+        auto [it, inserted] = first_pos.emplace(t.symbol(), p);
+        if (!inserted) ok = row[p] == row[it->second];
+      }
+    }
+    if (ok) result.Insert(row);
+  }
+  return result;
+}
+
+// Positions of the variables `shared` in `atom` (first occurrence each).
+std::vector<size_t> PositionsOf(const Atom& atom,
+                                const std::vector<Symbol>& shared) {
+  std::vector<size_t> positions;
+  for (Symbol v : shared) {
+    for (size_t p = 0; p < atom.arity(); ++p) {
+      if (atom.arg(p).is_variable() && atom.arg(p).symbol() == v) {
+        positions.push_back(p);
+        break;
+      }
+    }
+  }
+  VBR_CHECK(positions.size() == shared.size());
+  return positions;
+}
+
+// left ⋉ right on their shared variables (in place on `left`).
+void SemiJoinInto(Relation* left, const Atom& left_atom,
+                  const Relation& right, const Atom& right_atom) {
+  // Shared variables, deterministic order.
+  std::vector<Symbol> shared;
+  const VarSet right_vars = VarsOf(right_atom);
+  for (Term t : left_atom.args()) {
+    if (t.is_variable() && right_vars.count(t.symbol()) &&
+        std::find(shared.begin(), shared.end(), t.symbol()) == shared.end()) {
+      shared.push_back(t.symbol());
+    }
+  }
+  if (shared.empty()) {
+    // Disconnected: the semijoin keeps everything iff the partner is
+    // nonempty, nothing otherwise.
+    if (right.empty()) *left = Relation(left->arity());
+    return;
+  }
+  const std::vector<size_t> left_pos = PositionsOf(left_atom, shared);
+  const std::vector<size_t> right_pos = PositionsOf(right_atom, shared);
+
+  // Key set from the right side.
+  Relation keys(shared.size());
+  std::vector<Value> key(shared.size());
+  for (size_t r = 0; r < right.size(); ++r) {
+    auto row = right.row(r);
+    for (size_t k = 0; k < right_pos.size(); ++k) key[k] = row[right_pos[k]];
+    keys.Insert(key);
+  }
+  Relation filtered(left->arity());
+  for (size_t r = 0; r < left->size(); ++r) {
+    auto row = left->row(r);
+    for (size_t k = 0; k < left_pos.size(); ++k) key[k] = row[left_pos[k]];
+    if (keys.Contains(key)) filtered.Insert(row);
+  }
+  *left = std::move(filtered);
+}
+
+// Stable scratch predicate for atom slot `i` (interned once per process).
+Symbol ScratchPredicate(size_t i) {
+  static std::vector<Symbol>* cache = new std::vector<Symbol>;
+  while (cache->size() <= i) {
+    cache->push_back(SymbolTable::Global().Fresh(
+        "acyclic_node" + std::to_string(cache->size())));
+  }
+  return (*cache)[i];
+}
+
+}  // namespace
+
+std::optional<std::vector<JoinTreeNode>> BuildJoinTree(
+    const std::vector<Atom>& atoms) {
+  for (const Atom& a : atoms) {
+    VBR_CHECK_MSG(!a.is_builtin(), "join trees cover relational atoms only");
+  }
+  const size_t n = atoms.size();
+  if (n == 0) return std::vector<JoinTreeNode>{};
+
+  std::vector<VarSet> vars;
+  vars.reserve(n);
+  for (const Atom& a : atoms) vars.push_back(VarsOf(a));
+
+  std::vector<bool> active(n, true);
+  // (removed atom, parent atom) in removal order.
+  std::vector<std::pair<size_t, size_t>> removals;
+  size_t num_active = n;
+  bool progress = true;
+  while (num_active > 1 && progress) {
+    progress = false;
+    for (size_t i = 0; i < n && num_active > 1; ++i) {
+      if (!active[i]) continue;
+      // Variables of i shared with some other active atom.
+      VarSet shared;
+      for (Symbol v : vars[i]) {
+        for (size_t k = 0; k < n; ++k) {
+          if (k != i && active[k] && vars[k].count(v)) {
+            shared.insert(v);
+            break;
+          }
+        }
+      }
+      // An ear needs a witness containing all its shared variables.
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i || !active[j]) continue;
+        bool contains = true;
+        for (Symbol v : shared) {
+          if (!vars[j].count(v)) {
+            contains = false;
+            break;
+          }
+        }
+        if (contains) {
+          removals.emplace_back(i, j);
+          active[i] = false;
+          --num_active;
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  if (num_active > 1) return std::nullopt;  // Cyclic.
+
+  // Root = the surviving atom; order nodes root-first, parents before
+  // children (reverse removal order has that property: each removed atom's
+  // parent is removed later or survives).
+  size_t root = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (active[i]) root = i;
+  }
+  std::vector<JoinTreeNode> tree;
+  tree.reserve(n);
+  std::unordered_map<size_t, int> position;  // atom index -> tree slot
+  tree.push_back({root, -1});
+  position.emplace(root, 0);
+  for (auto it = removals.rbegin(); it != removals.rend(); ++it) {
+    const auto [child, parent] = *it;
+    auto pit = position.find(parent);
+    VBR_CHECK(pit != position.end());
+    position.emplace(child, static_cast<int>(tree.size()));
+    tree.push_back({child, pit->second});
+  }
+  return tree;
+}
+
+bool IsAcyclicQuery(const ConjunctiveQuery& q) {
+  return BuildJoinTree(q.body()).has_value();
+}
+
+std::vector<Relation> SemiJoinReduce(const std::vector<Atom>& atoms,
+                                     const Database& db,
+                                     const std::vector<JoinTreeNode>& tree) {
+  VBR_CHECK(tree.size() == atoms.size());
+  std::vector<Relation> reduced;
+  reduced.reserve(atoms.size());
+  for (const Atom& a : atoms) reduced.push_back(NodeRelation(a, db));
+
+  // Leaf-to-root: parent ⋉ child (children appear after parents in `tree`).
+  for (size_t t = tree.size(); t-- > 1;) {
+    const size_t child = tree[t].atom_index;
+    const size_t parent = tree[tree[t].parent].atom_index;
+    SemiJoinInto(&reduced[parent], atoms[parent], reduced[child],
+                 atoms[child]);
+  }
+  // Root-to-leaf: child ⋉ parent.
+  for (size_t t = 1; t < tree.size(); ++t) {
+    const size_t child = tree[t].atom_index;
+    const size_t parent = tree[tree[t].parent].atom_index;
+    SemiJoinInto(&reduced[child], atoms[child], reduced[parent],
+                 atoms[parent]);
+  }
+  return reduced;
+}
+
+Relation EvaluateAcyclicQuery(const ConjunctiveQuery& q, const Database& db) {
+  VBR_CHECK_MSG(q.IsSafe(), "cannot evaluate an unsafe query");
+  auto tree = BuildJoinTree(q.body());
+  VBR_CHECK_MSG(tree.has_value(),
+                "EvaluateAcyclicQuery requires an acyclic query");
+  const std::vector<Relation> reduced = SemiJoinReduce(q.body(), db, *tree);
+
+  // Join the reduced node relations with the general evaluator, giving
+  // each atom slot its own scratch predicate.
+  Database scratch;
+  std::vector<Atom> body;
+  body.reserve(q.num_subgoals());
+  for (size_t i = 0; i < q.num_subgoals(); ++i) {
+    const Symbol pred = ScratchPredicate(i);
+    Relation& rel = scratch.GetOrCreate(pred, reduced[i].arity());
+    for (size_t r = 0; r < reduced[i].size(); ++r) {
+      rel.Insert(reduced[i].row(r));
+    }
+    body.emplace_back(pred, q.subgoal(i).args());
+  }
+  return EvaluateQuery(q.WithBody(std::move(body)), scratch);
+}
+
+}  // namespace vbr

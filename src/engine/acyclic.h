@@ -1,0 +1,56 @@
+#ifndef VBR_ENGINE_ACYCLIC_H_
+#define VBR_ENGINE_ACYCLIC_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+#include "engine/database.h"
+
+namespace vbr {
+
+// Acyclic-query machinery (GYO ear removal + Yannakakis semijoin
+// reduction). The paper's experimental shapes — stars and chains — are
+// acyclic, where full semijoin reduction removes every dangling tuple
+// before the join, so intermediate results never exceed the output times
+// the per-node sizes. This gives the engine a second, structurally
+// different evaluation path; tests cross-validate it against the
+// backtracking evaluator, and a benchmark shows the reduction winning on
+// skewed chains with many dangling tuples.
+
+// One node of a join tree over a query's body atoms.
+struct JoinTreeNode {
+  size_t atom_index = 0;
+  // Index into the tree vector of the parent node, or -1 for the root.
+  int parent = -1;
+};
+
+// Builds a join tree via GYO ear removal. Returns nullopt iff the atom set
+// is cyclic (e.g., a triangle). Builtin atoms are not allowed
+// (VBR_CHECKed). The returned nodes are ordered so that every node appears
+// AFTER its parent (root first), which makes top-down/bottom-up sweeps
+// simple array scans.
+std::optional<std::vector<JoinTreeNode>> BuildJoinTree(
+    const std::vector<Atom>& atoms);
+
+// True iff the query's body hypergraph is acyclic.
+bool IsAcyclicQuery(const ConjunctiveQuery& q);
+
+// Per-atom relations after (a) applying constant selections and intra-atom
+// repeated-variable filters and (b) a full Yannakakis reduction (leaf-to-
+// root then root-to-leaf semijoins along `tree`). After reduction every
+// remaining tuple participates in at least one full join result (global
+// consistency). result[i] corresponds to atoms[i] and keeps the atom's
+// column layout.
+std::vector<Relation> SemiJoinReduce(const std::vector<Atom>& atoms,
+                                     const Database& db,
+                                     const std::vector<JoinTreeNode>& tree);
+
+// Evaluates an acyclic conjunctive query by reduce-then-join. Exactly
+// equivalent to EvaluateQuery (set semantics); CHECK-fails on cyclic
+// queries — call IsAcyclicQuery first when unsure.
+Relation EvaluateAcyclicQuery(const ConjunctiveQuery& q, const Database& db);
+
+}  // namespace vbr
+
+#endif  // VBR_ENGINE_ACYCLIC_H_

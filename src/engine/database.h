@@ -1,0 +1,51 @@
+#ifndef VBR_ENGINE_DATABASE_H_
+#define VBR_ENGINE_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/atom.h"
+#include "engine/relation.h"
+
+namespace vbr {
+
+// A database instance: a relation per predicate symbol.
+class Database {
+ public:
+  Database() = default;
+
+  // The relation for `predicate`, creating an empty one with `arity` if
+  // absent. CHECK-fails if it exists with a different arity.
+  Relation& GetOrCreate(Symbol predicate, size_t arity);
+
+  // The relation for `predicate`, or nullptr if absent.
+  const Relation* Find(Symbol predicate) const;
+  Relation* FindMutable(Symbol predicate);
+
+  // Inserts a ground fact. All arguments of `fact` must be constants; they
+  // are encoded with EncodeConstant.
+  void AddFact(const Atom& fact);
+
+  // Inserts a row of raw values under `predicate` (interned globally).
+  void AddRow(std::string_view predicate, std::initializer_list<Value> row);
+  void AddRow(Symbol predicate, std::span<const Value> row);
+
+  size_t NumRelations() const { return relations_.size(); }
+
+  // Total number of rows across relations.
+  size_t TotalRows() const;
+
+  // Predicate symbols, sorted by name, for deterministic printing.
+  std::vector<Symbol> Predicates() const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<Symbol, Relation> relations_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_ENGINE_DATABASE_H_

@@ -1,0 +1,352 @@
+#include "engine/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/value.h"
+
+namespace vbr {
+
+namespace {
+
+// One relational subgoal prepared for matching.
+struct PreparedAtom {
+  const Atom* atom = nullptr;
+  const Relation* relation = nullptr;  // nullptr => empty result.
+};
+
+// Comparison subgoal prepared as a filter.
+struct PreparedFilter {
+  enum class Op { kLt, kLe, kGt, kGe, kNe };
+  Op op;
+  // Each side is either a constant value or a variable slot.
+  bool lhs_is_slot = false;
+  bool rhs_is_slot = false;
+  Value lhs_const = 0;
+  Value rhs_const = 0;
+  size_t lhs_slot = 0;
+  size_t rhs_slot = 0;
+};
+
+PreparedFilter::Op ParseOp(const std::string& name) {
+  if (name == "<") return PreparedFilter::Op::kLt;
+  if (name == "<=") return PreparedFilter::Op::kLe;
+  if (name == ">") return PreparedFilter::Op::kGt;
+  if (name == ">=") return PreparedFilter::Op::kGe;
+  VBR_CHECK_MSG(name == "!=", "unknown builtin predicate");
+  return PreparedFilter::Op::kNe;
+}
+
+bool ApplyOp(PreparedFilter::Op op, Value a, Value b) {
+  switch (op) {
+    case PreparedFilter::Op::kLt:
+      return a < b;
+    case PreparedFilter::Op::kLe:
+      return a <= b;
+    case PreparedFilter::Op::kGt:
+      return a > b;
+    case PreparedFilter::Op::kGe:
+      return a >= b;
+    case PreparedFilter::Op::kNe:
+      return a != b;
+  }
+  return false;
+}
+
+// Backtracking join over the relational atoms, with builtin filters applied
+// as soon as their inputs are bound.
+class JoinEvaluator {
+ public:
+  JoinEvaluator(const std::vector<Atom>& atoms, const Database& db)
+      : db_(db) {
+    // Assign a slot to each distinct variable across relational atoms.
+    for (const Atom& a : atoms) {
+      if (a.is_builtin()) continue;
+      for (Term t : a.args()) {
+        if (t.is_variable() && !slots_.count(t.symbol())) {
+          const size_t slot = slots_.size();
+          slots_.emplace(t.symbol(), slot);
+          slot_vars_.push_back(t);
+        }
+      }
+    }
+    bound_.assign(slots_.size(), false);
+    values_.assign(slots_.size(), 0);
+
+    for (const Atom& a : atoms) {
+      if (a.is_builtin()) {
+        filters_.push_back(PrepareFilter(a));
+      } else {
+        PreparedAtom pa;
+        pa.atom = &a;
+        pa.relation = db.Find(a.predicate());
+        relational_.push_back(pa);
+      }
+    }
+    order_ = PlanOrder();
+    // Schedule each filter at the earliest step where its slots are bound.
+    filter_at_step_.assign(order_.size() + 1, {});
+    for (size_t f = 0; f < filters_.size(); ++f) {
+      filter_at_step_[EarliestStep(filters_[f])].push_back(f);
+    }
+  }
+
+  const std::vector<Term>& columns() const { return slot_vars_; }
+
+  // Runs the join; `emit` is called with the slot values for each result.
+  void Run(const std::function<void(const std::vector<Value>&)>& emit) {
+    // A subgoal over a missing/empty relation annihilates the result.
+    for (const PreparedAtom& pa : relational_) {
+      if (pa.relation == nullptr || pa.relation->empty()) return;
+    }
+    emit_ = &emit;
+    if (!ApplyFiltersAt(0)) return;
+    Recurse(0);
+  }
+
+ private:
+  PreparedFilter PrepareFilter(const Atom& a) {
+    VBR_CHECK(a.arity() == 2);
+    PreparedFilter f;
+    f.op = ParseOp(a.predicate_name());
+    const Term lhs = a.arg(0);
+    const Term rhs = a.arg(1);
+    if (lhs.is_variable()) {
+      auto it = slots_.find(lhs.symbol());
+      VBR_CHECK_MSG(it != slots_.end(),
+                    "builtin variable not bound by any relational subgoal");
+      f.lhs_is_slot = true;
+      f.lhs_slot = it->second;
+    } else {
+      f.lhs_const = EncodeConstant(lhs);
+    }
+    if (rhs.is_variable()) {
+      auto it = slots_.find(rhs.symbol());
+      VBR_CHECK_MSG(it != slots_.end(),
+                    "builtin variable not bound by any relational subgoal");
+      f.rhs_is_slot = true;
+      f.rhs_slot = it->second;
+    } else {
+      f.rhs_const = EncodeConstant(rhs);
+    }
+    return f;
+  }
+
+  // Greedy join order: repeatedly pick the unplaced atom maximizing
+  // (number of bound/constant argument positions, then smallest relation).
+  std::vector<size_t> PlanOrder() const {
+    const size_t n = relational_.size();
+    std::vector<size_t> order;
+    order.reserve(n);
+    std::vector<bool> placed(n, false);
+    std::vector<bool> var_bound(slots_.size(), false);
+    for (size_t step = 0; step < n; ++step) {
+      size_t best = n;
+      double best_score = -1e300;
+      for (size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        size_t bound_args = 0;
+        for (Term t : relational_[i].atom->args()) {
+          if (t.is_constant() ||
+              (t.is_variable() && var_bound[slots_.at(t.symbol())])) {
+            ++bound_args;
+          }
+        }
+        const double rel_size =
+            relational_[i].relation == nullptr
+                ? 0.0
+                : static_cast<double>(relational_[i].relation->size());
+        const double score = 1e6 * static_cast<double>(bound_args) - rel_size;
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      placed[best] = true;
+      order.push_back(best);
+      for (Term t : relational_[best].atom->args()) {
+        if (t.is_variable()) var_bound[slots_.at(t.symbol())] = true;
+      }
+    }
+    return order;
+  }
+
+  // Earliest step index (0..order_.size()) at which all slots used by `f`
+  // are bound; filters over constants only run at step 0.
+  size_t EarliestStep(const PreparedFilter& f) const {
+    std::vector<bool> var_bound(slots_.size(), false);
+    size_t step = 0;
+    auto ready = [&] {
+      return (!f.lhs_is_slot || var_bound[f.lhs_slot]) &&
+             (!f.rhs_is_slot || var_bound[f.rhs_slot]);
+    };
+    while (!ready()) {
+      VBR_CHECK_MSG(step < order_.size(), "builtin never becomes bound");
+      for (Term t : relational_[order_[step]].atom->args()) {
+        if (t.is_variable()) var_bound[slots_.at(t.symbol())] = true;
+      }
+      ++step;
+    }
+    return step;
+  }
+
+  bool ApplyFiltersAt(size_t step) {
+    for (size_t f : filter_at_step_[step]) {
+      const PreparedFilter& pf = filters_[f];
+      const Value a = pf.lhs_is_slot ? values_[pf.lhs_slot] : pf.lhs_const;
+      const Value b = pf.rhs_is_slot ? values_[pf.rhs_slot] : pf.rhs_const;
+      if (!ApplyOp(pf.op, a, b)) return false;
+    }
+    return true;
+  }
+
+  void Recurse(size_t step) {
+    if (step == order_.size()) {
+      (*emit_)(values_);
+      return;
+    }
+    const PreparedAtom& pa = relational_[order_[step]];
+    const Relation& rel = *pa.relation;
+    // Determine bound positions for index probing.
+    std::vector<size_t> key_cols;
+    std::vector<Value> key;
+    for (size_t i = 0; i < pa.atom->arity(); ++i) {
+      const Term t = pa.atom->arg(i);
+      if (t.is_constant()) {
+        key_cols.push_back(i);
+        key.push_back(EncodeConstant(t));
+      } else if (bound_[slots_.at(t.symbol())]) {
+        key_cols.push_back(i);
+        key.push_back(values_[slots_.at(t.symbol())]);
+      }
+    }
+    const RelationIndex& index = GetIndex(pa, key_cols);
+    for (size_t row_idx : index.Probe(key)) {
+      auto row = rel.row(row_idx);
+      std::vector<size_t> newly_bound;
+      if (MatchRow(*pa.atom, row, &newly_bound) && ApplyFiltersAt(step + 1)) {
+        Recurse(step + 1);
+      }
+      for (size_t slot : newly_bound) bound_[slot] = false;
+    }
+  }
+
+  // Verifies `row` against the atom under current bindings (also guards
+  // against hash collisions from the index probe) and binds new variables.
+  bool MatchRow(const Atom& atom, std::span<const Value> row,
+                std::vector<size_t>* newly_bound) {
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      const Term t = atom.arg(i);
+      if (t.is_constant()) {
+        if (EncodeConstant(t) != row[i]) return false;
+        continue;
+      }
+      const size_t slot = slots_.at(t.symbol());
+      if (bound_[slot]) {
+        if (values_[slot] != row[i]) return false;
+        continue;
+      }
+      bound_[slot] = true;
+      values_[slot] = row[i];
+      newly_bound->push_back(slot);
+    }
+    return true;
+  }
+
+  const RelationIndex& GetIndex(const PreparedAtom& pa,
+                                const std::vector<size_t>& key_cols) {
+    const auto key = std::make_pair(pa.atom->predicate(), key_cols);
+    auto it = indexes_.find(key);
+    if (it == indexes_.end()) {
+      it = indexes_
+               .emplace(key, std::make_unique<RelationIndex>(*pa.relation,
+                                                             key_cols))
+               .first;
+    }
+    return *it->second;
+  }
+
+  struct IndexKeyHash {
+    size_t operator()(const std::pair<Symbol, std::vector<size_t>>& k) const {
+      size_t h = std::hash<int32_t>()(k.first);
+      for (size_t c : k.second) h = h * 131 + c;
+      return h;
+    }
+  };
+
+  const Database& db_;
+  std::unordered_map<Symbol, size_t> slots_;
+  std::vector<Term> slot_vars_;
+  std::vector<bool> bound_;
+  std::vector<Value> values_;
+  std::vector<PreparedAtom> relational_;
+  std::vector<PreparedFilter> filters_;
+  std::vector<size_t> order_;
+  std::vector<std::vector<size_t>> filter_at_step_;
+  std::unordered_map<std::pair<Symbol, std::vector<size_t>>,
+                     std::unique_ptr<RelationIndex>, IndexKeyHash>
+      indexes_;
+  const std::function<void(const std::vector<Value>&)>* emit_ = nullptr;
+};
+
+}  // namespace
+
+Relation EvaluateQuery(const ConjunctiveQuery& q, const Database& db) {
+  VBR_CHECK_MSG(q.IsSafe(), "cannot evaluate an unsafe query");
+  JoinEvaluator eval(q.body(), db);
+  // Slot of each head argument (or its constant encoding).
+  struct HeadCol {
+    bool is_slot;
+    size_t slot;
+    Value constant;
+  };
+  std::vector<HeadCol> head_cols;
+  std::unordered_map<Symbol, size_t> var_slot;
+  for (size_t i = 0; i < eval.columns().size(); ++i) {
+    var_slot.emplace(eval.columns()[i].symbol(), i);
+  }
+  for (Term t : q.head().args()) {
+    if (t.is_variable()) {
+      head_cols.push_back({true, var_slot.at(t.symbol()), 0});
+    } else {
+      head_cols.push_back({false, 0, EncodeConstant(t)});
+    }
+  }
+  Relation result(q.head().arity());
+  std::vector<Value> out(head_cols.size());
+  eval.Run([&](const std::vector<Value>& values) {
+    for (size_t i = 0; i < head_cols.size(); ++i) {
+      out[i] = head_cols[i].is_slot ? values[head_cols[i].slot]
+                                    : head_cols[i].constant;
+    }
+    result.Insert(out);
+  });
+  return result;
+}
+
+Relation EvaluateJoin(const std::vector<Atom>& atoms, const Database& db,
+                      std::vector<Term>* columns) {
+  JoinEvaluator eval(atoms, db);
+  // Emit in CollectVariables order, which may differ from slot order only
+  // if builtin atoms mention variables first; slots are assigned from
+  // relational atoms in order, so slot order == CollectVariables over
+  // relational atoms.
+  if (columns != nullptr) *columns = eval.columns();
+  Relation result(eval.columns().size());
+  eval.Run([&](const std::vector<Value>& values) { result.Insert(values); });
+  return result;
+}
+
+size_t JoinSize(const std::vector<Atom>& atoms, const Database& db) {
+  JoinEvaluator eval(atoms, db);
+  size_t count = 0;
+  eval.Run([&](const std::vector<Value>&) { ++count; });
+  return count;
+}
+
+}  // namespace vbr

@@ -1,0 +1,36 @@
+#ifndef VBR_ENGINE_EVALUATOR_H_
+#define VBR_ENGINE_EVALUATOR_H_
+
+#include <vector>
+
+#include "cq/query.h"
+#include "engine/database.h"
+
+namespace vbr {
+
+// Bottom-up evaluation of conjunctive queries over a Database, by
+// backtracking joins with hash indexes built on demand (equivalent to a
+// left-deep index-nested-loop plan with a greedy bound-first join order).
+// Set semantics throughout.
+//
+// Builtin comparison subgoals are supported as filters; every variable of a
+// builtin must also appear in a relational subgoal (VBR_CHECKed).
+
+// The answer to `q` on `db`: a relation of head arity. Head constants are
+// emitted as encoded values.
+Relation EvaluateQuery(const ConjunctiveQuery& q, const Database& db);
+
+// The join of `atoms` with every distinct variable retained, i.e., the
+// paper's intermediate relation IR over those subgoals (constants selected,
+// repeated variables equated, nothing projected away). Column i of the
+// result corresponds to `columns[i]`, which is CollectVariables(atoms)
+// order. Pass the same atoms in any order: the result is order-independent.
+Relation EvaluateJoin(const std::vector<Atom>& atoms, const Database& db,
+                      std::vector<Term>* columns = nullptr);
+
+// size of EvaluateJoin without materializing column metadata.
+size_t JoinSize(const std::vector<Atom>& atoms, const Database& db);
+
+}  // namespace vbr
+
+#endif  // VBR_ENGINE_EVALUATOR_H_

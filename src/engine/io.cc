@@ -1,0 +1,165 @@
+#include "engine/io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "engine/value.h"
+
+namespace vbr {
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+  size_t line = 1;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipSpaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '%' || c == '#') {
+        while (!AtEnd() && Peek() != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Fail(std::string* error, const std::string& message) const {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + message;
+    }
+    return false;
+  }
+
+  // Reads an identifier or an integer literal.
+  bool ReadToken(std::string* out, std::string* error) {
+    SkipSpaceAndComments();
+    if (AtEnd()) return Fail(error, "unexpected end of input");
+    const size_t start = pos;
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        ++pos;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      ++pos;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos;
+      }
+    } else {
+      return Fail(error, std::string("unexpected character '") + c + "'");
+    }
+    *out = std::string(text.substr(start, pos - start));
+    return true;
+  }
+
+  bool Expect(char c, std::string* error) {
+    SkipSpaceAndComments();
+    if (AtEnd() || Peek() != c) {
+      return Fail(error, std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+};
+
+Value TokenToValue(const std::string& token) {
+  const bool numeric =
+      !token.empty() &&
+      (std::isdigit(static_cast<unsigned char>(token[0])) ||
+       (token[0] == '-' && token.size() > 1));
+  if (numeric) return std::stoll(token);
+  return EncodeConstant(Const(token));
+}
+
+}  // namespace
+
+std::optional<Database> ParseDatabase(std::string_view text,
+                                      std::string* error) {
+  Database db;
+  Cursor cursor{text};
+  while (true) {
+    cursor.SkipSpaceAndComments();
+    if (cursor.AtEnd()) break;
+    std::string predicate;
+    if (!cursor.ReadToken(&predicate, error)) return std::nullopt;
+    if (std::isdigit(static_cast<unsigned char>(predicate[0])) ||
+        predicate[0] == '-') {
+      cursor.Fail(error, "predicate names cannot be numbers");
+      return std::nullopt;
+    }
+    if (!cursor.Expect('(', error)) return std::nullopt;
+    std::vector<Value> row;
+    cursor.SkipSpaceAndComments();
+    if (!cursor.AtEnd() && cursor.Peek() != ')') {
+      while (true) {
+        std::string token;
+        if (!cursor.ReadToken(&token, error)) return std::nullopt;
+        row.push_back(TokenToValue(token));
+        cursor.SkipSpaceAndComments();
+        if (!cursor.AtEnd() && cursor.Peek() == ',') {
+          ++cursor.pos;
+          continue;
+        }
+        break;
+      }
+    }
+    if (!cursor.Expect(')', error)) return std::nullopt;
+    cursor.SkipSpaceAndComments();
+    if (!cursor.AtEnd() && cursor.Peek() == '.') ++cursor.pos;
+
+    const Symbol sym = SymbolTable::Global().Intern(predicate);
+    const Relation* existing = db.Find(sym);
+    if (existing != nullptr && existing->arity() != row.size()) {
+      cursor.Fail(error, "fact arity mismatches earlier facts for '" +
+                             predicate + "'");
+      return std::nullopt;
+    }
+    db.AddRow(sym, row);
+  }
+  return db;
+}
+
+std::optional<Database> LoadDatabaseFile(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDatabase(buffer.str(), error);
+}
+
+std::string DatabaseToText(const Database& db) {
+  std::string out;
+  for (Symbol predicate : db.Predicates()) {
+    const Relation& rel = *db.Find(predicate);
+    const std::string& name = SymbolTable::Global().NameOf(predicate);
+    for (const auto& row : rel.SortedRows()) {
+      out += name;
+      out += "(";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ValueToString(row[i]);
+      }
+      out += ").\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace vbr

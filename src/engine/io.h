@@ -1,0 +1,39 @@
+#ifndef VBR_ENGINE_IO_H_
+#define VBR_ENGINE_IO_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/database.h"
+
+namespace vbr {
+
+// Plain-text database exchange format: one ground fact per line,
+//
+//     car(toyota, anderson).
+//     loc(anderson, sf).     % comments run to end of line
+//     part(store1, toyota, sf)
+//
+// Arguments are symbolic constants (lower-case identifiers) or integer
+// literals; they encode via EncodeConstant, so data loaded here joins
+// correctly with constants written in queries. The trailing period is
+// optional. `%` and `#` start comments.
+
+// Parses `text` into a Database. On failure returns nullopt and, if `error`
+// is non-null, stores a message with line information. Facts for one
+// predicate must agree on arity.
+std::optional<Database> ParseDatabase(std::string_view text,
+                                      std::string* error = nullptr);
+
+// Reads a database from a file via ParseDatabase.
+std::optional<Database> LoadDatabaseFile(const std::string& path,
+                                         std::string* error = nullptr);
+
+// Serializes `db` in the same format (sorted predicates, sorted rows) so
+// dumps are diff-stable.
+std::string DatabaseToText(const Database& db);
+
+}  // namespace vbr
+
+#endif  // VBR_ENGINE_IO_H_

@@ -1,0 +1,26 @@
+#include "engine/materialize.h"
+
+#include "common/check.h"
+#include "engine/evaluator.h"
+
+namespace vbr {
+
+void MaterializeView(const View& view, const Database& base, Database* out) {
+  VBR_CHECK_MSG(view.IsSafe(), "view definitions must be safe");
+  Relation answer = EvaluateQuery(view, base);
+  Relation& target =
+      out->GetOrCreate(view.head().predicate(), view.head().arity());
+  for (size_t i = 0; i < answer.size(); ++i) {
+    target.Insert(answer.row(i));
+  }
+}
+
+Database MaterializeViews(const ViewSet& views, const Database& base) {
+  Database result;
+  for (const View& v : views) {
+    MaterializeView(v, base, &result);
+  }
+  return result;
+}
+
+}  // namespace vbr

@@ -1,0 +1,22 @@
+#ifndef VBR_ENGINE_MATERIALIZE_H_
+#define VBR_ENGINE_MATERIALIZE_H_
+
+#include "cq/query.h"
+#include "engine/database.h"
+
+namespace vbr {
+
+// Closed-world view materialization: evaluates each view definition over the
+// base database and stores its answer under the view's head predicate.
+// This is exactly the paper's setting — view relations are computed from the
+// base relations, never independently populated.
+Database MaterializeViews(const ViewSet& views, const Database& base);
+
+// Materializes a single view into `out` (which may already hold other
+// views). CHECK-fails if a relation for the view's head predicate already
+// exists with different arity.
+void MaterializeView(const View& view, const Database& base, Database* out);
+
+}  // namespace vbr
+
+#endif  // VBR_ENGINE_MATERIALIZE_H_

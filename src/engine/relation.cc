@@ -1,0 +1,131 @@
+#include "engine/relation.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace vbr {
+
+namespace {
+
+uint64_t MixValue(uint64_t h, Value v) {
+  h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+Relation::Relation(size_t arity) : arity_(arity) {}
+
+uint64_t Relation::HashRow(std::span<const Value> row) {
+  uint64_t h = 0x12345678abcdef01ULL;
+  for (Value v : row) h = MixValue(h, v);
+  return h;
+}
+
+bool Relation::Insert(std::span<const Value> row) {
+  VBR_CHECK(row.size() == arity_);
+  const uint64_t h = HashRow(row);
+  auto& bucket = index_[h];
+  for (size_t idx : bucket) {
+    if (std::equal(row.begin(), row.end(), data_.begin() + idx * arity_)) {
+      return false;
+    }
+  }
+  bucket.push_back(num_rows_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++num_rows_;
+  return true;
+}
+
+bool Relation::Contains(std::span<const Value> row) const {
+  VBR_CHECK(row.size() == arity_);
+  auto it = index_.find(HashRow(row));
+  if (it == index_.end()) return false;
+  for (size_t idx : it->second) {
+    if (std::equal(row.begin(), row.end(), data_.begin() + idx * arity_)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::span<const Value> Relation::row(size_t i) const {
+  VBR_DCHECK(i < num_rows_);
+  return std::span<const Value>(data_.data() + i * arity_, arity_);
+}
+
+std::vector<std::vector<Value>> Relation::SortedRows() const {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    auto r = row(i);
+    rows.emplace_back(r.begin(), r.end());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool Relation::EqualsAsSet(const Relation& other) const {
+  if (arity_ != other.arity_ || num_rows_ != other.num_rows_) return false;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (!other.Contains(row(i))) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string s = "{";
+  const auto rows = SortedRows();
+  for (size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    if (i > 0) s += ", ";
+    s += "(";
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      if (j > 0) s += ",";
+      s += ValueToString(rows[i][j]);
+    }
+    s += ")";
+  }
+  if (rows.size() > max_rows) s += ", ...";
+  s += "}";
+  return s;
+}
+
+RelationIndex::RelationIndex(const Relation& rel,
+                             std::vector<size_t> key_columns)
+    : rel_(rel), key_columns_(std::move(key_columns)) {
+  std::vector<Value> key(key_columns_.size());
+  for (size_t i = 0; i < rel_.size(); ++i) {
+    auto row = rel_.row(i);
+    for (size_t k = 0; k < key_columns_.size(); ++k) {
+      VBR_DCHECK(key_columns_[k] < rel_.arity());
+      key[k] = row[key_columns_[k]];
+    }
+    uint64_t h = 0x9ddfea08eb382d69ULL;
+    for (Value v : key) {
+      h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    buckets_[h].push_back(i);
+  }
+}
+
+const std::vector<size_t>& RelationIndex::EmptyBucket() {
+  static const std::vector<size_t>* empty = new std::vector<size_t>;
+  return *empty;
+}
+
+const std::vector<size_t>& RelationIndex::Probe(
+    std::span<const Value> key) const {
+  VBR_DCHECK(key.size() == key_columns_.size());
+  uint64_t h = 0x9ddfea08eb382d69ULL;
+  for (Value v : key) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  auto it = buckets_.find(h);
+  return it == buckets_.end() ? EmptyBucket() : it->second;
+}
+
+}  // namespace vbr

@@ -1,0 +1,84 @@
+#ifndef VBR_ENGINE_RELATION_H_
+#define VBR_ENGINE_RELATION_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/value.h"
+
+namespace vbr {
+
+// A relation with set semantics: a deduplicated bag of fixed-arity rows
+// stored in a flat array (row-major) with a hash index for membership
+// tests. Insertion order is preserved for deterministic iteration.
+class Relation {
+ public:
+  explicit Relation(size_t arity);
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  // Inserts a row; returns false (and does nothing) if it is already
+  // present. `row.size()` must equal arity().
+  bool Insert(std::span<const Value> row);
+  bool Insert(std::initializer_list<Value> row) {
+    return Insert(std::span<const Value>(row.begin(), row.size()));
+  }
+
+  bool Contains(std::span<const Value> row) const;
+  bool Contains(std::initializer_list<Value> row) const {
+    return Contains(std::span<const Value>(row.begin(), row.size()));
+  }
+
+  // The i-th row (pointer to arity() consecutive values). Stable only until
+  // the next Insert.
+  std::span<const Value> row(size_t i) const;
+
+  // Rows sorted lexicographically; used for deterministic printing and
+  // comparisons.
+  std::vector<std::vector<Value>> SortedRows() const;
+
+  // Set equality (arity and rows).
+  bool EqualsAsSet(const Relation& other) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  static uint64_t HashRow(std::span<const Value> row);
+
+  size_t arity_;
+  size_t num_rows_ = 0;
+  std::vector<Value> data_;  // num_rows_ * arity_ values.
+  // Hash -> row indices with that hash (collisions resolved by comparison).
+  std::unordered_map<uint64_t, std::vector<size_t>> index_;
+};
+
+// An index from a key (a subset of column positions) to the rows having
+// each key, built on demand by the evaluator.
+class RelationIndex {
+ public:
+  // `key_columns` must be distinct, valid positions of `rel`. The index
+  // holds a reference to `rel`; do not mutate the relation while the index
+  // is alive.
+  RelationIndex(const Relation& rel, std::vector<size_t> key_columns);
+
+  // Row indices whose key columns equal `key` (same order as key_columns).
+  const std::vector<size_t>& Probe(std::span<const Value> key) const;
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+ private:
+  static const std::vector<size_t>& EmptyBucket();
+
+  const Relation& rel_;
+  std::vector<size_t> key_columns_;
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_ENGINE_RELATION_H_

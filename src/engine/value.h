@@ -1,0 +1,55 @@
+#ifndef VBR_ENGINE_VALUE_H_
+#define VBR_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+// Data values stored in relations. Synthetic workloads use ordinary
+// integers; symbolic constants from queries (e.g. `anderson`) are encoded as
+// values below kSymbolicValueBase, derived from their interned Symbol, so
+// the two ranges never collide (integer data must stay above the base, which
+// leaves the full ±2^40 range for it). Numeric constant literals (e.g. `42`)
+// encode as their integer value so builtin comparisons behave naturally.
+using Value = int64_t;
+
+inline constexpr Value kSymbolicValueBase = -(int64_t{1} << 40);
+
+// Encodes a constant term as a Value. Numeric spellings become their integer
+// value; other names map to a unique value below kSymbolicValueBase.
+inline Value EncodeConstant(Term constant) {
+  VBR_DCHECK(constant.is_constant());
+  const std::string& name = SymbolTable::Global().NameOf(constant.symbol());
+  size_t i = (name[0] == '-') ? 1 : 0;
+  bool numeric = i < name.size();
+  for (size_t j = i; j < name.size(); ++j) {
+    if (name[j] < '0' || name[j] > '9') {
+      numeric = false;
+      break;
+    }
+  }
+  if (numeric) {
+    const Value v = std::stoll(name);
+    VBR_CHECK_MSG(v > kSymbolicValueBase, "numeric constant out of range");
+    return v;
+  }
+  return kSymbolicValueBase - static_cast<Value>(constant.symbol());
+}
+
+// Decodes a Value back to a printable string: symbolic constants print their
+// name, everything else prints as an integer.
+inline std::string ValueToString(Value v) {
+  if (v <= kSymbolicValueBase) {
+    const Symbol sym = static_cast<Symbol>(kSymbolicValueBase - v);
+    return SymbolTable::Global().NameOf(sym);
+  }
+  return std::to_string(v);
+}
+
+}  // namespace vbr
+
+#endif  // VBR_ENGINE_VALUE_H_

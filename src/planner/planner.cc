@@ -1,0 +1,145 @@
+#include "planner/planner.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "cost/filter_advisor.h"
+#include "cost/m2_optimizer.h"
+#include "cost/m3_optimizer.h"
+#include "cost/supplementary.h"
+#include "rewrite/core_cover.h"
+
+namespace vbr {
+
+namespace {
+
+const char* ModelName(CostModel model) {
+  switch (model) {
+    case CostModel::kM1:
+      return "M1";
+    case CostModel::kM2:
+      return "M2";
+    case CostModel::kM3:
+      return "M3";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ViewPlanner::PlanChoice::ToString() const {
+  std::string s = "logical : " + logical.ToString() + "\n";
+  s += "physical: " + physical.ToString() + "\n";
+  s += "cost    : " + std::to_string(cost) + " (" + ModelName(model) + ")";
+  return s;
+}
+
+ViewPlanner::ViewPlanner(ViewSet views, Database view_instances)
+    : ViewPlanner(std::move(views), std::move(view_instances), Options()) {}
+
+ViewPlanner::ViewPlanner(ViewSet views, Database view_instances,
+                         Options options)
+    : views_(std::move(views)),
+      view_instances_(std::move(view_instances)),
+      options_(options) {
+  for (const View& v : views_) {
+    VBR_CHECK_MSG(v.IsSafe(), "unsafe view definition");
+  }
+}
+
+std::optional<ViewPlanner::PlanChoice> ViewPlanner::Plan(
+    const ConjunctiveQuery& query, CostModel model) const {
+  CoreCoverOptions cc_options;
+  cc_options.max_rewritings = options_.max_rewritings;
+
+  // M1 needs only the GMRs; M2/M3 search all minimal rewritings.
+  const CoreCoverResult result =
+      model == CostModel::kM1 ? CoreCover(query, views_, cc_options)
+                              : CoreCoverStar(query, views_, cc_options);
+  if (!result.has_rewriting) return std::nullopt;
+
+  std::vector<Atom> filters;
+  if (options_.use_filters && model != CostModel::kM1) {
+    for (size_t i : result.filter_candidates) {
+      filters.push_back(result.view_tuples[i].tuple.atom);
+    }
+  }
+
+  PlanChoice best;
+  best.model = model;
+  best.cost = std::numeric_limits<size_t>::max();
+  for (const ConjunctiveQuery& candidate : result.rewritings) {
+    ConjunctiveQuery logical = candidate;
+    PhysicalPlan physical;
+    size_t cost = 0;
+    switch (model) {
+      case CostModel::kM1: {
+        cost = CostM1(logical);
+        physical.rewriting = logical;
+        for (size_t i = 0; i < logical.num_subgoals(); ++i) {
+          physical.order.push_back(i);
+        }
+        break;
+      }
+      case CostModel::kM2: {
+        if (!filters.empty()) {
+          logical =
+              AdviseFilters(logical, filters, view_instances_).improved;
+        }
+        const auto m2 = OptimizeOrderM2(logical, view_instances_);
+        physical = m2.plan;
+        cost = m2.cost;
+        break;
+      }
+      case CostModel::kM3: {
+        if (!filters.empty()) {
+          logical =
+              AdviseFilters(logical, filters, view_instances_).improved;
+        }
+        if (logical.num_subgoals() <= options_.max_m3_subgoals) {
+          const auto m3 =
+              OptimizeM3(logical, query, views_, view_instances_);
+          physical = m3.plan;
+          cost = m3.cost;
+        } else {
+          // Too wide for the exhaustive M3 search: M2 order + SR drops.
+          const auto m2 = OptimizeOrderM2(logical, view_instances_);
+          physical = m2.plan;
+          physical.drop_after =
+              SupplementaryDrops(logical, physical.order);
+          cost = ExecutePlan(physical, view_instances_).TotalCost();
+        }
+        break;
+      }
+    }
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.logical = std::move(logical);
+      best.physical = std::move(physical);
+    }
+  }
+
+  // Certify the winner (the certificate covers the logical plan; the M3
+  // physical plan may execute a renamed variant, proven answer-equal by
+  // the optimizer's renaming-safety test).
+  auto certificate =
+      CertifyEquivalentRewriting(best.logical, query, views_);
+  VBR_CHECK_MSG(certificate.has_value(),
+                "planner produced an uncertifiable rewriting");
+  best.certificate = std::move(*certificate);
+  return best;
+}
+
+Relation ViewPlanner::Execute(const PlanChoice& choice) const {
+  return ExecutePlan(choice.physical, view_instances_).answer;
+}
+
+std::optional<Relation> ViewPlanner::Answer(
+    const ConjunctiveQuery& query) const {
+  auto choice = Plan(query, CostModel::kM2);
+  if (!choice.has_value()) return std::nullopt;
+  return Execute(*choice);
+}
+
+}  // namespace vbr

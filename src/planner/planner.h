@@ -1,0 +1,78 @@
+#ifndef VBR_PLANNER_PLANNER_H_
+#define VBR_PLANNER_PLANNER_H_
+
+#include <optional>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "cost/physical_plan.h"
+#include "cq/query.h"
+#include "engine/database.h"
+#include "rewrite/certificate.h"
+
+namespace vbr {
+
+// One-call facade over the whole pipeline: given the view definitions and
+// their materialized instances, Plan() runs CoreCover / CoreCover*, lets
+// the filter advisor add selective empty-core tuples (M2/M3), optimizes the
+// join order (and, under M3, the attribute drops) against the instances,
+// and returns the chosen physical plan together with a checkable
+// equivalence certificate. Execute() runs it.
+//
+//   ViewPlanner planner(views, MaterializeViews(views, base));
+//   auto choice = planner.Plan(query, CostModel::kM2);
+//   Relation answer = planner.Execute(*choice);
+class ViewPlanner {
+ public:
+  struct PlanChoice {
+    // The logical plan (rewriting over view predicates, filters included).
+    ConjunctiveQuery logical;
+    // The physical plan executed against the view instances.
+    PhysicalPlan physical;
+    // Cost of `physical` under the requested model (M1: subgoal count).
+    size_t cost = 0;
+    CostModel model = CostModel::kM1;
+    // Witness that `logical` (hence `physical`) answers the query exactly.
+    EquivalenceCertificate certificate;
+
+    std::string ToString() const;
+  };
+
+  struct Options {
+    // Upper bound on logical plans considered per query.
+    size_t max_rewritings = 64;
+    // Let the advisor append selective filtering subgoals (M2/M3 only).
+    bool use_filters = true;
+    // M3 plans wider than this fall back to M2 ordering with SR drops
+    // (the cost-based M3 search is exponential).
+    size_t max_m3_subgoals = 6;
+  };
+
+  // `view_instances` must hold one relation per view head predicate (as
+  // produced by MaterializeViews); missing relations are treated as empty.
+  ViewPlanner(ViewSet views, Database view_instances);
+  ViewPlanner(ViewSet views, Database view_instances, Options options);
+
+  // Chooses a plan for `query` under `model`, or nullopt if no equivalent
+  // rewriting exists.
+  std::optional<PlanChoice> Plan(const ConjunctiveQuery& query,
+                                 CostModel model) const;
+
+  // Executes a chosen plan against the view instances.
+  Relation Execute(const PlanChoice& choice) const;
+
+  // Convenience: Plan under M2 and Execute, or nullopt.
+  std::optional<Relation> Answer(const ConjunctiveQuery& query) const;
+
+  const ViewSet& views() const { return views_; }
+  const Database& view_instances() const { return view_instances_; }
+
+ private:
+  ViewSet views_;
+  Database view_instances_;
+  Options options_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_PLANNER_PLANNER_H_

@@ -1,0 +1,34 @@
+#include "rewrite/canonical_db.h"
+
+#include "common/check.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+CanonicalDatabase::CanonicalDatabase(const ConjunctiveQuery& query) {
+  VBR_CHECK_MSG(!query.HasBuiltins(),
+                "canonical databases require comparison-free queries");
+  for (Term v : query.Variables()) {
+    const Term frozen = FreshConst("c");
+    freeze_.Bind(v, frozen);
+    thaw_.emplace(frozen, v);
+  }
+  facts_.reserve(query.num_subgoals());
+  for (const Atom& a : query.body()) {
+    facts_.push_back(freeze_.Apply(a));
+  }
+}
+
+Term CanonicalDatabase::Thaw(Term t) const {
+  auto it = thaw_.find(t);
+  return it == thaw_.end() ? t : it->second;
+}
+
+Atom CanonicalDatabase::Thaw(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.arity());
+  for (Term t : atom.args()) args.push_back(Thaw(t));
+  return Atom(atom.predicate(), std::move(args));
+}
+
+}  // namespace vbr

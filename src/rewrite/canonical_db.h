@@ -1,0 +1,38 @@
+#ifndef VBR_REWRITE_CANONICAL_DB_H_
+#define VBR_REWRITE_CANONICAL_DB_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/substitution.h"
+
+namespace vbr {
+
+// The canonical database D_Q of a query (Section 3.3): each body subgoal
+// becomes a fact by replacing every variable with a distinct fresh constant.
+// Thawing restores those constants back to the original variables.
+class CanonicalDatabase {
+ public:
+  explicit CanonicalDatabase(const ConjunctiveQuery& query);
+
+  // The frozen body atoms (ground facts).
+  const std::vector<Atom>& facts() const { return facts_; }
+
+  // The variable -> frozen-constant substitution.
+  const Substitution& freeze() const { return freeze_; }
+
+  // Restores frozen constants to the original query variables; other terms
+  // pass through.
+  Term Thaw(Term t) const;
+  Atom Thaw(const Atom& atom) const;
+
+ private:
+  std::vector<Atom> facts_;
+  Substitution freeze_;
+  std::unordered_map<Term, Term, TermHash> thaw_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_CANONICAL_DB_H_

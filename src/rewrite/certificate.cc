@@ -1,0 +1,173 @@
+#include "rewrite/certificate.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cq/containment.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+namespace {
+
+bool FailWith(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Re-derives subgoal i's expansion slice positionally and checks it equals
+// the stored atoms; records the slice's existential variables.
+bool CheckSlice(const Atom& subgoal, const View& view,
+                const std::vector<const Atom*>& slice,
+                std::unordered_set<Term, TermHash>* existentials,
+                std::string* error) {
+  if (subgoal.arity() != view.head().arity()) {
+    return FailWith(error, "subgoal arity mismatches view head");
+  }
+  if (slice.size() != view.body().size()) {
+    return FailWith(error, "expansion slice size mismatches view body");
+  }
+  Substitution sigma;
+  for (size_t i = 0; i < subgoal.arity(); ++i) {
+    const Term hv = view.head().arg(i);
+    if (hv.is_constant()) {
+      if (hv != subgoal.arg(i)) {
+        return FailWith(error, "view head constant mismatch");
+      }
+      continue;
+    }
+    if (!sigma.Bind(hv, subgoal.arg(i))) {
+      return FailWith(error, "inconsistent head binding");
+    }
+  }
+  for (size_t j = 0; j < slice.size(); ++j) {
+    const Atom& pattern = view.body()[j];
+    const Atom& actual = *slice[j];
+    if (pattern.predicate() != actual.predicate() ||
+        pattern.arity() != actual.arity()) {
+      return FailWith(error, "expansion atom predicate mismatch");
+    }
+    for (size_t p = 0; p < pattern.arity(); ++p) {
+      const Term t = pattern.arg(p);
+      const Term s = actual.arg(p);
+      if (t.is_constant()) {
+        if (t != s) return FailWith(error, "expansion constant mismatch");
+        continue;
+      }
+      if (auto bound = sigma.Lookup(t)) {
+        if (*bound != s) {
+          return FailWith(error, "inconsistent expansion binding");
+        }
+        continue;
+      }
+      // t is an existential of the view: its image must be a variable that
+      // is fresh for this slice.
+      if (!s.is_variable()) {
+        return FailWith(error, "existential image is not a variable");
+      }
+      sigma.Bind(t, s);
+      if (!existentials->insert(s).second) {
+        return FailWith(error, "existential image reused");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EquivalenceCertificate::ToString() const {
+  std::string s = "query     : " + query.ToString() + "\n";
+  s += "rewriting : " + rewriting.ToString() + "\n";
+  s += "expansion : " + expansion.query.ToString() + "\n";
+  s += "Q -> exp  : " + query_to_expansion.ToString() + "\n";
+  s += "exp -> Q  : " + expansion_to_query.ToString() + "\n";
+  return s;
+}
+
+std::optional<EquivalenceCertificate> CertifyEquivalentRewriting(
+    const ConjunctiveQuery& rewriting, const ConjunctiveQuery& query,
+    const ViewSet& views) {
+  for (const Atom& a : rewriting.body()) {
+    if (FindView(views, a.predicate()) == nullptr) return std::nullopt;
+  }
+  EquivalenceCertificate cert;
+  cert.query = query;
+  cert.rewriting = rewriting;
+  cert.expansion = ExpandRewriting(rewriting, views);
+  auto forward = FindContainmentMapping(query, cert.expansion.query);
+  if (!forward.has_value()) return std::nullopt;
+  auto backward = FindContainmentMapping(cert.expansion.query, query);
+  if (!backward.has_value()) return std::nullopt;
+  cert.query_to_expansion = std::move(*forward);
+  cert.expansion_to_query = std::move(*backward);
+  return cert;
+}
+
+bool VerifyCertificate(const EquivalenceCertificate& certificate,
+                       const ViewSet& views, std::string* error) {
+  const ConjunctiveQuery& p = certificate.rewriting;
+  const Expansion& exp = certificate.expansion;
+
+  // 1a. Expansion bookkeeping: origins are a monotone labeling of the
+  // expansion body by rewriting subgoals.
+  if (exp.origin.size() != exp.query.body().size()) {
+    return FailWith(error, "origin list length mismatch");
+  }
+  if (exp.query.head() != p.head()) {
+    return FailWith(error, "expansion head differs from rewriting head");
+  }
+  std::vector<std::vector<const Atom*>> slices(p.num_subgoals());
+  for (size_t i = 0; i < exp.origin.size(); ++i) {
+    if (exp.origin[i] >= p.num_subgoals()) {
+      return FailWith(error, "origin out of range");
+    }
+    slices[exp.origin[i]].push_back(&exp.query.body()[i]);
+  }
+
+  // 1b. Each slice re-derives from its view; existential images are fresh
+  // (used in exactly one slice and nowhere in the rewriting).
+  std::unordered_set<Term, TermHash> rewriting_terms;
+  for (const Atom& a : p.body()) {
+    for (Term t : a.args()) rewriting_terms.insert(t);
+  }
+  for (Term t : p.head().args()) rewriting_terms.insert(t);
+
+  std::unordered_set<Term, TermHash> all_existentials;
+  for (size_t i = 0; i < p.num_subgoals(); ++i) {
+    const View* view = FindView(views, p.subgoal(i).predicate());
+    if (view == nullptr) {
+      return FailWith(error, "rewriting subgoal is not a view");
+    }
+    std::unordered_set<Term, TermHash> slice_existentials;
+    if (!CheckSlice(p.subgoal(i), *view, slices[i], &slice_existentials,
+                    error)) {
+      return false;
+    }
+    for (Term t : slice_existentials) {
+      if (rewriting_terms.count(t) > 0) {
+        return FailWith(error, "existential image captured by rewriting");
+      }
+      if (!all_existentials.insert(t).second) {
+        return FailWith(error, "existential image shared across slices");
+      }
+    }
+  }
+  // (Cross-slice leaks need no separate pass: every argument of a slice is
+  // forced by the positional re-derivation to be either a rewriting
+  // argument — disjoint from existential images by the check above — or an
+  // existential image registered to that slice, unique across slices.)
+
+  // 2 & 3. The two containment mappings.
+  if (!IsContainmentMapping(certificate.query, exp.query,
+                            certificate.query_to_expansion)) {
+    return FailWith(error, "query -> expansion mapping invalid");
+  }
+  if (!IsContainmentMapping(exp.query, certificate.query,
+                            certificate.expansion_to_query)) {
+    return FailWith(error, "expansion -> query mapping invalid");
+  }
+  return true;
+}
+
+}  // namespace vbr

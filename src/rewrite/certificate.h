@@ -1,0 +1,55 @@
+#ifndef VBR_REWRITE_CERTIFICATE_H_
+#define VBR_REWRITE_CERTIFICATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/substitution.h"
+#include "rewrite/expansion.h"
+
+namespace vbr {
+
+// Checkable equivalence certificates.
+//
+// CoreCover's correctness rests on Theorem 4.1, but a downstream system
+// (say, a view-based security layer) may want evidence it can re-check
+// without trusting the search machinery. A certificate packages P, Q, the
+// expansion P^exp with its per-subgoal origins, and the two containment
+// mappings; VerifyCertificate re-validates all of it with direct,
+// search-free checks:
+//
+//   1. the expansion is a faithful expansion of P over the views
+//      (per-subgoal positional re-derivation, no fresh-variable capture),
+//   2. query_to_expansion is a containment mapping Q -> P^exp
+//      (witnessing Q ⊒ ... i.e. P^exp ⊑ ... see containment.h), and
+//   3. expansion_to_query is a containment mapping P^exp -> Q.
+//
+// Together these prove P^exp ≡ Q, i.e., P is an equivalent rewriting.
+struct EquivalenceCertificate {
+  ConjunctiveQuery query;
+  ConjunctiveQuery rewriting;
+  Expansion expansion;
+  // Containment mapping from `query` into `expansion.query`.
+  Substitution query_to_expansion;
+  // Containment mapping from `expansion.query` into `query`.
+  Substitution expansion_to_query;
+
+  std::string ToString() const;
+};
+
+// Builds a certificate for `rewriting`, or nullopt if it is not an
+// equivalent rewriting of `query` using `views`.
+std::optional<EquivalenceCertificate> CertifyEquivalentRewriting(
+    const ConjunctiveQuery& rewriting, const ConjunctiveQuery& query,
+    const ViewSet& views);
+
+// Independently re-checks a certificate. If `error` is non-null, stores the
+// first failed check.
+bool VerifyCertificate(const EquivalenceCertificate& certificate,
+                       const ViewSet& views, std::string* error = nullptr);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_CERTIFICATE_H_

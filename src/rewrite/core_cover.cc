@@ -1,0 +1,156 @@
+#include "rewrite/core_cover.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "cq/containment.h"
+#include "rewrite/rewriting.h"
+#include "rewrite/set_cover.h"
+
+namespace vbr {
+
+namespace {
+
+enum class CoverMode { kMinimum, kMinimal };
+
+CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
+                             const ViewSet& views,
+                             const CoreCoverOptions& options,
+                             CoverMode mode) {
+  VBR_CHECK_MSG(query.IsSafe(), "CoreCover requires a safe query");
+  VBR_CHECK_MSG(!query.HasBuiltins(),
+                "CoreCover requires a comparison-free query");
+  Timer total_timer;
+  CoreCoverResult result;
+  result.stats.num_views = views.size();
+
+  // Step 1: minimize the query.
+  Timer phase_timer;
+  result.minimized_query = Minimize(query);
+  result.stats.minimize_ms = phase_timer.ElapsedMillis();
+  const ConjunctiveQuery& q = result.minimized_query;
+  const size_t n = q.num_subgoals();
+  VBR_CHECK_MSG(n <= 64, "queries are limited to 64 subgoals");
+
+  // Section 5.2: group equivalent views and keep one representative each.
+  phase_timer.Reset();
+  ViewSet working_views;
+  std::vector<size_t> working_to_original;
+  if (options.group_views) {
+    const ViewClasses classes = GroupViewsByEquivalence(views);
+    result.stats.num_view_classes = classes.num_classes();
+    for (size_t rep : classes.representatives) {
+      working_views.push_back(views[rep]);
+      working_to_original.push_back(rep);
+    }
+  } else {
+    result.stats.num_view_classes = views.size();
+    working_views = views;
+    for (size_t i = 0; i < views.size(); ++i) {
+      working_to_original.push_back(i);
+    }
+  }
+
+  // Step 2: view tuples on the canonical database.
+  std::vector<ViewTuple> tuples = ComputeViewTuples(q, working_views);
+  result.stats.view_tuple_ms = phase_timer.ElapsedMillis();
+  result.stats.num_view_tuples = tuples.size();
+
+  // Step 3: tuple-cores.
+  phase_timer.Reset();
+  std::vector<TupleCore> cores;
+  cores.reserve(tuples.size());
+  for (const ViewTuple& t : tuples) {
+    cores.push_back(ComputeTupleCore(q, t, working_views));
+  }
+  result.stats.tuple_core_ms = phase_timer.ElapsedMillis();
+
+  // Group tuples by core; the cover search runs over one representative per
+  // class (or over all tuples when grouping is disabled).
+  const ViewTupleClasses tuple_classes = GroupViewTuplesByCore(tuples, cores);
+  result.stats.num_tuple_classes = tuple_classes.num_classes();
+
+  result.view_tuples.reserve(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    AnnotatedViewTuple annotated;
+    annotated.tuple = tuples[i];
+    annotated.tuple.view_index = working_to_original[tuples[i].view_index];
+    annotated.core = cores[i];
+    annotated.class_id = tuple_classes.class_of[i];
+    annotated.is_class_representative =
+        tuple_classes.representatives[tuple_classes.class_of[i]] == i;
+    if (annotated.core.empty()) result.filter_candidates.push_back(i);
+    result.view_tuples.push_back(std::move(annotated));
+  }
+
+  std::vector<size_t> candidate_tuples;  // indices into `tuples`
+  if (options.group_view_tuples) {
+    candidate_tuples = tuple_classes.representatives;
+  } else {
+    for (size_t i = 0; i < tuples.size(); ++i) candidate_tuples.push_back(i);
+  }
+  for (size_t i : candidate_tuples) {
+    if (!cores[i].empty()) ++result.stats.num_nonempty_cores;
+  }
+
+  // Step 4: cover the query subgoals with tuple-cores.
+  phase_timer.Reset();
+  const uint64_t universe = (n == 64) ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  std::vector<uint64_t> sets;
+  sets.reserve(candidate_tuples.size());
+  for (size_t i : candidate_tuples) sets.push_back(cores[i].covered_mask);
+
+  std::vector<std::vector<size_t>> covers;
+  if (mode == CoverMode::kMinimum) {
+    MinimumCoversResult min_covers =
+        FindAllMinimumCovers(universe, sets, options.max_rewritings);
+    result.has_rewriting = min_covers.feasible;
+    result.stats.minimum_cover_size = min_covers.min_size;
+    result.truncated = min_covers.truncated;
+    covers = std::move(min_covers.covers);
+  } else {
+    bool truncated = false;
+    covers = FindAllMinimalCovers(universe, sets, options.max_rewritings,
+                                  &truncated);
+    result.has_rewriting = !covers.empty();
+    result.truncated = truncated;
+    if (result.has_rewriting) {
+      size_t min_size = SIZE_MAX;
+      for (const auto& c : covers) min_size = std::min(min_size, c.size());
+      result.stats.minimum_cover_size = min_size;
+    }
+  }
+  result.stats.cover_ms = phase_timer.ElapsedMillis();
+
+  for (const std::vector<size_t>& cover : covers) {
+    std::vector<Atom> body;
+    body.reserve(cover.size());
+    for (size_t k : cover) body.push_back(tuples[candidate_tuples[k]].atom);
+    ConjunctiveQuery rewriting(q.head(), std::move(body));
+    if (options.verify_rewritings) {
+      VBR_CHECK_MSG(IsEquivalentRewriting(rewriting, query, views),
+                    "CoreCover produced a non-equivalent rewriting");
+    }
+    result.rewritings.push_back(std::move(rewriting));
+  }
+
+  result.stats.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace
+
+CoreCoverResult CoreCover(const ConjunctiveQuery& query, const ViewSet& views,
+                          const CoreCoverOptions& options) {
+  return RunCoreCover(query, views, options, CoverMode::kMinimum);
+}
+
+CoreCoverResult CoreCoverStar(const ConjunctiveQuery& query,
+                              const ViewSet& views,
+                              const CoreCoverOptions& options) {
+  return RunCoreCover(query, views, options, CoverMode::kMinimal);
+}
+
+}  // namespace vbr

@@ -1,0 +1,97 @@
+#ifndef VBR_REWRITE_CORE_COVER_H_
+#define VBR_REWRITE_CORE_COVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cq/query.h"
+#include "rewrite/equivalence_classes.h"
+#include "rewrite/tuple_core.h"
+#include "rewrite/view_tuple.h"
+
+namespace vbr {
+
+// The CoreCover algorithm (Section 4, Figure 4) and its CoreCover* variant
+// (Section 5):
+//
+//   1. Minimize the query.
+//   2. Compute the view tuples T(Q, V) on the canonical database.
+//   3. Compute each tuple's tuple-core.
+//   4. CoreCover: cover the query subgoals with a minimum number of
+//      tuple-cores; each cover is a globally-minimal rewriting (GMR) — an
+//      optimal rewriting under cost model M1.
+//      CoreCover*: enumerate all minimal covers instead; these are all the
+//      minimal rewritings over view tuples, the search space that is
+//      guaranteed to contain an M2-optimal rewriting (Theorem 5.1).
+//      Empty-core tuples are reported as filter candidates the optimizer may
+//      add (rewriting P3 in the car-loc-part example).
+
+struct CoreCoverOptions {
+  // Section 5.2: collapse views equivalent as queries to one representative
+  // before computing view tuples.
+  bool group_views = true;
+  // Section 5.2: run the covering over tuple-core equivalence classes. The
+  // returned rewritings use the class representatives; swap any member of
+  // the same class to obtain further rewritings.
+  bool group_view_tuples = true;
+  // Cap on the number of rewritings returned.
+  size_t max_rewritings = 1024;
+  // Debug cross-check: verify every returned rewriting's expansion is
+  // equivalent to the query (Theorem 4.1 makes this redundant; tests use
+  // it).
+  bool verify_rewritings = false;
+};
+
+struct CoreCoverStats {
+  size_t num_views = 0;
+  size_t num_view_classes = 0;
+  size_t num_view_tuples = 0;       // after view grouping, before tuple grouping
+  size_t num_tuple_classes = 0;
+  size_t num_nonempty_cores = 0;    // among class representatives
+  size_t minimum_cover_size = 0;    // 0 when no rewriting exists
+  double minimize_ms = 0;
+  double view_tuple_ms = 0;
+  double tuple_core_ms = 0;
+  double cover_ms = 0;
+  double total_ms = 0;
+};
+
+// One tuple of T(Q, V) with its core and class metadata.
+struct AnnotatedViewTuple {
+  ViewTuple tuple;
+  TupleCore core;
+  size_t class_id = 0;
+  bool is_class_representative = false;
+};
+
+struct CoreCoverResult {
+  // True if at least one equivalent rewriting exists.
+  bool has_rewriting = false;
+  // The minimized query the machinery ran on (subgoal indices in cores
+  // refer to this query's body).
+  ConjunctiveQuery minimized_query;
+  // The rewritings: all GMRs for CoreCover, all minimal rewritings over
+  // view tuples for CoreCoverStar (capped by max_rewritings).
+  std::vector<ConjunctiveQuery> rewritings;
+  // Every view tuple with its core. Tuples of non-representative views are
+  // not computed when group_views is set.
+  std::vector<AnnotatedViewTuple> view_tuples;
+  // Indices (into view_tuples) of empty-core tuples: candidate filtering
+  // subgoals for the M2 optimizer.
+  std::vector<size_t> filter_candidates;
+  CoreCoverStats stats;
+  bool truncated = false;
+};
+
+// Globally-minimal rewritings (optimal under M1).
+CoreCoverResult CoreCover(const ConjunctiveQuery& query, const ViewSet& views,
+                          const CoreCoverOptions& options = {});
+
+// All minimal rewritings over view tuples (the M2 search space).
+CoreCoverResult CoreCoverStar(const ConjunctiveQuery& query,
+                              const ViewSet& views,
+                              const CoreCoverOptions& options = {});
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_CORE_COVER_H_

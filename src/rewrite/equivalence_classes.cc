@@ -1,0 +1,105 @@
+#include "rewrite/equivalence_classes.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "cq/containment.h"
+
+namespace vbr {
+
+namespace {
+
+// A sound signature: equivalent queries have equal signatures. The body
+// predicate multiset is taken from the minimized query (cores of equivalent
+// queries are isomorphic).
+struct ViewSignature {
+  size_t head_arity;
+  std::vector<std::pair<Symbol, size_t>> body_predicates;  // sorted
+
+  bool operator<(const ViewSignature& other) const {
+    if (head_arity != other.head_arity) return head_arity < other.head_arity;
+    return body_predicates < other.body_predicates;
+  }
+};
+
+ViewSignature SignatureOf(const ConjunctiveQuery& minimized) {
+  ViewSignature sig;
+  sig.head_arity = minimized.head().arity();
+  for (const Atom& a : minimized.body()) {
+    sig.body_predicates.emplace_back(a.predicate(), a.arity());
+  }
+  std::sort(sig.body_predicates.begin(), sig.body_predicates.end());
+  return sig;
+}
+
+}  // namespace
+
+ViewClasses GroupViewsByEquivalence(const ViewSet& views) {
+  ViewClasses result;
+  result.class_of.assign(views.size(), 0);
+
+  std::vector<ConjunctiveQuery> minimized;
+  minimized.reserve(views.size());
+  for (const View& v : views) minimized.push_back(Minimize(v));
+
+  // Bucket by signature; compare pairwise within buckets.
+  std::map<ViewSignature, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < views.size(); ++i) {
+    buckets[SignatureOf(minimized[i])].push_back(i);
+  }
+
+  std::vector<size_t> class_rep;  // class id -> representative view index.
+  for (auto& [sig, members] : buckets) {
+    std::vector<size_t> local_classes;  // class ids present in this bucket.
+    for (size_t i : members) {
+      bool placed = false;
+      for (size_t c : local_classes) {
+        if (AreEquivalent(minimized[i], minimized[class_rep[c]])) {
+          result.class_of[i] = c;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        const size_t c = class_rep.size();
+        class_rep.push_back(i);
+        local_classes.push_back(c);
+        result.class_of[i] = c;
+      }
+    }
+  }
+  // Re-number classes by first occurrence for deterministic output.
+  std::vector<size_t> renumber(class_rep.size(), SIZE_MAX);
+  size_t next = 0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    size_t& r = renumber[result.class_of[i]];
+    if (r == SIZE_MAX) r = next++;
+  }
+  result.representatives.assign(next, SIZE_MAX);
+  for (size_t i = 0; i < views.size(); ++i) {
+    result.class_of[i] = renumber[result.class_of[i]];
+    if (result.representatives[result.class_of[i]] == SIZE_MAX) {
+      result.representatives[result.class_of[i]] = i;
+    }
+  }
+  return result;
+}
+
+ViewTupleClasses GroupViewTuplesByCore(const std::vector<ViewTuple>& tuples,
+                                       const std::vector<TupleCore>& cores) {
+  VBR_CHECK(tuples.size() == cores.size());
+  ViewTupleClasses result;
+  result.class_of.assign(tuples.size(), 0);
+  std::unordered_map<uint64_t, size_t> class_of_mask;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto [it, inserted] =
+        class_of_mask.emplace(cores[i].covered_mask, result.num_classes());
+    if (inserted) result.representatives.push_back(i);
+    result.class_of[i] = it->second;
+  }
+  return result;
+}
+
+}  // namespace vbr

@@ -1,0 +1,53 @@
+#ifndef VBR_REWRITE_EQUIVALENCE_CLASSES_H_
+#define VBR_REWRITE_EQUIVALENCE_CLASSES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cq/query.h"
+#include "rewrite/tuple_core.h"
+#include "rewrite/view_tuple.h"
+
+namespace vbr {
+
+// Section 5.2's concise representation: views that are equivalent as queries
+// always hold identical relations under the closed-world assumption, so one
+// representative per class suffices; likewise view tuples with identical
+// tuple-cores are interchangeable in rewritings (Theorem 4.1), so covering
+// runs over core classes. This is what makes CoreCover's running time
+// independent of the raw number of views (Section 7).
+
+struct ViewClasses {
+  // class_of[i] is the equivalence-class id of views[i]; ids are dense,
+  // ordered by first occurrence.
+  std::vector<size_t> class_of;
+  // representatives[c] is the index of the first view in class c.
+  std::vector<size_t> representatives;
+
+  size_t num_classes() const { return representatives.size(); }
+};
+
+// Groups `views` by equivalence as queries. Pairwise equivalence tests run
+// only within buckets of a sound signature (head arity plus the predicate
+// multiset of the minimized body), so the common all-different case costs
+// one minimization per view.
+ViewClasses GroupViewsByEquivalence(const ViewSet& views);
+
+struct ViewTupleClasses {
+  // class_of[i] is the class id of tuple i (dense, by first occurrence).
+  std::vector<size_t> class_of;
+  // representatives[c] indexes the first tuple of class c.
+  std::vector<size_t> representatives;
+
+  size_t num_classes() const { return representatives.size(); }
+};
+
+// Groups view tuples by identical tuple-core (covered subgoal set).
+// `cores[i]` must be the core of `tuples[i]`. All empty-core tuples form one
+// class.
+ViewTupleClasses GroupViewTuplesByCore(const std::vector<ViewTuple>& tuples,
+                                       const std::vector<TupleCore>& cores);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_EQUIVALENCE_CLASSES_H_

@@ -1,0 +1,64 @@
+#include "rewrite/expansion.h"
+
+#include "common/check.h"
+#include "cq/substitution.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+const View* FindView(const ViewSet& views, Symbol predicate) {
+  for (const View& v : views) {
+    if (v.head().predicate() == predicate) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<Atom> ExpandViewAtom(const Atom& view_atom, const View& view,
+                                 std::vector<Term>* out_existentials) {
+  VBR_CHECK_MSG(view_atom.arity() == view.head().arity(),
+                "view atom arity mismatches view definition");
+  Substitution subst;
+  // Head variables map to the atom's arguments. A repeated head variable
+  // must receive equal arguments; the paper's views have distinct head
+  // variables, but we support the general case by equating through the
+  // first occurrence (later occurrences must then match under Bind).
+  for (size_t i = 0; i < view_atom.arity(); ++i) {
+    const Term head_term = view.head().arg(i);
+    const Term arg = view_atom.arg(i);
+    if (head_term.is_variable()) {
+      VBR_CHECK_MSG(subst.Bind(head_term, arg),
+                    "repeated view head variable bound to unequal arguments");
+    } else {
+      VBR_CHECK_MSG(head_term == arg,
+                    "view head constant mismatches atom argument");
+    }
+  }
+  // Existential variables become globally fresh.
+  for (Term t : view.Variables()) {
+    if (!subst.IsBound(t)) {
+      const Term fresh = FreshVar("E");
+      subst.Bind(t, fresh);
+      if (out_existentials != nullptr) out_existentials->push_back(fresh);
+    }
+  }
+  return subst.Apply(view.body());
+}
+
+Expansion ExpandRewriting(const ConjunctiveQuery& rewriting,
+                          const ViewSet& views) {
+  Expansion result;
+  std::vector<Atom> body;
+  for (size_t i = 0; i < rewriting.num_subgoals(); ++i) {
+    const Atom& subgoal = rewriting.subgoal(i);
+    const View* view = FindView(views, subgoal.predicate());
+    VBR_CHECK_MSG(view != nullptr, "rewriting uses an undefined view");
+    for (Atom& a : ExpandViewAtom(subgoal, *view)) {
+      body.push_back(std::move(a));
+      result.origin.push_back(i);
+    }
+  }
+  result.query = rewriting.WithBody(std::move(body));
+  return result;
+}
+
+}  // namespace vbr

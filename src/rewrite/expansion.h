@@ -1,0 +1,42 @@
+#ifndef VBR_REWRITE_EXPANSION_H_
+#define VBR_REWRITE_EXPANSION_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace vbr {
+
+// Expansion of a rewriting (Definition 2.2): each view subgoal v(t1,...,tk)
+// is replaced by the view's body with head variables substituted by the
+// subgoal's arguments and existential variables replaced by fresh variables.
+
+struct Expansion {
+  // The expanded query: same head as the rewriting, body over base
+  // relations.
+  ConjunctiveQuery query;
+  // origin[i] is the index of the rewriting subgoal that produced expanded
+  // body atom i.
+  std::vector<size_t> origin;
+};
+
+// Looks up the view definition whose head predicate matches `predicate`.
+// Returns nullptr if none matches.
+const View* FindView(const ViewSet& views, Symbol predicate);
+
+// Expands `rewriting` over `views`. CHECK-fails if a subgoal's predicate has
+// no definition in `views` or its arity mismatches the view head.
+Expansion ExpandRewriting(const ConjunctiveQuery& rewriting,
+                          const ViewSet& views);
+
+// Expansion of a single view atom: the view body with head variables
+// replaced by the atom's arguments and existentials replaced by fresh
+// variables. If `out_existentials` is non-null, receives the fresh variables
+// introduced (the expansion's nondistinguished variables).
+std::vector<Atom> ExpandViewAtom(const Atom& view_atom, const View& view,
+                                 std::vector<Term>* out_existentials = nullptr);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_EXPANSION_H_

@@ -1,0 +1,114 @@
+#include "rewrite/lmr.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "cq/containment.h"
+#include "rewrite/rewriting.h"
+#include "rewrite/view_tuple.h"
+
+namespace vbr {
+
+bool IsLocallyMinimalRewriting(const ConjunctiveQuery& p,
+                               const ConjunctiveQuery& query,
+                               const ViewSet& views) {
+  if (!IsEquivalentRewriting(p, query, views)) return false;
+  for (size_t i = 0; i < p.num_subgoals(); ++i) {
+    const ConjunctiveQuery candidate = p.WithoutSubgoal(i);
+    if (!candidate.IsSafe()) continue;
+    // Dropping a subgoal relaxes the expansion, so equivalence reduces to
+    // the contained direction.
+    if (ExpansionContainedInQuery(candidate, query, views)) return false;
+  }
+  return true;
+}
+
+ConjunctiveQuery MakeLocallyMinimal(const ConjunctiveQuery& p,
+                                    const ConjunctiveQuery& query,
+                                    const ViewSet& views) {
+  VBR_CHECK_MSG(IsEquivalentRewriting(p, query, views),
+                "MakeLocallyMinimal requires an equivalent rewriting");
+  ConjunctiveQuery current = p;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.num_subgoals(); ++i) {
+      const ConjunctiveQuery candidate = current.WithoutSubgoal(i);
+      if (!candidate.IsSafe()) continue;
+      if (ExpansionContainedInQuery(candidate, query, views)) {
+        current = candidate;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<ConjunctiveQuery> EnumerateLmrsOverViewTuples(
+    const ConjunctiveQuery& query, const ViewSet& views, size_t max_subgoals,
+    size_t max_results) {
+  const std::vector<ViewTuple> tuples = ComputeViewTuples(query, views);
+  std::vector<ConjunctiveQuery> results;
+  std::unordered_set<std::string> seen;  // canonical text of sorted bodies
+
+  // Enumerate subsets by increasing size via bitmask iteration (tuple counts
+  // here are small by design).
+  VBR_CHECK_MSG(tuples.size() <= 20,
+                "LMR enumeration is for small exploratory inputs");
+  const size_t limit = size_t{1} << tuples.size();
+  for (size_t mask = 1; mask < limit && results.size() < max_results;
+       ++mask) {
+    const size_t size = static_cast<size_t>(std::popcount(mask));
+    if (size > max_subgoals) continue;
+    std::vector<Atom> body;
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      if (mask & (size_t{1} << i)) body.push_back(tuples[i].atom);
+    }
+    ConjunctiveQuery candidate(query.head(), std::move(body));
+    if (!candidate.IsSafe()) continue;
+    if (!IsLocallyMinimalRewriting(candidate, query, views)) continue;
+    // Deduplicate by order-insensitive body text.
+    std::vector<std::string> parts;
+    for (const Atom& a : candidate.body()) parts.push_back(a.ToString());
+    std::sort(parts.begin(), parts.end());
+    std::string key;
+    for (const std::string& s : parts) key += s + ";";
+    if (seen.insert(key).second) results.push_back(std::move(candidate));
+  }
+  return results;
+}
+
+std::vector<std::pair<size_t, size_t>> ProperContainmentEdges(
+    const std::vector<ConjunctiveQuery>& rewritings) {
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i < rewritings.size(); ++i) {
+    for (size_t j = 0; j < rewritings.size(); ++j) {
+      if (i == j) continue;
+      if (IsProperlyContainedIn(rewritings[i], rewritings[j])) {
+        edges.emplace_back(i, j);
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<size_t> ContainmentMinimalIndices(
+    const std::vector<ConjunctiveQuery>& lmrs) {
+  std::vector<size_t> result;
+  for (size_t i = 0; i < lmrs.size(); ++i) {
+    bool has_smaller = false;
+    for (size_t j = 0; j < lmrs.size() && !has_smaller; ++j) {
+      if (i != j && IsProperlyContainedIn(lmrs[j], lmrs[i])) {
+        has_smaller = true;
+      }
+    }
+    if (!has_smaller) result.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace vbr

@@ -1,0 +1,60 @@
+#ifndef VBR_REWRITE_LMR_H_
+#define VBR_REWRITE_LMR_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace vbr {
+
+// Section 3's structural taxonomy of rewritings (Figure 1):
+//
+//   minimal rewriting      — no redundant subgoal as a query;
+//   locally minimal (LMR)  — no subgoal can be dropped while the expansion
+//                            stays equivalent to the query;
+//   containment minimal    — an LMR properly containing no other LMR;
+//   globally minimal (GMR) — fewest subgoals overall.
+//
+// Lemma 3.1 orders LMRs: containment implies no more subgoals, which is why
+// the CMRs (the bottom of the partial order) contain a GMR.
+
+// True iff `p` is an equivalent rewriting of `query` and removing any single
+// subgoal breaks equivalence. (Single-subgoal checks suffice: removing
+// subgoals only relaxes the expansion, so if P minus a set stays equivalent
+// then so does P minus any single element of it.)
+bool IsLocallyMinimalRewriting(const ConjunctiveQuery& p,
+                               const ConjunctiveQuery& query,
+                               const ViewSet& views);
+
+// Greedily removes subgoals (leftmost first, restarting after each removal)
+// while the expansion stays equivalent to `query`. `p` must be an equivalent
+// rewriting; the result is an LMR.
+ConjunctiveQuery MakeLocallyMinimal(const ConjunctiveQuery& p,
+                                    const ConjunctiveQuery& query,
+                                    const ViewSet& views);
+
+// Enumerates the LMRs among queries built from subsets of the view tuples
+// T(Q, V) of size at most `max_subgoals` (Theorem 3.1 bounds useful
+// rewritings by the number of query subgoals). Intended for structure
+// exploration on small inputs; cost is exponential in the number of view
+// tuples.
+std::vector<ConjunctiveQuery> EnumerateLmrsOverViewTuples(
+    const ConjunctiveQuery& query, const ViewSet& views, size_t max_subgoals,
+    size_t max_results = 256);
+
+// Edges of the proper-containment partial order among `rewritings`:
+// (i, j) present iff rewritings[i] is properly contained in rewritings[j]
+// as queries. Together with Lemma 3.1 this reconstructs Figure 2.
+std::vector<std::pair<size_t, size_t>> ProperContainmentEdges(
+    const std::vector<ConjunctiveQuery>& rewritings);
+
+// Indices of the containment-minimal rewritings among `lmrs`: those with no
+// other entry properly contained in them.
+std::vector<size_t> ContainmentMinimalIndices(
+    const std::vector<ConjunctiveQuery>& lmrs);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_LMR_H_

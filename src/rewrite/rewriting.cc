@@ -1,0 +1,30 @@
+#include "rewrite/rewriting.h"
+
+#include "cq/containment.h"
+#include "rewrite/expansion.h"
+
+namespace vbr {
+
+bool UsesOnlyViews(const ConjunctiveQuery& p, const ViewSet& views) {
+  for (const Atom& a : p.body()) {
+    if (FindView(views, a.predicate()) == nullptr) return false;
+  }
+  return true;
+}
+
+bool IsEquivalentRewriting(const ConjunctiveQuery& p,
+                           const ConjunctiveQuery& query,
+                           const ViewSet& views) {
+  if (!UsesOnlyViews(p, views)) return false;
+  const Expansion exp = ExpandRewriting(p, views);
+  return AreEquivalent(exp.query, query);
+}
+
+bool ExpansionContainedInQuery(const ConjunctiveQuery& p,
+                               const ConjunctiveQuery& query,
+                               const ViewSet& views) {
+  const Expansion exp = ExpandRewriting(p, views);
+  return IsContainedIn(exp.query, query);
+}
+
+}  // namespace vbr

@@ -1,0 +1,29 @@
+#ifndef VBR_REWRITE_REWRITING_H_
+#define VBR_REWRITE_REWRITING_H_
+
+#include "cq/query.h"
+
+namespace vbr {
+
+// Tests around equivalent rewritings (Definition 2.3): P is an equivalent
+// rewriting of Q using views V iff P uses only view predicates and
+// P^exp ≡ Q under the closed-world assumption.
+
+// True iff every subgoal of `p` is over a view predicate defined in `views`.
+bool UsesOnlyViews(const ConjunctiveQuery& p, const ViewSet& views);
+
+// True iff `p` is an equivalent rewriting of `query` using `views`.
+bool IsEquivalentRewriting(const ConjunctiveQuery& p,
+                           const ConjunctiveQuery& query,
+                           const ViewSet& views);
+
+// True iff `p`'s expansion is contained in `query` (P^exp ⊑ Q). Since any
+// candidate built from view tuples already satisfies Q ⊑ P^exp, this is the
+// half that actually needs checking there.
+bool ExpansionContainedInQuery(const ConjunctiveQuery& p,
+                               const ConjunctiveQuery& query,
+                               const ViewSet& views);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_REWRITING_H_

@@ -1,0 +1,161 @@
+#include "rewrite/set_cover.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "common/check.h"
+
+namespace vbr {
+
+namespace {
+
+// DFS on the lowest uncovered element: every minimal cover contains, for the
+// lowest uncovered element, some set covering it, so branching over those
+// sets reaches every minimal (hence every minimum) cover.
+class CoverSearch {
+ public:
+  CoverSearch(uint64_t universe, const std::vector<uint64_t>& sets)
+      : universe_(universe), sets_(sets) {
+    for (size_t i = 0; i < sets_.size(); ++i) {
+      if (sets_[i] != 0) nonempty_.push_back(i);
+    }
+  }
+
+  // Enumerates covers of size exactly `depth_limit`, adding sorted index
+  // vectors to `out` (deduplicated). Returns false if `max_out` was hit.
+  bool EnumerateAtDepth(size_t depth_limit, size_t max_out,
+                        std::set<std::vector<size_t>>* out) {
+    depth_limit_ = depth_limit;
+    max_out_ = max_out;
+    out_ = out;
+    chosen_.clear();
+    return Dfs(universe_, /*require_exact=*/true);
+  }
+
+  // Enumerates all covers reached by the lowest-element branching with no
+  // depth limit; the caller filters for minimality.
+  bool EnumerateAll(size_t depth_limit, size_t max_out,
+                    std::set<std::vector<size_t>>* out) {
+    depth_limit_ = depth_limit;
+    max_out_ = max_out;
+    out_ = out;
+    chosen_.clear();
+    return Dfs(universe_, /*require_exact=*/false);
+  }
+
+ private:
+  bool Dfs(uint64_t uncovered, bool require_exact) {
+    if (uncovered == 0) {
+      if (!require_exact || chosen_.size() == depth_limit_) {
+        std::vector<size_t> cover = chosen_;
+        std::sort(cover.begin(), cover.end());
+        out_->insert(std::move(cover));
+        if (out_->size() >= max_out_) return false;
+      }
+      return true;
+    }
+    if (chosen_.size() >= depth_limit_) return true;
+    if (require_exact) {
+      // Optimistic bound: each remaining pick covers all remaining elements
+      // of some largest set; cheap bound via max popcount.
+      size_t remaining = depth_limit_ - chosen_.size();
+      size_t max_cover = 0;
+      for (size_t i : nonempty_) {
+        max_cover = std::max(
+            max_cover,
+            static_cast<size_t>(std::popcount(sets_[i] & uncovered)));
+      }
+      if (max_cover * remaining <
+          static_cast<size_t>(std::popcount(uncovered))) {
+        return true;
+      }
+    }
+    const uint64_t lowest = uncovered & (~uncovered + 1);
+    for (size_t i : nonempty_) {
+      if ((sets_[i] & lowest) == 0) continue;
+      chosen_.push_back(i);
+      const bool keep_going = Dfs(uncovered & ~sets_[i], require_exact);
+      chosen_.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const uint64_t universe_;
+  const std::vector<uint64_t>& sets_;
+  std::vector<size_t> nonempty_;
+  size_t depth_limit_ = 0;
+  size_t max_out_ = 0;
+  std::set<std::vector<size_t>>* out_ = nullptr;
+  std::vector<size_t> chosen_;
+};
+
+bool IsMinimalCover(uint64_t universe, const std::vector<uint64_t>& sets,
+                    const std::vector<size_t>& cover) {
+  for (size_t skip = 0; skip < cover.size(); ++skip) {
+    uint64_t covered = 0;
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != skip) covered |= sets[cover[j]];
+    }
+    if ((covered & universe) == universe) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
+                                         const std::vector<uint64_t>& sets,
+                                         size_t max_covers) {
+  MinimumCoversResult result;
+  if (universe == 0) {
+    result.feasible = true;
+    result.min_size = 0;
+    result.covers.push_back({});
+    return result;
+  }
+  // Infeasible unless the union covers the universe.
+  uint64_t all = 0;
+  for (uint64_t s : sets) all |= s;
+  if ((all & universe) != universe) return result;
+
+  CoverSearch search(universe, sets);
+  const size_t max_depth =
+      std::min<size_t>(sets.size(),
+                       static_cast<size_t>(std::popcount(universe)));
+  for (size_t k = 1; k <= max_depth; ++k) {
+    std::set<std::vector<size_t>> found;
+    const bool completed = search.EnumerateAtDepth(k, max_covers, &found);
+    if (!found.empty()) {
+      result.feasible = true;
+      result.min_size = k;
+      result.covers.assign(found.begin(), found.end());
+      result.truncated = !completed;
+      return result;
+    }
+  }
+  VBR_CHECK_MSG(false, "set cover feasibility check disagreed with search");
+  return result;
+}
+
+std::vector<std::vector<size_t>> FindAllMinimalCovers(
+    uint64_t universe, const std::vector<uint64_t>& sets, size_t max_covers,
+    bool* truncated) {
+  std::set<std::vector<size_t>> found;
+  if (universe == 0) {
+    if (truncated != nullptr) *truncated = false;
+    return {{}};
+  }
+  CoverSearch search(universe, sets);
+  const bool completed =
+      search.EnumerateAll(sets.size(), max_covers, &found);
+  if (truncated != nullptr) *truncated = !completed;
+  std::vector<std::vector<size_t>> result;
+  for (const auto& cover : found) {
+    if (IsMinimalCover(universe, sets, cover)) result.push_back(cover);
+  }
+  return result;
+}
+
+}  // namespace vbr

@@ -1,0 +1,42 @@
+#ifndef VBR_REWRITE_SET_COVER_H_
+#define VBR_REWRITE_SET_COVER_H_
+
+#include <stddef.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace vbr {
+
+// Exact set covering over a universe of at most 64 elements, used by
+// CoreCover to cover query subgoals with tuple-cores (Section 4.2) and by
+// CoreCover* to enumerate all minimal covers (Section 5.1). Sets are
+// bitmasks; a cover is a sorted list of set indices.
+
+struct MinimumCoversResult {
+  // True if some cover exists.
+  bool feasible = false;
+  // Cardinality of a minimum cover (0 only for an empty universe).
+  size_t min_size = 0;
+  // All distinct covers of cardinality min_size, each sorted ascending,
+  // capped at max_covers.
+  std::vector<std::vector<size_t>> covers;
+  // True if the cap truncated the enumeration.
+  bool truncated = false;
+};
+
+// All minimum-cardinality covers of `universe` by `sets`.
+MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
+                                         const std::vector<uint64_t>& sets,
+                                         size_t max_covers = 1024);
+
+// All minimal (irredundant) covers: covers from which no set can be removed.
+// Every minimum cover is minimal; minimal covers of larger cardinality are
+// the extra logical plans CoreCover* passes to the M2 optimizer.
+std::vector<std::vector<size_t>> FindAllMinimalCovers(
+    uint64_t universe, const std::vector<uint64_t>& sets,
+    size_t max_covers = 4096, bool* truncated = nullptr);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_SET_COVER_H_

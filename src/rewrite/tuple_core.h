@@ -1,0 +1,50 @@
+#ifndef VBR_REWRITE_TUPLE_CORE_H_
+#define VBR_REWRITE_TUPLE_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/substitution.h"
+#include "rewrite/view_tuple.h"
+
+namespace vbr {
+
+// The tuple-core of a view tuple (Definition 4.1): the unique maximal set G
+// of subgoals of the minimized query Q such that some containment mapping
+// phi from G into the tuple's expansion
+//
+//   (1) is one-to-one on arguments and the identity on arguments of G that
+//       appear in the tuple,
+//   (2) maps every distinguished variable of Q in G to a distinguished
+//       variable of the expansion (hence, with (1), to itself), and
+//   (3) whenever a nondistinguished variable of Q maps to an existential
+//       variable of the expansion, G contains every query subgoal using it.
+//
+// Theorem 4.1: a query over view tuples is an equivalent rewriting iff the
+// union of its tuples' cores covers all query subgoals, so cores turn
+// rewriting generation into set covering.
+struct TupleCore {
+  // Bitmask over the subgoal indices of the minimized query (bit i set iff
+  // subgoal i is covered). The query must therefore have at most 64
+  // subgoals, far beyond the paper's sizes.
+  uint64_t covered_mask = 0;
+  // The same set as sorted indices.
+  std::vector<size_t> covered;
+  // The witnessing mapping from variables of the covered subgoals into the
+  // tuple expansion.
+  Substitution mapping;
+
+  bool empty() const { return covered_mask == 0; }
+  size_t size() const { return covered.size(); }
+};
+
+// Computes the tuple-core of `tuple` for `query`. `query` must be minimal
+// (CoreCover minimizes first); `views` must contain the tuple's defining
+// view at `tuple.view_index`.
+TupleCore ComputeTupleCore(const ConjunctiveQuery& query,
+                           const ViewTuple& tuple, const ViewSet& views);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_TUPLE_CORE_H_

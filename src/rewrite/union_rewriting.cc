@@ -1,0 +1,87 @@
+#include "rewrite/union_rewriting.h"
+
+#include "common/check.h"
+#include "cq/containment.h"
+#include "engine/evaluator.h"
+#include "rewrite/expansion.h"
+
+namespace vbr {
+
+UnionQuery::UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+    : disjuncts_(std::move(disjuncts)) {
+  VBR_CHECK_MSG(!disjuncts_.empty(), "a union query needs >= 1 disjunct");
+  for (const ConjunctiveQuery& d : disjuncts_) {
+    VBR_CHECK_MSG(d.head().arity() == disjuncts_.front().head().arity(),
+                  "union disjuncts must share head arity");
+  }
+}
+
+size_t UnionQuery::head_arity() const {
+  return disjuncts_.front().head().arity();
+}
+
+size_t UnionQuery::TotalSubgoals() const {
+  size_t total = 0;
+  for (const ConjunctiveQuery& d : disjuncts_) total += d.num_subgoals();
+  return total;
+}
+
+std::string UnionQuery::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) s += "  UNION  ";
+    s += disjuncts_[i].ToString();
+  }
+  return s;
+}
+
+Relation EvaluateUnion(const UnionQuery& u, const Database& db) {
+  Relation result(u.head_arity());
+  for (const ConjunctiveQuery& d : u.disjuncts()) {
+    const Relation part = EvaluateQuery(d, db);
+    for (size_t i = 0; i < part.size(); ++i) result.Insert(part.row(i));
+  }
+  return result;
+}
+
+bool IsContainedIn(const UnionQuery& u1, const UnionQuery& u2) {
+  // Sagiv-Yannakakis: each disjunct of u1 must be contained in some
+  // disjunct of u2 (comparison-free CQs).
+  for (const ConjunctiveQuery& d1 : u1.disjuncts()) {
+    bool contained = false;
+    for (const ConjunctiveQuery& d2 : u2.disjuncts()) {
+      if (IsContainedIn(d1, d2)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) return false;
+  }
+  return true;
+}
+
+bool AreEquivalent(const UnionQuery& u1, const UnionQuery& u2) {
+  return IsContainedIn(u1, u2) && IsContainedIn(u2, u1);
+}
+
+UnionQuery ExpandUnionRewriting(const UnionQuery& p, const ViewSet& views) {
+  std::vector<ConjunctiveQuery> expanded;
+  expanded.reserve(p.num_disjuncts());
+  for (const ConjunctiveQuery& d : p.disjuncts()) {
+    expanded.push_back(ExpandRewriting(d, views).query);
+  }
+  return UnionQuery(std::move(expanded));
+}
+
+bool IsEquivalentUnionRewriting(const UnionQuery& p,
+                                const ConjunctiveQuery& query,
+                                const ViewSet& views) {
+  for (const View& v : views) {
+    VBR_CHECK_MSG(!v.HasBuiltins(),
+                  "symbolic union equivalence needs comparison-free views");
+  }
+  const UnionQuery expanded = ExpandUnionRewriting(p, views);
+  return AreEquivalent(expanded, UnionQuery({query}));
+}
+
+}  // namespace vbr

@@ -1,0 +1,65 @@
+#ifndef VBR_REWRITE_UNION_REWRITING_H_
+#define VBR_REWRITE_UNION_REWRITING_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "engine/database.h"
+
+namespace vbr {
+
+// Section 8 extension: when views carry built-in comparison predicates, a
+// rewriting of a conjunctive query can be a UNION of conjunctive queries.
+// This module provides union queries, their evaluation, containment and
+// equivalence for the comparison-free fragment (Sagiv-Yannakakis: a CQ is
+// contained in a union iff it is contained in some disjunct), and the
+// cost-shape accounting the paper's closing example discusses (P1: two
+// disjuncts of two subgoals vs P2: one disjunct of three).
+//
+// Symbolic equivalence with comparisons is Pi^p_2-hard and out of scope;
+// rewritings over comparison-bearing views are validated operationally (see
+// tests/rewrite/union_rewriting_test.cc), which the closed-world setting
+// makes meaningful.
+
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts);
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  size_t num_disjuncts() const { return disjuncts_.size(); }
+
+  // Head arity shared by all disjuncts.
+  size_t head_arity() const;
+
+  // Total subgoal count across disjuncts (M1-style size measure).
+  size_t TotalSubgoals() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+// Set-union of the disjunct answers.
+Relation EvaluateUnion(const UnionQuery& u, const Database& db);
+
+// Containment / equivalence for comparison-free unions.
+bool IsContainedIn(const UnionQuery& u1, const UnionQuery& u2);
+bool AreEquivalent(const UnionQuery& u1, const UnionQuery& u2);
+
+// Expands every disjunct over the views (disjunct bodies must use only view
+// predicates; view bodies may contain comparisons).
+UnionQuery ExpandUnionRewriting(const UnionQuery& p, const ViewSet& views);
+
+// Equivalence of a union rewriting against a conjunctive query, decided
+// symbolically. Requires every involved view to be comparison-free
+// (VBR_CHECKed); use operational validation otherwise.
+bool IsEquivalentUnionRewriting(const UnionQuery& p,
+                                const ConjunctiveQuery& query,
+                                const ViewSet& views);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_UNION_REWRITING_H_

@@ -1,0 +1,32 @@
+#include "rewrite/view_tuple.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "cq/homomorphism.h"
+
+namespace vbr {
+
+std::vector<ViewTuple> ComputeViewTuples(const ConjunctiveQuery& query,
+                                         const ViewSet& views) {
+  const CanonicalDatabase canonical(query);
+  std::vector<ViewTuple> result;
+  for (size_t vi = 0; vi < views.size(); ++vi) {
+    const View& view = views[vi];
+    VBR_CHECK_MSG(view.IsSafe(), "view definitions must be safe");
+    VBR_CHECK_MSG(!view.HasBuiltins(),
+                  "view tuples require comparison-free views");
+    std::unordered_set<Atom, AtomHash> seen;
+    ForEachHomomorphism(
+        view.body(), canonical.facts(), {}, [&](const Substitution& h) {
+          const Atom tuple = canonical.Thaw(h.Apply(view.head()));
+          if (seen.insert(tuple).second) {
+            result.push_back(ViewTuple{tuple, vi});
+          }
+          return true;
+        });
+  }
+  return result;
+}
+
+}  // namespace vbr

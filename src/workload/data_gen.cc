@@ -1,0 +1,57 @@
+#include "workload/data_gen.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vbr {
+
+namespace {
+
+Value DrawValue(const DataConfig& config, Rng* rng) {
+  if (config.skew <= 0.0) {
+    return rng->UniformInt(0, config.domain_size - 1);
+  }
+  // Power-law skew: u^(1+skew) concentrates mass near zero.
+  const double u = rng->UniformDouble();
+  const double powed = std::pow(u, 1.0 + config.skew);
+  Value v = static_cast<Value>(powed * static_cast<double>(config.domain_size));
+  if (v >= config.domain_size) v = config.domain_size - 1;
+  return v;
+}
+
+void CollectPredicates(const std::vector<Atom>& atoms,
+                       std::map<Symbol, size_t>* arities) {
+  for (const Atom& a : atoms) {
+    if (a.is_builtin()) continue;
+    auto [it, inserted] = arities->emplace(a.predicate(), a.arity());
+    VBR_CHECK_MSG(it->second == a.arity(),
+                  "predicate used with conflicting arities");
+  }
+}
+
+}  // namespace
+
+Database GenerateBaseData(const ConjunctiveQuery& query, const ViewSet& views,
+                          const DataConfig& config) {
+  std::map<Symbol, size_t> arities;
+  CollectPredicates(query.body(), &arities);
+  for (const View& v : views) CollectPredicates(v.body(), &arities);
+
+  Database db;
+  Rng rng(config.seed);
+  std::vector<Value> row;
+  for (const auto& [predicate, arity] : arities) {
+    Relation& rel = db.GetOrCreate(predicate, arity);
+    row.assign(arity, 0);
+    for (size_t i = 0; i < config.rows_per_relation; ++i) {
+      for (size_t j = 0; j < arity; ++j) row[j] = DrawValue(config, &rng);
+      rel.Insert(row);
+    }
+  }
+  return db;
+}
+
+}  // namespace vbr

@@ -1,0 +1,34 @@
+#ifndef VBR_WORKLOAD_DATA_GEN_H_
+#define VBR_WORKLOAD_DATA_GEN_H_
+
+#include <cstdint>
+
+#include "cq/query.h"
+#include "engine/database.h"
+
+namespace vbr {
+
+// Synthetic base-relation instances for the M2/M3 experiments. The paper's
+// cost models need view-relation and intermediate-relation sizes; we obtain
+// them by materializing views over generated base data.
+
+struct DataConfig {
+  // Rows per base relation (before deduplication).
+  size_t rows_per_relation = 1000;
+  // Attribute values are drawn from [0, domain_size).
+  int64_t domain_size = 100;
+  // 0 = uniform; larger values skew towards small values with a power-law
+  // weight value ~ u^(1+skew), producing heavy joins on popular keys.
+  double skew = 0.0;
+  uint64_t seed = 7;
+};
+
+// Creates an instance for every base predicate mentioned in `query` or any
+// view body (builtin predicates excluded). Arities are taken from the
+// atoms; conflicting arities abort.
+Database GenerateBaseData(const ConjunctiveQuery& query, const ViewSet& views,
+                          const DataConfig& config);
+
+}  // namespace vbr
+
+#endif  // VBR_WORKLOAD_DATA_GEN_H_

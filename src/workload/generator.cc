@@ -1,0 +1,160 @@
+#include "workload/generator.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+namespace {
+
+Term PoolPredicateVar(const std::string& prefix, size_t i) {
+  return Var(prefix + std::to_string(i));
+}
+
+std::string PredicateName(size_t i) { return "p" + std::to_string(i); }
+
+// Removes `count` randomly chosen variables from `head_vars` (never below
+// one variable, so heads stay nonempty and queries meaningful).
+std::vector<Term> DropVars(std::vector<Term> head_vars, size_t count,
+                           Rng* rng) {
+  while (count > 0 && head_vars.size() > 1) {
+    const size_t victim = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(head_vars.size()) - 1));
+    head_vars.erase(head_vars.begin() + victim);
+    --count;
+  }
+  return head_vars;
+}
+
+// Builds a star-shaped body: each subgoal is p_k(C, X_i) sharing the center
+// C. Variable names are namespaced by `ns` so views and query stay apart.
+std::vector<Atom> StarBody(const std::string& ns, size_t num_subgoals,
+                           size_t num_predicates, Rng* rng) {
+  std::vector<Atom> body;
+  const Term center = Var(ns + "C");
+  for (size_t i = 0; i < num_subgoals; ++i) {
+    const size_t p = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(num_predicates) - 1));
+    body.emplace_back(PredicateName(p),
+                      std::vector<Term>{center, PoolPredicateVar(ns + "X", i)});
+  }
+  return body;
+}
+
+// Builds a chain body p_k1(X0,X1), p_k2(X1,X2), ...
+std::vector<Atom> ChainBody(const std::string& ns, size_t num_subgoals,
+                            size_t num_predicates, Rng* rng) {
+  std::vector<Atom> body;
+  for (size_t i = 0; i < num_subgoals; ++i) {
+    const size_t p = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(num_predicates) - 1));
+    body.emplace_back(PredicateName(p),
+                      std::vector<Term>{PoolPredicateVar(ns + "X", i),
+                                        PoolPredicateVar(ns + "X", i + 1)});
+  }
+  return body;
+}
+
+// Random binary subgoals over a pool of num_subgoals + 1 variables.
+std::vector<Atom> RandomBody(const std::string& ns, size_t num_subgoals,
+                             size_t num_predicates, Rng* rng) {
+  std::vector<Atom> body;
+  const int64_t pool = static_cast<int64_t>(num_subgoals) + 1;
+  for (size_t i = 0; i < num_subgoals; ++i) {
+    const size_t p = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(num_predicates) - 1));
+    const size_t a = static_cast<size_t>(rng->UniformInt(0, pool - 1));
+    size_t b = static_cast<size_t>(rng->UniformInt(0, pool - 1));
+    body.emplace_back(PredicateName(p),
+                      std::vector<Term>{PoolPredicateVar(ns + "X", a),
+                                        PoolPredicateVar(ns + "X", b)});
+  }
+  return body;
+}
+
+std::vector<Atom> MakeBody(QueryShape shape, const std::string& ns,
+                           size_t num_subgoals, size_t num_predicates,
+                           Rng* rng) {
+  switch (shape) {
+    case QueryShape::kStar:
+      return StarBody(ns, num_subgoals, num_predicates, rng);
+    case QueryShape::kChain:
+      return ChainBody(ns, num_subgoals, num_predicates, rng);
+    case QueryShape::kRandom:
+      return RandomBody(ns, num_subgoals, num_predicates, rng);
+  }
+  return {};
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadConfig& config) {
+  VBR_CHECK(config.num_query_subgoals >= 1);
+  VBR_CHECK(config.num_predicates >= 1);
+  VBR_CHECK(config.min_view_subgoals >= 1);
+  VBR_CHECK(config.max_view_subgoals >= config.min_view_subgoals);
+  Rng rng(config.seed);
+
+  Workload workload;
+
+  const bool endpoints_only =
+      config.chain_endpoints_only && config.shape == QueryShape::kChain;
+
+  // The query.
+  std::vector<Atom> body = MakeBody(config.shape, "Q", config.num_query_subgoals,
+                                    config.num_predicates, &rng);
+  std::vector<Term> head_vars;
+  if (endpoints_only) {
+    head_vars = {body.front().arg(0), body.back().arg(1)};
+  } else {
+    head_vars = DropVars(CollectVariables(body),
+                         config.num_nondistinguished_query_vars, &rng);
+  }
+  workload.query = ConjunctiveQuery(Atom("q", head_vars), std::move(body));
+
+  size_t view_counter = 0;
+  auto view_name = [&view_counter] {
+    return "w" + std::to_string(view_counter++);
+  };
+
+  // Coverage views: one single-subgoal all-distinguished view per distinct
+  // query predicate, guaranteeing that a rewriting exists.
+  if (config.ensure_rewriting_exists) {
+    std::unordered_set<Symbol> seen;
+    for (const Atom& a : workload.query.body()) {
+      if (!seen.insert(a.predicate()).second) continue;
+      const Term x = Var("VA");
+      const Term y = Var("VB");
+      std::vector<Atom> vbody = {Atom(a.predicate(), {x, y})};
+      workload.views.emplace_back(Atom(view_name(), {x, y}),
+                                  std::move(vbody));
+    }
+  }
+
+  // Random views until the requested count.
+  while (workload.views.size() < config.num_views) {
+    const size_t subgoals = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(config.min_view_subgoals),
+        static_cast<int64_t>(config.max_view_subgoals)));
+    const std::string ns = "V" + std::to_string(view_counter) + "_";
+    std::vector<Atom> vbody =
+        MakeBody(config.shape, ns, subgoals, config.num_predicates, &rng);
+    // Single-subgoal views keep every variable distinguished (paper note).
+    std::vector<Term> vhead;
+    if (endpoints_only && subgoals > 1) {
+      vhead = {vbody.front().arg(0), vbody.back().arg(1)};
+    } else {
+      const size_t to_drop =
+          subgoals == 1 ? 0 : config.num_nondistinguished_view_vars;
+      vhead = DropVars(CollectVariables(vbody), to_drop, &rng);
+    }
+    workload.views.emplace_back(Atom(view_name(), vhead), std::move(vbody));
+  }
+  return workload;
+}
+
+}  // namespace vbr

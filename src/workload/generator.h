@@ -1,0 +1,62 @@
+#ifndef VBR_WORKLOAD_GENERATOR_H_
+#define VBR_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "cq/query.h"
+
+namespace vbr {
+
+// Query/view workload generator mirroring Section 7's experimental setup:
+// star, chain, and random-shaped conjunctive queries over a pool of binary
+// base relations, with views of 1-3 subgoals of the same shape and a
+// configurable number of nondistinguished variables.
+
+enum class QueryShape {
+  kStar,   // All subgoals share a central variable: p(C, X_i).
+  kChain,  // p1(X0,X1), p2(X1,X2), ...
+  kRandom, // Random binary subgoals over a small variable pool.
+};
+
+struct WorkloadConfig {
+  QueryShape shape = QueryShape::kStar;
+  // Number of query subgoals (the paper uses 8).
+  size_t num_query_subgoals = 8;
+  // Size of the base-relation pool (all binary).
+  size_t num_predicates = 10;
+  // Number of views to generate, inclusive of the coverage views injected
+  // when ensure_rewriting_exists is set.
+  size_t num_views = 100;
+  // Each view gets a uniform subgoal count in [min, max] (the paper uses
+  // 1..3).
+  size_t min_view_subgoals = 1;
+  size_t max_view_subgoals = 3;
+  // How many query variables to remove from the query head (0 = all
+  // distinguished, the paper's first configuration; 1 = the second).
+  size_t num_nondistinguished_query_vars = 0;
+  // Likewise for each view with more than one subgoal (single-subgoal views
+  // keep all variables distinguished, following the paper).
+  size_t num_nondistinguished_view_vars = 0;
+  // Chains only: expose just the first and last chain variable in query and
+  // view heads. The paper notes this configuration admits very few
+  // rewritings, which is why its main runs keep all variables distinguished.
+  bool chain_endpoints_only = false;
+  // Inject one single-subgoal all-distinguished view per distinct query
+  // predicate so that a rewriting is guaranteed to exist (the paper ignores
+  // queries without rewritings; this realizes the same population).
+  bool ensure_rewriting_exists = true;
+  uint64_t seed = 1;
+};
+
+struct Workload {
+  ConjunctiveQuery query;
+  ViewSet views;
+};
+
+// Generates a workload. View head predicates are named w0, w1, ...; base
+// predicates p0, p1, ... within the configured pool.
+Workload GenerateWorkload(const WorkloadConfig& config);
+
+}  // namespace vbr
+
+#endif  // VBR_WORKLOAD_GENERATOR_H_

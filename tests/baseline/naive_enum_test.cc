@@ -1,0 +1,70 @@
+#include "baseline/naive_enum.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "rewrite/core_cover.h"
+#include "tests/rewrite/fixtures.h"
+
+namespace vbr {
+namespace {
+
+using testing_fixtures::CarLocPartQuery;
+using testing_fixtures::CarLocPartViews;
+using testing_fixtures::Example41Query;
+using testing_fixtures::Example41Views;
+
+TEST(NaiveEnumTest, CarLocPartFindsTheOneSubgoalGmr) {
+  const auto result = NaiveEnumerateGmrs(CarLocPartQuery(), CarLocPartViews());
+  EXPECT_TRUE(result.has_rewriting);
+  EXPECT_EQ(result.min_size, 1u);
+  ASSERT_EQ(result.rewritings.size(), 1u);
+  EXPECT_EQ(result.rewritings[0].ToString(), "q1(S,C) :- v4(M,a,C,S)");
+}
+
+TEST(NaiveEnumTest, Example41MatchesCoreCover) {
+  const auto naive = NaiveEnumerateGmrs(Example41Query(), Example41Views());
+  const auto cc = CoreCover(Example41Query(), Example41Views());
+  EXPECT_EQ(naive.has_rewriting, cc.has_rewriting);
+  EXPECT_EQ(naive.min_size, cc.stats.minimum_cover_size);
+  EXPECT_EQ(naive.rewritings.size(), cc.rewritings.size());
+}
+
+TEST(NaiveEnumTest, NoRewriting) {
+  const auto q = MustParseQuery("q(X) :- r(X,Y), s(Y)");
+  const auto views = MustParseProgram("v(X) :- r(X,Y)");
+  const auto result = NaiveEnumerateGmrs(q, views);
+  EXPECT_FALSE(result.has_rewriting);
+  EXPECT_TRUE(result.rewritings.empty());
+}
+
+TEST(NaiveEnumTest, CombinationCountGrowsWithViewTuples) {
+  // With v4 removed, the minimum size becomes 2 and more combinations are
+  // tested than CoreCover would need.
+  ViewSet views = CarLocPartViews();
+  views.erase(views.begin() + 3);  // Drop v4.
+  const auto result = NaiveEnumerateGmrs(CarLocPartQuery(), views);
+  EXPECT_TRUE(result.has_rewriting);
+  EXPECT_EQ(result.min_size, 2u);
+  // 4 tuples remain (v1, v2, v3, v5): 4 singletons + C(4,2)=6 pairs.
+  EXPECT_EQ(result.combinations_tested, 10u);
+}
+
+TEST(NaiveEnumTest, FindsAllGmrsAtMinimumSize) {
+  ViewSet views = CarLocPartViews();
+  views.erase(views.begin() + 3);  // Drop v4.
+  const auto result = NaiveEnumerateGmrs(CarLocPartQuery(), views);
+  // {v1,v2} and {v5,v2} both work (v1 ≡ v5).
+  EXPECT_EQ(result.rewritings.size(), 2u);
+}
+
+TEST(NaiveEnumTest, MaxResultsCaps) {
+  ViewSet views = CarLocPartViews();
+  views.erase(views.begin() + 3);
+  const auto result = NaiveEnumerateGmrs(CarLocPartQuery(), views, 1);
+  EXPECT_TRUE(result.has_rewriting);
+  EXPECT_EQ(result.rewritings.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vbr

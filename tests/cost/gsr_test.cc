@@ -1,0 +1,158 @@
+#include "cost/supplementary.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "engine/materialize.h"
+#include "rewrite/rewriting.h"
+
+namespace vbr {
+namespace {
+
+// Example 6.1 (Figure 5).
+ConjunctiveQuery Example61Query() {
+  return MustParseQuery("q(A) :- r(A,A), t(A,B), s(B,B)");
+}
+
+ViewSet Example61Views() {
+  return MustParseProgram(R"(
+    v1(A,B) :- r(A,A), s(B,B)
+    v2(A,B) :- t(A,B), s(B,B)
+  )");
+}
+
+Database Example61Base() {
+  Database db;
+  db.AddRow("r", {1, 1});
+  for (Value v : {2, 4, 6, 8}) db.AddRow("s", {v, v});
+  db.AddRow("t", {1, 2});
+  db.AddRow("t", {3, 4});
+  db.AddRow("t", {5, 6});
+  db.AddRow("t", {7, 8});
+  return db;
+}
+
+TEST(SupplementaryDropsTest, DropsUnusedVariablesOnly) {
+  const auto p = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+  const auto drops = SupplementaryDrops(p, {0, 1});
+  // B is used by the second subgoal, so nothing drops after step 1; B drops
+  // after step 2.
+  ASSERT_EQ(drops.size(), 2u);
+  EXPECT_TRUE(drops[0].empty());
+  EXPECT_EQ(drops[1], (std::vector<Term>{Var("B")}));
+}
+
+TEST(SupplementaryDropsTest, FreshVariableDropsImmediately) {
+  const auto p = MustParseQuery("q(A) :- v1(A,B), v2(A,C)");
+  const auto drops = SupplementaryDrops(p, {0, 1});
+  EXPECT_EQ(drops[0], (std::vector<Term>{Var("B")}));
+  EXPECT_EQ(drops[1], (std::vector<Term>{Var("C")}));
+}
+
+TEST(SupplementaryDropsTest, HeadVariablesNeverDrop) {
+  const auto p = MustParseQuery("q(A,B) :- v1(A,B), v2(A,C)");
+  const auto drops = SupplementaryDrops(p, {0, 1});
+  EXPECT_TRUE(drops[0].empty());
+  for (const auto& step : drops) {
+    for (Term t : step) {
+      EXPECT_NE(t, Var("A"));
+      EXPECT_NE(t, Var("B"));
+    }
+  }
+}
+
+TEST(GeneralizedDropsTest, Example61RenamingUnlocksTheDrop) {
+  // On rewriting P2 = v1(A,B), v2(A,B): renaming B in the prefix preserves
+  // equivalence, so the GSR heuristic drops it after step 1 — exactly the
+  // paper's point that P2's physical plans need not keep B.
+  const auto q = Example61Query();
+  const ViewSet views = Example61Views();
+  const auto p2 = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+  const auto result = GeneralizedDrops(p2, q, views, {0, 1});
+  ASSERT_EQ(result.extra_drops.size(), 2u);
+  EXPECT_EQ(result.extra_drops[0].size(), 1u);  // The renamed B.
+  // The renamed rewriting is still an equivalent rewriting.
+  EXPECT_TRUE(IsEquivalentRewriting(result.renamed_rewriting, q, views));
+}
+
+TEST(GeneralizedDropsTest, RenamingRefusedWhenEqualityIsNeeded) {
+  // Query q(A) :- t(A,B), s(B,B) with views exposing both columns: the join
+  // on B is essential, so B must not drop early.
+  const auto q = MustParseQuery("q(A) :- t(A,B), s(B,B)");
+  const auto views = MustParseProgram(R"(
+    w1(A,B) :- t(A,B)
+    w2(B) :- s(B,B)
+  )");
+  const auto p = MustParseQuery("q(A) :- w1(A,B), w2(B)");
+  const auto result = GeneralizedDrops(p, q, views, {0, 1});
+  EXPECT_TRUE(result.extra_drops[0].empty());
+  EXPECT_EQ(result.renamed_rewriting, p);
+}
+
+TEST(GsrCostTest, Example61GsrBeatsSr) {
+  // The paper's punchline: under M3, the generalized strategy produces a
+  // strictly cheaper physical plan for P2 than the supplementary-relation
+  // strategy.
+  const auto q = Example61Query();
+  const ViewSet views = Example61Views();
+  const Database view_db = MaterializeViews(views, Example61Base());
+  const auto p2 = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+  const auto comparison = CompareM3Strategies(p2, q, views, view_db);
+  EXPECT_LT(comparison.gsr_cost, comparison.sr_cost);
+}
+
+TEST(GsrCostTest, Example61CostsMatchHandComputation) {
+  const auto q = Example61Query();
+  const ViewSet views = Example61Views();
+  const Database view_db = MaterializeViews(views, Example61Base());
+  const auto p2 = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+
+  // SR with order [v1, v2]: size(v1)=4 + SR1=4, size(v2)=4 + SR2=1 -> 13.
+  PhysicalPlan sr;
+  sr.rewriting = p2;
+  sr.order = {0, 1};
+  sr.drop_after = SupplementaryDrops(p2, sr.order);
+  EXPECT_EQ(ExecutePlan(sr, view_db).TotalCost(), 13u);
+
+  // GSR with the same order: size(v1)=4 + GSR1=1, size(v2)=4 + GSR2=1 -> 10.
+  const auto gsr_drops = GeneralizedDrops(p2, q, views, {0, 1});
+  PhysicalPlan gsr;
+  gsr.rewriting = gsr_drops.renamed_rewriting;
+  gsr.order = {0, 1};
+  gsr.drop_after = gsr_drops.drop_after;
+  EXPECT_EQ(ExecutePlan(gsr, view_db).TotalCost(), 10u);
+}
+
+TEST(GsrCostTest, BothStrategiesComputeTheQueryAnswer) {
+  const auto q = Example61Query();
+  const ViewSet views = Example61Views();
+  const Database base = Example61Base();
+  const Database view_db = MaterializeViews(views, base);
+  const auto p2 = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+  const Relation expected = EvaluateQuery(q, base);
+
+  const auto comparison = CompareM3Strategies(p2, q, views, view_db);
+  EXPECT_TRUE(
+      ExecutePlan(comparison.sr_plan, view_db).answer.EqualsAsSet(expected));
+  EXPECT_TRUE(
+      ExecutePlan(comparison.gsr_plan, view_db).answer.EqualsAsSet(expected));
+}
+
+TEST(GeneralizedDropsTest, AccumulatedRenamingsCompose) {
+  // Three-subgoal rewriting where two different variables are droppable in
+  // sequence.
+  const auto q = MustParseQuery("q(A) :- r(A,A), t(A,B), s(B,B), u(A,C)");
+  const auto views = MustParseProgram(R"(
+    v1(A,B) :- r(A,A), s(B,B)
+    v2(A,B) :- t(A,B), s(B,B)
+    v3(A,C) :- u(A,C)
+  )");
+  const auto p = MustParseQuery("q(A) :- v1(A,B), v2(A,B), v3(A,C)");
+  const auto result = GeneralizedDrops(p, q, views, {0, 1, 2});
+  EXPECT_EQ(result.extra_drops[0].size(), 1u);  // B droppable after v1.
+  EXPECT_TRUE(IsEquivalentRewriting(result.renamed_rewriting, q, views));
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,169 @@
+#include "cost/physical_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "engine/materialize.h"
+
+namespace vbr {
+namespace {
+
+// Example 6.1's database (Figure 5): r self-loops at 1, s self-loops at
+// 2/4/6/8, t edges 1->2, 3->4, 5->6, 7->8.
+Database Example61Base() {
+  Database db;
+  db.AddRow("r", {1, 1});
+  for (Value v : {2, 4, 6, 8}) db.AddRow("s", {v, v});
+  db.AddRow("t", {1, 2});
+  db.AddRow("t", {3, 4});
+  db.AddRow("t", {5, 6});
+  db.AddRow("t", {7, 8});
+  return db;
+}
+
+ViewSet Example61Views() {
+  return MustParseProgram(R"(
+    v1(A,B) :- r(A,A), s(B,B)
+    v2(A,B) :- t(A,B), s(B,B)
+  )");
+}
+
+TEST(PhysicalPlanTest, Example61ViewInstancesMatchFigure) {
+  const Database views = MaterializeViews(Example61Views(), Example61Base());
+  // The paper's Example 6.1 instances: v1 = {(1,2),(1,4),(1,6),(1,8)} and
+  // v2 = {(1,2),(3,4),(5,6),(7,8)}.
+  const Relation* v1 = views.Find(SymbolTable::Global().Intern("v1"));
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->size(), 4u);
+  EXPECT_TRUE(v1->Contains({1, 2}));
+  EXPECT_TRUE(v1->Contains({1, 8}));
+  const Relation* v2 = views.Find(SymbolTable::Global().Intern("v2"));
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->size(), 4u);
+  EXPECT_TRUE(v2->Contains({1, 2}));
+  EXPECT_TRUE(v2->Contains({7, 8}));
+}
+
+TEST(PhysicalPlanTest, ExecuteWithoutDropsComputesJoin) {
+  const Database views = MaterializeViews(Example61Views(), Example61Base());
+  PhysicalPlan plan;
+  plan.rewriting = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+  plan.order = {0, 1};
+  const PlanExecution exec = ExecutePlan(plan, views);
+  // Answer: A such that r(A,A), t(A,B), s(B,B): A=1 only.
+  EXPECT_EQ(exec.answer.size(), 1u);
+  EXPECT_TRUE(exec.answer.Contains({1}));
+  ASSERT_EQ(exec.state_sizes.size(), 2u);
+  EXPECT_EQ(exec.state_sizes[0], 4u);  // IR1 = v1 (four rows).
+  EXPECT_EQ(exec.state_sizes[1], 1u);  // IR2 = the single join row.
+}
+
+TEST(PhysicalPlanTest, AnswerMatchesEvaluator) {
+  const Database views = MaterializeViews(Example61Views(), Example61Base());
+  const auto p = MustParseQuery("q(A) :- v1(A,B), v2(A,C)");
+  PhysicalPlan plan;
+  plan.rewriting = p;
+  plan.order = {1, 0};
+  const PlanExecution exec = ExecutePlan(plan, views);
+  EXPECT_TRUE(exec.answer.EqualsAsSet(EvaluateQuery(p, views)));
+}
+
+TEST(PhysicalPlanTest, DropsReduceStateSizes) {
+  const Database views = MaterializeViews(Example61Views(), Example61Base());
+  // P1 with order [v1(A,B), v2(A,C)], dropping B then C — the paper's F1.
+  PhysicalPlan plan;
+  plan.rewriting = MustParseQuery("q(A) :- v1(A,B), v2(A,C)");
+  plan.order = {0, 1};
+  plan.drop_after = {{Var("B")}, {Var("C")}};
+  const PlanExecution exec = ExecutePlan(plan, views);
+  // Dropping B after step 1 leaves only A: v1's sole A-value {1}. Step 2
+  // joins v2 on A (matching (1,2)) and drops C.
+  EXPECT_EQ(exec.state_sizes[0], 1u);
+  EXPECT_EQ(exec.state_sizes[1], 1u);
+  EXPECT_TRUE(exec.answer.Contains({1}));
+}
+
+TEST(PhysicalPlanTest, DroppedJoinVariableChangesSemantics) {
+  // Dropping a variable used later removes the equality: plan becomes the
+  // cross-join filtered only on A.
+  const Database views = MaterializeViews(Example61Views(), Example61Base());
+  PhysicalPlan join_plan;
+  join_plan.rewriting = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+  join_plan.order = {0, 1};
+  const size_t joined = ExecutePlan(join_plan, views).answer.size();
+
+  PhysicalPlan dropped_plan;
+  dropped_plan.rewriting = MustParseQuery("q(A) :- v1(A,B1), v2(A,B)");
+  dropped_plan.order = {0, 1};
+  dropped_plan.drop_after = {{Var("B1")}, {Var("B")}};
+  const size_t loosened = ExecutePlan(dropped_plan, views).answer.size();
+  EXPECT_EQ(joined, 1u);
+  EXPECT_EQ(loosened, 1u);  // Same here because A=1 forces B=2 anyway.
+}
+
+TEST(PhysicalPlanTest, TotalCostSumsRelationAndStateSizes) {
+  const Database views = MaterializeViews(Example61Views(), Example61Base());
+  PhysicalPlan plan;
+  plan.rewriting = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+  plan.order = {0, 1};
+  const PlanExecution exec = ExecutePlan(plan, views);
+  EXPECT_EQ(exec.TotalCost(), exec.relation_sizes[0] +
+                                  exec.relation_sizes[1] +
+                                  exec.state_sizes[0] + exec.state_sizes[1]);
+}
+
+TEST(PhysicalPlanTest, MissingViewRelationYieldsEmptyAnswer) {
+  Database views;  // Nothing materialized.
+  PhysicalPlan plan;
+  plan.rewriting = MustParseQuery("q(A) :- vmissing(A)");
+  plan.order = {0};
+  const PlanExecution exec = ExecutePlan(plan, views);
+  EXPECT_EQ(exec.answer.size(), 0u);
+  EXPECT_EQ(exec.relation_sizes[0], 0u);
+}
+
+TEST(PhysicalPlanTest, RepeatedVariableInsideSubgoal) {
+  Database views;
+  views.AddRow("v", {1, 1});
+  views.AddRow("v", {1, 2});
+  PhysicalPlan plan;
+  plan.rewriting = MustParseQuery("q(A) :- v(A,A)");
+  plan.order = {0};
+  const PlanExecution exec = ExecutePlan(plan, views);
+  EXPECT_EQ(exec.answer.size(), 1u);
+  EXPECT_TRUE(exec.answer.Contains({1}));
+}
+
+TEST(PhysicalPlanTest, ConstantSelectionInSubgoal) {
+  Database views;
+  views.AddRow("v", {1, 10});
+  views.AddRow("v", {2, 20});
+  PhysicalPlan plan;
+  plan.rewriting = MustParseQuery("q(B) :- v(2,B)");
+  plan.order = {0};
+  const PlanExecution exec = ExecutePlan(plan, views);
+  EXPECT_EQ(exec.answer.size(), 1u);
+  EXPECT_TRUE(exec.answer.Contains({20}));
+}
+
+TEST(PhysicalPlanDeathTest, DroppingHeadVariableAborts) {
+  Database views;
+  views.AddRow("v", {1, 2});
+  PhysicalPlan plan;
+  plan.rewriting = MustParseQuery("q(A) :- v(A,B)");
+  plan.order = {0};
+  plan.drop_after = {{Var("A")}};
+  EXPECT_DEATH(ExecutePlan(plan, views), "head");
+}
+
+TEST(PhysicalPlanTest, ToStringShowsOrderAndDrops) {
+  PhysicalPlan plan;
+  plan.rewriting = MustParseQuery("q(A) :- v1(A,B), v2(A,B)");
+  plan.order = {1, 0};
+  plan.drop_after = {{Var("B")}, {}};
+  EXPECT_EQ(plan.ToString(), "[v2(A,B){drop B}, v1(A,B)]");
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,121 @@
+#include "cq/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "cq/term.h"
+
+namespace vbr {
+namespace {
+
+TEST(ContainmentTest, IdenticalQueriesAreEquivalent) {
+  const auto q1 = MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)");
+  const auto q2 = MustParseQuery("q(A,B) :- r(A,C), s(C,B)");
+  EXPECT_TRUE(AreEquivalent(q1, q2));
+}
+
+TEST(ContainmentTest, MoreRestrictiveIsContained) {
+  // q1 additionally requires t(X); q1 ⊑ q2 but not conversely.
+  const auto q1 = MustParseQuery("q(X) :- r(X,Y), t(X)");
+  const auto q2 = MustParseQuery("q(X) :- r(X,Y)");
+  EXPECT_TRUE(IsContainedIn(q1, q2));
+  EXPECT_FALSE(IsContainedIn(q2, q1));
+  EXPECT_TRUE(IsProperlyContainedIn(q1, q2));
+  EXPECT_FALSE(IsProperlyContainedIn(q2, q1));
+}
+
+TEST(ContainmentTest, HeadArityMismatchIsNotContained) {
+  const auto q1 = MustParseQuery("q(X) :- r(X,Y)");
+  const auto q2 = MustParseQuery("q(X,Y) :- r(X,Y)");
+  EXPECT_FALSE(IsContainedIn(q1, q2));
+  EXPECT_FALSE(IsContainedIn(q2, q1));
+}
+
+TEST(ContainmentTest, HeadConstantsParticipate) {
+  const auto q1 = MustParseQuery("q(a) :- r(a)");
+  const auto q2 = MustParseQuery("q(X) :- r(X)");
+  // q1's answer {(a)} ⊆ q2's answer on any database.
+  EXPECT_TRUE(IsContainedIn(q1, q2));
+  EXPECT_FALSE(IsContainedIn(q2, q1));
+}
+
+TEST(ContainmentTest, RepeatedHeadVariableMatters) {
+  const auto q1 = MustParseQuery("q(X,X) :- r(X,X)");
+  const auto q2 = MustParseQuery("q(X,Y) :- r(X,Y)");
+  EXPECT_TRUE(IsContainedIn(q1, q2));
+  EXPECT_FALSE(IsContainedIn(q2, q1));
+}
+
+TEST(ContainmentTest, PaperSection32Example) {
+  // Q: q(X) :- e(X,X);  V body: e(A,A), e(A,B).
+  // P1exp: q(X) :- e(X,X), e(X,B);  P2exp: q(X) :- e(X,X), e(X,X).
+  const auto q = MustParseQuery("q(X) :- e(X,X)");
+  const auto p1exp = MustParseQuery("q(X) :- e(X,X), e(X,B)");
+  EXPECT_TRUE(AreEquivalent(q, p1exp));
+}
+
+TEST(ContainmentTest, ChainLengths) {
+  const auto p2 = MustParseQuery("q(X,Y) :- e(X,Z), e(Z,Y)");
+  const auto p3 = MustParseQuery("q(X,Y) :- e(X,A), e(A,B), e(B,Y)");
+  EXPECT_FALSE(IsContainedIn(p2, p3));
+  EXPECT_FALSE(IsContainedIn(p3, p2));
+}
+
+TEST(MinimizeTest, RemovesRedundantSubgoal) {
+  // e(X,B) is redundant given e(X,X).
+  const auto q = MustParseQuery("q(X) :- e(X,X), e(X,B)");
+  const auto m = Minimize(q);
+  EXPECT_EQ(m.num_subgoals(), 1u);
+  EXPECT_TRUE(AreEquivalent(q, m));
+  EXPECT_TRUE(IsMinimal(m));
+}
+
+TEST(MinimizeTest, MinimalQueryUnchanged) {
+  const auto q =
+      MustParseQuery("q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)");
+  EXPECT_TRUE(IsMinimal(q));
+  EXPECT_EQ(Minimize(q).num_subgoals(), 3u);
+}
+
+TEST(MinimizeTest, CollapsesDuplicateSubgoals) {
+  const auto q = MustParseQuery("q(X) :- r(X,Y), r(X,Y), r(X,Z)");
+  const auto m = Minimize(q);
+  EXPECT_EQ(m.num_subgoals(), 1u);
+  EXPECT_TRUE(AreEquivalent(q, m));
+}
+
+TEST(MinimizeTest, PreservesDistinguishedStructure) {
+  // Nothing removable: head uses X and Y through distinct subgoals.
+  const auto q = MustParseQuery("q(X,Y) :- r(X,Z), r(Y,Z)");
+  const auto m = Minimize(q);
+  EXPECT_EQ(m.num_subgoals(), 2u);
+}
+
+TEST(MinimizeTest, TextbookCoreExample) {
+  // Path of length 2 with an extra generic edge collapses onto the path only
+  // if consistent with head; here e(A,B) folds onto e(X,Z).
+  const auto q = MustParseQuery("q(X) :- e(X,Z), e(A,B)");
+  const auto m = Minimize(q);
+  EXPECT_EQ(m.num_subgoals(), 1u);
+}
+
+TEST(MinimizeTest, ConstantBlocksFolding) {
+  const auto q = MustParseQuery("q(X) :- e(X,Z), e(X,c)");
+  const auto m = Minimize(q);
+  // e(X,Z) folds onto e(X,c); e(X,c) cannot be dropped.
+  EXPECT_EQ(m.num_subgoals(), 1u);
+  EXPECT_EQ(m.subgoal(0).arg(1), Const("c"));
+}
+
+TEST(ContainmentMappingTest, MappingWitnessesContainment) {
+  const auto q1 = MustParseQuery("q(X) :- r(X,Y), t(X)");
+  const auto q2 = MustParseQuery("q(A) :- r(A,B)");
+  // q1 ⊑ q2 via mapping from q2 into q1.
+  auto h = FindContainmentMapping(q2, q1);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->Apply(Var("A")), Var("X"));
+  EXPECT_EQ(h->Apply(Var("B")), Var("Y"));
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,132 @@
+#include "cq/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cq/parser.h"
+#include "cq/term.h"
+
+namespace vbr {
+namespace {
+
+std::vector<Atom> Body(const std::string& rule) {
+  return MustParseQuery("h() :- " + rule).body();
+}
+
+TEST(HomomorphismTest, FindsIdentityEmbedding) {
+  const auto from = Body("r(X,Y)");
+  const auto to = Body("r(X,Y), s(Y,Z)");
+  auto h = FindHomomorphism(from, to);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->Apply(Var("X")), Var("X"));
+}
+
+TEST(HomomorphismTest, FailsOnMissingPredicate) {
+  EXPECT_FALSE(FindHomomorphism(Body("t(X)"), Body("r(X,Y)")).has_value());
+}
+
+TEST(HomomorphismTest, ConstantsMustMatchExactly) {
+  EXPECT_TRUE(
+      FindHomomorphism(Body("r(X,a)"), Body("r(b,a)")).has_value());
+  EXPECT_FALSE(
+      FindHomomorphism(Body("r(X,a)"), Body("r(a,b)")).has_value());
+}
+
+TEST(HomomorphismTest, VariableCanCollapse) {
+  // X and Y can both map to Z.
+  auto h = FindHomomorphism(Body("r(X,Y)"), Body("r(Z,Z)"));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->Apply(Var("X")), Var("Z"));
+  EXPECT_EQ(h->Apply(Var("Y")), Var("Z"));
+}
+
+TEST(HomomorphismTest, RepeatedVariableConstrains) {
+  // r(X,X) cannot map into r(A,B) with A != B.
+  EXPECT_FALSE(FindHomomorphism(Body("r(X,X)"), Body("r(A,B)")).has_value());
+  EXPECT_TRUE(FindHomomorphism(Body("r(X,X)"), Body("r(A,A)")).has_value());
+}
+
+TEST(HomomorphismTest, SeedIsRespected) {
+  Substitution seed;
+  seed.Bind(Var("X"), Var("B"));
+  // With X pinned to B, r(X,Y) can only match r(B,C).
+  auto h = FindHomomorphism(Body("r(X,Y)"), Body("r(A,B), r(B,C)"), seed);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->Apply(Var("Y")), Var("C"));
+
+  Substitution bad_seed;
+  bad_seed.Bind(Var("X"), Var("Z"));
+  EXPECT_FALSE(
+      FindHomomorphism(Body("r(X,Y)"), Body("r(A,B)"), bad_seed).has_value());
+}
+
+TEST(HomomorphismTest, ChainIntoTriangle) {
+  // A length-2 path maps into a triangle.
+  const auto from = Body("e(X,Y), e(Y,Z)");
+  const auto to = Body("e(A,B), e(B,C), e(C,A)");
+  EXPECT_TRUE(FindHomomorphism(from, to).has_value());
+}
+
+TEST(HomomorphismTest, TriangleIntoPathFails) {
+  const auto from = Body("e(X,Y), e(Y,Z), e(Z,X)");
+  const auto to = Body("e(A,B), e(B,C)");
+  EXPECT_FALSE(FindHomomorphism(from, to).has_value());
+}
+
+TEST(HomomorphismTest, EnumeratesAllHomomorphisms) {
+  // r(X) into {r(a), r(b), r(c)}: three homomorphisms.
+  std::set<std::string> images;
+  const bool completed = ForEachHomomorphism(
+      Body("r(X)"), Body("r(a), r(b), r(c)"), {},
+      [&](const Substitution& h) {
+        images.insert(h.Apply(Var("X")).ToString());
+        return true;
+      });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(images, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(HomomorphismTest, CallbackCanStopEarly) {
+  int count = 0;
+  const bool completed = ForEachHomomorphism(
+      Body("r(X)"), Body("r(a), r(b), r(c)"), {},
+      [&](const Substitution&) {
+        ++count;
+        return false;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(HomomorphismTest, EmptyFromHasOneTrivialHomomorphism) {
+  int count = 0;
+  ForEachHomomorphism({}, Body("r(a)"), {}, [&](const Substitution& h) {
+    EXPECT_TRUE(h.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(HomomorphismTest, CrossProductEnumeration) {
+  // Two independent atoms over two facts each: 4 homomorphisms.
+  int count = 0;
+  ForEachHomomorphism(Body("r(X), s(Y)"), Body("r(a), r(b), s(c), s(d)"), {},
+                      [&](const Substitution&) {
+                        ++count;
+                        return true;
+                      });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(HomomorphismTest, LargerJoinOrderStress) {
+  // Chain of length 6 into a 3-cycle: exists (wraps around).
+  const auto from = Body("e(X0,X1), e(X1,X2), e(X2,X3), e(X3,X4), e(X4,X5)");
+  const auto to = Body("e(A,B), e(B,C), e(C,A)");
+  EXPECT_TRUE(FindHomomorphism(from, to).has_value());
+}
+
+}  // namespace
+}  // namespace vbr

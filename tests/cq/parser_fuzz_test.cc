@@ -1,0 +1,102 @@
+// Robustness: the parser must reject malformed input with an error message
+// and never crash, for arbitrary token soup and for random mutations of
+// valid programs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "cq/parser.h"
+
+namespace vbr {
+namespace {
+
+const char* const kFragments[] = {
+    "q",  "(",  ")", ",",  ".",  ":-", "X",  "Y",   "abc", "42",
+    "-7", "<=", "<", "!=", "_v", " ",  "\n", "%c\n", "$",  "e1",
+};
+
+std::string RandomSoup(Rng* rng, size_t length) {
+  std::string s;
+  for (size_t i = 0; i < length; ++i) {
+    s += kFragments[rng->UniformInt(0, std::size(kFragments) - 1)];
+  }
+  return s;
+}
+
+TEST(ParserFuzzTest, TokenSoupNeverCrashes) {
+  Rng rng(0xF00D);
+  size_t parsed = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string text = RandomSoup(&rng, 1 + i % 25);
+    std::string error;
+    auto result = ParseProgram(text, &error);
+    if (result.has_value()) {
+      ++parsed;
+    } else {
+      EXPECT_FALSE(error.empty()) << "no diagnostic for: " << text;
+    }
+  }
+  // Some soups happen to be valid programs; most are not.
+  EXPECT_GT(parsed, 0u);
+}
+
+TEST(ParserFuzzTest, MutatedValidProgramNeverCrashes) {
+  const std::string base =
+      "q1(S,C) :- car(M,a), loc(a,C), part(S,M,C).\n"
+      "v1(M,D,C) :- car(M,D), loc(D,C).\n";
+  Rng rng(0xBEEF);
+  for (int i = 0; i < 3000; ++i) {
+    std::string text = base;
+    // Apply 1-3 random single-character mutations.
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, text.size() - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        default:
+          text.insert(pos, 1,
+                      static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+      }
+    }
+    std::string error;
+    auto result = ParseProgram(text, &error);  // Must not crash.
+    if (!result.has_value()) EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedCommasAndNewlines) {
+  std::string text = "q(X) :- r(X)";
+  for (int i = 0; i < 200; ++i) {
+    text += ",\n  r(X" + std::to_string(i) + ",X)";
+  }
+  auto result = ParseQuery(text);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_subgoals(), 201u);
+}
+
+TEST(ParserFuzzTest, VeryLongIdentifier) {
+  const std::string name(5000, 'x');
+  auto result = ParseQuery("q(X) :- " + name + "(X)");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->subgoal(0).predicate_name().size(), 5000u);
+}
+
+TEST(ParserFuzzTest, EmptyAndWhitespaceOnlyPrograms) {
+  for (const char* text : {"", "   ", "\n\n\n", "% only a comment\n"}) {
+    auto result = ParseProgram(text);
+    ASSERT_TRUE(result.has_value()) << "'" << text << "'";
+    EXPECT_TRUE(result->empty());
+  }
+}
+
+}  // namespace
+}  // namespace vbr

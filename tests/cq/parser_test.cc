@@ -1,0 +1,98 @@
+#include "cq/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/term.h"
+
+namespace vbr {
+namespace {
+
+TEST(ParserTest, ParsesSimpleRule) {
+  std::string error;
+  auto q = ParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)", &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ(q->head().predicate_name(), "q");
+  EXPECT_EQ(q->num_subgoals(), 2u);
+  EXPECT_EQ(q->subgoal(1).arg(0), Var("Z"));
+}
+
+TEST(ParserTest, VariableVsConstantConvention) {
+  auto q = ParseQuery("q(S) :- car(M, anderson), p(_tmp, 42)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->subgoal(0).arg(0).is_variable());      // M
+  EXPECT_TRUE(q->subgoal(0).arg(1).is_constant());      // anderson
+  EXPECT_TRUE(q->subgoal(1).arg(0).is_variable());      // _tmp
+  EXPECT_TRUE(q->subgoal(1).arg(1).is_constant());      // 42
+}
+
+TEST(ParserTest, TrailingPeriodOptional) {
+  EXPECT_TRUE(ParseQuery("q(X) :- r(X).").has_value());
+  EXPECT_TRUE(ParseQuery("q(X) :- r(X)").has_value());
+}
+
+TEST(ParserTest, ParsesInfixComparison) {
+  auto q = ParseQuery("q(X) :- r(X,Y), X <= Y");
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->num_subgoals(), 2u);
+  EXPECT_TRUE(q->subgoal(1).is_builtin());
+  EXPECT_EQ(q->subgoal(1).predicate_name(), "<=");
+}
+
+TEST(ParserTest, ParsesProgramWithCommentsAndBlankLines) {
+  const char* text = R"(
+    % the query
+    q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C).
+
+    # views
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v2(S,M,C) :- part(S,M,C)
+  )";
+  std::string error;
+  auto p = ParseProgram(text, &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  ASSERT_EQ(p->size(), 3u);
+  EXPECT_EQ((*p)[0].head().predicate_name(), "q1");
+  EXPECT_EQ((*p)[2].head().predicate_name(), "v2");
+}
+
+TEST(ParserTest, MultiLineRuleWithCommaContinuation) {
+  const char* text = R"(q(X,Y) :- a(X,Z),
+                                 b(Z,Y).)";
+  auto q = ParseQuery(text);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->num_subgoals(), 2u);
+}
+
+TEST(ParserTest, ReportsErrorWithLine) {
+  std::string error;
+  auto q = ParseQuery("q(X) : r(X)", &error);
+  EXPECT_FALSE(q.has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMissingParen) {
+  std::string error;
+  EXPECT_FALSE(ParseQuery("q(X :- r(X)", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParserTest, RejectsBareAtomWithoutBody) {
+  std::string error;
+  EXPECT_FALSE(ParseQuery("q(X)", &error).has_value());
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  const ConjunctiveQuery q =
+      MustParseQuery("q1(S,C) :- car(M,anderson), loc(anderson,C)");
+  const ConjunctiveQuery q2 = MustParseQuery(q.ToString());
+  EXPECT_EQ(q, q2);
+}
+
+TEST(ParserTest, ZeroArityHead) {
+  auto q = ParseQuery("q() :- r(X)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->head().arity(), 0u);
+}
+
+}  // namespace
+}  // namespace vbr

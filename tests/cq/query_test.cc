@@ -1,0 +1,83 @@
+#include "cq/query.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "cq/term.h"
+
+namespace vbr {
+namespace {
+
+ConjunctiveQuery CarLocPart() {
+  return MustParseQuery(
+      "q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)");
+}
+
+TEST(QueryTest, AccessorsAndToString) {
+  const ConjunctiveQuery q = CarLocPart();
+  EXPECT_EQ(q.num_subgoals(), 3u);
+  EXPECT_EQ(q.head().predicate_name(), "q1");
+  EXPECT_EQ(q.subgoal(0).predicate_name(), "car");
+  EXPECT_EQ(q.ToString(),
+            "q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)");
+}
+
+TEST(QueryTest, VariablesInFirstOccurrenceOrder) {
+  const ConjunctiveQuery q = CarLocPart();
+  const std::vector<Term> vars = q.Variables();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], Var("M"));
+  EXPECT_EQ(vars[1], Var("C"));
+  EXPECT_EQ(vars[2], Var("S"));
+}
+
+TEST(QueryTest, DistinguishedAndExistentialVariables) {
+  const ConjunctiveQuery q = CarLocPart();
+  const std::vector<Term> dist = q.DistinguishedVariables();
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_EQ(dist[0], Var("S"));
+  EXPECT_EQ(dist[1], Var("C"));
+  const std::vector<Term> exist = q.ExistentialVariables();
+  ASSERT_EQ(exist.size(), 1u);
+  EXPECT_EQ(exist[0], Var("M"));
+  EXPECT_TRUE(q.IsDistinguished(Var("S")));
+  EXPECT_FALSE(q.IsDistinguished(Var("M")));
+}
+
+TEST(QueryTest, SafetyCheck) {
+  EXPECT_TRUE(CarLocPart().IsSafe());
+  const ConjunctiveQuery unsafe = MustParseQuery("q(X,Y) :- r(X,X)");
+  EXPECT_FALSE(unsafe.IsSafe());
+}
+
+TEST(QueryTest, SafetyIgnoresBuiltins) {
+  const ConjunctiveQuery q = MustParseQuery("q(X,Y) :- r(X,X), Y <= X");
+  EXPECT_FALSE(q.IsSafe());
+  EXPECT_TRUE(q.HasBuiltins());
+}
+
+TEST(QueryTest, WithoutSubgoal) {
+  const ConjunctiveQuery q = CarLocPart();
+  const ConjunctiveQuery r = q.WithoutSubgoal(1);
+  ASSERT_EQ(r.num_subgoals(), 2u);
+  EXPECT_EQ(r.subgoal(0).predicate_name(), "car");
+  EXPECT_EQ(r.subgoal(1).predicate_name(), "part");
+  EXPECT_EQ(q.num_subgoals(), 3u);  // Original untouched.
+}
+
+TEST(QueryTest, WithSubgoalsSelectsAndReorders) {
+  const ConjunctiveQuery q = CarLocPart();
+  const ConjunctiveQuery r = q.WithSubgoals({2, 0});
+  ASSERT_EQ(r.num_subgoals(), 2u);
+  EXPECT_EQ(r.subgoal(0).predicate_name(), "part");
+  EXPECT_EQ(r.subgoal(1).predicate_name(), "car");
+}
+
+TEST(QueryTest, HeadConstantsAreAllowed) {
+  const ConjunctiveQuery q = MustParseQuery("q(X,c) :- r(X)");
+  EXPECT_TRUE(q.IsSafe());
+  EXPECT_EQ(q.DistinguishedVariables().size(), 1u);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,55 @@
+#include "cq/rename.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "cq/term.h"
+
+namespace vbr {
+namespace {
+
+TEST(RenameTest, ResultSharesNoVariables) {
+  const auto q = MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)");
+  const auto r = RenameVariablesApart(q, "T");
+  const std::vector<Term> q_vars = q.Variables();
+  std::unordered_set<Term, TermHash> original(q_vars.begin(), q_vars.end());
+  for (Term t : r.Variables()) {
+    EXPECT_EQ(original.count(t), 0u) << t.ToString();
+  }
+}
+
+TEST(RenameTest, PreservesEquivalence) {
+  const auto q = MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)");
+  const auto r = RenameVariablesApart(q, "T");
+  EXPECT_TRUE(AreEquivalent(q, r));
+}
+
+TEST(RenameTest, PreservesConstantsAndStructure) {
+  const auto q = MustParseQuery("q(S) :- car(M,anderson), part(S,M,C)");
+  const auto r = RenameVariablesApart(q, "T");
+  EXPECT_EQ(r.num_subgoals(), 2u);
+  EXPECT_EQ(r.subgoal(0).arg(1), Const("anderson"));
+  // Shared variable M stays shared after renaming.
+  EXPECT_EQ(r.subgoal(0).arg(0), r.subgoal(1).arg(1));
+}
+
+TEST(RenameTest, MappingIsReturned) {
+  const auto q = MustParseQuery("q(X) :- r(X,Y)");
+  Substitution mapping;
+  const auto r = RenameVariablesApart(q, "T", &mapping);
+  EXPECT_EQ(mapping.size(), 2u);
+  EXPECT_EQ(mapping.Apply(q), r);
+}
+
+TEST(RenameTest, TwoRenamesAreDisjoint) {
+  const auto q = MustParseQuery("q(X) :- r(X,Y)");
+  const auto r1 = RenameVariablesApart(q, "T");
+  const auto r2 = RenameVariablesApart(q, "T");
+  EXPECT_NE(r1.head().arg(0), r2.head().arg(0));
+}
+
+}  // namespace
+}  // namespace vbr

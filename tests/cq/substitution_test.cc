@@ -1,0 +1,74 @@
+#include "cq/substitution.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "cq/term.h"
+
+namespace vbr {
+namespace {
+
+TEST(SubstitutionTest, BindAndLookup) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind(Var("X"), Const("a")));
+  ASSERT_TRUE(s.Lookup(Var("X")).has_value());
+  EXPECT_EQ(*s.Lookup(Var("X")), Const("a"));
+  EXPECT_FALSE(s.Lookup(Var("Y")).has_value());
+}
+
+TEST(SubstitutionTest, ConflictingBindFails) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind(Var("X"), Const("a")));
+  EXPECT_FALSE(s.Bind(Var("X"), Const("b")));
+  EXPECT_EQ(*s.Lookup(Var("X")), Const("a"));  // Unchanged.
+}
+
+TEST(SubstitutionTest, RebindingSameTargetSucceeds) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind(Var("X"), Var("Y")));
+  EXPECT_TRUE(s.Bind(Var("X"), Var("Y")));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SubstitutionTest, UnbindAllowsRebinding) {
+  Substitution s;
+  s.Bind(Var("X"), Const("a"));
+  s.Unbind(Var("X"));
+  EXPECT_TRUE(s.Bind(Var("X"), Const("b")));
+}
+
+TEST(SubstitutionTest, ApplyTermPassesThroughUnbound) {
+  Substitution s;
+  s.Bind(Var("X"), Var("Z"));
+  EXPECT_EQ(s.Apply(Var("X")), Var("Z"));
+  EXPECT_EQ(s.Apply(Var("Y")), Var("Y"));
+  EXPECT_EQ(s.Apply(Const("c")), Const("c"));
+}
+
+TEST(SubstitutionTest, ApplyAtomAndQuery) {
+  Substitution s;
+  s.Bind(Var("M"), Var("M2"));
+  s.Bind(Var("C"), Const("paris"));
+  const ConjunctiveQuery q = MustParseQuery("q(C) :- car(M,D), loc(D,C)");
+  const ConjunctiveQuery r = s.Apply(q);
+  EXPECT_EQ(r.ToString(), "q(paris) :- car(M2,D), loc(D,paris)");
+}
+
+TEST(SubstitutionTest, InjectivityCheck) {
+  Substitution s;
+  s.Bind(Var("X"), Var("A"));
+  s.Bind(Var("Y"), Var("B"));
+  EXPECT_TRUE(s.IsInjective());
+  s.Bind(Var("Z"), Var("A"));
+  EXPECT_FALSE(s.IsInjective());
+}
+
+TEST(SubstitutionTest, ToStringIsSortedAndDeterministic) {
+  Substitution s;
+  s.Bind(Var("Zv"), Const("a"));
+  s.Bind(Var("Av"), Const("b"));
+  EXPECT_EQ(s.ToString(), "{Av -> b, Zv -> a}");
+}
+
+}  // namespace
+}  // namespace vbr

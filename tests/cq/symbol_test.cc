@@ -1,0 +1,56 @@
+#include "cq/symbol.h"
+
+#include <gtest/gtest.h>
+
+namespace vbr {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  const Symbol a = table.Intern("car");
+  const Symbol b = table.Intern("loc");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, table.Intern("car"));
+  EXPECT_EQ(b, table.Intern("loc"));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, NameOfRoundTrips) {
+  SymbolTable table;
+  const Symbol a = table.Intern("anderson");
+  EXPECT_EQ(table.NameOf(a), "anderson");
+}
+
+TEST(SymbolTableTest, FindDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_EQ(table.Find("missing"), kInvalidSymbol);
+  EXPECT_EQ(table.size(), 0u);
+  const Symbol a = table.Intern("x");
+  EXPECT_EQ(table.Find("x"), a);
+}
+
+TEST(SymbolTableTest, FreshNamesAreDistinct) {
+  SymbolTable table;
+  const Symbol a = table.Fresh("X");
+  const Symbol b = table.Fresh("X");
+  EXPECT_NE(a, b);
+  EXPECT_NE(table.NameOf(a), table.NameOf(b));
+}
+
+TEST(SymbolTableTest, FreshAvoidsExistingNames) {
+  SymbolTable table;
+  table.Intern("V$0");
+  const Symbol a = table.Fresh("V");
+  EXPECT_NE(table.NameOf(a), "V$0");
+}
+
+TEST(SymbolTableTest, GlobalIsStable) {
+  SymbolTable& g1 = SymbolTable::Global();
+  SymbolTable& g2 = SymbolTable::Global();
+  EXPECT_EQ(&g1, &g2);
+  const Symbol a = g1.Intern("global_probe_symbol");
+  EXPECT_EQ(g2.Find("global_probe_symbol"), a);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cq/atom.h"
+#include "cq/term.h"
+
+namespace vbr {
+namespace {
+
+TEST(TermTest, KindsAreDistinguished) {
+  const Term v = Var("X");
+  const Term c = Const("x_lower");
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_FALSE(v.is_constant());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_variable());
+}
+
+TEST(TermTest, DefaultTermIsInvalid) {
+  const Term t;
+  EXPECT_FALSE(t.is_valid());
+  EXPECT_FALSE(t.is_variable());
+  EXPECT_FALSE(t.is_constant());
+}
+
+TEST(TermTest, SameNameDifferentKindAreUnequal) {
+  const Term v = Term::Variable(SymbolTable::Global().Intern("n"));
+  const Term c = Term::Constant(SymbolTable::Global().Intern("n"));
+  EXPECT_NE(v, c);
+  EXPECT_NE(TermHash()(v), TermHash()(c));
+}
+
+TEST(TermTest, EqualityAndInterning) {
+  EXPECT_EQ(Var("X"), Var("X"));
+  EXPECT_NE(Var("X"), Var("Y"));
+  EXPECT_EQ(Const("a"), Const("a"));
+}
+
+TEST(TermTest, FreshVarsAreDistinct) {
+  const Term a = FreshVar("F");
+  const Term b = FreshVar("F");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.is_variable());
+}
+
+TEST(TermTest, ToStringUsesInternedName) {
+  EXPECT_EQ(Var("Make").ToString(), "Make");
+  EXPECT_EQ(Const("anderson").ToString(), "anderson");
+}
+
+TEST(AtomTest, BasicAccessors) {
+  const Atom a("car", {Var("M"), Const("anderson")});
+  EXPECT_EQ(a.predicate_name(), "car");
+  EXPECT_EQ(a.arity(), 2u);
+  EXPECT_EQ(a.arg(0), Var("M"));
+  EXPECT_EQ(a.arg(1), Const("anderson"));
+  EXPECT_EQ(a.ToString(), "car(M,anderson)");
+}
+
+TEST(AtomTest, EqualityIsStructural) {
+  const Atom a("r", {Var("X"), Var("Y")});
+  const Atom b("r", {Var("X"), Var("Y")});
+  const Atom c("r", {Var("Y"), Var("X")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(AtomHash()(a), AtomHash()(b));
+}
+
+TEST(AtomTest, Mentions) {
+  const Atom a("r", {Var("X"), Const("c")});
+  EXPECT_TRUE(a.Mentions(Var("X")));
+  EXPECT_TRUE(a.Mentions(Const("c")));
+  EXPECT_FALSE(a.Mentions(Var("Z")));
+}
+
+TEST(AtomTest, BuiltinDetection) {
+  const Atom cmp("<=", {Var("X"), Var("Y")});
+  const Atom rel("le", {Var("X"), Var("Y")});
+  EXPECT_TRUE(cmp.is_builtin());
+  EXPECT_FALSE(rel.is_builtin());
+}
+
+TEST(AtomTest, CollectVariablesDedupsInOrder) {
+  const std::vector<Atom> atoms = {Atom("r", {Var("X"), Var("Z")}),
+                                   Atom("s", {Var("Z"), Var("Y")}),
+                                   Atom("t", {Var("X"), Const("c")})};
+  const std::vector<Term> vars = CollectVariables(atoms);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], Var("X"));
+  EXPECT_EQ(vars[1], Var("Z"));
+  EXPECT_EQ(vars[2], Var("Y"));
+}
+
+TEST(AtomTest, CollectTermsIncludesConstants) {
+  const std::vector<Atom> atoms = {Atom("r", {Var("X"), Const("c")})};
+  const std::vector<Term> terms = CollectTerms(atoms);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[1], Const("c"));
+}
+
+TEST(AtomTest, ZeroArityAtom) {
+  const Atom a("done", std::vector<Term>{});
+  EXPECT_EQ(a.arity(), 0u);
+  EXPECT_EQ(a.ToString(), "done()");
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,148 @@
+#include "engine/acyclic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "workload/data_gen.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+std::vector<Atom> Body(const std::string& rule) {
+  return MustParseQuery("h() :- " + rule).body();
+}
+
+TEST(JoinTreeTest, ChainIsAcyclic) {
+  auto tree = BuildJoinTree(Body("e(X,Y), f(Y,Z), g(Z,W)"));
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->size(), 3u);
+  EXPECT_EQ((*tree)[0].parent, -1);
+  // Every non-root node's parent precedes it.
+  for (size_t t = 1; t < tree->size(); ++t) {
+    EXPECT_GE((*tree)[t].parent, 0);
+    EXPECT_LT((*tree)[t].parent, static_cast<int>(t));
+  }
+}
+
+TEST(JoinTreeTest, StarIsAcyclic) {
+  EXPECT_TRUE(IsAcyclicQuery(
+      MustParseQuery("q(C) :- p(C,X), r(C,Y), s(C,Z)")));
+}
+
+TEST(JoinTreeTest, TriangleIsCyclic) {
+  EXPECT_FALSE(IsAcyclicQuery(
+      MustParseQuery("q(X) :- e(X,Y), e(Y,Z), e(Z,X)")));
+  EXPECT_FALSE(
+      BuildJoinTree(Body("a(X,Y), b(Y,Z), c(Z,X)")).has_value());
+}
+
+TEST(JoinTreeTest, CycleWithCoveringEdgeIsAcyclic) {
+  // The "triangle" plus a hyperedge covering it is alpha-acyclic.
+  EXPECT_TRUE(IsAcyclicQuery(
+      MustParseQuery("q(X) :- a(X,Y), b(Y,Z), c(Z,X), big(X,Y,Z)")));
+}
+
+TEST(JoinTreeTest, DisconnectedComponentsAreAcyclic) {
+  auto tree = BuildJoinTree(Body("r(X), s(Y)"));
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->size(), 2u);
+}
+
+TEST(JoinTreeTest, SingleAndEmptyAtomLists) {
+  EXPECT_EQ(BuildJoinTree(Body("r(X,Y)"))->size(), 1u);
+  EXPECT_TRUE(BuildJoinTree({})->empty());
+}
+
+TEST(SemiJoinReduceTest, RemovesDanglingTuples) {
+  Database db;
+  // e: 1->2 joins f: 2->3; e: 9->9 dangles; f: 7->7 dangles.
+  db.AddRow("e", {1, 2});
+  db.AddRow("e", {9, 9});
+  db.AddRow("f", {2, 3});
+  db.AddRow("f", {7, 7});
+  const auto atoms = Body("e(X,Y), f(Y,Z)");
+  const auto tree = BuildJoinTree(atoms);
+  ASSERT_TRUE(tree.has_value());
+  const auto reduced = SemiJoinReduce(atoms, db, *tree);
+  ASSERT_EQ(reduced.size(), 2u);
+  EXPECT_EQ(reduced[0].size(), 1u);
+  EXPECT_TRUE(reduced[0].Contains({1, 2}));
+  EXPECT_EQ(reduced[1].size(), 1u);
+  EXPECT_TRUE(reduced[1].Contains({2, 3}));
+}
+
+TEST(SemiJoinReduceTest, ConstantsAndRepeatedVarsFilterNodes) {
+  Database db;
+  db.AddRow("r", {1, 1});
+  db.AddRow("r", {1, 2});
+  db.AddRow("r", {5, 5});
+  const auto atoms = Body("r(X,X)");
+  const auto tree = BuildJoinTree(atoms);
+  const auto reduced = SemiJoinReduce(atoms, db, *tree);
+  EXPECT_EQ(reduced[0].size(), 2u);  // (1,1) and (5,5).
+}
+
+TEST(SemiJoinReduceTest, EmptyPartnerAnnihilatesDisconnectedNode) {
+  Database db;
+  db.AddRow("r", {1});
+  // s is empty.
+  const auto atoms = Body("r(X), s(Y)");
+  const auto tree = BuildJoinTree(atoms);
+  const auto reduced = SemiJoinReduce(atoms, db, *tree);
+  EXPECT_EQ(reduced[0].size() + reduced[1].size(), 0u);
+}
+
+TEST(EvaluateAcyclicTest, MatchesGeneralEvaluatorOnChain) {
+  Database db;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    db.AddRow("e", {rng.UniformInt(0, 20), rng.UniformInt(0, 20)});
+    db.AddRow("f", {rng.UniformInt(0, 20), rng.UniformInt(0, 20)});
+    db.AddRow("g", {rng.UniformInt(0, 20), rng.UniformInt(0, 20)});
+  }
+  const auto q = MustParseQuery("q(X,W) :- e(X,Y), f(Y,Z), g(Z,W)");
+  EXPECT_TRUE(
+      EvaluateAcyclicQuery(q, db).EqualsAsSet(EvaluateQuery(q, db)));
+}
+
+TEST(EvaluateAcyclicTest, MatchesGeneralEvaluatorOnGeneratedWorkloads) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadConfig wc;
+    wc.shape = (seed % 2 == 0) ? QueryShape::kStar : QueryShape::kChain;
+    wc.num_query_subgoals = 5;
+    wc.num_views = 4;
+    wc.seed = seed;
+    const Workload w = GenerateWorkload(wc);
+    DataConfig dc;
+    dc.rows_per_relation = 80;
+    dc.domain_size = 12;
+    dc.seed = seed * 31;
+    const Database db = GenerateBaseData(w.query, w.views, dc);
+    ASSERT_TRUE(IsAcyclicQuery(w.query));
+    EXPECT_TRUE(EvaluateAcyclicQuery(w.query, db)
+                    .EqualsAsSet(EvaluateQuery(w.query, db)))
+        << w.query.ToString();
+  }
+}
+
+TEST(EvaluateAcyclicTest, HeadConstantsAndSelections) {
+  Database db;
+  db.AddRow("e", {1, 2});
+  db.AddRow("e", {3, 4});
+  const auto q = MustParseQuery("q(Y,tag) :- e(1,Y)");
+  const Relation result = EvaluateAcyclicQuery(q, db);
+  EXPECT_TRUE(result.EqualsAsSet(EvaluateQuery(q, db)));
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(EvaluateAcyclicDeathTest, CyclicQueryAborts) {
+  Database db;
+  const auto q = MustParseQuery("q(X) :- e(X,Y), e(Y,Z), e(Z,X)");
+  EXPECT_DEATH(EvaluateAcyclicQuery(q, db), "acyclic");
+}
+
+}  // namespace
+}  // namespace vbr

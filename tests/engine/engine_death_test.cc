@@ -1,0 +1,48 @@
+// Contract violations the engine must reject loudly (failure injection).
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/database.h"
+#include "engine/evaluator.h"
+#include "engine/materialize.h"
+
+namespace vbr {
+namespace {
+
+TEST(EngineDeathTest, UnsafeQueryEvaluationAborts) {
+  Database db;
+  db.AddRow("r", {1, 1});
+  const auto q = MustParseQuery("q(X,Y) :- r(X,X)");
+  EXPECT_DEATH(EvaluateQuery(q, db), "unsafe");
+}
+
+TEST(EngineDeathTest, BuiltinOverUnboundVariableAborts) {
+  Database db;
+  db.AddRow("r", {1});
+  // Y never appears in a relational subgoal.
+  const auto q = MustParseQuery("q(X) :- r(X), X < Y");
+  EXPECT_DEATH(EvaluateQuery(q, db), "builtin");
+}
+
+TEST(EngineDeathTest, UnsafeViewMaterializationAborts) {
+  Database db;
+  const auto v = MustParseQuery("v(X,Y) :- r(X,X)");
+  Database out;
+  EXPECT_DEATH(MaterializeView(v, db, &out), "safe");
+}
+
+TEST(EngineDeathTest, NonGroundFactAborts) {
+  Database db;
+  const auto q = MustParseQuery("h() :- r(X,a)");
+  EXPECT_DEATH(db.AddFact(q.subgoal(0)), "ground");
+}
+
+TEST(EngineDeathTest, RowArityMismatchAborts) {
+  Relation r(2);
+  const Value row[] = {1, 2, 3};
+  EXPECT_DEATH(r.Insert(std::span<const Value>(row, 3)), "arity");
+}
+
+}  // namespace
+}  // namespace vbr

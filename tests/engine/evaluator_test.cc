@@ -1,0 +1,162 @@
+#include "engine/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/value.h"
+
+namespace vbr {
+namespace {
+
+Database PathDb() {
+  // e: 1->2->3->4, plus 2->2 self loop.
+  Database db;
+  db.AddRow("e", {1, 2});
+  db.AddRow("e", {2, 3});
+  db.AddRow("e", {3, 4});
+  db.AddRow("e", {2, 2});
+  return db;
+}
+
+TEST(EvaluatorTest, SingleAtomScan) {
+  const auto q = MustParseQuery("q(X,Y) :- e(X,Y)");
+  const Relation result = EvaluateQuery(q, PathDb());
+  EXPECT_EQ(result.size(), 4u);
+}
+
+TEST(EvaluatorTest, SelectionOnConstant) {
+  const auto q = MustParseQuery("q(Y) :- e(2,Y)");
+  const Relation result = EvaluateQuery(q, PathDb());
+  EXPECT_EQ(result.size(), 2u);  // (3) and (2).
+  EXPECT_TRUE(result.Contains({3}));
+  EXPECT_TRUE(result.Contains({2}));
+}
+
+TEST(EvaluatorTest, JoinPathsOfLengthTwo) {
+  const auto q = MustParseQuery("q(X,Z) :- e(X,Y), e(Y,Z)");
+  const Relation result = EvaluateQuery(q, PathDb());
+  // 1->2->3, 1->2->2, 2->3->4, 2->2->3, 2->2->2, 3->4->? no.
+  EXPECT_EQ(result.size(), 5u);
+  EXPECT_TRUE(result.Contains({1, 3}));
+  EXPECT_TRUE(result.Contains({2, 2}));
+  EXPECT_FALSE(result.Contains({3, 1}));
+}
+
+TEST(EvaluatorTest, RepeatedVariableSelfLoop) {
+  const auto q = MustParseQuery("q(X) :- e(X,X)");
+  const Relation result = EvaluateQuery(q, PathDb());
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.Contains({2}));
+}
+
+TEST(EvaluatorTest, ProjectionDeduplicates) {
+  const auto q = MustParseQuery("q(X) :- e(X,Y)");
+  const Relation result = EvaluateQuery(q, PathDb());
+  EXPECT_EQ(result.size(), 3u);  // 1, 2, 3.
+}
+
+TEST(EvaluatorTest, HeadConstantsAreEmitted) {
+  const auto q = MustParseQuery("q(X,tag) :- e(X,2)");
+  const Relation result = EvaluateQuery(q, PathDb());
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.Contains({1, EncodeConstant(Const("tag"))}));
+}
+
+TEST(EvaluatorTest, EmptyRelationGivesEmptyAnswer) {
+  const auto q = MustParseQuery("q(X) :- e(X,Y), missing(Y)");
+  const Relation result = EvaluateQuery(q, PathDb());
+  EXPECT_EQ(result.size(), 0u);
+}
+
+TEST(EvaluatorTest, CartesianProduct) {
+  Database db;
+  db.AddRow("r", {1});
+  db.AddRow("r", {2});
+  db.AddRow("s", {10});
+  db.AddRow("s", {20});
+  db.AddRow("s", {30});
+  const auto q = MustParseQuery("q(X,Y) :- r(X), s(Y)");
+  EXPECT_EQ(EvaluateQuery(q, db).size(), 6u);
+}
+
+TEST(EvaluatorTest, BuiltinComparisonFilters) {
+  const auto q = MustParseQuery("q(X,Y) :- e(X,Y), X < Y");
+  const Relation result = EvaluateQuery(q, PathDb());
+  EXPECT_EQ(result.size(), 3u);
+  EXPECT_FALSE(result.Contains({2, 2}));
+}
+
+TEST(EvaluatorTest, BuiltinAgainstConstant) {
+  const auto q = MustParseQuery("q(X,Y) :- e(X,Y), Y >= 3");
+  const Relation result = EvaluateQuery(q, PathDb());
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(EvaluatorTest, BuiltinNotEqual) {
+  const auto q = MustParseQuery("q(X,Y) :- e(X,Y), X != Y");
+  EXPECT_EQ(EvaluateQuery(q, PathDb()).size(), 3u);
+}
+
+TEST(EvaluatorTest, TriangleQuery) {
+  Database db;
+  db.AddRow("e", {1, 2});
+  db.AddRow("e", {2, 3});
+  db.AddRow("e", {3, 1});
+  db.AddRow("e", {3, 5});
+  const auto q = MustParseQuery("q(X) :- e(X,Y), e(Y,Z), e(Z,X)");
+  const Relation result = EvaluateQuery(q, db);
+  EXPECT_EQ(result.size(), 3u);  // Each triangle vertex.
+}
+
+TEST(EvaluateJoinTest, AllVariablesRetained) {
+  std::vector<Term> columns;
+  const auto q = MustParseQuery("q(X) :- e(X,Y), e(Y,Z)");
+  const Relation ir = EvaluateJoin(q.body(), PathDb(), &columns);
+  ASSERT_EQ(columns.size(), 3u);
+  EXPECT_EQ(columns[0], Var("X"));
+  EXPECT_EQ(columns[1], Var("Y"));
+  EXPECT_EQ(columns[2], Var("Z"));
+  EXPECT_EQ(ir.size(), 5u);
+  EXPECT_TRUE(ir.Contains({1, 2, 3}));
+}
+
+TEST(EvaluateJoinTest, JoinSizeMatchesEvaluateJoin) {
+  const auto q = MustParseQuery("q(X) :- e(X,Y), e(Y,Z)");
+  EXPECT_EQ(JoinSize(q.body(), PathDb()), 5u);
+}
+
+TEST(EvaluateJoinTest, OrderIndependence) {
+  const auto q1 = MustParseQuery("q(X) :- e(X,Y), e(Y,Z)");
+  const auto q2 = MustParseQuery("q(X) :- e(Y,Z), e(X,Y)");
+  EXPECT_EQ(JoinSize(q1.body(), PathDb()), JoinSize(q2.body(), PathDb()));
+}
+
+TEST(EvaluatorTest, CarLocPartEndToEnd) {
+  // The paper's running example, with concrete data.
+  Database db;
+  const Value a = EncodeConstant(Const("anderson"));
+  const Value toyota = EncodeConstant(Const("toyota"));
+  const Value honda = EncodeConstant(Const("honda"));
+  const Value sf = EncodeConstant(Const("sf"));
+  const Value la = EncodeConstant(Const("la"));
+  const Value s1 = EncodeConstant(Const("store1"));
+  const Value s2 = EncodeConstant(Const("store2"));
+  db.AddRow("car", {toyota, a});
+  db.AddRow("car", {honda, a});
+  db.AddRow("loc", {a, sf});
+  db.AddRow("loc", {a, la});
+  db.AddRow("part", {s1, toyota, sf});
+  db.AddRow("part", {s2, honda, la});
+  db.AddRow("part", {s2, toyota, la});
+
+  const auto q = MustParseQuery(
+      "q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)");
+  const Relation result = EvaluateQuery(q, db);
+  // (s1,sf) via toyota; (s2,la) via both honda and toyota (set semantics).
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.Contains({s1, sf}));
+  EXPECT_TRUE(result.Contains({s2, la}));
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,90 @@
+#include "engine/io.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "engine/value.h"
+
+namespace vbr {
+namespace {
+
+TEST(DatabaseIoTest, ParsesFactsWithMixedArguments) {
+  const char* text = R"(
+    % base data
+    car(toyota, anderson).
+    car(honda, anderson)
+    loc(anderson, sf).
+    size(42, -7).
+  )";
+  std::string error;
+  auto db = ParseDatabase(text, &error);
+  ASSERT_TRUE(db.has_value()) << error;
+  const Relation* car = db->Find(SymbolTable::Global().Intern("car"));
+  ASSERT_NE(car, nullptr);
+  EXPECT_EQ(car->size(), 2u);
+  EXPECT_TRUE(car->Contains({EncodeConstant(Const("toyota")),
+                             EncodeConstant(Const("anderson"))}));
+  const Relation* size_rel = db->Find(SymbolTable::Global().Intern("size"));
+  ASSERT_NE(size_rel, nullptr);
+  EXPECT_TRUE(size_rel->Contains({42, -7}));
+}
+
+TEST(DatabaseIoTest, SymbolicConstantsJoinWithQueryConstants) {
+  auto db = ParseDatabase("car(toyota, anderson).");
+  ASSERT_TRUE(db.has_value());
+  const auto q = MustParseQuery("q(M) :- car(M, anderson)");
+  const Relation result = EvaluateQuery(q, *db);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.Contains({EncodeConstant(Const("toyota"))}));
+}
+
+TEST(DatabaseIoTest, ArityMismatchIsAnError) {
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("r(1,2). r(3).", &error).has_value());
+  EXPECT_NE(error.find("arity"), std::string::npos);
+}
+
+TEST(DatabaseIoTest, SyntaxErrorsCarryLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("r(1,2).\nr(3,", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(DatabaseIoTest, NumericPredicateRejected) {
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("42(1).", &error).has_value());
+}
+
+TEST(DatabaseIoTest, ZeroArityFact) {
+  auto db = ParseDatabase("flag().");
+  ASSERT_TRUE(db.has_value());
+  EXPECT_EQ(db->Find(SymbolTable::Global().Intern("flag"))->size(), 1u);
+}
+
+TEST(DatabaseIoTest, RoundTripThroughText) {
+  auto db = ParseDatabase("r(1, 2). r(3, 4). s(anderson).");
+  ASSERT_TRUE(db.has_value());
+  const std::string dumped = DatabaseToText(*db);
+  auto reloaded = ParseDatabase(dumped);
+  ASSERT_TRUE(reloaded.has_value());
+  for (Symbol p : db->Predicates()) {
+    ASSERT_NE(reloaded->Find(p), nullptr);
+    EXPECT_TRUE(db->Find(p)->EqualsAsSet(*reloaded->Find(p)));
+  }
+}
+
+TEST(DatabaseIoTest, DumpIsSortedAndStable) {
+  auto db = ParseDatabase("b(2). b(1). a(9).");
+  ASSERT_TRUE(db.has_value());
+  EXPECT_EQ(DatabaseToText(*db), "a(9).\nb(1).\nb(2).\n");
+}
+
+TEST(DatabaseIoTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(LoadDatabaseFile("/nonexistent/x.facts", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vbr

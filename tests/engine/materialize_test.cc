@@ -1,0 +1,87 @@
+#include "engine/materialize.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "engine/value.h"
+
+namespace vbr {
+namespace {
+
+Database CarLocPartDb() {
+  Database db;
+  const Value a = EncodeConstant(Const("anderson"));
+  const Value toyota = EncodeConstant(Const("toyota"));
+  const Value sf = EncodeConstant(Const("sf"));
+  const Value s1 = EncodeConstant(Const("store1"));
+  db.AddRow("car", {toyota, a});
+  db.AddRow("loc", {a, sf});
+  db.AddRow("part", {s1, toyota, sf});
+  return db;
+}
+
+TEST(MaterializeTest, SingleView) {
+  const auto v1 = MustParseQuery("v1(M,D,C) :- car(M,D), loc(D,C)");
+  const Database views = MaterializeViews({v1}, CarLocPartDb());
+  const Relation* rel = views.Find(v1.head().predicate());
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 1u);
+}
+
+TEST(MaterializeTest, ClosedWorldIdenticalViewsAreEqual) {
+  // V1 and V5 have the same definition; closed-world materialization makes
+  // their instances identical (the paper's Section 1 observation).
+  const auto defs = MustParseProgram(R"(
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v5(M,D,C) :- car(M,D), loc(D,C)
+  )");
+  const Database views =
+      MaterializeViews({defs[0], defs[1]}, CarLocPartDb());
+  const Relation* r1 = views.Find(defs[0].head().predicate());
+  const Relation* r5 = views.Find(defs[1].head().predicate());
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r5, nullptr);
+  EXPECT_TRUE(r1->EqualsAsSet(*r5));
+}
+
+TEST(MaterializeTest, AllFiveCarLocPartViews) {
+  const auto defs = MustParseProgram(R"(
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v2(S,M,C) :- part(S,M,C)
+    v3(S) :- car(M,anderson), loc(anderson,C), part(S,M,C)
+    v4(M,D,C,S) :- car(M,D), loc(D,C), part(S,M,C)
+    v5(M,D,C) :- car(M,D), loc(D,C)
+  )");
+  const Database views = MaterializeViews(defs, CarLocPartDb());
+  EXPECT_EQ(views.NumRelations(), 5u);
+  EXPECT_EQ(views.Find(defs[2].head().predicate())->size(), 1u);
+  EXPECT_EQ(views.Find(defs[3].head().predicate())->arity(), 4u);
+}
+
+TEST(MaterializeTest, RewritingOverViewsMatchesQueryOverBase) {
+  // End-to-end: evaluating rewriting P2 over the materialized views equals
+  // evaluating Q over the base database.
+  const Database base = CarLocPartDb();
+  const auto defs = MustParseProgram(R"(
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v2(S,M,C) :- part(S,M,C)
+  )");
+  const Database views = MaterializeViews(defs, base);
+  const auto q = MustParseQuery(
+      "q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)");
+  const auto p2 = MustParseQuery("q1(S,C) :- v1(M,anderson,C), v2(S,M,C)");
+  EXPECT_TRUE(EvaluateQuery(q, base).EqualsAsSet(EvaluateQuery(p2, views)));
+}
+
+TEST(MaterializeTest, ViewWithHeadConstant) {
+  const auto v = MustParseQuery("v(M,flag) :- car(M,anderson)");
+  const Database views = MaterializeViews({v}, CarLocPartDb());
+  const Relation* rel = views.Find(v.head().predicate());
+  ASSERT_NE(rel, nullptr);
+  ASSERT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->row(0)[1], EncodeConstant(Const("flag")));
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,113 @@
+#include "engine/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace vbr {
+namespace {
+
+TEST(RelationTest, InsertAndContains) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({3, 4}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({2, 1}));
+}
+
+TEST(RelationTest, SetSemanticsDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert(std::span<const Value>{}));
+  EXPECT_FALSE(r.Insert(std::span<const Value>{}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, RowAccess) {
+  Relation r(3);
+  r.Insert({7, 8, 9});
+  auto row = r.row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 7);
+  EXPECT_EQ(row[2], 9);
+}
+
+TEST(RelationTest, SortedRowsIsDeterministic) {
+  Relation r(2);
+  r.Insert({3, 4});
+  r.Insert({1, 2});
+  r.Insert({1, 1});
+  const auto rows = r.SortedRows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<Value>{1, 1}));
+  EXPECT_EQ(rows[2], (std::vector<Value>{3, 4}));
+}
+
+TEST(RelationTest, EqualsAsSetIgnoresInsertionOrder) {
+  Relation a(2);
+  a.Insert({1, 2});
+  a.Insert({3, 4});
+  Relation b(2);
+  b.Insert({3, 4});
+  b.Insert({1, 2});
+  EXPECT_TRUE(a.EqualsAsSet(b));
+  b.Insert({5, 6});
+  EXPECT_FALSE(a.EqualsAsSet(b));
+}
+
+TEST(RelationTest, EqualsAsSetChecksArity) {
+  Relation a(1);
+  Relation b(2);
+  EXPECT_FALSE(a.EqualsAsSet(b));
+}
+
+TEST(RelationTest, LargeInsertStress) {
+  Relation r(2);
+  for (Value i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(r.Insert({i, i * 2}));
+  }
+  for (Value i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(r.Insert({i, i * 2}));
+    EXPECT_TRUE(r.Contains({i, i * 2}));
+  }
+  EXPECT_EQ(r.size(), 5000u);
+}
+
+TEST(RelationIndexTest, ProbeFindsMatchingRows) {
+  Relation r(2);
+  r.Insert({1, 10});
+  r.Insert({1, 20});
+  r.Insert({2, 30});
+  RelationIndex index(r, {0});
+  const Value key1[] = {1};
+  const auto& hits = index.Probe(key1);
+  EXPECT_EQ(hits.size(), 2u);
+  const Value key3[] = {3};
+  EXPECT_TRUE(index.Probe(key3).empty());
+}
+
+TEST(RelationIndexTest, MultiColumnKey) {
+  Relation r(3);
+  r.Insert({1, 2, 3});
+  r.Insert({1, 2, 4});
+  r.Insert({1, 3, 5});
+  RelationIndex index(r, {0, 1});
+  const Value key[] = {1, 2};
+  EXPECT_EQ(index.Probe(key).size(), 2u);
+}
+
+TEST(RelationIndexTest, EmptyKeyIndexesEverything) {
+  Relation r(1);
+  r.Insert({1});
+  r.Insert({2});
+  RelationIndex index(r, {});
+  EXPECT_EQ(index.Probe({}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace vbr

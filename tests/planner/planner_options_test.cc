@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "engine/materialize.h"
+#include "planner/planner.h"
+
+namespace vbr {
+namespace {
+
+// A query wide enough that the M3 cost-based search must fall back to the
+// M2-order + supplementary-drops path (max_m3_subgoals below its width).
+struct WideFixture {
+  ConjunctiveQuery query = MustParseQuery(
+      "q(X1,X7) :- p1(X1,X2), p2(X2,X3), p3(X3,X4), p4(X4,X5), p5(X5,X6), "
+      "p6(X6,X7), p7(X7,X8)");
+  ViewSet views = MustParseProgram(R"(
+    w1(A,B) :- p1(A,B)
+    w2(A,B) :- p2(A,B)
+    w3(A,B) :- p3(A,B)
+    w4(A,B) :- p4(A,B)
+    w5(A,B) :- p5(A,B)
+    w6(A,B) :- p6(A,B)
+    w7(A,B) :- p7(A,B)
+  )");
+  Database base;
+
+  WideFixture() {
+    for (int p = 1; p <= 7; ++p) {
+      for (Value i = 0; i < 10; ++i) {
+        base.AddRow("p" + std::to_string(p), {i, (i + 1) % 10});
+      }
+    }
+  }
+};
+
+TEST(PlannerOptionsTest, M3FallsBackOnWidePlans) {
+  WideFixture f;
+  ViewPlanner::Options options;
+  options.max_m3_subgoals = 4;  // Force the fallback (plan has 7 subgoals).
+  ViewPlanner planner(f.views, MaterializeViews(f.views, f.base), options);
+  auto choice = planner.Plan(f.query, CostModel::kM3);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->logical.num_subgoals(), 7u);
+  EXPECT_TRUE(planner.Execute(*choice).EqualsAsSet(
+      EvaluateQuery(f.query, f.base)));
+  // The fallback still drops attributes (SR rule).
+  bool any_drop = false;
+  for (const auto& step : choice->physical.drop_after) {
+    any_drop |= !step.empty();
+  }
+  EXPECT_TRUE(any_drop);
+}
+
+TEST(PlannerOptionsTest, FiltersCanBeDisabled) {
+  const auto query =
+      MustParseQuery("q1(S,C) :- car(M,a), loc(a,C), part(S,M,C)");
+  const ViewSet views = MustParseProgram(R"(
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v2(S,M,C) :- part(S,M,C)
+    v3(S) :- car(M,a), loc(a,C), part(S,M,C)
+  )");
+  Database base;
+  const Value a = EncodeConstant(Const("a"));
+  for (Value m = 0; m < 10; ++m) base.AddRow("car", {m, a});
+  for (Value c = 0; c < 10; ++c) base.AddRow("loc", {a, 100 + c});
+  for (Value i = 0; i < 500; ++i) {
+    base.AddRow("part", {2000 + i, 700 + i % 50, 800 + i % 30});
+  }
+  for (Value i = 0; i < 3; ++i) base.AddRow("part", {3000 + i, i, 100 + i});
+  const Database view_db = MaterializeViews(views, base);
+
+  ViewPlanner::Options no_filters;
+  no_filters.use_filters = false;
+  ViewPlanner with(views, view_db);
+  ViewPlanner without(views, view_db, no_filters);
+  auto plan_with = with.Plan(query, CostModel::kM2);
+  auto plan_without = without.Plan(query, CostModel::kM2);
+  ASSERT_TRUE(plan_with.has_value());
+  ASSERT_TRUE(plan_without.has_value());
+  // v3 is selective here, so the filtered plan is at least as cheap, and
+  // the unfiltered logical plan must not mention v3.
+  EXPECT_LE(plan_with->cost, plan_without->cost);
+  for (const Atom& atom : plan_without->logical.body()) {
+    EXPECT_NE(atom.predicate_name(), "v3");
+  }
+  // Both answer correctly.
+  const Relation expected = EvaluateQuery(query, base);
+  EXPECT_TRUE(with.Execute(*plan_with).EqualsAsSet(expected));
+  EXPECT_TRUE(without.Execute(*plan_without).EqualsAsSet(expected));
+}
+
+TEST(PlannerOptionsTest, MaxRewritingsLimitsSearch) {
+  const auto query = MustParseQuery("q(X) :- r(X)");
+  const ViewSet views = MustParseProgram(R"(
+    u1(X) :- r(X)
+    u2(X) :- r(X)
+  )");
+  ViewPlanner::Options options;
+  options.max_rewritings = 1;
+  Database view_db;
+  view_db.AddRow("u1", {1});
+  view_db.AddRow("u2", {1});
+  ViewPlanner planner(views, view_db, options);
+  auto choice = planner.Plan(query, CostModel::kM2);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->logical.num_subgoals(), 1u);
+}
+
+TEST(PlannerOptionsDeathTest, UnsafeViewAborts) {
+  const ViewSet views = MustParseProgram("v(X,Y) :- r(X,X)");
+  EXPECT_DEATH(ViewPlanner(views, Database{}), "unsafe view");
+}
+
+}  // namespace
+}  // namespace vbr

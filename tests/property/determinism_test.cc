@@ -1,0 +1,72 @@
+// Reproducibility: the entire pipeline must be deterministic — same inputs,
+// byte-identical outputs — across repeated in-process runs. (Fresh-variable
+// NAMES differ between runs by design; the checks below compare structures
+// that must not depend on them.)
+
+#include <gtest/gtest.h>
+
+#include "cq/containment.h"
+#include "rewrite/core_cover.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+Workload MakeWorkload(uint64_t seed) {
+  WorkloadConfig config;
+  config.shape = (seed % 2 == 0) ? QueryShape::kStar : QueryShape::kChain;
+  config.num_query_subgoals = 6;
+  config.num_views = 20;
+  config.seed = seed;
+  return GenerateWorkload(config);
+}
+
+TEST_P(DeterminismTest, CoreCoverIsDeterministic) {
+  const Workload w = MakeWorkload(GetParam());
+  const auto first = CoreCover(w.query, w.views);
+  const auto second = CoreCover(w.query, w.views);
+  EXPECT_EQ(first.has_rewriting, second.has_rewriting);
+  EXPECT_EQ(first.stats.minimum_cover_size,
+            second.stats.minimum_cover_size);
+  ASSERT_EQ(first.rewritings.size(), second.rewritings.size());
+  for (size_t i = 0; i < first.rewritings.size(); ++i) {
+    EXPECT_EQ(first.rewritings[i], second.rewritings[i]);
+  }
+  ASSERT_EQ(first.view_tuples.size(), second.view_tuples.size());
+  for (size_t i = 0; i < first.view_tuples.size(); ++i) {
+    EXPECT_EQ(first.view_tuples[i].tuple.atom,
+              second.view_tuples[i].tuple.atom);
+    EXPECT_EQ(first.view_tuples[i].core.covered_mask,
+              second.view_tuples[i].core.covered_mask);
+    EXPECT_EQ(first.view_tuples[i].class_id, second.view_tuples[i].class_id);
+  }
+}
+
+TEST_P(DeterminismTest, MinimizeIsIdempotentAndDeterministic) {
+  const Workload w = MakeWorkload(GetParam());
+  const ConjunctiveQuery m1 = Minimize(w.query);
+  const ConjunctiveQuery m2 = Minimize(w.query);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(Minimize(m1), m1);  // Idempotence.
+}
+
+TEST_P(DeterminismTest, CoreCoverStarIsDeterministic) {
+  const Workload w = MakeWorkload(GetParam());
+  CoreCoverOptions options;
+  options.max_rewritings = 32;
+  const auto first = CoreCoverStar(w.query, w.views, options);
+  const auto second = CoreCoverStar(w.query, w.views, options);
+  ASSERT_EQ(first.rewritings.size(), second.rewritings.size());
+  for (size_t i = 0; i < first.rewritings.size(); ++i) {
+    EXPECT_EQ(first.rewritings[i], second.rewritings[i]);
+  }
+  EXPECT_EQ(first.filter_candidates, second.filter_candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace vbr

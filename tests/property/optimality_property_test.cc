@@ -1,0 +1,139 @@
+// Randomized optimality and structure invariants (DESIGN.md invariants
+// 2-4): CoreCover's minimum cover size agrees with the naive Theorem 3.1
+// enumerator; tuple-cores satisfy Definition 4.1; minimization yields
+// minimal equivalents.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baseline/naive_enum.h"
+#include "cq/containment.h"
+#include "rewrite/core_cover.h"
+#include "rewrite/expansion.h"
+#include "rewrite/rewriting.h"
+#include "rewrite/tuple_core.h"
+#include "rewrite/view_tuple.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+class OptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+WorkloadConfig SmallConfig(uint64_t seed) {
+  WorkloadConfig config;
+  config.shape = (seed % 2 == 0) ? QueryShape::kStar : QueryShape::kChain;
+  config.num_query_subgoals = 4;
+  config.num_predicates = 4;
+  config.num_views = 8;
+  config.seed = seed;
+  return config;
+}
+
+TEST_P(OptimalityTest, CoreCoverMatchesNaiveMinimumSize) {
+  const Workload w = GenerateWorkload(SmallConfig(GetParam()));
+  const auto cc = CoreCover(w.query, w.views);
+  const auto naive = NaiveEnumerateGmrs(w.query, w.views);
+  ASSERT_EQ(cc.has_rewriting, naive.has_rewriting);
+  if (cc.has_rewriting) {
+    EXPECT_EQ(cc.stats.minimum_cover_size, naive.min_size);
+  }
+}
+
+TEST_P(OptimalityTest, TupleCoresSatisfyDefinition41) {
+  const Workload w = GenerateWorkload(SmallConfig(GetParam()));
+  const ConjunctiveQuery q = Minimize(w.query);
+  for (const ViewTuple& tuple : ComputeViewTuples(q, w.views)) {
+    const TupleCore core = ComputeTupleCore(q, tuple, w.views);
+    if (core.empty()) continue;
+    // Witness maps covered subgoals into the tuple expansion.
+    std::vector<Term> existentials;
+    const std::vector<Atom> exp =
+        ExpandViewAtom(tuple.atom, w.views[tuple.view_index], &existentials);
+    std::unordered_set<Term, TermHash> exist_set(existentials.begin(),
+                                                 existentials.end());
+    std::unordered_set<Term, TermHash> images;
+    for (size_t idx : core.covered) {
+      const Atom mapped = core.mapping.Apply(q.subgoal(idx));
+      bool found = false;
+      for (const Atom& e : exp) {
+        if (e == mapped) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "core atom does not map into expansion: "
+                         << mapped.ToString();
+      for (Term t : q.subgoal(idx).args()) {
+        if (!t.is_variable()) continue;
+        const Term image = core.mapping.Apply(t);
+        // Property (1): identity on tuple arguments.
+        if (tuple.atom.Mentions(t)) EXPECT_EQ(image, t);
+        // Property (2): distinguished variables stay themselves.
+        if (q.IsDistinguished(t)) EXPECT_EQ(image, t);
+        // Property (3): existential images pull in all subgoals of t.
+        if (exist_set.count(image) > 0) {
+          for (size_t j = 0; j < q.num_subgoals(); ++j) {
+            if (q.subgoal(j).Mentions(t)) {
+              EXPECT_NE(std::find(core.covered.begin(), core.covered.end(),
+                                  j),
+                        core.covered.end());
+            }
+          }
+        }
+      }
+    }
+    // Property (1): injectivity of the witness on used variables.
+    for (const auto& [var, image] : core.mapping.bindings()) {
+      EXPECT_TRUE(images.insert(image).second)
+          << "mapping not injective at " << image.ToString();
+    }
+  }
+}
+
+TEST_P(OptimalityTest, MinimizeProducesMinimalEquivalent) {
+  const Workload w = GenerateWorkload(SmallConfig(GetParam()));
+  const ConjunctiveQuery m = Minimize(w.query);
+  EXPECT_TRUE(AreEquivalent(m, w.query));
+  EXPECT_TRUE(IsMinimal(m));
+  EXPECT_LE(m.num_subgoals(), w.query.num_subgoals());
+}
+
+TEST_P(OptimalityTest, ClassSwapPreservesRewritings) {
+  // Section 5.2 property: replacing a view tuple by any member of its
+  // tuple-core class keeps the query covered, hence keeps an equivalent
+  // rewriting.
+  const Workload w = GenerateWorkload(SmallConfig(GetParam()));
+  CoreCoverOptions options;
+  options.group_views = false;
+  options.group_view_tuples = false;
+  const auto result = CoreCover(w.query, w.views, options);
+  if (!result.has_rewriting || result.rewritings.empty()) return;
+
+  // Build class lookup: atom text -> class id, and class id -> members.
+  std::unordered_map<std::string, size_t> class_of;
+  std::unordered_map<size_t, std::vector<Atom>> members;
+  for (const auto& t : result.view_tuples) {
+    class_of[t.tuple.atom.ToString()] = t.class_id;
+    members[t.class_id].push_back(t.tuple.atom);
+  }
+  const ConjunctiveQuery& p = result.rewritings.front();
+  for (size_t i = 0; i < p.num_subgoals(); ++i) {
+    auto it = class_of.find(p.subgoal(i).ToString());
+    ASSERT_NE(it, class_of.end());
+    for (const Atom& replacement : members[it->second]) {
+      std::vector<Atom> body = p.body();
+      body[i] = replacement;
+      const ConjunctiveQuery swapped = p.WithBody(std::move(body));
+      EXPECT_TRUE(IsEquivalentRewriting(swapped, w.query, w.views))
+          << swapped.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,67 @@
+// Theorem 4.1, validated directly: for a minimal query Q and view tuples
+// T(Q,V), a query built from view tuples is an equivalent rewriting of Q
+// IF AND ONLY IF the union of the tuples' cores covers all of Q's
+// subgoals. Both directions are checked against the independent
+// containment-mapping test on random workloads, enumerating every subset of
+// the view tuples (kept small so the 2^n sweep stays cheap).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "cq/containment.h"
+#include "rewrite/rewriting.h"
+#include "rewrite/tuple_core.h"
+#include "rewrite/view_tuple.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+class Theorem41Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem41Test, CoverIffEquivalentRewriting) {
+  WorkloadConfig config;
+  config.shape = (GetParam() % 2 == 0) ? QueryShape::kStar : QueryShape::kChain;
+  config.num_query_subgoals = 3;
+  config.num_predicates = 3;
+  config.num_views = 5;
+  config.seed = GetParam();
+  const Workload w = GenerateWorkload(config);
+
+  const ConjunctiveQuery q = Minimize(w.query);
+  const std::vector<ViewTuple> tuples = ComputeViewTuples(q, w.views);
+  if (tuples.size() > 12) GTEST_SKIP() << "subset sweep too large";
+
+  std::vector<uint64_t> masks;
+  for (const ViewTuple& t : tuples) {
+    masks.push_back(ComputeTupleCore(q, t, w.views).covered_mask);
+  }
+  const uint64_t universe = (uint64_t{1} << q.num_subgoals()) - 1;
+
+  size_t checked = 0;
+  for (size_t subset = 1; subset < (size_t{1} << tuples.size()); ++subset) {
+    uint64_t covered = 0;
+    std::vector<Atom> body;
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      if (subset & (size_t{1} << i)) {
+        covered |= masks[i];
+        body.push_back(tuples[i].atom);
+      }
+    }
+    const ConjunctiveQuery candidate(q.head(), body);
+    if (!candidate.IsSafe()) continue;
+    const bool covers = (covered & universe) == universe;
+    const bool equivalent = IsEquivalentRewriting(candidate, q, w.views);
+    EXPECT_EQ(covers, equivalent)
+        << "Theorem 4.1 violated by " << candidate.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem41Test,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace vbr

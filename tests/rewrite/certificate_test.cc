@@ -1,0 +1,106 @@
+#include "rewrite/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "rewrite/core_cover.h"
+#include "tests/rewrite/fixtures.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+using testing_fixtures::CarLocPartP;
+using testing_fixtures::CarLocPartQuery;
+using testing_fixtures::CarLocPartViews;
+
+TEST(CertificateTest, CertifiesPaperRewritings) {
+  const auto q = CarLocPartQuery();
+  const ViewSet views = CarLocPartViews();
+  for (int i = 1; i <= 5; ++i) {
+    auto cert = CertifyEquivalentRewriting(CarLocPartP(i), q, views);
+    ASSERT_TRUE(cert.has_value()) << "P" << i;
+    std::string error;
+    EXPECT_TRUE(VerifyCertificate(*cert, views, &error))
+        << "P" << i << ": " << error;
+  }
+}
+
+TEST(CertificateTest, RefusesNonRewriting) {
+  const auto q = CarLocPartQuery();
+  const ViewSet views = CarLocPartViews();
+  const auto not_equivalent = MustParseQuery("q1(S,C) :- v2(S,M,C)");
+  EXPECT_FALSE(
+      CertifyEquivalentRewriting(not_equivalent, q, views).has_value());
+  const auto not_views = MustParseQuery("q1(S,C) :- part(S,M,C)");
+  EXPECT_FALSE(CertifyEquivalentRewriting(not_views, q, views).has_value());
+}
+
+TEST(CertificateTest, TamperedMappingFailsVerification) {
+  const auto q = CarLocPartQuery();
+  const ViewSet views = CarLocPartViews();
+  auto cert = CertifyEquivalentRewriting(CarLocPartP(2), q, views);
+  ASSERT_TRUE(cert.has_value());
+  // Corrupt the forward mapping: send M somewhere silly.
+  cert->query_to_expansion.Unbind(Var("M"));
+  cert->query_to_expansion.Bind(Var("M"), Const("a"));
+  std::string error;
+  EXPECT_FALSE(VerifyCertificate(*cert, views, &error));
+  EXPECT_NE(error.find("mapping"), std::string::npos) << error;
+}
+
+TEST(CertificateTest, TamperedExpansionFailsVerification) {
+  const auto q = CarLocPartQuery();
+  const ViewSet views = CarLocPartViews();
+  auto cert = CertifyEquivalentRewriting(CarLocPartP(2), q, views);
+  ASSERT_TRUE(cert.has_value());
+  // Replace an expansion atom's argument by a rewriting variable (capture).
+  std::vector<Atom> body = cert->expansion.query.body();
+  ASSERT_FALSE(body.empty());
+  body[0] = Atom(body[0].predicate(), {Var("M"), Var("M")});
+  cert->expansion.query = cert->expansion.query.WithBody(std::move(body));
+  std::string error;
+  EXPECT_FALSE(VerifyCertificate(*cert, views, &error));
+}
+
+TEST(CertificateTest, TamperedOriginFailsVerification) {
+  const auto q = CarLocPartQuery();
+  const ViewSet views = CarLocPartViews();
+  auto cert = CertifyEquivalentRewriting(CarLocPartP(2), q, views);
+  ASSERT_TRUE(cert.has_value());
+  cert->expansion.origin.pop_back();
+  std::string error;
+  EXPECT_FALSE(VerifyCertificate(*cert, views, &error));
+  EXPECT_NE(error.find("origin"), std::string::npos) << error;
+}
+
+TEST(CertificateTest, CertifiesGeneratedWorkloads) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadConfig config;
+    config.shape = (seed % 2 == 0) ? QueryShape::kStar : QueryShape::kChain;
+    config.num_query_subgoals = 5;
+    config.num_views = 12;
+    config.seed = seed;
+    const Workload w = GenerateWorkload(config);
+    const auto cc = CoreCover(w.query, w.views);
+    for (const auto& p : cc.rewritings) {
+      auto cert = CertifyEquivalentRewriting(p, w.query, w.views);
+      ASSERT_TRUE(cert.has_value()) << p.ToString();
+      std::string error;
+      EXPECT_TRUE(VerifyCertificate(*cert, w.views, &error)) << error;
+    }
+  }
+}
+
+TEST(CertificateTest, ToStringMentionsAllParts) {
+  const auto q = CarLocPartQuery();
+  const ViewSet views = CarLocPartViews();
+  auto cert = CertifyEquivalentRewriting(CarLocPartP(4), q, views);
+  ASSERT_TRUE(cert.has_value());
+  const std::string text = cert->ToString();
+  EXPECT_NE(text.find("rewriting"), std::string::npos);
+  EXPECT_NE(text.find("v4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vbr

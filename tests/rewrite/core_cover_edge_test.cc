@@ -1,0 +1,152 @@
+// Edge cases and resource-limit behavior of CoreCover / CoreCover*.
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "rewrite/core_cover.h"
+#include "rewrite/rewriting.h"
+
+namespace vbr {
+namespace {
+
+TEST(CoreCoverEdgeTest, MaxRewritingsTruncates) {
+  // Five interchangeable single-subgoal views (grouping off): five GMRs.
+  const auto q = MustParseQuery("q(X) :- r(X)");
+  const auto views = MustParseProgram(R"(
+    v1(X) :- r(X)
+    v2(X) :- r(X)
+    v3(X) :- r(X)
+    v4(X) :- r(X)
+    v5(X) :- r(X)
+  )");
+  CoreCoverOptions options;
+  options.group_views = false;
+  options.group_view_tuples = false;
+  options.max_rewritings = 2;
+  const auto result = CoreCover(q, views, options);
+  EXPECT_TRUE(result.has_rewriting);
+  EXPECT_EQ(result.rewritings.size(), 2u);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(CoreCoverEdgeTest, GroupingCollapsesInterchangeableGmrs) {
+  const auto q = MustParseQuery("q(X) :- r(X)");
+  const auto views = MustParseProgram(R"(
+    v1(X) :- r(X)
+    v2(X) :- r(X)
+    v3(X) :- r(X)
+  )");
+  const auto result = CoreCover(q, views);  // Grouping on by default.
+  EXPECT_EQ(result.rewritings.size(), 1u);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.stats.num_view_classes, 1u);
+}
+
+TEST(CoreCoverEdgeTest, ViewIndexSurvivesGrouping) {
+  // With view grouping on, reported tuples must reference ORIGINAL view
+  // indices (the representative), not positions in the reduced set.
+  const auto q = MustParseQuery("q(X,Y) :- r(X), s(Y)");
+  const auto views = MustParseProgram(R"(
+    va(X) :- r(X)
+    vb(X) :- r(X)
+    vs(Y) :- s(Y)
+  )");
+  const auto result = CoreCover(q, views);
+  for (const auto& t : result.view_tuples) {
+    ASSERT_LT(t.tuple.view_index, views.size());
+    EXPECT_EQ(t.tuple.atom.predicate(),
+              views[t.tuple.view_index].head().predicate());
+  }
+}
+
+TEST(CoreCoverEdgeTest, ConstantOnlyViewTuple) {
+  // A view whose tuple is entirely constants still covers its subgoal.
+  const auto q = MustParseQuery("q(X) :- r(a,b), s(X)");
+  const auto views = MustParseProgram(R"(
+    v1(U,V) :- r(U,V)
+    v2(X) :- s(X)
+  )");
+  CoreCoverOptions options;
+  options.verify_rewritings = true;
+  const auto result = CoreCover(q, views, options);
+  ASSERT_TRUE(result.has_rewriting);
+  ASSERT_EQ(result.rewritings.size(), 1u);
+  EXPECT_EQ(result.rewritings[0].ToString(), "q(X) :- v1(a,b), v2(X)");
+}
+
+TEST(CoreCoverEdgeTest, RepeatedVariableInQuerySubgoal) {
+  const auto q = MustParseQuery("q(X) :- e(X,X,Y)");
+  const auto views = MustParseProgram("v(A,B) :- e(A,A,B)");
+  CoreCoverOptions options;
+  options.verify_rewritings = true;
+  const auto result = CoreCover(q, views, options);
+  ASSERT_TRUE(result.has_rewriting);
+  EXPECT_EQ(result.rewritings[0].ToString(), "q(X) :- v(X,Y)");
+}
+
+TEST(CoreCoverEdgeTest, HeadConstantInQuery) {
+  const auto q = MustParseQuery("q(X,tag) :- r(X)");
+  const auto views = MustParseProgram("v(X) :- r(X)");
+  CoreCoverOptions options;
+  options.verify_rewritings = true;
+  const auto result = CoreCover(q, views, options);
+  ASSERT_TRUE(result.has_rewriting);
+  EXPECT_EQ(result.rewritings[0].head().ToString(), "q(X,tag)");
+}
+
+TEST(CoreCoverEdgeTest, ViewLargerThanQueryStillUsable) {
+  // The view's body strictly extends the query's pattern, so it can only
+  // be used when the extension folds back into the query.
+  const auto q = MustParseQuery("q(X) :- e(X,X)");
+  const auto views = MustParseProgram("v(A,B) :- e(A,A), e(A,B)");
+  CoreCoverOptions options;
+  options.verify_rewritings = true;
+  const auto result = CoreCover(q, views, options);
+  ASSERT_TRUE(result.has_rewriting);
+  EXPECT_EQ(result.stats.minimum_cover_size, 1u);
+}
+
+TEST(CoreCoverEdgeTest, NonemptyCoreCountInStats) {
+  // car-loc-part with grouping: representatives v1, v2, v3, v4; v3's core
+  // is empty, so three nonempty cores among the candidates.
+  const auto q = MustParseQuery("q1(S,C) :- car(M,a), loc(a,C), part(S,M,C)");
+  const auto views = MustParseProgram(R"(
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v2(S,M,C) :- part(S,M,C)
+    v3(S) :- car(M,a), loc(a,C), part(S,M,C)
+    v4(M,D,C,S) :- car(M,D), loc(D,C), part(S,M,C)
+  )");
+  const auto result = CoreCover(q, views);
+  EXPECT_EQ(result.stats.num_nonempty_cores, 3u);
+}
+
+TEST(CoreCoverEdgeTest, EmptyViewSetHasNoRewriting) {
+  const auto q = MustParseQuery("q(X) :- r(X)");
+  const auto result = CoreCover(q, {});
+  EXPECT_FALSE(result.has_rewriting);
+  EXPECT_TRUE(result.view_tuples.empty());
+}
+
+TEST(CoreCoverEdgeTest, StarResultsContainAllGmrSizes) {
+  // CoreCover* returns minimal covers of several sizes; minimum_cover_size
+  // reports the smallest.
+  const auto q = MustParseQuery("q(X,Y) :- a(X,Z), b(Z,Y)");
+  const auto views = MustParseProgram(R"(
+    vall(X,Y) :- a(X,Z), b(Z,Y)
+    va(X,Z) :- a(X,Z)
+    vb(Z,Y) :- b(Z,Y)
+  )");
+  const auto result = CoreCoverStar(q, views);
+  EXPECT_EQ(result.stats.minimum_cover_size, 1u);
+  bool has_one = false;
+  bool has_two = false;
+  for (const auto& p : result.rewritings) {
+    if (p.num_subgoals() == 1) has_one = true;
+    if (p.num_subgoals() == 2) has_two = true;
+  }
+  EXPECT_TRUE(has_one);
+  EXPECT_TRUE(has_two);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,101 @@
+#include "rewrite/equivalence_classes.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "tests/rewrite/fixtures.h"
+
+namespace vbr {
+namespace {
+
+using testing_fixtures::CarLocPartQuery;
+using testing_fixtures::CarLocPartViews;
+
+TEST(ViewClassesTest, IdenticalDefinitionsGroupTogether) {
+  const ViewClasses classes = GroupViewsByEquivalence(CarLocPartViews());
+  ASSERT_EQ(classes.class_of.size(), 5u);
+  EXPECT_EQ(classes.num_classes(), 4u);
+  // v1 (index 0) and v5 (index 4) share a class.
+  EXPECT_EQ(classes.class_of[0], classes.class_of[4]);
+  EXPECT_NE(classes.class_of[0], classes.class_of[1]);
+  // The representative of their class is the first occurrence, v1.
+  EXPECT_EQ(classes.representatives[classes.class_of[0]], 0u);
+}
+
+TEST(ViewClassesTest, EquivalenceUpToRenamingAndRedundancy) {
+  // Same view modulo variable names and a redundant subgoal.
+  const auto views = MustParseProgram(R"(
+    v1(X,Y) :- r(X,Z), s(Z,Y)
+    v2(A,B) :- r(A,C), s(C,B)
+    v3(X,Y) :- r(X,Z), s(Z,Y), r(X,Z2)
+    v4(X,Y) :- s(X,Z), r(Z,Y)
+  )");
+  const ViewClasses classes = GroupViewsByEquivalence(views);
+  EXPECT_EQ(classes.num_classes(), 2u);
+  EXPECT_EQ(classes.class_of[0], classes.class_of[1]);
+  EXPECT_EQ(classes.class_of[0], classes.class_of[2]);
+  EXPECT_NE(classes.class_of[0], classes.class_of[3]);
+}
+
+TEST(ViewClassesTest, HeadBindingPatternSeparatesClasses) {
+  const auto views = MustParseProgram(R"(
+    v1(X,Y) :- r(X,Y)
+    v2(X) :- r(X,Y)
+    v3(X,X) :- r(X,X)
+  )");
+  const ViewClasses classes = GroupViewsByEquivalence(views);
+  EXPECT_EQ(classes.num_classes(), 3u);
+}
+
+TEST(ViewClassesTest, ClassIdsAreDenseAndOrderedByFirstOccurrence) {
+  const auto views = MustParseProgram(R"(
+    a1(X) :- r(X)
+    b1(X) :- s(X)
+    a2(X) :- r(X)
+    c1(X) :- t(X)
+  )");
+  const ViewClasses classes = GroupViewsByEquivalence(views);
+  EXPECT_EQ(classes.class_of, (std::vector<size_t>{0, 1, 0, 2}));
+  EXPECT_EQ(classes.representatives, (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(ViewClassesTest, EmptyViewSet) {
+  const ViewClasses classes = GroupViewsByEquivalence({});
+  EXPECT_EQ(classes.num_classes(), 0u);
+}
+
+TEST(TupleClassesTest, GroupsByCoveredMask) {
+  const ConjunctiveQuery q = CarLocPartQuery();
+  const ViewSet views = CarLocPartViews();
+  const auto tuples = ComputeViewTuples(q, views);
+  std::vector<TupleCore> cores;
+  for (const auto& t : tuples) cores.push_back(ComputeTupleCore(q, t, views));
+  const ViewTupleClasses classes = GroupViewTuplesByCore(tuples, cores);
+  // Cores: v1:{0,1}, v2:{2}, v3:{}, v4:{0,1,2}, v5:{0,1} -> 4 classes.
+  EXPECT_EQ(classes.num_classes(), 4u);
+  // v1 and v5 tuples share a class.
+  size_t v1_idx = 0, v5_idx = 0;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (tuples[i].atom.predicate_name() == "v1") v1_idx = i;
+    if (tuples[i].atom.predicate_name() == "v5") v5_idx = i;
+  }
+  EXPECT_EQ(classes.class_of[v1_idx], classes.class_of[v5_idx]);
+}
+
+TEST(TupleClassesTest, EmptyCoresShareOneClass) {
+  const auto q = MustParseQuery("q(X) :- a(X,Z), c(Z)");
+  const auto views = MustParseProgram(R"(
+    v1(X) :- a(X,Z)
+    v2(Z) :- c(Z)
+  )");
+  const auto tuples = ComputeViewTuples(q, views);
+  std::vector<TupleCore> cores;
+  for (const auto& t : tuples) cores.push_back(ComputeTupleCore(q, t, views));
+  // v1(X) has an empty core (hides Z); v2(Z)... c(Z) with Z existential in
+  // q but exposed by v2, so v2 covers {1}.
+  const ViewTupleClasses classes = GroupViewTuplesByCore(tuples, cores);
+  EXPECT_EQ(classes.num_classes(), 2u);
+}
+
+}  // namespace
+}  // namespace vbr

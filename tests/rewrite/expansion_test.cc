@@ -1,0 +1,105 @@
+#include "rewrite/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "tests/rewrite/fixtures.h"
+
+namespace vbr {
+namespace {
+
+using testing_fixtures::CarLocPartP;
+using testing_fixtures::CarLocPartQuery;
+using testing_fixtures::CarLocPartViews;
+
+TEST(ExpansionTest, FindViewByPredicate) {
+  const ViewSet views = CarLocPartViews();
+  const Symbol v2 = SymbolTable::Global().Intern("v2");
+  const View* found = FindView(views, v2);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->head().predicate_name(), "v2");
+  EXPECT_EQ(FindView(views, SymbolTable::Global().Intern("nothing")),
+            nullptr);
+}
+
+TEST(ExpansionTest, SingleAtomSubstitutesHeadVariables) {
+  const ViewSet views = CarLocPartViews();
+  const Atom atom = MustParseQuery("h() :- v1(M,a,C)").subgoal(0);
+  const std::vector<Atom> exp = ExpandViewAtom(atom, views[0]);
+  ASSERT_EQ(exp.size(), 2u);
+  EXPECT_EQ(exp[0].ToString(), "car(M,a)");
+  EXPECT_EQ(exp[1].ToString(), "loc(a,C)");
+}
+
+TEST(ExpansionTest, ExistentialsBecomeFresh) {
+  // v3(S) has existentials M and C; the expansion must not reuse them.
+  const ViewSet views = CarLocPartViews();
+  const Atom atom = MustParseQuery("h() :- v3(S)").subgoal(0);
+  std::vector<Term> existentials;
+  const std::vector<Atom> exp = ExpandViewAtom(atom, views[2], &existentials);
+  ASSERT_EQ(exp.size(), 3u);
+  EXPECT_EQ(existentials.size(), 2u);
+  for (const Atom& a : exp) {
+    EXPECT_FALSE(a.Mentions(Var("M")));
+    EXPECT_FALSE(a.Mentions(Var("C")));
+  }
+  // The constant `a` from the view body survives.
+  EXPECT_TRUE(exp[0].Mentions(Const("a")));
+}
+
+TEST(ExpansionTest, TwoExpansionsOfSameViewAreVariableDisjoint) {
+  const ViewSet views = CarLocPartViews();
+  const Atom atom = MustParseQuery("h() :- v3(S)").subgoal(0);
+  std::vector<Term> e1, e2;
+  ExpandViewAtom(atom, views[2], &e1);
+  ExpandViewAtom(atom, views[2], &e2);
+  std::unordered_set<Term, TermHash> first(e1.begin(), e1.end());
+  for (Term t : e2) EXPECT_EQ(first.count(t), 0u);
+}
+
+TEST(ExpansionTest, RewritingExpansionTracksOrigins) {
+  const ViewSet views = CarLocPartViews();
+  const Expansion exp = ExpandRewriting(CarLocPartP(2), views);
+  // P2 = v1(M,a,C), v2(S,M,C) -> car, loc, part.
+  ASSERT_EQ(exp.query.num_subgoals(), 3u);
+  EXPECT_EQ(exp.origin, (std::vector<size_t>{0, 0, 1}));
+  EXPECT_EQ(exp.query.subgoal(0).predicate_name(), "car");
+  EXPECT_EQ(exp.query.subgoal(2).predicate_name(), "part");
+}
+
+TEST(ExpansionTest, PaperP1ExpansionShape) {
+  // P1exp: car(M,a), loc(a,C1), car(M1,a), loc(a,C), part(S,M,C).
+  const ViewSet views = CarLocPartViews();
+  const Expansion exp = ExpandRewriting(CarLocPartP(1), views);
+  ASSERT_EQ(exp.query.num_subgoals(), 5u);
+  const auto expected = MustParseQuery(
+      "q1(S,C) :- car(M,a), loc(a,C1), car(M1,a), loc(a,C), part(S,M,C)");
+  EXPECT_TRUE(AreEquivalent(exp.query, expected));
+}
+
+TEST(ExpansionTest, ExpansionEquivalenceMatchesPaper) {
+  // P1exp ≡ P2exp ≡ Q even though P1 and P2 differ as queries.
+  const ViewSet views = CarLocPartViews();
+  const Expansion e1 = ExpandRewriting(CarLocPartP(1), views);
+  const Expansion e2 = ExpandRewriting(CarLocPartP(2), views);
+  EXPECT_TRUE(AreEquivalent(e1.query, e2.query));
+  EXPECT_TRUE(AreEquivalent(e1.query, CarLocPartQuery()));
+}
+
+TEST(ExpansionDeathTest, UndefinedViewAborts) {
+  const ViewSet views = CarLocPartViews();
+  const auto bad = MustParseQuery("q1(S,C) :- v9(S,C)");
+  EXPECT_DEATH(ExpandRewriting(bad, views), "undefined view");
+}
+
+TEST(ExpansionDeathTest, ArityMismatchAborts) {
+  const ViewSet views = CarLocPartViews();
+  const auto bad = MustParseQuery("q1(S,C) :- v1(S,C)");
+  EXPECT_DEATH(ExpandRewriting(bad, views), "arity");
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,77 @@
+#ifndef VBR_TESTS_REWRITE_FIXTURES_H_
+#define VBR_TESTS_REWRITE_FIXTURES_H_
+
+#include "cq/parser.h"
+#include "cq/query.h"
+
+namespace vbr {
+namespace testing_fixtures {
+
+// The paper's running example (Example 1.1), abbreviating anderson as "a".
+inline ConjunctiveQuery CarLocPartQuery() {
+  return MustParseQuery("q1(S,C) :- car(M,a), loc(a,C), part(S,M,C)");
+}
+
+inline ViewSet CarLocPartViews() {
+  return MustParseProgram(R"(
+    v1(M,D,C) :- car(M,D), loc(D,C)
+    v2(S,M,C) :- part(S,M,C)
+    v3(S) :- car(M,a), loc(a,C), part(S,M,C)
+    v4(M,D,C,S) :- car(M,D), loc(D,C), part(S,M,C)
+    v5(M,D,C) :- car(M,D), loc(D,C)
+  )");
+}
+
+// The paper's rewritings P1..P5 of the car-loc-part query.
+inline ConjunctiveQuery CarLocPartP(int i) {
+  switch (i) {
+    case 1:
+      return MustParseQuery(
+          "q1(S,C) :- v1(M,a,C1), v1(M1,a,C), v2(S,M,C)");
+    case 2:
+      return MustParseQuery("q1(S,C) :- v1(M,a,C), v2(S,M,C)");
+    case 3:
+      return MustParseQuery("q1(S,C) :- v3(S), v1(M,a,C), v2(S,M,C)");
+    case 4:
+      return MustParseQuery("q1(S,C) :- v4(M,a,C,S)");
+    default:
+      return MustParseQuery(
+          "q1(S,C) :- v1(M,a,C1), v5(M1,a,C), v2(S,M,C)");
+  }
+}
+
+// Example 4.1: tuple-core illustration.
+inline ConjunctiveQuery Example41Query() {
+  return MustParseQuery("q(X,Y) :- a(X,Z), a(Z,Z), b(Z,Y)");
+}
+
+inline ViewSet Example41Views() {
+  return MustParseProgram(R"(
+    v1(A,B) :- a(A,B), a(B,B)
+    v2(C,D) :- a(C,E), b(C,D)
+  )");
+}
+
+// Example 3.1: the LMR chain.
+inline ConjunctiveQuery Example31Query() {
+  return MustParseQuery("q(X,Y,Z) :- e1(X,c), e2(Y,c), e3(Z,c)");
+}
+
+inline ViewSet Example31Views() {
+  return MustParseProgram(
+      "v(X,Y,Z,W) :- e1(X,W), e2(Y,W), e3(Z,W)");
+}
+
+// Section 3.2: the GMR-that-is-not-a-CMR example.
+inline ConjunctiveQuery SelfLoopQuery() {
+  return MustParseQuery("q(X) :- e(X,X)");
+}
+
+inline ViewSet SelfLoopViews() {
+  return MustParseProgram("v(A,B) :- e(A,A), e(A,B)");
+}
+
+}  // namespace testing_fixtures
+}  // namespace vbr
+
+#endif  // VBR_TESTS_REWRITE_FIXTURES_H_

@@ -1,0 +1,116 @@
+#include "rewrite/set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vbr {
+namespace {
+
+TEST(SetCoverTest, SingleSetCoversAll) {
+  const auto result = FindAllMinimumCovers(0b111, {0b111, 0b011});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.min_size, 1u);
+  ASSERT_EQ(result.covers.size(), 1u);
+  EXPECT_EQ(result.covers[0], (std::vector<size_t>{0}));
+}
+
+TEST(SetCoverTest, InfeasibleWhenUnionTooSmall) {
+  const auto result = FindAllMinimumCovers(0b111, {0b011, 0b001});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.covers.empty());
+}
+
+TEST(SetCoverTest, EmptyUniverseHasEmptyCover) {
+  const auto result = FindAllMinimumCovers(0, {0b1});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.min_size, 0u);
+  ASSERT_EQ(result.covers.size(), 1u);
+  EXPECT_TRUE(result.covers[0].empty());
+}
+
+TEST(SetCoverTest, FindsAllMinimumCovers) {
+  // Universe {0,1}; sets {0}, {1}, {0,1}, {0,1}: minimum size 1, two covers.
+  const auto result =
+      FindAllMinimumCovers(0b11, {0b01, 0b10, 0b11, 0b11});
+  EXPECT_EQ(result.min_size, 1u);
+  ASSERT_EQ(result.covers.size(), 2u);
+  EXPECT_EQ(result.covers[0], (std::vector<size_t>{2}));
+  EXPECT_EQ(result.covers[1], (std::vector<size_t>{3}));
+}
+
+TEST(SetCoverTest, MinimumSizeTwo) {
+  const auto result = FindAllMinimumCovers(0b1111, {0b0011, 0b1100, 0b0110});
+  EXPECT_EQ(result.min_size, 2u);
+  ASSERT_EQ(result.covers.size(), 1u);
+  EXPECT_EQ(result.covers[0], (std::vector<size_t>{0, 1}));
+}
+
+TEST(SetCoverTest, OverlappingCoversAreAllowed) {
+  // Tuple-cores may overlap (unlike MiniCon MCDs).
+  const auto result = FindAllMinimumCovers(0b111, {0b110, 0b011});
+  EXPECT_EQ(result.min_size, 2u);
+  ASSERT_EQ(result.covers.size(), 1u);
+}
+
+TEST(SetCoverTest, CapTruncates) {
+  // Ten identical full sets: 10 minimum covers, cap at 3.
+  std::vector<uint64_t> sets(10, 0b1);
+  const auto result = FindAllMinimumCovers(0b1, sets, 3);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.covers.size(), 3u);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(SetCoverTest, EmptySetsAreIgnored) {
+  const auto result = FindAllMinimumCovers(0b11, {0, 0b11, 0});
+  EXPECT_EQ(result.min_size, 1u);
+  ASSERT_EQ(result.covers.size(), 1u);
+  EXPECT_EQ(result.covers[0], (std::vector<size_t>{1}));
+}
+
+TEST(MinimalCoversTest, FindsMinimalNotJustMinimum) {
+  // Universe {0,1,2}: {0,1,2} is the minimum cover; {0,1},{1,2} ... sets:
+  // s0={0,1}, s1={1,2}, s2={0,1,2}. Minimal covers: {s2} and {s0,s1}.
+  const auto covers = FindAllMinimalCovers(0b111, {0b011, 0b110, 0b111});
+  ASSERT_EQ(covers.size(), 2u);
+  EXPECT_EQ(covers[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(covers[1], (std::vector<size_t>{2}));
+}
+
+TEST(MinimalCoversTest, RedundantSupersetExcluded) {
+  // {s0,s1} covers; adding s2={0} is redundant and must not appear.
+  const auto covers = FindAllMinimalCovers(0b11, {0b01, 0b10, 0b01});
+  for (const auto& cover : covers) {
+    uint64_t covered = 0;
+    for (size_t i : cover) covered |= std::vector<uint64_t>{0b01, 0b10,
+                                                            0b01}[i];
+    EXPECT_EQ(covered, 0b11u);
+    EXPECT_LE(cover.size(), 2u);
+  }
+  // Exactly {0,1} and {1,2}.
+  EXPECT_EQ(covers.size(), 2u);
+}
+
+TEST(MinimalCoversTest, EmptyUniverse) {
+  const auto covers = FindAllMinimalCovers(0, {0b1});
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_TRUE(covers[0].empty());
+}
+
+TEST(MinimalCoversTest, InfeasibleGivesNoCovers) {
+  EXPECT_TRUE(FindAllMinimalCovers(0b111, {0b001}).empty());
+}
+
+TEST(SetCoverTest, SixtyFourElementUniverse) {
+  // Stress the full-width mask path: 64 singletons.
+  std::vector<uint64_t> sets;
+  for (int i = 0; i < 64; ++i) sets.push_back(uint64_t{1} << i);
+  const auto result = FindAllMinimumCovers(~uint64_t{0}, sets);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.min_size, 64u);
+  ASSERT_EQ(result.covers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,71 @@
+// Additional union-query edge cases.
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "rewrite/union_rewriting.h"
+
+namespace vbr {
+namespace {
+
+TEST(UnionEdgeTest, OverlappingDisjunctsDeduplicate) {
+  Database db;
+  db.AddRow("r", {1, 2});
+  db.AddRow("r", {2, 2});
+  const UnionQuery u({MustParseQuery("q(X) :- r(X,Y)"),
+                      MustParseQuery("q(X) :- r(X,2)")});
+  // Both disjuncts produce {1, 2}; the union must not double-count.
+  EXPECT_EQ(EvaluateUnion(u, db).size(), 2u);
+}
+
+TEST(UnionEdgeTest, SingleDisjunctBehavesLikeTheCq) {
+  Database db;
+  db.AddRow("r", {5});
+  const auto q = MustParseQuery("q(X) :- r(X)");
+  const UnionQuery u({q});
+  EXPECT_TRUE(EvaluateUnion(u, db).EqualsAsSet(EvaluateQuery(q, db)));
+  EXPECT_TRUE(AreEquivalent(u, UnionQuery({q})));
+}
+
+TEST(UnionEdgeTest, ContainmentIsPerDisjunctNotPointwise) {
+  // Classic: q(X) :- r(X,Y) is NOT contained in either specialized
+  // disjunct alone, and CQ containment in a union reduces to containment
+  // in some disjunct, so the union does not contain it either.
+  const UnionQuery general({MustParseQuery("q(X) :- r(X,Y)")});
+  const UnionQuery special({MustParseQuery("q(X) :- r(X,a)"),
+                            MustParseQuery("q(X) :- r(X,X)")});
+  EXPECT_TRUE(IsContainedIn(special, general));
+  EXPECT_FALSE(IsContainedIn(general, special));
+}
+
+TEST(UnionEdgeTest, BuiltinDisjunctsEvaluate) {
+  Database db;
+  for (Value i = 0; i < 10; ++i) db.AddRow("r", {i, 9 - i});
+  const UnionQuery u({MustParseQuery("q(X,Y) :- r(X,Y), X < Y"),
+                      MustParseQuery("q(X,Y) :- r(X,Y), Y < X")});
+  // Everything except the X == Y rows (none here since 9 is odd... check:
+  // pairs (i, 9-i): equality would need i = 4.5, impossible -> all 10).
+  EXPECT_EQ(EvaluateUnion(u, db).size(), 10u);
+}
+
+TEST(UnionEdgeTest, TotalSubgoalsSums) {
+  const UnionQuery u({MustParseQuery("q(X) :- a(X), b(X)"),
+                      MustParseQuery("q(X) :- c(X)")});
+  EXPECT_EQ(u.TotalSubgoals(), 3u);
+  EXPECT_EQ(u.num_disjuncts(), 2u);
+}
+
+TEST(UnionEdgeDeathTest, MismatchedHeadArityAborts) {
+  std::vector<ConjunctiveQuery> disjuncts = {
+      MustParseQuery("q(X) :- r(X)"), MustParseQuery("q(X,Y) :- r(X), s(Y)")};
+  EXPECT_DEATH(UnionQuery{disjuncts}, "head arity");
+}
+
+TEST(UnionEdgeDeathTest, EmptyUnionAborts) {
+  std::vector<ConjunctiveQuery> none;
+  EXPECT_DEATH(UnionQuery{none}, "disjunct");
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,138 @@
+#include "rewrite/union_rewriting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "engine/materialize.h"
+
+namespace vbr {
+namespace {
+
+// The Section 8 closing example.
+ConjunctiveQuery Section8Query() {
+  return MustParseQuery("q(X,Y,U,W) :- p(X,Y), r(U,W), r(W,U)");
+}
+
+ViewSet Section8Views() {
+  return MustParseProgram(R"(
+    v1(A,B,C,D) :- p(A,B), r(C,D), C <= D
+    v2(E,F) :- r(E,F)
+  )");
+}
+
+UnionQuery Section8P1() {
+  return UnionQuery({
+      MustParseQuery("q(X,Y,U,W) :- v1(X,Y,U,W), v2(W,U)"),
+      MustParseQuery("q(X,Y,U,W) :- v1(X,Y,W,U), v2(U,W)"),
+  });
+}
+
+UnionQuery Section8P2() {
+  return UnionQuery(
+      {MustParseQuery("q(X,Y,U,W) :- v1(X,Y,C,D), v2(U,W), v2(W,U)")});
+}
+
+Database RandomBase(uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  for (int i = 0; i < 12; ++i) {
+    db.AddRow("p", {rng.UniformInt(0, 5), rng.UniformInt(0, 5)});
+    db.AddRow("r", {rng.UniformInt(0, 5), rng.UniformInt(0, 5)});
+  }
+  // Guarantee some symmetric r pairs so the query is nonempty.
+  db.AddRow("r", {2, 4});
+  db.AddRow("r", {4, 2});
+  db.AddRow("r", {3, 3});
+  return db;
+}
+
+TEST(UnionQueryTest, BasicAccessorsAndCostShape) {
+  const UnionQuery p1 = Section8P1();
+  const UnionQuery p2 = Section8P2();
+  EXPECT_EQ(p1.num_disjuncts(), 2u);
+  EXPECT_EQ(p1.TotalSubgoals(), 4u);  // 2 CQs x 2 subgoals.
+  EXPECT_EQ(p2.num_disjuncts(), 1u);
+  EXPECT_EQ(p2.TotalSubgoals(), 3u);  // 1 CQ x 3 subgoals.
+  EXPECT_EQ(p1.head_arity(), 4u);
+}
+
+TEST(UnionQueryTest, EvaluateUnionIsSetUnion) {
+  Database db;
+  db.AddRow("r", {1, 2});
+  db.AddRow("s", {2, 3});
+  const UnionQuery u({MustParseQuery("q(X,Y) :- r(X,Y)"),
+                      MustParseQuery("q(X,Y) :- s(X,Y)")});
+  const Relation result = EvaluateUnion(u, db);
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.Contains({1, 2}));
+  EXPECT_TRUE(result.Contains({2, 3}));
+}
+
+TEST(UnionContainmentTest, SagivYannakakis) {
+  const UnionQuery small({MustParseQuery("q(X) :- r(X,X)")});
+  const UnionQuery big({MustParseQuery("q(X) :- r(X,Y)"),
+                        MustParseQuery("q(X) :- s(X)")});
+  EXPECT_TRUE(IsContainedIn(small, big));
+  EXPECT_FALSE(IsContainedIn(big, small));
+  EXPECT_FALSE(AreEquivalent(small, big));
+}
+
+TEST(UnionContainmentTest, UnionEquivalentToSingleCq) {
+  // Two disjuncts that each fold into the other's generalization.
+  const UnionQuery u({MustParseQuery("q(X) :- r(X,Y)"),
+                      MustParseQuery("q(X) :- r(X,c)")});
+  const UnionQuery single({MustParseQuery("q(X) :- r(X,Y)")});
+  EXPECT_TRUE(AreEquivalent(u, single));
+}
+
+TEST(UnionRewritingTest, ComparisonFreeSymbolicEquivalence) {
+  // Union rewriting against comparison-free views.
+  const auto q = MustParseQuery("q(X) :- a(X), b(X)");
+  const auto views = MustParseProgram(R"(
+    va(X) :- a(X), b(X)
+    vb(X) :- b(X)
+  )");
+  const UnionQuery good({MustParseQuery("q(X) :- va(X)")});
+  const UnionQuery bad({MustParseQuery("q(X) :- vb(X)")});
+  EXPECT_TRUE(IsEquivalentUnionRewriting(good, q, views));
+  EXPECT_FALSE(IsEquivalentUnionRewriting(bad, q, views));
+}
+
+TEST(UnionRewritingTest, Section8BothRewritingsComputeTheAnswer) {
+  // Operational validation of the paper's P1 and P2 across random
+  // instances (symbolic equivalence with <= is out of scope).
+  const ConjunctiveQuery q = Section8Query();
+  const ViewSet views = Section8Views();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Database base = RandomBase(seed);
+    const Database view_db = MaterializeViews(views, base);
+    const Relation expected = EvaluateQuery(q, base);
+    EXPECT_TRUE(EvaluateUnion(Section8P1(), view_db).EqualsAsSet(expected))
+        << "P1 wrong at seed " << seed;
+    EXPECT_TRUE(EvaluateUnion(Section8P2(), view_db).EqualsAsSet(expected))
+        << "P2 wrong at seed " << seed;
+    if (seed == 1) EXPECT_GT(expected.size(), 0u);
+  }
+}
+
+TEST(UnionRewritingTest, Section8ViewsMaterializeWithComparison) {
+  const Database base = RandomBase(3);
+  const Database view_db = MaterializeViews(Section8Views(), base);
+  const Relation* v1 = view_db.Find(SymbolTable::Global().Intern("v1"));
+  ASSERT_NE(v1, nullptr);
+  for (size_t i = 0; i < v1->size(); ++i) {
+    EXPECT_LE(v1->row(i)[2], v1->row(i)[3]);  // C <= D enforced.
+  }
+}
+
+TEST(UnionRewritingDeathTest, SymbolicCheckRejectsComparisonViews) {
+  const ConjunctiveQuery q = Section8Query();
+  EXPECT_DEATH(
+      IsEquivalentUnionRewriting(Section8P1(), q, Section8Views()),
+      "comparison-free");
+}
+
+}  // namespace
+}  // namespace vbr

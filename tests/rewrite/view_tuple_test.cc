@@ -1,0 +1,127 @@
+#include "rewrite/view_tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "cq/parser.h"
+#include "rewrite/canonical_db.h"
+#include "tests/rewrite/fixtures.h"
+
+namespace vbr {
+namespace {
+
+using testing_fixtures::CarLocPartQuery;
+using testing_fixtures::CarLocPartViews;
+using testing_fixtures::Example41Query;
+using testing_fixtures::Example41Views;
+
+std::set<std::string> TupleStrings(const std::vector<ViewTuple>& tuples) {
+  std::set<std::string> out;
+  for (const ViewTuple& t : tuples) out.insert(t.atom.ToString());
+  return out;
+}
+
+TEST(CanonicalDbTest, FreezesVariablesToDistinctConstants) {
+  const ConjunctiveQuery q = CarLocPartQuery();
+  const CanonicalDatabase db(q);
+  ASSERT_EQ(db.facts().size(), 3u);
+  std::set<Term> constants;
+  for (const Atom& fact : db.facts()) {
+    for (Term t : fact.args()) {
+      EXPECT_TRUE(t.is_constant()) << fact.ToString();
+      constants.insert(t);
+    }
+  }
+  // M, C, S frozen distinctly, plus the original constant a: 4 constants.
+  EXPECT_EQ(constants.size(), 4u);
+}
+
+TEST(CanonicalDbTest, ThawRestoresVariables) {
+  const ConjunctiveQuery q = CarLocPartQuery();
+  const CanonicalDatabase db(q);
+  for (size_t i = 0; i < q.num_subgoals(); ++i) {
+    EXPECT_EQ(db.Thaw(db.facts()[i]), q.subgoal(i));
+  }
+  // Unknown terms pass through.
+  EXPECT_EQ(db.Thaw(Const("a")), Const("a"));
+  EXPECT_EQ(db.Thaw(Var("Zzz")), Var("Zzz"));
+}
+
+TEST(ViewTupleTest, CarLocPartMatchesPaper) {
+  // T(Q,V) = {v1(M,a,C), v2(S,M,C), v3(S), v4(M,a,C,S), v5(M,a,C)}.
+  const auto tuples = ComputeViewTuples(CarLocPartQuery(), CarLocPartViews());
+  EXPECT_EQ(TupleStrings(tuples),
+            (std::set<std::string>{"v1(M,a,C)", "v2(S,M,C)", "v3(S)",
+                                   "v4(M,a,C,S)", "v5(M,a,C)"}));
+}
+
+TEST(ViewTupleTest, ViewIndexIsRecorded) {
+  const auto tuples = ComputeViewTuples(CarLocPartQuery(), CarLocPartViews());
+  for (const ViewTuple& t : tuples) {
+    EXPECT_EQ(t.atom.predicate_name(),
+              "v" + std::to_string(t.view_index + 1));
+  }
+}
+
+TEST(ViewTupleTest, Example41MatchesPaper) {
+  // T(Q,V) = {v1(X,Z), v1(Z,Z), v2(Z,Y)}.
+  const auto tuples = ComputeViewTuples(Example41Query(), Example41Views());
+  EXPECT_EQ(TupleStrings(tuples),
+            (std::set<std::string>{"v1(X,Z)", "v1(Z,Z)", "v2(Z,Y)"}));
+}
+
+TEST(ViewTupleTest, ViewWithNoMatchYieldsNoTuples) {
+  const auto views = MustParseProgram("v(X) :- other(X,X)");
+  const auto tuples = ComputeViewTuples(CarLocPartQuery(), views);
+  EXPECT_TRUE(tuples.empty());
+}
+
+TEST(ViewTupleTest, ConstantInViewMustMatchQueryConstant) {
+  // A view anchored at a different dealer produces no tuple.
+  const auto views = MustParseProgram(R"(
+    va(M,C) :- car(M,a), loc(a,C)
+    vb(M,C) :- car(M,b), loc(b,C)
+  )");
+  const auto tuples = ComputeViewTuples(CarLocPartQuery(), views);
+  EXPECT_EQ(TupleStrings(tuples), (std::set<std::string>{"va(M,C)"}));
+}
+
+TEST(ViewTupleTest, DuplicateTuplesFromOneViewAreDeduped) {
+  // The view matches both car subgoals... use a query with two car atoms
+  // mapping to one tuple via shared head.
+  const auto q = MustParseQuery("q(D) :- car(m1,D), car(m2,D)");
+  const auto views = MustParseProgram("v(D) :- car(M,D)");
+  const auto tuples = ComputeViewTuples(q, views);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].atom.ToString(), "v(D)");
+}
+
+TEST(ViewTupleTest, SameTupleFromTwoViewsKeptSeparately) {
+  const auto q = MustParseQuery("q(X) :- r(X)");
+  const auto views = MustParseProgram(R"(
+    v1(X) :- r(X)
+    v2(X) :- r(X)
+  )");
+  const auto tuples = ComputeViewTuples(q, views);
+  EXPECT_EQ(tuples.size(), 2u);
+}
+
+TEST(ViewTupleTest, TupleArgumentsAreQueryTerms) {
+  const auto q = CarLocPartQuery();
+  const auto tuples = ComputeViewTuples(q, CarLocPartViews());
+  std::set<Term> query_terms;
+  for (const Atom& a : q.body()) {
+    for (Term t : a.args()) query_terms.insert(t);
+  }
+  for (const ViewTuple& t : tuples) {
+    for (Term arg : t.atom.args()) {
+      EXPECT_EQ(query_terms.count(arg), 1u) << t.atom.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,92 @@
+#include "workload/data_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "engine/materialize.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+TEST(DataGenTest, CreatesARelationPerBasePredicate) {
+  const auto q = MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)");
+  const auto views = MustParseProgram("v(X,Y) :- r(X,Y), t(Y,X)");
+  DataConfig config;
+  config.rows_per_relation = 50;
+  const Database db = GenerateBaseData(q, views, config);
+  EXPECT_EQ(db.NumRelations(), 3u);  // r, s, t.
+  for (Symbol p : db.Predicates()) {
+    EXPECT_GT(db.Find(p)->size(), 0u);
+    EXPECT_LE(db.Find(p)->size(), 50u);  // Dedup may shrink.
+  }
+}
+
+TEST(DataGenTest, DeterministicInSeed) {
+  const auto q = MustParseQuery("q(X) :- r(X,Y)");
+  DataConfig config;
+  config.rows_per_relation = 100;
+  config.seed = 5;
+  const Database a = GenerateBaseData(q, {}, config);
+  const Database b = GenerateBaseData(q, {}, config);
+  const Symbol r = SymbolTable::Global().Intern("r");
+  EXPECT_TRUE(a.Find(r)->EqualsAsSet(*b.Find(r)));
+}
+
+TEST(DataGenTest, DomainBoundsRespected) {
+  const auto q = MustParseQuery("q(X) :- r(X,Y)");
+  DataConfig config;
+  config.rows_per_relation = 200;
+  config.domain_size = 10;
+  const Database db = GenerateBaseData(q, {}, config);
+  const Relation* r = db.Find(SymbolTable::Global().Intern("r"));
+  for (size_t i = 0; i < r->size(); ++i) {
+    for (Value v : r->row(i)) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 10);
+    }
+  }
+}
+
+TEST(DataGenTest, SkewConcentratesMass) {
+  const auto q = MustParseQuery("q(X) :- r(X,Y)");
+  DataConfig uniform;
+  uniform.rows_per_relation = 2000;
+  uniform.domain_size = 1000;
+  DataConfig skewed = uniform;
+  skewed.skew = 3.0;
+  const Symbol r = SymbolTable::Global().Intern("r");
+  auto mean_value = [&](const Database& db) {
+    const Relation* rel = db.Find(r);
+    double sum = 0;
+    size_t count = 0;
+    for (size_t i = 0; i < rel->size(); ++i) {
+      for (Value v : rel->row(i)) {
+        sum += static_cast<double>(v);
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  const double mu = mean_value(GenerateBaseData(q, {}, uniform));
+  const double ms = mean_value(GenerateBaseData(q, {}, skewed));
+  EXPECT_LT(ms, mu * 0.6);
+}
+
+TEST(DataGenTest, EndToEndWithGeneratedWorkload) {
+  WorkloadConfig wc;
+  wc.shape = QueryShape::kChain;
+  wc.num_query_subgoals = 4;
+  wc.num_views = 10;
+  wc.seed = 11;
+  const Workload w = GenerateWorkload(wc);
+  DataConfig dc;
+  dc.rows_per_relation = 100;
+  dc.domain_size = 20;
+  const Database base = GenerateBaseData(w.query, w.views, dc);
+  const Database view_db = MaterializeViews(w.views, base);
+  EXPECT_EQ(view_db.NumRelations(), w.views.size());
+}
+
+}  // namespace
+}  // namespace vbr

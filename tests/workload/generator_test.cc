@@ -1,0 +1,155 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "rewrite/core_cover.h"
+
+namespace vbr {
+namespace {
+
+WorkloadConfig Base(QueryShape shape, uint64_t seed) {
+  WorkloadConfig config;
+  config.shape = shape;
+  config.num_query_subgoals = 8;
+  config.num_predicates = 10;
+  config.num_views = 30;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GeneratorTest, StarQueryShape) {
+  const Workload w = GenerateWorkload(Base(QueryShape::kStar, 1));
+  ASSERT_EQ(w.query.num_subgoals(), 8u);
+  // All subgoals share the first argument (the center).
+  const Term center = w.query.subgoal(0).arg(0);
+  for (const Atom& a : w.query.body()) {
+    EXPECT_EQ(a.arity(), 2u);
+    EXPECT_EQ(a.arg(0), center);
+  }
+}
+
+TEST(GeneratorTest, ChainQueryShape) {
+  const Workload w = GenerateWorkload(Base(QueryShape::kChain, 2));
+  ASSERT_EQ(w.query.num_subgoals(), 8u);
+  for (size_t i = 0; i + 1 < w.query.num_subgoals(); ++i) {
+    EXPECT_EQ(w.query.subgoal(i).arg(1), w.query.subgoal(i + 1).arg(0));
+  }
+}
+
+TEST(GeneratorTest, RequestedNumberOfViews) {
+  const Workload w = GenerateWorkload(Base(QueryShape::kStar, 3));
+  EXPECT_EQ(w.views.size(), 30u);
+  // Unique head predicates.
+  std::unordered_set<Symbol> names;
+  for (const View& v : w.views) {
+    EXPECT_TRUE(names.insert(v.head().predicate()).second);
+  }
+}
+
+TEST(GeneratorTest, ViewSubgoalCountsWithinRange) {
+  WorkloadConfig config = Base(QueryShape::kChain, 4);
+  config.min_view_subgoals = 1;
+  config.max_view_subgoals = 3;
+  const Workload w = GenerateWorkload(config);
+  for (const View& v : w.views) {
+    EXPECT_GE(v.num_subgoals(), 1u);
+    EXPECT_LE(v.num_subgoals(), 3u);
+    EXPECT_TRUE(v.IsSafe());
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const Workload a = GenerateWorkload(Base(QueryShape::kStar, 42));
+  const Workload b = GenerateWorkload(Base(QueryShape::kStar, 42));
+  EXPECT_EQ(a.query, b.query);
+  ASSERT_EQ(a.views.size(), b.views.size());
+  for (size_t i = 0; i < a.views.size(); ++i) {
+    EXPECT_EQ(a.views[i], b.views[i]);
+  }
+  const Workload c = GenerateWorkload(Base(QueryShape::kStar, 43));
+  EXPECT_NE(a.query, c.query);
+}
+
+TEST(GeneratorTest, AllDistinguishedByDefault) {
+  const Workload w = GenerateWorkload(Base(QueryShape::kStar, 5));
+  EXPECT_TRUE(w.query.ExistentialVariables().empty());
+}
+
+TEST(GeneratorTest, NondistinguishedQueryVariables) {
+  WorkloadConfig config = Base(QueryShape::kStar, 6);
+  config.num_nondistinguished_query_vars = 1;
+  const Workload w = GenerateWorkload(config);
+  EXPECT_EQ(w.query.ExistentialVariables().size(), 1u);
+  EXPECT_TRUE(w.query.IsSafe());
+}
+
+TEST(GeneratorTest, SingleSubgoalViewsStayFullyDistinguished) {
+  WorkloadConfig config = Base(QueryShape::kChain, 7);
+  config.num_nondistinguished_view_vars = 1;
+  const Workload w = GenerateWorkload(config);
+  for (const View& v : w.views) {
+    if (v.num_subgoals() == 1) {
+      EXPECT_TRUE(v.ExistentialVariables().empty()) << v.ToString();
+    }
+  }
+}
+
+TEST(GeneratorTest, EnsureRewritingExistsDelivers) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadConfig config = Base(QueryShape::kStar, seed);
+    config.num_views = 20;
+    const Workload w = GenerateWorkload(config);
+    const auto result = CoreCover(w.query, w.views);
+    EXPECT_TRUE(result.has_rewriting) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, ChainWorkloadsHaveRewritings) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    WorkloadConfig config = Base(QueryShape::kChain, seed);
+    const Workload w = GenerateWorkload(config);
+    const auto result = CoreCover(w.query, w.views);
+    EXPECT_TRUE(result.has_rewriting) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, ChainEndpointsOnlyConfiguration) {
+  WorkloadConfig config = Base(QueryShape::kChain, 12);
+  config.chain_endpoints_only = true;
+  const Workload w = GenerateWorkload(config);
+  // Query head exposes exactly the chain's endpoints.
+  ASSERT_EQ(w.query.head().arity(), 2u);
+  EXPECT_EQ(w.query.head().arg(0), w.query.subgoal(0).arg(0));
+  EXPECT_EQ(w.query.head().arg(1),
+            w.query.subgoal(w.query.num_subgoals() - 1).arg(1));
+  // Multi-subgoal views expose endpoints only; singletons stay full.
+  for (const View& v : w.views) {
+    if (v.num_subgoals() > 1) {
+      EXPECT_EQ(v.head().arity(), 2u) << v.ToString();
+    } else {
+      EXPECT_EQ(v.head().arity(), 2u);
+      EXPECT_TRUE(v.ExistentialVariables().empty());
+    }
+  }
+  EXPECT_TRUE(w.query.IsSafe());
+}
+
+TEST(GeneratorTest, EndpointsOnlyStillHasACoverageRewriting) {
+  // The injected per-predicate singleton views keep a rewriting available
+  // even in the sparse endpoints-only regime.
+  WorkloadConfig config = Base(QueryShape::kChain, 13);
+  config.chain_endpoints_only = true;
+  const Workload w = GenerateWorkload(config);
+  EXPECT_TRUE(CoreCover(w.query, w.views).has_rewriting);
+}
+
+TEST(GeneratorTest, RandomShapeIsSafeAndBounded) {
+  const Workload w = GenerateWorkload(Base(QueryShape::kRandom, 9));
+  EXPECT_TRUE(w.query.IsSafe());
+  EXPECT_EQ(w.query.num_subgoals(), 8u);
+}
+
+}  // namespace
+}  // namespace vbr
