@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eqclasses.dir/bench_ablation_eqclasses.cc.o"
+  "CMakeFiles/bench_ablation_eqclasses.dir/bench_ablation_eqclasses.cc.o.d"
+  "bench_ablation_eqclasses"
+  "bench_ablation_eqclasses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eqclasses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_containment.dir/bench_containment.cc.o"
+  "CMakeFiles/bench_containment.dir/bench_containment.cc.o.d"
+  "bench_containment"
+  "bench_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corecover_vs_minicon.dir/bench_corecover_vs_minicon.cc.o"
+  "CMakeFiles/bench_corecover_vs_minicon.dir/bench_corecover_vs_minicon.cc.o.d"
+  "bench_corecover_vs_minicon"
+  "bench_corecover_vs_minicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corecover_vs_minicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_corecover_vs_minicon.
+# This may be replaced when dependencies are built.

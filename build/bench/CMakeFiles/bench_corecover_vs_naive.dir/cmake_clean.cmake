@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corecover_vs_naive.dir/bench_corecover_vs_naive.cc.o"
+  "CMakeFiles/bench_corecover_vs_naive.dir/bench_corecover_vs_naive.cc.o.d"
+  "bench_corecover_vs_naive"
+  "bench_corecover_vs_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corecover_vs_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_corecover_vs_naive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimator.dir/bench_estimator.cc.o"
+  "CMakeFiles/bench_estimator.dir/bench_estimator.cc.o.d"
+  "bench_estimator"
+  "bench_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

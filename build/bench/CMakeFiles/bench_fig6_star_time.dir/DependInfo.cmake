@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_star_time.cc" "bench/CMakeFiles/bench_fig6_star_time.dir/bench_fig6_star_time.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_star_time.dir/bench_fig6_star_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/vbr_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vbr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/vbr_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vbr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vbr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/vbr_cq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

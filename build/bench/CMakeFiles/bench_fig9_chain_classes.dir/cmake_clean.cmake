@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_chain_classes.dir/bench_fig9_chain_classes.cc.o"
+  "CMakeFiles/bench_fig9_chain_classes.dir/bench_fig9_chain_classes.cc.o.d"
+  "bench_fig9_chain_classes"
+  "bench_fig9_chain_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_chain_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

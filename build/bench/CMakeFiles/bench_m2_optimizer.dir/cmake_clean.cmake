@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m2_optimizer.dir/bench_m2_optimizer.cc.o"
+  "CMakeFiles/bench_m2_optimizer.dir/bench_m2_optimizer.cc.o.d"
+  "bench_m2_optimizer"
+  "bench_m2_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m2_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

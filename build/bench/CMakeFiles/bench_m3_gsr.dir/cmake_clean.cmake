@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m3_gsr.dir/bench_m3_gsr.cc.o"
+  "CMakeFiles/bench_m3_gsr.dir/bench_m3_gsr.cc.o.d"
+  "bench_m3_gsr"
+  "bench_m3_gsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m3_gsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

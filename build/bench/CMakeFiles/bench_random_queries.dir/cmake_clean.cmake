@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random_queries.dir/bench_random_queries.cc.o"
+  "CMakeFiles/bench_random_queries.dir/bench_random_queries.cc.o.d"
+  "bench_random_queries"
+  "bench_random_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yannakakis.dir/bench_yannakakis.cc.o"
+  "CMakeFiles/bench_yannakakis.dir/bench_yannakakis.cc.o.d"
+  "bench_yannakakis"
+  "bench_yannakakis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yannakakis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

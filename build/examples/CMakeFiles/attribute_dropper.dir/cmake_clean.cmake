@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_dropper.dir/attribute_dropper.cpp.o"
+  "CMakeFiles/attribute_dropper.dir/attribute_dropper.cpp.o.d"
+  "attribute_dropper"
+  "attribute_dropper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_dropper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for attribute_dropper.
+# This may be replaced when dependencies are built.

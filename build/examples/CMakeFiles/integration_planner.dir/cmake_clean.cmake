@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_planner.dir/integration_planner.cpp.o"
+  "CMakeFiles/integration_planner.dir/integration_planner.cpp.o.d"
+  "integration_planner"
+  "integration_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_explorer.dir/structure_explorer.cpp.o"
+  "CMakeFiles/structure_explorer.dir/structure_explorer.cpp.o.d"
+  "structure_explorer"
+  "structure_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_cli.dir/vbr_cli.cpp.o"
+  "CMakeFiles/vbr_cli.dir/vbr_cli.cpp.o.d"
+  "vbr_cli"
+  "vbr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

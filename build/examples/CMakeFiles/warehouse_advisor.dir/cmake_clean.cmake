@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_advisor.dir/warehouse_advisor.cpp.o"
+  "CMakeFiles/warehouse_advisor.dir/warehouse_advisor.cpp.o.d"
+  "warehouse_advisor"
+  "warehouse_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

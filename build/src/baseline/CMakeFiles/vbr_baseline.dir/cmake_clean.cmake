@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_baseline.dir/bucket.cc.o"
+  "CMakeFiles/vbr_baseline.dir/bucket.cc.o.d"
+  "CMakeFiles/vbr_baseline.dir/minicon.cc.o"
+  "CMakeFiles/vbr_baseline.dir/minicon.cc.o.d"
+  "CMakeFiles/vbr_baseline.dir/naive_enum.cc.o"
+  "CMakeFiles/vbr_baseline.dir/naive_enum.cc.o.d"
+  "libvbr_baseline.a"
+  "libvbr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

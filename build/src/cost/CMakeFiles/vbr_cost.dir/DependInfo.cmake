@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/estimator.cc" "src/cost/CMakeFiles/vbr_cost.dir/estimator.cc.o" "gcc" "src/cost/CMakeFiles/vbr_cost.dir/estimator.cc.o.d"
+  "/root/repo/src/cost/filter_advisor.cc" "src/cost/CMakeFiles/vbr_cost.dir/filter_advisor.cc.o" "gcc" "src/cost/CMakeFiles/vbr_cost.dir/filter_advisor.cc.o.d"
+  "/root/repo/src/cost/m2_optimizer.cc" "src/cost/CMakeFiles/vbr_cost.dir/m2_optimizer.cc.o" "gcc" "src/cost/CMakeFiles/vbr_cost.dir/m2_optimizer.cc.o.d"
+  "/root/repo/src/cost/m3_optimizer.cc" "src/cost/CMakeFiles/vbr_cost.dir/m3_optimizer.cc.o" "gcc" "src/cost/CMakeFiles/vbr_cost.dir/m3_optimizer.cc.o.d"
+  "/root/repo/src/cost/physical_plan.cc" "src/cost/CMakeFiles/vbr_cost.dir/physical_plan.cc.o" "gcc" "src/cost/CMakeFiles/vbr_cost.dir/physical_plan.cc.o.d"
+  "/root/repo/src/cost/supplementary.cc" "src/cost/CMakeFiles/vbr_cost.dir/supplementary.cc.o" "gcc" "src/cost/CMakeFiles/vbr_cost.dir/supplementary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cq/CMakeFiles/vbr_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vbr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/vbr_rewrite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

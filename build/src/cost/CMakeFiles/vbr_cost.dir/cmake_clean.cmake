@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_cost.dir/estimator.cc.o"
+  "CMakeFiles/vbr_cost.dir/estimator.cc.o.d"
+  "CMakeFiles/vbr_cost.dir/filter_advisor.cc.o"
+  "CMakeFiles/vbr_cost.dir/filter_advisor.cc.o.d"
+  "CMakeFiles/vbr_cost.dir/m2_optimizer.cc.o"
+  "CMakeFiles/vbr_cost.dir/m2_optimizer.cc.o.d"
+  "CMakeFiles/vbr_cost.dir/m3_optimizer.cc.o"
+  "CMakeFiles/vbr_cost.dir/m3_optimizer.cc.o.d"
+  "CMakeFiles/vbr_cost.dir/physical_plan.cc.o"
+  "CMakeFiles/vbr_cost.dir/physical_plan.cc.o.d"
+  "CMakeFiles/vbr_cost.dir/supplementary.cc.o"
+  "CMakeFiles/vbr_cost.dir/supplementary.cc.o.d"
+  "libvbr_cost.a"
+  "libvbr_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cq/atom.cc" "src/cq/CMakeFiles/vbr_cq.dir/atom.cc.o" "gcc" "src/cq/CMakeFiles/vbr_cq.dir/atom.cc.o.d"
+  "/root/repo/src/cq/containment.cc" "src/cq/CMakeFiles/vbr_cq.dir/containment.cc.o" "gcc" "src/cq/CMakeFiles/vbr_cq.dir/containment.cc.o.d"
+  "/root/repo/src/cq/homomorphism.cc" "src/cq/CMakeFiles/vbr_cq.dir/homomorphism.cc.o" "gcc" "src/cq/CMakeFiles/vbr_cq.dir/homomorphism.cc.o.d"
+  "/root/repo/src/cq/parser.cc" "src/cq/CMakeFiles/vbr_cq.dir/parser.cc.o" "gcc" "src/cq/CMakeFiles/vbr_cq.dir/parser.cc.o.d"
+  "/root/repo/src/cq/query.cc" "src/cq/CMakeFiles/vbr_cq.dir/query.cc.o" "gcc" "src/cq/CMakeFiles/vbr_cq.dir/query.cc.o.d"
+  "/root/repo/src/cq/rename.cc" "src/cq/CMakeFiles/vbr_cq.dir/rename.cc.o" "gcc" "src/cq/CMakeFiles/vbr_cq.dir/rename.cc.o.d"
+  "/root/repo/src/cq/substitution.cc" "src/cq/CMakeFiles/vbr_cq.dir/substitution.cc.o" "gcc" "src/cq/CMakeFiles/vbr_cq.dir/substitution.cc.o.d"
+  "/root/repo/src/cq/symbol.cc" "src/cq/CMakeFiles/vbr_cq.dir/symbol.cc.o" "gcc" "src/cq/CMakeFiles/vbr_cq.dir/symbol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_cq.dir/atom.cc.o"
+  "CMakeFiles/vbr_cq.dir/atom.cc.o.d"
+  "CMakeFiles/vbr_cq.dir/containment.cc.o"
+  "CMakeFiles/vbr_cq.dir/containment.cc.o.d"
+  "CMakeFiles/vbr_cq.dir/homomorphism.cc.o"
+  "CMakeFiles/vbr_cq.dir/homomorphism.cc.o.d"
+  "CMakeFiles/vbr_cq.dir/parser.cc.o"
+  "CMakeFiles/vbr_cq.dir/parser.cc.o.d"
+  "CMakeFiles/vbr_cq.dir/query.cc.o"
+  "CMakeFiles/vbr_cq.dir/query.cc.o.d"
+  "CMakeFiles/vbr_cq.dir/rename.cc.o"
+  "CMakeFiles/vbr_cq.dir/rename.cc.o.d"
+  "CMakeFiles/vbr_cq.dir/substitution.cc.o"
+  "CMakeFiles/vbr_cq.dir/substitution.cc.o.d"
+  "CMakeFiles/vbr_cq.dir/symbol.cc.o"
+  "CMakeFiles/vbr_cq.dir/symbol.cc.o.d"
+  "libvbr_cq.a"
+  "libvbr_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

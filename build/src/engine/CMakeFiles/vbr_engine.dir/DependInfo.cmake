@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/acyclic.cc" "src/engine/CMakeFiles/vbr_engine.dir/acyclic.cc.o" "gcc" "src/engine/CMakeFiles/vbr_engine.dir/acyclic.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/vbr_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/vbr_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/evaluator.cc" "src/engine/CMakeFiles/vbr_engine.dir/evaluator.cc.o" "gcc" "src/engine/CMakeFiles/vbr_engine.dir/evaluator.cc.o.d"
+  "/root/repo/src/engine/io.cc" "src/engine/CMakeFiles/vbr_engine.dir/io.cc.o" "gcc" "src/engine/CMakeFiles/vbr_engine.dir/io.cc.o.d"
+  "/root/repo/src/engine/materialize.cc" "src/engine/CMakeFiles/vbr_engine.dir/materialize.cc.o" "gcc" "src/engine/CMakeFiles/vbr_engine.dir/materialize.cc.o.d"
+  "/root/repo/src/engine/relation.cc" "src/engine/CMakeFiles/vbr_engine.dir/relation.cc.o" "gcc" "src/engine/CMakeFiles/vbr_engine.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cq/CMakeFiles/vbr_cq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_engine.dir/acyclic.cc.o"
+  "CMakeFiles/vbr_engine.dir/acyclic.cc.o.d"
+  "CMakeFiles/vbr_engine.dir/database.cc.o"
+  "CMakeFiles/vbr_engine.dir/database.cc.o.d"
+  "CMakeFiles/vbr_engine.dir/evaluator.cc.o"
+  "CMakeFiles/vbr_engine.dir/evaluator.cc.o.d"
+  "CMakeFiles/vbr_engine.dir/io.cc.o"
+  "CMakeFiles/vbr_engine.dir/io.cc.o.d"
+  "CMakeFiles/vbr_engine.dir/materialize.cc.o"
+  "CMakeFiles/vbr_engine.dir/materialize.cc.o.d"
+  "CMakeFiles/vbr_engine.dir/relation.cc.o"
+  "CMakeFiles/vbr_engine.dir/relation.cc.o.d"
+  "libvbr_engine.a"
+  "libvbr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

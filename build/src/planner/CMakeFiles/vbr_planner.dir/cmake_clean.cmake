@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_planner.dir/planner.cc.o"
+  "CMakeFiles/vbr_planner.dir/planner.cc.o.d"
+  "libvbr_planner.a"
+  "libvbr_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

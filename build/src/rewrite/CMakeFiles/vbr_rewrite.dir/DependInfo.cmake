@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/canonical_db.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/canonical_db.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/canonical_db.cc.o.d"
+  "/root/repo/src/rewrite/certificate.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/certificate.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/certificate.cc.o.d"
+  "/root/repo/src/rewrite/core_cover.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/core_cover.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/core_cover.cc.o.d"
+  "/root/repo/src/rewrite/equivalence_classes.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/equivalence_classes.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/equivalence_classes.cc.o.d"
+  "/root/repo/src/rewrite/expansion.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/expansion.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/expansion.cc.o.d"
+  "/root/repo/src/rewrite/lmr.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/lmr.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/lmr.cc.o.d"
+  "/root/repo/src/rewrite/rewriting.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/rewriting.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/rewriting.cc.o.d"
+  "/root/repo/src/rewrite/set_cover.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/set_cover.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/set_cover.cc.o.d"
+  "/root/repo/src/rewrite/tuple_core.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/tuple_core.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/tuple_core.cc.o.d"
+  "/root/repo/src/rewrite/union_rewriting.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/union_rewriting.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/union_rewriting.cc.o.d"
+  "/root/repo/src/rewrite/view_tuple.cc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/view_tuple.cc.o" "gcc" "src/rewrite/CMakeFiles/vbr_rewrite.dir/view_tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cq/CMakeFiles/vbr_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vbr_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_rewrite.dir/canonical_db.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/canonical_db.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/certificate.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/certificate.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/core_cover.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/core_cover.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/equivalence_classes.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/equivalence_classes.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/expansion.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/expansion.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/lmr.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/lmr.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/rewriting.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/rewriting.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/set_cover.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/set_cover.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/tuple_core.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/tuple_core.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/union_rewriting.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/union_rewriting.cc.o.d"
+  "CMakeFiles/vbr_rewrite.dir/view_tuple.cc.o"
+  "CMakeFiles/vbr_rewrite.dir/view_tuple.cc.o.d"
+  "libvbr_rewrite.a"
+  "libvbr_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

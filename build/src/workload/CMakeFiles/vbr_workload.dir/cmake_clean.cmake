@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_workload.dir/data_gen.cc.o"
+  "CMakeFiles/vbr_workload.dir/data_gen.cc.o.d"
+  "CMakeFiles/vbr_workload.dir/generator.cc.o"
+  "CMakeFiles/vbr_workload.dir/generator.cc.o.d"
+  "libvbr_workload.a"
+  "libvbr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

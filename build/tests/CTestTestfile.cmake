@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("cq")
+subdirs("engine")
+subdirs("rewrite")
+subdirs("cost")
+subdirs("baseline")
+subdirs("workload")
+subdirs("property")
+subdirs("integration")
+subdirs("planner")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_test.dir/bucket_test.cc.o"
+  "CMakeFiles/bucket_test.dir/bucket_test.cc.o.d"
+  "bucket_test"
+  "bucket_test.pdb"
+  "bucket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicon_test.dir/minicon_test.cc.o"
+  "CMakeFiles/minicon_test.dir/minicon_test.cc.o.d"
+  "minicon_test"
+  "minicon_test.pdb"
+  "minicon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_enum_test.dir/naive_enum_test.cc.o"
+  "CMakeFiles/naive_enum_test.dir/naive_enum_test.cc.o.d"
+  "naive_enum_test"
+  "naive_enum_test.pdb"
+  "naive_enum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_advisor_test.dir/filter_advisor_test.cc.o"
+  "CMakeFiles/filter_advisor_test.dir/filter_advisor_test.cc.o.d"
+  "filter_advisor_test"
+  "filter_advisor_test.pdb"
+  "filter_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

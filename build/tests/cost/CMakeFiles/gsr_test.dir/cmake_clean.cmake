@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsr_test.dir/gsr_test.cc.o"
+  "CMakeFiles/gsr_test.dir/gsr_test.cc.o.d"
+  "gsr_test"
+  "gsr_test.pdb"
+  "gsr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

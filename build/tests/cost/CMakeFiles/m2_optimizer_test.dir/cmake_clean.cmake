@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2_optimizer_test.dir/m2_optimizer_test.cc.o"
+  "CMakeFiles/m2_optimizer_test.dir/m2_optimizer_test.cc.o.d"
+  "m2_optimizer_test"
+  "m2_optimizer_test.pdb"
+  "m2_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

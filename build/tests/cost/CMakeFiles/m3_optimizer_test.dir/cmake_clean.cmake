@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_optimizer_test.dir/m3_optimizer_test.cc.o"
+  "CMakeFiles/m3_optimizer_test.dir/m3_optimizer_test.cc.o.d"
+  "m3_optimizer_test"
+  "m3_optimizer_test.pdb"
+  "m3_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physical_plan_test.dir/physical_plan_test.cc.o"
+  "CMakeFiles/physical_plan_test.dir/physical_plan_test.cc.o.d"
+  "physical_plan_test"
+  "physical_plan_test.pdb"
+  "physical_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physical_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

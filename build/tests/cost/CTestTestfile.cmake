@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cost
+# Build directory: /root/repo/build/tests/cost
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cost/physical_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/cost/m2_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/cost/gsr_test[1]_include.cmake")
+include("/root/repo/build/tests/cost/filter_advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/cost/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/cost/m3_optimizer_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homomorphism_test.dir/homomorphism_test.cc.o"
+  "CMakeFiles/homomorphism_test.dir/homomorphism_test.cc.o.d"
+  "homomorphism_test"
+  "homomorphism_test.pdb"
+  "homomorphism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homomorphism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rename_test.dir/rename_test.cc.o"
+  "CMakeFiles/rename_test.dir/rename_test.cc.o.d"
+  "rename_test"
+  "rename_test.pdb"
+  "rename_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rename_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substitution_test.dir/substitution_test.cc.o"
+  "CMakeFiles/substitution_test.dir/substitution_test.cc.o.d"
+  "substitution_test"
+  "substitution_test.pdb"
+  "substitution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substitution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

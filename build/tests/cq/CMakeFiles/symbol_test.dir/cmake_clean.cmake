@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_test.dir/symbol_test.cc.o"
+  "CMakeFiles/symbol_test.dir/symbol_test.cc.o.d"
+  "symbol_test"
+  "symbol_test.pdb"
+  "symbol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

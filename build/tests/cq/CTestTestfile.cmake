@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cq
+# Build directory: /root/repo/build/tests/cq
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cq/symbol_test[1]_include.cmake")
+include("/root/repo/build/tests/cq/term_atom_test[1]_include.cmake")
+include("/root/repo/build/tests/cq/query_test[1]_include.cmake")
+include("/root/repo/build/tests/cq/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/cq/substitution_test[1]_include.cmake")
+include("/root/repo/build/tests/cq/homomorphism_test[1]_include.cmake")
+include("/root/repo/build/tests/cq/containment_test[1]_include.cmake")
+include("/root/repo/build/tests/cq/rename_test[1]_include.cmake")
+include("/root/repo/build/tests/cq/parser_fuzz_test[1]_include.cmake")

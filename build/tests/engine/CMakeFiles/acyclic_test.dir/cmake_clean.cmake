@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acyclic_test.dir/acyclic_test.cc.o"
+  "CMakeFiles/acyclic_test.dir/acyclic_test.cc.o.d"
+  "acyclic_test"
+  "acyclic_test.pdb"
+  "acyclic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acyclic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

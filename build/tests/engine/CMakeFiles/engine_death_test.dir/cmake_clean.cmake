@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_death_test.dir/engine_death_test.cc.o"
+  "CMakeFiles/engine_death_test.dir/engine_death_test.cc.o.d"
+  "engine_death_test"
+  "engine_death_test.pdb"
+  "engine_death_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

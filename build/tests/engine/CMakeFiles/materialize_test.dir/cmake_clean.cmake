@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialize_test.dir/materialize_test.cc.o"
+  "CMakeFiles/materialize_test.dir/materialize_test.cc.o.d"
+  "materialize_test"
+  "materialize_test.pdb"
+  "materialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

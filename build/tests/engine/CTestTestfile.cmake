@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/engine
+# Build directory: /root/repo/build/tests/engine
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/engine/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/database_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/materialize_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/engine_death_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/io_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/acyclic_test[1]_include.cmake")

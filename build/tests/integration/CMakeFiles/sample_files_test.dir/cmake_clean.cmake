@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_files_test.dir/sample_files_test.cc.o"
+  "CMakeFiles/sample_files_test.dir/sample_files_test.cc.o.d"
+  "sample_files_test"
+  "sample_files_test.pdb"
+  "sample_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_options_test.dir/planner_options_test.cc.o"
+  "CMakeFiles/planner_options_test.dir/planner_options_test.cc.o.d"
+  "planner_options_test"
+  "planner_options_test.pdb"
+  "planner_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_agreement_test.dir/baseline_agreement_test.cc.o"
+  "CMakeFiles/baseline_agreement_test.dir/baseline_agreement_test.cc.o.d"
+  "baseline_agreement_test"
+  "baseline_agreement_test.pdb"
+  "baseline_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corecover_soundness_test.dir/corecover_soundness_test.cc.o"
+  "CMakeFiles/corecover_soundness_test.dir/corecover_soundness_test.cc.o.d"
+  "corecover_soundness_test"
+  "corecover_soundness_test.pdb"
+  "corecover_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corecover_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

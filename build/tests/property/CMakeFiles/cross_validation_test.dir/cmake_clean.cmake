@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_validation_test.dir/cross_validation_test.cc.o"
+  "CMakeFiles/cross_validation_test.dir/cross_validation_test.cc.o.d"
+  "cross_validation_test"
+  "cross_validation_test.pdb"
+  "cross_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

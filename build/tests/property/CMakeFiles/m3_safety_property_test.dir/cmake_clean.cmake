@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_safety_property_test.dir/m3_safety_property_test.cc.o"
+  "CMakeFiles/m3_safety_property_test.dir/m3_safety_property_test.cc.o.d"
+  "m3_safety_property_test"
+  "m3_safety_property_test.pdb"
+  "m3_safety_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_safety_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

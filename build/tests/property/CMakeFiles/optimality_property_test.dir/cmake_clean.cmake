@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimality_property_test.dir/optimality_property_test.cc.o"
+  "CMakeFiles/optimality_property_test.dir/optimality_property_test.cc.o.d"
+  "optimality_property_test"
+  "optimality_property_test.pdb"
+  "optimality_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimality_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem41_property_test.dir/theorem41_property_test.cc.o"
+  "CMakeFiles/theorem41_property_test.dir/theorem41_property_test.cc.o.d"
+  "theorem41_property_test"
+  "theorem41_property_test.pdb"
+  "theorem41_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem41_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

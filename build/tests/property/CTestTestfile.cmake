@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/property
+# Build directory: /root/repo/build/tests/property
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/property/corecover_soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/property/optimality_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/m3_safety_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/baseline_agreement_test[1]_include.cmake")
+include("/root/repo/build/tests/property/theorem41_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/cross_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/property/determinism_test[1]_include.cmake")

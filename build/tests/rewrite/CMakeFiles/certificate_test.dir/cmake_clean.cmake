@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certificate_test.dir/certificate_test.cc.o"
+  "CMakeFiles/certificate_test.dir/certificate_test.cc.o.d"
+  "certificate_test"
+  "certificate_test.pdb"
+  "certificate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certificate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

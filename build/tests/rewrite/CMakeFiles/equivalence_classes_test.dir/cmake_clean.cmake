@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_classes_test.dir/equivalence_classes_test.cc.o"
+  "CMakeFiles/equivalence_classes_test.dir/equivalence_classes_test.cc.o.d"
+  "equivalence_classes_test"
+  "equivalence_classes_test.pdb"
+  "equivalence_classes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_classes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

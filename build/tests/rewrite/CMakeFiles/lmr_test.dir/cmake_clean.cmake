@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmr_test.dir/lmr_test.cc.o"
+  "CMakeFiles/lmr_test.dir/lmr_test.cc.o.d"
+  "lmr_test"
+  "lmr_test.pdb"
+  "lmr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

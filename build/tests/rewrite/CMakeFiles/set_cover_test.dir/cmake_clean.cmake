@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_cover_test.dir/set_cover_test.cc.o"
+  "CMakeFiles/set_cover_test.dir/set_cover_test.cc.o.d"
+  "set_cover_test"
+  "set_cover_test.pdb"
+  "set_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

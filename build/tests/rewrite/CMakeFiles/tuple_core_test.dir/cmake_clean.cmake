@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_core_test.dir/tuple_core_test.cc.o"
+  "CMakeFiles/tuple_core_test.dir/tuple_core_test.cc.o.d"
+  "tuple_core_test"
+  "tuple_core_test.pdb"
+  "tuple_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_edge_test.dir/union_edge_test.cc.o"
+  "CMakeFiles/union_edge_test.dir/union_edge_test.cc.o.d"
+  "union_edge_test"
+  "union_edge_test.pdb"
+  "union_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_rewriting_test.dir/union_rewriting_test.cc.o"
+  "CMakeFiles/union_rewriting_test.dir/union_rewriting_test.cc.o.d"
+  "union_rewriting_test"
+  "union_rewriting_test.pdb"
+  "union_rewriting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_rewriting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_tuple_test.dir/view_tuple_test.cc.o"
+  "CMakeFiles/view_tuple_test.dir/view_tuple_test.cc.o.d"
+  "view_tuple_test"
+  "view_tuple_test.pdb"
+  "view_tuple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rewrite
+# Build directory: /root/repo/build/tests/rewrite
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rewrite/expansion_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/rewriting_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/view_tuple_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/tuple_core_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/set_cover_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/core_cover_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/lmr_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/equivalence_classes_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/union_rewriting_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/certificate_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/core_cover_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite/union_edge_test[1]_include.cmake")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/data_gen_test.cc" "tests/workload/CMakeFiles/data_gen_test.dir/data_gen_test.cc.o" "gcc" "tests/workload/CMakeFiles/data_gen_test.dir/data_gen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vbr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/vbr_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vbr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/vbr_cq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

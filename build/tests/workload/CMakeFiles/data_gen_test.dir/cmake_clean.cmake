@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_gen_test.dir/data_gen_test.cc.o"
+  "CMakeFiles/data_gen_test.dir/data_gen_test.cc.o.d"
+  "data_gen_test"
+  "data_gen_test.pdb"
+  "data_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
