@@ -8,7 +8,7 @@
 // answer.
 //
 // Usage:
-//   vbr_cli [--all-minimal] [--show-tuples] [--no-grouping]
+//   vbr_cli [--all-minimal] [--show-tuples] [--no-grouping] [--threads N]
 //           [--data FACTS_FILE [--model m1|m2|m3]] [file]
 //
 // With no file, reads the program from standard input. Example program:
@@ -23,6 +23,7 @@
 //   car(toyota, a).  loc(a, sf).  part(store1, toyota, sf).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -61,6 +62,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no-grouping") == 0) {
       options.group_views = false;
       options.group_view_tuples = false;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (++i >= argc) return Fail("--threads needs a count (0 = all cores)");
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        return Fail(std::string("--threads needs a number, got ") + argv[i]);
+      }
+      options.num_threads = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--data") == 0) {
       if (++i >= argc) return Fail("--data needs a file argument");
       data_path = argv[i];
@@ -111,6 +120,7 @@ int main(int argc, char** argv) {
   const CoreCoverResult result = all_minimal
                                      ? CoreCoverStar(query, views, options)
                                      : CoreCover(query, views, options);
+  if (!result.ok()) return Fail("unsupported query: " + result.error);
 
   if (show_tuples) {
     std::printf("%% view tuples (T(Q,V)) and their cores:\n");

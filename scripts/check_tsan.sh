@@ -1,0 +1,28 @@
+#!/bin/sh
+# Builds the library and tests with ThreadSanitizer (-DVBR_SANITIZE=thread)
+# and runs the concurrency-sensitive suites: the SymbolTable stress tests,
+# the threading determinism suite, and the pre-existing determinism tests.
+# Any reported race fails the run (TSAN_OPTIONS halt_on_error).
+#
+# Usage: scripts/check_tsan.sh [extra ctest -R regex]
+# The build tree is build-tsan/ (kept separate from the regular build/).
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+# ctest names gtest cases "<Suite>.<Test>"; this matches the SymbolTable
+# stress suite plus both determinism suites.
+FILTER=${1:-'SymbolConcurrency|Determinism'}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DVBR_SANITIZE=thread \
+  -DVBR_BUILD_BENCHMARKS=OFF \
+  -DVBR_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target symbol_concurrency_test threading_determinism_test determinism_test
+
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -R "$FILTER"
+
+echo "check_tsan: all concurrency tests passed under ThreadSanitizer"

@@ -3,8 +3,14 @@
 # figure/table, and leaves the raw outputs next to this script's repo root
 # (test_output.txt, bench_output.txt). See EXPERIMENTS.md for how each
 # benchmark maps to a figure in the paper.
+#
+# Set VBR_TSAN=1 to also run the ThreadSanitizer pass over the concurrency
+# tests (scripts/check_tsan.sh) before the benchmarks.
 set -eu
 cd "$(dirname "$0")/.."
+if [ "${VBR_TSAN:-0}" = "1" ]; then
+  scripts/check_tsan.sh
+fi
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt

@@ -1,35 +1,104 @@
 #include "cq/symbol.h"
 
+#include <bit>
+#include <mutex>
 #include <string>
 
 #include "common/check.h"
 
 namespace vbr {
 
+namespace {
+
+// Position of id `i` in the geometric chunk layout: chunk c covers ids
+// [(2^c - 1) * kChunkBase, (2^(c+1) - 1) * kChunkBase) and holds
+// 2^c * kChunkBase entries.
+struct ChunkPos {
+  size_t chunk;
+  size_t offset;
+};
+
+ChunkPos PosOf(size_t id, size_t chunk_base) {
+  const size_t q = id / chunk_base + 1;  // >= 1
+  const size_t c = std::bit_width(q) - 1;
+  const size_t start = ((size_t{1} << c) - 1) * chunk_base;
+  return {c, id - start};
+}
+
+size_t ChunkCapacity(size_t chunk, size_t chunk_base) {
+  return (size_t{1} << chunk) * chunk_base;
+}
+
+}  // namespace
+
+SymbolTable::SymbolTable() = default;
+
+SymbolTable::~SymbolTable() {
+  for (std::atomic<std::string*>& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
+SymbolTable::Shard& SymbolTable::ShardOf(std::string_view name) const {
+  return shards_[std::hash<std::string_view>()(name) & (kNumShards - 1)];
+}
+
+Symbol SymbolTable::AppendName(std::string_view name) {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  const size_t id = size_.load(std::memory_order_relaxed);
+  const ChunkPos pos = PosOf(id, kChunkBase);
+  VBR_CHECK_MSG(pos.chunk < kNumChunks, "symbol table capacity exhausted");
+  std::string* chunk = chunks_[pos.chunk].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new std::string[ChunkCapacity(pos.chunk, kChunkBase)];
+    chunks_[pos.chunk].store(chunk, std::memory_order_release);
+  }
+  chunk[pos.offset] = std::string(name);
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<Symbol>(id);
+}
+
 Symbol SymbolTable::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
-  if (it != ids_.end()) return it->second;
-  const Symbol id = static_cast<Symbol>(names_.size());
-  names_.emplace_back(name);
-  ids_.emplace(names_.back(), id);
+  Shard& shard = ShardOf(name);
+  {
+    std::shared_lock<std::shared_mutex> read(shard.mu);
+    auto it = shard.ids.find(name);
+    if (it != shard.ids.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> write(shard.mu);
+  auto it = shard.ids.find(name);
+  if (it != shard.ids.end()) return it->second;
+  const Symbol id = AppendName(name);
+  shard.ids.emplace(std::string(name), id);
   return id;
 }
 
 Symbol SymbolTable::Find(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
-  return it == ids_.end() ? kInvalidSymbol : it->second;
+  const Shard& shard = ShardOf(name);
+  std::shared_lock<std::shared_mutex> read(shard.mu);
+  auto it = shard.ids.find(name);
+  return it == shard.ids.end() ? kInvalidSymbol : it->second;
 }
 
 const std::string& SymbolTable::NameOf(Symbol sym) const {
-  VBR_CHECK(sym >= 0 && static_cast<size_t>(sym) < names_.size());
-  return names_[static_cast<size_t>(sym)];
+  VBR_CHECK(sym >= 0 && static_cast<size_t>(sym) <
+                            size_.load(std::memory_order_acquire));
+  const ChunkPos pos = PosOf(static_cast<size_t>(sym), kChunkBase);
+  const std::string* chunk = chunks_[pos.chunk].load(std::memory_order_acquire);
+  return chunk[pos.offset];
 }
 
 Symbol SymbolTable::Fresh(std::string_view prefix) {
   while (true) {
-    std::string candidate =
-        std::string(prefix) + "$" + std::to_string(fresh_counter_++);
-    if (ids_.find(candidate) == ids_.end()) return Intern(candidate);
+    const uint64_t n = fresh_counter_.fetch_add(1, std::memory_order_relaxed);
+    const std::string candidate =
+        std::string(prefix) + "$" + std::to_string(n);
+    Shard& shard = ShardOf(candidate);
+    std::unique_lock<std::shared_mutex> write(shard.mu);
+    if (shard.ids.find(candidate) != shard.ids.end()) continue;
+    const Symbol id = AppendName(candidate);
+    shard.ids.emplace(candidate, id);
+    return id;
   }
 }
 

@@ -1,9 +1,12 @@
 #include "rewrite/core_cover.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "cq/containment.h"
 #include "rewrite/rewriting.h"
@@ -26,13 +29,32 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   CoreCoverResult result;
   result.stats.num_views = views.size();
 
+  // A num_threads of 1 (or a one-core machine) must reproduce the serial
+  // pipeline bit-for-bit, so no pool is created at all in that case and
+  // every stage takes its plain serial path.
+  const size_t num_threads = options.num_threads == 0
+                                 ? ThreadPool::DefaultThreadCount()
+                                 : options.num_threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  result.stats.threads_used = num_threads;
+
   // Step 1: minimize the query.
   Timer phase_timer;
   result.minimized_query = Minimize(query);
   result.stats.minimize_ms = phase_timer.ElapsedMillis();
   const ConjunctiveQuery& q = result.minimized_query;
   const size_t n = q.num_subgoals();
-  VBR_CHECK_MSG(n <= 64, "queries are limited to 64 subgoals");
+  if (n > 64) {
+    // Tuple-cores are uint64_t bitmasks over query subgoals (see the
+    // contract in set_cover.h); report the unsupported input instead of
+    // aborting the process.
+    result.status = CoreCoverStatus::kUnsupportedQueryTooLarge;
+    result.error = "minimized query has " + std::to_string(n) +
+                   " subgoals; the tuple-core bitmask supports at most 64";
+    result.stats.total_ms = total_timer.ElapsedMillis();
+    return result;
+  }
 
   // Section 5.2: group equivalent views and keep one representative each.
   phase_timer.Reset();
@@ -53,17 +75,24 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     }
   }
 
-  // Step 2: view tuples on the canonical database.
-  std::vector<ViewTuple> tuples = ComputeViewTuples(q, working_views);
+  // Step 2: view tuples on the canonical database, one task per view.
+  result.stats.view_tuple_tasks = working_views.size();
+  std::vector<ViewTuple> tuples =
+      ComputeViewTuples(q, working_views, pool.get());
   result.stats.view_tuple_ms = phase_timer.ElapsedMillis();
   result.stats.num_view_tuples = tuples.size();
 
-  // Step 3: tuple-cores.
+  // Step 3: tuple-cores, one task per tuple, written by tuple index.
   phase_timer.Reset();
-  std::vector<TupleCore> cores;
-  cores.reserve(tuples.size());
-  for (const ViewTuple& t : tuples) {
-    cores.push_back(ComputeTupleCore(q, t, working_views));
+  result.stats.tuple_core_tasks = tuples.size();
+  std::vector<TupleCore> cores(tuples.size());
+  const auto compute_core = [&](size_t i) {
+    cores[i] = ComputeTupleCore(q, tuples[i], working_views);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(tuples.size(), compute_core);
+  } else {
+    for (size_t i = 0; i < tuples.size(); ++i) compute_core(i);
   }
   result.stats.tuple_core_ms = phase_timer.ElapsedMillis();
 
@@ -95,7 +124,8 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     if (!cores[i].empty()) ++result.stats.num_nonempty_cores;
   }
 
-  // Step 4: cover the query subgoals with tuple-cores.
+  // Step 4: cover the query subgoals with tuple-cores; the top-level DFS
+  // branches are explored in parallel.
   phase_timer.Reset();
   const uint64_t universe = (n == 64) ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
   std::vector<uint64_t> sets;
@@ -105,7 +135,8 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   std::vector<std::vector<size_t>> covers;
   if (mode == CoverMode::kMinimum) {
     MinimumCoversResult min_covers =
-        FindAllMinimumCovers(universe, sets, options.max_rewritings);
+        FindAllMinimumCovers(universe, sets, options.max_rewritings,
+                             pool.get(), &result.stats.cover_branch_tasks);
     result.has_rewriting = min_covers.feasible;
     result.stats.minimum_cover_size = min_covers.min_size;
     result.truncated = min_covers.truncated;
@@ -113,7 +144,8 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   } else {
     bool truncated = false;
     covers = FindAllMinimalCovers(universe, sets, options.max_rewritings,
-                                  &truncated);
+                                  &truncated, pool.get(),
+                                  &result.stats.cover_branch_tasks);
     result.has_rewriting = !covers.empty();
     result.truncated = truncated;
     if (result.has_rewriting) {
@@ -128,12 +160,22 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     std::vector<Atom> body;
     body.reserve(cover.size());
     for (size_t k : cover) body.push_back(tuples[candidate_tuples[k]].atom);
-    ConjunctiveQuery rewriting(q.head(), std::move(body));
-    if (options.verify_rewritings) {
-      VBR_CHECK_MSG(IsEquivalentRewriting(rewriting, query, views),
+    result.rewritings.emplace_back(q.head(), std::move(body));
+  }
+
+  if (options.verify_rewritings) {
+    // One containment check per rewriting; each is an independent
+    // homomorphism search.
+    result.stats.verify_tasks = result.rewritings.size();
+    const auto verify = [&](size_t i) {
+      VBR_CHECK_MSG(IsEquivalentRewriting(result.rewritings[i], query, views),
                     "CoreCover produced a non-equivalent rewriting");
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(result.rewritings.size(), verify);
+    } else {
+      for (size_t i = 0; i < result.rewritings.size(); ++i) verify(i);
     }
-    result.rewritings.push_back(std::move(rewriting));
   }
 
   result.stats.total_ms = total_timer.ElapsedMillis();

@@ -2,6 +2,7 @@
 #define VBR_REWRITE_CORE_COVER_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "cq/query.h"
@@ -26,6 +27,16 @@ namespace vbr {
 //      Empty-core tuples are reported as filter candidates the optimizer may
 //      add (rewriting P3 in the car-loc-part example).
 
+// Outcome of a CoreCover / CoreCoverStar run.
+enum class CoreCoverStatus {
+  kOk = 0,
+  // The minimized query has more subgoals than the 64-bit tuple-core
+  // bitmask supports (see the contract in set_cover.h). The pipeline did
+  // not run; the result carries the minimized query, an explanatory
+  // `error`, and no rewritings.
+  kUnsupportedQueryTooLarge,
+};
+
 struct CoreCoverOptions {
   // Section 5.2: collapse views equivalent as queries to one representative
   // before computing view tuples.
@@ -40,6 +51,12 @@ struct CoreCoverOptions {
   // equivalent to the query (Theorem 4.1 makes this redundant; tests use
   // it).
   bool verify_rewritings = false;
+  // Worker threads for the parallel stages (view-tuple generation,
+  // tuple-core computation, rewriting verification, top-level set-cover
+  // branches). 0 means std::thread::hardware_concurrency(); 1 runs the
+  // pre-threading serial code path bit-for-bit. Results are deterministic
+  // and identical for every value (see DESIGN.md "Threading model").
+  size_t num_threads = 0;
 };
 
 struct CoreCoverStats {
@@ -54,6 +71,17 @@ struct CoreCoverStats {
   double tuple_core_ms = 0;
   double cover_ms = 0;
   double total_ms = 0;
+  // Parallel-stage bookkeeping: how many tasks each stage dispatched. These
+  // are counts of logical work items, deterministic and independent of
+  // num_threads (the M2/M3 optimizers and the determinism suite rely on
+  // that), unlike the wall-clock timings above.
+  size_t view_tuple_tasks = 0;
+  size_t tuple_core_tasks = 0;
+  size_t verify_tasks = 0;
+  size_t cover_branch_tasks = 0;
+  // The resolved thread count the run used (num_threads, with 0 resolved to
+  // the hardware concurrency).
+  size_t threads_used = 1;
 };
 
 // One tuple of T(Q, V) with its core and class metadata.
@@ -65,6 +93,12 @@ struct AnnotatedViewTuple {
 };
 
 struct CoreCoverResult {
+  // kOk unless the input is outside the supported fragment (e.g. more than
+  // 64 subgoals after minimization). Unsupported inputs yield an empty
+  // result with `error` set instead of aborting the process.
+  CoreCoverStatus status = CoreCoverStatus::kOk;
+  // Human-readable detail when status != kOk.
+  std::string error;
   // True if at least one equivalent rewriting exists.
   bool has_rewriting = false;
   // The minimized query the machinery ran on (subgoal indices in cores
@@ -81,6 +115,8 @@ struct CoreCoverResult {
   std::vector<size_t> filter_candidates;
   CoreCoverStats stats;
   bool truncated = false;
+
+  bool ok() const { return status == CoreCoverStatus::kOk; }
 };
 
 // Globally-minimal rewritings (optimal under M1).

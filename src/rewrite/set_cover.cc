@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace vbr {
 
@@ -13,53 +14,102 @@ namespace {
 // DFS on the lowest uncovered element: every minimal cover contains, for the
 // lowest uncovered element, some set covering it, so branching over those
 // sets reaches every minimal (hence every minimum) cover.
+//
+// The first branching level (the sets containing the lowest element of the
+// whole universe) splits the search into independent subtrees, which is
+// where the parallelism lives: each top-level branch explores its subtree
+// into private state, and the branch outputs are merged in branch order.
+// Because the serial DFS visits branch 0 entirely before branch 1, the
+// merged discovery order equals the serial discovery order, making results
+// (and cap truncation) independent of the thread count.
 class CoverSearch {
  public:
-  CoverSearch(uint64_t universe, const std::vector<uint64_t>& sets)
-      : universe_(universe), sets_(sets) {
+  CoverSearch(uint64_t universe, const std::vector<uint64_t>& sets,
+              ThreadPool* pool)
+      : universe_(universe), sets_(sets), pool_(pool) {
     for (size_t i = 0; i < sets_.size(); ++i) {
       if (sets_[i] != 0) nonempty_.push_back(i);
     }
   }
 
-  // Enumerates covers of size exactly `depth_limit`, adding sorted index
-  // vectors to `out` (deduplicated). Returns false if `max_out` was hit.
-  bool EnumerateAtDepth(size_t depth_limit, size_t max_out,
-                        std::set<std::vector<size_t>>* out) {
-    depth_limit_ = depth_limit;
-    max_out_ = max_out;
-    out_ = out;
-    chosen_.clear();
-    return Dfs(universe_, /*require_exact=*/true);
-  }
+  // Enumerates covers in serial depth-first discovery order, deduplicated,
+  // capped at `max_out` distinct covers. With `require_exact`, only covers
+  // of size exactly `depth_limit` are recorded (with the optimistic bound
+  // pruning); otherwise every cover the branching reaches within
+  // `depth_limit` picks is recorded and the caller filters for minimality.
+  // Sets *truncated iff the distinct count reached the cap.
+  std::vector<std::vector<size_t>> Enumerate(size_t depth_limit,
+                                             bool require_exact,
+                                             size_t max_out, bool* truncated,
+                                             size_t* branch_tasks) {
+    *truncated = false;
+    if (universe_ == 0 || depth_limit == 0 || max_out == 0) return {};
+    const uint64_t lowest = universe_ & (~universe_ + 1);
+    std::vector<size_t> branch_sets;
+    for (size_t i : nonempty_) {
+      if ((sets_[i] & lowest) != 0) branch_sets.push_back(i);
+    }
+    if (branch_tasks != nullptr) *branch_tasks += branch_sets.size();
 
-  // Enumerates all covers reached by the lowest-element branching with no
-  // depth limit; the caller filters for minimality.
-  bool EnumerateAll(size_t depth_limit, size_t max_out,
-                    std::set<std::vector<size_t>>* out) {
-    depth_limit_ = depth_limit;
-    max_out_ = max_out;
-    out_ = out;
-    chosen_.clear();
-    return Dfs(universe_, /*require_exact=*/false);
+    std::vector<Branch> branches(branch_sets.size());
+    const auto run_branch = [&](size_t b) {
+      Branch& branch = branches[b];
+      branch.chosen.push_back(branch_sets[b]);
+      Dfs(&branch, universe_ & ~sets_[branch_sets[b]], depth_limit,
+          require_exact, max_out);
+    };
+    if (pool_ != nullptr && branch_sets.size() > 1) {
+      pool_->ParallelFor(branch_sets.size(), run_branch);
+    } else {
+      for (size_t b = 0; b < branch_sets.size(); ++b) run_branch(b);
+    }
+
+    // Merge in branch order with global deduplication; stop at the cap
+    // exactly where the serial enumeration would have stopped.
+    std::set<std::vector<size_t>> seen;
+    std::vector<std::vector<size_t>> out;
+    for (const Branch& branch : branches) {
+      for (const std::vector<size_t>& cover : branch.found) {
+        if (seen.insert(cover).second) {
+          out.push_back(cover);
+          if (out.size() >= max_out) {
+            *truncated = true;
+            return out;
+          }
+        }
+      }
+    }
+    return out;
   }
 
  private:
-  bool Dfs(uint64_t uncovered, bool require_exact) {
+  struct Branch {
+    std::vector<size_t> chosen;
+    // Covers in discovery order, deduplicated within the branch (the merge
+    // deduplicates across branches).
+    std::vector<std::vector<size_t>> found;
+    std::set<std::vector<size_t>> seen;
+  };
+
+  // Returns false when the branch hit its cap (no more output wanted).
+  bool Dfs(Branch* branch, uint64_t uncovered, size_t depth_limit,
+           bool require_exact, size_t max_out) const {
     if (uncovered == 0) {
-      if (!require_exact || chosen_.size() == depth_limit_) {
-        std::vector<size_t> cover = chosen_;
+      if (!require_exact || branch->chosen.size() == depth_limit) {
+        std::vector<size_t> cover = branch->chosen;
         std::sort(cover.begin(), cover.end());
-        out_->insert(std::move(cover));
-        if (out_->size() >= max_out_) return false;
+        if (branch->seen.insert(cover).second) {
+          branch->found.push_back(std::move(cover));
+          if (branch->found.size() >= max_out) return false;
+        }
       }
       return true;
     }
-    if (chosen_.size() >= depth_limit_) return true;
+    if (branch->chosen.size() >= depth_limit) return true;
     if (require_exact) {
       // Optimistic bound: each remaining pick covers all remaining elements
       // of some largest set; cheap bound via max popcount.
-      size_t remaining = depth_limit_ - chosen_.size();
+      const size_t remaining = depth_limit - branch->chosen.size();
       size_t max_cover = 0;
       for (size_t i : nonempty_) {
         max_cover = std::max(
@@ -74,9 +124,11 @@ class CoverSearch {
     const uint64_t lowest = uncovered & (~uncovered + 1);
     for (size_t i : nonempty_) {
       if ((sets_[i] & lowest) == 0) continue;
-      chosen_.push_back(i);
-      const bool keep_going = Dfs(uncovered & ~sets_[i], require_exact);
-      chosen_.pop_back();
+      branch->chosen.push_back(i);
+      const bool keep_going =
+          Dfs(branch, uncovered & ~sets_[i], depth_limit, require_exact,
+              max_out);
+      branch->chosen.pop_back();
       if (!keep_going) return false;
     }
     return true;
@@ -84,11 +136,8 @@ class CoverSearch {
 
   const uint64_t universe_;
   const std::vector<uint64_t>& sets_;
+  ThreadPool* const pool_;
   std::vector<size_t> nonempty_;
-  size_t depth_limit_ = 0;
-  size_t max_out_ = 0;
-  std::set<std::vector<size_t>>* out_ = nullptr;
-  std::vector<size_t> chosen_;
 };
 
 bool IsMinimalCover(uint64_t universe, const std::vector<uint64_t>& sets,
@@ -107,7 +156,8 @@ bool IsMinimalCover(uint64_t universe, const std::vector<uint64_t>& sets,
 
 MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
                                          const std::vector<uint64_t>& sets,
-                                         size_t max_covers) {
+                                         size_t max_covers, ThreadPool* pool,
+                                         size_t* branch_tasks) {
   MinimumCoversResult result;
   if (universe == 0) {
     result.feasible = true;
@@ -120,18 +170,20 @@ MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
   for (uint64_t s : sets) all |= s;
   if ((all & universe) != universe) return result;
 
-  CoverSearch search(universe, sets);
+  CoverSearch search(universe, sets, pool);
   const size_t max_depth =
       std::min<size_t>(sets.size(),
                        static_cast<size_t>(std::popcount(universe)));
   for (size_t k = 1; k <= max_depth; ++k) {
-    std::set<std::vector<size_t>> found;
-    const bool completed = search.EnumerateAtDepth(k, max_covers, &found);
+    bool truncated = false;
+    std::vector<std::vector<size_t>> found = search.Enumerate(
+        k, /*require_exact=*/true, max_covers, &truncated, branch_tasks);
     if (!found.empty()) {
       result.feasible = true;
       result.min_size = k;
-      result.covers.assign(found.begin(), found.end());
-      result.truncated = !completed;
+      std::sort(found.begin(), found.end());
+      result.covers = std::move(found);
+      result.truncated = truncated;
       return result;
     }
   }
@@ -141,19 +193,23 @@ MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
 
 std::vector<std::vector<size_t>> FindAllMinimalCovers(
     uint64_t universe, const std::vector<uint64_t>& sets, size_t max_covers,
-    bool* truncated) {
-  std::set<std::vector<size_t>> found;
+    bool* truncated, ThreadPool* pool, size_t* branch_tasks) {
   if (universe == 0) {
     if (truncated != nullptr) *truncated = false;
     return {{}};
   }
-  CoverSearch search(universe, sets);
-  const bool completed =
-      search.EnumerateAll(sets.size(), max_covers, &found);
-  if (truncated != nullptr) *truncated = !completed;
+  CoverSearch search(universe, sets, pool);
+  bool hit_cap = false;
+  std::vector<std::vector<size_t>> found =
+      search.Enumerate(sets.size(), /*require_exact=*/false, max_covers,
+                       &hit_cap, branch_tasks);
+  if (truncated != nullptr) *truncated = hit_cap;
+  std::sort(found.begin(), found.end());
   std::vector<std::vector<size_t>> result;
-  for (const auto& cover : found) {
-    if (IsMinimalCover(universe, sets, cover)) result.push_back(cover);
+  for (std::vector<size_t>& cover : found) {
+    if (IsMinimalCover(universe, sets, cover)) {
+      result.push_back(std::move(cover));
+    }
   }
   return result;
 }

@@ -8,10 +8,28 @@
 
 namespace vbr {
 
+class ThreadPool;
+
 // Exact set covering over a universe of at most 64 elements, used by
 // CoreCover to cover query subgoals with tuple-cores (Section 4.2) and by
 // CoreCover* to enumerate all minimal covers (Section 5.1). Sets are
 // bitmasks; a cover is a sorted list of set indices.
+//
+// CONTRACT — the 64-element cap: universes and sets are uint64_t bitmasks,
+// so element indices must be < 64. This is what limits the whole CoreCover
+// pipeline to minimized queries of at most 64 subgoals (tuple-cores are
+// masks over query subgoals, see tuple_core.h). CoreCover reports larger
+// queries as CoreCoverStatus::kUnsupportedQueryTooLarge instead of running;
+// direct callers of these functions must enforce the cap themselves.
+//
+// Both enumerations branch, for the lowest uncovered element, over every set
+// containing it. The top-level branches are independent and may be explored
+// in parallel by passing a ThreadPool; results are merged in branch order,
+// which reproduces the serial depth-first discovery order exactly, so the
+// output (including which covers survive a `max_covers` truncation) is
+// byte-identical for every thread count. `branch_tasks`, when non-null, is
+// incremented by the number of top-level branches explored (a deterministic
+// work counter surfaced in CoreCoverStats).
 
 struct MinimumCoversResult {
   // True if some cover exists.
@@ -28,14 +46,17 @@ struct MinimumCoversResult {
 // All minimum-cardinality covers of `universe` by `sets`.
 MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
                                          const std::vector<uint64_t>& sets,
-                                         size_t max_covers = 1024);
+                                         size_t max_covers = 1024,
+                                         ThreadPool* pool = nullptr,
+                                         size_t* branch_tasks = nullptr);
 
 // All minimal (irredundant) covers: covers from which no set can be removed.
 // Every minimum cover is minimal; minimal covers of larger cardinality are
 // the extra logical plans CoreCover* passes to the M2 optimizer.
 std::vector<std::vector<size_t>> FindAllMinimalCovers(
     uint64_t universe, const std::vector<uint64_t>& sets,
-    size_t max_covers = 4096, bool* truncated = nullptr);
+    size_t max_covers = 4096, bool* truncated = nullptr,
+    ThreadPool* pool = nullptr, size_t* branch_tasks = nullptr);
 
 }  // namespace vbr
 

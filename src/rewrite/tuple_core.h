@@ -27,7 +27,9 @@ namespace vbr {
 struct TupleCore {
   // Bitmask over the subgoal indices of the minimized query (bit i set iff
   // subgoal i is covered). The query must therefore have at most 64
-  // subgoals, far beyond the paper's sizes.
+  // subgoals, far beyond the paper's sizes (see the contract in
+  // set_cover.h; CoreCover reports larger queries as unsupported instead of
+  // running the pipeline).
   uint64_t covered_mask = 0;
   // The same set as sorted indices.
   std::vector<size_t> covered;
@@ -40,8 +42,13 @@ struct TupleCore {
 };
 
 // Computes the tuple-core of `tuple` for `query`. `query` must be minimal
-// (CoreCover minimizes first); `views` must contain the tuple's defining
-// view at `tuple.view_index`.
+// (CoreCover minimizes first) and have at most 64 subgoals (VBR_CHECKed;
+// CoreCover screens oversized queries before calling here); `views` must
+// contain the tuple's defining view at `tuple.view_index`.
+//
+// Thread-safe for concurrent calls: the search state is call-local and the
+// only shared touchpoint is fresh-variable interning in the (thread-safe)
+// global symbol table.
 TupleCore ComputeTupleCore(const ConjunctiveQuery& query,
                            const ViewTuple& tuple, const ViewSet& views);
 

@@ -3,28 +3,54 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "cq/homomorphism.h"
 
 namespace vbr {
 
-std::vector<ViewTuple> ComputeViewTuples(const ConjunctiveQuery& query,
-                                         const ViewSet& views) {
-  const CanonicalDatabase canonical(query);
+namespace {
+
+// Tuples of one view on the canonical database, deduplicated per view. Runs
+// concurrently for distinct views: it only reads the shared canonical
+// database and interns symbols (thread-safe).
+std::vector<ViewTuple> TuplesOfView(const CanonicalDatabase& canonical,
+                                    const View& view, size_t view_index) {
+  VBR_CHECK_MSG(view.IsSafe(), "view definitions must be safe");
+  VBR_CHECK_MSG(!view.HasBuiltins(),
+                "view tuples require comparison-free views");
   std::vector<ViewTuple> result;
-  for (size_t vi = 0; vi < views.size(); ++vi) {
-    const View& view = views[vi];
-    VBR_CHECK_MSG(view.IsSafe(), "view definitions must be safe");
-    VBR_CHECK_MSG(!view.HasBuiltins(),
-                  "view tuples require comparison-free views");
-    std::unordered_set<Atom, AtomHash> seen;
-    ForEachHomomorphism(
-        view.body(), canonical.facts(), {}, [&](const Substitution& h) {
-          const Atom tuple = canonical.Thaw(h.Apply(view.head()));
-          if (seen.insert(tuple).second) {
-            result.push_back(ViewTuple{tuple, vi});
-          }
-          return true;
-        });
+  std::unordered_set<Atom, AtomHash> seen;
+  ForEachHomomorphism(
+      view.body(), canonical.facts(), {}, [&](const Substitution& h) {
+        const Atom tuple = canonical.Thaw(h.Apply(view.head()));
+        if (seen.insert(tuple).second) {
+          result.push_back(ViewTuple{tuple, view_index});
+        }
+        return true;
+      });
+  return result;
+}
+
+}  // namespace
+
+std::vector<ViewTuple> ComputeViewTuples(const ConjunctiveQuery& query,
+                                         const ViewSet& views,
+                                         ThreadPool* pool) {
+  const CanonicalDatabase canonical(query);
+  std::vector<std::vector<ViewTuple>> per_view(views.size());
+  const auto compute = [&](size_t vi) {
+    per_view[vi] = TuplesOfView(canonical, views[vi], vi);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(views.size(), compute);
+  } else {
+    for (size_t vi = 0; vi < views.size(); ++vi) compute(vi);
+  }
+  // Concatenate in view order: output is independent of the thread count.
+  std::vector<ViewTuple> result;
+  for (std::vector<ViewTuple>& tuples : per_view) {
+    result.insert(result.end(), std::make_move_iterator(tuples.begin()),
+                  std::make_move_iterator(tuples.end()));
   }
   return result;
 }

@@ -9,6 +9,8 @@
 
 namespace vbr {
 
+class ThreadPool;
+
 // A view tuple (Section 3.3): a tuple the view produces on the query's
 // canonical database, with frozen constants restored to query variables.
 // Lemma 3.2 shows every rewriting can be transformed to one whose subgoals
@@ -28,8 +30,13 @@ struct ViewTuple {
 // Duplicate tuples from one view are deduplicated; the same atom produced by
 // two different views yields two entries (they reference different view
 // relations).
+//
+// With a non-null `pool`, the per-view homomorphism searches run in
+// parallel; results are concatenated in view order, so the output is
+// identical for every thread count.
 std::vector<ViewTuple> ComputeViewTuples(const ConjunctiveQuery& query,
-                                         const ViewSet& views);
+                                         const ViewSet& views,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace vbr
 

@@ -1,0 +1,144 @@
+// The threading determinism contract (DESIGN.md "Threading model"):
+// CoreCover and CoreCoverStar return identical rewritings, filter
+// candidates, view-tuple annotations, and stats COUNTERS (not timings) for
+// every num_threads value. num_threads == 1 runs the pre-threading serial
+// code path, so equality against it pins the parallel stages to the serial
+// semantics across the star/chain workload generators.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rewrite/core_cover.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+const size_t kThreadCounts[] = {1, 2, 8};
+
+struct Config {
+  QueryShape shape;
+  uint64_t seed;
+  size_t nondistinguished;
+};
+
+class ThreadingDeterminismTest : public ::testing::TestWithParam<Config> {};
+
+Workload MakeWorkload(const Config& config) {
+  WorkloadConfig wc;
+  wc.shape = config.shape;
+  wc.num_query_subgoals = 6;
+  wc.num_views = 30;
+  wc.num_nondistinguished_query_vars = config.nondistinguished;
+  wc.num_nondistinguished_view_vars = config.nondistinguished;
+  wc.seed = config.seed;
+  return GenerateWorkload(wc);
+}
+
+// Everything that must not depend on the thread count. Wall-clock timings
+// and threads_used are intentionally excluded.
+void ExpectSameResult(const CoreCoverResult& base,
+                      const CoreCoverResult& other, size_t threads) {
+  SCOPED_TRACE("num_threads=" + std::to_string(threads));
+  EXPECT_EQ(base.status, other.status);
+  EXPECT_EQ(base.has_rewriting, other.has_rewriting);
+  EXPECT_EQ(base.truncated, other.truncated);
+  EXPECT_EQ(base.minimized_query, other.minimized_query);
+  ASSERT_EQ(base.rewritings.size(), other.rewritings.size());
+  for (size_t i = 0; i < base.rewritings.size(); ++i) {
+    EXPECT_EQ(base.rewritings[i], other.rewritings[i]);
+  }
+  EXPECT_EQ(base.filter_candidates, other.filter_candidates);
+  ASSERT_EQ(base.view_tuples.size(), other.view_tuples.size());
+  for (size_t i = 0; i < base.view_tuples.size(); ++i) {
+    EXPECT_EQ(base.view_tuples[i].tuple.atom, other.view_tuples[i].tuple.atom);
+    EXPECT_EQ(base.view_tuples[i].tuple.view_index,
+              other.view_tuples[i].tuple.view_index);
+    EXPECT_EQ(base.view_tuples[i].core.covered_mask,
+              other.view_tuples[i].core.covered_mask);
+    EXPECT_EQ(base.view_tuples[i].core.covered, other.view_tuples[i].core.covered);
+    EXPECT_EQ(base.view_tuples[i].class_id, other.view_tuples[i].class_id);
+    EXPECT_EQ(base.view_tuples[i].is_class_representative,
+              other.view_tuples[i].is_class_representative);
+  }
+  EXPECT_EQ(base.stats.num_views, other.stats.num_views);
+  EXPECT_EQ(base.stats.num_view_classes, other.stats.num_view_classes);
+  EXPECT_EQ(base.stats.num_view_tuples, other.stats.num_view_tuples);
+  EXPECT_EQ(base.stats.num_tuple_classes, other.stats.num_tuple_classes);
+  EXPECT_EQ(base.stats.num_nonempty_cores, other.stats.num_nonempty_cores);
+  EXPECT_EQ(base.stats.minimum_cover_size, other.stats.minimum_cover_size);
+  EXPECT_EQ(base.stats.view_tuple_tasks, other.stats.view_tuple_tasks);
+  EXPECT_EQ(base.stats.tuple_core_tasks, other.stats.tuple_core_tasks);
+  EXPECT_EQ(base.stats.verify_tasks, other.stats.verify_tasks);
+  EXPECT_EQ(base.stats.cover_branch_tasks, other.stats.cover_branch_tasks);
+}
+
+TEST_P(ThreadingDeterminismTest, CoreCoverMatchesSerialAtEveryThreadCount) {
+  const Workload w = MakeWorkload(GetParam());
+  CoreCoverOptions options;
+  options.verify_rewritings = true;  // Exercise the parallel verify stage.
+  options.num_threads = 1;
+  const auto base = CoreCover(w.query, w.views, options);
+  EXPECT_EQ(base.stats.threads_used, 1u);
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    const auto result = CoreCover(w.query, w.views, options);
+    EXPECT_EQ(result.stats.threads_used, threads);
+    ExpectSameResult(base, result, threads);
+  }
+}
+
+TEST_P(ThreadingDeterminismTest, CoreCoverStarMatchesSerialAtEveryThreadCount) {
+  const Workload w = MakeWorkload(GetParam());
+  CoreCoverOptions options;
+  options.max_rewritings = 64;  // Small cap: truncation must also agree.
+  options.num_threads = 1;
+  const auto base = CoreCoverStar(w.query, w.views, options);
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    ExpectSameResult(base, CoreCoverStar(w.query, w.views, options), threads);
+  }
+}
+
+TEST_P(ThreadingDeterminismTest, UngroupedPipelineAlsoDeterministic) {
+  // Grouping off maximizes the number of parallel tuple-core tasks and
+  // cover candidates.
+  const Workload w = MakeWorkload(GetParam());
+  CoreCoverOptions options;
+  options.group_views = false;
+  options.group_view_tuples = false;
+  options.max_rewritings = 32;
+  options.num_threads = 1;
+  const auto base = CoreCover(w.query, w.views, options);
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    ExpectSameResult(base, CoreCover(w.query, w.views, options), threads);
+  }
+}
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> configs;
+  for (const QueryShape shape : {QueryShape::kStar, QueryShape::kChain}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      for (size_t nondist : {size_t{0}, size_t{1}}) {
+        configs.push_back({shape, seed, nondist});
+      }
+    }
+  }
+  return configs;
+}
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  return std::string(info.param.shape == QueryShape::kStar ? "star" : "chain") +
+         "_seed" + std::to_string(info.param.seed) + "_nd" +
+         std::to_string(info.param.nondistinguished);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ThreadingDeterminismTest,
+                         ::testing::ValuesIn(AllConfigs()), ConfigName);
+
+}  // namespace
+}  // namespace vbr

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "cq/parser.h"
 #include "rewrite/core_cover.h"
 #include "rewrite/rewriting.h"
@@ -146,6 +149,51 @@ TEST(CoreCoverEdgeTest, StarResultsContainAllGmrSizes) {
   }
   EXPECT_TRUE(has_one);
   EXPECT_TRUE(has_two);
+}
+
+// A chain query over 65 distinct predicates: minimal (nothing to remove),
+// one subgoal past the 64-bit tuple-core bitmask. Must come back as a
+// structured unsupported result, not a process abort (regression: this used
+// to VBR_CHECK-fail in core_cover.cc / tuple_core.cc).
+TEST(CoreCoverEdgeTest, QueryBeyond64SubgoalsReportsUnsupported) {
+  std::vector<Atom> body;
+  for (int i = 0; i < 65; ++i) {
+    body.emplace_back("p" + std::to_string(i),
+                      std::vector<Term>{Var("X" + std::to_string(i)),
+                                        Var("X" + std::to_string(i + 1))});
+  }
+  const ConjunctiveQuery q(Atom("q", {Var("X0"), Var("X65")}),
+                           std::move(body));
+  const auto views = MustParseProgram("v(A,B) :- p0(A,B)");
+
+  const auto result = CoreCover(q, views);
+  EXPECT_EQ(result.status, CoreCoverStatus::kUnsupportedQueryTooLarge);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.has_rewriting);
+  EXPECT_TRUE(result.rewritings.empty());
+  EXPECT_TRUE(result.view_tuples.empty());
+  EXPECT_NE(result.error.find("64"), std::string::npos);
+  EXPECT_EQ(result.minimized_query.num_subgoals(), 65u);
+
+  const auto star = CoreCoverStar(q, views);
+  EXPECT_EQ(star.status, CoreCoverStatus::kUnsupportedQueryTooLarge);
+  EXPECT_FALSE(star.has_rewriting);
+}
+
+// Exactly 64 subgoals is still inside the supported fragment.
+TEST(CoreCoverEdgeTest, QueryWith64SubgoalsIsSupported) {
+  std::vector<Atom> body;
+  for (int i = 0; i < 64; ++i) {
+    body.emplace_back("p" + std::to_string(i),
+                      std::vector<Term>{Var("X" + std::to_string(i)),
+                                        Var("X" + std::to_string(i + 1))});
+  }
+  const ConjunctiveQuery q(Atom("q", {Var("X0"), Var("X64")}),
+                           std::move(body));
+  const auto result = CoreCover(q, MustParseProgram("v(A,B) :- p0(A,B)"));
+  EXPECT_EQ(result.status, CoreCoverStatus::kOk);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.has_rewriting);  // One view cannot cover 64 subgoals.
 }
 
 }  // namespace
