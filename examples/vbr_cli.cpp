@@ -9,7 +9,7 @@
 //
 // Usage:
 //   vbr_cli [--all-minimal] [--show-tuples] [--no-grouping] [--threads N]
-//           [--data FACTS_FILE [--model m1|m2|m3]] [file]
+//           [--no-cache] [--data FACTS_FILE [--model m1|m2|m3]] [file]
 //
 // With no file, reads the program from standard input. Example program:
 //
@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
 
   bool all_minimal = false;
   bool show_tuples = false;
+  bool enable_cache = true;
   CoreCoverOptions options;
   const char* path = nullptr;
   const char* data_path = nullptr;
@@ -70,6 +71,8 @@ int main(int argc, char** argv) {
         return Fail(std::string("--threads needs a number, got ") + argv[i]);
       }
       options.num_threads = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      enable_cache = false;
     } else if (std::strcmp(argv[i], "--data") == 0) {
       if (++i >= argc) return Fail("--data needs a file argument");
       data_path = argv[i];
@@ -148,12 +151,19 @@ int main(int argc, char** argv) {
     std::string data_error;
     auto base = LoadDatabaseFile(data_path, &data_error);
     if (!base.has_value()) return Fail(data_error);
-    ViewPlanner planner(views, MaterializeViews(views, *base));
-    auto choice = planner.Plan(query, model);
-    if (!choice.has_value()) return Fail("planner found no plan");
+    ViewPlanner::Options planner_options;
+    planner_options.core_cover = options;
+    planner_options.enable_cache = enable_cache;
+    ViewPlanner planner(views, MaterializeViews(views, *base),
+                        planner_options);
+    const auto plan = planner.Plan(query, model);
+    if (!plan.ok()) {
+      return Fail(std::string("planner: ") + PlanStatusName(plan.status) +
+                  (plan.error.empty() ? "" : " (" + plan.error + ")"));
+    }
     std::printf("%%\n%% chosen physical plan (cost %zu):\n%%   %s\n",
-                choice->cost, choice->physical.ToString().c_str());
-    const Relation answer = planner.Execute(*choice);
+                plan.choice->cost, plan.choice->physical.ToString().c_str());
+    const Relation answer = planner.Execute(*plan.choice);
     std::printf("%% answer (%zu row(s)):\n", answer.size());
     for (const auto& row : answer.SortedRows()) {
       std::string line = query.head().predicate_name() + "(";

@@ -11,15 +11,17 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
 # ctest names gtest cases "<Suite>.<Test>"; this matches the SymbolTable
-# stress suite plus both determinism suites.
-FILTER=${1:-'SymbolConcurrency|Determinism'}
+# stress suite, both determinism suites, and the sharded plan cache /
+# batched planning suites.
+FILTER=${1:-'SymbolConcurrency|Determinism|PlanCache|PlanMany'}
 
 cmake -B "$BUILD_DIR" -S . \
   -DVBR_SANITIZE=thread \
   -DVBR_BUILD_BENCHMARKS=OFF \
   -DVBR_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target symbol_concurrency_test threading_determinism_test determinism_test
+  --target symbol_concurrency_test threading_determinism_test \
+  determinism_test plan_cache_test plan_many_test
 
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \

@@ -1,0 +1,360 @@
+#include "cq/fingerprint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cq/containment.h"
+
+namespace vbr {
+
+namespace {
+
+// Branch budget for the individualization-refinement search. Each node of
+// the search tree costs one unit; 8-subgoal workload queries use a handful.
+constexpr size_t kLabelingBudget = 4096;
+
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t Combine(uint64_t seed, uint64_t v) {
+  return Mix(seed ^ (v + 0x2545f4914f6cdd1dULL));
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Canonical labeling of one (minimized) query by color refinement with
+// individualization-refinement tie-breaking.
+class Canonizer {
+ public:
+  explicit Canonizer(const ConjunctiveQuery& q) : q_(q) {
+    // Distinct variables, defensively including head-only ones.
+    std::vector<Atom> all = q.body();
+    all.push_back(q.head());
+    vars_ = CollectVariables(all);
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      index_[vars_[i].symbol()] = i;
+    }
+    occurrences_.resize(vars_.size());
+    for (size_t a = 0; a < q.body().size(); ++a) {
+      const Atom& atom = q.body()[a];
+      for (size_t p = 0; p < atom.arity(); ++p) {
+        if (atom.arg(p).is_variable()) {
+          occurrences_[index_[atom.arg(p).symbol()]].emplace_back(a, p);
+        }
+      }
+    }
+  }
+
+  // Runs the search. Returns the canonical serialization; `out_ranks`
+  // receives the winning label (rank) per variable, `out_exact` whether the
+  // search completed within budget.
+  std::string Run(std::vector<size_t>* out_ranks, bool* out_exact) {
+    std::vector<uint64_t> colors(vars_.size());
+    // Initial colors: the set of head positions the variable occupies
+    // (order-invariant structural information that a renaming preserves).
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      uint64_t sig = 0x5bf03635;
+      const Atom& head = q_.head();
+      for (size_t p = 0; p < head.arity(); ++p) {
+        if (head.arg(p) == vars_[i]) sig = Combine(sig, p + 1);
+      }
+      colors[i] = sig;
+    }
+    Densify(&colors);
+    budget_ = kLabelingBudget;
+    exact_ = true;
+    best_.clear();
+    Search(std::move(colors));
+    *out_ranks = best_ranks_;
+    *out_exact = exact_;
+    return best_;
+  }
+
+ private:
+  // Replaces arbitrary color values by dense ranks 0..k-1 in increasing
+  // color order. Rank assignment depends only on the multiset of colors, so
+  // isomorphic queries densify identically.
+  static void Densify(std::vector<uint64_t>* colors) {
+    std::vector<uint64_t> sorted(*colors);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (uint64_t& c : *colors) {
+      c = static_cast<uint64_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), c) - sorted.begin());
+    }
+  }
+
+  static size_t CountClasses(const std::vector<uint64_t>& colors) {
+    size_t max_rank = 0;
+    for (uint64_t c : colors) max_rank = std::max<size_t>(max_rank, c + 1);
+    return max_rank;
+  }
+
+  // One refinement round; returns the number of classes after it.
+  size_t RefineOnce(std::vector<uint64_t>* colors) const {
+    // Atom colors from predicate + per-position argument colors.
+    std::vector<uint64_t> atom_color(q_.body().size());
+    for (size_t a = 0; a < q_.body().size(); ++a) {
+      const Atom& atom = q_.body()[a];
+      uint64_t sig = Combine(0x61f0, static_cast<uint64_t>(atom.predicate()));
+      for (size_t p = 0; p < atom.arity(); ++p) {
+        const Term t = atom.arg(p);
+        sig = t.is_variable()
+                  ? Combine(sig, Combine(0x7a, (*colors)[index_.at(t.symbol())]))
+                  : Combine(sig, Combine(0xc0, static_cast<uint64_t>(t.symbol())));
+      }
+      atom_color[a] = sig;
+    }
+    // Variable colors from the multiset of (atom color, position) incidences.
+    std::vector<uint64_t> next(colors->size());
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      std::vector<uint64_t> inc;
+      inc.reserve(occurrences_[i].size());
+      for (const auto& [a, p] : occurrences_[i]) {
+        inc.push_back(Combine(atom_color[a], p + 1));
+      }
+      std::sort(inc.begin(), inc.end());
+      uint64_t sig = Combine(0x11d7, (*colors)[i]);
+      for (uint64_t v : inc) sig = Combine(sig, v);
+      next[i] = sig;
+    }
+    Densify(&next);
+    *colors = std::move(next);
+    return CountClasses(*colors);
+  }
+
+  void RefineToStable(std::vector<uint64_t>* colors) const {
+    Densify(colors);  // individualized children arrive non-dense
+    size_t classes = CountClasses(*colors);
+    while (classes < vars_.size()) {
+      const size_t refined = RefineOnce(colors);
+      if (refined == classes) break;
+      classes = refined;
+    }
+  }
+
+  // First (lowest-rank) color class with more than one member, or npos.
+  static size_t FirstAmbiguousClass(const std::vector<uint64_t>& colors) {
+    std::vector<size_t> count;
+    for (uint64_t c : colors) {
+      if (c >= count.size()) count.resize(c + 1, 0);
+      ++count[c];
+    }
+    for (size_t r = 0; r < count.size(); ++r) {
+      if (count[r] > 1) return r;
+    }
+    return static_cast<size_t>(-1);
+  }
+
+  void Search(std::vector<uint64_t> colors) {
+    RefineToStable(&colors);
+    const size_t ambiguous = FirstAmbiguousClass(colors);
+    if (ambiguous == static_cast<size_t>(-1)) {
+      std::string s = Serialize(colors);
+      if (best_.empty() || s < best_) {
+        best_ = std::move(s);
+        best_ranks_.assign(colors.begin(), colors.end());
+      }
+      return;
+    }
+    const uint64_t fresh = vars_.size();  // distinct from every dense rank
+    if (budget_ == 0) {
+      // Budget exhausted: individualize the first member in input order.
+      // Deterministic for this input, but input-order-dependent, so the
+      // result is no longer canonical across renamings.
+      exact_ = false;
+      for (size_t i = 0; i < colors.size(); ++i) {
+        if (colors[i] == ambiguous) {
+          colors[i] = fresh;
+          break;
+        }
+      }
+      Search(std::move(colors));
+      return;
+    }
+    for (size_t i = 0; i < colors.size(); ++i) {
+      if (colors[i] != ambiguous) continue;
+      if (budget_ == 0) {
+        exact_ = false;  // remaining members of the class go unexplored
+        break;
+      }
+      --budget_;
+      std::vector<uint64_t> child(colors);
+      child[i] = fresh;
+      Search(std::move(child));
+    }
+  }
+
+  std::string TermString(Term t, const std::vector<uint64_t>& ranks) const {
+    if (t.is_constant()) return "c~" + t.ToString();
+    return "@" + std::to_string(ranks[index_.at(t.symbol())]);
+  }
+
+  // Serialization under a discrete coloring: head verbatim (predicate and
+  // argument order are significant), body atoms sorted (subgoal order is
+  // not).
+  std::string Serialize(const std::vector<uint64_t>& ranks) const {
+    std::string head = q_.head().predicate_name();
+    head += '(';
+    for (size_t p = 0; p < q_.head().arity(); ++p) {
+      if (p > 0) head += ',';
+      head += TermString(q_.head().arg(p), ranks);
+    }
+    head += ')';
+    std::vector<std::string> body;
+    body.reserve(q_.body().size());
+    for (const Atom& atom : q_.body()) {
+      std::string s = atom.predicate_name();
+      s += '(';
+      for (size_t p = 0; p < atom.arity(); ++p) {
+        if (p > 0) s += ',';
+        s += TermString(atom.arg(p), ranks);
+      }
+      s += ')';
+      body.push_back(std::move(s));
+    }
+    std::sort(body.begin(), body.end());
+    std::string out = head;
+    out += ":-";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ',';
+      out += body[i];
+    }
+    return out;
+  }
+
+  const ConjunctiveQuery& q_;
+  std::vector<Term> vars_;
+  std::unordered_map<Symbol, size_t> index_;
+  std::vector<std::vector<std::pair<size_t, size_t>>> occurrences_;
+  size_t budget_ = 0;
+  bool exact_ = true;
+  std::string best_;
+  std::vector<size_t> best_ranks_;
+};
+
+}  // namespace
+
+CanonicalQuery CanonicalizeQuery(const ConjunctiveQuery& query) {
+  CanonicalQuery out;
+  out.minimized = query.HasBuiltins() ? query : Minimize(query);
+  Canonizer canonizer(out.minimized);
+  std::vector<size_t> ranks;
+  bool exact = true;
+  out.fingerprint.canonical = canonizer.Run(&ranks, &exact);
+  out.fingerprint.hash = Fnv1a(out.fingerprint.canonical);
+  out.fingerprint.exact = exact;
+  std::vector<Atom> all = out.minimized.body();
+  all.push_back(out.minimized.head());
+  const std::vector<Term> vars = CollectVariables(all);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    const Term canonical = Var("@" + std::to_string(ranks[i]));
+    out.to_canonical.Bind(vars[i], canonical);
+    out.from_canonical.Bind(canonical, vars[i]);
+  }
+  return out;
+}
+
+QueryFingerprint CanonicalFingerprint(const ConjunctiveQuery& query) {
+  return CanonicalizeQuery(query).fingerprint;
+}
+
+namespace {
+
+// Backtracking state for the isomorphism search.
+struct IsoState {
+  Substitution map;                       // vars(a) -> vars(b)
+  std::unordered_set<Symbol> used;        // images already taken
+};
+
+// Extends the bijection with s -> t. Returns 0 on failure, 1 if the pair
+// was already bound (nothing to undo), 2 if a new binding was added.
+int TryBind(IsoState* st, Term s, Term t) {
+  if (s.is_constant()) return s == t ? 1 : 0;
+  if (!t.is_variable()) return 0;
+  if (auto bound = st->map.Lookup(s)) return *bound == t ? 1 : 0;
+  if (st->used.count(t.symbol()) > 0) return 0;
+  st->map.Bind(s, t);
+  st->used.insert(t.symbol());
+  return 2;
+}
+
+void Undo(IsoState* st, const std::vector<std::pair<Term, Term>>& added) {
+  for (const auto& [s, t] : added) {
+    st->map.Unbind(s);
+    st->used.erase(t.symbol());
+  }
+}
+
+// Binds the argument vectors positionally; appends new bindings to `added`
+// so the caller can roll back.
+bool BindArgs(IsoState* st, const Atom& a, const Atom& b,
+              std::vector<std::pair<Term, Term>>* added) {
+  for (size_t p = 0; p < a.arity(); ++p) {
+    const int r = TryBind(st, a.arg(p), b.arg(p));
+    if (r == 0) return false;
+    if (r == 2) added->emplace_back(a.arg(p), b.arg(p));
+  }
+  return true;
+}
+
+bool MatchBodies(IsoState* st, const std::vector<Atom>& a,
+                 const std::vector<Atom>& b, std::vector<bool>* used_b,
+                 size_t i) {
+  if (i == a.size()) return true;
+  for (size_t j = 0; j < b.size(); ++j) {
+    if ((*used_b)[j] || a[i].predicate() != b[j].predicate() ||
+        a[i].arity() != b[j].arity()) {
+      continue;
+    }
+    std::vector<std::pair<Term, Term>> added;
+    if (BindArgs(st, a[i], b[j], &added)) {
+      (*used_b)[j] = true;
+      if (MatchBodies(st, a, b, used_b, i + 1)) return true;
+      (*used_b)[j] = false;
+    }
+    Undo(st, added);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Substitution> FindIsomorphism(const ConjunctiveQuery& a,
+                                            const ConjunctiveQuery& b) {
+  if (a.head().predicate() != b.head().predicate() ||
+      a.head().arity() != b.head().arity() ||
+      a.num_subgoals() != b.num_subgoals()) {
+    return std::nullopt;
+  }
+  IsoState st;
+  std::vector<std::pair<Term, Term>> head_added;
+  if (!BindArgs(&st, a.head(), b.head(), &head_added)) return std::nullopt;
+  std::vector<bool> used_b(b.num_subgoals(), false);
+  if (!MatchBodies(&st, a.body(), b.body(), &used_b, 0)) return std::nullopt;
+  // A bijective atom matching with a consistent injective variable map is a
+  // query isomorphism; surjectivity onto vars(b) follows from safety of the
+  // matched atoms (every variable of b occurs in some matched atom).
+  return st.map;
+}
+
+bool Isomorphic(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return FindIsomorphism(a, b).has_value();
+}
+
+}  // namespace vbr

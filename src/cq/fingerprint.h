@@ -1,0 +1,97 @@
+#ifndef VBR_CQ_FINGERPRINT_H_
+#define VBR_CQ_FINGERPRINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cq/query.h"
+#include "cq/substitution.h"
+
+namespace vbr {
+
+// Canonical fingerprints for conjunctive queries.
+//
+// Two queries that differ only by a variable renaming and/or a reordering of
+// body subgoals denote the same mapping from databases to answers, and a
+// plan cache should serve both from one entry. CanonicalizeQuery computes a
+// renaming- and reordering-invariant canonical form:
+//
+//   1. minimize the query to its core (redundant subgoals would otherwise
+//      perturb the form; equivalent-up-to-redundancy queries also collapse),
+//   2. run iterative color refinement over the atom/variable incidence
+//      graph: a variable's color is refined by the multiset of
+//      (atom color, argument position) pairs it occurs at, an atom's color
+//      by its predicate and per-position argument colors,
+//   3. break remaining symmetric ties by individualization-refinement,
+//      taking the lexicographically least serialization over all tie-break
+//      choices (exact canonical labeling; a branch budget guards against
+//      pathological symmetry — if exceeded, the labeling is still
+//      deterministic for this input but no longer canonical, and the
+//      fingerprint is marked !exact so consumers fall back to
+//      FindIsomorphism for equality),
+//   4. rename variables to @0, @1, ... in label order, sort the body
+//      serialization, and hash the result.
+//
+// Constants and predicate names are preserved verbatim (a renaming maps
+// variables only), and head argument order matters: q(X,Y) and q(Y,X) over
+// the same body fingerprint differently.
+//
+// Queries with builtin comparison subgoals are canonicalized without the
+// minimization step (Minimize requires comparison-free queries); renaming /
+// reordering invariance still holds for them.
+
+struct QueryFingerprint {
+  // 64-bit FNV-1a digest of `canonical`. Equal canonical strings imply
+  // equal hashes; distinct canonical strings collide with probability
+  // ~2^-64 (collisions are handled by comparing `canonical`).
+  uint64_t hash = 0;
+  // The canonical serialization. Two queries with equal EXACT canonical
+  // strings are isomorphic (identical after the canonical renaming);
+  // conversely, isomorphic queries receive equal strings whenever both
+  // labelings completed within budget.
+  std::string canonical;
+  // True if the canonical labeling ran to completion. When false, unequal
+  // strings do not prove non-isomorphism: compare with FindIsomorphism.
+  bool exact = true;
+
+  friend bool operator==(const QueryFingerprint&,
+                         const QueryFingerprint&) = default;
+};
+
+// A query together with its canonical form and the variable mappings
+// between the two, as needed to transport cached artifacts.
+struct CanonicalQuery {
+  QueryFingerprint fingerprint;
+  // The minimized core of the input, in the input's own variable names
+  // (the input itself when it contains builtins).
+  ConjunctiveQuery minimized;
+  // Bijection vars(minimized) -> canonical variables @0..@k-1.
+  Substitution to_canonical;
+  // The inverse bijection.
+  Substitution from_canonical;
+};
+
+// Canonicalizes `query` (minimization + color refinement + canonical
+// labeling). Deterministic: identical inputs always produce identical
+// output, and renamed/reordered inputs produce equal fingerprints whenever
+// `fingerprint.exact` holds (always, in practice).
+CanonicalQuery CanonicalizeQuery(const ConjunctiveQuery& query);
+
+// Convenience: just the fingerprint.
+QueryFingerprint CanonicalFingerprint(const ConjunctiveQuery& query);
+
+// Searches for a query isomorphism from `a` onto `b`: a bijective
+// variable-to-variable renaming h with h(head(a)) = head(b) (same head
+// predicate, arguments positionally equal after renaming) and
+// h(body(a)) = body(b) as sets. Constants must match verbatim. Returns the
+// renaming, or nullopt if the queries are not isomorphic. Deterministic.
+std::optional<Substitution> FindIsomorphism(const ConjunctiveQuery& a,
+                                            const ConjunctiveQuery& b);
+
+// True if FindIsomorphism succeeds.
+bool Isomorphic(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_FINGERPRINT_H_

@@ -1,0 +1,153 @@
+#include "planner/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace vbr {
+
+std::optional<EquivalenceCertificate> CachedPlan::certificate(
+    size_t index) const {
+  std::lock_guard<std::mutex> lock(cert_mu_);
+  if (index >= certificates_.size()) return std::nullopt;
+  return certificates_[index];
+}
+
+void CachedPlan::StoreCertificate(size_t index,
+                                  EquivalenceCertificate certificate) const {
+  std::lock_guard<std::mutex> lock(cert_mu_);
+  if (certificates_.size() < rewritings.size()) {
+    certificates_.resize(rewritings.size());
+  }
+  VBR_CHECK(index < certificates_.size());
+  if (!certificates_[index].has_value()) {
+    certificates_[index] = std::move(certificate);
+  }
+}
+
+PlanCache::PlanCache(size_t capacity, size_t num_shards)
+    : capacity_(std::max<size_t>(capacity, 1)),
+      shard_capacity_(std::max<size_t>(
+          capacity_ / std::max<size_t>(std::min(num_shards, capacity_), 1),
+          1)),
+      shards_(std::max<size_t>(std::min(num_shards, capacity_), 1)) {}
+
+void PlanCache::Erase(Shard& shard, std::list<Node>::iterator it) {
+  const uint64_t hash = it->entry->fingerprint.hash;
+  auto [begin, end] = shard.index.equal_range(hash);
+  for (auto idx = begin; idx != end; ++idx) {
+    if (idx->second == it) {
+      shard.index.erase(idx);
+      break;
+    }
+  }
+  shard.lru.erase(it);
+}
+
+PlanCache::EntryPtr PlanCache::Lookup(
+    const QueryFingerprint& fp, CostModel model,
+    const ConjunctiveQuery& minimized,
+    std::optional<Substitution>* fallback_transport) {
+  fallback_transport->reset();
+  const uint64_t epoch = this->epoch();
+  Shard& shard = ShardFor(fp.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [begin, end] = shard.index.equal_range(fp.hash);
+  for (auto idx = begin; idx != end;) {
+    const auto it = idx->second;
+    if (it->epoch != epoch) {
+      // Stale entry from before the last view-set change; drop it.
+      ++idx;  // advance before Erase invalidates this index iterator
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      Erase(shard, it);
+      continue;
+    }
+    if (it->model == model) {
+      bool match = it->entry->fingerprint.canonical == fp.canonical;
+      if (!match && (!fp.exact || !it->entry->fingerprint.exact)) {
+        // Inexact labeling on either side: the canonical strings may
+        // disagree even for isomorphic queries, so decide by search.
+        auto iso = FindIsomorphism(it->entry->minimized, minimized);
+        if (iso.has_value()) {
+          *fallback_transport = std::move(iso);
+          match = true;
+        }
+      }
+      if (match) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->entry;
+      }
+    }
+    ++idx;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void PlanCache::Insert(CostModel model, EntryPtr entry) {
+  VBR_CHECK(entry != nullptr);
+  const uint64_t epoch = this->epoch();
+  const uint64_t hash = entry->fingerprint.hash;
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Refresh an existing node for the same key rather than duplicating it.
+  auto [begin, end] = shard.index.equal_range(hash);
+  for (auto idx = begin; idx != end; ++idx) {
+    const auto it = idx->second;
+    if (it->model == model && it->epoch == epoch &&
+        it->entry->fingerprint.canonical == entry->fingerprint.canonical) {
+      it->entry = std::move(entry);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it);
+      return;
+    }
+  }
+  shard.lru.push_front(Node{model, epoch, std::move(entry)});
+  shard.index.emplace(hash, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > shard_capacity_) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    Erase(shard, std::prev(shard.lru.end()));
+  }
+}
+
+void PlanCache::BumpEpoch() {
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Purge eagerly so invalidated entries stop occupying capacity. Lookup
+  // also skips (and drops) any straggler inserted around the bump.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    evictions_.fetch_add(shard.lru.size(), std::memory_order_relaxed);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+PlanCacheCounters PlanCache::counters() const {
+  PlanCacheCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.insertions = insertions_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+}  // namespace vbr

@@ -1,0 +1,157 @@
+#ifndef VBR_PLANNER_PLAN_CACHE_H_
+#define VBR_PLANNER_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cq/fingerprint.h"
+#include "cq/query.h"
+#include "rewrite/certificate.h"
+#include "rewrite/core_cover.h"
+
+namespace vbr {
+
+// The cached logical outcome of one CoreCover / CoreCoverStar run, stored in
+// CANONICAL variable space (every variable renamed by the inserting query's
+// canonical labeling, see cq/fingerprint.h). CoreCover's logical output
+// depends only on the query and the view DEFINITIONS — never on the view
+// instances — so entries stay valid while the view set is unchanged and are
+// re-costed against current instance sizes on every hit.
+struct CachedPlan {
+  // Fingerprint of the inserting query; `canonical` names the variable
+  // space the fields below live in.
+  QueryFingerprint fingerprint;
+  // CoreCover outcome. Negative outcomes (no rewriting / unsupported) are
+  // cached too, so repeated unanswerable queries stay cheap.
+  CoreCoverStatus status = CoreCoverStatus::kOk;
+  std::string error;
+  bool has_rewriting = false;
+  // The minimized core the rewritings are stated over.
+  ConjunctiveQuery minimized;
+  // All rewritings CoreCover emitted, in emission order.
+  std::vector<ConjunctiveQuery> rewritings;
+  // Empty-core view-tuple atoms: the filter candidates the M2/M3 costing
+  // loop may append (instance-dependent, so the CHOICE is not cached).
+  std::vector<Atom> filter_atoms;
+  // Stats of the original planning run (timings describe that run).
+  CoreCoverStats stats;
+
+  // Equivalence certificates, parallel to `rewritings`, filled lazily as
+  // winners get certified (certifying every rewriting up front would cost
+  // more than it saves). Monotone under `cert_mu`: a slot goes absent ->
+  // present once and is never replaced.
+  std::optional<EquivalenceCertificate> certificate(size_t index) const;
+  void StoreCertificate(size_t index, EquivalenceCertificate certificate) const;
+
+ private:
+  mutable std::mutex cert_mu_;
+  mutable std::vector<std::optional<EquivalenceCertificate>> certificates_;
+};
+
+struct PlanCacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  // LRU evictions plus entries dropped by epoch invalidation.
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+// A thread-safe, sharded LRU cache of CachedPlan entries keyed by
+// (query fingerprint, cost model, view-set epoch).
+//
+//  * Sharding: entries are distributed over independently locked shards by
+//    fingerprint hash; concurrent lookups of different queries contend only
+//    on distinct shard mutexes and the (atomic) counters.
+//  * LRU: each shard evicts its least-recently-used entry once past its
+//    share of the capacity.
+//  * Epoch: BumpEpoch() (called when the view set changes) invalidates
+//    every existing entry; entries carry the epoch they were inserted
+//    under, and a lookup never returns an entry from a previous epoch.
+//  * Collisions: a lookup matches on the full canonical string, not just
+//    the 64-bit hash. If either fingerprint is inexact (canonical-labeling
+//    budget exhausted — pathological symmetry), the match falls back to a
+//    FindIsomorphism() check and reports the witnessing renaming.
+class PlanCache {
+ public:
+  using EntryPtr = std::shared_ptr<const CachedPlan>;
+
+  // `capacity` is the total entry budget, split evenly across `num_shards`
+  // shards (each shard holds at least one entry).
+  explicit PlanCache(size_t capacity, size_t num_shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the entry for (fp, model) in the current epoch, or nullptr.
+  // `minimized` is the caller's minimized query (its own variable names),
+  // used only for the inexact-fingerprint isomorphism fallback; when the
+  // match came from that fallback, *fallback_transport receives the
+  // renaming entry-canonical-vars -> caller-vars (otherwise it is reset,
+  // and the caller's own from_canonical mapping applies).
+  EntryPtr Lookup(const QueryFingerprint& fp, CostModel model,
+                  const ConjunctiveQuery& minimized,
+                  std::optional<Substitution>* fallback_transport);
+
+  // Inserts `entry` (keyed by entry->fingerprint) under the current epoch,
+  // evicting LRU entries as needed. Re-inserting an existing key refreshes
+  // the stored entry.
+  void Insert(CostModel model, EntryPtr entry);
+
+  // Records a deduplication hit served outside Lookup (PlanMany hands a
+  // just-planned entry straight to batch duplicates).
+  void RecordDedupHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Invalidates every entry: the epoch counter is bumped and all shards are
+  // purged (the dropped entries count as evictions).
+  void BumpEpoch();
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  PlanCacheCounters counters() const;
+  void Clear();
+
+ private:
+  struct Node {
+    CostModel model = CostModel::kM1;
+    uint64_t epoch = 0;
+    EntryPtr entry;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<Node> lru;
+    // hash -> node; multimap to tolerate 64-bit hash collisions.
+    std::unordered_multimap<uint64_t, std::list<Node>::iterator> index;
+  };
+
+  Shard& ShardFor(uint64_t hash) { return shards_[hash % shards_.size()]; }
+  // Unlinks `it` from `shard` (index + list). Caller holds shard.mu.
+  void Erase(Shard& shard, std::list<Node>::iterator it);
+
+  const size_t capacity_;
+  const size_t shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace vbr
+
+#endif  // VBR_PLANNER_PLAN_CACHE_H_

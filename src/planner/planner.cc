@@ -1,13 +1,17 @@
 #include "planner/planner.h"
 
 #include <limits>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "cost/filter_advisor.h"
 #include "cost/m2_optimizer.h"
 #include "cost/m3_optimizer.h"
 #include "cost/supplementary.h"
+#include "planner/plan_cache.h"
 #include "rewrite/core_cover.h"
 
 namespace vbr {
@@ -26,7 +30,60 @@ const char* ModelName(CostModel model) {
   return "?";
 }
 
+// Inverse of a variable-to-variable renaming.
+Substitution InvertRenaming(const Substitution& renaming) {
+  Substitution inverse;
+  for (const auto& [sym, target] : renaming.bindings()) {
+    VBR_CHECK_MSG(target.is_variable(), "renaming maps a variable to a constant");
+    const bool fresh = inverse.Bind(target, Term::Variable(sym));
+    VBR_CHECK_MSG(fresh, "renaming is not injective");
+  }
+  return inverse;
+}
+
+// Renames a containment mapping: both its domain variables and its targets
+// are pushed through `renaming` (variables the renaming does not cover —
+// the expansion's fresh existentials — pass through unchanged).
+Substitution RenameMapping(const Substitution& mapping,
+                           const Substitution& renaming) {
+  Substitution out;
+  for (const auto& [sym, target] : mapping.bindings()) {
+    const Term domain = renaming.Apply(Term::Variable(sym));
+    VBR_CHECK_MSG(domain.is_variable(), "mapping domain renamed to a constant");
+    out.Bind(domain, renaming.Apply(target));
+  }
+  return out;
+}
+
+// Transports a certificate along a variable renaming (canonical space <->
+// a concrete query's variable space). The expansion's fresh existential
+// variables are outside the renaming and keep their names; the caller
+// re-verifies the transported certificate before trusting it.
+EquivalenceCertificate TransportCertificate(const EquivalenceCertificate& cert,
+                                            const Substitution& renaming) {
+  EquivalenceCertificate out;
+  out.query = renaming.Apply(cert.query);
+  out.rewriting = renaming.Apply(cert.rewriting);
+  out.expansion.query = renaming.Apply(cert.expansion.query);
+  out.expansion.origin = cert.expansion.origin;
+  out.query_to_expansion = RenameMapping(cert.query_to_expansion, renaming);
+  out.expansion_to_query = RenameMapping(cert.expansion_to_query, renaming);
+  return out;
+}
+
 }  // namespace
+
+const char* PlanStatusName(PlanStatus status) {
+  switch (status) {
+    case PlanStatus::kOk:
+      return "ok";
+    case PlanStatus::kNoRewriting:
+      return "no equivalent rewriting";
+    case PlanStatus::kUnsupportedQueryTooLarge:
+      return "unsupported query (too large)";
+  }
+  return "?";
+}
 
 std::string ViewPlanner::PlanChoice::ToString() const {
   std::string s = "logical : " + logical.ToString() + "\n";
@@ -42,37 +99,32 @@ ViewPlanner::ViewPlanner(ViewSet views, Database view_instances,
                          Options options)
     : views_(std::move(views)),
       view_instances_(std::move(view_instances)),
-      options_(options) {
+      options_(options),
+      cache_(std::make_unique<PlanCache>(options.cache_capacity)) {
   for (const View& v : views_) {
     VBR_CHECK_MSG(v.IsSafe(), "unsafe view definition");
   }
 }
 
-std::optional<ViewPlanner::PlanChoice> ViewPlanner::Plan(
-    const ConjunctiveQuery& query, CostModel model) const {
-  CoreCoverOptions cc_options;
-  cc_options.max_rewritings = options_.max_rewritings;
+ViewPlanner::~ViewPlanner() = default;
 
-  // M1 needs only the GMRs; M2/M3 search all minimal rewritings.
-  const CoreCoverResult result =
-      model == CostModel::kM1 ? CoreCover(query, views_, cc_options)
-                              : CoreCoverStar(query, views_, cc_options);
-  if (!result.has_rewriting) return std::nullopt;
-
-  std::vector<Atom> filters;
-  if (options_.use_filters && model != CostModel::kM1) {
-    for (size_t i : result.filter_candidates) {
-      filters.push_back(result.view_tuples[i].tuple.atom);
-    }
-  }
-
-  PlanChoice best;
-  best.model = model;
-  best.cost = std::numeric_limits<size_t>::max();
-  for (const ConjunctiveQuery& candidate : result.rewritings) {
-    ConjunctiveQuery logical = candidate;
+bool ViewPlanner::CostAndPick(const ConjunctiveQuery& query, CostModel model,
+                              const std::vector<ConjunctiveQuery>& rewritings,
+                              const std::vector<Atom>& filter_atoms,
+                              PlanChoice* best, size_t* winner_index,
+                              bool* winner_filtered) const {
+  const bool use_filters =
+      options_.use_filters && model != CostModel::kM1 && !filter_atoms.empty();
+  best->model = model;
+  best->cost = std::numeric_limits<size_t>::max();
+  *winner_index = 0;
+  *winner_filtered = false;
+  bool found = false;
+  for (size_t r = 0; r < rewritings.size(); ++r) {
+    ConjunctiveQuery logical = rewritings[r];
     PhysicalPlan physical;
     size_t cost = 0;
+    bool filtered = false;
     switch (model) {
       case CostModel::kM1: {
         cost = CostM1(logical);
@@ -83,9 +135,10 @@ std::optional<ViewPlanner::PlanChoice> ViewPlanner::Plan(
         break;
       }
       case CostModel::kM2: {
-        if (!filters.empty()) {
-          logical =
-              AdviseFilters(logical, filters, view_instances_).improved;
+        if (use_filters) {
+          auto advice = AdviseFilters(logical, filter_atoms, view_instances_);
+          filtered = !advice.filters_added.empty();
+          logical = std::move(advice.improved);
         }
         const auto m2 = OptimizeOrderM2(logical, view_instances_);
         physical = m2.plan;
@@ -93,42 +146,317 @@ std::optional<ViewPlanner::PlanChoice> ViewPlanner::Plan(
         break;
       }
       case CostModel::kM3: {
-        if (!filters.empty()) {
-          logical =
-              AdviseFilters(logical, filters, view_instances_).improved;
+        if (use_filters) {
+          auto advice = AdviseFilters(logical, filter_atoms, view_instances_);
+          filtered = !advice.filters_added.empty();
+          logical = std::move(advice.improved);
         }
         if (logical.num_subgoals() <= options_.max_m3_subgoals) {
-          const auto m3 =
-              OptimizeM3(logical, query, views_, view_instances_);
+          const auto m3 = OptimizeM3(logical, query, views_, view_instances_);
           physical = m3.plan;
           cost = m3.cost;
         } else {
           // Too wide for the exhaustive M3 search: M2 order + SR drops.
           const auto m2 = OptimizeOrderM2(logical, view_instances_);
           physical = m2.plan;
-          physical.drop_after =
-              SupplementaryDrops(logical, physical.order);
+          physical.drop_after = SupplementaryDrops(logical, physical.order);
           cost = ExecutePlan(physical, view_instances_).TotalCost();
         }
         break;
       }
     }
-    if (cost < best.cost) {
-      best.cost = cost;
-      best.logical = std::move(logical);
-      best.physical = std::move(physical);
+    if (!found || cost < best->cost) {
+      found = true;
+      best->cost = cost;
+      best->logical = std::move(logical);
+      best->physical = std::move(physical);
+      *winner_index = r;
+      *winner_filtered = filtered;
     }
   }
+  return found;
+}
 
-  // Certify the winner (the certificate covers the logical plan; the M3
-  // physical plan may execute a renamed variant, proven answer-equal by
-  // the optimizer's renaming-safety test).
-  auto certificate =
-      CertifyEquivalentRewriting(best.logical, query, views_);
-  VBR_CHECK_MSG(certificate.has_value(),
-                "planner produced an uncertifiable rewriting");
-  best.certificate = std::move(*certificate);
-  return best;
+ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
+    const ConjunctiveQuery& query, CostModel model,
+    const CoreCoverOptions& cc_options, const CanonicalQuery* canonical,
+    std::shared_ptr<const CachedPlan>* out_entry) const {
+  // M1 needs only the GMRs; M2/M3 search all minimal rewritings.
+  const CoreCoverResult result =
+      model == CostModel::kM1 ? CoreCover(query, views_, cc_options)
+                              : CoreCoverStar(query, views_, cc_options);
+
+  PlanResult out;
+  out.stats = result.stats;
+  std::vector<Atom> filter_atoms;
+  filter_atoms.reserve(result.filter_candidates.size());
+  for (size_t i : result.filter_candidates) {
+    filter_atoms.push_back(result.view_tuples[i].tuple.atom);
+  }
+
+  // Build the cache entry (canonical variable space) before costing;
+  // negative outcomes are cached too.
+  std::shared_ptr<CachedPlan> entry;
+  if (canonical != nullptr) {
+    entry = std::make_shared<CachedPlan>();
+    entry->fingerprint = canonical->fingerprint;
+    entry->status = result.status;
+    entry->error = result.error;
+    entry->has_rewriting = result.has_rewriting;
+    entry->minimized = canonical->to_canonical.Apply(result.minimized_query);
+    entry->rewritings.reserve(result.rewritings.size());
+    for (const ConjunctiveQuery& r : result.rewritings) {
+      entry->rewritings.push_back(canonical->to_canonical.Apply(r));
+    }
+    entry->filter_atoms.reserve(filter_atoms.size());
+    for (const Atom& a : filter_atoms) {
+      entry->filter_atoms.push_back(canonical->to_canonical.Apply(a));
+    }
+    entry->stats = result.stats;
+  }
+
+  if (!result.ok()) {
+    out.status = PlanStatus::kUnsupportedQueryTooLarge;
+    out.error = result.error;
+  } else if (!result.has_rewriting) {
+    out.status = PlanStatus::kNoRewriting;
+  } else {
+    PlanChoice best;
+    size_t winner = 0;
+    bool winner_filtered = false;
+    VBR_CHECK(CostAndPick(query, model, result.rewritings, filter_atoms,
+                          &best, &winner, &winner_filtered));
+    // Certify the winner against the minimized core (the certificate covers
+    // the logical plan; the M3 physical plan may execute a renamed variant,
+    // proven answer-equal by the optimizer's renaming-safety test).
+    auto certificate =
+        CertifyEquivalentRewriting(best.logical, result.minimized_query,
+                                   views_);
+    VBR_CHECK_MSG(certificate.has_value(),
+                  "planner produced an uncertifiable rewriting");
+    if (entry != nullptr && !winner_filtered) {
+      entry->StoreCertificate(
+          winner, TransportCertificate(*certificate, canonical->to_canonical));
+    }
+    best.certificate = std::move(*certificate);
+    out.choice = std::move(best);
+    out.status = PlanStatus::kOk;
+  }
+
+  if (entry != nullptr) {
+    cache_->Insert(model, entry);
+    if (out_entry != nullptr) *out_entry = entry;
+  }
+  return out;
+}
+
+ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
+    const ConjunctiveQuery& query, CostModel model, const CachedPlan& entry,
+    const Substitution& transport) const {
+  PlanResult out;
+  out.cache_hit = true;
+  out.stats = entry.stats;
+  if (entry.status != CoreCoverStatus::kOk) {
+    out.status = PlanStatus::kUnsupportedQueryTooLarge;
+    out.error = entry.error;
+    return out;
+  }
+  if (!entry.has_rewriting) {
+    out.status = PlanStatus::kNoRewriting;
+    return out;
+  }
+
+  // Transport the cached logical rewritings into this query's variables and
+  // re-cost them against the CURRENT view instances.
+  std::vector<ConjunctiveQuery> rewritings;
+  rewritings.reserve(entry.rewritings.size());
+  for (const ConjunctiveQuery& r : entry.rewritings) {
+    rewritings.push_back(transport.Apply(r));
+  }
+  std::vector<Atom> filter_atoms;
+  filter_atoms.reserve(entry.filter_atoms.size());
+  for (const Atom& a : entry.filter_atoms) {
+    filter_atoms.push_back(transport.Apply(a));
+  }
+
+  PlanChoice best;
+  size_t winner = 0;
+  bool winner_filtered = false;
+  VBR_CHECK(CostAndPick(query, model, rewritings, filter_atoms, &best,
+                        &winner, &winner_filtered));
+
+  // Certificate: reuse the cached one when the winner is the bare cached
+  // rewriting (re-verified after transport — transport is a pure renaming,
+  // but the verifier is cheap and search-free, so trust nothing). A
+  // filtered winner differs from the cached rewriting and is re-certified.
+  bool certified = false;
+  if (!winner_filtered) {
+    if (auto cached_cert = entry.certificate(winner)) {
+      EquivalenceCertificate cert =
+          TransportCertificate(*cached_cert, transport);
+      if (VerifyCertificate(cert, views_)) {
+        best.certificate = std::move(cert);
+        certified = true;
+      }
+    }
+  }
+  if (!certified) {
+    const ConjunctiveQuery minimized = transport.Apply(entry.minimized);
+    auto certificate =
+        CertifyEquivalentRewriting(best.logical, minimized, views_);
+    VBR_CHECK_MSG(certificate.has_value(),
+                  "cached rewriting failed certification");
+    if (!winner_filtered) {
+      entry.StoreCertificate(
+          winner,
+          TransportCertificate(*certificate, InvertRenaming(transport)));
+    }
+    best.certificate = std::move(*certificate);
+  }
+  out.choice = std::move(best);
+  out.status = PlanStatus::kOk;
+  return out;
+}
+
+ViewPlanner::PlanResult ViewPlanner::Plan(const ConjunctiveQuery& query,
+                                          CostModel model) const {
+  // Builtin comparison subgoals are outside the fingerprint/minimization
+  // machinery; such queries bypass the cache (and fail later checks exactly
+  // as they always did).
+  if (!options_.enable_cache || query.HasBuiltins()) {
+    return PlanViaCoreCover(query, model, options_.core_cover, nullptr,
+                            nullptr);
+  }
+  const CanonicalQuery canonical = CanonicalizeQuery(query);
+  std::optional<Substitution> fallback;
+  if (PlanCache::EntryPtr entry = cache_->Lookup(
+          canonical.fingerprint, model, canonical.minimized, &fallback)) {
+    return PlanFromEntry(query, model, *entry,
+                         fallback ? *fallback : canonical.from_canonical);
+  }
+  return PlanViaCoreCover(query, model, options_.core_cover, &canonical,
+                          nullptr);
+}
+
+std::vector<ViewPlanner::PlanResult> ViewPlanner::PlanMany(
+    const std::vector<ConjunctiveQuery>& queries, CostModel model) const {
+  std::vector<PlanResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  // The batch is the unit of parallelism: each query plans single-threaded
+  // while the pool fans out across fingerprint groups.
+  CoreCoverOptions serial_cc = options_.core_cover;
+  serial_cc.num_threads = 1;
+  ThreadPool pool(options_.core_cover.num_threads);
+
+  std::vector<std::unique_ptr<CanonicalQuery>> canon(queries.size());
+  if (options_.enable_cache) {
+    pool.ParallelFor(queries.size(), [&](size_t i) {
+      if (!queries[i].HasBuiltins()) {
+        canon[i] = std::make_unique<CanonicalQuery>(
+            CanonicalizeQuery(queries[i]));
+      }
+    });
+  }
+
+  // Group queries by fingerprint, first occurrence leading, mirroring the
+  // cache's matching rules (exact canonical string, or isomorphism search
+  // when a labeling is inexact). Uncacheable queries form singleton groups.
+  std::vector<std::vector<size_t>> groups;
+  std::unordered_map<std::string_view, size_t> by_canonical;
+  std::vector<size_t> inexact_groups;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (canon[i] == nullptr) {
+      groups.push_back({i});
+      continue;
+    }
+    const QueryFingerprint& fp = canon[i]->fingerprint;
+    if (auto it = by_canonical.find(fp.canonical); it != by_canonical.end()) {
+      groups[it->second].push_back(i);
+      continue;
+    }
+    size_t joined = static_cast<size_t>(-1);
+    if (!fp.exact) {
+      for (size_t g = 0; g < groups.size() && joined == static_cast<size_t>(-1);
+           ++g) {
+        const size_t lead = groups[g][0];
+        if (canon[lead] != nullptr &&
+            Isomorphic(canon[lead]->minimized, canon[i]->minimized)) {
+          joined = g;
+        }
+      }
+    } else {
+      for (size_t g : inexact_groups) {
+        const size_t lead = groups[g][0];
+        if (Isomorphic(canon[lead]->minimized, canon[i]->minimized)) {
+          joined = g;
+          break;
+        }
+      }
+    }
+    if (joined != static_cast<size_t>(-1)) {
+      groups[joined].push_back(i);
+      continue;
+    }
+    groups.push_back({i});
+    by_canonical.emplace(fp.canonical, groups.size() - 1);
+    if (!fp.exact) inexact_groups.push_back(groups.size() - 1);
+  }
+
+  pool.ParallelFor(groups.size(), [&](size_t g) {
+    const std::vector<size_t>& members = groups[g];
+    const size_t lead = members[0];
+    std::shared_ptr<const CachedPlan> entry;
+    if (canon[lead] != nullptr) {
+      std::optional<Substitution> fallback;
+      entry = cache_->Lookup(canon[lead]->fingerprint, model,
+                             canon[lead]->minimized, &fallback);
+      if (entry != nullptr) {
+        results[lead] =
+            PlanFromEntry(queries[lead], model, *entry,
+                          fallback ? *fallback : canon[lead]->from_canonical);
+      } else {
+        results[lead] = PlanViaCoreCover(queries[lead], model, serial_cc,
+                                         canon[lead].get(), &entry);
+      }
+    } else {
+      results[lead] =
+          PlanViaCoreCover(queries[lead], model, serial_cc, nullptr, nullptr);
+    }
+    // In-flight deduplication: duplicates reuse the representative's entry
+    // directly (robust against concurrent eviction) and count as hits.
+    for (size_t k = 1; k < members.size(); ++k) {
+      const size_t idx = members[k];
+      VBR_CHECK(entry != nullptr && canon[idx] != nullptr);
+      Substitution transport;
+      if (canon[idx]->fingerprint.canonical == entry->fingerprint.canonical) {
+        transport = canon[idx]->from_canonical;
+      } else {
+        auto iso = FindIsomorphism(entry->minimized, canon[idx]->minimized);
+        VBR_CHECK_MSG(iso.has_value(),
+                      "batched duplicate is not isomorphic to its leader");
+        transport = std::move(*iso);
+      }
+      cache_->RecordDedupHit();
+      results[idx] = PlanFromEntry(queries[idx], model, *entry, transport);
+    }
+  });
+  return results;
+}
+
+std::optional<ViewPlanner::PlanChoice> ViewPlanner::PlanOrNull(
+    const ConjunctiveQuery& query, CostModel model) const {
+  PlanResult result = Plan(query, model);
+  return std::move(result.choice);
+}
+
+void ViewPlanner::ReplaceViews(ViewSet views, Database view_instances) {
+  for (const View& v : views) {
+    VBR_CHECK_MSG(v.IsSafe(), "unsafe view definition");
+  }
+  views_ = std::move(views);
+  view_instances_ = std::move(view_instances);
+  cache_->BumpEpoch();
 }
 
 Relation ViewPlanner::Execute(const PlanChoice& choice) const {
@@ -137,9 +465,17 @@ Relation ViewPlanner::Execute(const PlanChoice& choice) const {
 
 std::optional<Relation> ViewPlanner::Answer(
     const ConjunctiveQuery& query) const {
-  auto choice = Plan(query, CostModel::kM2);
-  if (!choice.has_value()) return std::nullopt;
-  return Execute(*choice);
+  PlanResult result = Plan(query, CostModel::kM2);
+  if (!result.ok()) return std::nullopt;
+  return Execute(*result.choice);
 }
+
+PlanCacheCounters ViewPlanner::cache_counters() const {
+  return cache_->counters();
+}
+
+size_t ViewPlanner::cache_size() const { return cache_->size(); }
+
+uint64_t ViewPlanner::cache_epoch() const { return cache_->epoch(); }
 
 }  // namespace vbr

@@ -1,16 +1,42 @@
 #ifndef VBR_PLANNER_PLANNER_H_
 #define VBR_PLANNER_PLANNER_H_
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cost/cost_model.h"
 #include "cost/physical_plan.h"
+#include "cq/fingerprint.h"
 #include "cq/query.h"
 #include "engine/database.h"
 #include "rewrite/certificate.h"
+#include "rewrite/core_cover.h"
 
 namespace vbr {
+
+struct CachedPlan;
+class PlanCache;
+struct PlanCacheCounters;
+
+// Outcome classification of a planning request. Distinguishes "there
+// provably is no equivalent rewriting over these views" from "the query is
+// outside the supported fragment", which the old optional<PlanChoice>
+// return collapsed into one nullopt.
+enum class PlanStatus {
+  // A plan was chosen; PlanResult::choice is populated.
+  kOk = 0,
+  // The query is answerable in principle but admits no equivalent
+  // rewriting over the current view set.
+  kNoRewriting,
+  // The (minimized) query exceeds the supported fragment (e.g. more than
+  // 64 subgoals); PlanResult::error carries the detail.
+  kUnsupportedQueryTooLarge,
+};
+
+const char* PlanStatusName(PlanStatus status);
 
 // One-call facade over the whole pipeline: given the view definitions and
 // their materialized instances, Plan() runs CoreCover / CoreCover*, lets
@@ -20,8 +46,20 @@ namespace vbr {
 // equivalence certificate. Execute() runs it.
 //
 //   ViewPlanner planner(views, MaterializeViews(views, base));
-//   auto choice = planner.Plan(query, CostModel::kM2);
-//   Relation answer = planner.Execute(*choice);
+//   auto result = planner.Plan(query, CostModel::kM2);
+//   if (result.ok()) Relation answer = planner.Execute(*result.choice);
+//
+// Caching: CoreCover's logical output depends only on the query and the
+// view definitions, so the planner keeps a fingerprint-keyed plan cache
+// (see planner/plan_cache.h). Queries identical up to variable renaming and
+// subgoal reordering share one entry; on a hit the cached rewritings are
+// re-costed against the CURRENT view instances, so M2/M3 plans keep
+// tracking instance sizes. ReplaceViews() swaps the view set and
+// invalidates the cache by bumping its epoch.
+//
+// Thread safety: Plan / PlanMany / Execute / Answer may be called
+// concurrently with each other. ReplaceViews must not race with any other
+// call (it swaps the view set the planners read).
 class ViewPlanner {
  public:
   struct PlanChoice {
@@ -33,44 +71,127 @@ class ViewPlanner {
     size_t cost = 0;
     CostModel model = CostModel::kM1;
     // Witness that `logical` (hence `physical`) answers the query exactly.
+    // Stated over the MINIMIZED core of the query (which minimization
+    // guarantees equivalent to the query itself), so cached rewritings
+    // certify identically for every renamed variant of a query.
     EquivalenceCertificate certificate;
 
     std::string ToString() const;
   };
 
+  // Status-bearing planning result. `choice` is populated exactly when
+  // status == PlanStatus::kOk.
+  struct PlanResult {
+    PlanStatus status = PlanStatus::kNoRewriting;
+    std::optional<PlanChoice> choice;
+    // Stats of the CoreCover run that produced the rewritings. On a cache
+    // hit these are the ORIGINAL run's stats (its timings describe the
+    // planning work this request skipped).
+    CoreCoverStats stats;
+    // True if the logical plans came from the cache (or from PlanMany's
+    // in-flight deduplication) instead of a fresh CoreCover run.
+    bool cache_hit = false;
+    // Human-readable detail when status == kUnsupportedQueryTooLarge.
+    std::string error;
+
+    bool ok() const { return status == PlanStatus::kOk; }
+  };
+
   struct Options {
-    // Upper bound on logical plans considered per query.
-    size_t max_rewritings = 64;
+    Options() { core_cover.max_rewritings = 64; }
+
+    // Knobs forwarded to CoreCover / CoreCoverStar: worker threads,
+    // view/tuple grouping, verification, and the rewriting cap
+    // (max_rewritings defaults to 64 here — the facade bounds the costing
+    // loop tighter than the raw pipeline's 1024).
+    CoreCoverOptions core_cover;
     // Let the advisor append selective filtering subgoals (M2/M3 only).
     bool use_filters = true;
     // M3 plans wider than this fall back to M2 ordering with SR drops
     // (the cost-based M3 search is exponential).
     size_t max_m3_subgoals = 6;
+    // Serve repeated (isomorphic) queries from the plan cache.
+    bool enable_cache = true;
+    // Total plan-cache entries across all shards.
+    size_t cache_capacity = 1024;
   };
 
   // `view_instances` must hold one relation per view head predicate (as
   // produced by MaterializeViews); missing relations are treated as empty.
   ViewPlanner(ViewSet views, Database view_instances);
   ViewPlanner(ViewSet views, Database view_instances, Options options);
+  ~ViewPlanner();
 
-  // Chooses a plan for `query` under `model`, or nullopt if no equivalent
-  // rewriting exists.
-  std::optional<PlanChoice> Plan(const ConjunctiveQuery& query,
-                                 CostModel model) const;
+  ViewPlanner(const ViewPlanner&) = delete;
+  ViewPlanner& operator=(const ViewPlanner&) = delete;
+
+  // Chooses a plan for `query` under `model`.
+  PlanResult Plan(const ConjunctiveQuery& query, CostModel model) const;
+
+  // Plans a batch: results[i] corresponds to queries[i]. The batch fans
+  // out on a thread pool (core_cover.num_threads workers; each individual
+  // query then plans single-threaded), and queries with identical
+  // fingerprints are deduplicated in flight: one representative per
+  // fingerprint runs CoreCover, and its result is transported to the
+  // duplicates (reported as cache hits). Results are identical to calling
+  // Plan() serially on each query in order, at every thread count.
+  std::vector<PlanResult> PlanMany(const std::vector<ConjunctiveQuery>& queries,
+                                   CostModel model) const;
+
+  // Deprecated pre-PlanResult shim: collapses kNoRewriting and
+  // kUnsupportedQueryTooLarge into nullopt, exactly like the old
+  // optional-returning Plan(). Will be removed one release after the
+  // PlanResult API landed.
+  [[deprecated("use Plan(); PlanOrNull cannot distinguish 'no rewriting' "
+               "from 'unsupported query'")]]
+  std::optional<PlanChoice> PlanOrNull(const ConjunctiveQuery& query,
+                                       CostModel model) const;
+
+  // Replaces the view definitions and instances in place and invalidates
+  // the plan cache (epoch bump), preserving cache counters and options.
+  // Prefer this over constructing a new planner when the view set evolves.
+  // Must not race with concurrent Plan/Execute calls.
+  void ReplaceViews(ViewSet views, Database view_instances);
 
   // Executes a chosen plan against the view instances.
   Relation Execute(const PlanChoice& choice) const;
 
-  // Convenience: Plan under M2 and Execute, or nullopt.
+  // Convenience: Plan under M2 and Execute, or nullopt if no plan exists.
   std::optional<Relation> Answer(const ConjunctiveQuery& query) const;
 
   const ViewSet& views() const { return views_; }
   const Database& view_instances() const { return view_instances_; }
 
+  // Plan-cache observability (all zero when the cache is disabled).
+  PlanCacheCounters cache_counters() const;
+  size_t cache_size() const;
+  uint64_t cache_epoch() const;
+
  private:
+  // Runs CoreCover + costing for `query`. When `canonical` is non-null the
+  // logical outcome is also inserted into the cache, and *out_entry (if
+  // non-null) receives the inserted entry for in-flight deduplication.
+  PlanResult PlanViaCoreCover(const ConjunctiveQuery& query, CostModel model,
+                              const CoreCoverOptions& cc_options,
+                              const CanonicalQuery* canonical,
+                              std::shared_ptr<const CachedPlan>* out_entry)
+      const;
+  // Re-costs a cached entry for `query`. `transport` renames the entry's
+  // canonical variables into the caller's.
+  PlanResult PlanFromEntry(const ConjunctiveQuery& query, CostModel model,
+                           const CachedPlan& entry,
+                           const Substitution& transport) const;
+  // Shared costing loop: picks the cheapest candidate under `model`
+  // against the current instances. Returns false if `rewritings` is empty.
+  bool CostAndPick(const ConjunctiveQuery& query, CostModel model,
+                   const std::vector<ConjunctiveQuery>& rewritings,
+                   const std::vector<Atom>& filter_atoms, PlanChoice* best,
+                   size_t* winner_index, bool* winner_filtered) const;
+
   ViewSet views_;
   Database view_instances_;
   Options options_;
+  std::unique_ptr<PlanCache> cache_;
 };
 
 }  // namespace vbr

@@ -1,0 +1,147 @@
+#include "cq/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cq/parser.h"
+#include "cq/substitution.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+// A structure-preserving scramble: every variable renamed by a random
+// permutation over fresh names, body subgoals shuffled. The result is
+// isomorphic to the input by construction.
+ConjunctiveQuery Scramble(const ConjunctiveQuery& q, std::mt19937& rng,
+                          int round) {
+  std::vector<Term> vars = q.Variables();
+  std::vector<size_t> perm(vars.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  Substitution renaming;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    renaming.Bind(vars[i], Var("S" + std::to_string(round) + "_" +
+                               std::to_string(perm[i])));
+  }
+  std::vector<Atom> body = renaming.Apply(q.body());
+  std::shuffle(body.begin(), body.end(), rng);
+  return ConjunctiveQuery(renaming.Apply(q.head()), std::move(body));
+}
+
+TEST(FingerprintTest, InvariantUnderRenamingAndReordering) {
+  std::mt19937 rng(7);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadConfig wc;
+    wc.shape = (seed % 2 == 0) ? QueryShape::kStar : QueryShape::kChain;
+    wc.num_query_subgoals = 6;
+    wc.num_nondistinguished_query_vars = seed % 3;
+    wc.seed = seed;
+    const ConjunctiveQuery query = GenerateWorkload(wc).query;
+    const QueryFingerprint base = CanonicalFingerprint(query);
+    EXPECT_TRUE(base.exact);
+    for (int round = 0; round < 5; ++round) {
+      const ConjunctiveQuery variant = Scramble(query, rng, round);
+      const QueryFingerprint fp = CanonicalFingerprint(variant);
+      EXPECT_EQ(fp.hash, base.hash) << query.ToString() << "\nvs\n"
+                                    << variant.ToString();
+      EXPECT_EQ(fp.canonical, base.canonical);
+    }
+  }
+}
+
+TEST(FingerprintTest, DistinctQueriesGetDistinctFingerprints) {
+  const std::vector<ConjunctiveQuery> queries = {
+      MustParseQuery("q(X) :- r(X)"),
+      MustParseQuery("q(X) :- r(X), s(X)"),
+      MustParseQuery("q(X) :- s(X)"),
+      MustParseQuery("q(X,Y) :- r(X), s(Y)"),
+      MustParseQuery("q(X) :- r(X,Y)"),
+      MustParseQuery("q(X) :- r(X,X)"),
+      MustParseQuery("q(X) :- r(X,a)"),
+      MustParseQuery("q(X) :- r(X,b)"),
+      MustParseQuery("q(X) :- r(X,Y), r(Y,Z)"),
+      MustParseQuery("q(X) :- r(X,Y), r(Y,X)"),
+      MustParseQuery("q(X,Y) :- r(X,Y)"),
+      MustParseQuery("q(Y,X) :- r(X,Y)"),
+  };
+  std::set<std::string> canonicals;
+  for (const auto& q : queries) {
+    const QueryFingerprint fp = CanonicalFingerprint(q);
+    EXPECT_TRUE(fp.exact) << q.ToString();
+    EXPECT_TRUE(canonicals.insert(fp.canonical).second)
+        << "collision on " << q.ToString();
+  }
+}
+
+TEST(FingerprintTest, MinimizationCollapsesRedundantSubgoals) {
+  // The second subgoal is subsumed (Y maps to X), so the core is r(X,X)…
+  const auto redundant = MustParseQuery("q(X) :- r(X,X), r(X,Y)");
+  const auto core = MustParseQuery("q(Z) :- r(Z,Z)");
+  EXPECT_EQ(CanonicalFingerprint(redundant).canonical,
+            CanonicalFingerprint(core).canonical);
+}
+
+TEST(FingerprintTest, CanonicalQueryMappingsRoundTrip) {
+  const auto query = MustParseQuery("q(A,B) :- r(A,C), r(C,B), s(B)");
+  const CanonicalQuery cq = CanonicalizeQuery(query);
+  // to_canonical followed by from_canonical is the identity on the core.
+  EXPECT_EQ(cq.from_canonical.Apply(cq.to_canonical.Apply(cq.minimized)),
+            cq.minimized);
+  // The canonical serialization reparses to a query isomorphic to the core.
+  EXPECT_EQ(CanonicalFingerprint(cq.to_canonical.Apply(cq.minimized)).canonical,
+            cq.fingerprint.canonical);
+}
+
+TEST(FingerprintTest, IsomorphismFindsWitness) {
+  const auto a = MustParseQuery("q(X) :- e(X,Y), e(Y,Z), e(Z,X)");
+  const auto b = MustParseQuery("q(U) :- e(W,U), e(U,V), e(V,W)");
+  auto iso = FindIsomorphism(a, b);
+  ASSERT_TRUE(iso.has_value());
+  // The witness maps a's subgoals onto b's exactly (as sets).
+  std::multiset<std::string> mapped, target;
+  for (const Atom& atom : a.body()) mapped.insert(iso->Apply(atom).ToString());
+  for (const Atom& atom : b.body()) target.insert(atom.ToString());
+  EXPECT_EQ(mapped, target);
+  EXPECT_EQ(iso->Apply(a.head()).ToString(), b.head().ToString());
+}
+
+TEST(FingerprintTest, NonIsomorphicPairsRejected) {
+  EXPECT_FALSE(Isomorphic(MustParseQuery("q(X) :- e(X,Y), e(Y,X)"),
+                          MustParseQuery("q(X) :- e(X,Y), e(X,Z)")));
+  EXPECT_FALSE(Isomorphic(MustParseQuery("q(X) :- r(X,a)"),
+                          MustParseQuery("q(X) :- r(X,b)")));
+  EXPECT_FALSE(Isomorphic(MustParseQuery("q(X) :- r(X)"),
+                          MustParseQuery("p(X) :- r(X)")));
+  EXPECT_TRUE(Isomorphic(MustParseQuery("q(X) :- r(X,a)"),
+                         MustParseQuery("q(P) :- r(P,a)")));
+}
+
+TEST(FingerprintTest, HighlySymmetricQueriesStayExact) {
+  // A directed 6-cycle of existential variables: color refinement cannot
+  // separate the cycle variables (all have one incoming and one outgoing
+  // edge of the same color), so the labeling must branch — and every
+  // rotation/renaming still has to land on the same canonical form. The
+  // cycle is a core (its only endomorphisms are the rotations).
+  const auto cycle = MustParseQuery(
+      "q(X) :- r(X), e(A,B), e(B,C), e(C,D), e(D,E), e(E,F), e(F,A)");
+  const auto rotated = MustParseQuery(
+      "q(U) :- e(N,O), e(O,P), e(P,K), e(K,L), e(L,M), e(M,N), r(U)");
+  const QueryFingerprint fa = CanonicalFingerprint(cycle);
+  const QueryFingerprint fb = CanonicalFingerprint(rotated);
+  EXPECT_TRUE(fa.exact);
+  EXPECT_TRUE(fb.exact);
+  EXPECT_EQ(fa.canonical, fb.canonical);
+  EXPECT_FALSE(Isomorphic(
+      cycle, MustParseQuery(
+                 "q(X) :- r(X), e(A,B), e(B,C), e(C,A), e(D,E), e(E,F), "
+                 "e(F,D)")));
+}
+
+}  // namespace
+}  // namespace vbr

@@ -67,9 +67,9 @@ TEST(SampleFilesTest, EndToEndMatchesReadme) {
   EXPECT_EQ(cc.rewritings[0].ToString(), "q1(S,C) :- v4(M,a,C,S)");
 
   ViewPlanner planner(views, MaterializeViews(views, *base));
-  auto choice = planner.Plan(query, CostModel::kM2);
-  ASSERT_TRUE(choice.has_value());
-  const Relation answer = planner.Execute(*choice);
+  auto result = planner.Plan(query, CostModel::kM2);
+  ASSERT_TRUE(result.ok());
+  const Relation answer = planner.Execute(*result.choice);
   // The README's quoted answer: store1/sf and store2/la.
   EXPECT_EQ(answer.size(), 2u);
   EXPECT_TRUE(answer.Contains({EncodeConstant(Const("store1")),

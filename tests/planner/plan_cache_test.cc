@@ -1,0 +1,130 @@
+#include "planner/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cq/parser.h"
+#include "engine/materialize.h"
+#include "planner/planner.h"
+#include "tests/rewrite/fixtures.h"
+
+namespace vbr {
+namespace {
+
+using testing_fixtures::CarLocPartQuery;
+using testing_fixtures::CarLocPartViews;
+
+PlanCache::EntryPtr MakeEntry(const std::string& text) {
+  auto entry = std::make_shared<CachedPlan>();
+  const CanonicalQuery cq = CanonicalizeQuery(MustParseQuery(text));
+  entry->fingerprint = cq.fingerprint;
+  entry->minimized = cq.to_canonical.Apply(cq.minimized);
+  entry->has_rewriting = false;
+  return entry;
+}
+
+PlanCache::EntryPtr LookupByText(PlanCache& cache, const std::string& text,
+                                 CostModel model = CostModel::kM2) {
+  const CanonicalQuery cq = CanonicalizeQuery(MustParseQuery(text));
+  std::optional<Substitution> fallback;
+  return cache.Lookup(cq.fingerprint, model, cq.minimized, &fallback);
+}
+
+TEST(PlanCacheTest, InsertLookupRoundTrip) {
+  PlanCache cache(/*capacity=*/8, /*num_shards=*/2);
+  cache.Insert(CostModel::kM2, MakeEntry("q(X) :- r(X,Y)"));
+  EXPECT_EQ(cache.size(), 1u);
+  // Same query modulo renaming/reordering hits; a different query misses.
+  EXPECT_NE(LookupByText(cache, "q(A) :- r(A,B)"), nullptr);
+  EXPECT_EQ(LookupByText(cache, "q(A) :- s(A,B)"), nullptr);
+  // Same fingerprint under a different cost model misses.
+  EXPECT_EQ(LookupByText(cache, "q(A) :- r(A,B)", CostModel::kM3), nullptr);
+  const PlanCacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.insertions, 1u);
+}
+
+TEST(PlanCacheTest, LruEvictsTheColdestEntry) {
+  PlanCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Insert(CostModel::kM2, MakeEntry("q(X) :- p1(X)"));
+  cache.Insert(CostModel::kM2, MakeEntry("q(X) :- p2(X)"));
+  // Touch p1 so p2 becomes the LRU victim.
+  EXPECT_NE(LookupByText(cache, "q(X) :- p1(X)"), nullptr);
+  cache.Insert(CostModel::kM2, MakeEntry("q(X) :- p3(X)"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_EQ(LookupByText(cache, "q(X) :- p2(X)"), nullptr);
+  EXPECT_NE(LookupByText(cache, "q(X) :- p1(X)"), nullptr);
+  EXPECT_NE(LookupByText(cache, "q(X) :- p3(X)"), nullptr);
+}
+
+TEST(PlanCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  PlanCache cache(/*capacity=*/4, /*num_shards=*/1);
+  cache.Insert(CostModel::kM2, MakeEntry("q(X) :- r(X)"));
+  cache.Insert(CostModel::kM2, MakeEntry("q(Y) :- r(Y)"));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, EpochBumpInvalidatesEverything) {
+  PlanCache cache(/*capacity=*/8, /*num_shards=*/2);
+  cache.Insert(CostModel::kM2, MakeEntry("q(X) :- p1(X)"));
+  cache.Insert(CostModel::kM2, MakeEntry("q(X) :- p2(X)"));
+  EXPECT_EQ(cache.epoch(), 0u);
+  cache.BumpEpoch();
+  EXPECT_EQ(cache.epoch(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().evictions, 2u);
+  EXPECT_EQ(LookupByText(cache, "q(X) :- p1(X)"), nullptr);
+  // Inserts under the new epoch are served again.
+  cache.Insert(CostModel::kM2, MakeEntry("q(X) :- p1(X)"));
+  EXPECT_NE(LookupByText(cache, "q(X) :- p1(X)"), nullptr);
+}
+
+TEST(PlanCacheTest, PlannerServesRenamedRepeatsFromCache) {
+  const ViewSet views = CarLocPartViews();
+  ViewPlanner planner(views, MaterializeViews(views, Database{}));
+  const auto first = planner.Plan(CarLocPartQuery(), CostModel::kM1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.cache_hit);
+  // A renamed, reordered copy of the same query.
+  const auto renamed =
+      MustParseQuery("q1(T,D) :- part(T,N,D), loc(a,D), car(N,a)");
+  const auto second = planner.Plan(renamed, CostModel::kM1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cache_hit);
+  // The cached rewriting is transported into the NEW query's variables.
+  EXPECT_EQ(second.choice->logical.ToString(), "q1(T,D) :- v4(N,a,D,T)");
+  EXPECT_EQ(first.choice->cost, second.choice->cost);
+  EXPECT_EQ(planner.cache_counters().hits, 1u);
+  EXPECT_EQ(planner.cache_counters().misses, 1u);
+  EXPECT_EQ(planner.cache_size(), 1u);
+}
+
+TEST(PlanCacheTest, NegativeOutcomesAreCachedToo) {
+  const ViewSet views = MustParseProgram("v(M,D) :- car(M,D)");
+  ViewPlanner planner(views, Database{});
+  EXPECT_EQ(planner.Plan(CarLocPartQuery(), CostModel::kM2).status,
+            PlanStatus::kNoRewriting);
+  const auto again = planner.Plan(CarLocPartQuery(), CostModel::kM2);
+  EXPECT_EQ(again.status, PlanStatus::kNoRewriting);
+  EXPECT_TRUE(again.cache_hit);
+}
+
+TEST(PlanCacheTest, DisabledCacheNeverHits) {
+  const ViewSet views = CarLocPartViews();
+  ViewPlanner::Options options;
+  options.enable_cache = false;
+  ViewPlanner planner(views, MaterializeViews(views, Database{}), options);
+  EXPECT_TRUE(planner.Plan(CarLocPartQuery(), CostModel::kM1).ok());
+  const auto second = planner.Plan(CarLocPartQuery(), CostModel::kM1);
+  EXPECT_TRUE(second.ok());
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(planner.cache_counters().hits, 0u);
+  EXPECT_EQ(planner.cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cq/parser.h"
+#include "cq/rename.h"
+#include "cq/substitution.h"
+#include "engine/materialize.h"
+#include "planner/plan_cache.h"
+#include "planner/planner.h"
+#include "tests/rewrite/fixtures.h"
+#include "workload/data_gen.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+using testing_fixtures::CarLocPartQuery;
+using testing_fixtures::CarLocPartViews;
+
+// A workload of queries with renamed/reordered duplicates mixed in.
+std::vector<ConjunctiveQuery> BatchWithDuplicates(const ViewSet& views,
+                                                  uint64_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<ConjunctiveQuery> base;
+  for (uint64_t s = 1; s <= 4; ++s) {
+    WorkloadConfig wc;
+    wc.shape = (s % 2 == 0) ? QueryShape::kStar : QueryShape::kChain;
+    wc.num_query_subgoals = 4;
+    wc.num_views = 5;
+    wc.seed = seed * 10 + s;
+    base.push_back(GenerateWorkload(wc).query);
+    (void)views;
+  }
+  std::vector<ConjunctiveQuery> batch;
+  for (int round = 0; round < 3; ++round) {
+    for (const ConjunctiveQuery& q : base) {
+      Substitution renaming;
+      ConjunctiveQuery fresh = RenameVariablesApart(
+          q, "b" + std::to_string(round), &renaming);
+      std::vector<Atom> body = fresh.body();
+      std::shuffle(body.begin(), body.end(), rng);
+      batch.emplace_back(fresh.head(), std::move(body));
+    }
+  }
+  std::shuffle(batch.begin(), batch.end(), rng);
+  return batch;
+}
+
+std::string ResultKey(const ViewPlanner::PlanResult& r) {
+  std::string key = std::string(PlanStatusName(r.status)) + "|" +
+                    (r.cache_hit ? "hit" : "miss") + "|";
+  if (r.choice.has_value()) {
+    key += r.choice->ToString() + "|" +
+           r.choice->certificate.ToString();
+  }
+  return key;
+}
+
+TEST(PlanManyTest, MatchesSerialPlansAtEveryThreadCount) {
+  WorkloadConfig wc;
+  wc.num_query_subgoals = 4;
+  wc.num_views = 10;
+  wc.seed = 3;
+  const Workload w = GenerateWorkload(wc);
+  DataConfig dc;
+  dc.rows_per_relation = 30;
+  dc.domain_size = 8;
+  dc.seed = 17;
+  const Database base = GenerateBaseData(w.query, w.views, dc);
+  const Database view_db = MaterializeViews(w.views, base);
+
+  std::vector<ConjunctiveQuery> batch = BatchWithDuplicates(w.views, 5);
+  batch.push_back(w.query);
+  batch.push_back(CarLocPartQuery());  // no rewriting over these views
+
+  for (CostModel model : {CostModel::kM1, CostModel::kM2}) {
+    // Reference: serial Plan() calls on a fresh planner.
+    ViewPlanner serial(w.views, view_db);
+    std::vector<std::string> expected;
+    for (const ConjunctiveQuery& q : batch) {
+      expected.push_back(ResultKey(serial.Plan(q, model)));
+    }
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ViewPlanner::Options options;
+      options.core_cover.num_threads = threads;
+      ViewPlanner planner(w.views, view_db, options);
+      const auto results = planner.PlanMany(batch, model);
+      ASSERT_EQ(results.size(), batch.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(ResultKey(results[i]), expected[i])
+            << "threads=" << threads << " i=" << i << " query "
+            << batch[i].ToString();
+      }
+    }
+  }
+}
+
+TEST(PlanManyTest, DeduplicatesInFlight) {
+  const ViewSet views = CarLocPartViews();
+  ViewPlanner planner(views, MaterializeViews(views, Database{}));
+  const std::vector<ConjunctiveQuery> batch = {
+      CarLocPartQuery(),
+      MustParseQuery("q1(T,D) :- part(T,N,D), loc(a,D), car(N,a)"),
+      CarLocPartQuery(),
+  };
+  const auto results = planner.PlanMany(batch, CostModel::kM1);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].cache_hit);
+  EXPECT_TRUE(results[1].cache_hit);
+  EXPECT_TRUE(results[2].cache_hit);
+  // One CoreCover run served all three.
+  EXPECT_EQ(planner.cache_counters().misses, 1u);
+  EXPECT_EQ(planner.cache_counters().hits, 2u);
+  // Each result speaks the caller's variable names.
+  EXPECT_EQ(results[1].choice->logical.ToString(), "q1(T,D) :- v4(N,a,D,T)");
+  EXPECT_EQ(results[0].choice->logical.ToString(), "q1(S,C) :- v4(M,a,C,S)");
+}
+
+TEST(PlanManyTest, ReplaceViewsInvalidatesCachedPlans) {
+  const auto query = MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)");
+  const ViewSet wide = MustParseProgram("v(A,B,C) :- r(A,B), s(B,C)");
+  const ViewSet narrow = MustParseProgram(R"(
+    vr(A,B) :- r(A,B)
+    vs(A,B) :- s(A,B)
+  )");
+  Database base;
+  base.AddRow("r", {1, 2});
+  base.AddRow("s", {2, 3});
+
+  ViewPlanner planner(wide, MaterializeViews(wide, base));
+  const auto before = planner.Plan(query, CostModel::kM1);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.choice->logical.num_subgoals(), 1u);
+  EXPECT_EQ(planner.cache_size(), 1u);
+
+  planner.ReplaceViews(narrow, MaterializeViews(narrow, base));
+  EXPECT_EQ(planner.cache_epoch(), 1u);
+  EXPECT_EQ(planner.cache_size(), 0u);
+  const auto after = planner.Plan(query, CostModel::kM1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.cache_hit);  // the old entry must not be served
+  EXPECT_EQ(after.choice->logical.num_subgoals(), 2u);
+  EXPECT_TRUE(planner.Execute(*after.choice).Contains({1, 3}));
+}
+
+TEST(PlanManyTest, TooLargeQueriesReportUnsupported) {
+  // 65 subgoals overflow the 64-bit tuple-core bitmask.
+  std::string text = "q(X0)";
+  std::string sep = " :- ";
+  for (int i = 0; i < 65; ++i) {
+    text += sep + "p" + std::to_string(i) + "(X" + std::to_string(i) + ",X" +
+            std::to_string(i + 1) + ")";
+    sep = ", ";
+  }
+  const auto query = MustParseQuery(text);
+  const ViewSet views = MustParseProgram("v(A,B) :- p0(A,B)");
+  ViewPlanner planner(views, Database{});
+  const auto result = planner.Plan(query, CostModel::kM2);
+  EXPECT_EQ(result.status, PlanStatus::kUnsupportedQueryTooLarge);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error.empty());
+  // The negative outcome is cached, status intact.
+  const auto again = planner.Plan(query, CostModel::kM2);
+  EXPECT_EQ(again.status, PlanStatus::kUnsupportedQueryTooLarge);
+  EXPECT_TRUE(again.cache_hit);
+}
+
+TEST(PlanManyTest, DeprecatedPlanOrNullStillWorks) {
+  const ViewSet views = CarLocPartViews();
+  ViewPlanner planner(views, MaterializeViews(views, Database{}));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto choice = planner.PlanOrNull(CarLocPartQuery(), CostModel::kM1);
+  const auto none = planner.PlanOrNull(
+      MustParseQuery("q(X) :- unknown(X,Y)"), CostModel::kM1);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->logical.ToString(), "q1(S,C) :- v4(M,a,C,S)");
+  EXPECT_FALSE(none.has_value());
+}
+
+}  // namespace
+}  // namespace vbr

@@ -39,14 +39,14 @@ TEST(PlannerOptionsTest, M3FallsBackOnWidePlans) {
   ViewPlanner::Options options;
   options.max_m3_subgoals = 4;  // Force the fallback (plan has 7 subgoals).
   ViewPlanner planner(f.views, MaterializeViews(f.views, f.base), options);
-  auto choice = planner.Plan(f.query, CostModel::kM3);
-  ASSERT_TRUE(choice.has_value());
-  EXPECT_EQ(choice->logical.num_subgoals(), 7u);
-  EXPECT_TRUE(planner.Execute(*choice).EqualsAsSet(
+  auto result = planner.Plan(f.query, CostModel::kM3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.choice->logical.num_subgoals(), 7u);
+  EXPECT_TRUE(planner.Execute(*result.choice).EqualsAsSet(
       EvaluateQuery(f.query, f.base)));
   // The fallback still drops attributes (SR rule).
   bool any_drop = false;
-  for (const auto& step : choice->physical.drop_after) {
+  for (const auto& step : result.choice->physical.drop_after) {
     any_drop |= !step.empty();
   }
   EXPECT_TRUE(any_drop);
@@ -76,18 +76,18 @@ TEST(PlannerOptionsTest, FiltersCanBeDisabled) {
   ViewPlanner without(views, view_db, no_filters);
   auto plan_with = with.Plan(query, CostModel::kM2);
   auto plan_without = without.Plan(query, CostModel::kM2);
-  ASSERT_TRUE(plan_with.has_value());
-  ASSERT_TRUE(plan_without.has_value());
+  ASSERT_TRUE(plan_with.ok());
+  ASSERT_TRUE(plan_without.ok());
   // v3 is selective here, so the filtered plan is at least as cheap, and
   // the unfiltered logical plan must not mention v3.
-  EXPECT_LE(plan_with->cost, plan_without->cost);
-  for (const Atom& atom : plan_without->logical.body()) {
+  EXPECT_LE(plan_with.choice->cost, plan_without.choice->cost);
+  for (const Atom& atom : plan_without.choice->logical.body()) {
     EXPECT_NE(atom.predicate_name(), "v3");
   }
   // Both answer correctly.
   const Relation expected = EvaluateQuery(query, base);
-  EXPECT_TRUE(with.Execute(*plan_with).EqualsAsSet(expected));
-  EXPECT_TRUE(without.Execute(*plan_without).EqualsAsSet(expected));
+  EXPECT_TRUE(with.Execute(*plan_with.choice).EqualsAsSet(expected));
+  EXPECT_TRUE(without.Execute(*plan_without.choice).EqualsAsSet(expected));
 }
 
 TEST(PlannerOptionsTest, MaxRewritingsLimitsSearch) {
@@ -97,14 +97,14 @@ TEST(PlannerOptionsTest, MaxRewritingsLimitsSearch) {
     u2(X) :- r(X)
   )");
   ViewPlanner::Options options;
-  options.max_rewritings = 1;
+  options.core_cover.max_rewritings = 1;
   Database view_db;
   view_db.AddRow("u1", {1});
   view_db.AddRow("u2", {1});
   ViewPlanner planner(views, view_db, options);
-  auto choice = planner.Plan(query, CostModel::kM2);
-  ASSERT_TRUE(choice.has_value());
-  EXPECT_EQ(choice->logical.num_subgoals(), 1u);
+  auto result = planner.Plan(query, CostModel::kM2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.choice->logical.num_subgoals(), 1u);
 }
 
 TEST(PlannerOptionsDeathTest, UnsafeViewAborts) {

@@ -31,10 +31,10 @@ TEST(PlannerTest, M1PicksTheFewestSubgoals) {
   const ViewSet views = CarLocPartViews();
   const Database base = CarLocPartBase();
   ViewPlanner planner(views, MaterializeViews(views, base));
-  auto choice = planner.Plan(CarLocPartQuery(), CostModel::kM1);
-  ASSERT_TRUE(choice.has_value());
-  EXPECT_EQ(choice->cost, 1u);
-  EXPECT_EQ(choice->logical.ToString(), "q1(S,C) :- v4(M,a,C,S)");
+  auto result = planner.Plan(CarLocPartQuery(), CostModel::kM1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.choice->cost, 1u);
+  EXPECT_EQ(result.choice->logical.ToString(), "q1(S,C) :- v4(M,a,C,S)");
 }
 
 TEST(PlannerTest, AllModelsComputeTheExactAnswer) {
@@ -44,27 +44,29 @@ TEST(PlannerTest, AllModelsComputeTheExactAnswer) {
   const Relation expected = EvaluateQuery(CarLocPartQuery(), base);
   for (CostModel model :
        {CostModel::kM1, CostModel::kM2, CostModel::kM3}) {
-    auto choice = planner.Plan(CarLocPartQuery(), model);
-    ASSERT_TRUE(choice.has_value());
-    EXPECT_TRUE(planner.Execute(*choice).EqualsAsSet(expected));
+    auto result = planner.Plan(CarLocPartQuery(), model);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(planner.Execute(*result.choice).EqualsAsSet(expected));
   }
 }
 
 TEST(PlannerTest, CertificateVerifies) {
   const ViewSet views = CarLocPartViews();
   ViewPlanner planner(views, MaterializeViews(views, CarLocPartBase()));
-  auto choice = planner.Plan(CarLocPartQuery(), CostModel::kM2);
-  ASSERT_TRUE(choice.has_value());
+  auto result = planner.Plan(CarLocPartQuery(), CostModel::kM2);
+  ASSERT_TRUE(result.ok());
   std::string error;
-  EXPECT_TRUE(VerifyCertificate(choice->certificate, views, &error))
+  EXPECT_TRUE(VerifyCertificate(result.choice->certificate, views, &error))
       << error;
 }
 
-TEST(PlannerTest, NoRewritingReturnsNullopt) {
+TEST(PlannerTest, NoRewritingReportsStatus) {
   const ViewSet views = MustParseProgram("v(M,D) :- car(M,D)");
   ViewPlanner planner(views, Database{});
-  EXPECT_FALSE(
-      planner.Plan(CarLocPartQuery(), CostModel::kM2).has_value());
+  const auto result = planner.Plan(CarLocPartQuery(), CostModel::kM2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, PlanStatus::kNoRewriting);
+  EXPECT_FALSE(result.choice.has_value());
   EXPECT_FALSE(planner.Answer(CarLocPartQuery()).has_value());
 }
 
@@ -86,10 +88,10 @@ TEST(PlannerTest, M2NeverCostsMoreThanM1Plan) {
   ViewPlanner planner(views, view_db);
   auto m1 = planner.Plan(CarLocPartQuery(), CostModel::kM1);
   auto m2 = planner.Plan(CarLocPartQuery(), CostModel::kM2);
-  ASSERT_TRUE(m1.has_value());
-  ASSERT_TRUE(m2.has_value());
-  const auto m1_under_m2 = OptimizeOrderM2(m1->logical, view_db);
-  EXPECT_LE(m2->cost, m1_under_m2.cost);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  const auto m1_under_m2 = OptimizeOrderM2(m1.choice->logical, view_db);
+  EXPECT_LE(m2.choice->cost, m1_under_m2.cost);
 }
 
 TEST(PlannerTest, RandomWorkloadsEndToEnd) {
@@ -109,11 +111,11 @@ TEST(PlannerTest, RandomWorkloadsEndToEnd) {
     const Relation expected = EvaluateQuery(w.query, base);
     for (CostModel model :
          {CostModel::kM1, CostModel::kM2, CostModel::kM3}) {
-      auto choice = planner.Plan(w.query, model);
-      ASSERT_TRUE(choice.has_value()) << "seed " << seed;
-      EXPECT_TRUE(planner.Execute(*choice).EqualsAsSet(expected))
+      auto result = planner.Plan(w.query, model);
+      ASSERT_TRUE(result.ok()) << "seed " << seed;
+      EXPECT_TRUE(planner.Execute(*result.choice).EqualsAsSet(expected))
           << "seed " << seed << " model " << static_cast<int>(model) << "\n"
-          << choice->ToString();
+          << result.choice->ToString();
     }
   }
 }
@@ -121,9 +123,9 @@ TEST(PlannerTest, RandomWorkloadsEndToEnd) {
 TEST(PlannerTest, PlanChoiceToStringIsInformative) {
   const ViewSet views = CarLocPartViews();
   ViewPlanner planner(views, MaterializeViews(views, CarLocPartBase()));
-  auto choice = planner.Plan(CarLocPartQuery(), CostModel::kM2);
-  ASSERT_TRUE(choice.has_value());
-  const std::string text = choice->ToString();
+  auto result = planner.Plan(CarLocPartQuery(), CostModel::kM2);
+  ASSERT_TRUE(result.ok());
+  const std::string text = result.choice->ToString();
   EXPECT_NE(text.find("logical"), std::string::npos);
   EXPECT_NE(text.find("M2"), std::string::npos);
 }
