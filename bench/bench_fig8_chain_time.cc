@@ -7,7 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench/bench_util.h"
+#include "common/metrics.h"
 #include "rewrite/core_cover.h"
 
 namespace vbr {
@@ -59,4 +62,13 @@ BENCHMARK(BM_Fig8b_Chain_OneNondistinguished)
 }  // namespace
 }  // namespace vbr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Process-wide pipeline metrics accumulated across every run above.
+  std::fprintf(stderr, "\n--- metrics snapshot ---\n%s",
+               vbr::MetricsRegistry::Global().Snapshot().ToText().c_str());
+  return 0;
+}

@@ -27,11 +27,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "cq/rename.h"
 #include "cq/substitution.h"
 #include "engine/materialize.h"
@@ -188,7 +190,30 @@ void BM_PlanManyBatch(benchmark::State& state) {
 BENCHMARK(BM_PlanManyBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// After the benchmarks: one sample EXPLAIN of a warm-cache plan plus the
+// process-wide metrics snapshot, so a bench run doubles as an observability
+// smoke test (and EXPERIMENTS.md can quote real counter values).
+void DumpObservability() {
+  const CacheWorkload& w = SharedWorkload(QueryShape::kStar);
+  ViewPlanner planner(w.base[0].views, w.view_dbs[0],
+                      BenchOptions(/*enable_cache=*/true));
+  benchmark::DoNotOptimize(planner.Plan(w.base[0].query, CostModel::kM2));
+  const auto explanation =
+      planner.Explain(w.variants[0][0], CostModel::kM2);
+  std::fprintf(stderr, "\n--- sample EXPLAIN (warm cache) ---\n%s",
+               explanation.ToText().c_str());
+  std::fprintf(stderr, "\n--- metrics snapshot ---\n%s",
+               MetricsRegistry::Global().Snapshot().ToText().c_str());
+}
+
 }  // namespace
 }  // namespace vbr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  vbr::DumpObservability();
+  return 0;
+}

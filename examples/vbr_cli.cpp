@@ -9,7 +9,16 @@
 //
 // Usage:
 //   vbr_cli [--all-minimal] [--show-tuples] [--no-grouping] [--threads N]
-//           [--no-cache] [--data FACTS_FILE [--model m1|m2|m3]] [file]
+//           [--no-cache] [--explain[=json]] [--trace]
+//           [--data FACTS_FILE [--model m1|m2|m3]] [file]
+//
+// --explain prints the planner's account of its decision (candidates with
+// costs and why they lost, the cache disposition, and a per-cost-model
+// breakdown of the winner); --explain=json emits the same as one JSON
+// object. --trace dumps the structured span tree of the planning call to
+// stderr. Both plan against the --data instances when given, else against
+// empty view instances (costs are then all zero, but the logical
+// explanation is still meaningful).
 //
 // With no file, reads the program from standard input. Example program:
 //
@@ -30,6 +39,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/trace.h"
 #include "cq/parser.h"
 #include "engine/io.h"
 #include "engine/materialize.h"
@@ -51,6 +61,9 @@ int main(int argc, char** argv) {
   bool all_minimal = false;
   bool show_tuples = false;
   bool enable_cache = true;
+  enum class ExplainMode { kOff, kText, kJson };
+  ExplainMode explain_mode = ExplainMode::kOff;
+  bool trace = false;
   CoreCoverOptions options;
   const char* path = nullptr;
   const char* data_path = nullptr;
@@ -73,6 +86,12 @@ int main(int argc, char** argv) {
       options.num_threads = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       enable_cache = false;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain_mode = ExplainMode::kText;
+    } else if (std::strcmp(argv[i], "--explain=json") == 0) {
+      explain_mode = ExplainMode::kJson;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
     } else if (std::strcmp(argv[i], "--data") == 0) {
       if (++i >= argc) return Fail("--data needs a file argument");
       data_path = argv[i];
@@ -123,9 +142,13 @@ int main(int argc, char** argv) {
   const CoreCoverResult result = all_minimal
                                      ? CoreCoverStar(query, views, options)
                                      : CoreCover(query, views, options);
-  if (!result.ok()) return Fail("unsupported query: " + result.error);
+  // With --explain the planner below reports the failure (status, error)
+  // in the requested format instead of a bare exit.
+  if (!result.ok() && explain_mode == ExplainMode::kOff) {
+    return Fail("unsupported query: " + result.error);
+  }
 
-  if (show_tuples) {
+  if (show_tuples && explain_mode != ExplainMode::kJson) {
     std::printf("%% view tuples (T(Q,V)) and their cores:\n");
     for (const auto& t : result.view_tuples) {
       std::printf("%%   %-20s core size %zu%s\n",
@@ -134,29 +157,59 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!result.has_rewriting) {
-    std::printf("%% no equivalent rewriting exists\n");
-    return 2;
-  }
-  std::printf("%% %zu %s rewriting(s); minimum subgoals = %zu; %.2f ms\n",
-              result.rewritings.size(),
-              all_minimal ? "minimal" : "globally-minimal",
-              result.stats.minimum_cover_size, result.stats.total_ms);
-  for (const auto& p : result.rewritings) {
-    std::printf("%s.\n", p.ToString().c_str());
+  // --explain=json keeps stdout machine-readable: one JSON object, no
+  // human preamble.
+  if (result.ok() && explain_mode != ExplainMode::kJson) {
+    if (!result.has_rewriting) {
+      std::printf("%% no equivalent rewriting exists\n");
+      // With --explain the planner still runs below so the failure is
+      // explained (status, cache disposition) instead of just exiting.
+      if (explain_mode == ExplainMode::kOff) return 2;
+    } else {
+      std::printf("%% %zu %s rewriting(s); minimum subgoals = %zu; %.2f ms\n",
+                  result.rewritings.size(),
+                  all_minimal ? "minimal" : "globally-minimal",
+                  result.stats.minimum_cover_size, result.stats.total_ms);
+      for (const auto& p : result.rewritings) {
+        std::printf("%s.\n", p.ToString().c_str());
+      }
+    }
   }
 
-  // Optional execution against concrete data.
-  if (data_path != nullptr) {
-    std::string data_error;
-    auto base = LoadDatabaseFile(data_path, &data_error);
-    if (!base.has_value()) return Fail(data_error);
+  // Optional execution / explanation against concrete data (empty view
+  // instances when --data was not given).
+  if (data_path != nullptr || explain_mode != ExplainMode::kOff || trace) {
+    Database base;
+    if (data_path != nullptr) {
+      std::string data_error;
+      auto loaded = LoadDatabaseFile(data_path, &data_error);
+      if (!loaded.has_value()) return Fail(data_error);
+      base = std::move(*loaded);
+    }
     ViewPlanner::Options planner_options;
     planner_options.core_cover = options;
     planner_options.enable_cache = enable_cache;
-    ViewPlanner planner(views, MaterializeViews(views, *base),
+    ViewPlanner planner(views, MaterializeViews(views, base),
                         planner_options);
-    const auto plan = planner.Plan(query, model);
+    MemoryTraceSink sink;
+    TraceSink* const sink_ptr = trace ? &sink : nullptr;
+    if (explain_mode != ExplainMode::kOff) {
+      const auto explanation = planner.Explain(query, model, sink_ptr);
+      if (explain_mode == ExplainMode::kJson) {
+        std::printf("%s\n", explanation.ToJson().c_str());
+      } else {
+        std::printf("%%\n%% explain:\n%s", explanation.ToText().c_str());
+      }
+      if (trace) {
+        std::fprintf(stderr, "%s", sink.ToText().c_str());
+      }
+      if (!explanation.ok()) return 2;
+      return 0;
+    }
+    const auto plan = planner.Plan(query, model, sink_ptr);
+    if (trace) {
+      std::fprintf(stderr, "%s", sink.ToText().c_str());
+    }
     if (!plan.ok()) {
       return Fail(std::string("planner: ") + PlanStatusName(plan.status) +
                   (plan.error.empty() ? "" : " (" + plan.error + ")"));

@@ -1,0 +1,74 @@
+#ifndef VBR_COMMON_JSON_H_
+#define VBR_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vbr {
+
+// Minimal JSON support for the observability surfaces: an escaper for the
+// writers (EXPLAIN, metrics export, trace dump — each builds its output
+// string directly) and a small strict parser used by tests to prove those
+// outputs round-trip. Not a general-purpose JSON library: numbers are held
+// as doubles, object member order is not preserved (std::map), and inputs
+// must be valid UTF-8 passed through verbatim.
+
+// Escapes `s` for embedding inside a JSON string literal (quotes, backslash,
+// control characters).
+std::string JsonEscape(std::string_view s);
+
+// A parsed JSON value.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_members() const {
+    return object_;
+  }
+
+  // Object member by key, or nullptr.
+  const JsonValue* Get(const std::string& key) const;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses `text` as a single JSON value (trailing whitespace allowed,
+// trailing garbage rejected). On failure returns nullopt and, if `error` is
+// non-null, stores a message with the byte offset.
+std::optional<JsonValue> ParseJson(std::string_view text,
+                                   std::string* error = nullptr);
+
+}  // namespace vbr
+
+#endif  // VBR_COMMON_JSON_H_

@@ -1,0 +1,142 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace vbr {
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    const uint64_t bound = b == 0 ? 0 : (b >= 64 ? UINT64_MAX : (uint64_t{1} << b) - 1);
+    out.buckets.emplace_back(bound, n);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s count=%llu sum=%llu mean=%.1f min=%llu max=%llu\n",
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.data.count),
+                  static_cast<unsigned long long>(h.data.sum), h.data.Mean(),
+                  static_cast<unsigned long long>(h.data.min),
+                  static_cast<unsigned long long>(h.data.max));
+    out += buffer;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\"" + JsonEscape(counters[i].name) +
+           "\":" + std::to_string(counters[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) out += ',';
+    const Histogram::Snapshot& s = histograms[i].data;
+    out += "\"" + JsonEscape(histograms[i].name) + "\":{";
+    out += "\"count\":" + std::to_string(s.count);
+    out += ",\"sum\":" + std::to_string(s.sum);
+    out += ",\"min\":" + std::to_string(s.min);
+    out += ",\"max\":" + std::to_string(s.max);
+    out += ",\"buckets\":[";
+    for (size_t b = 0; b < s.buckets.size(); ++b) {
+      if (b > 0) out += ',';
+      out += "[" + std::to_string(s.buckets[b].first) + "," +
+             std::to_string(s.buckets[b].second) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VBR_CHECK_MSG(histograms_.find(name) == histograms_.end(),
+                "metric name already registered as a histogram");
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VBR_CHECK_MSG(counters_.find(name) == counters_.end(),
+                "metric name already registered as a counter");
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  return histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+      .first->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back({name, counter->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.push_back({name, histogram->snapshot()});
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace vbr

@@ -1,0 +1,147 @@
+#ifndef VBR_COMMON_METRICS_H_
+#define VBR_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vbr {
+
+// A process-wide registry of named counters and histograms.
+//
+// Every layer of the planning pipeline reports into the global registry:
+// CoreCover stage counts and wall times, containment checks, plan-cache
+// hits/misses/insertions/evictions, planner calls. The registry is the
+// uniform export surface (text + JSON snapshots) that replaced the ad-hoc
+// std::atomic members previously private to PlanCache; per-run structs like
+// CoreCoverStats remain as RETURN values, while the registry accumulates
+// process totals across runs, planners, and threads.
+//
+// Usage pattern on hot paths: resolve the instrument once (construction, or
+// a function-local static) and keep the pointer — instruments are never
+// destroyed or relocated for the life of the process.
+//
+//   static Counter* checks =
+//       MetricsRegistry::Global().GetCounter("cq.containment_checks");
+//   checks->Increment();
+//
+// Metric names are dot-separated lowercase ("planner.cache.hits"). See
+// DESIGN.md "Observability" for the full name inventory.
+
+// A monotonically increasing atomic counter.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A histogram of non-negative integer samples over exponential power-of-two
+// buckets: bucket b counts samples with bit_width(value) == b, i.e. bucket 0
+// holds value 0, bucket b>0 holds [2^(b-1), 2^b). Tracks count, sum, min,
+// and max exactly. Wall-time histograms record MICROSECONDS.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;  // bit_width of uint64_t is 0..64
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;  // 0 when count == 0
+    uint64_t max = 0;
+    // Non-empty buckets only, as (bucket upper bound, count) pairs in
+    // increasing bound order; bound 0 is the exact-zero bucket.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  Histogram::Snapshot data;
+};
+
+struct MetricsSnapshot {
+  // Sorted by name.
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  // "name value" lines for counters; histograms add count/sum/mean/min/max:
+  //   planner.cache.hits 42
+  //   corecover.stage.total_us count=10 sum=5321 mean=532.1 min=21 max=2103
+  std::string ToText() const;
+  // {"counters":{"name":value,...},"histograms":{"name":{"count":..,...}}}
+  std::string ToJson() const;
+};
+
+// The registry. Instruments are created on first use and live forever;
+// GetCounter / GetHistogram return stable pointers and may be called
+// concurrently. Requesting the same name with a different instrument kind
+// CHECK-fails.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Registries are independently constructible for tests; production code
+  // uses Global().
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // A consistent-enough snapshot (each instrument is read atomically;
+  // cross-instrument skew is possible under concurrent updates).
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered instrument (names stay registered). Tests only:
+  // racy against concurrent writers by design.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_COMMON_METRICS_H_

@@ -1,0 +1,183 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+
+#include "common/json.h"
+
+namespace vbr {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t CurrentThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+TraceSink::TraceSink() : epoch_ns_(SteadyNowNs()) {}
+
+uint64_t TraceSink::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+TraceSpan::TraceSpan(TraceSink* sink, uint64_t parent_id,
+                     std::string_view name)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  id_ = sink_->NextSpanId();
+  event_.id = id_;
+  event_.parent_id = parent_id;
+  event_.name.assign(name.data(), name.size());
+  event_.thread_id = CurrentThreadId();
+  event_.start_ns = sink_->NowNs();
+}
+
+TraceSpan::TraceSpan(TraceSink* sink, std::string_view name)
+    : TraceSpan(sink, 0, name) {}
+
+TraceSpan::TraceSpan(const TraceSpan& parent, std::string_view name)
+    : TraceSpan(parent.sink_, parent.id_, name) {}
+
+TraceSpan::TraceSpan(const TraceContext& context, std::string_view name)
+    : TraceSpan(context.sink, context.parent_id, name) {}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (sink_ == nullptr) return;
+  event_.end_ns = sink_->NowNs();
+  sink_->OnSpanEnd(std::move(event_));
+  sink_ = nullptr;
+}
+
+void TraceSpan::AddAttribute(std::string_view key, std::string_view value) {
+  if (sink_ == nullptr) return;
+  event_.attributes.emplace_back(std::string(key), std::string(value));
+}
+
+void TraceSpan::AddAttribute(std::string_view key, const char* value) {
+  AddAttribute(key, std::string_view(value));
+}
+
+void TraceSpan::AddAttribute(std::string_view key, uint64_t value) {
+  if (sink_ == nullptr) return;
+  event_.attributes.emplace_back(std::string(key), std::to_string(value));
+}
+
+void TraceSpan::AddAttribute(std::string_view key, double value) {
+  if (sink_ == nullptr) return;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  event_.attributes.emplace_back(std::string(key), buffer);
+}
+
+void TraceSpan::AddAttribute(std::string_view key, bool value) {
+  AddAttribute(key, value ? std::string_view("true") : std::string_view("false"));
+}
+
+void MemoryTraceSink::OnSpanEnd(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> MemoryTraceSink::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t MemoryTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void MemoryTraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string MemoryTraceSink::ToText() const {
+  const std::vector<TraceEvent> events = spans();
+
+  // Children of each span, ordered by start time for a stable rendering.
+  std::unordered_map<uint64_t, std::vector<size_t>> children;
+  std::unordered_map<uint64_t, bool> known;
+  for (const TraceEvent& e : events) known[e.id] = true;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].parent_id != 0 && known.count(events[i].parent_id) > 0) {
+      children[events[i].parent_id].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  const auto by_start = [&](size_t a, size_t b) {
+    if (events[a].start_ns != events[b].start_ns) {
+      return events[a].start_ns < events[b].start_ns;
+    }
+    return events[a].id < events[b].id;
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& [id, kids] : children) std::sort(kids.begin(), kids.end(), by_start);
+
+  std::string out;
+  const std::function<void(size_t, size_t)> render = [&](size_t i,
+                                                         size_t depth) {
+    const TraceEvent& e = events[i];
+    out.append(2 * depth, ' ');
+    out += e.name;
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "  %.3fms",
+                  static_cast<double>(e.end_ns - e.start_ns) / 1e6);
+    out += buffer;
+    if (!e.attributes.empty()) {
+      out += "  [";
+      for (size_t k = 0; k < e.attributes.size(); ++k) {
+        if (k > 0) out += ' ';
+        out += e.attributes[k].first;
+        out += '=';
+        out += e.attributes[k].second;
+      }
+      out += ']';
+    }
+    out += '\n';
+    for (size_t child : children[e.id]) render(child, depth + 1);
+  };
+  for (size_t root : roots) render(root, 0);
+  return out;
+}
+
+std::string MemoryTraceSink::ToJson() const {
+  const std::vector<TraceEvent> events = spans();
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":" + std::to_string(e.id);
+    out += ",\"parent\":" + std::to_string(e.parent_id);
+    out += ",\"name\":\"" + JsonEscape(e.name) + "\"";
+    out += ",\"start_ns\":" + std::to_string(e.start_ns);
+    out += ",\"end_ns\":" + std::to_string(e.end_ns);
+    out += ",\"thread\":" + std::to_string(e.thread_id);
+    out += ",\"attributes\":{";
+    for (size_t k = 0; k < e.attributes.size(); ++k) {
+      if (k > 0) out += ',';
+      out += "\"" + JsonEscape(e.attributes[k].first) + "\":\"" +
+             JsonEscape(e.attributes[k].second) + "\"";
+    }
+    out += "}}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace vbr

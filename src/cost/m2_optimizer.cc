@@ -46,7 +46,9 @@ size_t RelationSize(const ConjunctiveQuery& rewriting, size_t subgoal,
 }  // namespace
 
 M2OptimizationResult OptimizeOrderM2(const ConjunctiveQuery& rewriting,
-                                     const Database& view_db) {
+                                     const Database& view_db,
+                                     const TraceContext& trace) {
+  TraceSpan span(trace, "optimize_m2");
   const size_t n = rewriting.num_subgoals();
   VBR_CHECK_MSG(n >= 1, "cannot optimize an empty rewriting");
   VBR_CHECK_MSG(n <= 20, "subset DP is limited to 20 subgoals");
@@ -85,6 +87,10 @@ M2OptimizationResult OptimizeOrderM2(const ConjunctiveQuery& rewriting,
     mask ^= uint32_t{1} << g;
   }
   result.plan.order.assign(reversed.rbegin(), reversed.rend());
+  span.AddAttribute("subgoals", static_cast<uint64_t>(n));
+  span.AddAttribute("cost", static_cast<uint64_t>(result.cost));
+  span.AddAttribute("subsets_costed",
+                    static_cast<uint64_t>(result.subsets_costed));
   return result;
 }
 

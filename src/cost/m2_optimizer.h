@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/trace.h"
 #include "cost/physical_plan.h"
 #include "cq/query.h"
 #include "engine/database.h"
@@ -25,9 +26,12 @@ struct M2OptimizationResult {
 };
 
 // Exact M2-optimal order for `rewriting` against `view_db`. The rewriting
-// must have at most 20 subgoals (2^n subset DP).
+// must have at most 20 subgoals (2^n subset DP). With an active `trace`,
+// emits an "optimize_m2" span recording the chosen cost and the number of
+// subsets costed.
 M2OptimizationResult OptimizeOrderM2(const ConjunctiveQuery& rewriting,
-                                     const Database& view_db);
+                                     const Database& view_db,
+                                     const TraceContext& trace = {});
 
 // M2 cost of one specific order (sum of view sizes and IR sizes).
 size_t CostOfOrderM2(const ConjunctiveQuery& rewriting,

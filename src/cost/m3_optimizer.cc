@@ -130,7 +130,9 @@ class DropSearch {
 M3OptimizationResult OptimizeM3(const ConjunctiveQuery& rewriting,
                                 const ConjunctiveQuery& query,
                                 const ViewSet& views,
-                                const Database& view_db) {
+                                const Database& view_db,
+                                const TraceContext& trace) {
+  TraceSpan span(trace, "optimize_m3");
   const size_t n = rewriting.num_subgoals();
   VBR_CHECK_MSG(n >= 1 && n <= 8,
                 "M3 optimization enumerates all orders; use <= 8 subgoals");
@@ -144,6 +146,9 @@ M3OptimizationResult OptimizeM3(const ConjunctiveQuery& rewriting,
     search.Run(rewriting, &evaluated, &best);
   } while (std::next_permutation(order.begin(), order.end()));
   best.plans_evaluated = evaluated;
+  span.AddAttribute("subgoals", static_cast<uint64_t>(n));
+  span.AddAttribute("cost", static_cast<uint64_t>(best.cost));
+  span.AddAttribute("plans_evaluated", static_cast<uint64_t>(evaluated));
   return best;
 }
 

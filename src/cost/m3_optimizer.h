@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "common/trace.h"
 #include "cost/physical_plan.h"
 #include "cq/query.h"
 #include "engine/database.h"
@@ -32,10 +33,13 @@ struct M3OptimizationResult {
   size_t plans_evaluated = 0;
 };
 
+// With an active `trace`, emits an "optimize_m3" span recording the chosen
+// cost and the number of complete plans evaluated.
 M3OptimizationResult OptimizeM3(const ConjunctiveQuery& rewriting,
                                 const ConjunctiveQuery& query,
                                 const ViewSet& views,
-                                const Database& view_db);
+                                const Database& view_db,
+                                const TraceContext& trace = {});
 
 }  // namespace vbr
 

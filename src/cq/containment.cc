@@ -1,6 +1,7 @@
 #include "cq/containment.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "cq/homomorphism.h"
 
 namespace vbr {
@@ -59,6 +60,11 @@ std::optional<Substitution> FindContainmentMapping(
     const ConjunctiveQuery& source, const ConjunctiveQuery& target) {
   CheckNoBuiltins(source);
   CheckNoBuiltins(target);
+  // Process-wide count of containment (homomorphism) searches: the unit of
+  // work every rewriting algorithm bottoms out in.
+  static Counter* const checks =
+      MetricsRegistry::Global().GetCounter("cq.containment_checks");
+  checks->Increment();
   std::optional<Substitution> seed = SeedFromHeads(source, target);
   if (!seed.has_value()) return std::nullopt;
   return FindHomomorphism(source.body(), target.body(), *seed);

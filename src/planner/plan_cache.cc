@@ -31,7 +31,15 @@ PlanCache::PlanCache(size_t capacity, size_t num_shards)
       shard_capacity_(std::max<size_t>(
           capacity_ / std::max<size_t>(std::min(num_shards, capacity_), 1),
           1)),
-      shards_(std::max<size_t>(std::min(num_shards, capacity_), 1)) {}
+      shards_(std::max<size_t>(std::min(num_shards, capacity_), 1)) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  hits_.global = registry.GetCounter("planner.cache.hits");
+  misses_.global = registry.GetCounter("planner.cache.misses");
+  insertions_.global = registry.GetCounter("planner.cache.insertions");
+  evictions_.global = registry.GetCounter("planner.cache.evictions");
+}
+
+void PlanCache::RecordDedupHit() { hits_.Increment(); }
 
 void PlanCache::Erase(Shard& shard, std::list<Node>::iterator it) {
   const uint64_t hash = it->entry->fingerprint.hash;
@@ -59,7 +67,7 @@ PlanCache::EntryPtr PlanCache::Lookup(
     if (it->epoch != epoch) {
       // Stale entry from before the last view-set change; drop it.
       ++idx;  // advance before Erase invalidates this index iterator
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_.Increment();
       Erase(shard, it);
       continue;
     }
@@ -76,13 +84,13 @@ PlanCache::EntryPtr PlanCache::Lookup(
       }
       if (match) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it);
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_.Increment();
         return it->entry;
       }
     }
     ++idx;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Increment();
   return nullptr;
 }
 
@@ -105,9 +113,9 @@ void PlanCache::Insert(CostModel model, EntryPtr entry) {
   }
   shard.lru.push_front(Node{model, epoch, std::move(entry)});
   shard.index.emplace(hash, shard.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.Increment();
   while (shard.lru.size() > shard_capacity_) {
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Increment();
     Erase(shard, std::prev(shard.lru.end()));
   }
 }
@@ -118,7 +126,7 @@ void PlanCache::BumpEpoch() {
   // also skips (and drops) any straggler inserted around the bump.
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    evictions_.fetch_add(shard.lru.size(), std::memory_order_relaxed);
+    evictions_.Add(shard.lru.size());
     shard.index.clear();
     shard.lru.clear();
   }
@@ -135,10 +143,10 @@ size_t PlanCache::size() const {
 
 PlanCacheCounters PlanCache::counters() const {
   PlanCacheCounters c;
-  c.hits = hits_.load(std::memory_order_relaxed);
-  c.misses = misses_.load(std::memory_order_relaxed);
-  c.insertions = insertions_.load(std::memory_order_relaxed);
-  c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.hits = hits_.local.value();
+  c.misses = misses_.local.value();
+  c.insertions = insertions_.local.value();
+  c.evictions = evictions_.local.value();
   return c;
 }
 

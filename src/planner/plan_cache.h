@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "cost/cost_model.h"
 #include "cq/fingerprint.h"
 #include "cq/query.h"
@@ -56,6 +57,10 @@ struct CachedPlan {
   mutable std::vector<std::optional<EquivalenceCertificate>> certificates_;
 };
 
+// Snapshot of one cache's counters. The live counters are metrics::Counter
+// instruments (common/metrics.h); each PlanCache also mirrors its updates
+// into the global MetricsRegistry under "planner.cache.*" so process-wide
+// exports aggregate across planners.
 struct PlanCacheCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -112,7 +117,7 @@ class PlanCache {
 
   // Records a deduplication hit served outside Lookup (PlanMany hands a
   // just-planned entry straight to batch duplicates).
-  void RecordDedupHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordDedupHit();
 
   // Invalidates every entry: the epoch counter is bumped and all shards are
   // purged (the dropped entries count as evictions).
@@ -142,14 +147,25 @@ class PlanCache {
   // Unlinks `it` from `shard` (index + list). Caller holds shard.mu.
   void Erase(Shard& shard, std::list<Node>::iterator it);
 
+  // Bumps a per-instance counter and its global "planner.cache.*" mirror.
+  struct MirroredCounter {
+    Counter local;
+    Counter* global = nullptr;
+    void Add(uint64_t n) {
+      local.Add(n);
+      global->Add(n);
+    }
+    void Increment() { Add(1); }
+  };
+
   const size_t capacity_;
   const size_t shard_capacity_;
   std::vector<Shard> shards_;
   std::atomic<uint64_t> epoch_{0};
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
+  MirroredCounter hits_;
+  MirroredCounter misses_;
+  MirroredCounter insertions_;
+  MirroredCounter evictions_;
 };
 
 }  // namespace vbr

@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "cost/filter_advisor.h"
 #include "cost/m2_optimizer.h"
 #include "cost/m3_optimizer.h"
@@ -92,6 +95,139 @@ std::string ViewPlanner::PlanChoice::ToString() const {
   return s;
 }
 
+namespace {
+
+std::string SizesToString(const std::vector<size_t>& sizes) {
+  std::string s = "[";
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (i > 0) s += " ";
+    s += std::to_string(sizes[i]);
+  }
+  s += "]";
+  return s;
+}
+
+std::string SizesToJson(const std::vector<size_t>& sizes) {
+  std::string s = "[";
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(sizes[i]);
+  }
+  s += "]";
+  return s;
+}
+
+std::string Quoted(std::string_view s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+std::string StatsToJson(const CoreCoverStats& stats) {
+  std::string s = "{";
+  s += "\"num_views\":" + std::to_string(stats.num_views);
+  s += ",\"num_view_classes\":" + std::to_string(stats.num_view_classes);
+  s += ",\"num_view_tuples\":" + std::to_string(stats.num_view_tuples);
+  s += ",\"num_tuple_classes\":" + std::to_string(stats.num_tuple_classes);
+  s += ",\"num_nonempty_cores\":" + std::to_string(stats.num_nonempty_cores);
+  s += ",\"minimum_cover_size\":" + std::to_string(stats.minimum_cover_size);
+  s += ",\"minimize_ms\":" + std::to_string(stats.minimize_ms);
+  s += ",\"view_tuple_ms\":" + std::to_string(stats.view_tuple_ms);
+  s += ",\"tuple_core_ms\":" + std::to_string(stats.tuple_core_ms);
+  s += ",\"cover_ms\":" + std::to_string(stats.cover_ms);
+  s += ",\"total_ms\":" + std::to_string(stats.total_ms);
+  s += "}";
+  return s;
+}
+
+}  // namespace
+
+std::string ViewPlanner::PlanExplanation::ToText() const {
+  std::string s;
+  s += "query    : " + query.ToString() + "\n";
+  s += "status   : " + std::string(PlanStatusName(status)) + "\n";
+  if (!error.empty()) s += "error    : " + error + "\n";
+  s += "model    : " + std::string(ModelName(model)) + "\n";
+  s += "cache    : " + cache_disposition +
+       (cache_hit ? " (served from cache)" : "") + "\n";
+  if (!ok()) return s;
+  s += "minimized: " + minimized.ToString() + "\n";
+  s += "candidates (" + std::to_string(candidates.size()) + "):\n";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    s += "  [" + std::to_string(i) + "]" + (c.chosen ? " *" : "  ");
+    s += " cost " + std::to_string(c.cost);
+    if (c.filtered) s += " (filtered)";
+    s += " : " + c.logical.ToString() + "  -- " + c.reason + "\n";
+  }
+  if (choice.has_value()) {
+    s += "plan:\n";
+    s += "  logical : " + choice->logical.ToString() + "\n";
+    s += "  physical: " + choice->physical.ToString() + "\n";
+    s += "  cost    : " + std::to_string(choice->cost) + " (" +
+         ModelName(choice->model) + ")\n";
+  }
+  if (!breakdown.empty()) {
+    s += "breakdown:\n";
+    for (const ModelBreakdown& b : breakdown) {
+      s += "  " + std::string(ModelName(b.model)) + ": cost " +
+           std::to_string(b.cost) + ", order " + SizesToString(b.order);
+      if (!b.relation_sizes.empty()) {
+        s += ", relation sizes " + SizesToString(b.relation_sizes);
+      }
+      if (!b.state_sizes.empty()) {
+        s += ", intermediate sizes " + SizesToString(b.state_sizes);
+      }
+      s += "\n";
+    }
+  }
+  return s;
+}
+
+std::string ViewPlanner::PlanExplanation::ToJson() const {
+  std::string s = "{";
+  s += "\"status\":" + Quoted(PlanStatusName(status));
+  s += ",\"error\":" + Quoted(error);
+  s += ",\"model\":" + Quoted(ModelName(model));
+  s += ",\"cache\":" + Quoted(cache_disposition);
+  s += ",\"cache_hit\":" + std::string(cache_hit ? "true" : "false");
+  s += ",\"query\":" + Quoted(query.ToString());
+  s += ",\"minimized\":" + Quoted(minimized.ToString());
+  s += ",\"candidates\":[";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    if (i > 0) s += ",";
+    s += "{\"logical\":" + Quoted(c.logical.ToString());
+    s += ",\"cost\":" + std::to_string(c.cost);
+    s += ",\"filtered\":" + std::string(c.filtered ? "true" : "false");
+    s += ",\"chosen\":" + std::string(c.chosen ? "true" : "false");
+    s += ",\"reason\":" + Quoted(c.reason) + "}";
+  }
+  s += "]";
+  if (choice.has_value()) {
+    s += ",\"plan\":{";
+    s += "\"logical\":" + Quoted(choice->logical.ToString());
+    s += ",\"physical\":" + Quoted(choice->physical.ToString());
+    s += ",\"cost\":" + std::to_string(choice->cost);
+    s += ",\"model\":" + Quoted(ModelName(choice->model));
+    s += "}";
+  } else {
+    s += ",\"plan\":null";
+  }
+  s += ",\"breakdown\":[";
+  for (size_t i = 0; i < breakdown.size(); ++i) {
+    const ModelBreakdown& b = breakdown[i];
+    if (i > 0) s += ",";
+    s += "{\"model\":" + Quoted(ModelName(b.model));
+    s += ",\"cost\":" + std::to_string(b.cost);
+    s += ",\"order\":" + SizesToJson(b.order);
+    s += ",\"relation_sizes\":" + SizesToJson(b.relation_sizes);
+    s += ",\"state_sizes\":" + SizesToJson(b.state_sizes) + "}";
+  }
+  s += "]";
+  s += ",\"stats\":" + StatsToJson(stats);
+  s += "}";
+  return s;
+}
+
 ViewPlanner::ViewPlanner(ViewSet views, Database view_instances)
     : ViewPlanner(std::move(views), std::move(view_instances), Options()) {}
 
@@ -108,11 +244,14 @@ ViewPlanner::ViewPlanner(ViewSet views, Database view_instances,
 
 ViewPlanner::~ViewPlanner() = default;
 
-bool ViewPlanner::CostAndPick(const ConjunctiveQuery& query, CostModel model,
-                              const std::vector<ConjunctiveQuery>& rewritings,
-                              const std::vector<Atom>& filter_atoms,
-                              PlanChoice* best, size_t* winner_index,
-                              bool* winner_filtered) const {
+bool ViewPlanner::CostAndPick(
+    const ConjunctiveQuery& query, CostModel model,
+    const std::vector<ConjunctiveQuery>& rewritings,
+    const std::vector<Atom>& filter_atoms, PlanChoice* best,
+    size_t* winner_index, bool* winner_filtered, const TraceContext& trace,
+    std::vector<PlanExplanation::Candidate>* capture) const {
+  TraceSpan span(trace, "cost_and_pick");
+  span.AddAttribute("candidates", static_cast<uint64_t>(rewritings.size()));
   const bool use_filters =
       options_.use_filters && model != CostModel::kM1 && !filter_atoms.empty();
   best->model = model;
@@ -140,7 +279,8 @@ bool ViewPlanner::CostAndPick(const ConjunctiveQuery& query, CostModel model,
           filtered = !advice.filters_added.empty();
           logical = std::move(advice.improved);
         }
-        const auto m2 = OptimizeOrderM2(logical, view_instances_);
+        const auto m2 =
+            OptimizeOrderM2(logical, view_instances_, span.context());
         physical = m2.plan;
         cost = m2.cost;
         break;
@@ -152,18 +292,27 @@ bool ViewPlanner::CostAndPick(const ConjunctiveQuery& query, CostModel model,
           logical = std::move(advice.improved);
         }
         if (logical.num_subgoals() <= options_.max_m3_subgoals) {
-          const auto m3 = OptimizeM3(logical, query, views_, view_instances_);
+          const auto m3 = OptimizeM3(logical, query, views_, view_instances_,
+                                     span.context());
           physical = m3.plan;
           cost = m3.cost;
         } else {
           // Too wide for the exhaustive M3 search: M2 order + SR drops.
-          const auto m2 = OptimizeOrderM2(logical, view_instances_);
+          const auto m2 =
+              OptimizeOrderM2(logical, view_instances_, span.context());
           physical = m2.plan;
           physical.drop_after = SupplementaryDrops(logical, physical.order);
           cost = ExecutePlan(physical, view_instances_).TotalCost();
         }
         break;
       }
+    }
+    if (capture != nullptr) {
+      PlanExplanation::Candidate candidate;
+      candidate.logical = logical;
+      candidate.cost = cost;
+      candidate.filtered = filtered;
+      capture->push_back(std::move(candidate));
     }
     if (!found || cost < best->cost) {
       found = true;
@@ -174,13 +323,30 @@ bool ViewPlanner::CostAndPick(const ConjunctiveQuery& query, CostModel model,
       *winner_filtered = filtered;
     }
   }
+  if (capture != nullptr && found) {
+    for (size_t r = 0; r < capture->size(); ++r) {
+      PlanExplanation::Candidate& candidate = (*capture)[r];
+      if (r == *winner_index) {
+        candidate.chosen = true;
+        candidate.reason = "chosen";
+      } else {
+        candidate.reason = "cost " + std::to_string(candidate.cost) +
+                           " >= winner " + std::to_string(best->cost);
+      }
+    }
+  }
+  if (found) {
+    span.AddAttribute("winner", static_cast<uint64_t>(*winner_index));
+    span.AddAttribute("winner_cost", static_cast<uint64_t>(best->cost));
+  }
   return found;
 }
 
 ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
     const ConjunctiveQuery& query, CostModel model,
     const CoreCoverOptions& cc_options, const CanonicalQuery* canonical,
-    std::shared_ptr<const CachedPlan>* out_entry) const {
+    std::shared_ptr<const CachedPlan>* out_entry,
+    PlanExplanation* explain) const {
   // M1 needs only the GMRs; M2/M3 search all minimal rewritings.
   const CoreCoverResult result =
       model == CostModel::kM1 ? CoreCover(query, views_, cc_options)
@@ -215,6 +381,7 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
     entry->stats = result.stats;
   }
 
+  if (explain != nullptr) explain->minimized = result.minimized_query;
   if (!result.ok()) {
     out.status = PlanStatus::kUnsupportedQueryTooLarge;
     out.error = result.error;
@@ -225,10 +392,12 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
     size_t winner = 0;
     bool winner_filtered = false;
     VBR_CHECK(CostAndPick(query, model, result.rewritings, filter_atoms,
-                          &best, &winner, &winner_filtered));
+                          &best, &winner, &winner_filtered, cc_options.trace,
+                          explain != nullptr ? &explain->candidates : nullptr));
     // Certify the winner against the minimized core (the certificate covers
     // the logical plan; the M3 physical plan may execute a renamed variant,
     // proven answer-equal by the optimizer's renaming-safety test).
+    TraceSpan certify_span(cc_options.trace, "certify");
     auto certificate =
         CertifyEquivalentRewriting(best.logical, result.minimized_query,
                                    views_);
@@ -252,10 +421,12 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
 
 ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
     const ConjunctiveQuery& query, CostModel model, const CachedPlan& entry,
-    const Substitution& transport) const {
+    const Substitution& transport, const TraceContext& trace,
+    PlanExplanation* explain) const {
   PlanResult out;
   out.cache_hit = true;
   out.stats = entry.stats;
+  if (explain != nullptr) explain->minimized = transport.Apply(entry.minimized);
   if (entry.status != CoreCoverStatus::kOk) {
     out.status = PlanStatus::kUnsupportedQueryTooLarge;
     out.error = entry.error;
@@ -283,12 +454,14 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
   size_t winner = 0;
   bool winner_filtered = false;
   VBR_CHECK(CostAndPick(query, model, rewritings, filter_atoms, &best,
-                        &winner, &winner_filtered));
+                        &winner, &winner_filtered, trace,
+                        explain != nullptr ? &explain->candidates : nullptr));
 
   // Certificate: reuse the cached one when the winner is the bare cached
   // rewriting (re-verified after transport — transport is a pure renaming,
   // but the verifier is cheap and search-free, so trust nothing). A
   // filtered winner differs from the cached rewriting and is re-certified.
+  TraceSpan certify_span(trace, "certify");
   bool certified = false;
   if (!winner_filtered) {
     if (auto cached_cert = entry.certificate(winner)) {
@@ -313,6 +486,8 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
     }
     best.certificate = std::move(*certificate);
   }
+  certify_span.AddAttribute("reused_cached", certified);
+  certify_span.End();
   out.choice = std::move(best);
   out.status = PlanStatus::kOk;
   return out;
@@ -320,22 +495,139 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
 
 ViewPlanner::PlanResult ViewPlanner::Plan(const ConjunctiveQuery& query,
                                           CostModel model) const {
+  return PlanInternal(query, model, nullptr, nullptr);
+}
+
+ViewPlanner::PlanResult ViewPlanner::Plan(const ConjunctiveQuery& query,
+                                          CostModel model,
+                                          TraceSink* trace) const {
+  return PlanInternal(query, model, trace, nullptr);
+}
+
+ViewPlanner::PlanResult ViewPlanner::PlanInternal(
+    const ConjunctiveQuery& query, CostModel model, TraceSink* trace,
+    PlanExplanation* explain) const {
+  static Counter* const plan_calls =
+      MetricsRegistry::Global().GetCounter("planner.plans");
+  static Histogram* const plan_us =
+      MetricsRegistry::Global().GetHistogram("planner.plan_us");
+  plan_calls->Increment();
+  const Timer timer;
+  TraceSpan span(trace, "plan");
+  span.AddAttribute("model", ModelName(model));
+
+  PlanResult result;
+  std::string_view disposition;
   // Builtin comparison subgoals are outside the fingerprint/minimization
   // machinery; such queries bypass the cache (and fail later checks exactly
   // as they always did).
   if (!options_.enable_cache || query.HasBuiltins()) {
-    return PlanViaCoreCover(query, model, options_.core_cover, nullptr,
-                            nullptr);
+    disposition = options_.enable_cache ? "bypass" : "disabled";
+    CoreCoverOptions cc = options_.core_cover;
+    cc.trace = span.context();
+    result = PlanViaCoreCover(query, model, cc, nullptr, nullptr, explain);
+  } else {
+    std::optional<CanonicalQuery> canonical;
+    {
+      TraceSpan canon_span(span.context(), "canonicalize");
+      canonical = CanonicalizeQuery(query);
+      canon_span.AddAttribute("exact", canonical->fingerprint.exact);
+    }
+    std::optional<Substitution> fallback;
+    PlanCache::EntryPtr entry;
+    {
+      TraceSpan lookup_span(span.context(), "cache_lookup");
+      entry = cache_->Lookup(canonical->fingerprint, model,
+                             canonical->minimized, &fallback);
+      lookup_span.AddAttribute("outcome",
+                               entry != nullptr ? "hit" : "miss");
+    }
+    if (entry != nullptr) {
+      disposition = "hit";
+      result = PlanFromEntry(query, model, *entry,
+                             fallback ? *fallback : canonical->from_canonical,
+                             span.context(), explain);
+    } else {
+      disposition = "miss";
+      CoreCoverOptions cc = options_.core_cover;
+      cc.trace = span.context();
+      result =
+          PlanViaCoreCover(query, model, cc, &*canonical, nullptr, explain);
+    }
   }
-  const CanonicalQuery canonical = CanonicalizeQuery(query);
-  std::optional<Substitution> fallback;
-  if (PlanCache::EntryPtr entry = cache_->Lookup(
-          canonical.fingerprint, model, canonical.minimized, &fallback)) {
-    return PlanFromEntry(query, model, *entry,
-                         fallback ? *fallback : canonical.from_canonical);
+  span.AddAttribute("cache", disposition);
+  span.AddAttribute("status", PlanStatusName(result.status));
+  plan_us->Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1000.0));
+  if (explain != nullptr) {
+    explain->status = result.status;
+    explain->error = result.error;
+    explain->model = model;
+    explain->cache_disposition = std::string(disposition);
+    explain->query = query;
+    explain->choice = result.choice;
+    explain->stats = result.stats;
+    explain->cache_hit = result.cache_hit;
   }
-  return PlanViaCoreCover(query, model, options_.core_cover, &canonical,
-                          nullptr);
+  return result;
+}
+
+ViewPlanner::PlanExplanation ViewPlanner::Explain(
+    const ConjunctiveQuery& query, CostModel model, TraceSink* trace) const {
+  PlanExplanation explain;
+  const PlanResult result = PlanInternal(query, model, trace, &explain);
+  if (!result.ok()) return explain;
+
+  // Re-measure the chosen logical plan under all three cost models so the
+  // explanation can contrast them (the planning decision above used only
+  // the requested model).
+  const ConjunctiveQuery& logical = result.choice->logical;
+  {
+    PlanExplanation::ModelBreakdown b;
+    b.model = CostModel::kM1;
+    b.cost = CostM1(logical);
+    PhysicalPlan plan;
+    plan.rewriting = logical;
+    for (size_t i = 0; i < logical.num_subgoals(); ++i) {
+      plan.order.push_back(i);
+    }
+    b.order = plan.order;
+    const PlanExecution exec = ExecutePlan(plan, view_instances_);
+    b.relation_sizes = exec.relation_sizes;
+    explain.breakdown.push_back(std::move(b));
+  }
+  {
+    const auto m2 = OptimizeOrderM2(logical, view_instances_);
+    PlanExplanation::ModelBreakdown b;
+    b.model = CostModel::kM2;
+    b.cost = m2.cost;
+    b.order = m2.plan.order;
+    const PlanExecution exec = ExecutePlan(m2.plan, view_instances_);
+    b.relation_sizes = exec.relation_sizes;
+    b.state_sizes = exec.state_sizes;
+    explain.breakdown.push_back(std::move(b));
+  }
+  {
+    PlanExplanation::ModelBreakdown b;
+    b.model = CostModel::kM3;
+    PhysicalPlan plan;
+    if (logical.num_subgoals() <= options_.max_m3_subgoals) {
+      const auto m3 =
+          OptimizeM3(logical, explain.minimized, views_, view_instances_);
+      b.cost = m3.cost;
+      plan = m3.plan;
+    } else {
+      const auto m2 = OptimizeOrderM2(logical, view_instances_);
+      plan = m2.plan;
+      plan.drop_after = SupplementaryDrops(logical, plan.order);
+      b.cost = ExecutePlan(plan, view_instances_).TotalCost();
+    }
+    b.order = plan.order;
+    const PlanExecution exec = ExecutePlan(plan, view_instances_);
+    b.relation_sizes = exec.relation_sizes;
+    b.state_sizes = exec.state_sizes;
+    explain.breakdown.push_back(std::move(b));
+  }
+  return explain;
 }
 
 std::vector<ViewPlanner::PlanResult> ViewPlanner::PlanMany(

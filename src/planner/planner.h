@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "cost/cost_model.h"
 #include "cost/physical_plan.h"
 #include "cq/fingerprint.h"
@@ -125,8 +126,69 @@ class ViewPlanner {
   ViewPlanner(const ViewPlanner&) = delete;
   ViewPlanner& operator=(const ViewPlanner&) = delete;
 
-  // Chooses a plan for `query` under `model`.
+  // A self-describing account of one planning decision, for humans (ToText)
+  // and tools (ToJson): the chosen rewriting, every candidate considered
+  // with its cost and why it lost, a per-cost-model breakdown of the winner
+  // with the measured intermediate-result sizes, and the cache disposition.
+  // Available for failed plans too (status / error are always reported).
+  struct PlanExplanation {
+    // One costed candidate rewriting (after any advisor filters).
+    struct Candidate {
+      ConjunctiveQuery logical;
+      size_t cost = 0;
+      // The filter advisor appended selective subgoals to this candidate.
+      bool filtered = false;
+      bool chosen = false;
+      // "chosen", or why it lost ("cost 18 > winner 7").
+      std::string reason;
+    };
+    // The chosen logical plan measured under one cost model: its join
+    // order, per-step view-relation sizes, and per-step intermediate sizes
+    // (IR_i under M2, GSR_i under M3; empty for M1, which counts subgoals).
+    struct ModelBreakdown {
+      CostModel model = CostModel::kM1;
+      size_t cost = 0;
+      std::vector<size_t> order;
+      std::vector<size_t> relation_sizes;
+      std::vector<size_t> state_sizes;
+    };
+
+    PlanStatus status = PlanStatus::kNoRewriting;
+    std::string error;
+    CostModel model = CostModel::kM1;
+    // "hit", "miss", "bypass" (builtins skip the cache), or "disabled".
+    std::string cache_disposition;
+    ConjunctiveQuery query;
+    // The minimized core the rewriting search ran on.
+    ConjunctiveQuery minimized;
+    std::optional<PlanChoice> choice;
+    std::vector<Candidate> candidates;
+    // Breakdown under M1, M2, and M3 (in that order) when a plan exists.
+    std::vector<ModelBreakdown> breakdown;
+    CoreCoverStats stats;
+    bool cache_hit = false;
+
+    bool ok() const { return status == PlanStatus::kOk; }
+    std::string ToText() const;
+    std::string ToJson() const;
+  };
+
+  // Chooses a plan for `query` under `model`. With a non-null `trace`, the
+  // call emits a span tree into the sink: a root "plan" span (attributes:
+  // model, cache disposition, status) with children for canonicalization,
+  // the cache lookup, every CoreCover stage, the cost optimizers, and
+  // certification. A null sink costs one branch per span site.
   PlanResult Plan(const ConjunctiveQuery& query, CostModel model) const;
+  PlanResult Plan(const ConjunctiveQuery& query, CostModel model,
+                  TraceSink* trace) const;
+
+  // Plans `query` and explains the outcome. Runs the normal planning path
+  // (cache included) plus extra measurement work: every candidate is
+  // recorded while costing, and the winner is re-measured under all three
+  // cost models, so Explain is strictly more expensive than Plan — use it
+  // for debugging and inspection, not on the hot path.
+  PlanExplanation Explain(const ConjunctiveQuery& query, CostModel model,
+                          TraceSink* trace = nullptr) const;
 
   // Plans a batch: results[i] corresponds to queries[i]. The batch fans
   // out on a thread pool (core_cover.num_threads workers; each individual
@@ -168,25 +230,38 @@ class ViewPlanner {
   uint64_t cache_epoch() const;
 
  private:
+  // Shared Plan/Explain entry: plans with optional tracing and, when
+  // `explain` is non-null, records candidates / cache disposition /
+  // minimized core into it.
+  PlanResult PlanInternal(const ConjunctiveQuery& query, CostModel model,
+                          TraceSink* trace, PlanExplanation* explain) const;
   // Runs CoreCover + costing for `query`. When `canonical` is non-null the
   // logical outcome is also inserted into the cache, and *out_entry (if
   // non-null) receives the inserted entry for in-flight deduplication.
   PlanResult PlanViaCoreCover(const ConjunctiveQuery& query, CostModel model,
                               const CoreCoverOptions& cc_options,
                               const CanonicalQuery* canonical,
-                              std::shared_ptr<const CachedPlan>* out_entry)
-      const;
+                              std::shared_ptr<const CachedPlan>* out_entry,
+                              PlanExplanation* explain = nullptr) const;
   // Re-costs a cached entry for `query`. `transport` renames the entry's
   // canonical variables into the caller's.
   PlanResult PlanFromEntry(const ConjunctiveQuery& query, CostModel model,
                            const CachedPlan& entry,
-                           const Substitution& transport) const;
+                           const Substitution& transport,
+                           const TraceContext& trace = {},
+                           PlanExplanation* explain = nullptr) const;
   // Shared costing loop: picks the cheapest candidate under `model`
   // against the current instances. Returns false if `rewritings` is empty.
+  // With an active `trace`, emits a "cost_and_pick" span (with optimizer
+  // child spans); with a non-null `capture`, appends one Candidate per
+  // rewriting.
   bool CostAndPick(const ConjunctiveQuery& query, CostModel model,
                    const std::vector<ConjunctiveQuery>& rewritings,
                    const std::vector<Atom>& filter_atoms, PlanChoice* best,
-                   size_t* winner_index, bool* winner_filtered) const;
+                   size_t* winner_index, bool* winner_filtered,
+                   const TraceContext& trace = {},
+                   std::vector<PlanExplanation::Candidate>* capture =
+                       nullptr) const;
 
   ViewSet views_;
   Database view_instances_;

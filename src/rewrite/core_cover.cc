@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "cq/containment.h"
@@ -18,6 +19,44 @@ namespace {
 
 enum class CoverMode { kMinimum, kMinimal };
 
+// Accumulates one finished run into the process-wide registry (the per-run
+// numbers stay in CoreCoverStats; the registry carries process totals).
+void RecordRunMetrics(const CoreCoverResult& result) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* const runs = registry.GetCounter("corecover.runs");
+  static Counter* const unsupported =
+      registry.GetCounter("corecover.unsupported");
+  static Counter* const view_tuples =
+      registry.GetCounter("corecover.view_tuples");
+  static Counter* const tuple_cores =
+      registry.GetCounter("corecover.tuple_cores");
+  static Counter* const covers =
+      registry.GetCounter("corecover.covers_enumerated");
+  static Histogram* const minimize_us =
+      registry.GetHistogram("corecover.stage.minimize_us");
+  static Histogram* const view_tuple_us =
+      registry.GetHistogram("corecover.stage.view_tuple_us");
+  static Histogram* const tuple_core_us =
+      registry.GetHistogram("corecover.stage.tuple_core_us");
+  static Histogram* const cover_us =
+      registry.GetHistogram("corecover.stage.cover_us");
+  static Histogram* const total_us =
+      registry.GetHistogram("corecover.stage.total_us");
+  runs->Increment();
+  if (result.status != CoreCoverStatus::kOk) unsupported->Increment();
+  view_tuples->Add(result.stats.num_view_tuples);
+  tuple_cores->Add(result.stats.tuple_core_tasks);
+  covers->Add(result.rewritings.size());
+  const auto to_us = [](double ms) {
+    return ms <= 0 ? uint64_t{0} : static_cast<uint64_t>(ms * 1e3);
+  };
+  minimize_us->Record(to_us(result.stats.minimize_ms));
+  view_tuple_us->Record(to_us(result.stats.view_tuple_ms));
+  tuple_core_us->Record(to_us(result.stats.tuple_core_ms));
+  cover_us->Record(to_us(result.stats.cover_ms));
+  total_us->Record(to_us(result.stats.total_ms));
+}
+
 CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
                              const ViewSet& views,
                              const CoreCoverOptions& options,
@@ -28,6 +67,11 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   Timer total_timer;
   CoreCoverResult result;
   result.stats.num_views = views.size();
+
+  TraceSpan run_span(options.trace, "core_cover");
+  run_span.AddAttribute("mode",
+                        mode == CoverMode::kMinimum ? "minimum" : "minimal");
+  run_span.AddAttribute("num_views", static_cast<uint64_t>(views.size()));
 
   // A num_threads of 1 (or a one-core machine) must reproduce the serial
   // pipeline bit-for-bit, so no pool is created at all in that case and
@@ -41,7 +85,12 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
 
   // Step 1: minimize the query.
   Timer phase_timer;
-  result.minimized_query = Minimize(query);
+  {
+    TraceSpan span(run_span, "minimize");
+    result.minimized_query = Minimize(query);
+    span.AddAttribute(
+        "subgoals", static_cast<uint64_t>(result.minimized_query.num_subgoals()));
+  }
   result.stats.minimize_ms = phase_timer.ElapsedMillis();
   const ConjunctiveQuery& q = result.minimized_query;
   const size_t n = q.num_subgoals();
@@ -53,6 +102,8 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     result.error = "minimized query has " + std::to_string(n) +
                    " subgoals; the tuple-core bitmask supports at most 64";
     result.stats.total_ms = total_timer.ElapsedMillis();
+    run_span.AddAttribute("status", "unsupported_query_too_large");
+    RecordRunMetrics(result);
     return result;
   }
 
@@ -60,25 +111,35 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   phase_timer.Reset();
   ViewSet working_views;
   std::vector<size_t> working_to_original;
-  if (options.group_views) {
-    const ViewClasses classes = GroupViewsByEquivalence(views);
-    result.stats.num_view_classes = classes.num_classes();
-    for (size_t rep : classes.representatives) {
-      working_views.push_back(views[rep]);
-      working_to_original.push_back(rep);
+  {
+    TraceSpan span(run_span, "group_views");
+    if (options.group_views) {
+      const ViewClasses classes = GroupViewsByEquivalence(views);
+      result.stats.num_view_classes = classes.num_classes();
+      for (size_t rep : classes.representatives) {
+        working_views.push_back(views[rep]);
+        working_to_original.push_back(rep);
+      }
+    } else {
+      result.stats.num_view_classes = views.size();
+      working_views = views;
+      for (size_t i = 0; i < views.size(); ++i) {
+        working_to_original.push_back(i);
+      }
     }
-  } else {
-    result.stats.num_view_classes = views.size();
-    working_views = views;
-    for (size_t i = 0; i < views.size(); ++i) {
-      working_to_original.push_back(i);
-    }
+    span.AddAttribute("grouping", options.group_views);
+    span.AddAttribute("classes",
+                      static_cast<uint64_t>(result.stats.num_view_classes));
   }
 
   // Step 2: view tuples on the canonical database, one task per view.
   result.stats.view_tuple_tasks = working_views.size();
-  std::vector<ViewTuple> tuples =
-      ComputeViewTuples(q, working_views, pool.get());
+  std::vector<ViewTuple> tuples;
+  {
+    TraceSpan span(run_span, "view_tuples");
+    tuples = ComputeViewTuples(q, working_views, pool.get());
+    span.AddAttribute("tuples", static_cast<uint64_t>(tuples.size()));
+  }
   result.stats.view_tuple_ms = phase_timer.ElapsedMillis();
   result.stats.num_view_tuples = tuples.size();
 
@@ -86,13 +147,17 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   phase_timer.Reset();
   result.stats.tuple_core_tasks = tuples.size();
   std::vector<TupleCore> cores(tuples.size());
-  const auto compute_core = [&](size_t i) {
-    cores[i] = ComputeTupleCore(q, tuples[i], working_views);
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(tuples.size(), compute_core);
-  } else {
-    for (size_t i = 0; i < tuples.size(); ++i) compute_core(i);
+  {
+    TraceSpan span(run_span, "tuple_cores");
+    const auto compute_core = [&](size_t i) {
+      cores[i] = ComputeTupleCore(q, tuples[i], working_views);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(tuples.size(), compute_core);
+    } else {
+      for (size_t i = 0; i < tuples.size(); ++i) compute_core(i);
+    }
+    span.AddAttribute("cores", static_cast<uint64_t>(tuples.size()));
   }
   result.stats.tuple_core_ms = phase_timer.ElapsedMillis();
 
@@ -133,26 +198,31 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   for (size_t i : candidate_tuples) sets.push_back(cores[i].covered_mask);
 
   std::vector<std::vector<size_t>> covers;
-  if (mode == CoverMode::kMinimum) {
-    MinimumCoversResult min_covers =
-        FindAllMinimumCovers(universe, sets, options.max_rewritings,
-                             pool.get(), &result.stats.cover_branch_tasks);
-    result.has_rewriting = min_covers.feasible;
-    result.stats.minimum_cover_size = min_covers.min_size;
-    result.truncated = min_covers.truncated;
-    covers = std::move(min_covers.covers);
-  } else {
-    bool truncated = false;
-    covers = FindAllMinimalCovers(universe, sets, options.max_rewritings,
-                                  &truncated, pool.get(),
-                                  &result.stats.cover_branch_tasks);
-    result.has_rewriting = !covers.empty();
-    result.truncated = truncated;
-    if (result.has_rewriting) {
-      size_t min_size = SIZE_MAX;
-      for (const auto& c : covers) min_size = std::min(min_size, c.size());
-      result.stats.minimum_cover_size = min_size;
+  {
+    TraceSpan span(run_span, "set_cover");
+    if (mode == CoverMode::kMinimum) {
+      MinimumCoversResult min_covers =
+          FindAllMinimumCovers(universe, sets, options.max_rewritings,
+                               pool.get(), &result.stats.cover_branch_tasks);
+      result.has_rewriting = min_covers.feasible;
+      result.stats.minimum_cover_size = min_covers.min_size;
+      result.truncated = min_covers.truncated;
+      covers = std::move(min_covers.covers);
+    } else {
+      bool truncated = false;
+      covers = FindAllMinimalCovers(universe, sets, options.max_rewritings,
+                                    &truncated, pool.get(),
+                                    &result.stats.cover_branch_tasks);
+      result.has_rewriting = !covers.empty();
+      result.truncated = truncated;
+      if (result.has_rewriting) {
+        size_t min_size = SIZE_MAX;
+        for (const auto& c : covers) min_size = std::min(min_size, c.size());
+        result.stats.minimum_cover_size = min_size;
+      }
     }
+    span.AddAttribute("covers", static_cast<uint64_t>(covers.size()));
+    span.AddAttribute("truncated", result.truncated);
   }
   result.stats.cover_ms = phase_timer.ElapsedMillis();
 
@@ -166,6 +236,7 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   if (options.verify_rewritings) {
     // One containment check per rewriting; each is an independent
     // homomorphism search.
+    TraceSpan span(run_span, "verify");
     result.stats.verify_tasks = result.rewritings.size();
     const auto verify = [&](size_t i) {
       VBR_CHECK_MSG(IsEquivalentRewriting(result.rewritings[i], query, views),
@@ -176,9 +247,16 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     } else {
       for (size_t i = 0; i < result.rewritings.size(); ++i) verify(i);
     }
+    span.AddAttribute("verified",
+                      static_cast<uint64_t>(result.rewritings.size()));
   }
 
   result.stats.total_ms = total_timer.ElapsedMillis();
+  run_span.AddAttribute("status", "ok");
+  run_span.AddAttribute("has_rewriting", result.has_rewriting);
+  run_span.AddAttribute("rewritings",
+                        static_cast<uint64_t>(result.rewritings.size()));
+  RecordRunMetrics(result);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "cq/query.h"
 #include "rewrite/equivalence_classes.h"
 #include "rewrite/tuple_core.h"
@@ -57,6 +58,11 @@ struct CoreCoverOptions {
   // pre-threading serial code path bit-for-bit. Results are deterministic
   // and identical for every value (see DESIGN.md "Threading model").
   size_t num_threads = 0;
+  // When a sink is attached, the run emits a "core_cover" span (a child of
+  // trace.parent_id) with one child span per pipeline stage: minimize,
+  // group_views, view_tuples, tuple_cores, set_cover, and verify. Inert by
+  // default; the traced code costs one branch per stage when inert.
+  TraceContext trace;
 };
 
 struct CoreCoverStats {

@@ -1,0 +1,76 @@
+// Unit tests for the minimal JSON escaper and parser.
+
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace vbr {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ParseJsonTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5e2")->number_value(), -350.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(ParseJsonTest, StringEscapes) {
+  EXPECT_EQ(ParseJson("\"a\\\"b\"")->string_value(), "a\"b");
+  EXPECT_EQ(ParseJson("\"tab\\there\"")->string_value(), "tab\there");
+  EXPECT_EQ(ParseJson("\"\\u0041\"")->string_value(), "A");
+  // \u00e9 is é (two UTF-8 bytes).
+  EXPECT_EQ(ParseJson("\"\\u00e9\"")->string_value(), "\xc3\xa9");
+}
+
+TEST(ParseJsonTest, NestedStructures) {
+  const auto v = ParseJson(R"({"a":[1,2,{"b":true}],"c":null})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* a = v->Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array_items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array_items()[0].number_value(), 1.0);
+  const JsonValue* b = a->array_items()[2].Get("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->bool_value());
+  EXPECT_TRUE(v->Get("c")->is_null());
+  EXPECT_EQ(v->Get("missing"), nullptr);
+}
+
+TEST(ParseJsonTest, RoundTripsEscapedStrings) {
+  const std::string original = "q(X) :- \"weird\"\n\\chars\t";
+  const std::string doc = "{\"s\":\"" + JsonEscape(original) + "\"}";
+  const auto v = ParseJson(doc);
+  ASSERT_TRUE(v.has_value());
+  ASSERT_NE(v->Get("s"), nullptr);
+  EXPECT_EQ(v->Get("s")->string_value(), original);
+}
+
+TEST(ParseJsonTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParseJson("", &error).has_value());
+  EXPECT_FALSE(ParseJson("{", &error).has_value());
+  EXPECT_FALSE(ParseJson("[1,]", &error).has_value());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}", &error).has_value());
+  EXPECT_FALSE(ParseJson("\"unterminated", &error).has_value());
+  EXPECT_FALSE(ParseJson("nul", &error).has_value());
+  EXPECT_FALSE(ParseJson("1 2", &error).has_value());  // Trailing garbage.
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParseJsonTest, AllowsTrailingWhitespace) {
+  EXPECT_TRUE(ParseJson("  {\"a\":1}  \n").has_value());
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,162 @@
+// Unit tests for the metrics registry: instrument identity, histogram
+// bucketing, snapshot/export, and concurrent updates.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "cq/parser.h"
+#include "planner/planner.h"
+
+namespace vbr {
+namespace {
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("test.histogram");
+  Histogram* h2 = registry.GetHistogram("test.histogram");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.c");
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketsByBitWidth) {
+  Histogram h;
+  h.Record(0);    // bucket bound 0
+  h.Record(1);    // [1,1]
+  h.Record(5);    // [4,7] -> bound 7
+  h.Record(7);    // same bucket
+  h.Record(100);  // [64,127] -> bound 127
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 113u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 100u);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], (std::pair<uint64_t, uint64_t>{0, 1}));
+  EXPECT_EQ(snap.buckets[1], (std::pair<uint64_t, uint64_t>{1, 1}));
+  EXPECT_EQ(snap.buckets[2], (std::pair<uint64_t, uint64_t>{7, 2}));
+  EXPECT_EQ(snap.buckets[3], (std::pair<uint64_t, uint64_t>{127, 1}));
+  EXPECT_DOUBLE_EQ(snap.Mean(), 113.0 / 5.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Add(3);
+  registry.GetCounter("a.first")->Add(1);
+  registry.GetHistogram("m.middle")->Record(10);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "z.last");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "m.middle");
+  EXPECT_EQ(snap.histograms[0].data.count, 1u);
+}
+
+TEST(MetricsRegistryTest, TextExportListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("export.counter")->Add(7);
+  registry.GetHistogram("export.histogram")->Record(4);
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("export.counter 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("export.histogram"), std::string::npos) << text;
+  EXPECT_NE(text.find("count=1"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, JsonExportParses) {
+  MetricsRegistry registry;
+  registry.GetCounter("json.counter")->Add(9);
+  registry.GetHistogram("json.histogram")->Record(16);
+  std::string error;
+  const auto parsed = ParseJson(registry.Snapshot().ToJson(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const JsonValue* counters = parsed->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* c = counters->Get("json.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->number_value(), 9.0);
+  const JsonValue* histograms = parsed->Get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* h = histograms->Get("json.histogram");
+  ASSERT_NE(h, nullptr);
+  ASSERT_NE(h->Get("count"), nullptr);
+  EXPECT_DOUBLE_EQ(h->Get("count")->number_value(), 1.0);
+}
+
+TEST(MetricsRegistryTest, ResetForTestZeroesValuesButKeepsNames) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reset.c");
+  c->Add(5);
+  registry.GetHistogram("reset.h")->Record(3);
+  registry.ResetForTest();
+  EXPECT_EQ(c->value(), 0u);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].data.count, 0u);
+}
+
+TEST(MetricsRegistryTest, PipelineReportsIntoGlobalRegistry) {
+  // One end-to-end Plan call must move the pipeline's global instruments —
+  // this catches a renamed or dropped registration site.
+  auto& global = MetricsRegistry::Global();
+  Counter* checks = global.GetCounter("cq.containment_checks");
+  Counter* runs = global.GetCounter("corecover.runs");
+  Counter* plans = global.GetCounter("planner.plans");
+  const uint64_t checks_before = checks->value();
+  const uint64_t runs_before = runs->value();
+  const uint64_t plans_before = plans->value();
+
+  const auto program =
+      MustParseProgram("q(X,Y) :- e(X,Y). v(X,Y) :- e(X,Y).");
+  const ViewPlanner planner(ViewSet(program.begin() + 1, program.end()),
+                            Database());
+  const auto result = planner.Plan(program[0], CostModel::kM1);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(checks->value(), checks_before);
+  EXPECT_GT(runs->value(), runs_before);
+  EXPECT_GT(plans->value(), plans_before);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,147 @@
+// Unit tests for the structured tracing primitives: span lifecycle, the
+// explicit parent/child tree (including cross-thread children), null-sink
+// inertness, and the MemoryTraceSink renderings.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/json.h"
+
+namespace vbr {
+namespace {
+
+const TraceEvent* FindSpan(const std::vector<TraceEvent>& spans,
+                           std::string_view name) {
+  for (const TraceEvent& e : spans) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TraceSpanTest, NullSinkSpansAreInert) {
+  TraceSpan span(static_cast<TraceSink*>(nullptr), "root");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  span.AddAttribute("key", "value");  // Must not crash.
+  TraceSpan child(span, "child");
+  EXPECT_FALSE(child.active());
+  TraceSpan from_context(TraceContext{}, "ctx");
+  EXPECT_FALSE(from_context.active());
+}
+
+TEST(TraceSpanTest, SpansFormATree) {
+  MemoryTraceSink sink;
+  {
+    TraceSpan root(&sink, "root");
+    {
+      TraceSpan child(root, "child");
+      TraceSpan grandchild(child.context(), "grandchild");
+    }
+    TraceSpan sibling(root, "sibling");
+  }
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  const TraceEvent* root = FindSpan(spans, "root");
+  const TraceEvent* child = FindSpan(spans, "child");
+  const TraceEvent* grandchild = FindSpan(spans, "grandchild");
+  const TraceEvent* sibling = FindSpan(spans, "sibling");
+  ASSERT_TRUE(root && child && grandchild && sibling);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(child->parent_id, root->id);
+  EXPECT_EQ(grandchild->parent_id, child->id);
+  EXPECT_EQ(sibling->parent_id, root->id);
+  // Children complete before their parent.
+  EXPECT_LE(grandchild->end_ns, child->end_ns);
+  EXPECT_LE(child->end_ns, root->end_ns);
+}
+
+TEST(TraceSpanTest, AttributesAreRecorded) {
+  MemoryTraceSink sink;
+  {
+    TraceSpan span(&sink, "attrs");
+    span.AddAttribute("text", "hello");
+    span.AddAttribute("count", uint64_t{42});
+    span.AddAttribute("flag", true);
+  }
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attributes.size(), 3u);
+  EXPECT_EQ(spans[0].attributes[0].first, "text");
+  EXPECT_EQ(spans[0].attributes[0].second, "hello");
+  EXPECT_EQ(spans[0].attributes[1].second, "42");
+  EXPECT_EQ(spans[0].attributes[2].second, "true");
+}
+
+TEST(TraceSpanTest, EndIsIdempotent) {
+  MemoryTraceSink sink;
+  {
+    TraceSpan span(&sink, "once");
+    span.End();
+    span.End();  // Second End and the destructor must not re-emit.
+  }
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(TraceSpanTest, ParentLinkSurvivesThreadHop) {
+  MemoryTraceSink sink;
+  {
+    TraceSpan root(&sink, "root");
+    const TraceContext context = root.context();
+    std::thread worker([&context] {
+      TraceSpan child(context, "worker_child");
+    });
+    worker.join();
+  }
+  const auto spans = sink.spans();
+  const TraceEvent* root = FindSpan(spans, "root");
+  const TraceEvent* child = FindSpan(spans, "worker_child");
+  ASSERT_TRUE(root && child);
+  EXPECT_EQ(child->parent_id, root->id);
+  EXPECT_NE(child->thread_id, root->thread_id);
+}
+
+TEST(MemoryTraceSinkTest, ToTextIndentsByDepth) {
+  MemoryTraceSink sink;
+  {
+    TraceSpan root(&sink, "root");
+    TraceSpan child(root, "child");
+  }
+  const std::string text = sink.ToText();
+  EXPECT_NE(text.find("root"), std::string::npos);
+  EXPECT_NE(text.find("\n  child"), std::string::npos) << text;
+}
+
+TEST(MemoryTraceSinkTest, ToJsonParses) {
+  MemoryTraceSink sink;
+  {
+    TraceSpan root(&sink, "root");
+    root.AddAttribute("model", "M2");
+    TraceSpan child(root, "child \"quoted\"");
+  }
+  std::string error;
+  const auto parsed = ParseJson(sink.ToJson(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_TRUE(parsed->is_array());
+  EXPECT_EQ(parsed->array_items().size(), 2u);
+  for (const JsonValue& span : parsed->array_items()) {
+    ASSERT_TRUE(span.is_object());
+    EXPECT_NE(span.Get("name"), nullptr);
+    EXPECT_NE(span.Get("start_ns"), nullptr);
+    EXPECT_NE(span.Get("end_ns"), nullptr);
+  }
+}
+
+TEST(MemoryTraceSinkTest, ClearEmptiesTheBuffer) {
+  MemoryTraceSink sink;
+  { TraceSpan span(&sink, "s"); }
+  EXPECT_EQ(sink.size(), 1u);
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+}  // namespace
+}  // namespace vbr

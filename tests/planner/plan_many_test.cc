@@ -169,18 +169,20 @@ TEST(PlanManyTest, TooLargeQueriesReportUnsupported) {
   EXPECT_TRUE(again.cache_hit);
 }
 
-TEST(PlanManyTest, DeprecatedPlanOrNullStillWorks) {
+// Migrated off the deprecated PlanOrNull shim: Plan's status-bearing result
+// covers both the positive outcome and the "no rewriting" distinction the
+// shim collapsed into nullopt.
+TEST(PlanManyTest, PlanDistinguishesSuccessFromNoRewriting) {
   const ViewSet views = CarLocPartViews();
   ViewPlanner planner(views, MaterializeViews(views, Database{}));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto choice = planner.PlanOrNull(CarLocPartQuery(), CostModel::kM1);
-  const auto none = planner.PlanOrNull(
-      MustParseQuery("q(X) :- unknown(X,Y)"), CostModel::kM1);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(choice.has_value());
-  EXPECT_EQ(choice->logical.ToString(), "q1(S,C) :- v4(M,a,C,S)");
-  EXPECT_FALSE(none.has_value());
+  const auto result = planner.Plan(CarLocPartQuery(), CostModel::kM1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.choice.has_value());
+  EXPECT_EQ(result.choice->logical.ToString(), "q1(S,C) :- v4(M,a,C,S)");
+  const auto none =
+      planner.Plan(MustParseQuery("q(X) :- unknown(X,Y)"), CostModel::kM1);
+  EXPECT_EQ(none.status, PlanStatus::kNoRewriting);
+  EXPECT_FALSE(none.choice.has_value());
 }
 
 }  // namespace

@@ -1,0 +1,186 @@
+// Randomized differential harness for the rewriting generators.
+//
+// A seeded generator produces star / chain / random conjunctive queries and
+// view sets; every case runs CoreCover* against the MiniCon and Bucket
+// baselines and checks
+//   1. existence agreement: CoreCover finds a rewriting iff Bucket does
+//      (MiniCon's disjoint-tiling restriction can miss rewritings that need
+//      overlapping cores, so its check is one-sided: anything it finds,
+//      CoreCover must find too);
+//   2. expansion equivalence by certificate: every rewriting any generator
+//      emits as equivalent must admit an EquivalenceCertificate whose
+//      verification passes (certificate.h's direct, search-free re-check).
+//
+// Failing-seed replay: a failure message names the exact shape and seed and
+// the environment variables to replay it. Set VBR_DIFF_SHAPE / VBR_DIFF_SEED
+// and run the ReplayFromEnvironment test to re-execute that single case with
+// the full structured trace of the CoreCover run dumped to stderr:
+//
+//   VBR_DIFF_SHAPE=chain VBR_DIFF_SEED=123 ./random_differential_test \
+//       --gtest_filter='*ReplayFromEnvironment*'
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bucket.h"
+#include "baseline/minicon.h"
+#include "common/trace.h"
+#include "rewrite/certificate.h"
+#include "rewrite/core_cover.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+// 5 blocks x kSeedsPerBlock seeds x 3 shapes = 510 cases.
+constexpr size_t kBlocks = 5;
+constexpr size_t kSeedsPerBlock = 34;
+
+const char* ShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kStar:
+      return "star";
+    case QueryShape::kChain:
+      return "chain";
+    case QueryShape::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+WorkloadConfig DiffConfig(QueryShape shape, uint64_t seed) {
+  WorkloadConfig config;
+  config.shape = shape;
+  // 3-5 query subgoals over a small predicate pool keeps each case in the
+  // low milliseconds while still producing nontrivial rewriting structure.
+  config.num_query_subgoals = 3 + seed % 3;
+  config.num_predicates = 4;
+  config.num_views = 8;
+  // A third of the seeds run without the coverage views so the harness also
+  // exercises agreement on "no rewriting exists".
+  config.ensure_rewriting_exists = (seed % 3 != 0);
+  config.seed = seed;
+  return config;
+}
+
+std::string ReplayHint(QueryShape shape, uint64_t seed) {
+  return "replay with: VBR_DIFF_SHAPE=" + std::string(ShapeName(shape)) +
+         " VBR_DIFF_SEED=" + std::to_string(seed) +
+         " ./random_differential_test"
+         " --gtest_filter='*ReplayFromEnvironment*'";
+}
+
+// Runs one differential case. On disagreement the case is re-run with a
+// MemoryTraceSink attached and the failure message carries the span tree of
+// the CoreCover run plus the replay command.
+::testing::AssertionResult RunCase(QueryShape shape, uint64_t seed,
+                                   TraceSink* trace) {
+  const Workload w = GenerateWorkload(DiffConfig(shape, seed));
+  CoreCoverOptions options;
+  options.trace = TraceContext{trace, 0};
+  const auto cc = CoreCoverStar(w.query, w.views, options);
+  const std::string label = "[shape=" + std::string(ShapeName(shape)) +
+                            " seed=" + std::to_string(seed) + "] ";
+  if (!cc.ok()) {
+    return ::testing::AssertionFailure()
+           << label << "CoreCover rejected the query: " << cc.error << "\n"
+           << ReplayHint(shape, seed);
+  }
+
+  const auto bucket = BucketAlgorithm(w.query, w.views, 64);
+  if (cc.has_rewriting != !bucket.rewritings.empty()) {
+    return ::testing::AssertionFailure()
+           << label << "existence disagreement: CoreCover says "
+           << (cc.has_rewriting ? "yes" : "no") << ", Bucket says "
+           << (!bucket.rewritings.empty() ? "yes" : "no") << "\nquery: "
+           << w.query.ToString() << "\n" << ReplayHint(shape, seed);
+  }
+
+  const auto minicon = MiniCon(w.query, w.views, 64);
+  if (!minicon.equivalent_rewritings.empty() && !cc.has_rewriting) {
+    return ::testing::AssertionFailure()
+           << label << "MiniCon found an equivalent rewriting CoreCover "
+           << "missed\nquery: " << w.query.ToString() << "\n"
+           << ReplayHint(shape, seed);
+  }
+
+  // Expansion equivalence via certificates, for every generator's output.
+  auto certify = [&](const ConjunctiveQuery& p, const char* source)
+      -> ::testing::AssertionResult {
+    const auto cert = CertifyEquivalentRewriting(p, w.query, w.views);
+    if (!cert.has_value()) {
+      return ::testing::AssertionFailure()
+             << label << source << " rewriting failed certification: "
+             << p.ToString() << "\n" << ReplayHint(shape, seed);
+    }
+    if (!VerifyCertificate(*cert, w.views)) {
+      return ::testing::AssertionFailure()
+             << label << source << " certificate failed verification: "
+             << p.ToString() << "\n" << ReplayHint(shape, seed);
+    }
+    return ::testing::AssertionSuccess();
+  };
+  for (const auto& p : cc.rewritings) {
+    if (auto r = certify(p, "CoreCover"); !r) return r;
+  }
+  for (const auto& p : minicon.equivalent_rewritings) {
+    if (auto r = certify(p, "MiniCon"); !r) return r;
+  }
+  for (const auto& p : bucket.rewritings) {
+    if (auto r = certify(p, "Bucket"); !r) return r;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class RandomDifferentialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RandomDifferentialTest, GeneratorsAgreeAndCertify) {
+  const size_t block = GetParam();
+  for (size_t i = 0; i < kSeedsPerBlock; ++i) {
+    const uint64_t seed = 1 + block * kSeedsPerBlock + i;
+    for (QueryShape shape :
+         {QueryShape::kStar, QueryShape::kChain, QueryShape::kRandom}) {
+      // The fast path runs untraced; a failing case is re-run with the
+      // trace sink attached so the failure message carries the span tree.
+      auto result = RunCase(shape, seed, nullptr);
+      if (!result) {
+        MemoryTraceSink sink;
+        result = RunCase(shape, seed, &sink);
+        ADD_FAILURE() << result.message()
+                      << "\n--- CoreCover trace of the failing case ---\n"
+                      << sink.ToText();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, RandomDifferentialTest,
+                         ::testing::Range<size_t>(0, kBlocks));
+
+// Replays one named case from the environment with the full trace on
+// stderr; skipped when the variables are unset (the normal CI run).
+TEST(RandomDifferentialReplayTest, ReplayFromEnvironment) {
+  const char* seed_env = std::getenv("VBR_DIFF_SEED");
+  if (seed_env == nullptr) {
+    GTEST_SKIP() << "set VBR_DIFF_SHAPE and VBR_DIFF_SEED to replay a case";
+  }
+  const uint64_t seed = std::strtoull(seed_env, nullptr, 10);
+  QueryShape shape = QueryShape::kStar;
+  if (const char* shape_env = std::getenv("VBR_DIFF_SHAPE")) {
+    const std::string s = shape_env;
+    if (s == "chain") shape = QueryShape::kChain;
+    if (s == "random") shape = QueryShape::kRandom;
+  }
+  MemoryTraceSink sink;
+  const auto result = RunCase(shape, seed, &sink);
+  std::fprintf(stderr, "--- trace [shape=%s seed=%llu] ---\n%s",
+               ShapeName(shape), static_cast<unsigned long long>(seed),
+               sink.ToText().c_str());
+  EXPECT_TRUE(result);
+}
+
+}  // namespace
+}  // namespace vbr
