@@ -10,7 +10,14 @@
 // Usage:
 //   vbr_cli [--all-minimal] [--show-tuples] [--no-grouping] [--threads N]
 //           [--no-cache] [--explain[=json]] [--trace]
+//           [--deadline-ms MS] [--work-budget N]
 //           [--data FACTS_FILE [--model m1|m2|m3]] [file]
+//
+// --deadline-ms bounds the run by a wall-clock deadline and --work-budget by
+// a deterministic work-unit budget (see DESIGN.md "Resource governance");
+// both apply to the rewriting enumeration and to the planner. When a budget
+// runs out the run winds down cooperatively: partial results are printed
+// with a "budget exhausted" note instead of hanging or crashing.
 //
 // --explain prints the planner's account of its decision (candidates with
 // costs and why they lost, the cache disposition, and a per-cost-model
@@ -39,6 +46,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/budget.h"
 #include "common/trace.h"
 #include "cq/parser.h"
 #include "engine/io.h"
@@ -64,6 +72,7 @@ int main(int argc, char** argv) {
   enum class ExplainMode { kOff, kText, kJson };
   ExplainMode explain_mode = ExplainMode::kOff;
   bool trace = false;
+  ResourceLimits budget;
   CoreCoverOptions options;
   const char* path = nullptr;
   const char* data_path = nullptr;
@@ -86,6 +95,22 @@ int main(int argc, char** argv) {
       options.num_threads = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       enable_cache = false;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (++i >= argc) return Fail("--deadline-ms needs a millisecond count");
+      char* end = nullptr;
+      budget.deadline_ms = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || budget.deadline_ms <= 0) {
+        return Fail(std::string("--deadline-ms needs a positive number, got ") +
+                    argv[i]);
+      }
+    } else if (std::strcmp(argv[i], "--work-budget") == 0) {
+      if (++i >= argc) return Fail("--work-budget needs a work-unit count");
+      char* end = nullptr;
+      budget.work_limit = std::strtoull(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || budget.work_limit == 0) {
+        return Fail(std::string("--work-budget needs a positive count, got ") +
+                    argv[i]);
+      }
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain_mode = ExplainMode::kText;
     } else if (std::strcmp(argv[i], "--explain=json") == 0) {
@@ -139,13 +164,25 @@ int main(int argc, char** argv) {
     if (!v.IsSafe()) return Fail("unsafe view: " + v.ToString());
   }
 
-  const CoreCoverResult result = all_minimal
-                                     ? CoreCoverStar(query, views, options)
-                                     : CoreCover(query, views, options);
+  // The standalone enumeration runs under its own governor so a --deadline-ms
+  // or --work-budget bounds it exactly like the planner calls below.
+  const CoreCoverResult result = [&] {
+    std::optional<ResourceGovernor> governor;
+    if (!budget.unlimited()) governor.emplace(budget);
+    GovernorScope scope(governor ? &*governor : nullptr);
+    return all_minimal ? CoreCoverStar(query, views, options)
+                       : CoreCover(query, views, options);
+  }();
+  const bool budget_died = result.status == CoreCoverStatus::kBudgetExhausted;
   // With --explain the planner below reports the failure (status, error)
   // in the requested format instead of a bare exit.
-  if (!result.ok() && explain_mode == ExplainMode::kOff) {
+  if (!result.ok() && !budget_died && explain_mode == ExplainMode::kOff) {
     return Fail("unsupported query: " + result.error);
+  }
+  if (budget_died && explain_mode != ExplainMode::kJson) {
+    std::printf("%% budget exhausted (%s at %s); results are partial\n",
+                BudgetKindName(result.exhaustion.kind),
+                result.exhaustion.site.c_str());
   }
 
   if (show_tuples && explain_mode != ExplainMode::kJson) {
@@ -159,9 +196,11 @@ int main(int argc, char** argv) {
 
   // --explain=json keeps stdout machine-readable: one JSON object, no
   // human preamble.
-  if (result.ok() && explain_mode != ExplainMode::kJson) {
+  if ((result.ok() || budget_died) && explain_mode != ExplainMode::kJson) {
     if (!result.has_rewriting) {
-      std::printf("%% no equivalent rewriting exists\n");
+      std::printf(budget_died
+                      ? "%% no equivalent rewriting found within budget\n"
+                      : "%% no equivalent rewriting exists\n");
       // With --explain the planner still runs below so the failure is
       // explained (status, cache disposition) instead of just exiting.
       if (explain_mode == ExplainMode::kOff) return 2;
@@ -189,6 +228,7 @@ int main(int argc, char** argv) {
     ViewPlanner::Options planner_options;
     planner_options.core_cover = options;
     planner_options.enable_cache = enable_cache;
+    planner_options.budget = budget;
     ViewPlanner planner(views, MaterializeViews(views, base),
                         planner_options);
     MemoryTraceSink sink;
@@ -213,6 +253,12 @@ int main(int argc, char** argv) {
     if (!plan.ok()) {
       return Fail(std::string("planner: ") + PlanStatusName(plan.status) +
                   (plan.error.empty() ? "" : " (" + plan.error + ")"));
+    }
+    if (plan.exhaustion.kind != BudgetKind::kNone) {
+      std::printf("%%\n%% budget: %s budget exhausted at %s%s\n",
+                  BudgetKindName(plan.exhaustion.kind),
+                  plan.exhaustion.site.c_str(),
+                  plan.degraded ? " (degraded plan)" : "");
     }
     std::printf("%%\n%% chosen physical plan (cost %zu):\n%%   %s\n",
                 plan.choice->cost, plan.choice->physical.ToString().c_str());

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-asan}
 # ctest names gtest cases "<Suite>.<Test>".
-FILTER=${1:-'Fingerprint|PlanCache|PlanMany|Planner'}
+FILTER=${1:-'Fingerprint|PlanCache|PlanMany|Planner|BudgetGovernance|FaultMatrix|FuzzSmoke'}
 
 cmake -B "$BUILD_DIR" -S . \
   -DVBR_SANITIZE=address \
@@ -20,7 +20,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DVBR_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target fingerprint_test plan_cache_test plan_many_test \
-  planner_test planner_options_test
+  planner_test planner_options_test \
+  budget_governance_test fault_matrix_test parser_fuzz json_fuzz
 
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Builds the library and tests with UndefinedBehaviorSanitizer alone
+# (-DVBR_SANITIZE=undefined, -fno-sanitize-recover=all so any finding is
+# fatal) and runs the resource-governance and fault-injection suites plus
+# the fuzz-corpus smoke tests — the paths that chew on adversarial inputs
+# and budget-exhausted partial states.
+#
+# Usage: scripts/check_ubsan.sh [extra ctest -R regex]
+# The build tree is build-ubsan/ (kept separate from the regular build/).
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-ubsan}
+# ctest names gtest cases "<Suite>.<Test>"; FuzzSmoke.* are the corpus
+# replay tests from tests/fuzz.
+FILTER=${1:-'Budget|FaultMatrix|FaultInjection|ResourceGovernor|ResourceLimits|GovernorScope|FuzzSmoke|Json'}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DVBR_SANITIZE=undefined \
+  -DVBR_BUILD_BENCHMARKS=OFF \
+  -DVBR_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target budget_test fault_injection_test budget_governance_test \
+  fault_matrix_test budget_determinism_test json_test \
+  parser_fuzz json_fuzz
+
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -R "$FILTER"
+
+echo "check_ubsan: all governance/fault/fuzz tests passed under UBSan"

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "cq/containment.h"
 #include "cq/term.h"
@@ -117,16 +118,21 @@ class McdBuilder {
     }
   }
 
-  std::vector<Mcd> BuildAll() {
+  // Builds all MCDs, or — when the governor runs out mid-way — a prefix of
+  // them. Each emitted MCD is individually valid, so combinations over a
+  // prefix remain genuine contained rewritings; only completeness is lost.
+  std::vector<Mcd> BuildAll(bool* aborted) {
     std::vector<Mcd> result;
     std::set<std::string> seen;
-    for (size_t vi = 0; vi < views_.size(); ++vi) {
+    for (size_t vi = 0; vi < views_.size() && !aborted_; ++vi) {
       const View& view = views_[vi];
-      for (size_t seed = 0; seed < query_.num_subgoals(); ++seed) {
+      for (size_t seed = 0; seed < query_.num_subgoals() && !aborted_;
+           ++seed) {
         McdState state{ViewVarClasses(view), {}, 0, {seed}};
         Grow(vi, std::move(state), &result, &seen);
       }
     }
+    *aborted |= aborted_;
     return result;
   }
 
@@ -134,6 +140,15 @@ class McdBuilder {
   // Processes the agenda depth-first, branching over target atoms.
   void Grow(size_t view_index, McdState state, std::vector<Mcd>* out,
             std::set<std::string>* seen) {
+    // The builder runs serially, so this checkpoint latches a work budget
+    // deterministically; one work unit per search node.
+    if (governor_ != nullptr) {
+      governor_->ChargeWork(1);
+      if (aborted_ || !governor_->CheckPoint("minicon.grow")) {
+        aborted_ = true;
+        return;
+      }
+    }
     // Pop the next uncovered agenda item.
     size_t subgoal = SIZE_MAX;
     while (!state.agenda.empty()) {
@@ -266,6 +281,8 @@ class McdBuilder {
   const ConjunctiveQuery& query_;
   const ViewSet& views_;
   std::unordered_map<Symbol, uint64_t> subgoals_of_var_;
+  ResourceGovernor* const governor_ = ResourceGovernor::Current();
+  bool aborted_ = false;
 };
 
 // Exact disjoint cover over MCD masks.
@@ -275,8 +292,17 @@ void CombineMcds(const ConjunctiveQuery& query, const std::vector<Mcd>& mcds,
   const uint64_t universe = (n == 64) ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
   std::set<std::string> seen;
   std::vector<size_t> chosen;
+  ResourceGovernor* const governor = ResourceGovernor::Current();
 
   std::function<void(uint64_t)> dfs = [&](uint64_t covered) {
+    if (result->aborted) return;
+    if (governor != nullptr) {
+      governor->ChargeWork(1);
+      if (!governor->CheckPoint("minicon.combine")) {
+        result->aborted = true;
+        return;
+      }
+    }
     if (result->contained_rewritings.size() >= max_results) {
       result->truncated = true;
       return;
@@ -319,14 +345,30 @@ MiniConResult MiniCon(const ConjunctiveQuery& query, const ViewSet& views,
                 "MiniCon requires comparison-free queries");
   MiniConResult result;
   result.minimized_query = Minimize(query);
-  VBR_CHECK_MSG(result.minimized_query.num_subgoals() <= 64,
-                "queries are limited to 64 subgoals");
+  if (result.minimized_query.num_subgoals() > 64) {
+    // An aborted minimization can leave more than 64 subgoals on a query
+    // whose true minimization fits; report an aborted (empty) run rather
+    // than crashing on a budget artifact.
+    ResourceGovernor* const governor = ResourceGovernor::Current();
+    if (governor != nullptr && governor->exhausted()) {
+      result.aborted = true;
+      return result;
+    }
+    VBR_CHECK_MSG(false, "queries are limited to 64 subgoals");
+  }
 
   McdBuilder builder(result.minimized_query, views);
-  result.mcds = builder.BuildAll();
+  result.mcds = builder.BuildAll(&result.aborted);
   CombineMcds(result.minimized_query, result.mcds, max_results, &result);
 
+  ResourceGovernor* const governor = ResourceGovernor::Current();
   for (const ConjunctiveQuery& p : result.contained_rewritings) {
+    if (governor != nullptr && !governor->CheckPoint("minicon.verify")) {
+      result.aborted = true;
+      break;
+    }
+    // The equivalence filter only admits positive evidence: a check aborted
+    // by the budget reads as non-equivalent and the candidate is skipped.
     if (IsEquivalentRewriting(p, result.minimized_query, views)) {
       result.equivalent_rewritings.push_back(p);
     }

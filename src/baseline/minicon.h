@@ -41,6 +41,11 @@ struct MiniConResult {
   std::vector<ConjunctiveQuery> equivalent_rewritings;
   size_t combinations_tested = 0;
   bool truncated = false;
+  // True when the thread's ResourceGovernor stopped the run early. The
+  // result then holds whatever was built before the abort; every listed
+  // rewriting is still genuine (MCD combination / equivalence-verified), but
+  // the enumeration is incomplete.
+  bool aborted = false;
 };
 
 MiniConResult MiniCon(const ConjunctiveQuery& query, const ViewSet& views,

@@ -1,0 +1,87 @@
+#include "common/fault_injection.h"
+
+namespace vbr {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBudgetExhausted:
+      return "budget_exhausted";
+    case FaultKind::kAllocFailure:
+      return "alloc_failure";
+    case FaultKind::kStageAbort:
+      return "stage_abort";
+  }
+  return "?";
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* const registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(std::string_view site, FaultKind kind, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[std::string(site)];
+  if (!state.armed) ++armed_count_;
+  state.armed = true;
+  state.kind = kind;
+  state.fire_at = nth == 0 ? 0 : state.crossings + nth;
+  active_.store(true, std::memory_order_release);
+}
+
+void FaultRegistry::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  it->second.fire_at = 0;
+  --armed_count_;
+  if (armed_count_ == 0 && !recording_) {
+    active_.store(false, std::memory_order_release);
+  }
+}
+
+void FaultRegistry::EnableRecording(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = enabled;
+  active_.store(recording_ || armed_count_ > 0, std::memory_order_release);
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  recording_ = false;
+  armed_count_ = 0;
+  active_.store(false, std::memory_order_release);
+}
+
+std::optional<FaultKind> FaultRegistry::Crossed(std::string_view site) {
+  // Fast path: nothing armed, not recording — a single relaxed load. The
+  // governor calls this from hot loops, so the inert cost matters.
+  if (!active_.load(std::memory_order_acquire)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[std::string(site)];
+  ++state.crossings;
+  if (state.armed && state.fire_at != 0 && state.crossings == state.fire_at) {
+    return state.kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> FaultRegistry::SeenSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, state] : sites_) {
+    if (state.crossings > 0) out.push_back(site);
+  }
+  return out;
+}
+
+uint64_t FaultRegistry::CrossingCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.crossings;
+}
+
+}  // namespace vbr

@@ -140,8 +140,16 @@ class Parser {
     SkipWhitespace();
     if (pos_ >= text_.size()) return Fail("unexpected end of input");
     const char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
+    // Containers recurse; without a cap a few kilobytes of '[' overflow the
+    // stack (found by the fuzz harness in tests/fuzz). The writers in this
+    // codebase nest a handful of levels, so the cap is generous.
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxDepth) return Fail("nesting depth limit exceeded");
+      ++depth_;
+      std::optional<JsonValue> value = c == '{' ? ParseObject() : ParseArray();
+      --depth_;
+      return value;
+    }
     if (c == '"') {
       std::optional<std::string> s = ParseString();
       if (!s.has_value()) return std::nullopt;
@@ -300,8 +308,11 @@ class Parser {
     return JsonValue::Number(value);
   }
 
+  static constexpr size_t kMaxDepth = 256;
+
   std::string_view text_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
   std::string error_ = "parse error";
 };
 

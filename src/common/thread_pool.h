@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/budget.h"
+
 namespace vbr {
 
 // A fixed-size thread pool with a blocking ParallelFor, used by the rewrite
@@ -82,6 +84,10 @@ class ThreadPool {
     auto state = std::make_shared<ForState>();
     state->body = &body;
     state->n = n;
+    // Propagate the caller's resource governor into the pool: workers install
+    // it around the loop body, so budget checks inside tasks already in
+    // flight observe the same budget as the serial pipeline around them.
+    state->governor = ResourceGovernor::Current();
     {
       std::lock_guard<std::mutex> lock(mu_);
       state_ = state;
@@ -106,6 +112,7 @@ class ThreadPool {
   struct ForState {
     const std::function<void(size_t)>* body = nullptr;
     size_t n = 0;
+    ResourceGovernor* governor = nullptr;  // the ParallelFor caller's governor
     std::atomic<size_t> next{0};
     std::mutex mu;
     size_t completed = 0;  // guarded by mu
@@ -113,6 +120,7 @@ class ThreadPool {
   };
 
   void RunTasks(ForState& s) {
+    GovernorScope scope(s.governor);
     size_t finished = 0;
     for (size_t i; (i = s.next.fetch_add(1, std::memory_order_relaxed)) < s.n;) {
       (*s.body)(i);

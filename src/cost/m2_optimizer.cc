@@ -1,8 +1,10 @@
 #include "cost/m2_optimizer.h"
 
 #include <limits>
+#include <numeric>
 #include <unordered_map>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "engine/evaluator.h"
 
@@ -59,7 +61,18 @@ M2OptimizationResult OptimizeOrderM2(const ConjunctiveQuery& rewriting,
   std::vector<size_t> best(full + 1, kInf);
   std::vector<int> last(full + 1, -1);
   best[0] = 0;
+  ResourceGovernor* const governor = ResourceGovernor::Current();
+  bool aborted = false;
   for (uint32_t mask = 1; mask <= full; ++mask) {
+    // One work unit per subset costed; the DP runs serially on the caller
+    // thread, so the checkpoint latches a work budget deterministically.
+    if (governor != nullptr) {
+      governor->ChargeWork(1);
+      if (!governor->CheckPoint("cost.m2")) {
+        aborted = true;
+        break;
+      }
+    }
     for (size_t g = 0; g < n; ++g) {
       const uint32_t bit = uint32_t{1} << g;
       if (!(mask & bit)) continue;
@@ -76,17 +89,25 @@ M2OptimizationResult OptimizeOrderM2(const ConjunctiveQuery& rewriting,
   }
 
   M2OptimizationResult result;
-  result.cost = best[full];
   result.subsets_costed = ir.entries();
   result.plan.rewriting = rewriting;
-  std::vector<size_t> reversed;
-  for (uint32_t mask = full; mask != 0;) {
-    const int g = last[mask];
-    VBR_CHECK(g >= 0);
-    reversed.push_back(static_cast<size_t>(g));
-    mask ^= uint32_t{1} << g;
+  if (aborted) {
+    result.aborted = true;
+    result.cost = kInf;
+    result.plan.order.resize(n);
+    std::iota(result.plan.order.begin(), result.plan.order.end(), 0);
+    span.AddAttribute("aborted", true);
+  } else {
+    result.cost = best[full];
+    std::vector<size_t> reversed;
+    for (uint32_t mask = full; mask != 0;) {
+      const int g = last[mask];
+      VBR_CHECK(g >= 0);
+      reversed.push_back(static_cast<size_t>(g));
+      mask ^= uint32_t{1} << g;
+    }
+    result.plan.order.assign(reversed.rbegin(), reversed.rend());
   }
-  result.plan.order.assign(reversed.rbegin(), reversed.rend());
   span.AddAttribute("subgoals", static_cast<uint64_t>(n));
   span.AddAttribute("cost", static_cast<uint64_t>(result.cost));
   span.AddAttribute("subsets_costed",

@@ -23,6 +23,10 @@ struct M2OptimizationResult {
   PhysicalPlan plan;       // Best order, no drop annotations.
   size_t cost = 0;         // M2 cost of the best order.
   size_t subsets_costed = 0;  // Number of distinct IR sizes measured.
+  // True when the thread's ResourceGovernor stopped the DP early; the plan
+  // is then the identity order with cost SIZE_MAX (worst possible), so a
+  // budget-starved candidate loses every cost comparison but never crashes.
+  bool aborted = false;
 };
 
 // Exact M2-optimal order for `rewriting` against `view_db`. The rewriting

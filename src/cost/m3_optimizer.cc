@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "cq/substitution.h"
 #include "cq/term.h"
@@ -46,6 +47,16 @@ class DropSearch {
   void Recurse(const ConjunctiveQuery& p, size_t step,
                size_t* plans_evaluated, M3OptimizationResult* best) {
     if (step == order_.size()) {
+      // One work unit per complete plan measured; the search runs serially
+      // on the caller thread, so the checkpoint is deterministic. The best
+      // plan so far was fully measured, so an abort keeps a genuine result.
+      if (ResourceGovernor* const governor = ResourceGovernor::Current()) {
+        governor->ChargeWork(1);
+        if (!governor->CheckPoint("cost.m3")) {
+          best->aborted = true;
+          return;
+        }
+      }
       PhysicalPlan plan;
       plan.rewriting = p;
       plan.order = order_;
@@ -58,6 +69,7 @@ class DropSearch {
       }
       return;
     }
+    if (best->aborted) return;
     // State variables after joining this step's subgoal.
     std::vector<Term> entered;
     for (Term t : p.subgoal(order_[step]).args()) {
@@ -92,6 +104,7 @@ class DropSearch {
   void ChooseOptional(const ConjunctiveQuery& p, size_t step,
                       const std::vector<Term>& optional, size_t index,
                       size_t* plans_evaluated, M3OptimizationResult* best) {
+    if (best->aborted) return;
     if (index == optional.size()) {
       Recurse(p, step + 1, plans_evaluated, best);
       return;
@@ -144,8 +157,10 @@ M3OptimizationResult OptimizeM3(const ConjunctiveQuery& rewriting,
   do {
     DropSearch search(query, views, view_db, order);
     search.Run(rewriting, &evaluated, &best);
-  } while (std::next_permutation(order.begin(), order.end()));
+  } while (!best.aborted &&
+           std::next_permutation(order.begin(), order.end()));
   best.plans_evaluated = evaluated;
+  if (best.aborted) span.AddAttribute("aborted", true);
   span.AddAttribute("subgoals", static_cast<uint64_t>(n));
   span.AddAttribute("cost", static_cast<uint64_t>(best.cost));
   span.AddAttribute("plans_evaluated", static_cast<uint64_t>(evaluated));

@@ -31,6 +31,10 @@ struct M3OptimizationResult {
   size_t cost = 0;
   // Number of complete physical plans whose cost was measured.
   size_t plans_evaluated = 0;
+  // True when the thread's ResourceGovernor stopped the enumeration early.
+  // The plan is then the best of the plans evaluated so far (each fully
+  // measured, so it is genuine), or cost SIZE_MAX when none completed.
+  bool aborted = false;
 };
 
 // With an active `trace`, emits an "optimize_m3" span recording the chosen

@@ -1,8 +1,10 @@
 #include "cost/physical_plan.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "engine/value.h"
 
@@ -17,8 +19,11 @@ struct State {
 };
 
 // Joins `atom`'s relation into `state`: shared variables are equated,
-// constants selected, new variables appended as columns.
-State JoinStep(const State& state, const Atom& atom, const Relation& rel) {
+// constants selected, new variables appended as columns. Sets *aborted and
+// stops materializing when the governor's memory budget runs out — a single
+// explosive join is exactly what the budget must be able to stop mid-step.
+State JoinStep(const State& state, const Atom& atom, const Relation& rel,
+               ResourceGovernor* governor, bool* aborted) {
   // Classify atom positions.
   std::unordered_map<Symbol, size_t> state_col;
   for (size_t i = 0; i < state.columns.size(); ++i) {
@@ -97,6 +102,14 @@ State JoinStep(const State& state, const Atom& atom, const Relation& rel) {
       for (size_t i = 0; i < atom.arity(); ++i) {
         if (positions[i].kind == Position::kNew) out[next_col++] = rel_row[i];
       }
+      if (governor != nullptr &&
+          (!governor->ChargeMemory(out.size() * sizeof(Value),
+                                   "engine.plan_state") ||
+           (next.rows.size() % 256 == 0 &&
+            !governor->KeepGoing("engine.plan_state")))) {
+        *aborted = true;
+        return;
+      }
       next.rows.Insert(out);
     }
   };
@@ -107,7 +120,7 @@ State JoinStep(const State& state, const Atom& atom, const Relation& rel) {
       emit_matches(std::span<const Value>{});
     }
   } else {
-    for (size_t r = 0; r < state.rows.size(); ++r) {
+    for (size_t r = 0; r < state.rows.size() && !*aborted; ++r) {
       emit_matches(state.rows.row(r));
     }
   }
@@ -157,6 +170,7 @@ std::string PhysicalPlan::ToString() const {
 }
 
 size_t PlanExecution::TotalCost() const {
+  if (aborted) return std::numeric_limits<size_t>::max();
   size_t total = 0;
   for (size_t s : relation_sizes) total += s;
   for (size_t s : state_sizes) total += s;
@@ -176,6 +190,7 @@ PlanExecution ExecutePlan(const PhysicalPlan& plan, const Database& view_db) {
   }
 
   PlanExecution result;
+  ResourceGovernor* const governor = ResourceGovernor::Current();
   State state;
   state.rows = Relation(0);
   state.rows.Insert(std::span<const Value>{});  // The nullary seed tuple.
@@ -187,7 +202,14 @@ PlanExecution ExecutePlan(const PhysicalPlan& plan, const Database& view_db) {
     VBR_CHECK_MSG(rel->arity() == atom.arity(),
                   "view relation arity mismatches subgoal");
     result.relation_sizes.push_back(rel->size());
-    state = JoinStep(state, atom, *rel);
+    bool aborted = false;
+    state = JoinStep(state, atom, *rel, governor, &aborted);
+    if (aborted) {
+      // Incomplete state: the head projection below would be partial (or
+      // CHECK on missing columns), so report an aborted execution instead.
+      result.aborted = true;
+      return result;
+    }
     if (!plan.drop_after.empty()) {
       state = DropColumns(state, plan.drop_after[k]);
     }

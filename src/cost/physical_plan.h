@@ -35,8 +35,13 @@ struct PlanExecution {
   std::vector<size_t> state_sizes;
   // Answer projected onto the rewriting's head.
   Relation answer{0};
+  // True when the thread's ResourceGovernor (typically its memory budget)
+  // stopped the execution early; `answer` is then empty and TotalCost()
+  // reports SIZE_MAX so an aborted measurement loses every cost comparison.
+  bool aborted = false;
 
-  // The paper's cost: sum_i (size(g_i) + size(state_i)).
+  // The paper's cost: sum_i (size(g_i) + size(state_i)); SIZE_MAX when the
+  // execution aborted.
   size_t TotalCost() const;
 };
 

@@ -58,6 +58,13 @@ bool Atom::Mentions(Term t) const {
 }
 
 std::string Atom::ToString() const {
+  // Builtins print infix ("X <= Y"), matching the only syntax the parser
+  // accepts for them — ToString() must re-parse (the fuzz harness checks
+  // the round trip).
+  if (is_builtin() && args_.size() == 2) {
+    return args_[0].ToString() + " " + predicate_name() + " " +
+           args_[1].ToString();
+  }
   std::string s = predicate_name();
   s += "(";
   for (size_t i = 0; i < args_.size(); ++i) {

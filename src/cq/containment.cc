@@ -1,5 +1,6 @@
 #include "cq/containment.h"
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "common/metrics.h"
 #include "cq/homomorphism.h"
@@ -65,6 +66,14 @@ std::optional<Substitution> FindContainmentMapping(
   static Counter* const checks =
       MetricsRegistry::Global().GetCounter("cq.containment_checks");
   checks->Increment();
+  // Each mapping attempt is one unit of governed work. An attempt skipped
+  // because the budget is gone reports "no mapping", the conservative
+  // direction for every caller (Minimize keeps the subgoal, covers and
+  // equivalence filters drop the candidate).
+  if (ResourceGovernor* governor = ResourceGovernor::Current()) {
+    governor->ChargeWork(1);
+    if (!governor->KeepGoing("cq.containment")) return std::nullopt;
+  }
   std::optional<Substitution> seed = SeedFromHeads(source, target);
   if (!seed.has_value()) return std::nullopt;
   return FindHomomorphism(source.body(), target.body(), *seed);

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "common/check.h"
 
 namespace vbr {
@@ -19,7 +20,11 @@ class Matcher {
   Matcher(const std::vector<Atom>& from, const std::vector<Atom>& to,
           const Substitution& seed,
           const std::function<bool(const Substitution&)>& callback)
-      : from_(from), seed_(seed), callback_(callback) {
+      : from_(from),
+        seed_(seed),
+        callback_(callback),
+        governor_(ResourceGovernor::Current()),
+        node_cap_(governor_ ? governor_->search_node_cap() : 0) {
     for (const Atom& a : to) {
       VBR_CHECK_MSG(!a.is_builtin(),
                     "homomorphism search does not support builtin atoms");
@@ -29,8 +34,14 @@ class Matcher {
     subst_ = seed_;
   }
 
-  // Runs the enumeration; returns true when not stopped by the callback.
-  bool Run() { return Recurse(0); }
+  // Runs the enumeration; returns true when not stopped by the callback and
+  // not aborted by the resource governor (an aborted search behaves exactly
+  // like an unsuccessful one: no homomorphism is reported).
+  bool Run() {
+    const bool completed = Recurse(0);
+    if (governor_ != nullptr && nodes_ > 0) governor_->ChargeWork(nodes_);
+    return completed && !aborted_;
+  }
 
  private:
   // Orders `from` atoms so that each step is as constrained as possible:
@@ -78,6 +89,17 @@ class Matcher {
   }
 
   bool Recurse(size_t step) {
+    if (governor_ != nullptr) {
+      ++nodes_;
+      // The per-search node cap is deterministic (identical for every search
+      // regardless of scheduling); KeepGoing only observes the deadline and
+      // injected faults, checked every 64 nodes to stay off the hot path.
+      if ((node_cap_ != 0 && nodes_ > node_cap_) ||
+          (nodes_ % 64 == 0 && !governor_->KeepGoing("cq.homomorphism"))) {
+        aborted_ = true;
+        return false;
+      }
+    }
     if (step == order_.size()) return callback_(subst_);
     const Atom& atom = from_[order_[step]];
     VBR_CHECK_MSG(!atom.is_builtin(),
@@ -122,6 +144,10 @@ class Matcher {
   std::unordered_map<Symbol, std::vector<const Atom*>> by_predicate_;
   std::vector<size_t> order_;
   Substitution subst_;
+  ResourceGovernor* const governor_;
+  const uint64_t node_cap_;
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace

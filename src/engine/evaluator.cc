@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "engine/value.h"
 
@@ -207,9 +208,22 @@ class JoinEvaluator {
 
   void Recurse(size_t step) {
     if (step == order_.size()) {
+      // Every emitted row is tracked against the memory budget (results of
+      // governed joins are materialized or counted by the callers); a blown
+      // budget stops the enumeration, leaving a prefix of genuine rows.
+      if (governor_ != nullptr) {
+        ++emitted_;
+        if (!governor_->ChargeMemory(values_.size() * sizeof(Value),
+                                     "engine.join_rows") ||
+            (emitted_ % 256 == 0 && !governor_->KeepGoing("engine.join_rows"))) {
+          aborted_ = true;
+          return;
+        }
+      }
       (*emit_)(values_);
       return;
     }
+    if (aborted_) return;
     const PreparedAtom& pa = relational_[order_[step]];
     const Relation& rel = *pa.relation;
     // Determine bound positions for index probing.
@@ -227,6 +241,7 @@ class JoinEvaluator {
     }
     const RelationIndex& index = GetIndex(pa, key_cols);
     for (size_t row_idx : index.Probe(key)) {
+      if (aborted_) return;
       auto row = rel.row(row_idx);
       std::vector<size_t> newly_bound;
       if (MatchRow(*pa.atom, row, &newly_bound) && ApplyFiltersAt(step + 1)) {
@@ -292,6 +307,9 @@ class JoinEvaluator {
                      std::unique_ptr<RelationIndex>, IndexKeyHash>
       indexes_;
   const std::function<void(const std::vector<Value>&)>* emit_ = nullptr;
+  ResourceGovernor* const governor_ = ResourceGovernor::Current();
+  uint64_t emitted_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace

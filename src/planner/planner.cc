@@ -1,10 +1,13 @@
 #include "planner/planner.h"
 
+#include <algorithm>
 #include <limits>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
+#include "baseline/minicon.h"
+#include "common/budget.h"
 #include "common/check.h"
 #include "common/json.h"
 #include "common/metrics.h"
@@ -74,6 +77,30 @@ EquivalenceCertificate TransportCertificate(const EquivalenceCertificate& cert,
   return out;
 }
 
+// Records the budget outcome of one planning request into the global
+// metrics registry (no-op when no budget died).
+void RecordBudgetMetrics(const BudgetExhaustion& exhaustion) {
+  if (exhaustion.kind == BudgetKind::kNone) return;
+  static Counter* const exhausted =
+      MetricsRegistry::Global().GetCounter("planner.budget_exhausted");
+  exhausted->Increment();
+  if (exhaustion.kind == BudgetKind::kDeadline) {
+    static Counter* const deadline =
+        MetricsRegistry::Global().GetCounter("planner.deadline_exceeded");
+    deadline->Increment();
+  }
+}
+
+std::string ExhaustionMessage(const BudgetExhaustion& exhaustion,
+                              std::string_view while_doing) {
+  std::string s = BudgetKindName(exhaustion.kind);
+  s += " budget exhausted";
+  if (!exhaustion.site.empty()) s += " at " + exhaustion.site;
+  s += " ";
+  s += while_doing;
+  return s;
+}
+
 }  // namespace
 
 const char* PlanStatusName(PlanStatus status) {
@@ -84,6 +111,8 @@ const char* PlanStatusName(PlanStatus status) {
       return "no equivalent rewriting";
     case PlanStatus::kUnsupportedQueryTooLarge:
       return "unsupported query (too large)";
+    case PlanStatus::kBudgetExhausted:
+      return "budget exhausted";
   }
   return "?";
 }
@@ -134,6 +163,9 @@ std::string StatsToJson(const CoreCoverStats& stats) {
   s += ",\"tuple_core_ms\":" + std::to_string(stats.tuple_core_ms);
   s += ",\"cover_ms\":" + std::to_string(stats.cover_ms);
   s += ",\"total_ms\":" + std::to_string(stats.total_ms);
+  s += ",\"work_used\":" + std::to_string(stats.work_used);
+  s += ",\"hit_rewriting_cap\":" +
+       std::string(stats.hit_rewriting_cap ? "true" : "false");
   s += "}";
   return s;
 }
@@ -148,6 +180,15 @@ std::string ViewPlanner::PlanExplanation::ToText() const {
   s += "model    : " + std::string(ModelName(model)) + "\n";
   s += "cache    : " + cache_disposition +
        (cache_hit ? " (served from cache)" : "") + "\n";
+  if (exhaustion.kind != BudgetKind::kNone) {
+    s += "budget   : " + std::string(BudgetKindName(exhaustion.kind)) +
+         " budget exhausted at " + exhaustion.site +
+         (degraded ? " (degraded plan)" : "") + "\n";
+  }
+  if (stats.hit_rewriting_cap) {
+    s += "truncated: candidate enumeration hit max_rewritings; the plan was "
+         "chosen from an incomplete set\n";
+  }
   if (!ok()) return s;
   s += "minimized: " + minimized.ToString() + "\n";
   s += "candidates (" + std::to_string(candidates.size()) + "):\n";
@@ -189,6 +230,11 @@ std::string ViewPlanner::PlanExplanation::ToJson() const {
   s += ",\"model\":" + Quoted(ModelName(model));
   s += ",\"cache\":" + Quoted(cache_disposition);
   s += ",\"cache_hit\":" + std::string(cache_hit ? "true" : "false");
+  s += ",\"budget\":{\"exhausted\":" +
+       std::string(exhaustion.kind != BudgetKind::kNone ? "true" : "false");
+  s += ",\"kind\":" + Quoted(BudgetKindName(exhaustion.kind));
+  s += ",\"site\":" + Quoted(exhaustion.site);
+  s += ",\"degraded\":" + std::string(degraded ? "true" : "false") + "}";
   s += ",\"query\":" + Quoted(query.ToString());
   s += ",\"minimized\":" + Quoted(minimized.ToString());
   s += ",\"candidates\":[";
@@ -342,15 +388,96 @@ bool ViewPlanner::CostAndPick(
   return found;
 }
 
+namespace {
+
+// Limits for one rung of the degradation ladder: the configured grace work
+// budget, plus a sliver of deadline when the request itself was
+// deadline-bound (recovery must not cost multiples of the deadline the
+// caller asked for).
+ResourceLimits GraceLimits(const ViewPlanner::Options& options) {
+  ResourceLimits grace;
+  grace.work_limit = options.fallback_work_budget;
+  if (options.budget.deadline_ms > 0) {
+    grace.deadline_ms = std::max(5.0, options.budget.deadline_ms / 4);
+  }
+  return grace;
+}
+
+}  // namespace
+
+std::optional<EquivalenceCertificate> ViewPlanner::GraceCertify(
+    const ConjunctiveQuery& rewriting,
+    const ConjunctiveQuery& minimized) const {
+  // A fresh governor shields the certification search from the exhausted
+  // request governor (otherwise the dead budget would starve its own
+  // recovery); the grace budget keeps it bounded.
+  ResourceGovernor governor(GraceLimits(options_));
+  GovernorScope scope(&governor);
+  return CertifyEquivalentRewriting(rewriting, minimized, views_);
+}
+
+ViewPlanner::PlanResult ViewPlanner::MiniConFallback(
+    const ConjunctiveQuery& query, CostModel model,
+    const CoreCoverResult& cc_result, const TraceContext& trace,
+    PlanExplanation* explain) const {
+  PlanResult out;
+  out.stats = cc_result.stats;
+  out.status = PlanStatus::kBudgetExhausted;
+  out.exhaustion = cc_result.exhaustion;
+  out.error = ExhaustionMessage(cc_result.exhaustion,
+                                "before any rewriting was found");
+  if (!options_.enable_minicon_fallback) return out;
+
+  TraceSpan span(trace, "minicon_fallback");
+  ResourceGovernor governor(GraceLimits(options_));
+  GovernorScope scope(&governor);
+  const MiniConResult mc =
+      MiniCon(query, views_, options_.core_cover.max_rewritings);
+  span.AddAttribute("equivalent_rewritings",
+                    static_cast<uint64_t>(mc.equivalent_rewritings.size()));
+  span.AddAttribute("aborted", mc.aborted);
+  if (mc.equivalent_rewritings.empty()) return out;
+
+  PlanChoice best;
+  size_t winner = 0;
+  bool winner_filtered = false;
+  VBR_CHECK(CostAndPick(query, model, mc.equivalent_rewritings, {}, &best,
+                        &winner, &winner_filtered, span.context(),
+                        explain != nullptr ? &explain->candidates : nullptr));
+  // MiniCon's equivalence filter already verified the winner, but PlanChoice
+  // promises a transportable certificate; build one under the same grace
+  // budget (if even that dies, report exhaustion rather than an
+  // uncertified plan).
+  auto certificate =
+      CertifyEquivalentRewriting(best.logical, mc.minimized_query, views_);
+  if (!certificate.has_value()) return out;
+  best.certificate = std::move(*certificate);
+  out.choice = std::move(best);
+  out.status = PlanStatus::kOk;
+  out.degraded = true;
+  out.error.clear();
+  return out;
+}
+
 ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
     const ConjunctiveQuery& query, CostModel model,
     const CoreCoverOptions& cc_options, const CanonicalQuery* canonical,
     std::shared_ptr<const CachedPlan>* out_entry,
     PlanExplanation* explain) const {
+  // Per-request budget: a fresh governor when the options configure limits,
+  // otherwise whatever governor the caller installed (possibly none).
+  std::optional<ResourceGovernor> governor_storage;
+  if (!options_.budget.unlimited()) governor_storage.emplace(options_.budget);
+  GovernorScope budget_scope(governor_storage ? &*governor_storage
+                                              : ResourceGovernor::Current());
+  ResourceGovernor* const governor = ResourceGovernor::Current();
+
   // M1 needs only the GMRs; M2/M3 search all minimal rewritings.
   const CoreCoverResult result =
       model == CostModel::kM1 ? CoreCover(query, views_, cc_options)
                               : CoreCoverStar(query, views_, cc_options);
+  const bool exhausted_run =
+      result.status == CoreCoverStatus::kBudgetExhausted;
 
   PlanResult out;
   out.stats = result.stats;
@@ -361,9 +488,11 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
   }
 
   // Build the cache entry (canonical variable space) before costing;
-  // negative outcomes are cached too.
+  // negative outcomes are cached too — but NEVER a budget-exhausted run:
+  // its rewriting list is incomplete, and serving it to later (possibly
+  // generously budgeted) requests would poison them.
   std::shared_ptr<CachedPlan> entry;
-  if (canonical != nullptr) {
+  if (canonical != nullptr && !exhausted_run) {
     entry = std::make_shared<CachedPlan>();
     entry->fingerprint = canonical->fingerprint;
     entry->status = result.status;
@@ -382,15 +511,22 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
   }
 
   if (explain != nullptr) explain->minimized = result.minimized_query;
-  if (!result.ok()) {
+  if (result.status == CoreCoverStatus::kUnsupportedQueryTooLarge) {
     out.status = PlanStatus::kUnsupportedQueryTooLarge;
     out.error = result.error;
   } else if (!result.has_rewriting) {
-    out.status = PlanStatus::kNoRewriting;
+    if (exhausted_run) {
+      // Nothing survived before the budget died; last rung of the ladder.
+      out = MiniConFallback(query, model, result, cc_options.trace, explain);
+    } else {
+      out.status = PlanStatus::kNoRewriting;
+    }
   } else {
     PlanChoice best;
     size_t winner = 0;
     bool winner_filtered = false;
+    // Under an exhausted budget the optimizers abort and report SIZE_MAX
+    // costs, so the pick degrades toward emission order but stays total.
     VBR_CHECK(CostAndPick(query, model, result.rewritings, filter_atoms,
                           &best, &winner, &winner_filtered, cc_options.trace,
                           explain != nullptr ? &explain->candidates : nullptr));
@@ -398,19 +534,44 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
     // the logical plan; the M3 physical plan may execute a renamed variant,
     // proven answer-equal by the optimizer's renaming-safety test).
     TraceSpan certify_span(cc_options.trace, "certify");
-    auto certificate =
-        CertifyEquivalentRewriting(best.logical, result.minimized_query,
-                                   views_);
-    VBR_CHECK_MSG(certificate.has_value(),
-                  "planner produced an uncertifiable rewriting");
-    if (entry != nullptr && !winner_filtered) {
-      entry->StoreCertificate(
-          winner, TransportCertificate(*certificate, canonical->to_canonical));
+    std::optional<EquivalenceCertificate> certificate;
+    if (governor == nullptr || !governor->exhausted()) {
+      certificate =
+          CertifyEquivalentRewriting(best.logical, result.minimized_query,
+                                     views_);
     }
-    best.certificate = std::move(*certificate);
-    out.choice = std::move(best);
-    out.status = PlanStatus::kOk;
+    const bool exhausted_now = governor != nullptr && governor->exhausted();
+    if (!certificate.has_value() && exhausted_now) {
+      // Best-so-far grace certification: the rewriting is genuine (every
+      // emitted cover is), only the certification search was starved.
+      certificate = GraceCertify(best.logical, result.minimized_query);
+      certify_span.AddAttribute("grace", true);
+    }
+    VBR_CHECK_MSG(certificate.has_value() || exhausted_now,
+                  "planner produced an uncertifiable rewriting");
+    if (!certificate.has_value()) {
+      out.status = PlanStatus::kBudgetExhausted;
+      out.exhaustion = governor->exhaustion();
+      out.error = ExhaustionMessage(out.exhaustion,
+                                    "before the chosen rewriting could be "
+                                    "certified");
+    } else {
+      if (entry != nullptr && !winner_filtered) {
+        entry->StoreCertificate(
+            winner,
+            TransportCertificate(*certificate, canonical->to_canonical));
+      }
+      best.certificate = std::move(*certificate);
+      out.choice = std::move(best);
+      out.status = PlanStatus::kOk;
+    }
   }
+
+  if (governor != nullptr && governor->exhausted()) {
+    out.exhaustion = governor->exhaustion();
+    out.degraded = out.status == PlanStatus::kOk;
+  }
+  RecordBudgetMetrics(out.exhaustion);
 
   if (entry != nullptr) {
     cache_->Insert(model, entry);
@@ -423,6 +584,14 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
     const ConjunctiveQuery& query, CostModel model, const CachedPlan& entry,
     const Substitution& transport, const TraceContext& trace,
     PlanExplanation* explain) const {
+  // Cache hits re-cost and re-certify against current instances, so they
+  // run under the same per-request budget as a fresh plan.
+  std::optional<ResourceGovernor> governor_storage;
+  if (!options_.budget.unlimited()) governor_storage.emplace(options_.budget);
+  GovernorScope budget_scope(governor_storage ? &*governor_storage
+                                              : ResourceGovernor::Current());
+  ResourceGovernor* const governor = ResourceGovernor::Current();
+
   PlanResult out;
   out.cache_hit = true;
   out.stats = entry.stats;
@@ -475,10 +644,29 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
   }
   if (!certified) {
     const ConjunctiveQuery minimized = transport.Apply(entry.minimized);
-    auto certificate =
-        CertifyEquivalentRewriting(best.logical, minimized, views_);
-    VBR_CHECK_MSG(certificate.has_value(),
-                  "cached rewriting failed certification");
+    std::optional<EquivalenceCertificate> certificate;
+    if (governor == nullptr || !governor->exhausted()) {
+      certificate =
+          CertifyEquivalentRewriting(best.logical, minimized, views_);
+    }
+    if (!certificate.has_value() && governor != nullptr &&
+        governor->exhausted()) {
+      certificate = GraceCertify(best.logical, minimized);
+      certify_span.AddAttribute("grace", true);
+    }
+    if (!certificate.has_value()) {
+      // Only a starved certification search may fail here — a cached
+      // rewriting that genuinely fails to certify is a planner bug.
+      VBR_CHECK_MSG(governor != nullptr && governor->exhausted(),
+                    "cached rewriting failed certification");
+      certify_span.End();
+      out.status = PlanStatus::kBudgetExhausted;
+      out.exhaustion = governor->exhaustion();
+      out.error = ExhaustionMessage(out.exhaustion,
+                                    "while certifying a cached plan");
+      RecordBudgetMetrics(out.exhaustion);
+      return out;
+    }
     if (!winner_filtered) {
       entry.StoreCertificate(
           winner,
@@ -490,6 +678,13 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
   certify_span.End();
   out.choice = std::move(best);
   out.status = PlanStatus::kOk;
+  if (governor != nullptr && governor->exhausted()) {
+    // Costing (or first-pass certification) was starved: the plan is
+    // certified-correct but may not be the cheapest candidate.
+    out.exhaustion = governor->exhaustion();
+    out.degraded = true;
+    RecordBudgetMetrics(out.exhaustion);
+  }
   return out;
 }
 
@@ -557,6 +752,11 @@ ViewPlanner::PlanResult ViewPlanner::PlanInternal(
   }
   span.AddAttribute("cache", disposition);
   span.AddAttribute("status", PlanStatusName(result.status));
+  if (result.exhaustion.kind != BudgetKind::kNone) {
+    span.AddAttribute("budget_kind", BudgetKindName(result.exhaustion.kind));
+    span.AddAttribute("budget_site", result.exhaustion.site);
+    span.AddAttribute("degraded", result.degraded);
+  }
   plan_us->Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1000.0));
   if (explain != nullptr) {
     explain->status = result.status;
@@ -567,6 +767,8 @@ ViewPlanner::PlanResult ViewPlanner::PlanInternal(
     explain->choice = result.choice;
     explain->stats = result.stats;
     explain->cache_hit = result.cache_hit;
+    explain->exhaustion = result.exhaustion;
+    explain->degraded = result.degraded;
   }
   return result;
 }
@@ -719,7 +921,15 @@ std::vector<ViewPlanner::PlanResult> ViewPlanner::PlanMany(
     // directly (robust against concurrent eviction) and count as hits.
     for (size_t k = 1; k < members.size(); ++k) {
       const size_t idx = members[k];
-      VBR_CHECK(entry != nullptr && canon[idx] != nullptr);
+      VBR_CHECK(canon[idx] != nullptr);
+      if (entry == nullptr) {
+        // The representative's run exhausted its budget, so nothing was
+        // cached (a partial rewriting enumeration must not poison its
+        // duplicates); each duplicate plans on its own budget instead.
+        results[idx] = PlanViaCoreCover(queries[idx], model, serial_cc,
+                                        canon[idx].get(), nullptr);
+        continue;
+      }
       Substitution transport;
       if (canon[idx]->fingerprint.canonical == entry->fingerprint.canonical) {
         transport = canon[idx]->from_canonical;

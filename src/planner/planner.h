@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/trace.h"
 #include "cost/cost_model.h"
 #include "cost/physical_plan.h"
@@ -35,6 +36,14 @@ enum class PlanStatus {
   // The (minimized) query exceeds the supported fragment (e.g. more than
   // 64 subgoals); PlanResult::error carries the detail.
   kUnsupportedQueryTooLarge,
+  // The request's resource budget (Options::budget) ran out before any
+  // certified plan could be produced — including the degradation ladder
+  // (grace certification of a best-so-far rewriting, then the budgeted
+  // MiniCon fallback). PlanResult::exhaustion says which budget died and at
+  // which check site; `error` carries a human-readable account. Note that a
+  // budget can also run out and still yield a plan: the result is then kOk
+  // with `degraded` set.
+  kBudgetExhausted,
 };
 
 const char* PlanStatusName(PlanStatus status);
@@ -92,8 +101,17 @@ class ViewPlanner {
     // True if the logical plans came from the cache (or from PlanMany's
     // in-flight deduplication) instead of a fresh CoreCover run.
     bool cache_hit = false;
-    // Human-readable detail when status == kUnsupportedQueryTooLarge.
+    // Human-readable detail when status == kUnsupportedQueryTooLarge or
+    // kBudgetExhausted.
     std::string error;
+    // Which budget died and where (BudgetKind::kNone when none did).
+    // Populated both for kBudgetExhausted and for degraded kOk results.
+    BudgetExhaustion exhaustion;
+    // True when the budget ran out but the degradation ladder still produced
+    // a certified plan (best-so-far grace certification or the MiniCon
+    // fallback) — or when costing was starved, so `choice` is certified-
+    // correct but may not be the cheapest candidate.
+    bool degraded = false;
 
     bool ok() const { return status == PlanStatus::kOk; }
   };
@@ -115,6 +133,23 @@ class ViewPlanner {
     bool enable_cache = true;
     // Total plan-cache entries across all shards.
     size_t cache_capacity = 1024;
+    // Per-request resource budget (common/budget.h), unlimited by default.
+    // When any limit is set, every planned query runs under its own fresh
+    // ResourceGovernor; exhaustion degrades the result (kBudgetExhausted, or
+    // kOk with `degraded` set) and NEVER aborts the process. Budget-
+    // exhausted logical outcomes are never inserted into the plan cache.
+    ResourceLimits budget;
+    // Work-unit budget for the degradation ladder: grace certification of a
+    // best-so-far rewriting and the MiniCon fallback each run under a fresh
+    // governor with this work limit, shielded from the exhausted request
+    // governor (otherwise a dead budget would starve its own recovery).
+    // When the request budget has a deadline, the grace governor also gets a
+    // quarter of it (at least 5 ms), so the ladder cannot turn a tight
+    // deadline into a long fallback search. 0 = unlimited grace work.
+    uint64_t fallback_work_budget = 250'000;
+    // When CoreCover's budget dies before any rewriting is found, retry with
+    // a work-budgeted MiniCon run (baseline/minicon.h) before giving up.
+    bool enable_minicon_fallback = true;
   };
 
   // `view_instances` must hold one relation per view head predicate (as
@@ -167,6 +202,12 @@ class ViewPlanner {
     std::vector<ModelBreakdown> breakdown;
     CoreCoverStats stats;
     bool cache_hit = false;
+    // Budget outcome, mirrored from PlanResult: which budget died and where
+    // (kNone when none did), and whether the plan came from the degradation
+    // ladder. ToText/ToJson surface these alongside the rewriting-cap flag
+    // (stats.hit_rewriting_cap) so silent truncation is visible.
+    BudgetExhaustion exhaustion;
+    bool degraded = false;
 
     bool ok() const { return status == PlanStatus::kOk; }
     std::string ToText() const;
@@ -262,6 +303,20 @@ class ViewPlanner {
                    const TraceContext& trace = {},
                    std::vector<PlanExplanation::Candidate>* capture =
                        nullptr) const;
+  // Re-certifies `rewriting` against `minimized` under a fresh governor with
+  // fallback_work_budget work units, shielded from the caller's (exhausted)
+  // governor. Used when the request budget died mid-certification.
+  std::optional<EquivalenceCertificate> GraceCertify(
+      const ConjunctiveQuery& rewriting,
+      const ConjunctiveQuery& minimized) const;
+  // Last rung of the degradation ladder: the request budget died before
+  // CoreCover found any rewriting. Retries with a work-budgeted MiniCon run
+  // (when enable_minicon_fallback) and certifies its winner; otherwise (or
+  // when MiniCon's grace budget dies too) returns kBudgetExhausted.
+  PlanResult MiniConFallback(const ConjunctiveQuery& query, CostModel model,
+                             const CoreCoverResult& cc_result,
+                             const TraceContext& trace,
+                             PlanExplanation* explain) const;
 
   ViewSet views_;
   Database view_instances_;

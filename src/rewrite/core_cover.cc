@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -26,6 +27,8 @@ void RecordRunMetrics(const CoreCoverResult& result) {
   static Counter* const runs = registry.GetCounter("corecover.runs");
   static Counter* const unsupported =
       registry.GetCounter("corecover.unsupported");
+  static Counter* const budget_aborts =
+      registry.GetCounter("corecover.budget_aborts");
   static Counter* const view_tuples =
       registry.GetCounter("corecover.view_tuples");
   static Counter* const tuple_cores =
@@ -43,7 +46,12 @@ void RecordRunMetrics(const CoreCoverResult& result) {
   static Histogram* const total_us =
       registry.GetHistogram("corecover.stage.total_us");
   runs->Increment();
-  if (result.status != CoreCoverStatus::kOk) unsupported->Increment();
+  if (result.status == CoreCoverStatus::kUnsupportedQueryTooLarge) {
+    unsupported->Increment();
+  }
+  if (result.status == CoreCoverStatus::kBudgetExhausted) {
+    budget_aborts->Increment();
+  }
   view_tuples->Add(result.stats.num_view_tuples);
   tuple_cores->Add(result.stats.tuple_core_tasks);
   covers->Add(result.rewritings.size());
@@ -83,6 +91,48 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
   result.stats.threads_used = num_threads;
 
+  // The run is governed when the caller installed a ResourceGovernor
+  // (planner deadlines / budgets, see common/budget.h). Each stage boundary
+  // below is a serial checkpoint; a failed checkpoint finalizes the result
+  // with whatever sound partial output earlier stages produced.
+  ResourceGovernor* const governor = ResourceGovernor::Current();
+  const auto budget_ok = [&](const char* site) {
+    return governor == nullptr || governor->CheckPoint(site);
+  };
+  // Stamps budget bookkeeping, the final status, trace attributes, and
+  // process metrics. Every return path funnels through here.
+  const auto finalize = [&] {
+    result.stats.hit_rewriting_cap = result.truncated;
+    if (governor != nullptr) {
+      result.stats.work_used = governor->work_used();
+      if (governor->exhausted() && result.status == CoreCoverStatus::kOk) {
+        result.status = CoreCoverStatus::kBudgetExhausted;
+        result.exhaustion = governor->exhaustion();
+        result.error = std::string("budget exhausted (") +
+                       BudgetKindName(result.exhaustion.kind) + " at " +
+                       result.exhaustion.site + ")";
+      }
+    }
+    result.stats.total_ms = total_timer.ElapsedMillis();
+    const char* status_name = "ok";
+    if (result.status == CoreCoverStatus::kUnsupportedQueryTooLarge) {
+      status_name = "unsupported_query_too_large";
+    } else if (result.status == CoreCoverStatus::kBudgetExhausted) {
+      status_name = "budget_exhausted";
+    }
+    run_span.AddAttribute("status", status_name);
+    if (result.status == CoreCoverStatus::kBudgetExhausted) {
+      run_span.AddAttribute("budget_kind",
+                            BudgetKindName(result.exhaustion.kind));
+      run_span.AddAttribute("budget_site", result.exhaustion.site);
+    }
+    run_span.AddAttribute("has_rewriting", result.has_rewriting);
+    run_span.AddAttribute("rewritings",
+                          static_cast<uint64_t>(result.rewritings.size()));
+    run_span.AddAttribute("truncated", result.truncated);
+    RecordRunMetrics(result);
+  };
+
   // Step 1: minimize the query.
   Timer phase_timer;
   {
@@ -94,16 +144,21 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   result.stats.minimize_ms = phase_timer.ElapsedMillis();
   const ConjunctiveQuery& q = result.minimized_query;
   const size_t n = q.num_subgoals();
+  if (!budget_ok("corecover.minimize")) {
+    finalize();
+    return result;
+  }
   if (n > 64) {
     // Tuple-cores are uint64_t bitmasks over query subgoals (see the
     // contract in set_cover.h); report the unsupported input instead of
-    // aborting the process.
+    // aborting the process. (An exhausted budget is handled above: an
+    // aborted minimization can leave more than 64 subgoals on a query whose
+    // true minimization fits, so that case must read as budget exhaustion,
+    // not as an unsupported query.)
     result.status = CoreCoverStatus::kUnsupportedQueryTooLarge;
     result.error = "minimized query has " + std::to_string(n) +
                    " subgoals; the tuple-core bitmask supports at most 64";
-    result.stats.total_ms = total_timer.ElapsedMillis();
-    run_span.AddAttribute("status", "unsupported_query_too_large");
-    RecordRunMetrics(result);
+    finalize();
     return result;
   }
 
@@ -131,6 +186,10 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     span.AddAttribute("classes",
                       static_cast<uint64_t>(result.stats.num_view_classes));
   }
+  if (!budget_ok("corecover.group_views")) {
+    finalize();
+    return result;
+  }
 
   // Step 2: view tuples on the canonical database, one task per view.
   result.stats.view_tuple_tasks = working_views.size();
@@ -142,6 +201,10 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   }
   result.stats.view_tuple_ms = phase_timer.ElapsedMillis();
   result.stats.num_view_tuples = tuples.size();
+  if (!budget_ok("corecover.view_tuples")) {
+    finalize();
+    return result;
+  }
 
   // Step 3: tuple-cores, one task per tuple, written by tuple index.
   phase_timer.Reset();
@@ -160,6 +223,10 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     span.AddAttribute("cores", static_cast<uint64_t>(tuples.size()));
   }
   result.stats.tuple_core_ms = phase_timer.ElapsedMillis();
+  if (!budget_ok("corecover.tuple_cores")) {
+    finalize();
+    return result;
+  }
 
   // Group tuples by core; the cover search runs over one representative per
   // class (or over all tuples when grouping is disabled).
@@ -208,13 +275,24 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
       result.stats.minimum_cover_size = min_covers.min_size;
       result.truncated = min_covers.truncated;
       covers = std::move(min_covers.covers);
+      // An incomplete enumeration must never read as a complete one: a
+      // branch stopped by its node cap does not latch the governor itself,
+      // so latch here (deterministic under a pure work budget — the aborted
+      // flag is schedule-independent).
+      if (min_covers.aborted && governor != nullptr) {
+        governor->NoteExhausted(BudgetKind::kWork, "corecover.set_cover");
+      }
     } else {
       bool truncated = false;
+      bool aborted = false;
       covers = FindAllMinimalCovers(universe, sets, options.max_rewritings,
                                     &truncated, pool.get(),
-                                    &result.stats.cover_branch_tasks);
+                                    &result.stats.cover_branch_tasks, &aborted);
       result.has_rewriting = !covers.empty();
       result.truncated = truncated;
+      if (aborted && governor != nullptr) {
+        governor->NoteExhausted(BudgetKind::kWork, "corecover.set_cover");
+      }
       if (result.has_rewriting) {
         size_t min_size = SIZE_MAX;
         for (const auto& c : covers) min_size = std::min(min_size, c.size());
@@ -238,25 +316,33 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     // homomorphism search.
     TraceSpan span(run_span, "verify");
     result.stats.verify_tasks = result.rewritings.size();
+    std::vector<char> failed(result.rewritings.size(), 0);
     const auto verify = [&](size_t i) {
-      VBR_CHECK_MSG(IsEquivalentRewriting(result.rewritings[i], query, views),
+      if (IsEquivalentRewriting(result.rewritings[i], query, views)) return;
+      // Under an exhausted budget the equivalence check itself may have been
+      // the thing that aborted, so a failure is indistinguishable from an
+      // unfinished search: drop the rewriting instead of crashing. With
+      // budget to spare, a failure is a genuine algorithmic bug.
+      VBR_CHECK_MSG(governor != nullptr && governor->exhausted(),
                     "CoreCover produced a non-equivalent rewriting");
+      failed[i] = 1;
     };
     if (pool != nullptr) {
       pool->ParallelFor(result.rewritings.size(), verify);
     } else {
       for (size_t i = 0; i < result.rewritings.size(); ++i) verify(i);
     }
-    span.AddAttribute("verified",
-                      static_cast<uint64_t>(result.rewritings.size()));
+    size_t kept = 0;
+    for (size_t i = 0; i < result.rewritings.size(); ++i) {
+      if (failed[i]) continue;
+      if (kept != i) result.rewritings[kept] = std::move(result.rewritings[i]);
+      ++kept;
+    }
+    result.rewritings.resize(kept);
+    span.AddAttribute("verified", static_cast<uint64_t>(kept));
   }
 
-  result.stats.total_ms = total_timer.ElapsedMillis();
-  run_span.AddAttribute("status", "ok");
-  run_span.AddAttribute("has_rewriting", result.has_rewriting);
-  run_span.AddAttribute("rewritings",
-                        static_cast<uint64_t>(result.rewritings.size()));
-  RecordRunMetrics(result);
+  finalize();
   return result;
 }
 

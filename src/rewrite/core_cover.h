@@ -2,9 +2,11 @@
 #define VBR_REWRITE_CORE_COVER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/trace.h"
 #include "cq/query.h"
 #include "rewrite/equivalence_classes.h"
@@ -36,6 +38,13 @@ enum class CoreCoverStatus {
   // not run; the result carries the minimized query, an explanatory
   // `error`, and no rewritings.
   kUnsupportedQueryTooLarge,
+  // The thread's ResourceGovernor (common/budget.h) ran out mid-pipeline.
+  // The result carries everything completed before the budget died — every
+  // returned rewriting corresponds to a genuine cover of genuine view tuples
+  // — but the enumeration is incomplete: rewritings may be missing and the
+  // returned ones may not be minimum. `result.exhaustion` says which budget
+  // died and at which check site.
+  kBudgetExhausted,
 };
 
 struct CoreCoverOptions {
@@ -88,6 +97,13 @@ struct CoreCoverStats {
   // The resolved thread count the run used (num_threads, with 0 resolved to
   // the hardware concurrency).
   size_t threads_used = 1;
+  // Governed work units charged to the run's ResourceGovernor (0 when the
+  // run was ungoverned). Deterministic under a pure work budget.
+  uint64_t work_used = 0;
+  // True iff max_rewritings truncated the cover enumeration — the same
+  // condition as CoreCoverResult::truncated, surfaced here so stats
+  // consumers (Explain, metrics) cannot miss a silent cap.
+  bool hit_rewriting_cap = false;
 };
 
 // One tuple of T(Q, V) with its core and class metadata.
@@ -121,6 +137,8 @@ struct CoreCoverResult {
   std::vector<size_t> filter_candidates;
   CoreCoverStats stats;
   bool truncated = false;
+  // Which budget died and where, when status == kBudgetExhausted.
+  BudgetExhaustion exhaustion;
 
   bool ok() const { return status == CoreCoverStatus::kOk; }
 };

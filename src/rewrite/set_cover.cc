@@ -4,6 +4,7 @@
 #include <bit>
 #include <set>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 
@@ -38,10 +39,13 @@ class CoverSearch {
   // pruning); otherwise every cover the branching reaches within
   // `depth_limit` picks is recorded and the caller filters for minimality.
   // Sets *truncated iff the distinct count reached the cap.
+  // Sets *aborted when the governor stopped any branch early; found covers
+  // remain genuine (each was verified complete when recorded).
   std::vector<std::vector<size_t>> Enumerate(size_t depth_limit,
                                              bool require_exact,
                                              size_t max_out, bool* truncated,
-                                             size_t* branch_tasks) {
+                                             size_t* branch_tasks,
+                                             bool* aborted) {
     *truncated = false;
     if (universe_ == 0 || depth_limit == 0 || max_out == 0) return {};
     const uint64_t lowest = universe_ & (~universe_ + 1);
@@ -62,6 +66,17 @@ class CoverSearch {
       pool_->ParallelFor(branch_sets.size(), run_branch);
     } else {
       for (size_t b = 0; b < branch_sets.size(); ++b) run_branch(b);
+    }
+    if (governor_ != nullptr) {
+      // Per-branch node counts are schedule-independent (each branch runs to
+      // completion or to its deterministic cap), so this total — charged at
+      // the barrier after the parallel stage — is too.
+      uint64_t nodes = 0;
+      for (const Branch& branch : branches) {
+        nodes += branch.nodes;
+        if (branch.aborted) *aborted = true;
+      }
+      if (nodes > 0) governor_->ChargeWork(nodes);
     }
 
     // Merge in branch order with global deduplication; stop at the cap
@@ -89,11 +104,25 @@ class CoverSearch {
     // deduplicates across branches).
     std::vector<std::vector<size_t>> found;
     std::set<std::vector<size_t>> seen;
+    uint64_t nodes = 0;
+    bool aborted = false;
   };
 
   // Returns false when the branch hit its cap (no more output wanted).
   bool Dfs(Branch* branch, uint64_t uncovered, size_t depth_limit,
            bool require_exact, size_t max_out) const {
+    if (governor_ != nullptr) {
+      ++branch->nodes;
+      // The cap is per branch and identical for every branch, so where each
+      // branch stops does not depend on the schedule; KeepGoing only
+      // observes the deadline and injected faults.
+      if ((node_cap_ != 0 && branch->nodes > node_cap_) ||
+          (branch->nodes % 64 == 0 &&
+           !governor_->KeepGoing("corecover.set_cover"))) {
+        branch->aborted = true;
+        return false;
+      }
+    }
     if (uncovered == 0) {
       if (!require_exact || branch->chosen.size() == depth_limit) {
         std::vector<size_t> cover = branch->chosen;
@@ -138,6 +167,8 @@ class CoverSearch {
   const std::vector<uint64_t>& sets_;
   ThreadPool* const pool_;
   std::vector<size_t> nonempty_;
+  ResourceGovernor* const governor_ = ResourceGovernor::Current();
+  const uint64_t node_cap_ = governor_ ? governor_->search_node_cap() : 0;
 };
 
 bool IsMinimalCover(uint64_t universe, const std::vector<uint64_t>& sets,
@@ -171,19 +202,37 @@ MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
   if ((all & universe) != universe) return result;
 
   CoverSearch search(universe, sets, pool);
+  ResourceGovernor* const governor = ResourceGovernor::Current();
   const size_t max_depth =
       std::min<size_t>(sets.size(),
                        static_cast<size_t>(std::popcount(universe)));
   for (size_t k = 1; k <= max_depth; ++k) {
+    // Serial per-cardinality checkpoint: the work total accumulated by
+    // depth k-1 is schedule-independent, so a work budget latches here
+    // deterministically.
+    if (governor != nullptr && !governor->CheckPoint("corecover.set_cover")) {
+      result.aborted = true;
+      return result;
+    }
     bool truncated = false;
-    std::vector<std::vector<size_t>> found = search.Enumerate(
-        k, /*require_exact=*/true, max_covers, &truncated, branch_tasks);
+    bool aborted = false;
+    std::vector<std::vector<size_t>> found =
+        search.Enumerate(k, /*require_exact=*/true, max_covers, &truncated,
+                         branch_tasks, &aborted);
     if (!found.empty()) {
       result.feasible = true;
       result.min_size = k;
       std::sort(found.begin(), found.end());
       result.covers = std::move(found);
       result.truncated = truncated;
+      result.aborted = aborted;
+      return result;
+    }
+    if (aborted) {
+      // The search for cardinality k was cut short, so an empty result no
+      // longer proves infeasibility at k; stop instead of reporting larger
+      // covers as minimum.
+      result.aborted = true;
       return result;
     }
   }
@@ -193,17 +242,30 @@ MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
 
 std::vector<std::vector<size_t>> FindAllMinimalCovers(
     uint64_t universe, const std::vector<uint64_t>& sets, size_t max_covers,
-    bool* truncated, ThreadPool* pool, size_t* branch_tasks) {
+    bool* truncated, ThreadPool* pool, size_t* branch_tasks, bool* aborted) {
+  if (aborted != nullptr) *aborted = false;
   if (universe == 0) {
     if (truncated != nullptr) *truncated = false;
     return {{}};
   }
+  // Serial pre-search checkpoint, mirroring the per-cardinality one in
+  // FindAllMinimumCovers: the work accumulated by the earlier stages is
+  // schedule-independent, so a work budget latches here deterministically
+  // (the in-search KeepGoing only observes deadlines and injected faults).
+  ResourceGovernor* const governor = ResourceGovernor::Current();
+  if (governor != nullptr && !governor->CheckPoint("corecover.set_cover")) {
+    if (truncated != nullptr) *truncated = false;
+    if (aborted != nullptr) *aborted = true;
+    return {};
+  }
   CoverSearch search(universe, sets, pool);
   bool hit_cap = false;
+  bool hit_budget = false;
   std::vector<std::vector<size_t>> found =
       search.Enumerate(sets.size(), /*require_exact=*/false, max_covers,
-                       &hit_cap, branch_tasks);
+                       &hit_cap, branch_tasks, &hit_budget);
   if (truncated != nullptr) *truncated = hit_cap;
+  if (aborted != nullptr) *aborted = hit_budget;
   std::sort(found.begin(), found.end());
   std::vector<std::vector<size_t>> result;
   for (std::vector<size_t>& cover : found) {

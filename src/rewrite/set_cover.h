@@ -41,6 +41,10 @@ struct MinimumCoversResult {
   std::vector<std::vector<size_t>> covers;
   // True if the cap truncated the enumeration.
   bool truncated = false;
+  // True if the thread's ResourceGovernor stopped the search early. Every
+  // returned cover is still a genuine cover, but the enumeration may be
+  // incomplete and `covers` may not be of globally minimum cardinality.
+  bool aborted = false;
 };
 
 // All minimum-cardinality covers of `universe` by `sets`.
@@ -53,10 +57,13 @@ MinimumCoversResult FindAllMinimumCovers(uint64_t universe,
 // All minimal (irredundant) covers: covers from which no set can be removed.
 // Every minimum cover is minimal; minimal covers of larger cardinality are
 // the extra logical plans CoreCover* passes to the M2 optimizer.
+// `aborted`, when non-null, is set iff the thread's ResourceGovernor stopped
+// the enumeration early (returned covers are genuine but possibly not all).
 std::vector<std::vector<size_t>> FindAllMinimalCovers(
     uint64_t universe, const std::vector<uint64_t>& sets,
     size_t max_covers = 4096, bool* truncated = nullptr,
-    ThreadPool* pool = nullptr, size_t* branch_tasks = nullptr);
+    ThreadPool* pool = nullptr, size_t* branch_tasks = nullptr,
+    bool* aborted = nullptr);
 
 }  // namespace vbr
 

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "rewrite/expansion.h"
 
@@ -35,8 +36,12 @@ class CoreSearch {
     }
   }
 
+  // An aborted search returns the best complete assignment seen so far. That
+  // is a consistent (possibly sub-maximum) subgoal set, so downstream covers
+  // built from it are still sound — they can only cover less.
   TupleCore Run() {
     Recurse(0, 0);
+    if (governor_ != nullptr && nodes_ > 0) governor_->ChargeWork(nodes_);
     TupleCore core;
     core.covered_mask = best_mask_;
     for (size_t i = 0; i < query_.num_subgoals(); ++i) {
@@ -53,6 +58,14 @@ class CoreSearch {
   };
 
   void Recurse(size_t i, size_t included_count) {
+    if (governor_ != nullptr) {
+      ++nodes_;
+      if (aborted_ || (node_cap_ != 0 && nodes_ > node_cap_) ||
+          (nodes_ % 64 == 0 && !governor_->KeepGoing("corecover.tuple_cores"))) {
+        aborted_ = true;
+        return;
+      }
+    }
     const size_t n = query_.num_subgoals();
     // Bound: even including everything remaining cannot beat the best.
     if (included_count + (n - i) <= best_count_) return;
@@ -165,6 +178,11 @@ class CoreSearch {
   uint64_t best_mask_ = 0;
   size_t best_count_ = 0;
   Substitution best_mapping_;
+
+  ResourceGovernor* const governor_ = ResourceGovernor::Current();
+  const uint64_t node_cap_ = governor_ ? governor_->search_node_cap() : 0;
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "cq/homomorphism.h"
@@ -20,11 +21,19 @@ std::vector<ViewTuple> TuplesOfView(const CanonicalDatabase& canonical,
                 "view tuples require comparison-free views");
   std::vector<ViewTuple> result;
   std::unordered_set<Atom, AtomHash> seen;
+  ResourceGovernor* const governor = ResourceGovernor::Current();
   ForEachHomomorphism(
       view.body(), canonical.facts(), {}, [&](const Substitution& h) {
         const Atom tuple = canonical.Thaw(h.Apply(view.head()));
         if (seen.insert(tuple).second) {
           result.push_back(ViewTuple{tuple, view_index});
+          // Every generated tuple is governed work; an aborted enumeration
+          // leaves a prefix of genuine tuples, which downstream stages may
+          // only under-cover with.
+          if (governor != nullptr) {
+            governor->ChargeWork(1);
+            return governor->KeepGoing("corecover.view_tuples");
+          }
         }
         return true;
       });

@@ -1,0 +1,180 @@
+// Unit tests for the ResourceGovernor (common/budget.h): latch semantics of
+// CheckPoint vs KeepGoing, the work / memory / deadline budgets, node-cap
+// derivation, first-wins exhaustion, and GovernorScope nesting.
+
+#include "common/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace vbr {
+namespace {
+
+TEST(ResourceLimitsTest, UnlimitedByDefault) {
+  ResourceLimits limits;
+  EXPECT_TRUE(limits.unlimited());
+  limits.work_limit = 1;
+  EXPECT_FALSE(limits.unlimited());
+}
+
+TEST(BudgetKindNameTest, AllKindsNamed) {
+  EXPECT_STREQ(BudgetKindName(BudgetKind::kNone), "none");
+  EXPECT_STREQ(BudgetKindName(BudgetKind::kDeadline), "deadline");
+  EXPECT_STREQ(BudgetKindName(BudgetKind::kWork), "work");
+  EXPECT_STREQ(BudgetKindName(BudgetKind::kMemory), "memory");
+  EXPECT_STREQ(BudgetKindName(BudgetKind::kInjected), "injected");
+}
+
+TEST(ResourceGovernorTest, WorkBudgetLatchesOnlyAtCheckPoint) {
+  ResourceLimits limits;
+  limits.work_limit = 10;
+  ResourceGovernor governor(limits);
+  governor.ChargeWork(100);
+  // KeepGoing never latches on the work counter (determinism contract).
+  EXPECT_TRUE(governor.KeepGoing("test.hot_loop"));
+  EXPECT_FALSE(governor.exhausted());
+  // The serial checkpoint does.
+  EXPECT_FALSE(governor.CheckPoint("test.stage"));
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.kind(), BudgetKind::kWork);
+  EXPECT_EQ(governor.exhaustion().site, "test.stage");
+  // Once latched, KeepGoing observes it.
+  EXPECT_FALSE(governor.KeepGoing("test.hot_loop"));
+}
+
+TEST(ResourceGovernorTest, WorkUnderLimitPasses) {
+  ResourceLimits limits;
+  limits.work_limit = 10;
+  ResourceGovernor governor(limits);
+  governor.ChargeWork(10);
+  EXPECT_TRUE(governor.CheckPoint("test.stage"));
+  governor.ChargeWork(1);
+  EXPECT_FALSE(governor.CheckPoint("test.stage"));
+  EXPECT_EQ(governor.work_used(), 11u);
+}
+
+TEST(ResourceGovernorTest, ExhaustionSiteIsFirstWins) {
+  ResourceLimits limits;
+  limits.work_limit = 1;
+  ResourceGovernor governor(limits);
+  governor.ChargeWork(5);
+  EXPECT_FALSE(governor.CheckPoint("site.first"));
+  EXPECT_FALSE(governor.CheckPoint("site.second"));
+  EXPECT_EQ(governor.exhaustion().site, "site.first");
+  governor.NoteExhausted(BudgetKind::kMemory, "site.third");
+  EXPECT_EQ(governor.kind(), BudgetKind::kWork);
+  EXPECT_EQ(governor.exhaustion().site, "site.first");
+}
+
+TEST(ResourceGovernorTest, MemoryBudgetLatchesOnCharge) {
+  ResourceLimits limits;
+  limits.memory_limit_bytes = 1000;
+  ResourceGovernor governor(limits);
+  EXPECT_TRUE(governor.ChargeMemory(600, "test.alloc"));
+  EXPECT_TRUE(governor.ChargeMemory(400, "test.alloc"));  // exactly at limit
+  EXPECT_FALSE(governor.ChargeMemory(1, "test.alloc"));
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.kind(), BudgetKind::kMemory);
+  EXPECT_EQ(governor.memory_used(), 1001u);
+}
+
+TEST(ResourceGovernorTest, ReleaseMemoryLowersTheCounter) {
+  ResourceLimits limits;
+  limits.memory_limit_bytes = 1000;
+  ResourceGovernor governor(limits);
+  EXPECT_TRUE(governor.ChargeMemory(900, "test.alloc"));
+  governor.ReleaseMemory(800);
+  EXPECT_TRUE(governor.ChargeMemory(500, "test.alloc"));
+  EXPECT_FALSE(governor.exhausted());
+}
+
+TEST(ResourceGovernorTest, DeadlineLatchesAtCheckPoint) {
+  ResourceLimits limits;
+  limits.deadline_ms = 1;  // expires almost immediately
+  ResourceGovernor governor(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(governor.CheckPoint("test.stage"));
+  EXPECT_EQ(governor.kind(), BudgetKind::kDeadline);
+  EXPECT_EQ(governor.remaining_ms(), 0.0);
+}
+
+TEST(ResourceGovernorTest, DeadlineObservedByKeepGoingWithinStride) {
+  ResourceLimits limits;
+  limits.deadline_ms = 1;
+  ResourceGovernor governor(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // KeepGoing amortizes clock reads over a fixed stride; within at most one
+  // stride of calls it must observe the expired deadline.
+  bool stopped = false;
+  for (int i = 0; i < 4096 && !stopped; ++i) {
+    stopped = !governor.KeepGoing("test.hot_loop");
+  }
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(governor.kind(), BudgetKind::kDeadline);
+}
+
+TEST(ResourceGovernorTest, NoDeadlineReportsLargeRemaining) {
+  ResourceLimits limits;
+  limits.work_limit = 100;
+  ResourceGovernor governor(limits);
+  EXPECT_GT(governor.remaining_ms(), 1e6);
+  EXPECT_GE(governor.elapsed_ms(), 0.0);
+}
+
+TEST(ResourceGovernorTest, SearchNodeCapDerivesFromWorkLimit) {
+  ResourceLimits limits;
+  limits.work_limit = 1234;
+  EXPECT_EQ(ResourceGovernor(limits).search_node_cap(), 1234u);
+  limits.search_node_cap = 99;
+  EXPECT_EQ(ResourceGovernor(limits).search_node_cap(), 99u);
+  ResourceLimits no_work;
+  no_work.deadline_ms = 1000;
+  EXPECT_EQ(ResourceGovernor(no_work).search_node_cap(), 0u);
+}
+
+TEST(GovernorScopeTest, InstallsAndRestores) {
+  EXPECT_EQ(ResourceGovernor::Current(), nullptr);
+  ResourceLimits limits;
+  limits.work_limit = 10;
+  ResourceGovernor outer(limits);
+  {
+    GovernorScope scope(&outer);
+    EXPECT_EQ(ResourceGovernor::Current(), &outer);
+    ResourceGovernor inner(limits);
+    {
+      GovernorScope nested(&inner);
+      EXPECT_EQ(ResourceGovernor::Current(), &inner);
+    }
+    EXPECT_EQ(ResourceGovernor::Current(), &outer);
+  }
+  EXPECT_EQ(ResourceGovernor::Current(), nullptr);
+}
+
+TEST(GovernorScopeTest, NullptrShieldsFromOuterGovernor) {
+  ResourceLimits limits;
+  limits.work_limit = 1;
+  ResourceGovernor outer(limits);
+  outer.ChargeWork(5);
+  EXPECT_FALSE(outer.CheckPoint("test.outer"));
+  GovernorScope scope(&outer);
+  {
+    // The shield is how grace certification escapes an exhausted budget.
+    GovernorScope shield(nullptr);
+    EXPECT_EQ(ResourceGovernor::Current(), nullptr);
+  }
+  EXPECT_EQ(ResourceGovernor::Current(), &outer);
+}
+
+TEST(ResourceGovernorTest, UnlimitedGovernorNeverExhausts) {
+  ResourceGovernor governor(ResourceLimits{});
+  governor.ChargeWork(1u << 20);
+  EXPECT_TRUE(governor.ChargeMemory(1u << 30, "test.alloc"));
+  EXPECT_TRUE(governor.CheckPoint("test.stage"));
+  EXPECT_TRUE(governor.KeepGoing("test.hot_loop"));
+  EXPECT_FALSE(governor.exhausted());
+}
+
+}  // namespace
+}  // namespace vbr

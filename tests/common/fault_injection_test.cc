@@ -1,0 +1,122 @@
+// Unit tests for the deterministic fault-injection registry
+// (common/fault_injection.h): Nth-crossing targeting, re-arming, recording
+// mode, reset, and the mapping of fired faults onto governor exhaustion.
+//
+// The registry is process-global; every test resets it on entry and exit so
+// suites can run in any order.
+
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/budget.h"
+
+namespace vbr {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Reset(); }
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, NothingArmedNothingFires) {
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+  // Fast path: crossings are not even counted while inactive.
+  EXPECT_EQ(FaultRegistry::Global().CrossingCount("site.a"), 0u);
+}
+
+TEST_F(FaultInjectionTest, FiresAtExactlyTheNthCrossing) {
+  FaultRegistry::Global().Arm("site.a", FaultKind::kBudgetExhausted, 3);
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+  const auto fired = FaultCheck("site.a");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, FaultKind::kBudgetExhausted);
+  // One-shot: later crossings pass again.
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+  EXPECT_EQ(FaultRegistry::Global().CrossingCount("site.a"), 4u);
+}
+
+TEST_F(FaultInjectionTest, ArmIsRelativeToCurrentCount) {
+  FaultRegistry::Global().Arm("site.a", FaultKind::kStageAbort, 1);
+  ASSERT_TRUE(FaultCheck("site.a").has_value());
+  // Re-arm after two more crossings: fires on the Nth crossing AFTER Arm.
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+  FaultRegistry::Global().Arm("site.a", FaultKind::kAllocFailure, 2);
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+  const auto fired = FaultCheck("site.a");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, FaultKind::kAllocFailure);
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent) {
+  FaultRegistry::Global().Arm("site.a", FaultKind::kBudgetExhausted, 1);
+  EXPECT_FALSE(FaultCheck("site.b").has_value());
+  EXPECT_TRUE(FaultCheck("site.a").has_value());
+}
+
+TEST_F(FaultInjectionTest, DisarmCancels) {
+  FaultRegistry::Global().Arm("site.a", FaultKind::kBudgetExhausted, 1);
+  FaultRegistry::Global().Disarm("site.a");
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+}
+
+TEST_F(FaultInjectionTest, RecordingDiscoversSites) {
+  FaultRegistry::Global().EnableRecording(true);
+  FaultCheck("corecover.minimize");
+  FaultCheck("cq.homomorphism");
+  FaultCheck("cq.homomorphism");
+  const auto sites = FaultRegistry::Global().SeenSites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], "corecover.minimize");
+  EXPECT_EQ(sites[1], "cq.homomorphism");
+  EXPECT_EQ(FaultRegistry::Global().CrossingCount("cq.homomorphism"), 2u);
+}
+
+TEST_F(FaultInjectionTest, ResetClearsEverything) {
+  FaultRegistry::Global().EnableRecording(true);
+  FaultRegistry::Global().Arm("site.a", FaultKind::kBudgetExhausted, 5);
+  FaultCheck("site.a");
+  FaultRegistry::Global().Reset();
+  EXPECT_TRUE(FaultRegistry::Global().SeenSites().empty());
+  EXPECT_EQ(FaultRegistry::Global().CrossingCount("site.a"), 0u);
+  EXPECT_FALSE(FaultCheck("site.a").has_value());
+}
+
+// A fired fault surfaces as exhaustion on the active governor, with the
+// fault kind mapped onto the matching budget kind.
+TEST_F(FaultInjectionTest, FiredFaultLatchesGovernor) {
+  struct Case {
+    FaultKind fault;
+    BudgetKind expected;
+  };
+  for (const Case c : {Case{FaultKind::kBudgetExhausted, BudgetKind::kWork},
+                       Case{FaultKind::kAllocFailure, BudgetKind::kMemory},
+                       Case{FaultKind::kStageAbort, BudgetKind::kInjected}}) {
+    FaultRegistry::Global().Reset();
+    FaultRegistry::Global().Arm("site.mapped", c.fault, 1);
+    ResourceGovernor governor(ResourceLimits{});
+    EXPECT_FALSE(governor.CheckPoint("site.mapped"));
+    EXPECT_EQ(governor.kind(), c.expected);
+    EXPECT_EQ(governor.exhaustion().site, "site.mapped");
+  }
+}
+
+TEST_F(FaultInjectionTest, FiredFaultStopsKeepGoingToo) {
+  FaultRegistry::Global().Arm("site.hot", FaultKind::kStageAbort, 2);
+  ResourceGovernor governor(ResourceLimits{});
+  EXPECT_TRUE(governor.KeepGoing("site.hot"));
+  EXPECT_FALSE(governor.KeepGoing("site.hot"));
+  EXPECT_EQ(governor.kind(), BudgetKind::kInjected);
+}
+
+TEST_F(FaultInjectionTest, FaultKindNames) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kBudgetExhausted), "budget_exhausted");
+  EXPECT_STREQ(FaultKindName(FaultKind::kAllocFailure), "alloc_failure");
+  EXPECT_STREQ(FaultKindName(FaultKind::kStageAbort), "stage_abort");
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,49 @@
+// Fuzz target for the JSON support (common/json.h).
+//
+// Invariants checked on every input:
+//   - ParseJson never crashes — including pathological nesting (the parser
+//     has a recursion-depth cap this harness exists to defend);
+//   - JsonEscape of the raw input, wrapped in quotes, always parses back as
+//     a string (escaping is total);
+//   - when the input parses, the parsed value is traversable (the whole
+//     tree is visited) without invariant violations.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace {
+
+size_t CountNodes(const vbr::JsonValue& v) {
+  size_t n = 1;
+  for (const auto& item : v.array_items()) n += CountNodes(item);
+  for (const auto& [key, member] : v.object_members()) {
+    (void)key;
+    n += CountNodes(member);
+  }
+  return n;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  std::string error;
+  const auto parsed = vbr::ParseJson(text, &error);
+  if (parsed.has_value()) {
+    VBR_CHECK(CountNodes(*parsed) >= 1);
+  } else {
+    VBR_CHECK_MSG(!error.empty(), "parse failure must carry an error");
+  }
+
+  const std::string quoted = "\"" + vbr::JsonEscape(text) + "\"";
+  const auto roundtrip = vbr::ParseJson(quoted);
+  VBR_CHECK_MSG(roundtrip.has_value() && roundtrip->is_string(),
+                "JsonEscape produced an unparseable string literal");
+  return 0;
+}

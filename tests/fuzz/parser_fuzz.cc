@@ -1,0 +1,37 @@
+// Fuzz target for the datalog parser (cq/parser.h).
+//
+// Invariants checked on every input:
+//   - ParseProgram never crashes, whatever the bytes;
+//   - anything that parses round-trips: each parsed rule's ToString()
+//     re-parses, and the re-parse prints identically (print/parse is a
+//     fixpoint).
+//
+// Built two ways by tests/fuzz/CMakeLists.txt: against libFuzzer when the
+// toolchain has one (clang -fsanitize=fuzzer), and against the standalone
+// corpus-replay driver everywhere else (gcc has no libFuzzer), so the
+// checked-in corpus runs as a ctest smoke test on every configuration.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "cq/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto program = vbr::ParseProgram(text, &error);
+  if (!program.has_value()) return 0;
+  for (const vbr::ConjunctiveQuery& rule : *program) {
+    const std::string printed = rule.ToString();
+    std::string reparse_error;
+    const auto reparsed = vbr::ParseQuery(printed, &reparse_error);
+    VBR_CHECK_MSG(reparsed.has_value(),
+                  "parsed rule failed to re-parse its own ToString()");
+    VBR_CHECK_MSG(reparsed->ToString() == printed,
+                  "print/parse round-trip is not a fixpoint");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Standalone replacement for libFuzzer's driver: replays files (or whole
+// directories of files) through LLVMFuzzerTestOneInput. The container's
+// toolchain is gcc-only — no libFuzzer — so the checked-in seed corpus runs
+// through this driver as a ctest smoke test; with clang available the same
+// fuzz target sources link against -fsanitize=fuzzer unchanged.
+//
+// Usage: <driver> <corpus-file-or-dir>...
+// Exits nonzero when any input crashes the target (the process dies) or a
+// path cannot be read.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return false;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  size_t cases = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        ok = RunFile(file) && ok;
+        ++cases;
+      }
+    } else {
+      ok = RunFile(path) && ok;
+      ++cases;
+    }
+  }
+  std::printf("replayed %zu corpus case(s): %s\n", cases,
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

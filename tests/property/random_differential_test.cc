@@ -27,6 +27,7 @@
 
 #include "baseline/bucket.h"
 #include "baseline/minicon.h"
+#include "common/budget.h"
 #include "common/trace.h"
 #include "rewrite/certificate.h"
 #include "rewrite/core_cover.h"
@@ -135,6 +136,66 @@ std::string ReplayHint(QueryShape shape, uint64_t seed) {
   return ::testing::AssertionSuccess();
 }
 
+// Budgeted phase: re-run a case under a work budget sized to bisect the
+// governed run (half the measured total). Whatever the governed run returns
+// — complete or budget-exhausted — every rewriting it emits must still
+// certify under an UNGOVERNED check: partial results are allowed, wrong
+// ones are not.
+::testing::AssertionResult RunBudgetedCase(QueryShape shape, uint64_t seed) {
+  const Workload w = GenerateWorkload(DiffConfig(shape, seed));
+  const std::string label = "[budgeted shape=" +
+                            std::string(ShapeName(shape)) +
+                            " seed=" + std::to_string(seed) + "] ";
+
+  // Measure the case's governed work, then halve it.
+  uint64_t total_work = 0;
+  {
+    ResourceLimits generous;
+    generous.work_limit = uint64_t{1} << 40;
+    ResourceGovernor governor(generous);
+    GovernorScope scope(&governor);
+    const auto full = CoreCoverStar(w.query, w.views, {});
+    if (!full.ok()) {
+      return ::testing::AssertionFailure()
+             << label << "generously-governed run failed: " << full.error
+             << "\n" << ReplayHint(shape, seed);
+    }
+    total_work = full.stats.work_used;
+  }
+  if (total_work < 2) return ::testing::AssertionSuccess();
+
+  ResourceLimits half;
+  half.work_limit = total_work / 2;
+  ResourceGovernor governor(half);
+  GovernorScope scope(&governor);
+  const auto cc = CoreCoverStar(w.query, w.views, {});
+  if (cc.status != CoreCoverStatus::kOk &&
+      cc.status != CoreCoverStatus::kBudgetExhausted) {
+    return ::testing::AssertionFailure()
+           << label << "unexpected status under budget: " << cc.error << "\n"
+           << ReplayHint(shape, seed);
+  }
+  if (cc.status == CoreCoverStatus::kBudgetExhausted &&
+      cc.exhaustion.kind == BudgetKind::kNone) {
+    return ::testing::AssertionFailure()
+           << label << "budget-exhausted result carries no exhaustion record"
+           << "\n" << ReplayHint(shape, seed);
+  }
+  // Certify OUTSIDE the exhausted governor's scope.
+  GovernorScope shield(nullptr);
+  for (const auto& p : cc.rewritings) {
+    const auto cert = CertifyEquivalentRewriting(p, w.query, w.views);
+    if (!cert.has_value() || !VerifyCertificate(*cert, w.views)) {
+      return ::testing::AssertionFailure()
+             << label << "budget-exhausted rewriting failed certification: "
+             << p.ToString() << " (status="
+             << (cc.ok() ? "ok" : "budget exhausted") << ")\n"
+             << ReplayHint(shape, seed);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
 class RandomDifferentialTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(RandomDifferentialTest, GeneratorsAgreeAndCertify) {
@@ -153,6 +214,17 @@ TEST_P(RandomDifferentialTest, GeneratorsAgreeAndCertify) {
                       << "\n--- CoreCover trace of the failing case ---\n"
                       << sink.ToText();
       }
+    }
+  }
+}
+
+TEST_P(RandomDifferentialTest, BudgetExhaustedResultsStillCertify) {
+  const size_t block = GetParam();
+  for (size_t i = 0; i < kSeedsPerBlock; ++i) {
+    const uint64_t seed = 1 + block * kSeedsPerBlock + i;
+    for (QueryShape shape :
+         {QueryShape::kStar, QueryShape::kChain, QueryShape::kRandom}) {
+      EXPECT_TRUE(RunBudgetedCase(shape, seed));
     }
   }
 }
