@@ -11,13 +11,21 @@
 //   vbr_cli [--all-minimal] [--show-tuples] [--no-grouping] [--threads N]
 //           [--no-cache] [--explain[=json]] [--trace]
 //           [--deadline-ms MS] [--work-budget N]
-//           [--data FACTS_FILE [--model m1|m2|m3]] [file]
+//           [--data FACTS_FILE [--model m1|m2|m3]]
+//           [--replay QUERIES_FILE [--qps N] [--concurrency K]] [file]
 //
 // --deadline-ms bounds the run by a wall-clock deadline and --work-budget by
 // a deterministic work-unit budget (see DESIGN.md "Resource governance");
 // both apply to the rewriting enumeration and to the planner. When a budget
 // runs out the run winds down cooperatively: partial results are printed
 // with a "budget exhausted" note instead of hanging or crashing.
+//
+// --replay switches to batch mode: QUERIES_FILE holds one query rule per
+// line, each submitted to a PlanningService (planner/service.h) wrapping the
+// program's views — --concurrency K worker threads, --qps N paced
+// submission (0 = as fast as possible), --deadline-ms as the per-request
+// deadline. The run ends by printing the per-status totals and the
+// service's metrics snapshot (admission, shedding, retries, breaker state).
 //
 // --explain prints the planner's account of its decision (candidates with
 // costs and why they lost, the cache disposition, and a per-cost-model
@@ -38,20 +46,26 @@
 //
 //   car(toyota, a).  loc(a, sf).  part(store1, toyota, sf).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/budget.h"
+#include "common/timer.h"
 #include "common/trace.h"
 #include "cq/parser.h"
 #include "engine/io.h"
 #include "engine/materialize.h"
 #include "planner/planner.h"
+#include "planner/service.h"
 #include "rewrite/core_cover.h"
 
 namespace {
@@ -76,6 +90,9 @@ int main(int argc, char** argv) {
   CoreCoverOptions options;
   const char* path = nullptr;
   const char* data_path = nullptr;
+  const char* replay_path = nullptr;
+  double qps = 0;
+  size_t concurrency = 2;
   CostModel model = CostModel::kM2;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all-minimal") == 0) {
@@ -120,6 +137,27 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--data") == 0) {
       if (++i >= argc) return Fail("--data needs a file argument");
       data_path = argv[i];
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      if (++i >= argc) return Fail("--replay needs a queries file");
+      replay_path = argv[i];
+    } else if (std::strcmp(argv[i], "--qps") == 0) {
+      if (++i >= argc) return Fail("--qps needs a rate (0 = unpaced)");
+      char* end = nullptr;
+      qps = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || qps < 0) {
+        return Fail(std::string("--qps needs a non-negative rate, got ") +
+                    argv[i]);
+      }
+    } else if (std::strcmp(argv[i], "--concurrency") == 0) {
+      if (++i >= argc) return Fail("--concurrency needs a worker count");
+      char* end = nullptr;
+      const unsigned long k = std::strtoul(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || k == 0) {
+        return Fail(
+            std::string("--concurrency needs a positive count, got ") +
+            argv[i]);
+      }
+      concurrency = static_cast<size_t>(k);
     } else if (std::strcmp(argv[i], "--model") == 0) {
       if (++i >= argc) return Fail("--model needs m1, m2, or m3");
       if (std::strcmp(argv[i], "m1") == 0) {
@@ -162,6 +200,94 @@ int main(int argc, char** argv) {
   if (!query.IsSafe()) return Fail("query is unsafe");
   for (const View& v : views) {
     if (!v.IsSafe()) return Fail("unsafe view: " + v.ToString());
+  }
+
+  // --replay: batch mode. Every query in the replay file is submitted to a
+  // PlanningService over this program's views; the one-shot enumeration and
+  // printing below are skipped entirely.
+  if (replay_path != nullptr) {
+    std::ifstream replay_in(replay_path);
+    if (!replay_in) return Fail(std::string("cannot open ") + replay_path);
+    std::stringstream replay_buffer;
+    replay_buffer << replay_in.rdbuf();
+    std::string replay_error;
+    const auto replay_queries = ParseProgram(replay_buffer.str(), &replay_error);
+    if (!replay_queries.has_value()) {
+      return Fail("replay parse error: " + replay_error);
+    }
+    if (replay_queries->empty()) return Fail("replay file has no queries");
+    for (const ConjunctiveQuery& q : *replay_queries) {
+      if (!q.IsSafe()) return Fail("unsafe replay query: " + q.ToString());
+    }
+
+    Database base;
+    if (data_path != nullptr) {
+      std::string data_error;
+      auto loaded = LoadDatabaseFile(data_path, &data_error);
+      if (!loaded.has_value()) return Fail(data_error);
+      base = std::move(*loaded);
+    }
+    ViewPlanner::Options planner_options;
+    planner_options.core_cover = options;
+    planner_options.enable_cache = enable_cache;
+    ViewPlanner planner(views, MaterializeViews(views, base), planner_options);
+
+    PlanningService::Options service_options;
+    service_options.num_workers = concurrency;
+    // The request budget governs each attempt; the deadline additionally
+    // bounds each request end to end (admission included).
+    service_options.budget = budget;
+    service_options.budget.deadline_ms = 0;
+    PlanningService service(&planner, service_options);
+
+    const double inter_arrival_ms = qps > 0 ? 1000.0 / qps : 0;
+    const Timer wall;
+    std::vector<std::future<PlanningService::PlanResponse>> futures;
+    futures.reserve(replay_queries->size());
+    for (size_t i = 0; i < replay_queries->size(); ++i) {
+      PlanningService::PlanRequest request;
+      request.query = (*replay_queries)[i];
+      request.model = model;
+      request.deadline_ms = budget.deadline_ms;
+      futures.push_back(service.Submit(std::move(request)));
+      if (inter_arrival_ms > 0 && i + 1 < replay_queries->size()) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(inter_arrival_ms));
+      }
+    }
+    size_t ok = 0, rejected = 0, shed = 0, failed = 0, cache_hits = 0;
+    for (auto& f : futures) {
+      const auto response = f.get();
+      switch (response.status) {
+        case PlanningService::ServiceStatus::kOk:
+          ++ok;
+          if (response.result.cache_hit) ++cache_hits;
+          break;
+        case PlanningService::ServiceStatus::kRejected:
+          ++rejected;
+          break;
+        case PlanningService::ServiceStatus::kShed:
+          ++shed;
+          break;
+        case PlanningService::ServiceStatus::kFailed:
+          ++failed;
+          break;
+      }
+    }
+    service.Shutdown();
+    const double elapsed_ms = wall.ElapsedMillis();
+    std::printf("%% replayed %zu request(s) in %.2f ms (%.1f qps achieved, "
+                "concurrency %zu)\n",
+                futures.size(), elapsed_ms,
+                elapsed_ms > 0 ? 1000.0 * static_cast<double>(futures.size()) /
+                                     elapsed_ms
+                               : 0.0,
+                concurrency);
+    std::printf("%% ok %zu (cache hits %zu)  rejected %zu  shed %zu  "
+                "failed %zu\n",
+                ok, cache_hits, rejected, shed, failed);
+    std::printf("%s", service.stats().ToString().c_str());
+    return failed == 0 ? 0 : 2;
   }
 
   // The standalone enumeration runs under its own governor so a --deadline-ms

@@ -56,19 +56,24 @@ void PlanCache::Erase(Shard& shard, std::list<Node>::iterator it) {
 PlanCache::EntryPtr PlanCache::Lookup(
     const QueryFingerprint& fp, CostModel model,
     const ConjunctiveQuery& minimized,
-    std::optional<Substitution>* fallback_transport) {
+    std::optional<Substitution>* fallback_transport, uint64_t epoch) {
   fallback_transport->reset();
-  const uint64_t epoch = this->epoch();
+  if (epoch == kCurrentEpoch) epoch = this->epoch();
   Shard& shard = ShardFor(fp.hash);
   std::lock_guard<std::mutex> lock(shard.mu);
+  const uint64_t current = this->epoch();
   auto [begin, end] = shard.index.equal_range(fp.hash);
   for (auto idx = begin; idx != end;) {
     const auto it = idx->second;
     if (it->epoch != epoch) {
-      // Stale entry from before the last view-set change; drop it.
       ++idx;  // advance before Erase invalidates this index iterator
-      evictions_.Increment();
-      Erase(shard, it);
+      if (it->epoch != current) {
+        // Straggler from before a view-set change; drop it. (An entry from
+        // the CURRENT epoch is kept even when the caller is pinned to an
+        // older snapshot — it is valid for everyone else.)
+        evictions_.Increment();
+        Erase(shard, it);
+      }
       continue;
     }
     if (it->model == model) {
@@ -94,9 +99,15 @@ PlanCache::EntryPtr PlanCache::Lookup(
   return nullptr;
 }
 
-void PlanCache::Insert(CostModel model, EntryPtr entry) {
+void PlanCache::Insert(CostModel model, EntryPtr entry, uint64_t epoch) {
   VBR_CHECK(entry != nullptr);
-  const uint64_t epoch = this->epoch();
+  if (epoch == kCurrentEpoch) {
+    epoch = this->epoch();
+  } else if (epoch != this->epoch()) {
+    // The planning run raced a ReplaceViews: its outcome describes a
+    // retired view set, so caching it would serve stale plans.
+    return;
+  }
   const uint64_t hash = entry->fingerprint.hash;
   Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -120,8 +131,8 @@ void PlanCache::Insert(CostModel model, EntryPtr entry) {
   }
 }
 
-void PlanCache::BumpEpoch() {
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+uint64_t PlanCache::BumpEpoch() {
+  const uint64_t next = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   // Purge eagerly so invalidated entries stop occupying capacity. Lookup
   // also skips (and drops) any straggler inserted around the bump.
   for (Shard& shard : shards_) {
@@ -130,6 +141,7 @@ void PlanCache::BumpEpoch() {
     shard.index.clear();
     shard.lru.clear();
   }
+  return next;
 }
 
 size_t PlanCache::size() const {

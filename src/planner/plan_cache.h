@@ -84,7 +84,12 @@ struct PlanCacheCounters {
 //    share of the capacity.
 //  * Epoch: BumpEpoch() (called when the view set changes) invalidates
 //    every existing entry; entries carry the epoch they were inserted
-//    under, and a lookup never returns an entry from a previous epoch.
+//    under, and a lookup never returns an entry from a different epoch.
+//    Callers that plan against an RCU view-set snapshot (planner.h) pass
+//    the snapshot's epoch explicitly, so a request that raced ReplaceViews
+//    stays internally consistent: its lookups and inserts are keyed to the
+//    view set it actually planned against, and an insert under a stale
+//    epoch is silently dropped.
 //  * Collisions: a lookup matches on the full canonical string, not just
 //    the 64-bit hash. If either fingerprint is inexact (canonical-labeling
 //    budget exhausted — pathological symmetry), the match falls back to a
@@ -100,28 +105,36 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  // Returns the entry for (fp, model) in the current epoch, or nullptr.
-  // `minimized` is the caller's minimized query (its own variable names),
-  // used only for the inexact-fingerprint isomorphism fallback; when the
-  // match came from that fallback, *fallback_transport receives the
-  // renaming entry-canonical-vars -> caller-vars (otherwise it is reset,
-  // and the caller's own from_canonical mapping applies).
+  // Sentinel for the epoch parameters below: "use the cache's current
+  // epoch" (the right choice when the caller is not pinned to a snapshot).
+  static constexpr uint64_t kCurrentEpoch = UINT64_MAX;
+
+  // Returns the entry for (fp, model) in `epoch`, or nullptr. `minimized`
+  // is the caller's minimized query (its own variable names), used only for
+  // the inexact-fingerprint isomorphism fallback; when the match came from
+  // that fallback, *fallback_transport receives the renaming
+  // entry-canonical-vars -> caller-vars (otherwise it is reset, and the
+  // caller's own from_canonical mapping applies).
   EntryPtr Lookup(const QueryFingerprint& fp, CostModel model,
                   const ConjunctiveQuery& minimized,
-                  std::optional<Substitution>* fallback_transport);
+                  std::optional<Substitution>* fallback_transport,
+                  uint64_t epoch = kCurrentEpoch);
 
-  // Inserts `entry` (keyed by entry->fingerprint) under the current epoch,
-  // evicting LRU entries as needed. Re-inserting an existing key refreshes
-  // the stored entry.
-  void Insert(CostModel model, EntryPtr entry);
+  // Inserts `entry` (keyed by entry->fingerprint) under `epoch`, evicting
+  // LRU entries as needed. Re-inserting an existing key refreshes the
+  // stored entry. An insert under an epoch that is no longer current is a
+  // no-op: the planning run raced a ReplaceViews and its outcome describes
+  // a retired view set.
+  void Insert(CostModel model, EntryPtr entry,
+              uint64_t epoch = kCurrentEpoch);
 
   // Records a deduplication hit served outside Lookup (PlanMany hands a
   // just-planned entry straight to batch duplicates).
   void RecordDedupHit();
 
   // Invalidates every entry: the epoch counter is bumped and all shards are
-  // purged (the dropped entries count as evictions).
-  void BumpEpoch();
+  // purged (the dropped entries count as evictions). Returns the new epoch.
+  uint64_t BumpEpoch();
 
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   size_t size() const;

@@ -279,19 +279,33 @@ ViewPlanner::ViewPlanner(ViewSet views, Database view_instances)
 
 ViewPlanner::ViewPlanner(ViewSet views, Database view_instances,
                          Options options)
-    : views_(std::move(views)),
-      view_instances_(std::move(view_instances)),
-      options_(options),
+    : options_(options),
       cache_(std::make_unique<PlanCache>(options.cache_capacity)) {
-  for (const View& v : views_) {
+  for (const View& v : views) {
     VBR_CHECK_MSG(v.IsSafe(), "unsafe view definition");
   }
+  auto snapshot = std::make_shared<ViewSnapshot>();
+  snapshot->views = std::move(views);
+  snapshot->instances = std::move(view_instances);
+  snapshot->epoch = cache_->epoch();
+  snapshot_ = std::move(snapshot);
 }
 
 ViewPlanner::~ViewPlanner() = default;
 
+std::shared_ptr<const ViewPlanner::ViewSnapshot> ViewPlanner::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::shared_ptr<const ViewPlanner::ViewSnapshot> ViewPlanner::snapshot()
+    const {
+  return CurrentSnapshot();
+}
+
 bool ViewPlanner::CostAndPick(
-    const ConjunctiveQuery& query, CostModel model,
+    const ViewSnapshot& vs, const ConjunctiveQuery& query, CostModel model,
     const std::vector<ConjunctiveQuery>& rewritings,
     const std::vector<Atom>& filter_atoms, PlanChoice* best,
     size_t* winner_index, bool* winner_filtered, const TraceContext& trace,
@@ -321,34 +335,35 @@ bool ViewPlanner::CostAndPick(
       }
       case CostModel::kM2: {
         if (use_filters) {
-          auto advice = AdviseFilters(logical, filter_atoms, view_instances_);
+          auto advice = AdviseFilters(logical, filter_atoms, vs.instances);
           filtered = !advice.filters_added.empty();
           logical = std::move(advice.improved);
         }
         const auto m2 =
-            OptimizeOrderM2(logical, view_instances_, span.context());
+            OptimizeOrderM2(logical, vs.instances, span.context());
         physical = m2.plan;
         cost = m2.cost;
         break;
       }
       case CostModel::kM3: {
         if (use_filters) {
-          auto advice = AdviseFilters(logical, filter_atoms, view_instances_);
+          auto advice = AdviseFilters(logical, filter_atoms, vs.instances);
           filtered = !advice.filters_added.empty();
           logical = std::move(advice.improved);
         }
         if (logical.num_subgoals() <= options_.max_m3_subgoals) {
-          const auto m3 = OptimizeM3(logical, query, views_, view_instances_,
-                                     span.context());
+          const auto m3 =
+              OptimizeM3(logical, query, vs.views, vs.instances,
+                         span.context());
           physical = m3.plan;
           cost = m3.cost;
         } else {
           // Too wide for the exhaustive M3 search: M2 order + SR drops.
           const auto m2 =
-              OptimizeOrderM2(logical, view_instances_, span.context());
+              OptimizeOrderM2(logical, vs.instances, span.context());
           physical = m2.plan;
           physical.drop_after = SupplementaryDrops(logical, physical.order);
-          cost = ExecutePlan(physical, view_instances_).TotalCost();
+          cost = ExecutePlan(physical, vs.instances).TotalCost();
         }
         break;
       }
@@ -406,18 +421,18 @@ ResourceLimits GraceLimits(const ViewPlanner::Options& options) {
 }  // namespace
 
 std::optional<EquivalenceCertificate> ViewPlanner::GraceCertify(
-    const ConjunctiveQuery& rewriting,
+    const ViewSnapshot& vs, const ConjunctiveQuery& rewriting,
     const ConjunctiveQuery& minimized) const {
   // A fresh governor shields the certification search from the exhausted
   // request governor (otherwise the dead budget would starve its own
   // recovery); the grace budget keeps it bounded.
   ResourceGovernor governor(GraceLimits(options_));
   GovernorScope scope(&governor);
-  return CertifyEquivalentRewriting(rewriting, minimized, views_);
+  return CertifyEquivalentRewriting(rewriting, minimized, vs.views);
 }
 
 ViewPlanner::PlanResult ViewPlanner::MiniConFallback(
-    const ConjunctiveQuery& query, CostModel model,
+    const ViewSnapshot& vs, const ConjunctiveQuery& query, CostModel model,
     const CoreCoverResult& cc_result, const TraceContext& trace,
     PlanExplanation* explain) const {
   PlanResult out;
@@ -432,7 +447,7 @@ ViewPlanner::PlanResult ViewPlanner::MiniConFallback(
   ResourceGovernor governor(GraceLimits(options_));
   GovernorScope scope(&governor);
   const MiniConResult mc =
-      MiniCon(query, views_, options_.core_cover.max_rewritings);
+      MiniCon(query, vs.views, options_.core_cover.max_rewritings);
   span.AddAttribute("equivalent_rewritings",
                     static_cast<uint64_t>(mc.equivalent_rewritings.size()));
   span.AddAttribute("aborted", mc.aborted);
@@ -441,7 +456,7 @@ ViewPlanner::PlanResult ViewPlanner::MiniConFallback(
   PlanChoice best;
   size_t winner = 0;
   bool winner_filtered = false;
-  VBR_CHECK(CostAndPick(query, model, mc.equivalent_rewritings, {}, &best,
+  VBR_CHECK(CostAndPick(vs, query, model, mc.equivalent_rewritings, {}, &best,
                         &winner, &winner_filtered, span.context(),
                         explain != nullptr ? &explain->candidates : nullptr));
   // MiniCon's equivalence filter already verified the winner, but PlanChoice
@@ -449,7 +464,7 @@ ViewPlanner::PlanResult ViewPlanner::MiniConFallback(
   // budget (if even that dies, report exhaustion rather than an
   // uncertified plan).
   auto certificate =
-      CertifyEquivalentRewriting(best.logical, mc.minimized_query, views_);
+      CertifyEquivalentRewriting(best.logical, mc.minimized_query, vs.views);
   if (!certificate.has_value()) return out;
   best.certificate = std::move(*certificate);
   out.choice = std::move(best);
@@ -460,7 +475,7 @@ ViewPlanner::PlanResult ViewPlanner::MiniConFallback(
 }
 
 ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
-    const ConjunctiveQuery& query, CostModel model,
+    const ViewSnapshot& vs, const ConjunctiveQuery& query, CostModel model,
     const CoreCoverOptions& cc_options, const CanonicalQuery* canonical,
     std::shared_ptr<const CachedPlan>* out_entry,
     PlanExplanation* explain) const {
@@ -474,8 +489,8 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
 
   // M1 needs only the GMRs; M2/M3 search all minimal rewritings.
   const CoreCoverResult result =
-      model == CostModel::kM1 ? CoreCover(query, views_, cc_options)
-                              : CoreCoverStar(query, views_, cc_options);
+      model == CostModel::kM1 ? CoreCover(query, vs.views, cc_options)
+                              : CoreCoverStar(query, vs.views, cc_options);
   const bool exhausted_run =
       result.status == CoreCoverStatus::kBudgetExhausted;
 
@@ -517,7 +532,8 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
   } else if (!result.has_rewriting) {
     if (exhausted_run) {
       // Nothing survived before the budget died; last rung of the ladder.
-      out = MiniConFallback(query, model, result, cc_options.trace, explain);
+      out = MiniConFallback(vs, query, model, result, cc_options.trace,
+                            explain);
     } else {
       out.status = PlanStatus::kNoRewriting;
     }
@@ -527,7 +543,7 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
     bool winner_filtered = false;
     // Under an exhausted budget the optimizers abort and report SIZE_MAX
     // costs, so the pick degrades toward emission order but stays total.
-    VBR_CHECK(CostAndPick(query, model, result.rewritings, filter_atoms,
+    VBR_CHECK(CostAndPick(vs, query, model, result.rewritings, filter_atoms,
                           &best, &winner, &winner_filtered, cc_options.trace,
                           explain != nullptr ? &explain->candidates : nullptr));
     // Certify the winner against the minimized core (the certificate covers
@@ -538,13 +554,13 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
     if (governor == nullptr || !governor->exhausted()) {
       certificate =
           CertifyEquivalentRewriting(best.logical, result.minimized_query,
-                                     views_);
+                                     vs.views);
     }
     const bool exhausted_now = governor != nullptr && governor->exhausted();
     if (!certificate.has_value() && exhausted_now) {
       // Best-so-far grace certification: the rewriting is genuine (every
       // emitted cover is), only the certification search was starved.
-      certificate = GraceCertify(best.logical, result.minimized_query);
+      certificate = GraceCertify(vs, best.logical, result.minimized_query);
       certify_span.AddAttribute("grace", true);
     }
     VBR_CHECK_MSG(certificate.has_value() || exhausted_now,
@@ -574,16 +590,19 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
   RecordBudgetMetrics(out.exhaustion);
 
   if (entry != nullptr) {
-    cache_->Insert(model, entry);
+    // Keyed to the snapshot's epoch: if a ReplaceViews landed while this
+    // request planned, the insert is a silent no-op (the outcome describes
+    // the retired view set).
+    cache_->Insert(model, entry, vs.epoch);
     if (out_entry != nullptr) *out_entry = entry;
   }
   return out;
 }
 
 ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
-    const ConjunctiveQuery& query, CostModel model, const CachedPlan& entry,
-    const Substitution& transport, const TraceContext& trace,
-    PlanExplanation* explain) const {
+    const ViewSnapshot& vs, const ConjunctiveQuery& query, CostModel model,
+    const CachedPlan& entry, const Substitution& transport,
+    const TraceContext& trace, PlanExplanation* explain) const {
   // Cache hits re-cost and re-certify against current instances, so they
   // run under the same per-request budget as a fresh plan.
   std::optional<ResourceGovernor> governor_storage;
@@ -622,7 +641,7 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
   PlanChoice best;
   size_t winner = 0;
   bool winner_filtered = false;
-  VBR_CHECK(CostAndPick(query, model, rewritings, filter_atoms, &best,
+  VBR_CHECK(CostAndPick(vs, query, model, rewritings, filter_atoms, &best,
                         &winner, &winner_filtered, trace,
                         explain != nullptr ? &explain->candidates : nullptr));
 
@@ -636,7 +655,7 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
     if (auto cached_cert = entry.certificate(winner)) {
       EquivalenceCertificate cert =
           TransportCertificate(*cached_cert, transport);
-      if (VerifyCertificate(cert, views_)) {
+      if (VerifyCertificate(cert, vs.views)) {
         best.certificate = std::move(cert);
         certified = true;
       }
@@ -647,11 +666,11 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
     std::optional<EquivalenceCertificate> certificate;
     if (governor == nullptr || !governor->exhausted()) {
       certificate =
-          CertifyEquivalentRewriting(best.logical, minimized, views_);
+          CertifyEquivalentRewriting(best.logical, minimized, vs.views);
     }
     if (!certificate.has_value() && governor != nullptr &&
         governor->exhausted()) {
-      certificate = GraceCertify(best.logical, minimized);
+      certificate = GraceCertify(vs, best.logical, minimized);
       certify_span.AddAttribute("grace", true);
     }
     if (!certificate.has_value()) {
@@ -690,18 +709,40 @@ ViewPlanner::PlanResult ViewPlanner::PlanFromEntry(
 
 ViewPlanner::PlanResult ViewPlanner::Plan(const ConjunctiveQuery& query,
                                           CostModel model) const {
-  return PlanInternal(query, model, nullptr, nullptr);
+  return PlanInternal(*CurrentSnapshot(), query, model, TraceContext{},
+                      nullptr);
 }
 
 ViewPlanner::PlanResult ViewPlanner::Plan(const ConjunctiveQuery& query,
                                           CostModel model,
                                           TraceSink* trace) const {
-  return PlanInternal(query, model, trace, nullptr);
+  return PlanInternal(*CurrentSnapshot(), query, model,
+                      TraceContext{trace, 0}, nullptr);
+}
+
+ViewPlanner::PlanResult ViewPlanner::Plan(const ConjunctiveQuery& query,
+                                          CostModel model,
+                                          const TraceContext& trace) const {
+  return PlanInternal(*CurrentSnapshot(), query, model, trace, nullptr);
+}
+
+std::optional<ViewPlanner::PlanResult> ViewPlanner::TryPlanFromCache(
+    const ConjunctiveQuery& query, CostModel model) const {
+  if (!options_.enable_cache || query.HasBuiltins()) return std::nullopt;
+  const std::shared_ptr<const ViewSnapshot> snapshot = CurrentSnapshot();
+  const CanonicalQuery canonical = CanonicalizeQuery(query);
+  std::optional<Substitution> fallback;
+  const PlanCache::EntryPtr entry =
+      cache_->Lookup(canonical.fingerprint, model, canonical.minimized,
+                     &fallback, snapshot->epoch);
+  if (entry == nullptr) return std::nullopt;
+  return PlanFromEntry(*snapshot, query, model, *entry,
+                       fallback ? *fallback : canonical.from_canonical);
 }
 
 ViewPlanner::PlanResult ViewPlanner::PlanInternal(
-    const ConjunctiveQuery& query, CostModel model, TraceSink* trace,
-    PlanExplanation* explain) const {
+    const ViewSnapshot& vs, const ConjunctiveQuery& query, CostModel model,
+    const TraceContext& trace, PlanExplanation* explain) const {
   static Counter* const plan_calls =
       MetricsRegistry::Global().GetCounter("planner.plans");
   static Histogram* const plan_us =
@@ -720,7 +761,7 @@ ViewPlanner::PlanResult ViewPlanner::PlanInternal(
     disposition = options_.enable_cache ? "bypass" : "disabled";
     CoreCoverOptions cc = options_.core_cover;
     cc.trace = span.context();
-    result = PlanViaCoreCover(query, model, cc, nullptr, nullptr, explain);
+    result = PlanViaCoreCover(vs, query, model, cc, nullptr, nullptr, explain);
   } else {
     std::optional<CanonicalQuery> canonical;
     {
@@ -733,21 +774,21 @@ ViewPlanner::PlanResult ViewPlanner::PlanInternal(
     {
       TraceSpan lookup_span(span.context(), "cache_lookup");
       entry = cache_->Lookup(canonical->fingerprint, model,
-                             canonical->minimized, &fallback);
+                             canonical->minimized, &fallback, vs.epoch);
       lookup_span.AddAttribute("outcome",
                                entry != nullptr ? "hit" : "miss");
     }
     if (entry != nullptr) {
       disposition = "hit";
-      result = PlanFromEntry(query, model, *entry,
+      result = PlanFromEntry(vs, query, model, *entry,
                              fallback ? *fallback : canonical->from_canonical,
                              span.context(), explain);
     } else {
       disposition = "miss";
       CoreCoverOptions cc = options_.core_cover;
       cc.trace = span.context();
-      result =
-          PlanViaCoreCover(query, model, cc, &*canonical, nullptr, explain);
+      result = PlanViaCoreCover(vs, query, model, cc, &*canonical, nullptr,
+                                explain);
     }
   }
   span.AddAttribute("cache", disposition);
@@ -776,7 +817,12 @@ ViewPlanner::PlanResult ViewPlanner::PlanInternal(
 ViewPlanner::PlanExplanation ViewPlanner::Explain(
     const ConjunctiveQuery& query, CostModel model, TraceSink* trace) const {
   PlanExplanation explain;
-  const PlanResult result = PlanInternal(query, model, trace, &explain);
+  // One snapshot for the planning run AND the re-measurement below, so the
+  // breakdown describes the same view generation the plan was chosen on.
+  const std::shared_ptr<const ViewSnapshot> snapshot = CurrentSnapshot();
+  const ViewSnapshot& vs = *snapshot;
+  const PlanResult result =
+      PlanInternal(vs, query, model, TraceContext{trace, 0}, &explain);
   if (!result.ok()) return explain;
 
   // Re-measure the chosen logical plan under all three cost models so the
@@ -793,17 +839,17 @@ ViewPlanner::PlanExplanation ViewPlanner::Explain(
       plan.order.push_back(i);
     }
     b.order = plan.order;
-    const PlanExecution exec = ExecutePlan(plan, view_instances_);
+    const PlanExecution exec = ExecutePlan(plan, vs.instances);
     b.relation_sizes = exec.relation_sizes;
     explain.breakdown.push_back(std::move(b));
   }
   {
-    const auto m2 = OptimizeOrderM2(logical, view_instances_);
+    const auto m2 = OptimizeOrderM2(logical, vs.instances);
     PlanExplanation::ModelBreakdown b;
     b.model = CostModel::kM2;
     b.cost = m2.cost;
     b.order = m2.plan.order;
-    const PlanExecution exec = ExecutePlan(m2.plan, view_instances_);
+    const PlanExecution exec = ExecutePlan(m2.plan, vs.instances);
     b.relation_sizes = exec.relation_sizes;
     b.state_sizes = exec.state_sizes;
     explain.breakdown.push_back(std::move(b));
@@ -814,17 +860,17 @@ ViewPlanner::PlanExplanation ViewPlanner::Explain(
     PhysicalPlan plan;
     if (logical.num_subgoals() <= options_.max_m3_subgoals) {
       const auto m3 =
-          OptimizeM3(logical, explain.minimized, views_, view_instances_);
+          OptimizeM3(logical, explain.minimized, vs.views, vs.instances);
       b.cost = m3.cost;
       plan = m3.plan;
     } else {
-      const auto m2 = OptimizeOrderM2(logical, view_instances_);
+      const auto m2 = OptimizeOrderM2(logical, vs.instances);
       plan = m2.plan;
       plan.drop_after = SupplementaryDrops(logical, plan.order);
-      b.cost = ExecutePlan(plan, view_instances_).TotalCost();
+      b.cost = ExecutePlan(plan, vs.instances).TotalCost();
     }
     b.order = plan.order;
-    const PlanExecution exec = ExecutePlan(plan, view_instances_);
+    const PlanExecution exec = ExecutePlan(plan, vs.instances);
     b.relation_sizes = exec.relation_sizes;
     b.state_sizes = exec.state_sizes;
     explain.breakdown.push_back(std::move(b));
@@ -836,6 +882,11 @@ std::vector<ViewPlanner::PlanResult> ViewPlanner::PlanMany(
     const std::vector<ConjunctiveQuery>& queries, CostModel model) const {
   std::vector<PlanResult> results(queries.size());
   if (queries.empty()) return results;
+
+  // One snapshot for the whole batch: every member plans against the same
+  // view generation even when ReplaceViews lands mid-batch.
+  const std::shared_ptr<const ViewSnapshot> snapshot = CurrentSnapshot();
+  const ViewSnapshot& vs = *snapshot;
 
   // The batch is the unit of parallelism: each query plans single-threaded
   // while the pool fans out across fingerprint groups.
@@ -904,18 +955,18 @@ std::vector<ViewPlanner::PlanResult> ViewPlanner::PlanMany(
     if (canon[lead] != nullptr) {
       std::optional<Substitution> fallback;
       entry = cache_->Lookup(canon[lead]->fingerprint, model,
-                             canon[lead]->minimized, &fallback);
+                             canon[lead]->minimized, &fallback, vs.epoch);
       if (entry != nullptr) {
         results[lead] =
-            PlanFromEntry(queries[lead], model, *entry,
+            PlanFromEntry(vs, queries[lead], model, *entry,
                           fallback ? *fallback : canon[lead]->from_canonical);
       } else {
-        results[lead] = PlanViaCoreCover(queries[lead], model, serial_cc,
+        results[lead] = PlanViaCoreCover(vs, queries[lead], model, serial_cc,
                                          canon[lead].get(), &entry);
       }
     } else {
-      results[lead] =
-          PlanViaCoreCover(queries[lead], model, serial_cc, nullptr, nullptr);
+      results[lead] = PlanViaCoreCover(vs, queries[lead], model, serial_cc,
+                                       nullptr, nullptr);
     }
     // In-flight deduplication: duplicates reuse the representative's entry
     // directly (robust against concurrent eviction) and count as hits.
@@ -926,7 +977,7 @@ std::vector<ViewPlanner::PlanResult> ViewPlanner::PlanMany(
         // The representative's run exhausted its budget, so nothing was
         // cached (a partial rewriting enumeration must not poison its
         // duplicates); each duplicate plans on its own budget instead.
-        results[idx] = PlanViaCoreCover(queries[idx], model, serial_cc,
+        results[idx] = PlanViaCoreCover(vs, queries[idx], model, serial_cc,
                                         canon[idx].get(), nullptr);
         continue;
       }
@@ -940,36 +991,45 @@ std::vector<ViewPlanner::PlanResult> ViewPlanner::PlanMany(
         transport = std::move(*iso);
       }
       cache_->RecordDedupHit();
-      results[idx] = PlanFromEntry(queries[idx], model, *entry, transport);
+      results[idx] = PlanFromEntry(vs, queries[idx], model, *entry, transport);
     }
   });
   return results;
-}
-
-std::optional<ViewPlanner::PlanChoice> ViewPlanner::PlanOrNull(
-    const ConjunctiveQuery& query, CostModel model) const {
-  PlanResult result = Plan(query, model);
-  return std::move(result.choice);
 }
 
 void ViewPlanner::ReplaceViews(ViewSet views, Database view_instances) {
   for (const View& v : views) {
     VBR_CHECK_MSG(v.IsSafe(), "unsafe view definition");
   }
-  views_ = std::move(views);
-  view_instances_ = std::move(view_instances);
-  cache_->BumpEpoch();
+  // Serialize swaps so the (epoch bump, snapshot publish) pairs of two
+  // concurrent calls cannot interleave: the published snapshot always
+  // carries the cache's current epoch.
+  std::lock_guard<std::mutex> replace_lock(replace_mu_);
+  // Bump FIRST: from this instant, in-flight requests pinned to the old
+  // snapshot can no longer insert (their epoch is stale), and any entry
+  // they race in around the bump is dropped by Lookup.
+  const uint64_t epoch = cache_->BumpEpoch();
+  auto snapshot = std::make_shared<ViewSnapshot>();
+  snapshot->views = std::move(views);
+  snapshot->instances = std::move(view_instances);
+  snapshot->epoch = epoch;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
 }
 
 Relation ViewPlanner::Execute(const PlanChoice& choice) const {
-  return ExecutePlan(choice.physical, view_instances_).answer;
+  return ExecutePlan(choice.physical, CurrentSnapshot()->instances).answer;
 }
 
 std::optional<Relation> ViewPlanner::Answer(
     const ConjunctiveQuery& query) const {
-  PlanResult result = Plan(query, CostModel::kM2);
+  // Plan and execute against ONE pinned snapshot so the answer is computed
+  // over the same instances the plan was costed on.
+  const std::shared_ptr<const ViewSnapshot> snapshot = CurrentSnapshot();
+  PlanResult result =
+      PlanInternal(*snapshot, query, CostModel::kM2, TraceContext{}, nullptr);
   if (!result.ok()) return std::nullopt;
-  return Execute(*result.choice);
+  return ExecutePlan(result.choice->physical, snapshot->instances).answer;
 }
 
 PlanCacheCounters ViewPlanner::cache_counters() const {

@@ -2,7 +2,9 @@
 #define VBR_PLANNER_PLANNER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -67,11 +69,26 @@ const char* PlanStatusName(PlanStatus status);
 // tracking instance sizes. ReplaceViews() swaps the view set and
 // invalidates the cache by bumping its epoch.
 //
-// Thread safety: Plan / PlanMany / Execute / Answer may be called
-// concurrently with each other. ReplaceViews must not race with any other
-// call (it swaps the view set the planners read).
+// Thread safety: every member function may be called concurrently with
+// every other, INCLUDING ReplaceViews. The view definitions, their
+// instances, and the cache epoch they pair with live in one immutable
+// reference-counted ViewSnapshot; each request pins the snapshot current at
+// its entry and uses it throughout, RCU-style, so a concurrent swap can
+// never show a request a torn (new views, old instances) state or let it
+// poison the cache across an epoch. The only exception is the pair of
+// borrowing accessors views() / view_instances(): the references they
+// return are stable only until the next ReplaceViews — callers that race a
+// swap should hold a snapshot() instead.
 class ViewPlanner {
  public:
+  // One immutable (views, instances, cache epoch) generation. Requests pin
+  // a snapshot for their whole lifetime; ReplaceViews publishes a new one.
+  struct ViewSnapshot {
+    ViewSet views;
+    Database instances;
+    uint64_t epoch = 0;
+  };
+
   struct PlanChoice {
     // The logical plan (rewriting over view predicates, filters included).
     ConjunctiveQuery logical;
@@ -222,6 +239,20 @@ class ViewPlanner {
   PlanResult Plan(const ConjunctiveQuery& query, CostModel model) const;
   PlanResult Plan(const ConjunctiveQuery& query, CostModel model,
                   TraceSink* trace) const;
+  // As above, but the "plan" span nests under `trace`'s parent span — used
+  // by callers that wrap planning in their own span tree (the
+  // PlanningService's per-request spans).
+  PlanResult Plan(const ConjunctiveQuery& query, CostModel model,
+                  const TraceContext& trace) const;
+
+  // Cache-only planning: serves `query` from the plan cache (re-costed and
+  // re-certified against current instances, exactly like a Plan() hit) and
+  // returns nullopt on a miss WITHOUT running the rewriting search. The
+  // PlanningService's brown-out ladder uses this to keep serving warm
+  // traffic when the breaker has shed fresh planning work. Queries the
+  // cache cannot hold (builtins, cache disabled) always miss.
+  std::optional<PlanResult> TryPlanFromCache(const ConjunctiveQuery& query,
+                                             CostModel model) const;
 
   // Plans `query` and explains the outcome. Runs the normal planning path
   // (cache included) plus extra measurement work: every candidate is
@@ -241,29 +272,34 @@ class ViewPlanner {
   std::vector<PlanResult> PlanMany(const std::vector<ConjunctiveQuery>& queries,
                                    CostModel model) const;
 
-  // Deprecated pre-PlanResult shim: collapses kNoRewriting and
-  // kUnsupportedQueryTooLarge into nullopt, exactly like the old
-  // optional-returning Plan(). Will be removed one release after the
-  // PlanResult API landed.
-  [[deprecated("use Plan(); PlanOrNull cannot distinguish 'no rewriting' "
-               "from 'unsupported query'")]]
-  std::optional<PlanChoice> PlanOrNull(const ConjunctiveQuery& query,
-                                       CostModel model) const;
-
-  // Replaces the view definitions and instances in place and invalidates
-  // the plan cache (epoch bump), preserving cache counters and options.
-  // Prefer this over constructing a new planner when the view set evolves.
-  // Must not race with concurrent Plan/Execute calls.
+  // Replaces the view definitions and instances and invalidates the plan
+  // cache (epoch bump), preserving cache counters and options. Prefer this
+  // over constructing a new planner when the view set evolves. Safe to call
+  // while Plan/Execute/Answer calls are in flight: in-flight requests
+  // finish against the snapshot they pinned at entry, and their cache
+  // traffic stays keyed to that snapshot's epoch.
   void ReplaceViews(ViewSet views, Database view_instances);
 
   // Executes a chosen plan against the view instances.
   Relation Execute(const PlanChoice& choice) const;
 
   // Convenience: Plan under M2 and Execute, or nullopt if no plan exists.
+  // Plans and executes against ONE snapshot, so the answer is consistent
+  // even when ReplaceViews lands between the two steps.
   std::optional<Relation> Answer(const ConjunctiveQuery& query) const;
 
-  const ViewSet& views() const { return views_; }
-  const Database& view_instances() const { return view_instances_; }
+  // The current (views, instances, epoch) generation. The returned snapshot
+  // is immutable and stays valid for as long as the caller holds it, even
+  // across ReplaceViews.
+  std::shared_ptr<const ViewSnapshot> snapshot() const;
+
+  // Borrowing accessors into the CURRENT snapshot. The references are
+  // stable only until the next ReplaceViews; callers that may race a swap
+  // should pin snapshot() instead.
+  const ViewSet& views() const { return CurrentSnapshot()->views; }
+  const Database& view_instances() const {
+    return CurrentSnapshot()->instances;
+  }
 
   // Plan-cache observability (all zero when the cache is disabled).
   PlanCacheCounters cache_counters() const;
@@ -271,32 +307,42 @@ class ViewPlanner {
   uint64_t cache_epoch() const;
 
  private:
+  // The snapshot every helper below plans against: pinned ONCE at the
+  // public entry point and threaded through, so one request never mixes
+  // view-set generations.
+  std::shared_ptr<const ViewSnapshot> CurrentSnapshot() const;
+
   // Shared Plan/Explain entry: plans with optional tracing and, when
   // `explain` is non-null, records candidates / cache disposition /
   // minimized core into it.
-  PlanResult PlanInternal(const ConjunctiveQuery& query, CostModel model,
-                          TraceSink* trace, PlanExplanation* explain) const;
+  PlanResult PlanInternal(const ViewSnapshot& vs,
+                          const ConjunctiveQuery& query, CostModel model,
+                          const TraceContext& trace,
+                          PlanExplanation* explain) const;
   // Runs CoreCover + costing for `query`. When `canonical` is non-null the
   // logical outcome is also inserted into the cache, and *out_entry (if
   // non-null) receives the inserted entry for in-flight deduplication.
-  PlanResult PlanViaCoreCover(const ConjunctiveQuery& query, CostModel model,
+  PlanResult PlanViaCoreCover(const ViewSnapshot& vs,
+                              const ConjunctiveQuery& query, CostModel model,
                               const CoreCoverOptions& cc_options,
                               const CanonicalQuery* canonical,
                               std::shared_ptr<const CachedPlan>* out_entry,
                               PlanExplanation* explain = nullptr) const;
   // Re-costs a cached entry for `query`. `transport` renames the entry's
   // canonical variables into the caller's.
-  PlanResult PlanFromEntry(const ConjunctiveQuery& query, CostModel model,
+  PlanResult PlanFromEntry(const ViewSnapshot& vs,
+                           const ConjunctiveQuery& query, CostModel model,
                            const CachedPlan& entry,
                            const Substitution& transport,
                            const TraceContext& trace = {},
                            PlanExplanation* explain = nullptr) const;
   // Shared costing loop: picks the cheapest candidate under `model`
-  // against the current instances. Returns false if `rewritings` is empty.
-  // With an active `trace`, emits a "cost_and_pick" span (with optimizer
-  // child spans); with a non-null `capture`, appends one Candidate per
-  // rewriting.
-  bool CostAndPick(const ConjunctiveQuery& query, CostModel model,
+  // against the snapshot's instances. Returns false if `rewritings` is
+  // empty. With an active `trace`, emits a "cost_and_pick" span (with
+  // optimizer child spans); with a non-null `capture`, appends one
+  // Candidate per rewriting.
+  bool CostAndPick(const ViewSnapshot& vs, const ConjunctiveQuery& query,
+                   CostModel model,
                    const std::vector<ConjunctiveQuery>& rewritings,
                    const std::vector<Atom>& filter_atoms, PlanChoice* best,
                    size_t* winner_index, bool* winner_filtered,
@@ -307,21 +353,27 @@ class ViewPlanner {
   // fallback_work_budget work units, shielded from the caller's (exhausted)
   // governor. Used when the request budget died mid-certification.
   std::optional<EquivalenceCertificate> GraceCertify(
-      const ConjunctiveQuery& rewriting,
+      const ViewSnapshot& vs, const ConjunctiveQuery& rewriting,
       const ConjunctiveQuery& minimized) const;
   // Last rung of the degradation ladder: the request budget died before
   // CoreCover found any rewriting. Retries with a work-budgeted MiniCon run
   // (when enable_minicon_fallback) and certifies its winner; otherwise (or
   // when MiniCon's grace budget dies too) returns kBudgetExhausted.
-  PlanResult MiniConFallback(const ConjunctiveQuery& query, CostModel model,
+  PlanResult MiniConFallback(const ViewSnapshot& vs,
+                             const ConjunctiveQuery& query, CostModel model,
                              const CoreCoverResult& cc_result,
                              const TraceContext& trace,
                              PlanExplanation* explain) const;
 
-  ViewSet views_;
-  Database view_instances_;
   Options options_;
   std::unique_ptr<PlanCache> cache_;
+  // Current snapshot, swapped wholesale by ReplaceViews. Guarded by
+  // snapshot_mu_ (a pointer copy, not a data copy — reads are O(1)).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ViewSnapshot> snapshot_;
+  // Serializes ReplaceViews calls so (epoch bump, snapshot publish) pairs
+  // cannot interleave.
+  std::mutex replace_mu_;
 };
 
 }  // namespace vbr

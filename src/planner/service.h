@@ -1,0 +1,277 @@
+#ifndef VBR_PLANNER_SERVICE_H_
+#define VBR_PLANNER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/budget.h"
+#include "common/circuit_breaker.h"
+#include "common/timer.h"
+#include "common/trace.h"
+#include "planner/planner.h"
+
+namespace vbr {
+
+// Overload-safe serving layer over ViewPlanner (see DESIGN.md "Serving and
+// overload").
+//
+// The planner itself is a library call: it plans every query it is handed,
+// however expensive, however many arrive at once. A service cannot afford
+// that — under overload, planning everything means finishing nothing on
+// time. The PlanningService therefore wraps the planner behind
+//
+//  * a bounded, deadline-aware request queue with admission control
+//    (requests are REJECTED up front when the queue is full, when their
+//    deadline provably cannot be met at the current backlog, or when the
+//    circuit breaker has opened),
+//  * a fixed pool of worker threads (the concurrency limiter),
+//  * per-request resource budgets derived from the request deadline and
+//    installed as a ResourceGovernor around the planner call,
+//  * jittered exponential-backoff retries for TRANSIENTLY faulted requests
+//    (injected faults, BudgetKind::kInjected) — genuine budget exhaustion
+//    is not transient and is never retried,
+//  * a multi-level circuit breaker (common/circuit_breaker.h) that walks a
+//    brown-out ladder under sustained failure: full planning -> shed
+//    tracing -> shrunken budgets -> cached-or-M1-only -> reject, and
+//  * graceful drain on shutdown: every admitted request reaches a terminal
+//    status; nothing is lost or completed twice.
+//
+// Accounting invariant (asserted by tests/service/stress_harness_test.cc):
+//
+//   submitted == admitted + rejected
+//   admitted  == completed + shed + failed
+//
+// `rejected` requests never entered the queue; `shed` requests were
+// admitted but dropped without planning (queue-deadline expiry, shutdown
+// shedding); `failed` requests exhausted their retry budget on a transient
+// fault; everything else completes with the planner's own PlanResult
+// (including kBudgetExhausted and kNoRewriting — those are answers, not
+// service failures, though exhaustion does feed the breaker).
+//
+// Determinism: the service itself introduces two nondeterministic inputs —
+// wall-clock deadlines and retry sleeps. Tests neutralize both: deadlines
+// are optional (and the admission estimate can be pinned via
+// `assumed_service_ms`), and the retry sleep is injectable (`sleep_ms`), so
+// a test can capture delays instead of sleeping. The breaker and the
+// backoff schedule are clock- and RNG-free by construction.
+class PlanningService {
+ public:
+  // Service-level disposition of one request. The planner-level outcome
+  // (PlanStatus) lives inside PlanResponse::result and is populated exactly
+  // when status == kOk.
+  enum class ServiceStatus {
+    // The planner ran and produced a result (any PlanStatus).
+    kOk = 0,
+    // Not admitted; reject_reason says why. The request was never queued.
+    kRejected,
+    // Admitted, then dropped without planning: its deadline expired while
+    // queued, or shutdown shed the backlog.
+    kShed,
+    // Admitted and planned, but every attempt died on a transient
+    // (injected) fault and the retry budget ran out.
+    kFailed,
+  };
+
+  enum class RejectReason {
+    kNone = 0,
+    // The bounded queue is at capacity.
+    kQueueFull,
+    // The request's deadline cannot be met given the current backlog and
+    // the observed per-request service time.
+    kDeadlineUnmeetable,
+    // The circuit breaker is at the reject level (and this request was not
+    // selected as a half-open probe).
+    kOverloaded,
+    // Shutdown() has begun; no new work is accepted.
+    kShuttingDown,
+  };
+
+  static const char* ServiceStatusName(ServiceStatus status);
+  static const char* RejectReasonName(RejectReason reason);
+
+  struct PlanRequest {
+    ConjunctiveQuery query;
+    CostModel model = CostModel::kM2;
+    // Wall-clock deadline measured from Submit(); 0 = none. Feeds the
+    // admission estimate, the queue-expiry check, and the per-request
+    // governor's deadline.
+    double deadline_ms = 0;
+    // Optional trace sink for this request's span tree. Shed (ignored) at
+    // brown-out level >= 1.
+    TraceSink* trace = nullptr;
+  };
+
+  struct PlanResponse {
+    ServiceStatus status = ServiceStatus::kRejected;
+    RejectReason reject_reason = RejectReason::kNone;
+    // The planner's outcome; meaningful only when status == kOk.
+    ViewPlanner::PlanResult result;
+    // Planning attempts made (1 + retries); 0 when never planned.
+    uint32_t attempts = 0;
+    // Brown-out level the request was served at (0 = full service).
+    uint32_t service_level = 0;
+    // True when the cached-or-M1-only rung answered from the plan cache
+    // without any rewriting search.
+    bool served_from_cache_only = false;
+    // True when the requested cost model was demoted to M1 by the ladder.
+    bool model_demoted = false;
+    // Milliseconds spent queued before a worker picked the request up.
+    double queue_wait_ms = 0;
+    std::string error;
+
+    bool ok() const { return status == ServiceStatus::kOk; }
+  };
+
+  struct Options {
+    // Worker threads (the concurrency limit). At least 1.
+    size_t num_workers = 2;
+    // Bounded queue capacity; submissions beyond it are rejected.
+    size_t max_queue = 64;
+    // Admission-time estimate of one request's service time, used for the
+    // unmeetable-deadline check. 0 = use the live EWMA of observed service
+    // times (the check is skipped until one completes); > 0 pins the
+    // estimate, which tests use for deterministic admission decisions.
+    double assumed_service_ms = 0;
+    // Retry schedule for transiently faulted requests. max_attempts counts
+    // ALL attempts (first try included).
+    BackoffPolicy retry;
+    // Seed for the backoff jitter (combined with the request id, so every
+    // request gets its own deterministic schedule).
+    uint64_t retry_seed = 0x5eed;
+    // Brown-out ladder breaker.
+    CircuitBreakerOptions breaker;
+    // Per-request budget installed (as a ResourceGovernor) around planner
+    // calls; unlimited by default. A request deadline tightens
+    // budget.deadline_ms to the time it has left at dequeue.
+    ResourceLimits budget;
+    // The SHRUNKEN budget applied at brown-out level >= 2: each limit is
+    // the stricter of `budget` and this (0 fields inherit `budget`).
+    ResourceLimits brownout_budget = ShrunkenDefault();
+    // Injectable retry sleep, for tests; null sleeps the calling worker
+    // with std::this_thread::sleep_for.
+    std::function<void(double /*delay_ms*/)> sleep_ms;
+
+   private:
+    static ResourceLimits ShrunkenDefault() {
+      ResourceLimits limits;
+      limits.work_limit = 50'000;
+      return limits;
+    }
+  };
+
+  // Cumulative service counters (monotone; snapshot under one lock, so the
+  // invariants above hold at every observation point once the queue is
+  // idle).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+    uint64_t failed = 0;
+    uint64_t rejected = 0;
+    uint64_t rejected_queue_full = 0;
+    uint64_t rejected_deadline = 0;
+    uint64_t rejected_overload = 0;
+    uint64_t rejected_shutdown = 0;
+    uint64_t retries = 0;
+    uint64_t probes = 0;
+    uint64_t deadline_misses = 0;  // completed, but past their deadline
+    uint64_t cache_only_hits = 0;
+    uint64_t model_demotions = 0;
+    size_t queue_depth = 0;
+    uint32_t breaker_level = 0;
+    uint64_t breaker_trips = 0;
+    uint64_t breaker_recoveries = 0;
+    double service_time_estimate_ms = 0;
+
+    std::string ToString() const;
+  };
+
+  enum class DrainMode {
+    // Finish every queued request before stopping (default, destructor).
+    kDrain = 0,
+    // Complete queued requests as kShed without planning them.
+    kShedPending,
+  };
+
+  // `planner` must outlive the service. The service starts its workers
+  // immediately and accepts submissions until Shutdown().
+  PlanningService(const ViewPlanner* planner, Options options);
+  ~PlanningService();
+
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  // Submits one request. The returned future becomes ready exactly once,
+  // with a terminal PlanResponse — rejections resolve it immediately.
+  // Thread-safe.
+  std::future<PlanResponse> Submit(PlanRequest request);
+
+  // Blocking convenience: Submit + wait.
+  PlanResponse Plan(PlanRequest request);
+  PlanResponse Plan(ConjunctiveQuery query, CostModel model);
+
+  // Stops the service: no new submissions are admitted, queued requests are
+  // drained or shed per `mode`, and the workers are joined. Idempotent;
+  // concurrent callers all block until the stop completes. After Shutdown,
+  // every future ever returned by Submit is ready.
+  void Shutdown(DrainMode mode = DrainMode::kDrain);
+
+  Stats stats() const;
+  const CircuitBreaker& breaker() const { return breaker_; }
+  uint32_t service_level() const { return breaker_.level(); }
+  const ViewPlanner& planner() const { return *planner_; }
+
+ private:
+  struct Request {
+    PlanRequest request;
+    std::promise<PlanResponse> promise;
+    Timer queued;       // started at admission
+    bool probe = false; // admitted as a half-open breaker probe
+    uint64_t id = 0;
+  };
+
+  void WorkerLoop();
+  // Plans one admitted request end to end (ladder, budget, retries) and
+  // fulfils its promise. Called on a worker thread.
+  void Serve(Request& request);
+  // Resolves `request` as kShed with `why`, updating accounting.
+  void Shed(Request& request, const std::string& why, bool record_failure);
+  // The effective brown-out rung for a request about to be planned.
+  uint32_t EffectiveLevel() const;
+  // The governor limits for one attempt at `level`, given the request has
+  // `remaining_ms` of its deadline left (0 = no deadline).
+  ResourceLimits AttemptLimits(uint32_t level, double remaining_ms) const;
+
+  const ViewPlanner* const planner_;
+  const Options options_;
+  CircuitBreaker breaker_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Request>> queue_;  // guarded by mu_
+  bool stopping_ = false;                       // guarded by mu_
+  DrainMode drain_mode_ = DrainMode::kDrain;    // guarded by mu_
+  bool joined_ = false;                         // guarded by mu_
+  uint64_t next_id_ = 0;                        // guarded by mu_
+  Stats stats_;                                 // guarded by mu_
+  double ewma_service_ms_ = 0;                  // guarded by mu_
+  bool ewma_valid_ = false;                     // guarded by mu_
+
+  std::mutex join_mu_;  // serializes the join in Shutdown
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_PLANNER_SERVICE_H_

@@ -1,0 +1,74 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace vbr {
+namespace {
+
+TEST(BackoffTest, FirstAttemptHasNoDelay) {
+  BackoffPolicy policy;
+  EXPECT_EQ(policy.DelayMs(0, 42), 0.0);
+}
+
+TEST(BackoffTest, GrowsExponentiallyWithoutJitter) {
+  BackoffPolicy policy;
+  policy.base_ms = 2.0;
+  policy.multiplier = 3.0;
+  policy.max_ms = 1000.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.DelayMs(1, 7), 2.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(2, 7), 6.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(3, 7), 18.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(4, 7), 54.0);
+}
+
+TEST(BackoffTest, CapsAtMaxDelay) {
+  BackoffPolicy policy;
+  policy.base_ms = 1.0;
+  policy.multiplier = 10.0;
+  policy.max_ms = 50.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.DelayMs(10, 0), 50.0);
+  // Large attempt numbers terminate (the loop stops once at the cap).
+  EXPECT_DOUBLE_EQ(policy.DelayMs(1'000'000, 0), 50.0);
+}
+
+TEST(BackoffTest, JitterStaysWithinTheConfiguredBand) {
+  BackoffPolicy policy;
+  policy.base_ms = 8.0;
+  policy.multiplier = 2.0;
+  policy.max_ms = 1000.0;
+  policy.jitter = 0.5;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const double d = policy.DelayMs(3, seed);  // un-jittered: 32 ms
+    EXPECT_GE(d, 16.0) << "seed " << seed;
+    EXPECT_LE(d, 32.0) << "seed " << seed;
+  }
+}
+
+TEST(BackoffTest, DeterministicPerSeedAndAttempt) {
+  BackoffPolicy policy;
+  for (uint32_t attempt = 1; attempt <= 5; ++attempt) {
+    EXPECT_DOUBLE_EQ(policy.DelayMs(attempt, 123),
+                     policy.DelayMs(attempt, 123));
+  }
+}
+
+TEST(BackoffTest, SeedsSpreadTheSchedule) {
+  BackoffPolicy policy;
+  policy.base_ms = 100.0;
+  policy.max_ms = 1000.0;
+  policy.jitter = 0.9;
+  // Not a statistical test — just that jitter is not a constant offset.
+  bool saw_distinct = false;
+  const double first = policy.DelayMs(2, 0);
+  for (uint64_t seed = 1; seed < 32 && !saw_distinct; ++seed) {
+    saw_distinct = policy.DelayMs(2, seed) != first;
+  }
+  EXPECT_TRUE(saw_distinct);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,154 @@
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace vbr {
+namespace {
+
+CircuitBreakerOptions SmallOptions() {
+  CircuitBreakerOptions options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.trip_threshold = 0.5;
+  options.clear_threshold = 0.1;
+  options.cooldown = 4;
+  options.num_levels = 3;
+  options.probe_interval = 3;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsHealthyAndAdmits) {
+  CircuitBreaker breaker(SmallOptions());
+  EXPECT_EQ(breaker.level(), 0u);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kAdmit);
+  EXPECT_EQ(breaker.trips(), 0u);
+  EXPECT_DOUBLE_EQ(breaker.failure_rate(), 0.0);
+}
+
+TEST(CircuitBreakerTest, SustainedFailureWalksTheLadderUp) {
+  CircuitBreaker breaker(SmallOptions());
+  // min_samples = cooldown = 4: four failures trip one level, and the
+  // window resets, so each further rung takes four more.
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.level(), 1u);
+  EXPECT_EQ(breaker.trips(), 1u);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.level(), 2u);  // reject level for num_levels = 3
+  EXPECT_EQ(breaker.trips(), 2u);
+  // Already at the top: more failures do not overshoot.
+  for (int i = 0; i < 8; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.level(), 2u);
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST(CircuitBreakerTest, SustainedSuccessWalksBackDown) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 8; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.level(), 2u);
+  for (int i = 0; i < 4; ++i) breaker.RecordSuccess();
+  EXPECT_EQ(breaker.level(), 1u);
+  EXPECT_EQ(breaker.recoveries(), 1u);
+  for (int i = 0; i < 4; ++i) breaker.RecordSuccess();
+  EXPECT_EQ(breaker.level(), 0u);
+  EXPECT_EQ(breaker.recoveries(), 2u);
+}
+
+TEST(CircuitBreakerTest, MixedTrafficBelowThresholdHoldsLevel) {
+  CircuitBreaker breaker(SmallOptions());
+  // 25% failures: above clear (10%), below trip (50%) — level holds.
+  for (int round = 0; round < 8; ++round) {
+    breaker.RecordFailure();
+    breaker.RecordSuccess();
+    breaker.RecordSuccess();
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.level(), 0u);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, RejectLevelProbesPeriodically) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 8; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.level(), breaker.reject_level());
+  // probe_interval = 3: every third admission is a half-open probe.
+  std::vector<CircuitBreaker::Admission> admissions;
+  for (int i = 0; i < 9; ++i) admissions.push_back(breaker.Admit());
+  int probes = 0;
+  for (size_t i = 0; i < admissions.size(); ++i) {
+    if ((i + 1) % 3 == 0) {
+      EXPECT_EQ(admissions[i], CircuitBreaker::Admission::kProbe) << i;
+      ++probes;
+    } else {
+      EXPECT_EQ(admissions[i], CircuitBreaker::Admission::kReject) << i;
+    }
+  }
+  EXPECT_EQ(probes, 3);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessesRecoverFromReject) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 8; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.level(), breaker.reject_level());
+  // Simulate the service loop: probes get through and succeed.
+  int served = 0;
+  for (int i = 0; i < 64 && breaker.level() > 0; ++i) {
+    if (breaker.Admit() != CircuitBreaker::Admission::kReject) {
+      breaker.RecordSuccess();
+      ++served;
+    }
+  }
+  EXPECT_EQ(breaker.level(), 0u);
+  // Recovery required genuine traffic, not rejections.
+  EXPECT_GE(served, 8);
+  EXPECT_EQ(breaker.recoveries(), 2u);
+}
+
+TEST(CircuitBreakerTest, CooldownPreventsSprintingTheLadder) {
+  CircuitBreakerOptions options = SmallOptions();
+  options.window = 8;
+  options.min_samples = 2;
+  options.cooldown = 6;
+  CircuitBreaker breaker(options);
+  // Two failures satisfy min_samples but not the cooldown; the breaker
+  // waits for six outcomes after construction (and after each move).
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.level(), 0u);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.level(), 1u);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, WindowEvictsOldOutcomes) {
+  CircuitBreakerOptions options = SmallOptions();
+  options.cooldown = 100;  // never move levels; observe the window only
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 8; ++i) breaker.RecordFailure();
+  EXPECT_DOUBLE_EQ(breaker.failure_rate(), 1.0);
+  for (int i = 0; i < 8; ++i) breaker.RecordSuccess();
+  EXPECT_DOUBLE_EQ(breaker.failure_rate(), 0.0);
+}
+
+TEST(CircuitBreakerTest, DeterministicTrajectoryForAFixedSequence) {
+  // The level trajectory is a pure function of the outcome sequence.
+  auto run = [] {
+    CircuitBreaker breaker(SmallOptions());
+    std::vector<uint32_t> trajectory;
+    for (int i = 0; i < 40; ++i) {
+      if (i % 3 == 0) {
+        breaker.RecordSuccess();
+      } else {
+        breaker.RecordFailure();
+      }
+      trajectory.push_back(breaker.level());
+    }
+    return trajectory;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace vbr

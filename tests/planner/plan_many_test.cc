@@ -5,12 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "cq/parser.h"
 #include "cq/rename.h"
 #include "cq/substitution.h"
 #include "engine/materialize.h"
 #include "planner/plan_cache.h"
 #include "planner/planner.h"
+#include "rewrite/certificate.h"
 #include "tests/rewrite/fixtures.h"
 #include "workload/data_gen.h"
 #include "workload/generator.h"
@@ -118,6 +120,74 @@ TEST(PlanManyTest, DeduplicatesInFlight) {
   // Each result speaks the caller's variable names.
   EXPECT_EQ(results[1].choice->logical.ToString(), "q1(T,D) :- v4(N,a,D,T)");
   EXPECT_EQ(results[0].choice->logical.ToString(), "q1(S,C) :- v4(M,a,C,S)");
+}
+
+// Regression: the in-flight dedup must hand EVERY waiter an independent,
+// fully populated PlanResult — its own cache_hit/degraded/exhaustion flags
+// and its own certified choice — never a half-copied or shared one.
+TEST(PlanManyTest, DedupPropagatesFlagsToEveryWaiter) {
+  const ViewSet views = CarLocPartViews();
+  ViewPlanner planner(views, MaterializeViews(views, Database{}));
+  std::vector<ConjunctiveQuery> batch;
+  batch.push_back(CarLocPartQuery());
+  for (int i = 0; i < 3; ++i) {
+    Substitution renaming;
+    batch.push_back(RenameVariablesApart(CarLocPartQuery(),
+                                         "w" + std::to_string(i), &renaming));
+  }
+  const auto results = planner.PlanMany(batch, CostModel::kM1);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_FALSE(results[0].cache_hit);
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "waiter " << i;
+    EXPECT_TRUE(results[i].cache_hit) << "waiter " << i;
+    EXPECT_FALSE(results[i].degraded) << "waiter " << i;
+    EXPECT_EQ(results[i].exhaustion.kind, BudgetKind::kNone) << "waiter " << i;
+    // The waiter's stats describe the ONE CoreCover run all members share.
+    EXPECT_EQ(results[i].stats.num_view_tuples, results[0].stats.num_view_tuples);
+    EXPECT_EQ(results[i].stats.minimum_cover_size,
+              results[0].stats.minimum_cover_size);
+    // Each waiter's certificate is transported into ITS variables and must
+    // re-verify on its own.
+    ASSERT_TRUE(results[i].choice.has_value());
+    EXPECT_TRUE(VerifyCertificate(results[i].choice->certificate, views))
+        << "waiter " << i;
+  }
+}
+
+// Regression: when the representative's run exhausts its budget, nothing is
+// cached — each duplicate must re-plan on ITS OWN budget and report its own
+// exhaustion, not inherit the leader's (or a blank) one.
+TEST(PlanManyTest, DedupExhaustedLeaderDoesNotPoisonWaiters) {
+  WorkloadConfig wc;
+  wc.num_query_subgoals = 4;
+  wc.num_views = 8;
+  wc.seed = 9;
+  const Workload w = GenerateWorkload(wc);
+
+  ViewPlanner::Options options;
+  options.budget.work_limit = 1;  // dies before any rewriting is found
+  options.enable_minicon_fallback = false;
+  ViewPlanner planner(w.views, Database{}, options);
+
+  std::vector<ConjunctiveQuery> batch;
+  batch.push_back(w.query);
+  for (int i = 0; i < 2; ++i) {
+    Substitution renaming;
+    batch.push_back(
+        RenameVariablesApart(w.query, "x" + std::to_string(i), &renaming));
+  }
+  const auto results = planner.PlanMany(batch, CostModel::kM1);
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status, PlanStatus::kBudgetExhausted) << "i=" << i;
+    EXPECT_FALSE(results[i].cache_hit) << "i=" << i;
+    EXPECT_EQ(results[i].exhaustion.kind, BudgetKind::kWork) << "i=" << i;
+    EXPECT_FALSE(results[i].exhaustion.site.empty()) << "i=" << i;
+    EXPECT_FALSE(results[i].error.empty()) << "i=" << i;
+  }
+  // Nothing was cached for the exhausted fingerprint.
+  EXPECT_EQ(planner.cache_size(), 0u);
 }
 
 TEST(PlanManyTest, ReplaceViewsInvalidatesCachedPlans) {

@@ -29,6 +29,7 @@
 #include "baseline/minicon.h"
 #include "common/budget.h"
 #include "common/trace.h"
+#include "planner/service.h"
 #include "rewrite/certificate.h"
 #include "rewrite/core_cover.h"
 #include "workload/generator.h"
@@ -196,6 +197,60 @@ std::string ReplayHint(QueryShape shape, uint64_t seed) {
   return ::testing::AssertionSuccess();
 }
 
+// Service-path phase: an UNLOADED PlanningService (one worker, empty queue,
+// breaker at full service, no budgets) must be a pure pass-through — its
+// response for every case is byte-identical to a direct ViewPlanner::Plan
+// against an identically configured, equally fresh planner.
+std::string PlanResultKey(const ViewPlanner::PlanResult& r) {
+  std::string key = std::string(PlanStatusName(r.status)) + "|" +
+                    (r.cache_hit ? "hit" : "miss") + "|" +
+                    (r.degraded ? "degraded" : "full") + "|" +
+                    std::to_string(static_cast<int>(r.exhaustion.kind)) + "|" +
+                    r.exhaustion.site + "|" + r.error + "|";
+  if (r.choice.has_value()) {
+    key += r.choice->ToString() + "|" + r.choice->certificate.ToString();
+  }
+  return key;
+}
+
+::testing::AssertionResult RunServiceParityCase(QueryShape shape,
+                                                uint64_t seed) {
+  const Workload w = GenerateWorkload(DiffConfig(shape, seed));
+  const std::string label = "[service shape=" + std::string(ShapeName(shape)) +
+                            " seed=" + std::to_string(seed) + "] ";
+  for (CostModel model : {CostModel::kM1, CostModel::kM2}) {
+    ViewPlanner direct(w.views, Database{});
+    const std::string expected = PlanResultKey(direct.Plan(w.query, model));
+
+    ViewPlanner backing(w.views, Database{});
+    PlanningService::Options options;
+    options.num_workers = 1;
+    PlanningService service(&backing, options);
+    const auto response = service.Plan(w.query, model);
+    if (response.status != PlanningService::ServiceStatus::kOk) {
+      return ::testing::AssertionFailure()
+             << label << "unloaded service did not complete: "
+             << PlanningService::ServiceStatusName(response.status) << " ("
+             << response.error << ")\n" << ReplayHint(shape, seed);
+    }
+    if (response.service_level != 0 || response.attempts != 1 ||
+        response.model_demoted || response.served_from_cache_only) {
+      return ::testing::AssertionFailure()
+             << label << "unloaded service took a degraded path (level="
+             << response.service_level << " attempts=" << response.attempts
+             << ")\n" << ReplayHint(shape, seed);
+    }
+    const std::string got = PlanResultKey(response.result);
+    if (got != expected) {
+      return ::testing::AssertionFailure()
+             << label << "service result diverged from direct Plan\n"
+             << "direct:  " << expected << "\nservice: " << got << "\n"
+             << ReplayHint(shape, seed);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
 class RandomDifferentialTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(RandomDifferentialTest, GeneratorsAgreeAndCertify) {
@@ -225,6 +280,17 @@ TEST_P(RandomDifferentialTest, BudgetExhaustedResultsStillCertify) {
     for (QueryShape shape :
          {QueryShape::kStar, QueryShape::kChain, QueryShape::kRandom}) {
       EXPECT_TRUE(RunBudgetedCase(shape, seed));
+    }
+  }
+}
+
+TEST_P(RandomDifferentialTest, ServicePathMatchesDirectPlan) {
+  const size_t block = GetParam();
+  for (size_t i = 0; i < kSeedsPerBlock; ++i) {
+    const uint64_t seed = 1 + block * kSeedsPerBlock + i;
+    for (QueryShape shape :
+         {QueryShape::kStar, QueryShape::kChain, QueryShape::kRandom}) {
+      EXPECT_TRUE(RunServiceParityCase(shape, seed));
     }
   }
 }
