@@ -1,0 +1,88 @@
+#!/bin/sh
+# Perf-smoke gate for the containment hot path: runs bench_containment with
+# fixed settings and fails when any benchmark's checks/sec regresses by more
+# than the tolerance factor against the committed baseline
+# (bench/perf_baseline.json). Benchmarks are deterministic fixed-shape
+# queries, so run-to-run noise comes only from the machine; the factor is
+# deliberately loose (2x) to gate real algorithmic regressions, not CI
+# scheduling jitter.
+#
+# Usage: scripts/check_perf_smoke.sh           # gate against the baseline
+#        scripts/check_perf_smoke.sh --update  # rewrite the baseline instead
+# The build tree is build-perf/ unless BUILD_DIR is set.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-perf}
+BASELINE=bench/perf_baseline.json
+MODE=${1:-check}
+
+# Repo-default build type (RelWithDebInfo) — the committed baseline was
+# captured under it, so the comparison must use it too.
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_containment
+
+RESULTS=$(mktemp)
+trap 'rm -f "$RESULTS"' EXIT
+"$BUILD_DIR"/bench/bench_containment \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true >"$RESULTS"
+
+MODE="$MODE" BASELINE="$BASELINE" RESULTS="$RESULTS" python3 - <<'EOF'
+import json
+import os
+import sys
+
+results_path = os.environ["RESULTS"]
+baseline_path = os.environ["BASELINE"]
+update = os.environ["MODE"] == "--update"
+
+with open(results_path) as f:
+    report = json.load(f)
+
+# checks/sec from the median aggregate; every benchmark reports in us.
+measured = {}
+for bench in report["benchmarks"]:
+    if not bench["name"].endswith("_median"):
+        continue
+    name = bench["name"][: -len("_median")]
+    assert bench["time_unit"] == "us", bench
+    measured[name] = 1e6 / bench["real_time"]
+
+if not measured:
+    sys.exit("no median aggregates in the benchmark report")
+
+with open(baseline_path) as f:
+    baseline = json.load(f)
+
+if update:
+    baseline["checks_per_second"] = {
+        name: round(cps, 1) for name, cps in sorted(measured.items())
+    }
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"updated {baseline_path} with {len(measured)} benchmarks")
+    sys.exit(0)
+
+factor = baseline["tolerance_factor"]
+expected = baseline["checks_per_second"]
+failures = []
+for name, want in sorted(expected.items()):
+    got = measured.get(name)
+    if got is None:
+        failures.append(f"{name}: missing from the benchmark report")
+        continue
+    ratio = want / got
+    status = "FAIL" if ratio > factor else "ok"
+    print(f"{status:>4}  {name:<34} {got:>12.0f} checks/s"
+          f"  (baseline {want:.0f}, {ratio:.2f}x slower allowed {factor}x)")
+    if ratio > factor:
+        failures.append(f"{name}: {ratio:.2f}x slower than baseline")
+
+if failures:
+    sys.exit("perf smoke FAILED:\n  " + "\n  ".join(failures))
+print(f"perf smoke passed: {len(expected)} benchmarks within {factor}x")
+EOF

@@ -19,13 +19,15 @@ namespace {
 // with distinguished query variables landing on tuple arguments? This is
 // the bucket algorithm's per-subgoal filter — necessary, not sufficient.
 bool TupleCanCoverSubgoal(const Atom& subgoal, const Atom& tuple_atom,
-                          const std::vector<Atom>& tuple_expansion,
+                          const AtomIndex& expansion_index,
                           const ConjunctiveQuery& query) {
-  for (const Atom& target : tuple_expansion) {
-    if (target.predicate() != subgoal.predicate() ||
-        target.arity() != subgoal.arity()) {
-      continue;
-    }
+  // (predicate, arity) bucket lookup; constants are NOT prefiltered — the
+  // bucket algorithm lets a query constant select on a view variable, so
+  // only the shape is sound to filter on here.
+  const auto [b, e] = expansion_index.Bucket(
+      subgoal.predicate(), static_cast<uint32_t>(subgoal.arity()));
+  for (uint32_t k = b; k < e; ++k) {
+    const Atom& target = *expansion_index.entries()[k].atom;
     bool ok = true;
     Substitution partial;
     for (size_t i = 0; i < subgoal.arity() && ok; ++i) {
@@ -69,19 +71,26 @@ BucketResult BucketAlgorithm(const ConjunctiveQuery& query,
   const ConjunctiveQuery minimal = Minimize(query);
   const std::vector<ViewTuple> tuples = ComputeViewTuples(minimal, views);
 
-  // Pre-expand each tuple once.
+  // Pre-expand and index each tuple once; every query subgoal probes the
+  // same expansion, so the (predicate, arity) buckets amortize across the
+  // whole bucket-filling pass.
   std::vector<std::vector<Atom>> expansions;
   expansions.reserve(tuples.size());
   for (const ViewTuple& t : tuples) {
     expansions.push_back(
         ExpandViewAtom(t.atom, views[t.view_index]));
   }
+  std::vector<AtomIndex> expansion_indexes;
+  expansion_indexes.reserve(expansions.size());
+  for (const std::vector<Atom>& exp : expansions) {
+    expansion_indexes.emplace_back(exp);
+  }
 
   result.buckets.resize(minimal.num_subgoals());
   for (size_t i = 0; i < minimal.num_subgoals(); ++i) {
     for (size_t j = 0; j < tuples.size(); ++j) {
       if (TupleCanCoverSubgoal(minimal.subgoal(i), tuples[j].atom,
-                               expansions[j], minimal)) {
+                               expansion_indexes[j], minimal)) {
         result.buckets[i].push_back(tuples[j].atom);
       }
     }

@@ -11,6 +11,7 @@
 #include "common/budget.h"
 #include "common/check.h"
 #include "cq/containment.h"
+#include "cq/homomorphism.h"
 #include "cq/term.h"
 #include "rewrite/expansion.h"
 #include "rewrite/rewriting.h"
@@ -126,10 +127,21 @@ class McdBuilder {
     std::set<std::string> seen;
     for (size_t vi = 0; vi < views_.size() && !aborted_; ++vi) {
       const View& view = views_[vi];
+      // One (predicate, arity) index per view, shared by every seed and
+      // every Grow branch. Constants are NOT filtered on: MiniCon lets a
+      // query constant select on a view variable (AttachConstant), so only
+      // the predicate/arity shape is sound to prefilter here.
+      const AtomIndex view_body_index(view.body());
       for (size_t seed = 0; seed < query_.num_subgoals() && !aborted_;
            ++seed) {
+        const Atom& g = query_.subgoal(seed);
+        const auto [b, e] = view_body_index.Bucket(
+            g.predicate(), static_cast<uint32_t>(g.arity()));
+        // No subgoal of this view shares the seed's shape: no MCD of this
+        // (view, seed) pair exists, skip before building any state.
+        if (b == e) continue;
         McdState state{ViewVarClasses(view), {}, 0, {seed}};
-        Grow(vi, std::move(state), &result, &seen);
+        Grow(vi, view_body_index, std::move(state), &result, &seen);
       }
     }
     *aborted |= aborted_;
@@ -138,7 +150,8 @@ class McdBuilder {
 
  private:
   // Processes the agenda depth-first, branching over target atoms.
-  void Grow(size_t view_index, McdState state, std::vector<Mcd>* out,
+  void Grow(size_t view_index, const AtomIndex& view_body_index,
+            McdState state, std::vector<Mcd>* out,
             std::set<std::string>* seen) {
     // The builder runs serially, so this checkpoint latches a work budget
     // deterministically; one work unit per search node.
@@ -164,16 +177,16 @@ class McdBuilder {
       return;
     }
     const Atom& g = query_.subgoal(subgoal);
-    const View& view = views_[view_index];
-    for (const Atom& target : view.body()) {
-      if (target.predicate() != g.predicate() ||
-          target.arity() != g.arity()) {
-        continue;
-      }
+    // Bucket lookup replaces the full body scan; original body order is
+    // preserved inside the bucket, so branches are explored as before.
+    const auto [b, e] = view_body_index.Bucket(
+        g.predicate(), static_cast<uint32_t>(g.arity()));
+    for (uint32_t k = b; k < e; ++k) {
+      const Atom& target = *view_body_index.entries()[k].atom;
       McdState branch = state;  // Copy-per-branch keeps backtracking simple.
       branch.covered |= uint64_t{1} << subgoal;
       if (MatchAtom(g, target, &branch)) {
-        Grow(view_index, std::move(branch), out, seen);
+        Grow(view_index, view_body_index, std::move(branch), out, seen);
       }
     }
   }
@@ -344,7 +357,12 @@ MiniConResult MiniCon(const ConjunctiveQuery& query, const ViewSet& views,
   VBR_CHECK_MSG(!query.HasBuiltins(),
                 "MiniCon requires comparison-free queries");
   MiniConResult result;
-  result.minimized_query = Minimize(query);
+  bool minimize_complete = true;
+  result.minimized_query = Minimize(query, &minimize_complete);
+  // An exhausted minimization leaves a non-minimal (but equivalent) query;
+  // MCDs over it are still individually valid, but the run must report
+  // itself as incomplete rather than pretend the enumeration was exhaustive.
+  if (!minimize_complete) result.aborted = true;
   if (result.minimized_query.num_subgoals() > 64) {
     // An aborted minimization can leave more than 64 subgoals on a query
     // whose true minimization fits; report an aborted (empty) run rather

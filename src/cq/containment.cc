@@ -1,9 +1,14 @@
 #include "cq/containment.h"
 
+#include <algorithm>
+#include <functional>
+#include <vector>
+
 #include "common/budget.h"
 #include "common/check.h"
 #include "common/metrics.h"
 #include "cq/homomorphism.h"
+#include "cq/signature.h"
 
 namespace vbr {
 
@@ -35,52 +40,121 @@ void CheckNoBuiltins(const ConjunctiveQuery& q) {
                 "containment tests require comparison-free queries");
 }
 
-}  // namespace
-
-bool IsContainmentMapping(const ConjunctiveQuery& source,
-                          const ConjunctiveQuery& target,
-                          const Substitution& mapping) {
-  if (mapping.Apply(source.head()).args() != target.head().args()) {
-    return false;
-  }
-  for (const Atom& atom : source.body()) {
-    const Atom mapped = mapping.Apply(atom);
-    bool found = false;
-    for (const Atom& candidate : target.body()) {
-      if (candidate == mapped) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) return false;
-  }
-  return true;
-}
-
-std::optional<Substitution> FindContainmentMapping(
-    const ConjunctiveQuery& source, const ConjunctiveQuery& target) {
-  CheckNoBuiltins(source);
-  CheckNoBuiltins(target);
+// Accounts for one containment-mapping attempt: bumps the process-wide
+// check counter and charges one unit of governed work. Returns false when
+// the budget is already gone and the attempt must not run.
+bool ChargeContainmentAttempt() {
   // Process-wide count of containment (homomorphism) searches: the unit of
   // work every rewriting algorithm bottoms out in.
   static Counter* const checks =
       MetricsRegistry::Global().GetCounter("cq.containment_checks");
   checks->Increment();
-  // Each mapping attempt is one unit of governed work. An attempt skipped
-  // because the budget is gone reports "no mapping", the conservative
-  // direction for every caller (Minimize keeps the subgoal, covers and
-  // equivalence filters drop the candidate).
   if (ResourceGovernor* governor = ResourceGovernor::Current()) {
     governor->ChargeWork(1);
-    if (!governor->KeepGoing("cq.containment")) return std::nullopt;
+    if (!governor->KeepGoing("cq.containment")) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsContainmentMapping(const ConjunctiveQuery& source,
+                          const ConjunctiveQuery& target,
+                          const Substitution& mapping) {
+  // Certificates assert equivalence of answer relations, so the heads must
+  // name the same relation; args() comparison below covers arity.
+  if (source.head().predicate() != target.head().predicate()) return false;
+  if (mapping.Apply(source.head()).args() != target.head().args()) {
+    return false;
+  }
+  // Sort target body once, then binary-search each mapped source atom:
+  // O((n + m) log n) instead of the quadratic scan.
+  std::vector<const Atom*> sorted;
+  sorted.reserve(target.body().size());
+  for (const Atom& a : target.body()) sorted.push_back(&a);
+  const auto less = [](const Atom* a, const Atom* b) {
+    if (a->predicate() != b->predicate()) {
+      return a->predicate() < b->predicate();
+    }
+    return a->args() < b->args();
+  };
+  std::sort(sorted.begin(), sorted.end(), less);
+  for (const Atom& atom : source.body()) {
+    const Atom mapped = mapping.Apply(atom);
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), &mapped, less);
+    if (it == sorted.end() || !(**it == mapped)) return false;
+  }
+  return true;
+}
+
+ContainmentSearch FindContainmentMappingEx(const ConjunctiveQuery& source,
+                                           const ConjunctiveQuery& target) {
+  CheckNoBuiltins(source);
+  CheckNoBuiltins(target);
+  // Each mapping attempt is one unit of governed work. An attempt skipped
+  // because the budget is gone reports "no mapping, incomplete"; callers
+  // that treat nullopt as a proof must consult `complete` (Minimize does).
+  if (!ChargeContainmentAttempt()) return {std::nullopt, false};
+  // O(1) signature prefilter: a rejected pair provably has no mapping, and
+  // the verdict is complete without any search.
+  static Counter* const prefiltered = MetricsRegistry::Global().GetCounter(
+      "cq.containment_prefilter_rejects");
+  if (!QuerySignatureMayMap(ComputeQuerySignature(source),
+                            ComputeQuerySignature(target))) {
+    prefiltered->Increment();
+    return {std::nullopt, true};
   }
   std::optional<Substitution> seed = SeedFromHeads(source, target);
-  if (!seed.has_value()) return std::nullopt;
-  return FindHomomorphism(source.body(), target.body(), *seed);
+  if (!seed.has_value()) return {std::nullopt, true};
+  const AtomIndex index(target.body());
+  std::optional<Substitution> found;
+  bool aborted = false;
+  ForEachHomomorphism(
+      source.body(), index, *seed,
+      [&](const Substitution& h) {
+        found = h;
+        return false;  // Stop at the first hit.
+      },
+      /*exclude_mask=*/0, &aborted);
+  return {std::move(found), !aborted};
+}
+
+std::optional<Substitution> FindContainmentMapping(
+    const ConjunctiveQuery& source, const ConjunctiveQuery& target) {
+  return FindContainmentMappingEx(source, target).mapping;
 }
 
 bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
-  return FindContainmentMapping(q2, q1).has_value();
+  // Governed checks bypass the memo: their searches can be cut short (the
+  // verdict would be unsound to reuse) and a hit would change how much
+  // governed work this request performs, breaking budget determinism.
+  if (ResourceGovernor::Current() != nullptr) {
+    return FindContainmentMapping(q2, q1).has_value();
+  }
+  // Tiny pairs bypass the memo too: below this size the prefiltered search
+  // itself is cheaper than serializing two keys and taking a shard lock, so
+  // memoization is a net loss (measured on the Figure 6 star pipeline,
+  // whose view-equivalence grouping issues thousands of 1-3 subgoal
+  // checks). The memo pays for itself on the deep searches.
+  if (q1.num_subgoals() + q2.num_subgoals() <= 6) {
+    return FindContainmentMapping(q2, q1).has_value();
+  }
+  static Counter* const hits =
+      MetricsRegistry::Global().GetCounter("cq.containment_memo_hits");
+  static Counter* const misses =
+      MetricsRegistry::Global().GetCounter("cq.containment_memo_misses");
+  ContainmentMemo& memo = ContainmentMemo::Global();
+  const std::string key = ContainmentMemo::KeyFor(q2, q1);
+  if (std::optional<bool> cached = memo.Lookup(key)) {
+    hits->Increment();
+    return *cached;
+  }
+  misses->Increment();
+  // Ungoverned searches always run to completion, so the verdict is safe to
+  // memoize unconditionally.
+  const bool verdict = FindContainmentMapping(q2, q1).has_value();
+  memo.Insert(key, verdict);
+  return verdict;
 }
 
 bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
@@ -92,21 +166,120 @@ bool IsProperlyContainedIn(const ConjunctiveQuery& q1,
   return IsContainedIn(q1, q2) && !IsContainedIn(q2, q1);
 }
 
-ConjunctiveQuery Minimize(const ConjunctiveQuery& q) {
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q, bool* complete) {
   CheckNoBuiltins(q);
   VBR_CHECK_MSG(q.IsSafe(), "cannot minimize an unsafe query");
+  if (complete != nullptr) *complete = true;
   ConjunctiveQuery current = q;
   bool changed = true;
   while (changed) {
     changed = false;
-    for (size_t i = 0; i < current.num_subgoals(); ++i) {
-      ConjunctiveQuery candidate = current.WithoutSubgoal(i);
-      if (!candidate.IsSafe()) continue;
-      // Removing a subgoal only relaxes the query (current ⊑ candidate), so
-      // equivalence holds iff candidate ⊑ current, i.e., iff there is a
-      // containment mapping from current into candidate.
-      if (FindContainmentMapping(current, candidate).has_value()) {
-        current = candidate;
+    const size_t n = current.num_subgoals();
+    // A mapping witnessing the removal of subgoal i must send atom i onto a
+    // DIFFERENT body atom with the same predicate and arity, so subgoals
+    // whose (predicate, arity) is unique in the body can never be redundant.
+    // Duplicate-free bodies — the common case for generated views, which
+    // the equivalence grouping minimizes by the thousand — are therefore
+    // already minimal, and the round skips all index/plan setup. The scan is
+    // O(n^2) on symbols, far below the cost of one removal probe.
+    const auto has_twin = [&](size_t i) {
+      const Atom& a = current.subgoal(i);
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const Atom& b = current.subgoal(j);
+        if (a.predicate() == b.predicate() && a.arity() == b.arity()) {
+          return true;
+        }
+      }
+      return false;
+    };
+    bool any_duplicate = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (has_twin(i)) {
+        any_duplicate = true;
+        break;
+      }
+    }
+    if (!any_duplicate) return current;
+    if (n > 64) {
+      // Wide bodies fall back to materialized candidates (no exclude-mask
+      // bits past 64). Removing a subgoal only relaxes the query
+      // (current ⊑ candidate), so equivalence holds iff candidate ⊑
+      // current, i.e., iff there is a containment mapping from current into
+      // candidate.
+      for (size_t i = 0; i < n; ++i) {
+        if (!has_twin(i)) continue;  // Provably not redundant.
+        ConjunctiveQuery candidate = current.WithoutSubgoal(i);
+        if (!candidate.IsSafe()) continue;
+        const ContainmentSearch search =
+            FindContainmentMappingEx(current, candidate);
+        if (!search.complete) {
+          // Budget gone mid-minimization: the current query is equivalent
+          // to q but possibly not minimal. Stop instead of letting the
+          // non-minimal form masquerade as a core.
+          if (complete != nullptr) *complete = false;
+          return current;
+        }
+        if (search.mapping.has_value()) {
+          current = candidate;
+          changed = true;
+          break;
+        }
+      }
+      continue;
+    }
+    // Fast path: one shared index and match plan over the current body;
+    // "body minus subgoal i" is probed via the exclude mask instead of
+    // materializing n subqueries (and re-running candidate prefiltering n
+    // times) per round.
+    const AtomIndex index(current.body());
+    std::unordered_map<Symbol, uint64_t> var_occurrences;
+    for (size_t i = 0; i < n; ++i) {
+      for (Term t : current.subgoal(i).args()) {
+        if (t.is_variable()) {
+          var_occurrences[t.symbol()] |= uint64_t{1} << i;
+        }
+      }
+    }
+    const std::vector<Term> head_vars = current.DistinguishedVariables();
+    // Heads are identical, so the seed (identity on head variables) always
+    // exists.
+    const std::optional<Substitution> seed = SeedFromHeads(current, current);
+    VBR_DCHECK(seed.has_value());
+    const MatchPlan plan(current.body(), index, *seed);
+    for (size_t i = 0; i < n; ++i) {
+      if (!has_twin(i)) continue;  // Provably not redundant.
+      // Safety check, mask form: every head variable must still occur in
+      // some remaining subgoal.
+      bool safe = true;
+      for (Term hv : head_vars) {
+        auto it = var_occurrences.find(hv.symbol());
+        if (it == var_occurrences.end() ||
+            (it->second & ~(uint64_t{1} << i)) == 0) {
+          safe = false;
+          break;
+        }
+      }
+      if (!safe) continue;
+      if (!ChargeContainmentAttempt()) {
+        if (complete != nullptr) *complete = false;
+        return current;
+      }
+      bool found = false;
+      bool aborted = false;
+      ForEachHomomorphism(
+          plan,
+          [&](const Substitution&) {
+            found = true;
+            return false;
+          },
+          /*exclude_mask=*/uint64_t{1} << i, &aborted);
+      if (aborted) {
+        if (complete != nullptr) *complete = false;
+        return current;
+      }
+      if (found) {
+        current = current.WithoutSubgoal(i);
         changed = true;
         break;
       }
@@ -122,6 +295,76 @@ bool IsMinimal(const ConjunctiveQuery& q) {
     if (FindContainmentMapping(q, candidate).has_value()) return false;
   }
   return true;
+}
+
+ContainmentMemo& ContainmentMemo::Global() {
+  static ContainmentMemo* const memo = new ContainmentMemo();
+  return *memo;
+}
+
+namespace {
+
+void AppendU32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v >> 16));
+  out->push_back(static_cast<char>(v >> 24));
+}
+
+void AppendAtom(const Atom& a, std::string* out) {
+  AppendU32(static_cast<uint32_t>(a.predicate()), out);
+  AppendU32(static_cast<uint32_t>(a.arity()), out);
+  for (Term t : a.args()) {
+    out->push_back(t.is_variable() ? 'v' : 'c');
+    AppendU32(static_cast<uint32_t>(t.symbol()), out);
+  }
+}
+
+void AppendQuery(const ConjunctiveQuery& q, std::string* out) {
+  AppendAtom(q.head(), out);
+  AppendU32(static_cast<uint32_t>(q.num_subgoals()), out);
+  for (const Atom& a : q.body()) AppendAtom(a, out);
+}
+
+}  // namespace
+
+std::string ContainmentMemo::KeyFor(const ConjunctiveQuery& source,
+                                    const ConjunctiveQuery& target) {
+  // Exact structural serialization in fixed-width binary (interned symbol
+  // ids, arity-prefixed atoms, subgoal-count separator): collision-free
+  // between distinct query pairs and much cheaper to produce than the
+  // pretty-printed form, since memo-hit cost is dominated by key building.
+  std::string key;
+  key.reserve(16 + 14 * (source.num_subgoals() + target.num_subgoals()));
+  AppendQuery(source, &key);
+  AppendQuery(target, &key);
+  return key;
+}
+
+ContainmentMemo::Shard& ContainmentMemo::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>()(key) % kNumShards];
+}
+
+std::optional<bool> ContainmentMemo::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.verdicts.find(key);
+  if (it == shard.verdicts.end()) return std::nullopt;
+  return it->second;
+}
+
+void ContainmentMemo::Insert(const std::string& key, bool verdict) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.verdicts.size() >= kShardCap) shard.verdicts.clear();
+  shard.verdicts.emplace(key, verdict);
+}
+
+void ContainmentMemo::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.verdicts.clear();
+  }
 }
 
 }  // namespace vbr

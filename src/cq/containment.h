@@ -1,7 +1,10 @@
 #ifndef VBR_CQ_CONTAINMENT_H_
 #define VBR_CQ_CONTAINMENT_H_
 
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 
 #include "cq/query.h"
 #include "cq/substitution.h"
@@ -19,15 +22,35 @@ namespace vbr {
 // Returns a containment mapping from `source` into `target`: a substitution
 // h with h(head(source)) = head(target) and h(body(source)) ⊆ body(target).
 // Its existence witnesses target ⊑ source. Heads must have equal arity;
-// head predicates are ignored (answers are compared positionally).
+// head predicates are ignored (answers are compared positionally, and the
+// view-equivalence grouping deliberately compares queries published under
+// different head names).
 std::optional<Substitution> FindContainmentMapping(
     const ConjunctiveQuery& source, const ConjunctiveQuery& target);
 
+// FindContainmentMapping plus an explicit completeness verdict. `complete`
+// is false when the resource governor cut the search short, in which case a
+// missing mapping proves NOTHING: exhaustion must not be read as "no
+// mapping" (the bug class this flag exists to close — an exhausted Minimize
+// silently returning a non-minimal core that then gets fingerprinted and
+// cached).
+struct ContainmentSearch {
+  std::optional<Substitution> mapping;
+  bool complete = true;
+};
+
+ContainmentSearch FindContainmentMappingEx(const ConjunctiveQuery& source,
+                                           const ConjunctiveQuery& target);
+
 // Verifies WITHOUT search that `mapping` is a containment mapping from
-// `source` into `target`: head(source) maps onto head(target) and every
-// mapped body atom of `source` appears in `target`'s body. Used by the
-// certificate checker to validate witnesses independently of how they were
-// found.
+// `source` into `target` AND that the two heads are over the same predicate
+// with equal arity. The head-predicate requirement is stricter than the
+// search above (which is predicate-agnostic by design): this entry point
+// validates externally supplied certificates, where the claimed equivalence
+// is between a query and the expansion of a rewriting published under the
+// SAME answer relation, so a cross-predicate witness is a forged
+// certificate, not a legitimate positional comparison. The body check runs
+// in O(n log n) via a sorted view of target's body.
 bool IsContainmentMapping(const ConjunctiveQuery& source,
                           const ConjunctiveQuery& target,
                           const Substitution& mapping);
@@ -46,11 +69,61 @@ bool IsProperlyContainedIn(const ConjunctiveQuery& q1,
 // by greedily removing subgoals whose removal preserves equivalence. The
 // result is unique up to variable renaming. Removal order is deterministic
 // (left to right, restarting after each removal).
-ConjunctiveQuery Minimize(const ConjunctiveQuery& q);
+//
+// If `complete` is non-null it is set to false when the resource governor
+// aborted a removal probe, in which case the result is equivalent to `q`
+// but possibly NOT minimal; such results must not feed caches keyed on
+// canonical form (see CanonicalQuery::minimize_complete).
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q, bool* complete = nullptr);
 
 // True if no single subgoal can be removed from `q` while preserving
 // equivalence as a query.
 bool IsMinimal(const ConjunctiveQuery& q);
+
+// Process-wide memo of containment verdicts, consulted by IsContainedIn for
+// UNGOVERNED checks only. Governed searches may be cut short (their verdict
+// would be unsound to reuse) and a memo hit would change how much governed
+// work a request performs, breaking the determinism contract budgeted runs
+// are tested under — so any installed ResourceGovernor bypasses the memo
+// entirely. Checks whose combined body size is tiny also bypass it: the
+// prefiltered search beats the key serialization + shard lock there (see
+// IsContainedIn).
+//
+// Keys are the exact structural serialization of the (source, target) pair,
+// not canonical fingerprints: fingerprinting minimizes, and minimization is
+// built from the very searches being memoized. Same-structure repeats are
+// what the workload actually produces (view-equivalence grouping re-probes
+// identical pairs across planning runs); renamed duplicates still run the
+// search. Verdicts never go stale — containment is a property of the two
+// queries alone — so clearing is purely a retention policy: the planner
+// clears on view-set replacement (the old view bodies stop recurring) and
+// shards self-clear when full.
+class ContainmentMemo {
+ public:
+  static ContainmentMemo& Global();
+
+  static std::string KeyFor(const ConjunctiveQuery& source,
+                            const ConjunctiveQuery& target);
+
+  std::optional<bool> Lookup(const std::string& key);
+  void Insert(const std::string& key, bool verdict);
+  void Clear();
+
+ private:
+  static constexpr size_t kNumShards = 16;
+  // Per-shard entry cap; a full shard is dropped wholesale (verdicts are
+  // recomputable, eviction bookkeeping is not worth its cost here).
+  static constexpr size_t kShardCap = 1 << 13;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, bool> verdicts;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  Shard shards_[kNumShards];
+};
 
 }  // namespace vbr
 

@@ -252,13 +252,20 @@ class Canonizer {
 
 CanonicalQuery CanonicalizeQuery(const ConjunctiveQuery& query) {
   CanonicalQuery out;
-  out.minimized = query.HasBuiltins() ? query : Minimize(query);
+  if (query.HasBuiltins()) {
+    out.minimized = query;
+  } else {
+    out.minimized = Minimize(query, &out.minimize_complete);
+  }
   Canonizer canonizer(out.minimized);
   std::vector<size_t> ranks;
   bool exact = true;
   out.fingerprint.canonical = canonizer.Run(&ranks, &exact);
   out.fingerprint.hash = Fnv1a(out.fingerprint.canonical);
-  out.fingerprint.exact = exact;
+  // An incomplete minimization labels a possibly non-minimal body: two
+  // equivalent queries can then disagree on the canonical string, so the
+  // fingerprint loses its exactness guarantee.
+  out.fingerprint.exact = exact && out.minimize_complete;
   std::vector<Atom> all = out.minimized.body();
   all.push_back(out.minimized.head());
   const std::vector<Term> vars = CollectVariables(all);

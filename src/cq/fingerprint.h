@@ -70,6 +70,12 @@ struct CanonicalQuery {
   Substitution to_canonical;
   // The inverse bijection.
   Substitution from_canonical;
+  // False when the resource governor cut minimization short: `minimized` is
+  // equivalent to the input but possibly NOT its core, so the canonical
+  // form must not be used as a cache key for the equivalence class (two
+  // equivalent queries may canonicalize differently). fingerprint.exact is
+  // forced off in that case.
+  bool minimize_complete = true;
 };
 
 // Canonicalizes `query` (minimization + color refinement + canonical

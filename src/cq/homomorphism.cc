@@ -1,91 +1,271 @@
 #include "cq/homomorphism.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/budget.h"
 #include "common/check.h"
 
 namespace vbr {
 
+AtomIndex::AtomIndex(const std::vector<Atom>& atoms) {
+  entries_.reserve(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    VBR_CHECK_MSG(!atoms[i].is_builtin(),
+                  "homomorphism search does not support builtin atoms");
+    Entry e;
+    e.atom = &atoms[i];
+    e.position = static_cast<uint32_t>(i);
+    e.sig = ComputeAtomSignature(atoms[i]);
+    entries_.push_back(e);
+  }
+  // Stable sort keeps original list order inside each (predicate, arity)
+  // group, which keeps indexed searches byte-compatible with searches over
+  // the plain list.
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.sig.predicate != b.sig.predicate) {
+                       return a.sig.predicate < b.sig.predicate;
+                     }
+                     return a.sig.arity < b.sig.arity;
+                   });
+  entry_of_position_.resize(entries_.size());
+  for (uint32_t i = 0; i < entries_.size(); ++i) {
+    entry_of_position_[entries_[i].position] = i;
+    const AtomSignature& sig = entries_[i].sig;
+    if (groups_.empty() || groups_.back().predicate != sig.predicate ||
+        groups_.back().arity != sig.arity) {
+      groups_.push_back({sig.predicate, sig.arity, i, i + 1});
+    } else {
+      groups_.back().end = i + 1;
+    }
+  }
+}
+
+std::pair<uint32_t, uint32_t> AtomIndex::Bucket(Symbol predicate,
+                                                uint32_t arity) const {
+  auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), std::make_pair(predicate, arity),
+      [](const Group& g, const std::pair<Symbol, uint32_t>& key) {
+        if (g.predicate != key.first) return g.predicate < key.first;
+        return g.arity < key.second;
+      });
+  if (it == groups_.end() || it->predicate != predicate || it->arity != arity) {
+    return {0, 0};
+  }
+  return {it->begin, it->end};
+}
+
 namespace {
 
-// Backtracking matcher. Atoms of `from` are visited in a connectivity-aware
-// order (most-constrained first) and matched against the per-predicate
-// candidate lists of `to`.
+// Orders `from` atoms so that each step is as constrained as possible:
+// start from atoms with bound/constant arguments, then grow along shared
+// variables. `counts[i]` is the candidate count of atom i (prefiltered when
+// a plan is available, raw bucket width for one-shot searches).
+std::vector<size_t> MostConstrainedOrder(const std::vector<Atom>& from,
+                                         const Substitution& seed,
+                                         const std::vector<size_t>& counts) {
+  const size_t n = from.size();
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+  std::unordered_set<Symbol> bound_vars;
+  for (const auto& [var, target] : seed.bindings()) {
+    bound_vars.insert(var);
+  }
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = n;
+    long best_score = std::numeric_limits<long>::min();
+    for (size_t i = 0; i < n; ++i) {
+      if (placed[i]) continue;
+      long score = 0;
+      for (Term t : from[i].args()) {
+        if (t.is_constant() ||
+            (t.is_variable() && bound_vars.count(t.symbol()) > 0)) {
+          score += 4;
+        }
+      }
+      score = score * 64 - static_cast<long>(std::min<size_t>(counts[i], 63));
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    VBR_DCHECK(best < n);
+    placed[best] = true;
+    order.push_back(best);
+    for (Term t : from[best].args()) {
+      if (t.is_variable()) bound_vars.insert(t.symbol());
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+MatchPlan::MatchPlan(const std::vector<Atom>& from, const AtomIndex& to,
+                     Substitution seed)
+    : from_(&from), index_(&to), seed_(std::move(seed)) {
+  const size_t n = from.size();
+  atoms_.resize(n);
+  for (size_t i = 0; i < n && !hopeless_; ++i) {
+    const Atom& a = from[i];
+    VBR_CHECK_MSG(!a.is_builtin(),
+                  "homomorphism search does not support builtin atoms");
+    PerAtom& pa = atoms_[i];
+    pa.sig = ComputeAtomSignature(a);
+    const auto [b, e] = to.Bucket(pa.sig.predicate, pa.sig.arity);
+    pa.bucket_begin = b;
+    pa.bucket_end = e;
+    const uint32_t width = e - b;
+    if (width <= 64) {
+      for (uint32_t k = 0; k < width; ++k) {
+        const AtomIndex::Entry& entry = to.entries()[b + k];
+        if (!AtomSignatureMayMap(pa.sig, entry.sig)) continue;
+        if (!AtomMayMapOnto(a, *entry.atom)) continue;
+        pa.mask |= uint64_t{1} << k;
+        ++pa.count;
+      }
+    } else {
+      // Oversized bucket: no mask; the signature filter runs per step.
+      for (uint32_t k = 0; k < width; ++k) {
+        if (AtomSignatureMayMap(pa.sig, to.entries()[b + k].sig)) ++pa.count;
+      }
+    }
+    // Some atom has no viable candidate at all: no homomorphism can exist,
+    // under any exclude mask.
+    if (pa.count == 0) hopeless_ = true;
+  }
+  if (!hopeless_) {
+    std::vector<size_t> counts(n);
+    for (size_t i = 0; i < n; ++i) counts[i] = atoms_[i].count;
+    order_ = MostConstrainedOrder(from, seed_, counts);
+  }
+}
+
+namespace {
+
+// Backtracking matcher over an indexed target. Two candidate sources:
+//
+//  - Plan mode (repeated searches, e.g. Minimize probing n single-subgoal
+//    removals against one body): candidates come from the MatchPlan's
+//    prefiltered per-atom bitmasks, so the plan-construction cost — the
+//    per-(from-atom, candidate) single-atom mappability check — amortizes
+//    across every probe sharing the plan.
+//
+//  - Direct mode (one-shot searches, e.g. matching one view body against
+//    the canonical database): candidates are the raw (predicate, arity)
+//    bucket, filtered per step by the O(1) signature comparison against the
+//    index's precomputed entry signatures. Building a MatchPlan here would
+//    cost more than the single search it serves (measured on the Figure 6
+//    star pipeline, where the per-view searches are tiny and plentiful).
 class Matcher {
  public:
-  Matcher(const std::vector<Atom>& from, const std::vector<Atom>& to,
-          const Substitution& seed,
-          const std::function<bool(const Substitution&)>& callback)
-      : from_(from),
-        seed_(seed),
+  // Plan mode.
+  Matcher(const MatchPlan& plan,
+          const std::function<bool(const Substitution&)>& callback,
+          uint64_t exclude_mask)
+      : from_(&plan.from()),
+        index_(&plan.index()),
+        plan_(&plan),
         callback_(callback),
+        exclude_mask_(exclude_mask),
         governor_(ResourceGovernor::Current()),
         node_cap_(governor_ ? governor_->search_node_cap() : 0) {
-    for (const Atom& a : to) {
+    if (plan.hopeless()) {
+      hopeless_ = true;
+      return;
+    }
+    masks_.reserve(plan.atoms().size());
+    for (const MatchPlan::PerAtom& pa : plan.atoms()) {
+      uint64_t mask = pa.mask;
+      if (exclude_mask_ != 0 && pa.bucket_end - pa.bucket_begin <= 64) {
+        // Clear the bucket-local bits of excluded target atoms.
+        uint64_t excluded = exclude_mask_;
+        while (excluded != 0) {
+          const uint32_t pos =
+              static_cast<uint32_t>(std::countr_zero(excluded));
+          excluded &= excluded - 1;
+          if (pos >= index_->size()) break;
+          const uint32_t entry = index_->EntryOfPosition(pos);
+          if (entry >= pa.bucket_begin && entry < pa.bucket_end) {
+            mask &= ~(uint64_t{1} << (entry - pa.bucket_begin));
+          }
+        }
+        if (mask == 0) {
+          hopeless_ = true;
+          return;
+        }
+      }
+      masks_.push_back(mask);
+    }
+    order_ = &plan.order();
+    subst_ = plan.seed();
+  }
+
+  // Direct mode.
+  Matcher(const std::vector<Atom>& from, const AtomIndex& index,
+          const Substitution& seed,
+          const std::function<bool(const Substitution&)>& callback,
+          uint64_t exclude_mask)
+      : from_(&from),
+        index_(&index),
+        callback_(callback),
+        exclude_mask_(exclude_mask),
+        governor_(ResourceGovernor::Current()),
+        node_cap_(governor_ ? governor_->search_node_cap() : 0) {
+    const size_t n = from.size();
+    direct_.resize(n);
+    std::vector<size_t> counts(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Atom& a = from[i];
       VBR_CHECK_MSG(!a.is_builtin(),
                     "homomorphism search does not support builtin atoms");
-      by_predicate_[a.predicate()].push_back(&a);
+      DirectAtom& da = direct_[i];
+      da.sig = ComputeAtomSignature(a);
+      std::tie(da.bucket_begin, da.bucket_end) =
+          index.Bucket(da.sig.predicate, da.sig.arity);
+      counts[i] = da.bucket_end - da.bucket_begin;
+      if (counts[i] == 0) {
+        // Empty bucket: no homomorphism can exist, and that verdict is
+        // complete (exclusion only shrinks buckets further).
+        hopeless_ = true;
+        return;
+      }
     }
-    order_ = PlanOrder();
-    subst_ = seed_;
+    local_order_ = MostConstrainedOrder(from, seed, counts);
+    order_ = &local_order_;
+    subst_ = seed;
   }
 
   // Runs the enumeration; returns true when not stopped by the callback and
   // not aborted by the resource governor (an aborted search behaves exactly
-  // like an unsuccessful one: no homomorphism is reported).
+  // like an unsuccessful one: no homomorphism is reported, but aborted()
+  // distinguishes the two for callers that must not conflate them).
   bool Run() {
+    if (hopeless_) return true;  // Complete: no homomorphism exists.
     const bool completed = Recurse(0);
-    if (governor_ != nullptr && nodes_ > 0) governor_->ChargeWork(nodes_);
+    // Remainder of the last chunk (full chunks are charged inside Recurse).
+    if (governor_ != nullptr && nodes_ > charged_) {
+      governor_->ChargeWork(nodes_ - charged_);
+    }
     return completed && !aborted_;
   }
 
+  bool aborted() const { return aborted_; }
+
  private:
-  // Orders `from` atoms so that each step is as constrained as possible:
-  // start from atoms with bound/constant arguments, then grow along shared
-  // variables.
-  std::vector<size_t> PlanOrder() const {
-    const size_t n = from_.size();
-    std::vector<size_t> order;
-    order.reserve(n);
-    std::vector<bool> placed(n, false);
-    std::unordered_set<Symbol> bound_vars;
-    for (const auto& [var, target] : seed_.bindings()) {
-      bound_vars.insert(var);
-    }
-    for (size_t step = 0; step < n; ++step) {
-      size_t best = n;
-      long best_score = std::numeric_limits<long>::min();
-      for (size_t i = 0; i < n; ++i) {
-        if (placed[i]) continue;
-        long score = 0;
-        for (Term t : from_[i].args()) {
-          if (t.is_constant() || (t.is_variable() &&
-                                  bound_vars.count(t.symbol()) > 0)) {
-            score += 4;
-          }
-        }
-        // Prefer rarer predicates as a cheap selectivity proxy.
-        auto it = by_predicate_.find(from_[i].predicate());
-        const size_t candidates =
-            it == by_predicate_.end() ? 0 : it->second.size();
-        score = score * 64 - static_cast<long>(std::min<size_t>(candidates, 63));
-        if (score > best_score) {
-          best_score = score;
-          best = i;
-        }
-      }
-      VBR_DCHECK(best < n);
-      placed[best] = true;
-      order.push_back(best);
-      for (Term t : from_[best].args()) {
-        if (t.is_variable()) bound_vars.insert(t.symbol());
-      }
-    }
-    return order;
+  struct DirectAtom {
+    AtomSignature sig;
+    uint32_t bucket_begin = 0;
+    uint32_t bucket_end = 0;
+  };
+
+  bool Excluded(uint32_t position) const {
+    return position < 64 && (exclude_mask_ >> position) & 1;
   }
 
   bool Recurse(size_t step) {
@@ -94,26 +274,63 @@ class Matcher {
       // The per-search node cap is deterministic (identical for every search
       // regardless of scheduling); KeepGoing only observes the deadline and
       // injected faults, checked every 64 nodes to stay off the hot path.
-      if ((node_cap_ != 0 && nodes_ > node_cap_) ||
-          (nodes_ % 64 == 0 && !governor_->KeepGoing("cq.homomorphism"))) {
+      // Work is charged in the same 64-node chunks rather than all at once
+      // after the search, so a long search can overshoot the shared work
+      // budget by at most one chunk (regression-tested in
+      // homomorphism_budget_test).
+      if (node_cap_ != 0 && nodes_ > node_cap_) {
         aborted_ = true;
         return false;
       }
-    }
-    if (step == order_.size()) return callback_(subst_);
-    const Atom& atom = from_[order_[step]];
-    VBR_CHECK_MSG(!atom.is_builtin(),
-                  "homomorphism search does not support builtin atoms");
-    auto it = by_predicate_.find(atom.predicate());
-    if (it == by_predicate_.end()) return true;  // No candidates: dead end.
-    for (const Atom* candidate : it->second) {
-      if (candidate->arity() != atom.arity()) continue;
-      std::vector<Term> newly_bound;
-      if (TryMatch(atom, *candidate, &newly_bound)) {
-        if (!Recurse(step + 1)) return false;
+      if ((nodes_ & 63) == 0) {
+        governor_->ChargeWork(64);
+        charged_ = nodes_;
+        if (!governor_->KeepGoing("cq.homomorphism")) {
+          aborted_ = true;
+          return false;
+        }
       }
-      for (Term v : newly_bound) subst_.Unbind(v);
     }
+    if (step == order_->size()) return callback_(subst_);
+    const size_t idx = (*order_)[step];
+    const Atom& atom = (*from_)[idx];
+    if (plan_ != nullptr) {
+      const MatchPlan::PerAtom& pa = plan_->atoms()[idx];
+      if (pa.bucket_end - pa.bucket_begin <= 64) {
+        uint64_t mask = masks_[idx];
+        while (mask != 0) {
+          const uint32_t k = static_cast<uint32_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          if (!Step(atom, index_->entries()[pa.bucket_begin + k], step)) {
+            return false;
+          }
+        }
+      } else {
+        for (uint32_t j = pa.bucket_begin; j < pa.bucket_end; ++j) {
+          const AtomIndex::Entry& entry = index_->entries()[j];
+          if (Excluded(entry.position)) continue;
+          if (!AtomSignatureMayMap(pa.sig, entry.sig)) continue;
+          if (!Step(atom, entry, step)) return false;
+        }
+      }
+    } else {
+      const DirectAtom& da = direct_[idx];
+      for (uint32_t j = da.bucket_begin; j < da.bucket_end; ++j) {
+        const AtomIndex::Entry& entry = index_->entries()[j];
+        if (Excluded(entry.position)) continue;
+        if (!AtomSignatureMayMap(da.sig, entry.sig)) continue;
+        if (!Step(atom, entry, step)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Step(const Atom& atom, const AtomIndex::Entry& entry, size_t step) {
+    std::vector<Term> newly_bound;
+    if (TryMatch(atom, *entry.atom, &newly_bound)) {
+      if (!Recurse(step + 1)) return false;
+    }
+    for (Term v : newly_bound) subst_.Unbind(v);
     return true;
   }
 
@@ -138,15 +355,21 @@ class Matcher {
     return true;
   }
 
-  const std::vector<Atom>& from_;
-  const Substitution& seed_;
+  const std::vector<Atom>* const from_;
+  const AtomIndex* const index_;
+  const MatchPlan* const plan_ = nullptr;  // null in direct mode
   const std::function<bool(const Substitution&)>& callback_;
-  std::unordered_map<Symbol, std::vector<const Atom*>> by_predicate_;
-  std::vector<size_t> order_;
+  const uint64_t exclude_mask_;
+  std::vector<uint64_t> masks_;        // plan mode
+  std::vector<DirectAtom> direct_;     // direct mode
+  std::vector<size_t> local_order_;    // direct mode
+  const std::vector<size_t>* order_ = nullptr;
   Substitution subst_;
   ResourceGovernor* const governor_;
   const uint64_t node_cap_;
   uint64_t nodes_ = 0;
+  uint64_t charged_ = 0;
+  bool hopeless_ = false;
   bool aborted_ = false;
 };
 
@@ -154,6 +377,13 @@ class Matcher {
 
 std::optional<Substitution> FindHomomorphism(const std::vector<Atom>& from,
                                              const std::vector<Atom>& to,
+                                             const Substitution& seed) {
+  const AtomIndex index(to);
+  return FindHomomorphism(from, index, seed);
+}
+
+std::optional<Substitution> FindHomomorphism(const std::vector<Atom>& from,
+                                             const AtomIndex& to,
                                              const Substitution& seed) {
   std::optional<Substitution> found;
   ForEachHomomorphism(from, to, seed, [&](const Substitution& h) {
@@ -167,8 +397,29 @@ bool ForEachHomomorphism(
     const std::vector<Atom>& from, const std::vector<Atom>& to,
     const Substitution& seed,
     const std::function<bool(const Substitution&)>& callback) {
-  Matcher matcher(from, to, seed, callback);
-  return matcher.Run();
+  const AtomIndex index(to);
+  return ForEachHomomorphism(from, index, seed, callback);
+}
+
+bool ForEachHomomorphism(
+    const std::vector<Atom>& from, const AtomIndex& to,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& callback,
+    uint64_t exclude_mask, bool* aborted) {
+  Matcher matcher(from, to, seed, callback, exclude_mask);
+  const bool completed = matcher.Run();
+  if (aborted != nullptr) *aborted = matcher.aborted();
+  return completed;
+}
+
+bool ForEachHomomorphism(
+    const MatchPlan& plan,
+    const std::function<bool(const Substitution&)>& callback,
+    uint64_t exclude_mask, bool* aborted) {
+  Matcher matcher(plan, callback, exclude_mask);
+  const bool completed = matcher.Run();
+  if (aborted != nullptr) *aborted = matcher.aborted();
+  return completed;
 }
 
 }  // namespace vbr

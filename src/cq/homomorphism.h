@@ -1,11 +1,14 @@
 #ifndef VBR_CQ_HOMOMORPHISM_H_
 #define VBR_CQ_HOMOMORPHISM_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cq/atom.h"
+#include "cq/signature.h"
 #include "cq/substitution.h"
 
 namespace vbr {
@@ -21,14 +24,110 @@ namespace vbr {
 // Builtin comparison atoms are not supported here; callers must strip them
 // first (VBR_CHECKed).
 
+// Flat, sorted index over a target atom list, built once and shared across
+// any number of searches into the same target (Minimize probes the same body
+// n times per round; view-tuple computation matches every view against one
+// canonical database). Entries are grouped by (predicate, arity) with the
+// ORIGINAL list order preserved inside each group, so an indexed search
+// enumerates candidates — and therefore reports homomorphisms — in exactly
+// the order the unindexed search over the plain list does. Each entry
+// carries the atom's precomputed signature for O(1) candidate prefiltering.
+//
+// The index stores pointers into the vector it was built from; that vector
+// must outlive the index.
+class AtomIndex {
+ public:
+  struct Entry {
+    const Atom* atom = nullptr;
+    // Position of the atom in the source vector (drives `exclude_mask`).
+    uint32_t position = 0;
+    AtomSignature sig;
+  };
+
+  AtomIndex() = default;
+  explicit AtomIndex(const std::vector<Atom>& atoms);
+
+  // Half-open [first, last) range into entries() holding every atom with
+  // this predicate and arity, in original list order.
+  std::pair<uint32_t, uint32_t> Bucket(Symbol predicate, uint32_t arity) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  // Index into entries() of the atom at `position` of the source vector.
+  uint32_t EntryOfPosition(uint32_t position) const {
+    return entry_of_position_[position];
+  }
+
+ private:
+  struct Group {
+    Symbol predicate = kInvalidSymbol;
+    uint32_t arity = 0;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  std::vector<Group> groups_;  // sorted by (predicate, arity)
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> entry_of_position_;
+};
+
+// Precomputed matching tables for repeated searches of the same `from` list
+// into the same indexed target under the same seed, varying only the set of
+// excluded target atoms (Minimize probes n single-subgoal removals per
+// round). Building a plan runs the per-(from-atom, candidate) prefilter and
+// the atom ordering once; each search then starts from a bitmask copy
+// instead of redoing that work. The plan borrows `from`, `to`, and nothing
+// else; both must outlive it.
+class MatchPlan {
+ public:
+  struct PerAtom {
+    AtomSignature sig;
+    uint32_t bucket_begin = 0;
+    uint32_t bucket_end = 0;
+    // Bucket-local candidate bitmask (valid when the bucket has <= 64
+    // entries): bit k set when entry bucket_begin + k passed the single-atom
+    // mappability check. Oversized buckets filter per search step instead.
+    uint64_t mask = 0;
+    // Number of candidates passing the signature filter (drives ordering).
+    size_t count = 0;
+  };
+
+  MatchPlan(const std::vector<Atom>& from, const AtomIndex& to,
+            Substitution seed);
+
+  const std::vector<Atom>& from() const { return *from_; }
+  const AtomIndex& index() const { return *index_; }
+  const Substitution& seed() const { return seed_; }
+  const std::vector<PerAtom>& atoms() const { return atoms_; }
+  const std::vector<size_t>& order() const { return order_; }
+  // True when some `from` atom has no viable candidate at all: no search
+  // under ANY exclude mask can succeed, and that verdict is complete.
+  bool hopeless() const { return hopeless_; }
+
+ private:
+  const std::vector<Atom>* from_;
+  const AtomIndex* index_;
+  Substitution seed_;
+  std::vector<PerAtom> atoms_;
+  std::vector<size_t> order_;
+  bool hopeless_ = false;
+};
+
 // Returns a homomorphism extending `seed`, or nullopt if none exists.
 std::optional<Substitution> FindHomomorphism(const std::vector<Atom>& from,
                                              const std::vector<Atom>& to,
                                              const Substitution& seed = {});
 
+// As above over a prebuilt index.
+std::optional<Substitution> FindHomomorphism(const std::vector<Atom>& from,
+                                             const AtomIndex& to,
+                                             const Substitution& seed = {});
+
 // Invokes `callback` for every homomorphism from `from` into `to` extending
 // `seed`. The callback may return false to stop the enumeration early.
-// Returns true if the enumeration ran to completion (i.e., was not stopped).
+// Returns true if the enumeration ran to completion (i.e., was not stopped
+// by the callback and not aborted by the resource governor).
 //
 // The same total assignment can be reported once per distinct choice of
 // target atoms only when two identical atoms occur in `to`; `to` lists with
@@ -38,6 +137,25 @@ bool ForEachHomomorphism(
     const std::vector<Atom>& from, const std::vector<Atom>& to,
     const Substitution& seed,
     const std::function<bool(const Substitution&)>& callback);
+
+// Indexed enumeration. Target atoms whose position is below 64 and whose bit
+// is set in `exclude_mask` are skipped, which lets Minimize probe "body
+// minus subgoal i" against one shared index instead of materializing n
+// subqueries. If `aborted` is non-null it is set to whether the resource
+// governor cut the search short — a search that reports no homomorphism AND
+// *aborted == true proves nothing (exhaustion is NOT "no mapping"; see the
+// containment layer's completeness plumbing).
+bool ForEachHomomorphism(
+    const std::vector<Atom>& from, const AtomIndex& to,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& callback,
+    uint64_t exclude_mask = 0, bool* aborted = nullptr);
+
+// Enumeration over a prebuilt plan (from, target, and seed are the plan's).
+bool ForEachHomomorphism(
+    const MatchPlan& plan,
+    const std::function<bool(const Substitution&)>& callback,
+    uint64_t exclude_mask = 0, bool* aborted = nullptr);
 
 }  // namespace vbr
 

@@ -1,0 +1,65 @@
+#include "cq/signature.h"
+
+namespace vbr {
+
+AtomSignature ComputeAtomSignature(const Atom& a) {
+  AtomSignature sig;
+  sig.predicate = a.predicate();
+  sig.arity = static_cast<uint32_t>(a.arity());
+  const std::vector<Term>& args = a.args();
+  for (size_t i = 0; i < args.size(); ++i) {
+    const Term t = args[i];
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (args[j] == t) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++sig.num_distinct;
+    if (t.is_constant()) {
+      if (i < 64) sig.const_positions |= uint64_t{1} << i;
+      sig.const_bloom |= SymbolBloomBit(t.symbol());
+    }
+  }
+  return sig;
+}
+
+bool AtomMayMapOnto(const Atom& source, const Atom& target) {
+  if (source.predicate() != target.predicate() ||
+      source.arity() != target.arity()) {
+    return false;
+  }
+  const std::vector<Term>& s = source.args();
+  const std::vector<Term>& t = target.args();
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i].is_constant()) {
+      if (s[i] != t[i]) return false;
+      continue;
+    }
+    // s[i] is a variable: its image is forced to t[i]; consistency with the
+    // variable's earlier occurrences is the only constraint.
+    for (size_t j = 0; j < i; ++j) {
+      if (s[j] == s[i]) {
+        if (t[j] != t[i]) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+QuerySignature ComputeQuerySignature(const ConjunctiveQuery& q) {
+  QuerySignature sig;
+  sig.head_arity = static_cast<uint32_t>(q.head().arity());
+  sig.num_subgoals = static_cast<uint32_t>(q.num_subgoals());
+  for (const Atom& a : q.body()) {
+    sig.predicate_bloom |= SymbolBloomBit(a.predicate());
+    for (Term t : a.args()) {
+      if (t.is_constant()) sig.constant_bloom |= SymbolBloomBit(t.symbol());
+    }
+  }
+  return sig;
+}
+
+}  // namespace vbr

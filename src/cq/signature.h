@@ -1,0 +1,100 @@
+#ifndef VBR_CQ_SIGNATURE_H_
+#define VBR_CQ_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cq/atom.h"
+#include "cq/query.h"
+
+namespace vbr {
+
+// O(1) prefilters for homomorphism / containment-mapping search (DESIGN.md
+// "Hot-path representations").
+//
+// Every rewriting algorithm bottoms out in containment-mapping search, and
+// most (source, target) pairs the algorithms generate have no mapping at
+// all. Signatures are small bitmask summaries — computed once per atom or
+// query and carried alongside the structures — whose comparison rejects
+// provably-unmappable pairs before any backtracking starts. Every check
+// below is a NECESSARY condition for a homomorphism, never a sufficient
+// one: a rejected pair is guaranteed to have no mapping (property-tested
+// against the unfiltered search in signature_prefilter_test), an accepted
+// pair still goes through the full search.
+
+// Folds a symbol into a single bit of a 64-bit Bloom mask.
+inline uint64_t SymbolBloomBit(Symbol s) {
+  return uint64_t{1}
+         << ((static_cast<uint64_t>(static_cast<uint32_t>(s)) *
+              0x9e3779b97f4a7c15ULL) >>
+             58);
+}
+
+// Per-atom summary. All fields are invariant under variable renaming except
+// the constant blooms, which depend only on which constants appear.
+struct AtomSignature {
+  Symbol predicate = kInvalidSymbol;
+  uint32_t arity = 0;
+  // Number of distinct terms among the arguments. A homomorphism can merge
+  // arguments but never split them, so for h(a) = b it must hold that
+  // distinct(b) <= distinct(a).
+  uint32_t num_distinct = 0;
+  // Bit i set (i < 64) when argument i is a constant. Homomorphisms fix
+  // constants, so source constant positions must be constant positions of
+  // the target with the same constant — but a source VARIABLE may also land
+  // on a target constant, so the reverse inclusion does not hold.
+  uint64_t const_positions = 0;
+  // Bloom over the constant symbols appearing in the atom.
+  uint64_t const_bloom = 0;
+};
+
+AtomSignature ComputeAtomSignature(const Atom& a);
+
+// O(1): necessary conditions for the existence of a homomorphism h with
+// h(source_atom) == target_atom, given only their signatures.
+inline bool AtomSignatureMayMap(const AtomSignature& source,
+                                const AtomSignature& target) {
+  return source.predicate == target.predicate && source.arity == target.arity &&
+         target.num_distinct <= source.num_distinct &&
+         (source.const_positions & ~target.const_positions) == 0 &&
+         (source.const_bloom & ~target.const_bloom) == 0;
+}
+
+// Exact single-atom check: true iff SOME substitution h on source's
+// variables has h(source) == target. Holds iff source constants recur
+// verbatim in target and target's argument-equality pattern coarsens
+// source's (positions equal in source are equal in target). O(arity^2) in
+// the worst case but arities are tiny; used once per (from-atom, candidate)
+// pair when building candidate masks, replacing per-node rediscovery of the
+// same conflicts inside the backtracking search.
+bool AtomMayMapOnto(const Atom& source, const Atom& target);
+
+// Per-query summary for containment prefiltering.
+struct QuerySignature {
+  uint32_t head_arity = 0;
+  uint32_t num_subgoals = 0;
+  // Bloom over body predicate symbols.
+  uint64_t predicate_bloom = 0;
+  // Bloom over body constant symbols.
+  uint64_t constant_bloom = 0;
+};
+
+QuerySignature ComputeQuerySignature(const ConjunctiveQuery& q);
+
+// O(1): necessary conditions for a containment mapping from `source` into
+// `target` (h(head(source)) = head(target), h(body(source)) ⊆ body(target)).
+// Every source body predicate must appear in target's body, and every source
+// body constant must survive into target's body, since h preserves
+// predicates and fixes constants. Head constants are NOT folded in: a source
+// head variable may map onto a target head constant without that constant
+// appearing anywhere in source.
+inline bool QuerySignatureMayMap(const QuerySignature& source,
+                                 const QuerySignature& target) {
+  return source.head_arity == target.head_arity &&
+         (source.predicate_bloom & ~target.predicate_bloom) == 0 &&
+         (source.constant_bloom & ~target.constant_bloom) == 0;
+}
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_SIGNATURE_H_

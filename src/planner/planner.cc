@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "cost/filter_advisor.h"
+#include "cq/containment.h"
 #include "cost/m2_optimizer.h"
 #include "cost/m3_optimizer.h"
 #include "cost/supplementary.h"
@@ -505,9 +506,13 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
   // Build the cache entry (canonical variable space) before costing;
   // negative outcomes are cached too — but NEVER a budget-exhausted run:
   // its rewriting list is incomplete, and serving it to later (possibly
-  // generously budgeted) requests would poison them.
+  // generously budgeted) requests would poison them. Likewise a
+  // canonicalization whose minimization was cut short: its "canonical" form
+  // may not be the core's, so the entry would be filed under a label other
+  // queries of the same equivalence class never produce — and its contents
+  // were computed from a non-minimal body.
   std::shared_ptr<CachedPlan> entry;
-  if (canonical != nullptr && !exhausted_run) {
+  if (canonical != nullptr && canonical->minimize_complete && !exhausted_run) {
     entry = std::make_shared<CachedPlan>();
     entry->fingerprint = canonical->fingerprint;
     entry->status = result.status;
@@ -1009,6 +1014,10 @@ void ViewPlanner::ReplaceViews(ViewSet views, Database view_instances) {
   // snapshot can no longer insert (their epoch is stale), and any entry
   // they race in around the bump is dropped by Lookup.
   const uint64_t epoch = cache_->BumpEpoch();
+  // Containment verdicts never go stale (they depend only on the two
+  // queries), but the old view bodies stop recurring once the set is
+  // swapped, so drop the memo rather than letting dead pairs occupy it.
+  ContainmentMemo::Global().Clear();
   auto snapshot = std::make_shared<ViewSnapshot>();
   snapshot->views = std::move(views);
   snapshot->instances = std::move(view_instances);

@@ -137,7 +137,18 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
   Timer phase_timer;
   {
     TraceSpan span(run_span, "minimize");
-    result.minimized_query = Minimize(query);
+    bool minimize_complete = true;
+    result.minimized_query = Minimize(query, &minimize_complete);
+    // A removal probe aborted by its node cap does not latch the governor
+    // itself (node-cap aborts are per-search), so an incomplete — possibly
+    // non-minimal — core would otherwise sail through with status kOk,
+    // get fingerprinted, and poison the plan cache. Latch here; the flag is
+    // deterministic under a pure work budget (node-cap aborts are
+    // schedule-independent), and the checkpoint below then reports the run
+    // as budget-exhausted.
+    if (!minimize_complete && governor != nullptr) {
+      governor->NoteExhausted(BudgetKind::kWork, "corecover.minimize");
+    }
     span.AddAttribute(
         "subgoals", static_cast<uint64_t>(result.minimized_query.num_subgoals()));
   }

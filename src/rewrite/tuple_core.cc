@@ -41,7 +41,10 @@ class CoreSearch {
   // built from it are still sound — they can only cover less.
   TupleCore Run() {
     Recurse(0, 0);
-    if (governor_ != nullptr && nodes_ > 0) governor_->ChargeWork(nodes_);
+    // Remainder of the last chunk (full chunks are charged inside Recurse).
+    if (governor_ != nullptr && nodes_ > charged_) {
+      governor_->ChargeWork(nodes_ - charged_);
+    }
     TupleCore core;
     core.covered_mask = best_mask_;
     for (size_t i = 0; i < query_.num_subgoals(); ++i) {
@@ -60,10 +63,20 @@ class CoreSearch {
   void Recurse(size_t i, size_t included_count) {
     if (governor_ != nullptr) {
       ++nodes_;
-      if (aborted_ || (node_cap_ != 0 && nodes_ > node_cap_) ||
-          (nodes_ % 64 == 0 && !governor_->KeepGoing("corecover.tuple_cores"))) {
+      // Charge in the same 64-node chunks the KeepGoing stride uses, so a
+      // long search cannot overshoot the shared work budget by its whole
+      // node count (it used to be charged only after the search finished).
+      if (aborted_ || (node_cap_ != 0 && nodes_ > node_cap_)) {
         aborted_ = true;
         return;
+      }
+      if (nodes_ % 64 == 0) {
+        governor_->ChargeWork(64);
+        charged_ = nodes_;
+        if (!governor_->KeepGoing("corecover.tuple_cores")) {
+          aborted_ = true;
+          return;
+        }
       }
     }
     const size_t n = query_.num_subgoals();
@@ -182,6 +195,7 @@ class CoreSearch {
   ResourceGovernor* const governor_ = ResourceGovernor::Current();
   const uint64_t node_cap_ = governor_ ? governor_->search_node_cap() : 0;
   uint64_t nodes_ = 0;
+  uint64_t charged_ = 0;
   bool aborted_ = false;
 };
 

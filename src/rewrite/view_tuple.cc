@@ -15,6 +15,7 @@ namespace {
 // concurrently for distinct views: it only reads the shared canonical
 // database and interns symbols (thread-safe).
 std::vector<ViewTuple> TuplesOfView(const CanonicalDatabase& canonical,
+                                    const AtomIndex& facts_index,
                                     const View& view, size_t view_index) {
   VBR_CHECK_MSG(view.IsSafe(), "view definitions must be safe");
   VBR_CHECK_MSG(!view.HasBuiltins(),
@@ -23,7 +24,7 @@ std::vector<ViewTuple> TuplesOfView(const CanonicalDatabase& canonical,
   std::unordered_set<Atom, AtomHash> seen;
   ResourceGovernor* const governor = ResourceGovernor::Current();
   ForEachHomomorphism(
-      view.body(), canonical.facts(), {}, [&](const Substitution& h) {
+      view.body(), facts_index, {}, [&](const Substitution& h) {
         const Atom tuple = canonical.Thaw(h.Apply(view.head()));
         if (seen.insert(tuple).second) {
           result.push_back(ViewTuple{tuple, view_index});
@@ -46,9 +47,13 @@ std::vector<ViewTuple> ComputeViewTuples(const ConjunctiveQuery& query,
                                          const ViewSet& views,
                                          ThreadPool* pool) {
   const CanonicalDatabase canonical(query);
+  // One index over the canonical facts, shared read-only by every view's
+  // search (the per-view per-predicate hash rebuild used to dominate this
+  // stage for large view sets).
+  const AtomIndex facts_index(canonical.facts());
   std::vector<std::vector<ViewTuple>> per_view(views.size());
   const auto compute = [&](size_t vi) {
-    per_view[vi] = TuplesOfView(canonical, views[vi], vi);
+    per_view[vi] = TuplesOfView(canonical, facts_index, views[vi], vi);
   };
   if (pool != nullptr) {
     pool->ParallelFor(views.size(), compute);

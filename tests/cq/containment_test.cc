@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/budget.h"
 #include "cq/parser.h"
 #include "cq/term.h"
 
@@ -107,6 +108,51 @@ TEST(MinimizeTest, ConstantBlocksFolding) {
   EXPECT_EQ(m.subgoal(0).arg(1), Const("c"));
 }
 
+TEST(MinimizeTest, ReportsIncompleteUnderTinyWorkBudget) {
+  // A chain where every step also has a foldable twin with a fresh tail
+  // variable — plenty of genuinely removable subgoals.
+  const auto q = MustParseQuery(
+      "q(X0,X4) :- e(X0,X1), e(X0,Y1), e(X1,X2), e(X1,Y2), e(X2,X3), "
+      "e(X2,Y3), e(X3,X4), e(X3,Y4)");
+  {
+    ResourceLimits limits;
+    limits.work_limit = 1;  // per-search node cap derives to 1: probes abort
+    ResourceGovernor governor(limits);
+    GovernorScope scope(&governor);
+    bool complete = true;
+    const auto m = Minimize(q, &complete);
+    // The regression: an aborted probe used to be indistinguishable from a
+    // proven "no mapping", silently yielding a non-minimal "core" labelled
+    // complete. Exhaustion must be surfaced...
+    EXPECT_FALSE(complete);
+    // ...and the conservative direction is keeping subgoals, never removing
+    // one without a complete containment proof.
+    EXPECT_EQ(m.num_subgoals(), q.num_subgoals());
+  }
+  // Ungoverned, the same query minimizes fully and says so.
+  bool complete = false;
+  const auto m = Minimize(q, &complete);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(m.num_subgoals(), 4u);
+  EXPECT_TRUE(AreEquivalent(q, m));
+}
+
+TEST(ContainmentSearchTest, ExhaustionIsDistinguishedFromNoMapping) {
+  // Self-containment of a symmetric chain: a mapping certainly exists, but
+  // under a 1-node cap the search cannot reach it.
+  const auto q = MustParseQuery(
+      "q(X0,X4) :- e(X0,X1), e(X1,X2), e(X2,X3), e(X3,X4)");
+  const auto r = MustParseQuery(
+      "q(A0,A4) :- e(A0,A1), e(A1,A2), e(A2,A3), e(A3,A4)");
+  ResourceLimits limits;
+  limits.work_limit = 1;
+  ResourceGovernor governor(limits);
+  GovernorScope scope(&governor);
+  const ContainmentSearch search = FindContainmentMappingEx(q, r);
+  EXPECT_FALSE(search.mapping.has_value());
+  EXPECT_FALSE(search.complete);  // "don't know", not "no"
+}
+
 TEST(ContainmentMappingTest, MappingWitnessesContainment) {
   const auto q1 = MustParseQuery("q(X) :- r(X,Y), t(X)");
   const auto q2 = MustParseQuery("q(A) :- r(A,B)");
@@ -115,6 +161,33 @@ TEST(ContainmentMappingTest, MappingWitnessesContainment) {
   ASSERT_TRUE(h.has_value());
   EXPECT_EQ(h->Apply(Var("A")), Var("X"));
   EXPECT_EQ(h->Apply(Var("B")), Var("Y"));
+  EXPECT_TRUE(IsContainmentMapping(q2, q1, *h));
+}
+
+TEST(ContainmentMappingTest, RejectsCrossPredicateCertificates) {
+  // The SEARCH is head-predicate-agnostic by design (view-equivalence
+  // grouping compares queries published under different head names)...
+  const auto target = MustParseQuery("q(X) :- r(X,Y)");
+  const auto source = MustParseQuery("p(A) :- r(A,B)");
+  const auto h = FindContainmentMapping(source, target);
+  ASSERT_TRUE(h.has_value());
+  // ...but certificate VALIDATION must not accept a witness whose heads
+  // name different answer relations: that is a forged certificate.
+  EXPECT_FALSE(IsContainmentMapping(source, target, *h));
+}
+
+TEST(ContainmentMappingTest, RejectsMappingsThatMissTheHead) {
+  // The identity maps the body fine but sends head q(X) to q(X) != q(Y).
+  const auto source = MustParseQuery("q(X) :- r(X,Y)");
+  const auto target = MustParseQuery("q(Y) :- r(X,Y)");
+  EXPECT_FALSE(IsContainmentMapping(source, target, Substitution{}));
+}
+
+TEST(ContainmentMappingTest, RejectsMappingsWithUncoveredBodyAtoms) {
+  const auto source = MustParseQuery("q(X) :- r(X,Y), t(Y)");
+  const auto target = MustParseQuery("q(X) :- r(X,Y)");
+  // Identity covers r(X,Y) and the head, but t(Y) has no image.
+  EXPECT_FALSE(IsContainmentMapping(source, target, Substitution{}));
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+// Regression tests for how the homomorphism search charges the resource
+// governor (satellite: the Matcher used to count nodes locally and charge
+// the whole total only after Run() returned, so a long search could
+// overshoot the shared work budget by its entire node count).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/budget.h"
+#include "cq/homomorphism.h"
+#include "cq/parser.h"
+
+namespace vbr {
+namespace {
+
+// A deliberately explosive instance: a 6-edge chain matched into the
+// complete graph (with self-loops) on four constants. Every walk of length
+// six is a homomorphism, so the search expands thousands of nodes and
+// crosses many 64-node charge boundaries.
+std::vector<Atom> ChainBody() {
+  return MustParseQuery(
+             "h() :- e(X0,X1), e(X1,X2), e(X2,X3), e(X3,X4), e(X4,X5), "
+             "e(X5,X6)")
+      .body();
+}
+
+std::vector<Atom> CompleteGraphBody() {
+  std::string rule = "h() :-";
+  const char* nodes[] = {"a", "b", "c", "d"};
+  bool first = true;
+  for (const char* u : nodes) {
+    for (const char* v : nodes) {
+      rule += first ? " " : ", ";
+      rule += std::string("e(") + u + "," + v + ")";
+      first = false;
+    }
+  }
+  return MustParseQuery(rule).body();
+}
+
+TEST(HomomorphismBudgetTest, WorkIsChargedInChunksDuringTheSearch) {
+  const std::vector<Atom> from = ChainBody();
+  const std::vector<Atom> to = CompleteGraphBody();
+  ResourceLimits limits;
+  limits.work_limit = uint64_t{1} << 40;  // never trips; cap derives huge
+  ResourceGovernor governor(limits);
+  GovernorScope scope(&governor);
+
+  uint64_t previous = 0;
+  bool charged_mid_search = false;
+  size_t homomorphisms = 0;
+  const bool complete = ForEachHomomorphism(
+      from, to, {}, [&](const Substitution&) {
+        const uint64_t used = governor.work_used();
+        // Monotone, and only whole 64-node chunks land while the search is
+        // still running (the sub-chunk remainder is charged by Run()).
+        EXPECT_GE(used, previous);
+        EXPECT_EQ(used % 64, 0u) << "mid-search charge is not chunked";
+        if (used > 0) charged_mid_search = true;
+        previous = used;
+        ++homomorphisms;
+        return true;
+      });
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(homomorphisms, 16384u);  // 4^7 walks of length 6
+  // The regression: with charge-after-Run accounting every mid-search
+  // observation reads 0 even though thousands of nodes were expanded.
+  EXPECT_TRUE(charged_mid_search);
+  // Run() settles the remainder, so the final total covers at least
+  // everything observed plus the last partial chunk.
+  EXPECT_GE(governor.work_used(), previous);
+  EXPECT_GT(governor.work_used(), 0u);
+}
+
+TEST(HomomorphismBudgetTest, NodeCapBoundsWorkOvershootToOneChunk) {
+  const std::vector<Atom> from = ChainBody();
+  const std::vector<Atom> to = CompleteGraphBody();
+  ResourceLimits limits;
+  limits.work_limit = 100;  // search_node_cap derives to 100
+  ResourceGovernor governor(limits);
+  GovernorScope scope(&governor);
+
+  const AtomIndex index(to);
+  bool aborted = false;
+  const bool complete = ForEachHomomorphism(
+      from, index, {}, [](const Substitution&) { return true; }, 0, &aborted);
+  EXPECT_TRUE(aborted);
+  EXPECT_FALSE(complete);
+  // The full enumeration needs tens of thousands of nodes; the pinned
+  // contract is that the charged total lands within one 64-node chunk of
+  // the cap instead of the whole runaway count.
+  EXPECT_GT(governor.work_used(), 0u);
+  EXPECT_LE(governor.work_used(), limits.work_limit + 64);
+}
+
+TEST(HomomorphismBudgetTest, AbortedSearchStillChargesExpandedNodes) {
+  const std::vector<Atom> from = ChainBody();
+  const std::vector<Atom> to = CompleteGraphBody();
+  ResourceLimits limits;
+  limits.work_limit = uint64_t{1} << 40;
+  limits.search_node_cap = 200;  // explicit cap, work budget untouched
+  ResourceGovernor governor(limits);
+  GovernorScope scope(&governor);
+
+  const AtomIndex index(to);
+  bool aborted = false;
+  ForEachHomomorphism(
+      from, index, {}, [](const Substitution&) { return true; }, 0, &aborted);
+  EXPECT_TRUE(aborted);
+  // Everything the aborted search actually expanded is on the books: the
+  // cap plus the node that tripped it, within one chunk of slack.
+  EXPECT_GE(governor.work_used(), limits.search_node_cap);
+  EXPECT_LE(governor.work_used(), limits.search_node_cap + 64);
+}
+
+}  // namespace
+}  // namespace vbr

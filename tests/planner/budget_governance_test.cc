@@ -193,6 +193,28 @@ TEST_F(BudgetGovernanceTest, ExhaustedRunDoesNotPoisonTheCache) {
   EXPECT_TRUE(VerifyCertificate(retried.choice->certificate, w.views));
 }
 
+// An exhausted Minimize is a first-class budget outcome (satellite): when
+// every removal probe aborts under a tiny per-search node cap, the planner
+// must report kBudgetExhausted at the minimize stage — NOT treat the aborted
+// probes as "no mapping" and cache the non-minimal result as a full answer.
+TEST_F(BudgetGovernanceTest, ExhaustedMinimizeSurfacesAndSkipsTheCache) {
+  const Workload w = AdversarialChain();
+  ResourceLimits budget;
+  budget.work_limit = uint64_t{1} << 40;  // never trips on its own
+  budget.search_node_cap = 4;  // every backtracking search aborts
+  ViewPlanner::Options options = GovernedOptions(budget);
+  options.enable_minicon_fallback = false;
+  ViewPlanner planner(w.views, MaterializeViews(w.views, Database{}),
+                      options);
+  const auto result = planner.Plan(w.query, CostModel::kM2);
+  ASSERT_EQ(result.status, PlanStatus::kBudgetExhausted)
+      << PlanStatusName(result.status);
+  EXPECT_EQ(result.exhaustion.kind, BudgetKind::kWork);
+  EXPECT_EQ(result.exhaustion.site, "corecover.minimize");
+  EXPECT_EQ(planner.cache_size(), 0u);
+  EXPECT_EQ(planner.cache_counters().insertions, 0u);
+}
+
 // The MiniCon fallback rung: kill set-cover before it emits anything, so
 // CoreCover ends budget-exhausted with no rewriting; the budgeted MiniCon
 // retry must still deliver a certified plan.

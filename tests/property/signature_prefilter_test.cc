@@ -1,0 +1,219 @@
+// Soundness of the signature prefilters (satellite: every pair the O(1)
+// bitmask checks reject must genuinely have no mapping), validated against
+// an independent brute-force search that uses no index, no signatures, and
+// no candidate ordering. Plus: memoized containment verdicts must be
+// identical across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "cq/containment.h"
+#include "cq/signature.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+// ---- Brute-force reference implementations ----
+
+// True iff some substitution on source's variables maps it onto target,
+// by direct positional unification (no signatures involved).
+bool BruteAtomMapsOnto(const Atom& source, const Atom& target) {
+  if (source.predicate() != target.predicate() ||
+      source.arity() != target.arity()) {
+    return false;
+  }
+  Substitution h;
+  for (size_t i = 0; i < source.arity(); ++i) {
+    const Term s = source.arg(i);
+    const Term t = target.arg(i);
+    if (s.is_constant()) {
+      if (s != t) return false;
+    } else if (!h.Bind(s, t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Plain recursive containment-mapping search: head seed, then every target
+// atom tried for every source atom in order. Deliberately shares no code
+// with the library's indexed/prefiltered search.
+bool BruteExtend(const std::vector<Atom>& body, size_t i,
+                 const std::vector<Atom>& target_body, Substitution* h) {
+  if (i == body.size()) return true;
+  const Atom& atom = body[i];
+  for (const Atom& target : target_body) {
+    if (atom.predicate() != target.predicate() ||
+        atom.arity() != target.arity()) {
+      continue;
+    }
+    std::vector<Term> bound;
+    bool ok = true;
+    for (size_t p = 0; p < atom.arity() && ok; ++p) {
+      const Term s = atom.arg(p);
+      const Term t = target.arg(p);
+      if (s.is_constant()) {
+        ok = (s == t);
+      } else if (const auto existing = h->Lookup(s)) {
+        ok = (*existing == t);
+      } else {
+        h->Bind(s, t);
+        bound.push_back(s);
+      }
+    }
+    if (ok && BruteExtend(body, i + 1, target_body, h)) return true;
+    for (Term v : bound) h->Unbind(v);
+  }
+  return false;
+}
+
+bool BruteContainmentMappingExists(const ConjunctiveQuery& source,
+                                   const ConjunctiveQuery& target) {
+  if (source.head().arity() != target.head().arity()) return false;
+  Substitution h;
+  for (size_t i = 0; i < source.head().arity(); ++i) {
+    const Term s = source.head().arg(i);
+    const Term t = target.head().arg(i);
+    if (s.is_constant()) {
+      if (s != t) return false;
+    } else if (!h.Bind(s, t)) {
+      return false;
+    }
+  }
+  return BruteExtend(source.body(), 0, target.body(), &h);
+}
+
+// Queries of one generated workload: the query plus every view definition.
+std::vector<ConjunctiveQuery> QueryPool(QueryShape shape, uint64_t seed) {
+  WorkloadConfig config;
+  config.shape = shape;
+  config.num_query_subgoals = 5;
+  config.num_predicates = 3;  // few predicates => plenty of near-misses
+  config.num_views = 12;
+  config.min_view_subgoals = 1;
+  config.max_view_subgoals = 3;
+  config.seed = seed;
+  const Workload w = GenerateWorkload(config);
+  std::vector<ConjunctiveQuery> pool;
+  pool.push_back(w.query);
+  pool.insert(pool.end(), w.views.begin(), w.views.end());
+  return pool;
+}
+
+class SignaturePrefilterTest
+    : public ::testing::TestWithParam<std::tuple<QueryShape, uint64_t>> {};
+
+// The full search (signature prefilter + candidate masks + indexed
+// backtracking) must agree with the brute-force search on EVERY ordered
+// pair; in particular no prefilter rejection may lose a real mapping.
+TEST_P(SignaturePrefilterTest, FilteredSearchAgreesWithBruteForce) {
+  const auto [shape, seed] = GetParam();
+  const std::vector<ConjunctiveQuery> pool = QueryPool(shape, seed);
+  size_t signature_rejections = 0;
+  for (const ConjunctiveQuery& source : pool) {
+    const QuerySignature source_sig = ComputeQuerySignature(source);
+    for (const ConjunctiveQuery& target : pool) {
+      const bool brute = BruteContainmentMappingExists(source, target);
+      const bool fast = FindContainmentMapping(source, target).has_value();
+      EXPECT_EQ(fast, brute)
+          << "source: " << source.ToString()
+          << "\ntarget: " << target.ToString();
+      if (!QuerySignatureMayMap(source_sig,
+                                ComputeQuerySignature(target))) {
+        ++signature_rejections;
+        EXPECT_FALSE(brute) << "prefilter rejected a mappable pair\n"
+                            << "source: " << source.ToString()
+                            << "\ntarget: " << target.ToString();
+      }
+    }
+  }
+  // The property is vacuous if the generated pool never trips the filter.
+  EXPECT_GT(signature_rejections, 0u);
+}
+
+// Single-atom level: AtomSignatureMayMap is necessary, AtomMayMapOnto is
+// exact, for every ordered atom pair across the workload bodies.
+TEST_P(SignaturePrefilterTest, AtomChecksAgreeWithBruteForce) {
+  const auto [shape, seed] = GetParam();
+  std::vector<Atom> atoms;
+  for (const ConjunctiveQuery& q : QueryPool(shape, seed)) {
+    atoms.insert(atoms.end(), q.body().begin(), q.body().end());
+  }
+  for (const Atom& source : atoms) {
+    const AtomSignature source_sig = ComputeAtomSignature(source);
+    for (const Atom& target : atoms) {
+      const bool brute = BruteAtomMapsOnto(source, target);
+      EXPECT_EQ(AtomMayMapOnto(source, target), brute)
+          << source.ToString() << " -> " << target.ToString();
+      if (brute) {
+        EXPECT_TRUE(
+            AtomSignatureMayMap(source_sig, ComputeAtomSignature(target)))
+            << source.ToString() << " -> " << target.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SignaturePrefilterTest,
+    ::testing::Combine(::testing::Values(QueryShape::kStar, QueryShape::kChain,
+                                         QueryShape::kRandom),
+                       ::testing::Range<uint64_t>(1, 5)));
+
+// Memoized containment: the verdict vector over a fixed pair list must be
+// byte-identical whether computed serially or hammered by concurrent
+// threads racing on the shared memo (thread counts 1, 2, 8).
+TEST(ContainmentMemoDeterminismTest, VerdictsIdenticalAcrossThreadCounts) {
+  std::vector<ConjunctiveQuery> pool = QueryPool(QueryShape::kRandom, 11);
+  const std::vector<ConjunctiveQuery> chain_pool =
+      QueryPool(QueryShape::kChain, 12);
+  pool.insert(pool.end(), chain_pool.begin(), chain_pool.end());
+
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < pool.size(); ++j) pairs.emplace_back(i, j);
+  }
+  const auto verdicts_of = [&]() {
+    std::vector<uint8_t> verdicts(pairs.size());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      verdicts[k] =
+          IsContainedIn(pool[pairs[k].first], pool[pairs[k].second]) ? 1 : 0;
+    }
+    return verdicts;
+  };
+
+  ContainmentMemo::Global().Clear();
+  const std::vector<uint8_t> reference = verdicts_of();
+
+  for (const int num_threads : {1, 2, 8}) {
+    ContainmentMemo::Global().Clear();
+    std::vector<std::vector<uint8_t>> per_thread(num_threads);
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back(
+          [&, t]() { per_thread[t] = verdicts_of(); });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int t = 0; t < num_threads; ++t) {
+      EXPECT_EQ(per_thread[t], reference) << "threads=" << num_threads;
+    }
+    // Rerunning on the now-warm memo must not change a single verdict.
+    EXPECT_EQ(verdicts_of(), reference) << "threads=" << num_threads;
+  }
+
+  // The exercise is only meaningful if the memo actually served hits.
+  Counter* const hits =
+      MetricsRegistry::Global().GetCounter("cq.containment_memo_hits");
+  EXPECT_GT(hits->value(), 0u);
+  ContainmentMemo::Global().Clear();
+}
+
+}  // namespace
+}  // namespace vbr
