@@ -119,7 +119,7 @@ void BM_ServicePlanPipelined(benchmark::State& state) {
     for (size_t i = 0; i < kWindow; ++i) {
       PlanningService::PlanRequest request;
       request.query = setup.workload.query;
-      request.model = CostModel::kM2;
+      request.options.model = CostModel::kM2;
       futures.push_back(service.Submit(std::move(request)));
     }
     for (auto& f : futures) {
@@ -171,7 +171,7 @@ void BM_ServiceThroughput(benchmark::State& state) {
     for (const ConjunctiveQuery& q : batch) {
       PlanningService::PlanRequest request;
       request.query = q;
-      request.model = CostModel::kM2;
+      request.options.model = CostModel::kM2;
       futures.push_back(service.Submit(std::move(request)));
     }
     for (auto& f : futures) {

@@ -10,13 +10,18 @@
 // Usage:
 //   vbr_cli [--all-minimal] [--show-tuples] [--no-grouping] [--threads N]
 //           [--no-cache] [--explain[=json]] [--trace]
-//           [--deadline-ms MS] [--work-budget N]
+//           [--deadline-ms MS] [--work-budget N] [--options JSON]
 //           [--data FACTS_FILE [--model m1|m2|m3]]
 //           [--replay QUERIES_FILE [--qps N] [--concurrency K]] [file]
 //
 // --deadline-ms bounds the run by a wall-clock deadline and --work-budget by
 // a deterministic work-unit budget (see DESIGN.md "Resource governance");
-// both apply to the rewriting enumeration and to the planner. When a budget
+// both apply to the rewriting enumeration and to the planner. All request
+// knobs (--model, --deadline-ms, --work-budget) land in one transport-
+// neutral PlanRequestOptions (planner/request_options.h) — the same struct
+// the binary wire protocol and the HTTP /plan endpoint consume — and
+// --options JSON sets it wholesale in that shared dialect, e.g.
+// --options '{"model":"m3","deadline_ms":50,"work_limit":100000}'. When a budget
 // runs out the run winds down cooperatively: partial results are printed
 // with a "budget exhausted" note instead of hanging or crashing.
 //
@@ -65,6 +70,7 @@
 #include "engine/io.h"
 #include "engine/materialize.h"
 #include "planner/planner.h"
+#include "planner/request_options.h"
 #include "planner/service.h"
 #include "rewrite/core_cover.h"
 
@@ -86,14 +92,13 @@ int main(int argc, char** argv) {
   enum class ExplainMode { kOff, kText, kJson };
   ExplainMode explain_mode = ExplainMode::kOff;
   bool trace = false;
-  ResourceLimits budget;
+  PlanRequestOptions request_options;
   CoreCoverOptions options;
   const char* path = nullptr;
   const char* data_path = nullptr;
   const char* replay_path = nullptr;
   double qps = 0;
   size_t concurrency = 2;
-  CostModel model = CostModel::kM2;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all-minimal") == 0) {
       all_minimal = true;
@@ -115,19 +120,28 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       if (++i >= argc) return Fail("--deadline-ms needs a millisecond count");
       char* end = nullptr;
-      budget.deadline_ms = std::strtod(argv[i], &end);
-      if (end == argv[i] || *end != '\0' || budget.deadline_ms <= 0) {
+      request_options.deadline_ms = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || request_options.deadline_ms <= 0) {
         return Fail(std::string("--deadline-ms needs a positive number, got ") +
                     argv[i]);
       }
     } else if (std::strcmp(argv[i], "--work-budget") == 0) {
       if (++i >= argc) return Fail("--work-budget needs a work-unit count");
       char* end = nullptr;
-      budget.work_limit = std::strtoull(argv[i], &end, 10);
-      if (end == argv[i] || *end != '\0' || budget.work_limit == 0) {
+      request_options.work_limit = std::strtoull(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || request_options.work_limit == 0) {
         return Fail(std::string("--work-budget needs a positive count, got ") +
                     argv[i]);
       }
+    } else if (std::strcmp(argv[i], "--options") == 0) {
+      if (++i >= argc) return Fail("--options needs a JSON object");
+      std::string options_error;
+      const auto parsed =
+          PlanRequestOptions::FromJsonText(argv[i], &options_error);
+      if (!parsed.has_value()) {
+        return Fail("--options: " + options_error);
+      }
+      request_options = *parsed;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain_mode = ExplainMode::kText;
     } else if (std::strcmp(argv[i], "--explain=json") == 0) {
@@ -160,13 +174,7 @@ int main(int argc, char** argv) {
       concurrency = static_cast<size_t>(k);
     } else if (std::strcmp(argv[i], "--model") == 0) {
       if (++i >= argc) return Fail("--model needs m1, m2, or m3");
-      if (std::strcmp(argv[i], "m1") == 0) {
-        model = CostModel::kM1;
-      } else if (std::strcmp(argv[i], "m2") == 0) {
-        model = CostModel::kM2;
-      } else if (std::strcmp(argv[i], "m3") == 0) {
-        model = CostModel::kM3;
-      } else {
+      if (!CostModelFromName(argv[i], &request_options.model)) {
         return Fail("--model needs m1, m2, or m3");
       }
     } else if (argv[i][0] == '-') {
@@ -175,6 +183,10 @@ int main(int argc, char** argv) {
       path = argv[i];
     }
   }
+
+  // Everything below consumes the one unified request-options struct.
+  const ResourceLimits budget = request_options.limits();
+  const CostModel model = request_options.model;
 
   std::string text;
   if (path != nullptr) {
@@ -234,10 +246,6 @@ int main(int argc, char** argv) {
 
     PlanningService::Options service_options;
     service_options.num_workers = concurrency;
-    // The request budget governs each attempt; the deadline additionally
-    // bounds each request end to end (admission included).
-    service_options.budget = budget;
-    service_options.budget.deadline_ms = 0;
     PlanningService service(&planner, service_options);
 
     const double inter_arrival_ms = qps > 0 ? 1000.0 / qps : 0;
@@ -247,8 +255,10 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < replay_queries->size(); ++i) {
       PlanningService::PlanRequest request;
       request.query = (*replay_queries)[i];
-      request.model = model;
-      request.deadline_ms = budget.deadline_ms;
+      // The unified options carry the model, the per-request deadline, and
+      // the work/memory budget in one struct; the service derives its
+      // admission check and attempt governor from them.
+      request.options = request_options;
       futures.push_back(service.Submit(std::move(request)));
       if (inter_arrival_ms > 0 && i + 1 < replay_queries->size()) {
         std::this_thread::sleep_for(

@@ -1,0 +1,154 @@
+// vbr_server — serves plans over the wire.
+//
+// Reads a datalog program whose rules are ALL view definitions (unlike
+// vbr_cli there is no query rule: queries arrive over the network),
+// optionally materializes them over --data ground facts, and starts a
+// PlanServer (server/plan_server.h): the compact binary protocol on --port
+// and the HTTP/1.1 JSON debug endpoint on --http-port.  Planning runs
+// through a PlanningService, so admission control, deadlines, retries, and
+// the brown-out ladder all apply to network requests exactly as they do to
+// in-process callers.
+//
+// Usage:
+//   vbr_server [--port P] [--http-port P] [--host H]
+//              [--workers N] [--queue N] [--data FACTS_FILE] [VIEWS_FILE]
+//
+// Port 0 (the default) binds an ephemeral port; both bound ports are
+// printed on startup, one per line, as "binary_port=P" / "http_port=P", so
+// scripts can scrape them.  The server runs until SIGINT/SIGTERM.
+//
+// Try it:
+//   vbr_server --http-port 8080 views.dl &
+//   curl -s localhost:8080/plan -d '{"query":"q(S):-part(S,M,C).",
+//        "options":{"model":"m2","deadline_ms":100}}'
+//   curl -s 'localhost:8080/explain?q=q(S)%20:-%20part(S,M,C).&model=m2'
+//   curl -s localhost:8080/statz
+//   curl -s localhost:8080/metricz?format=text
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <semaphore>
+#include <sstream>
+#include <string>
+
+#include "cq/parser.h"
+#include "engine/io.h"
+#include "engine/materialize.h"
+#include "planner/planner.h"
+#include "planner/service.h"
+#include "server/plan_server.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "vbr_server: %s\n", message.c_str());
+  return 1;
+}
+
+// Signal handlers can only poke something async-signal-safe; a binary
+// semaphore release is (counting_semaphore::release is signal-safe enough
+// for this use on the supported platforms, and the handler runs once).
+std::binary_semaphore g_shutdown{0};
+
+void HandleSignal(int) { g_shutdown.release(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+
+  server::PlanServerOptions server_options;
+  PlanningService::Options service_options;
+  const char* path = nullptr;
+  const char* data_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    auto NeedsValue = [&](const char* flag) -> const char* {
+      if (++i >= argc) {
+        std::fprintf(stderr, "vbr_server: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      server_options.binary_port =
+          static_cast<uint16_t>(std::atoi(NeedsValue("--port")));
+    } else if (std::strcmp(argv[i], "--http-port") == 0) {
+      server_options.http_port =
+          static_cast<uint16_t>(std::atoi(NeedsValue("--http-port")));
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      server_options.host = NeedsValue("--host");
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      service_options.num_workers =
+          static_cast<size_t>(std::atoi(NeedsValue("--workers")));
+      if (service_options.num_workers == 0) {
+        return Fail("--workers needs a positive count");
+      }
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      service_options.max_queue =
+          static_cast<size_t>(std::atoi(NeedsValue("--queue")));
+      if (service_options.max_queue == 0) {
+        return Fail("--queue needs a positive capacity");
+      }
+    } else if (std::strcmp(argv[i], "--data") == 0) {
+      data_path = NeedsValue("--data");
+    } else if (argv[i][0] == '-') {
+      return Fail(std::string("unknown flag ") + argv[i]);
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::string text;
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) return Fail(std::string("cannot open ") + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  std::string error;
+  auto program = ParseProgram(text, &error);
+  if (!program.has_value()) return Fail("parse error: " + error);
+  if (program->empty()) return Fail("need at least one view rule");
+  const ViewSet views(program->begin(), program->end());
+  for (const View& v : views) {
+    if (!v.IsSafe()) return Fail("unsafe view: " + v.ToString());
+  }
+
+  Database base;
+  if (data_path != nullptr) {
+    std::string data_error;
+    auto loaded = LoadDatabaseFile(data_path, &data_error);
+    if (!loaded.has_value()) return Fail(data_error);
+    base = std::move(*loaded);
+  }
+
+  ViewPlanner planner(views, MaterializeViews(views, base));
+  PlanningService service(&planner, service_options);
+  server::PlanServer server(&service, server_options);
+  if (!server.Start(&error)) return Fail("start: " + error);
+
+  std::printf("binary_port=%u\nhttp_port=%u\n", server.binary_port(),
+              server.http_port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  g_shutdown.acquire();
+
+  std::fprintf(stderr, "vbr_server: shutting down\n");
+  server.Stop();
+  service.Shutdown();
+  std::fprintf(stderr, "vbr_server: %s\n",
+               service.stats().ToString().c_str());
+  return 0;
+}

@@ -11,8 +11,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-asan}
-# ctest names gtest cases "<Suite>.<Test>".
-FILTER=${1:-'Fingerprint|PlanCache|PlanMany|Planner|BudgetGovernance|FaultMatrix|FuzzSmoke'}
+# ctest names gtest cases "<Suite>.<Test>".  FrameTest covers the wire
+# codec (bounds-checked reads over hostile payloads), HttpTest the HTTP
+# parser, PlanServerTest the full server over real sockets.
+FILTER=${1:-'Fingerprint|PlanCache|PlanMany|Planner|BudgetGovernance|FaultMatrix|FuzzSmoke|FrameTest|HttpTest|PlanServer'}
 
 cmake -B "$BUILD_DIR" -S . \
   -DVBR_SANITIZE=address \
@@ -21,7 +23,8 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target fingerprint_test plan_cache_test plan_many_test \
   planner_test planner_options_test \
-  budget_governance_test fault_matrix_test parser_fuzz json_fuzz
+  budget_governance_test fault_matrix_test parser_fuzz json_fuzz \
+  frame_test http_test server_integration_test request_options_test
 
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \

@@ -1,0 +1,63 @@
+#!/bin/sh
+# End-to-end smoke of the network front end: builds vbr_server and
+# vbr_loadgen, serves the car-loc-part example on ephemeral ports, drives
+# it open-loop over the binary protocol, and lets the loadgen's own
+# checks gate the result:
+#   - every request answered exactly once (lost == duplicated == 0)
+#   - service accounting balances (submitted == admitted + rejected, and
+#     completed + shed + failed never exceeds admitted), scraped from the
+#     HTTP /statz endpoint via --check-statz.
+#
+# Usage: scripts/check_net_smoke.sh
+# The build tree is build/ (shared with the regular build).
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target vbr_server vbr_loadgen
+
+PORTS_FILE=$(mktemp)
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$PORTS_FILE"
+}
+trap cleanup EXIT INT TERM
+
+# Ephemeral ports: the server prints "binary_port=P" / "http_port=P" on
+# stdout once both listeners are up.
+"$BUILD_DIR"/examples/vbr_server --port 0 --http-port 0 --workers 2 \
+  --data examples/data/car_loc_part.facts \
+  examples/data/car_loc_part.program > "$PORTS_FILE" &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+  grep -q '^http_port=' "$PORTS_FILE" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "check_net_smoke: server exited early" >&2
+    cat "$PORTS_FILE" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+BINARY_PORT=$(sed -n 's/^binary_port=//p' "$PORTS_FILE")
+HTTP_PORT=$(sed -n 's/^http_port=//p' "$PORTS_FILE")
+[ -n "$BINARY_PORT" ] && [ -n "$HTTP_PORT" ] || {
+  echo "check_net_smoke: could not scrape ports" >&2
+  exit 1
+}
+
+# Paced run with deadlines (exercises admission control), then a short
+# flood (exercises shedding); both must account for every request.
+"$BUILD_DIR"/examples/vbr_loadgen --port "$BINARY_PORT" \
+  --queries examples/data/car_loc_part.replay \
+  --connections 4 --qps 200 --requests 500 --deadline-ms 100 \
+  --check-statz "$HTTP_PORT"
+"$BUILD_DIR"/examples/vbr_loadgen --port "$BINARY_PORT" \
+  --queries examples/data/car_loc_part.replay \
+  --connections 8 --qps 0 --requests 1000 --deadline-ms 50 \
+  --check-statz "$HTTP_PORT"
+
+echo "check_net_smoke: wire accounting clean (no lost/duplicated responses)"

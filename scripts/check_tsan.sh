@@ -13,10 +13,11 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 # ctest names gtest cases "<Suite>.<Test>"; this matches the SymbolTable
 # stress suite, the determinism suites (including budget determinism), the
 # sharded plan cache / batched planning suites, the resource-governance
-# fault-injection suites, the containment-memo determinism suite, and the
+# fault-injection suites, the containment-memo determinism suite, the
 # PlanningService stress harness (worker pool, breaker ladder, concurrent
-# ReplaceViews).
-FILTER=${1:-'SymbolConcurrency|Determinism|PlanCache|PlanMany|BudgetGovernance|FaultMatrix|FaultInjection|StressHarness|CircuitBreaker'}
+# ReplaceViews), and the PlanServer integration suite (IO thread vs worker
+# completions vs client threads over real sockets).
+FILTER=${1:-'SymbolConcurrency|Determinism|PlanCache|PlanMany|BudgetGovernance|FaultMatrix|FaultInjection|StressHarness|CircuitBreaker|PlanServer'}
 
 cmake -B "$BUILD_DIR" -S . \
   -DVBR_SANITIZE=thread \
@@ -27,7 +28,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   determinism_test plan_cache_test plan_many_test \
   budget_determinism_test budget_governance_test fault_matrix_test \
   fault_injection_test stress_harness_test circuit_breaker_test \
-  signature_prefilter_test
+  signature_prefilter_test server_integration_test
 
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \

@@ -2,6 +2,7 @@
 #define VBR_COST_COST_MODEL_H_
 
 #include <cstddef>
+#include <string_view>
 
 #include "cq/query.h"
 
@@ -22,6 +23,37 @@ enum class CostModel {
   kM2,
   kM3,
 };
+
+// Canonical short names ("M1"/"M2"/"M3"), shared by EXPLAIN, the service
+// trace attributes, the CLI, and the wire protocols.
+inline const char* CostModelName(CostModel model) {
+  switch (model) {
+    case CostModel::kM1:
+      return "M1";
+    case CostModel::kM2:
+      return "M2";
+    case CostModel::kM3:
+      return "M3";
+  }
+  return "?";
+}
+
+// Parses "m1"/"M1"/"m2"/... into `out`. Returns false on anything else.
+inline bool CostModelFromName(std::string_view name, CostModel* out) {
+  if (name.size() != 2 || (name[0] != 'm' && name[0] != 'M')) return false;
+  switch (name[1]) {
+    case '1':
+      *out = CostModel::kM1;
+      return true;
+    case '2':
+      *out = CostModel::kM2;
+      return true;
+    case '3':
+      *out = CostModel::kM3;
+      return true;
+  }
+  return false;
+}
 
 // M1 cost of a logical plan: its subgoal count.
 inline size_t CostM1(const ConjunctiveQuery& rewriting) {

@@ -1,0 +1,292 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace vbr::net {
+
+namespace {
+
+// Little-endian primitive writers.  memcpy of the value assumes a
+// little-endian host (x86-64 / aarch64, the supported targets); the tests
+// round-trip through these same helpers so skew would be caught in CI on
+// any big-endian port.
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutF64(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  uint8_t U8() { return ReadScalar<uint8_t>(); }
+  uint16_t U16() { return ReadScalar<uint16_t>(); }
+  uint32_t U32() { return ReadScalar<uint32_t>(); }
+  uint64_t U64() { return ReadScalar<uint64_t>(); }
+  double F64() { return ReadScalar<double>(); }
+
+  std::string String() {
+    const uint32_t len = U32();
+    if (!ok_ || data_.size() - pos_ < len) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  template <typename T>
+  T ReadScalar() {
+    T v{};
+    if (!ok_ || data_.size() - pos_ < sizeof(T)) {
+      ok_ = false;
+      return v;
+    }
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Wire cost-model codes are 1-based so that a zeroed payload is invalid.
+uint8_t ModelCode(CostModel model) {
+  switch (model) {
+    case CostModel::kM1:
+      return 1;
+    case CostModel::kM2:
+      return 2;
+    case CostModel::kM3:
+      return 3;
+  }
+  return 0;
+}
+
+bool ModelFromCode(uint8_t code, CostModel* out) {
+  switch (code) {
+    case 1:
+      *out = CostModel::kM1;
+      return true;
+    case 2:
+      *out = CostModel::kM2;
+      return true;
+    case 3:
+      *out = CostModel::kM3;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kRejected:
+      return "rejected";
+    case WireStatus::kShed:
+      return "shed";
+    case WireStatus::kFailed:
+      return "failed";
+    case WireStatus::kBadRequest:
+      return "bad_request";
+    case WireStatus::kUnsupportedVersion:
+      return "unsupported_version";
+    case WireStatus::kUnknownHandle:
+      return "unknown_handle";
+  }
+  return "unknown";
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kNeedMore:
+      return "need_more";
+    case DecodeStatus::kTooLarge:
+      return "too_large";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+    case DecodeStatus::kVersionSkew:
+      return "version_skew";
+    case DecodeStatus::kBadKind:
+      return "bad_kind";
+  }
+  return "unknown";
+}
+
+void EncodePlanRequest(const PlanRequestFrame& frame, std::string* out) {
+  std::string payload;
+  PutU8(&payload, kProtocolVersion);
+  PutU8(&payload, static_cast<uint8_t>(FrameKind::kPlanRequest));
+  uint16_t flags = 0;
+  if (frame.query_is_handle) flags |= kFlagQueryIsHandle;
+  if (frame.want_certificate) flags |= kFlagWantCertificate;
+  PutU16(&payload, flags);
+  PutU64(&payload, frame.request_id);
+  PutU8(&payload, ModelCode(frame.options.model));
+  PutF64(&payload, frame.options.deadline_ms);
+  PutU64(&payload, frame.options.work_limit);
+  PutU64(&payload, frame.options.memory_limit_bytes);
+  PutU64(&payload, frame.options.search_node_cap);
+  if (frame.query_is_handle) {
+    std::string handle_bytes;
+    PutU64(&handle_bytes, frame.query_handle);
+    PutString(&payload, handle_bytes);
+  } else {
+    PutString(&payload, frame.query_text);
+  }
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+void EncodePlanResponse(const PlanResponseFrame& frame, std::string* out) {
+  std::string payload;
+  PutU8(&payload, kProtocolVersion);
+  PutU8(&payload, static_cast<uint8_t>(FrameKind::kPlanResponse));
+  uint16_t flags = 0;
+  if (frame.cache_hit) flags |= kFlagCacheHit;
+  if (frame.degraded) flags |= kFlagDegraded;
+  if (frame.served_from_cache_only) flags |= kFlagServedFromCacheOnly;
+  if (frame.model_demoted) flags |= kFlagModelDemoted;
+  PutU16(&payload, flags);
+  PutU64(&payload, frame.request_id);
+  PutU8(&payload, static_cast<uint8_t>(frame.status));
+  PutU8(&payload, frame.reject_reason);
+  PutU8(&payload, frame.plan_status);
+  PutU8(&payload, frame.attempts);
+  PutU32(&payload, frame.service_level);
+  PutF64(&payload, frame.queue_wait_ms);
+  PutU64(&payload, frame.cost);
+  PutU64(&payload, frame.query_handle);
+  PutString(&payload, frame.rewriting);
+  PutString(&payload, frame.certificate);
+  PutString(&payload, frame.error);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+DecodeStatus ExtractFrame(std::string_view buffer, uint32_t max_payload,
+                          std::string_view* payload, size_t* consumed) {
+  if (buffer.size() < sizeof(uint32_t)) return DecodeStatus::kNeedMore;
+  uint32_t len = 0;
+  std::memcpy(&len, buffer.data(), sizeof(len));
+  if (len > max_payload) return DecodeStatus::kTooLarge;
+  if (buffer.size() - sizeof(uint32_t) < len) return DecodeStatus::kNeedMore;
+  *payload = buffer.substr(sizeof(uint32_t), len);
+  *consumed = sizeof(uint32_t) + len;
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodePlanRequest(std::string_view payload,
+                               PlanRequestFrame* out) {
+  Reader r(payload);
+  const uint8_t version = r.U8();
+  const uint8_t kind = r.U8();
+  const uint16_t flags = r.U16();
+  out->request_id = r.U64();
+  if (!r.ok()) return DecodeStatus::kMalformed;
+  if (version > kProtocolVersion) return DecodeStatus::kVersionSkew;
+  if (kind != static_cast<uint8_t>(FrameKind::kPlanRequest)) {
+    return DecodeStatus::kBadKind;
+  }
+  out->query_is_handle = (flags & kFlagQueryIsHandle) != 0;
+  out->want_certificate = (flags & kFlagWantCertificate) != 0;
+  const uint8_t model_code = r.U8();
+  out->options.deadline_ms = r.F64();
+  out->options.work_limit = r.U64();
+  out->options.memory_limit_bytes = r.U64();
+  out->options.search_node_cap = r.U64();
+  const std::string query = r.String();
+  if (!r.ok() || !r.exhausted()) return DecodeStatus::kMalformed;
+  if (!ModelFromCode(model_code, &out->options.model)) {
+    return DecodeStatus::kMalformed;
+  }
+  // Reject non-finite deadlines: they would poison the admission estimate.
+  if (!(out->options.deadline_ms >= 0) ||
+      out->options.deadline_ms != out->options.deadline_ms) {
+    return DecodeStatus::kMalformed;
+  }
+  if (out->query_is_handle) {
+    if (query.size() != sizeof(uint64_t)) return DecodeStatus::kMalformed;
+    std::memcpy(&out->query_handle, query.data(), sizeof(uint64_t));
+    out->query_text.clear();
+  } else {
+    out->query_text = query;
+    out->query_handle = 0;
+  }
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodePlanResponse(std::string_view payload,
+                                PlanResponseFrame* out) {
+  Reader r(payload);
+  const uint8_t version = r.U8();
+  const uint8_t kind = r.U8();
+  const uint16_t flags = r.U16();
+  out->request_id = r.U64();
+  if (!r.ok()) return DecodeStatus::kMalformed;
+  if (version > kProtocolVersion) return DecodeStatus::kVersionSkew;
+  if (kind != static_cast<uint8_t>(FrameKind::kPlanResponse)) {
+    return DecodeStatus::kBadKind;
+  }
+  out->cache_hit = (flags & kFlagCacheHit) != 0;
+  out->degraded = (flags & kFlagDegraded) != 0;
+  out->served_from_cache_only = (flags & kFlagServedFromCacheOnly) != 0;
+  out->model_demoted = (flags & kFlagModelDemoted) != 0;
+  const uint8_t status = r.U8();
+  out->reject_reason = r.U8();
+  out->plan_status = r.U8();
+  out->attempts = r.U8();
+  out->service_level = r.U32();
+  out->queue_wait_ms = r.F64();
+  out->cost = r.U64();
+  out->query_handle = r.U64();
+  out->rewriting = r.String();
+  out->certificate = r.String();
+  out->error = r.String();
+  if (!r.ok() || !r.exhausted()) return DecodeStatus::kMalformed;
+  if (status > static_cast<uint8_t>(WireStatus::kUnknownHandle)) {
+    return DecodeStatus::kMalformed;
+  }
+  out->status = static_cast<WireStatus>(status);
+  return DecodeStatus::kOk;
+}
+
+uint64_t HashQueryText(std::string_view text) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a 64 offset basis
+  for (const char c : text) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,194 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace vbr::net {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void ParseQueryString(std::string_view query,
+                      std::map<std::string, std::string>* params) {
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      (*params)[UrlDecode(pair)] = "";
+    } else {
+      (*params)[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+  }
+}
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Status";
+  }
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size()) {
+      const int hi = HexDigit(in[i + 1]);
+      const int lo = HexDigit(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+HttpParseStatus ParseHttpRequest(std::string_view buffer, size_t max_bytes,
+                                 HttpRequest* out, size_t* consumed) {
+  const size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return buffer.size() > max_bytes ? HttpParseStatus::kTooLarge
+                                     : HttpParseStatus::kNeedMore;
+  }
+  const std::string_view head = buffer.substr(0, header_end);
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return HttpParseStatus::kBad;
+  }
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return HttpParseStatus::kBad;
+  }
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  request.path = UrlDecode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    ParseQueryString(target.substr(qmark + 1), &request.params);
+  }
+
+  // Headers.
+  std::string_view rest = line_end == std::string_view::npos
+                              ? std::string_view()
+                              : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    const std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 2);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return HttpParseStatus::kBad;
+    request.headers[Lower(Trim(line.substr(0, colon)))] =
+        std::string(Trim(line.substr(colon + 1)));
+  }
+
+  // Body: Content-Length only.
+  size_t body_len = 0;
+  if (const auto it = request.headers.find("transfer-encoding");
+      it != request.headers.end()) {
+    return HttpParseStatus::kBad;  // chunked not supported
+  }
+  if (const auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      return HttpParseStatus::kBad;
+    }
+    body_len = static_cast<size_t>(v);
+  }
+  const size_t total = header_end + 4 + body_len;
+  if (total > max_bytes) return HttpParseStatus::kTooLarge;
+  if (buffer.size() < total) return HttpParseStatus::kNeedMore;
+  request.body = std::string(buffer.substr(header_end + 4, body_len));
+
+  request.keep_alive = version == "HTTP/1.1";
+  if (const auto it = request.headers.find("connection");
+      it != request.headers.end()) {
+    const std::string value = Lower(it->second);
+    if (value == "close") request.keep_alive = false;
+    if (value == "keep-alive") request.keep_alive = true;
+  }
+
+  *out = std::move(request);
+  *consumed = total;
+  return HttpParseStatus::kOk;
+}
+
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " +
+                    ReasonPhrase(status_code) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out.append(body.data(), body.size());
+  return out;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,49 @@
+// A deliberately small HTTP/1.1 subset for the debug endpoint: enough to
+// parse `POST /plan` and `GET /explain?...` from well-behaved tools (curl,
+// browsers, the tests) and to emit well-formed responses.  Not a general
+// web server: no chunked transfer encoding, no multi-line headers, one
+// request in flight per connection.
+#ifndef VBR_NET_HTTP_H_
+#define VBR_NET_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace vbr::net {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (uppercase as sent)
+  std::string path;     // target path, URL-decoded, query string stripped
+  // Query parameters, URL-decoded.  Last occurrence of a repeated key wins.
+  std::map<std::string, std::string> params;
+  // Header names lowercased; values trimmed of surrounding whitespace.
+  std::map<std::string, std::string> headers;
+  std::string body;
+  bool keep_alive = true;
+};
+
+enum class HttpParseStatus : uint8_t {
+  kOk = 0,
+  kNeedMore,  // headers or body incomplete; keep reading
+  kBad,       // malformed request line/headers; respond 400 and close
+  kTooLarge,  // headers+body exceed the configured cap; respond 413, close
+};
+
+// Parses one request from the front of `buffer`.  On kOk fills *out and
+// sets *consumed to the bytes to drop from the receive buffer.  Requests
+// with a body require Content-Length (chunked encoding is kBad).
+HttpParseStatus ParseHttpRequest(std::string_view buffer, size_t max_bytes,
+                                 HttpRequest* out, size_t* consumed);
+
+// Serializes a response with Content-Length and Connection headers.
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body, bool keep_alive);
+
+// Percent-decoding; '+' decodes to space (form/query convention).
+std::string UrlDecode(std::string_view in);
+
+}  // namespace vbr::net
+
+#endif  // VBR_NET_HTTP_H_

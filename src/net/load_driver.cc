@@ -1,0 +1,226 @@
+#include "net/load_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "net/socket.h"
+
+namespace vbr::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// Per-request bookkeeping, indexed by global request id.  answered uses an
+// atomic counter so duplicate detection is exact under concurrency.
+struct Ledger {
+  explicit Ledger(size_t n)
+      : send_time(n), latency_ms(n, -1.0), answered(n) {}
+  std::vector<Clock::time_point> send_time;
+  std::vector<double> latency_ms;
+  std::vector<std::atomic<uint32_t>> answered;
+};
+
+}  // namespace
+
+std::string LoadReport::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "sent=%zu received=%zu lost=%zu dup=%zu decode_errors=%zu | "
+      "ok=%zu rejected=%zu shed=%zu failed=%zu bad=%zu | "
+      "wall=%.2fs achieved=%.0f qps | "
+      "p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
+      sent, received, lost, duplicated, decode_errors, by_status[0],
+      by_status[1], by_status[2], by_status[3],
+      by_status[4] + by_status[5] + by_status[6], wall_s, achieved_qps, p50_ms,
+      p90_ms, p99_ms, max_ms);
+  return std::string(buf);
+}
+
+bool RunLoad(const LoadDriverOptions& options, LoadReport* report,
+             std::string* error) {
+  if (options.queries.empty()) {
+    if (error != nullptr) *error = "load driver needs at least one query";
+    return false;
+  }
+  const size_t connections = std::max<size_t>(1, options.connections);
+  const size_t total = options.total_requests;
+
+  std::vector<OwnedFd> sockets;
+  sockets.reserve(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    OwnedFd fd = ConnectTcp(options.host, options.port, error);
+    if (!fd.valid()) return false;
+    sockets.push_back(std::move(fd));
+  }
+
+  Ledger ledger(total);
+  std::atomic<size_t> sent{0};
+  std::atomic<size_t> received{0};
+  std::atomic<size_t> duplicated{0};
+  std::atomic<size_t> decode_errors{0};
+  std::atomic<size_t> by_status[7] = {};
+  std::atomic<bool> drain_deadline_passed{false};
+
+  const Clock::time_point start = Clock::now();
+  const double interval_ms =
+      options.qps > 0 ? 1000.0 / options.qps : 0.0;
+
+  // Senders: connection c owns global indices c, c+connections, ...
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      std::string wire;
+      for (size_t id = c; id < total; id += connections) {
+        if (interval_ms > 0) {
+          const Clock::time_point due =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              interval_ms * static_cast<double>(id)));
+          std::this_thread::sleep_until(due);
+        }
+        PlanRequestFrame frame;
+        frame.request_id = id;
+        frame.options = options.request;
+        frame.want_certificate = options.want_certificate;
+        frame.query_text = options.queries[id % options.queries.size()];
+        wire.clear();
+        EncodePlanRequest(frame, &wire);
+        ledger.send_time[id] = Clock::now();
+        sent.fetch_add(1, std::memory_order_relaxed);
+        if (!WriteAll(sockets[c].get(), wire.data(), wire.size())) {
+          return;  // server dropped us; remaining ids count as lost
+        }
+      }
+    });
+  }
+
+  // Receivers: one per connection, stop once every id this connection owns
+  // is answered or the drain deadline passes.
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      const size_t owned =
+          total == 0 ? 0 : (total - c + connections - 1) / connections;
+      size_t answered_here = 0;
+      std::string buffer;
+      char chunk[16 * 1024];
+      while (answered_here < owned) {
+        if (drain_deadline_passed.load(std::memory_order_relaxed)) return;
+        const IoResult r = ReadSome(sockets[c].get(), chunk, sizeof(chunk));
+        if (r.status == IoStatus::kWouldBlock) {
+          // Short sleep keeps the drain-deadline check responsive.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        if (r.status != IoStatus::kOk) return;  // EOF / error
+        buffer.append(chunk, r.n);
+        while (true) {
+          std::string_view payload;
+          size_t consumed = 0;
+          const DecodeStatus es =
+              ExtractFrame(buffer, kDefaultMaxPayload, &payload, &consumed);
+          if (es == DecodeStatus::kNeedMore) break;
+          if (es != DecodeStatus::kOk) {
+            decode_errors.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          PlanResponseFrame response;
+          const DecodeStatus ds = DecodePlanResponse(payload, &response);
+          buffer.erase(0, consumed);
+          if (ds != DecodeStatus::kOk) {
+            decode_errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const uint64_t id = response.request_id;
+          if (id >= total) {
+            decode_errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const uint32_t prior = ledger.answered[id].fetch_add(
+              1, std::memory_order_relaxed);
+          if (prior > 0) {
+            duplicated.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          ledger.latency_ms[id] = MsSince(ledger.send_time[id], Clock::now());
+          by_status[static_cast<size_t>(response.status)].fetch_add(
+              1, std::memory_order_relaxed);
+          received.fetch_add(1, std::memory_order_relaxed);
+          ++answered_here;
+        }
+      }
+    });
+  }
+
+  // Watchdog: give receivers drain_timeout_ms past the moment everything
+  // was sent, then cut them loose.
+  std::thread watchdog([&] {
+    while (sent.load(std::memory_order_relaxed) < total) {
+      if (received.load(std::memory_order_relaxed) +
+              decode_errors.load(std::memory_order_relaxed) >=
+          total) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const Clock::time_point cutoff =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               options.drain_timeout_ms));
+    while (Clock::now() < cutoff &&
+           received.load(std::memory_order_relaxed) < total) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    drain_deadline_passed.store(true, std::memory_order_relaxed);
+  });
+
+  for (std::thread& t : threads) t.join();
+  drain_deadline_passed.store(true, std::memory_order_relaxed);
+  watchdog.join();
+  const Clock::time_point end = Clock::now();
+
+  report->sent = sent.load();
+  report->received = received.load();
+  report->lost = report->sent - report->received;
+  report->duplicated = duplicated.load();
+  report->decode_errors = decode_errors.load();
+  for (size_t i = 0; i < 7; ++i) report->by_status[i] = by_status[i].load();
+  report->wall_s = MsSince(start, end) / 1000.0;
+  report->achieved_qps =
+      report->wall_s > 0 ? static_cast<double>(report->received) /
+                               report->wall_s
+                         : 0;
+
+  std::vector<double> latencies;
+  latencies.reserve(report->received);
+  for (const double l : ledger.latency_ms) {
+    if (l >= 0) latencies.push_back(l);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report->p50_ms = Percentile(latencies, 0.50);
+  report->p90_ms = Percentile(latencies, 0.90);
+  report->p99_ms = Percentile(latencies, 0.99);
+  report->max_ms = latencies.empty() ? 0 : latencies.back();
+  return true;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,70 @@
+// Open-loop load driver for the binary plan protocol, shared by the
+// vbr_loadgen example and bench_service_net.
+//
+// Open-loop means the send schedule is absolute: request k is due at
+// start + k/qps regardless of whether earlier responses have arrived, so a
+// saturated server accumulates queueing delay instead of silently slowing
+// the offered rate (the coordinated-omission trap of closed-loop drivers).
+// Each connection runs a sender and a receiver thread; request ids are
+// globally unique, so lost and duplicated responses are detected exactly.
+#ifndef VBR_NET_LOAD_DRIVER_H_
+#define VBR_NET_LOAD_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "planner/request_options.h"
+
+namespace vbr::net {
+
+struct LoadDriverOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t connections = 4;
+  // Aggregate offered rate across all connections. <= 0 floods (no pacing,
+  // still open-loop: senders never wait for responses).
+  double qps = 0;
+  size_t total_requests = 1000;
+  // Queries are assigned round-robin by global request index.
+  std::vector<std::string> queries;
+  // Per-request options put on the wire (model, deadline, budget).
+  PlanRequestOptions request;
+  bool want_certificate = false;
+  // How long the receivers keep draining after the last send before
+  // declaring the remaining requests lost.
+  double drain_timeout_ms = 5000;
+};
+
+struct LoadReport {
+  size_t sent = 0;
+  size_t received = 0;
+  size_t lost = 0;        // sent, never answered within the drain timeout
+  size_t duplicated = 0;  // answered more than once (protocol bug if != 0)
+  size_t decode_errors = 0;
+  // Responses by WireStatus (indexed by the enum's numeric value).
+  size_t by_status[7] = {0, 0, 0, 0, 0, 0, 0};
+  double wall_s = 0;
+  double achieved_qps = 0;  // received / wall_s
+  // Latency percentiles over answered requests, milliseconds.
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+
+  size_t ok() const { return by_status[0]; }
+  size_t shed_or_rejected() const {
+    return by_status[1] + by_status[2];
+  }
+  std::string ToString() const;
+};
+
+// Runs the workload; returns false and fills *error when the connections
+// cannot be established.  Thread-safe with respect to the server.
+bool RunLoad(const LoadDriverOptions& options, LoadReport* report,
+             std::string* error);
+
+}  // namespace vbr::net
+
+#endif  // VBR_NET_LOAD_DRIVER_H_

@@ -1,0 +1,50 @@
+#include "net/poller.h"
+
+#include <poll.h>
+
+#include <algorithm>
+
+namespace vbr::net {
+
+void Poller::Watch(int fd, bool want_read, bool want_write) {
+  for (PollEntry& entry : entries_) {
+    if (entry.fd == fd) {
+      entry.events.readable = want_read;
+      entry.events.writable = want_write;
+      return;
+    }
+  }
+  entries_.push_back({fd, {want_read, want_write, false}});
+}
+
+void Poller::Forget(int fd) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [fd](const PollEntry& e) { return e.fd == fd; }),
+                 entries_.end());
+}
+
+std::vector<PollEntry> Poller::Wait(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries_.size());
+  for (const PollEntry& entry : entries_) {
+    short events = 0;
+    if (entry.events.readable) events |= POLLIN;
+    if (entry.events.writable) events |= POLLOUT;
+    fds.push_back({entry.fd, events, 0});
+  }
+  std::vector<PollEntry> ready;
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n <= 0) return ready;  // timeout, EINTR, or error: caller just re-waits
+  for (const pollfd& pfd : fds) {
+    if (pfd.revents == 0) continue;
+    PollEntry entry;
+    entry.fd = pfd.fd;
+    entry.events.readable = (pfd.revents & POLLIN) != 0;
+    entry.events.writable = (pfd.revents & POLLOUT) != 0;
+    entry.events.closed = (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    ready.push_back(entry);
+  }
+  return ready;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,44 @@
+// A minimal readiness multiplexer over poll(2).  The plan server runs a
+// single IO thread around one Poller; epoll would scale further but poll
+// keeps the code portable (macOS/BSD CI) and the server's connection counts
+// are bounded by admission control anyway.
+#ifndef VBR_NET_POLLER_H_
+#define VBR_NET_POLLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vbr::net {
+
+// What a watched descriptor is waiting for / what it got.
+struct PollEvents {
+  bool readable = false;
+  bool writable = false;
+  // Set on wait results only: hangup or error on the descriptor.
+  bool closed = false;
+};
+
+struct PollEntry {
+  int fd = -1;
+  PollEvents events;
+};
+
+class Poller {
+ public:
+  // Registers fd (or updates its interest set if already watched).
+  void Watch(int fd, bool want_read, bool want_write);
+  void Forget(int fd);
+  size_t watched() const { return entries_.size(); }
+
+  // Blocks up to timeout_ms (-1 = forever) and returns the descriptors with
+  // pending events.  Returns an empty vector on timeout or EINTR.
+  std::vector<PollEntry> Wait(int timeout_ms);
+
+ private:
+  std::vector<PollEntry> entries_;
+};
+
+}  // namespace vbr::net
+
+#endif  // VBR_NET_POLLER_H_

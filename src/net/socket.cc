@@ -1,0 +1,204 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace vbr::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool ParseHost(const std::string& host, in_addr* out) {
+  if (host.empty() || host == "0.0.0.0") {
+    out->s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (host == "localhost") {
+    out->s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+}  // namespace
+
+void OwnedFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool SetNonBlocking(int fd, std::string* error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    if (error != nullptr) *error = Errno("fcntl(O_NONBLOCK)");
+    return false;
+  }
+  return true;
+}
+
+OwnedFd ListenTcp(const std::string& host, uint16_t port, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!ParseHost(host, &addr.sin_addr)) {
+    if (error != nullptr) *error = "unparseable IPv4 host: " + host;
+    return OwnedFd();
+  }
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return OwnedFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = Errno("bind");
+    return OwnedFd();
+  }
+  if (::listen(fd.get(), 128) < 0) {
+    if (error != nullptr) *error = Errno("listen");
+    return OwnedFd();
+  }
+  if (!SetNonBlocking(fd.get(), error)) return OwnedFd();
+  return fd;
+}
+
+OwnedFd ConnectTcp(const std::string& host, uint16_t port, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  in_addr parsed{};
+  if (!ParseHost(host, &parsed)) {
+    if (error != nullptr) *error = "unparseable IPv4 host: " + host;
+    return OwnedFd();
+  }
+  // "any" is not a connectable address; treat it as loopback for clients.
+  addr.sin_addr.s_addr = parsed.s_addr == htonl(INADDR_ANY)
+                             ? htonl(INADDR_LOOPBACK)
+                             : parsed.s_addr;
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return OwnedFd();
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (error != nullptr) *error = Errno("connect");
+    return OwnedFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (!SetNonBlocking(fd.get(), error)) return OwnedFd();
+  return fd;
+}
+
+OwnedFd AcceptConn(int listener_fd) {
+  const int fd = ::accept(listener_fd, nullptr, nullptr);
+  if (fd < 0) return OwnedFd();
+  std::string error;
+  if (!SetNonBlocking(fd, &error)) {
+    ::close(fd);
+    return OwnedFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return OwnedFd(fd);
+}
+
+uint16_t LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+IoResult ReadSome(int fd, void* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n > 0) return {IoStatus::kOk, static_cast<size_t>(n)};
+    if (n == 0) return {IoStatus::kEof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult WriteSome(int fd, const void* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+bool WriteAll(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const IoResult r = WriteSome(fd, p, len);
+    if (r.status == IoStatus::kOk) {
+      p += r.n;
+      len -= r.n;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) {
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ReadAll(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const IoResult r = ReadSome(fd, p, len);
+    if (r.status == IoStatus::kOk) {
+      p += r.n;
+      len -= r.n;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) {
+      pollfd pfd{fd, POLLIN, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;  // EOF or error before len bytes arrived.
+  }
+  return true;
+}
+
+bool SocketPair(OwnedFd* a, OwnedFd* b, std::string* error) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    if (error != nullptr) *error = Errno("socketpair");
+    return false;
+  }
+  a->reset(fds[0]);
+  b->reset(fds[1]);
+  return SetNonBlocking(a->get(), error) && SetNonBlocking(b->get(), error);
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,98 @@
+// Thin POSIX socket helpers shared by the plan server, the load generator,
+// and the wire-path tests.  Everything here is a free function over raw file
+// descriptors plus one RAII wrapper (OwnedFd); the event loop lives in
+// poller.h and the framing in frame.h.
+//
+// All sockets handed out by this header are non-blocking unless noted, and
+// writes use MSG_NOSIGNAL so a peer that disconnects mid-response surfaces
+// as EPIPE instead of killing the process with SIGPIPE.
+#ifndef VBR_NET_SOCKET_H_
+#define VBR_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace vbr::net {
+
+// Closes the descriptor on destruction.  Movable, not copyable.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+  ~OwnedFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Result of a non-blocking read/write attempt.
+enum class IoStatus : uint8_t {
+  kOk,        // made progress; `n` bytes transferred
+  kWouldBlock,  // no progress right now; retry after the poller says ready
+  kEof,       // orderly shutdown by the peer (reads only)
+  kError,     // hard error; connection should be dropped
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kError;
+  size_t n = 0;
+};
+
+// Opens a TCP listener bound to host:port with SO_REUSEADDR, non-blocking,
+// backlog 128.  port == 0 picks an ephemeral port (read it back with
+// LocalPort).  Returns an invalid OwnedFd and fills *error on failure.
+OwnedFd ListenTcp(const std::string& host, uint16_t port, std::string* error);
+
+// Blocking connect to host:port; the returned socket is then switched to
+// non-blocking mode.  Used by clients (loadgen, tests) where connection
+// establishment latency is uninteresting.
+OwnedFd ConnectTcp(const std::string& host, uint16_t port, std::string* error);
+
+// Accepts one pending connection from a non-blocking listener.  Returns an
+// invalid fd when the accept queue is empty (EAGAIN) or on error.
+OwnedFd AcceptConn(int listener_fd);
+
+// The port a bound socket actually listens on (resolves port-0 binds).
+// Returns 0 on error.
+uint16_t LocalPort(int fd);
+
+bool SetNonBlocking(int fd, std::string* error);
+
+// One non-blocking read into buf.  kOk means result.n > 0 bytes were read.
+IoResult ReadSome(int fd, void* buf, size_t len);
+
+// One non-blocking send (MSG_NOSIGNAL).  kOk means result.n > 0 bytes went
+// out; a peer reset surfaces as kError, never SIGPIPE.
+IoResult WriteSome(int fd, const void* buf, size_t len);
+
+// Writes the whole buffer on a socket, spinning on EAGAIN with a short
+// poll.  Only for client-side helpers/tests where blocking is acceptable.
+bool WriteAll(int fd, const void* buf, size_t len);
+
+// Reads exactly len bytes, blocking via poll until available or the peer
+// closes.  Only for client-side helpers/tests.
+bool ReadAll(int fd, void* buf, size_t len);
+
+// A connected AF_UNIX socket pair (both ends non-blocking); used as the
+// event-loop wakeup channel.  Returns false and fills *error on failure.
+bool SocketPair(OwnedFd* a, OwnedFd* b, std::string* error);
+
+}  // namespace vbr::net
+
+#endif  // VBR_NET_SOCKET_H_

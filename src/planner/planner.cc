@@ -25,17 +25,9 @@ namespace vbr {
 
 namespace {
 
-const char* ModelName(CostModel model) {
-  switch (model) {
-    case CostModel::kM1:
-      return "M1";
-    case CostModel::kM2:
-      return "M2";
-    case CostModel::kM3:
-      return "M3";
-  }
-  return "?";
-}
+// Canonical model names now live in cost/cost_model.h; this alias keeps the
+// call sites below unchanged.
+constexpr auto ModelName = CostModelName;
 
 // Inverse of a variable-to-variable renaming.
 Substitution InvertRenaming(const Substitution& renaming) {
@@ -270,6 +262,33 @@ std::string ViewPlanner::PlanExplanation::ToJson() const {
     s += ",\"state_sizes\":" + SizesToJson(b.state_sizes) + "}";
   }
   s += "]";
+  s += ",\"stats\":" + StatsToJson(stats);
+  s += "}";
+  return s;
+}
+
+std::string ViewPlanner::PlanResult::ToJson() const {
+  // Same dialect as PlanExplanation::ToJson: identical keys and value
+  // shapes for the members both carry, so one reader handles both.
+  std::string s = "{";
+  s += "\"status\":" + Quoted(PlanStatusName(status));
+  s += ",\"error\":" + Quoted(error);
+  s += ",\"cache_hit\":" + std::string(cache_hit ? "true" : "false");
+  s += ",\"budget\":{\"exhausted\":" +
+       std::string(exhaustion.kind != BudgetKind::kNone ? "true" : "false");
+  s += ",\"kind\":" + Quoted(BudgetKindName(exhaustion.kind));
+  s += ",\"site\":" + Quoted(exhaustion.site);
+  s += ",\"degraded\":" + std::string(degraded ? "true" : "false") + "}";
+  if (choice.has_value()) {
+    s += ",\"plan\":{";
+    s += "\"logical\":" + Quoted(choice->logical.ToString());
+    s += ",\"physical\":" + Quoted(choice->physical.ToString());
+    s += ",\"cost\":" + std::to_string(choice->cost);
+    s += ",\"model\":" + Quoted(ModelName(choice->model));
+    s += "}";
+  } else {
+    s += ",\"plan\":null";
+  }
   s += ",\"stats\":" + StatsToJson(stats);
   s += "}";
   return s;
@@ -729,6 +748,22 @@ ViewPlanner::PlanResult ViewPlanner::Plan(const ConjunctiveQuery& query,
                                           CostModel model,
                                           const TraceContext& trace) const {
   return PlanInternal(*CurrentSnapshot(), query, model, trace, nullptr);
+}
+
+ViewPlanner::PlanResult ViewPlanner::Plan(const ConjunctiveQuery& query,
+                                          const PlanRequestOptions& request,
+                                          TraceSink* trace) const {
+  // Same governed-call contract as PlanningService::Serve: install a fresh
+  // governor from the request's limits (deadline measured from here) so
+  // the whole pipeline observes them, then plan under the request's model.
+  const ResourceLimits limits = request.limits();
+  std::optional<ResourceGovernor> governor;
+  std::optional<GovernorScope> scope;
+  if (!limits.unlimited()) {
+    governor.emplace(limits);
+    scope.emplace(&*governor);
+  }
+  return Plan(query, request.model, trace);
 }
 
 std::optional<ViewPlanner::PlanResult> ViewPlanner::TryPlanFromCache(

@@ -16,6 +16,7 @@
 #include "cq/fingerprint.h"
 #include "cq/query.h"
 #include "engine/database.h"
+#include "planner/request_options.h"
 #include "rewrite/certificate.h"
 #include "rewrite/core_cover.h"
 
@@ -131,6 +132,15 @@ class ViewPlanner {
     bool degraded = false;
 
     bool ok() const { return status == PlanStatus::kOk; }
+
+    // One JSON object in the same dialect as PlanExplanation::ToJson —
+    // identical keys for status / error / budget / plan / stats — so the
+    // CLI, the HTTP endpoint, and tests all read one schema:
+    //   {"status":"ok","error":"","cache_hit":true,
+    //    "budget":{"exhausted":false,"kind":"none","site":"","degraded":false},
+    //    "plan":{"logical":...,"physical":...,"cost":7,"model":"M2"},
+    //    "stats":{...}}
+    std::string ToJson() const;
   };
 
   struct Options {
@@ -150,11 +160,14 @@ class ViewPlanner {
     bool enable_cache = true;
     // Total plan-cache entries across all shards.
     size_t cache_capacity = 1024;
-    // Per-request resource budget (common/budget.h), unlimited by default.
-    // When any limit is set, every planned query runs under its own fresh
-    // ResourceGovernor; exhaustion degrades the result (kBudgetExhausted, or
-    // kOk with `degraded` set) and NEVER aborts the process. Budget-
-    // exhausted logical outcomes are never inserted into the plan cache.
+    // DEPRECATED planner-wide request budget (kept one release): prefer the
+    // per-request PlanRequestOptions overload of Plan(), which carries the
+    // model and the budget in one transport-neutral struct. When any limit
+    // is set here, every planned query runs under its own fresh
+    // ResourceGovernor (taking precedence over a caller-installed one);
+    // exhaustion degrades the result (kBudgetExhausted, or kOk with
+    // `degraded` set) and NEVER aborts the process. Budget-exhausted
+    // logical outcomes are never inserted into the plan cache.
     ResourceLimits budget;
     // Work-unit budget for the degradation ladder: grace certification of a
     // best-so-far rewriting and the MiniCon fallback each run under a fresh
@@ -244,6 +257,18 @@ class ViewPlanner {
   // PlanningService's per-request spans).
   PlanResult Plan(const ConjunctiveQuery& query, CostModel model,
                   const TraceContext& trace) const;
+
+  // The transport-neutral entry point: plans `query` under
+  // `request.model`, governed by the request's deadline/work/memory limits
+  // (a fresh ResourceGovernor is installed around the call when any limit
+  // is set). This is the same contract the PlanningService applies to its
+  // queue, so an in-process call and a wire request with equal options
+  // plan identically. Note Options::budget, when set, still takes
+  // precedence inside the rewriting search (see its deprecation note) —
+  // planners behind a service or server should leave it unlimited.
+  PlanResult Plan(const ConjunctiveQuery& query,
+                  const PlanRequestOptions& request,
+                  TraceSink* trace = nullptr) const;
 
   // Cache-only planning: serves `query` from the plan cache (re-costed and
   // re-certified against current instances, exactly like a Plan() hit) and

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "common/metrics.h"
 
 namespace vbr {
@@ -27,6 +28,7 @@ struct ServiceMetrics {
   Counter* cache_only_hits;
   Counter* model_demotions;
   Histogram* queue_wait_us;
+  Histogram* queue_wait_ms;
   Histogram* serve_us;
 
   static const ServiceMetrics& Get() {
@@ -45,24 +47,17 @@ struct ServiceMetrics {
       m.cache_only_hits = registry.GetCounter("service.cache_only_hits");
       m.model_demotions = registry.GetCounter("service.model_demotions");
       m.queue_wait_us = registry.GetHistogram("service.queue_wait_us");
+      // Millisecond-resolution twin of queue_wait_us, recorded for EVERY
+      // dequeued request (served, expired, or shutdown-shed) so the
+      // saturation bench can read queue pressure without instrumenting
+      // callers.
+      m.queue_wait_ms = registry.GetHistogram("service.queue_wait_ms");
       m.serve_us = registry.GetHistogram("service.serve_us");
       return m;
     }();
     return metrics;
   }
 };
-
-const char* CostModelName(CostModel model) {
-  switch (model) {
-    case CostModel::kM1:
-      return "M1";
-    case CostModel::kM2:
-      return "M2";
-    case CostModel::kM3:
-      return "M3";
-  }
-  return "?";
-}
 
 // The stricter of two limits, where 0 means "unlimited".
 double StricterMs(double a, double b) {
@@ -135,6 +130,45 @@ std::string PlanningService::Stats::ToString() const {
   return out.str();
 }
 
+std::string PlanningService::Stats::ToJson() const {
+  std::ostringstream out;
+  out << "{\"submitted\":" << submitted << ",\"admitted\":" << admitted
+      << ",\"completed\":" << completed << ",\"shed\":" << shed
+      << ",\"failed\":" << failed << ",\"rejected\":" << rejected
+      << ",\"rejected_queue_full\":" << rejected_queue_full
+      << ",\"rejected_deadline\":" << rejected_deadline
+      << ",\"rejected_overload\":" << rejected_overload
+      << ",\"rejected_shutdown\":" << rejected_shutdown
+      << ",\"retries\":" << retries << ",\"probes\":" << probes
+      << ",\"deadline_misses\":" << deadline_misses
+      << ",\"cache_only_hits\":" << cache_only_hits
+      << ",\"model_demotions\":" << model_demotions
+      << ",\"queue_depth\":" << queue_depth
+      << ",\"breaker_level\":" << breaker_level
+      << ",\"breaker_trips\":" << breaker_trips
+      << ",\"breaker_recoveries\":" << breaker_recoveries
+      << ",\"service_time_estimate_ms\":" << service_time_estimate_ms << "}";
+  return out.str();
+}
+
+std::string PlanningService::PlanResponse::ToJson() const {
+  std::string s = "{";
+  s += "\"service_status\":\"" + std::string(ServiceStatusName(status)) + "\"";
+  s += ",\"reject_reason\":\"" + std::string(RejectReasonName(reject_reason)) +
+       "\"";
+  s += ",\"attempts\":" + std::to_string(attempts);
+  s += ",\"service_level\":" + std::to_string(service_level);
+  s += ",\"served_from_cache_only\":" +
+       std::string(served_from_cache_only ? "true" : "false");
+  s += ",\"model_demoted\":" + std::string(model_demoted ? "true" : "false");
+  s += ",\"queue_wait_ms\":" + std::to_string(queue_wait_ms);
+  s += ",\"error\":\"" + JsonEscape(error) + "\"";
+  s += ",\"result\":";
+  s += status == ServiceStatus::kOk ? result.ToJson() : "null";
+  s += "}";
+  return s;
+}
+
 PlanningService::PlanningService(const ViewPlanner* planner, Options options)
     : planner_(planner),
       options_(std::move(options)),
@@ -152,12 +186,35 @@ PlanningService::PlanningService(const ViewPlanner* planner, Options options)
 
 PlanningService::~PlanningService() { Shutdown(DrainMode::kDrain); }
 
+void PlanningService::Fulfill(Request& request, PlanResponse response) {
+  if (request.callback) {
+    request.callback(std::move(response));
+  } else {
+    request.promise.set_value(std::move(response));
+  }
+}
+
 std::future<PlanningService::PlanResponse> PlanningService::Submit(
     PlanRequest request) {
+  return SubmitInternal(std::move(request), nullptr);
+}
+
+void PlanningService::SubmitWithCallback(
+    PlanRequest request, std::function<void(PlanResponse)> done) {
+  VBR_CHECK_MSG(done != nullptr, "SubmitWithCallback needs a callback");
+  SubmitInternal(std::move(request), std::move(done));
+}
+
+std::future<PlanningService::PlanResponse> PlanningService::SubmitInternal(
+    PlanRequest request, std::function<void(PlanResponse)> done) {
   const ServiceMetrics& metrics = ServiceMetrics::Get();
   metrics.submitted->Increment();
+  // The promise/future pair is only armed for future-style submissions;
+  // callback submissions leave the future in a default (invalid) state the
+  // caller never sees.
   std::promise<PlanResponse> promise;
-  std::future<PlanResponse> future = promise.get_future();
+  std::future<PlanResponse> future;
+  if (done == nullptr) future = promise.get_future();
 
   RejectReason reject = RejectReason::kNone;
   bool probe = false;
@@ -178,7 +235,7 @@ std::future<PlanningService::PlanResponse> PlanningService::Submit(
           break;
       }
     }
-    if (reject == RejectReason::kNone && request.deadline_ms > 0) {
+    if (reject == RejectReason::kNone && request.options.deadline_ms > 0) {
       // Provably-unmeetable deadline: with `queue_depth` requests ahead and
       // num_workers servers, this request waits roughly
       // ceil(depth / workers) service times before its own begins.
@@ -188,7 +245,7 @@ std::future<PlanningService::PlanResponse> PlanningService::Submit(
       if (estimate > 0) {
         const double ahead = static_cast<double>(
             queue_.size() / options_.num_workers + 1);
-        if (ahead * estimate > request.deadline_ms) {
+        if (ahead * estimate > request.options.deadline_ms) {
           reject = RejectReason::kDeadlineUnmeetable;
         }
       }
@@ -203,6 +260,7 @@ std::future<PlanningService::PlanResponse> PlanningService::Submit(
       auto queued = std::make_unique<Request>();
       queued->request = std::move(request);
       queued->promise = std::move(promise);
+      queued->callback = std::move(done);
       queued->probe = probe;
       queued->id = next_id_++;
       queue_.push_back(std::move(queued));
@@ -238,7 +296,12 @@ std::future<PlanningService::PlanResponse> PlanningService::Submit(
   response.status = ServiceStatus::kRejected;
   response.reject_reason = reject;
   response.error = RejectReasonName(reject);
-  promise.set_value(std::move(response));
+  if (done != nullptr) {
+    // Rejected callback submissions complete inline on the caller's thread.
+    done(std::move(response));
+  } else {
+    promise.set_value(std::move(response));
+  }
   return future;
 }
 
@@ -250,7 +313,7 @@ PlanningService::PlanResponse PlanningService::Plan(ConjunctiveQuery query,
                                                     CostModel model) {
   PlanRequest request;
   request.query = std::move(query);
-  request.model = model;
+  request.options.model = model;
   return Plan(std::move(request));
 }
 
@@ -266,6 +329,10 @@ void PlanningService::WorkerLoop() {
       queue_.pop_front();
       shed_pending = stopping_ && drain_mode_ == DrainMode::kShedPending;
     }
+    // Every dequeued request records its queue wait, whatever its fate —
+    // the ms histogram is the saturation bench's queue-pressure signal.
+    ServiceMetrics::Get().queue_wait_ms->Record(
+        static_cast<uint64_t>(request->queued.ElapsedMillis()));
     if (shed_pending) {
       // Shutdown policy, not a health signal: do not feed the breaker.
       Shed(*request, "shutdown shed the pending queue",
@@ -282,9 +349,17 @@ uint32_t PlanningService::EffectiveLevel() const {
   return std::min(breaker_.level(), breaker_.reject_level() - 1);
 }
 
-ResourceLimits PlanningService::AttemptLimits(uint32_t level,
-                                              double remaining_ms) const {
+ResourceLimits PlanningService::AttemptLimits(
+    uint32_t level, double remaining_ms,
+    const PlanRequestOptions& request) const {
+  // Service-wide cap tightened by the request's own budget: a client can
+  // narrow its request but never widen the operator's limits.
   ResourceLimits limits = options_.budget;
+  limits.work_limit = StricterUnits(limits.work_limit, request.work_limit);
+  limits.memory_limit_bytes =
+      StricterUnits(limits.memory_limit_bytes, request.memory_limit_bytes);
+  limits.search_node_cap =
+      StricterUnits(limits.search_node_cap, request.search_node_cap);
   if (level >= 2) {
     const ResourceLimits& shrunken = options_.brownout_budget;
     limits.deadline_ms = StricterMs(limits.deadline_ms, shrunken.deadline_ms);
@@ -312,14 +387,14 @@ void PlanningService::Shed(Request& request, const std::string& why,
   }
   ServiceMetrics::Get().shed->Increment();
   if (record_failure) breaker_.RecordFailure();
-  request.promise.set_value(std::move(response));
+  Fulfill(request, std::move(response));
 }
 
 void PlanningService::Serve(Request& request) {
   const ServiceMetrics& metrics = ServiceMetrics::Get();
   const double waited_ms = request.queued.ElapsedMillis();
   metrics.queue_wait_us->Record(static_cast<uint64_t>(waited_ms * 1000.0));
-  const double deadline_ms = request.request.deadline_ms;
+  const double deadline_ms = request.request.options.deadline_ms;
   if (deadline_ms > 0 && waited_ms >= deadline_ms) {
     // Too late to be useful; shedding now is cheaper than planning a result
     // nobody is waiting for. Queue-deadline misses are a genuine overload
@@ -340,12 +415,12 @@ void PlanningService::Serve(Request& request) {
   if (request.request.trace != nullptr && level < 1) {
     span.emplace(request.request.trace, "service.request");
     span->AddAttribute("level", static_cast<uint64_t>(level));
-    span->AddAttribute("model", CostModelName(request.request.model));
+    span->AddAttribute("model", CostModelName(request.request.options.model));
     if (request.probe) span->AddAttribute("probe", true);
     trace = span->context();
   }
 
-  CostModel model = request.request.model;
+  CostModel model = request.request.options.model;
   bool served = false;
   // Rung 3: cached-or-M1-only. Warm traffic is still answered (a cache hit
   // re-costs but never searches); cold traffic is demoted to M1, the
@@ -376,7 +451,8 @@ void PlanningService::Serve(Request& request) {
           deadline_ms > 0
               ? std::max(0.001, deadline_ms - request.queued.ElapsedMillis())
               : 0;
-      const ResourceLimits limits = AttemptLimits(level, remaining_ms);
+      const ResourceLimits limits =
+          AttemptLimits(level, remaining_ms, request.request.options);
       // Rung 2 (and the deadline) act through the governor installed here;
       // the planner's own Options::budget is typically unlimited in service
       // deployments, so this governor is the one its pipeline observes.
@@ -467,7 +543,7 @@ void PlanningService::Serve(Request& request) {
     // caller may tear the sink down.
     span.reset();
   }
-  request.promise.set_value(std::move(response));
+  Fulfill(request, std::move(response));
 }
 
 void PlanningService::Shutdown(DrainMode mode) {

@@ -101,14 +101,28 @@ class PlanningService {
 
   struct PlanRequest {
     ConjunctiveQuery query;
-    CostModel model = CostModel::kM2;
-    // Wall-clock deadline measured from Submit(); 0 = none. Feeds the
+    // The transport-neutral request options (planner/request_options.h):
+    // cost model, wall-clock deadline measured from Submit() (feeds the
     // admission estimate, the queue-expiry check, and the per-request
-    // governor's deadline.
-    double deadline_ms = 0;
+    // governor), and the request's own work/memory budget. Budget fields
+    // merge STRICTER-WINS with the service-wide Options::budget cap, so a
+    // client can narrow but never widen what the operator configured.
+    PlanRequestOptions options;
     // Optional trace sink for this request's span tree. Shed (ignored) at
     // brown-out level >= 1.
     TraceSink* trace = nullptr;
+
+    // DEPRECATED shim (kept one release) for callers that populated the
+    // old {query, model, deadline_ms} members directly.
+    [[deprecated("populate PlanRequest::options instead")]]
+    static PlanRequest Make(ConjunctiveQuery query, CostModel model,
+                            double deadline_ms = 0) {
+      PlanRequest request;
+      request.query = std::move(query);
+      request.options.model = model;
+      request.options.deadline_ms = deadline_ms;
+      return request;
+    }
   };
 
   struct PlanResponse {
@@ -130,6 +144,15 @@ class PlanningService {
     std::string error;
 
     bool ok() const { return status == ServiceStatus::kOk; }
+
+    // One JSON object in the Explain/PlanResult dialect, self-describing
+    // via ServiceStatusName / RejectReasonName:
+    //   {"service_status":"ok","reject_reason":"none","attempts":1,
+    //    "service_level":0,"served_from_cache_only":false,
+    //    "model_demoted":false,"queue_wait_ms":0.12,"error":"",
+    //    "result":{...PlanResult::ToJson...}}
+    // `result` is null unless service_status == "ok".
+    std::string ToJson() const;
   };
 
   struct Options {
@@ -150,9 +173,11 @@ class PlanningService {
     uint64_t retry_seed = 0x5eed;
     // Brown-out ladder breaker.
     CircuitBreakerOptions breaker;
-    // Per-request budget installed (as a ResourceGovernor) around planner
-    // calls; unlimited by default. A request deadline tightens
-    // budget.deadline_ms to the time it has left at dequeue.
+    // Service-wide budget CAP installed (as a ResourceGovernor) around
+    // planner calls; unlimited by default. Each request's own
+    // PlanRequestOptions budget merges into this stricter-wins, and a
+    // request deadline additionally tightens deadline_ms to the time the
+    // request has left at dequeue.
     ResourceLimits budget;
     // The SHRUNKEN budget applied at brown-out level >= 2: each limit is
     // the stricter of `budget` and this (0 fields inherit `budget`).
@@ -195,6 +220,9 @@ class PlanningService {
     double service_time_estimate_ms = 0;
 
     std::string ToString() const;
+    // The same counters as one JSON object ({"submitted":N,...}), used by
+    // the server's /statz endpoint and the loadgen accounting check.
+    std::string ToJson() const;
   };
 
   enum class DrainMode {
@@ -217,6 +245,15 @@ class PlanningService {
   // Thread-safe.
   std::future<PlanResponse> Submit(PlanRequest request);
 
+  // Callback-style submission for event-loop callers (the network server):
+  // `done` is invoked exactly once with the terminal PlanResponse, from a
+  // worker thread — or from the CALLING thread when the request is
+  // rejected at admission. The callback must not block and must be safe to
+  // run after the caller has moved on (capture shared state by
+  // shared_ptr). Thread-safe.
+  void SubmitWithCallback(PlanRequest request,
+                          std::function<void(PlanResponse)> done);
+
   // Blocking convenience: Submit + wait.
   PlanResponse Plan(PlanRequest request);
   PlanResponse Plan(ConjunctiveQuery query, CostModel model);
@@ -235,11 +272,20 @@ class PlanningService {
  private:
   struct Request {
     PlanRequest request;
+    // Exactly one of the two completion channels is armed: `promise` for
+    // Submit(), `callback` for SubmitWithCallback().
     std::promise<PlanResponse> promise;
+    std::function<void(PlanResponse)> callback;
     Timer queued;       // started at admission
     bool probe = false; // admitted as a half-open breaker probe
     uint64_t id = 0;
   };
+
+  // Shared admission path behind Submit / SubmitWithCallback.
+  std::future<PlanResponse> SubmitInternal(
+      PlanRequest request, std::function<void(PlanResponse)> done);
+  // Resolves the request's completion channel (promise or callback).
+  static void Fulfill(Request& request, PlanResponse response);
 
   void WorkerLoop();
   // Plans one admitted request end to end (ladder, budget, retries) and
@@ -249,9 +295,11 @@ class PlanningService {
   void Shed(Request& request, const std::string& why, bool record_failure);
   // The effective brown-out rung for a request about to be planned.
   uint32_t EffectiveLevel() const;
-  // The governor limits for one attempt at `level`, given the request has
-  // `remaining_ms` of its deadline left (0 = no deadline).
-  ResourceLimits AttemptLimits(uint32_t level, double remaining_ms) const;
+  // The governor limits for one attempt at `level`: the service-wide cap
+  // tightened by the request's own budget (stricter-wins) and, when the
+  // request has a deadline, by the `remaining_ms` it has left (0 = none).
+  ResourceLimits AttemptLimits(uint32_t level, double remaining_ms,
+                               const PlanRequestOptions& request) const;
 
   const ViewPlanner* const planner_;
   const Options options_;

@@ -1,0 +1,208 @@
+// PlanServer: the network front end over PlanningService.
+//
+// Architecture — a thin I/O shell, with every queueing/overload decision
+// delegated to the service it wraps:
+//
+//   - ONE IO thread runs a poll(2) loop (net/poller.h) over two listeners
+//     (binary protocol + HTTP debug endpoint), all accepted connections,
+//     and a socketpair wakeup channel.  All reads, writes, frame parsing,
+//     and HTTP parsing happen on this thread; it never plans.
+//   - Planning goes through PlanningService::SubmitWithCallback, so
+//     admission control, deadlines, the brown-out ladder, and retries apply
+//     to wire requests exactly as to in-process ones.  The completion
+//     callback (worker thread) encodes the response frame and posts it to a
+//     completion queue; one byte on the socketpair wakes the IO thread to
+//     flush it to the right connection.
+//   - A connection that disappears while its request is still planning is
+//     simply forgotten: the completion arrives, finds no connection with
+//     that id, and is counted in dropped_responses.  Nothing blocks.
+//   - ONE debug thread serves GET /explain (ViewPlanner::Explain is
+//     deliberately expensive); /metricz, /statz, and /healthz are answered
+//     inline on the IO thread.
+//
+// The server does not own the service or the planner; both must outlive
+// it.  Stop() closes the listeners and connections and joins the threads
+// but leaves the service running.
+#ifndef VBR_SERVER_PLAN_SERVER_H_
+#define VBR_SERVER_PLAN_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/http.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "planner/service.h"
+
+namespace vbr::server {
+
+struct PlanServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 = pick an ephemeral port (read back via binary_port / http_port).
+  uint16_t binary_port = 0;
+  uint16_t http_port = 0;
+  size_t max_connections = 256;
+  uint32_t max_frame_payload = net::kDefaultMaxPayload;
+  size_t max_http_request_bytes = 1 << 20;
+  // Bounded query-handle map (fingerprint -> parsed query); once full, new
+  // texts still plan but are no longer issued handles clients can reuse.
+  size_t handle_capacity = 65536;
+};
+
+// Monotone counters; readable while the server runs.
+struct PlanServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_connections = 0;  // over max_connections
+  uint64_t active_connections = 0;
+  uint64_t frames_received = 0;
+  uint64_t responses_sent = 0;
+  // Completions whose connection was gone (client disconnected mid-plan).
+  uint64_t dropped_responses = 0;
+  uint64_t bad_frames = 0;
+  uint64_t http_requests = 0;
+  uint64_t handle_hits = 0;
+  uint64_t handle_misses = 0;
+
+  std::string ToJson() const;
+};
+
+class PlanServer {
+ public:
+  // `service` (and the planner behind it) must outlive the server.
+  PlanServer(PlanningService* service, PlanServerOptions options);
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  // Binds both listeners and starts the IO + debug threads.  Returns false
+  // and fills *error on bind failure (nothing is left running).
+  bool Start(std::string* error);
+
+  // Idempotent.  Closes listeners and connections, joins threads.  Plan
+  // completions arriving after Stop are dropped (never crash).
+  void Stop();
+
+  // Bound ports (valid after Start; resolves port-0 binds).
+  uint16_t binary_port() const { return binary_port_; }
+  uint16_t http_port() const { return http_port_; }
+
+  PlanServerStats stats() const;
+
+ private:
+  enum class ConnKind : uint8_t { kBinary, kHttp };
+
+  struct Connection {
+    uint64_t id = 0;
+    net::OwnedFd fd;
+    ConnKind kind = ConnKind::kBinary;
+    std::string in;
+    std::string out;
+    size_t out_offset = 0;
+    // Close once `out` is flushed (HTTP Connection: close, fatal frames).
+    bool close_after_flush = false;
+    // HTTP: a /plan or /explain is in flight; hold further parsing until
+    // its response has been queued (one request in flight per connection).
+    bool busy = false;
+    // Requests submitted minus responses delivered, for dropped-response
+    // accounting when the connection dies early.
+    uint64_t in_flight = 0;
+  };
+
+  // Bytes ready to be written to connection `conn_id`, produced by service
+  // workers (binary completions, HTTP plan completions) or the debug
+  // thread.  Shared via shared_ptr so late completions outlive the server.
+  struct CompletionQueue {
+    std::mutex mu;
+    std::vector<std::pair<uint64_t, std::string>> ready;
+    net::OwnedFd wakeup_tx;
+    std::atomic<bool> open{true};
+
+    void Post(uint64_t conn_id, std::string wire);
+  };
+
+  struct DebugJob {
+    uint64_t conn_id = 0;
+    net::HttpRequest request;
+    bool keep_alive = true;
+  };
+
+  void IoLoop();
+  void DebugLoop();
+
+  void AcceptAll(int listener_fd, ConnKind kind);
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  void CloseConn(Connection& conn);
+  void UpdateInterest(Connection& conn);
+  void DrainCompletions();
+
+  // Binary path: decodes and dispatches every complete frame in conn.in.
+  void ProcessBinary(Connection& conn);
+  void SubmitWireRequest(Connection& conn, const net::PlanRequestFrame& frame);
+  void SendWireError(Connection& conn, uint64_t request_id,
+                     net::WireStatus status, const std::string& error);
+
+  // HTTP path: parses and routes at most one request ahead.
+  void ProcessHttp(Connection& conn);
+  void RouteHttp(Connection& conn, net::HttpRequest request);
+  void HandleHttpPlan(Connection& conn, const net::HttpRequest& request);
+  void QueueHttpResponse(Connection& conn, int status_code,
+                         std::string_view body, bool keep_alive);
+
+  PlanningService* const service_;
+  const PlanServerOptions options_;
+
+  net::OwnedFd binary_listener_;
+  net::OwnedFd http_listener_;
+  net::OwnedFd wakeup_rx_;
+  uint16_t binary_port_ = 0;
+  uint16_t http_port_ = 0;
+
+  std::shared_ptr<CompletionQueue> completions_;
+  net::Poller poller_;
+  // Live connections, keyed both ways: the poller reports fds, completions
+  // carry ids (ids are never reused; fds are).
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_by_fd_;
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_by_id_;
+  uint64_t next_conn_id_ = 1;
+
+  // Query-handle map: fingerprint -> parsed query, IO thread only.
+  std::unordered_map<uint64_t, ConjunctiveQuery> handles_;
+
+  // Debug worker state.
+  std::mutex debug_mu_;
+  std::condition_variable debug_cv_;
+  std::deque<DebugJob> debug_jobs_;
+  bool debug_stop_ = false;
+
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::thread io_thread_;
+  std::thread debug_thread_;
+
+  // Stats counters (atomics: written by IO/debug/worker threads).
+  mutable std::atomic<uint64_t> accepted_{0};
+  mutable std::atomic<uint64_t> rejected_connections_{0};
+  mutable std::atomic<uint64_t> active_connections_{0};
+  mutable std::atomic<uint64_t> frames_received_{0};
+  mutable std::atomic<uint64_t> responses_sent_{0};
+  mutable std::atomic<uint64_t> dropped_responses_{0};
+  mutable std::atomic<uint64_t> bad_frames_{0};
+  mutable std::atomic<uint64_t> http_requests_{0};
+  mutable std::atomic<uint64_t> handle_hits_{0};
+  mutable std::atomic<uint64_t> handle_misses_{0};
+};
+
+}  // namespace vbr::server
+
+#endif  // VBR_SERVER_PLAN_SERVER_H_

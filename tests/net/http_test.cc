@@ -1,0 +1,145 @@
+// The minimal HTTP/1.1 parser behind the debug endpoint.
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+namespace vbr::net {
+namespace {
+
+constexpr size_t kMax = 1 << 20;
+
+TEST(HttpTest, ParsesGetWithQueryParams) {
+  const std::string wire =
+      "GET /explain?q=q(X)%20:-%20r(X).&model=m2 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "\r\n";
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(wire, kMax, &request, &consumed),
+            HttpParseStatus::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/explain");
+  EXPECT_EQ(request.params.at("q"), "q(X) :- r(X).");
+  EXPECT_EQ(request.params.at("model"), "m2");
+  EXPECT_EQ(request.headers.at("host"), "localhost");
+  EXPECT_TRUE(request.keep_alive);
+}
+
+TEST(HttpTest, ParsesPostWithBody) {
+  const std::string body = "{\"query\":\"q(X) :- r(X).\"}";
+  const std::string wire = "POST /plan HTTP/1.1\r\n"
+                           "Content-Type: application/json\r\n"
+                           "Content-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n" + body;
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(wire, kMax, &request, &consumed),
+            HttpParseStatus::kOk);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.path, "/plan");
+  EXPECT_EQ(request.body, body);
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(HttpTest, IncompleteHeadersAndBodiesNeedMore) {
+  const std::string body = "0123456789";
+  const std::string wire = "POST /plan HTTP/1.1\r\nContent-Length: 10\r\n\r\n" +
+                           body;
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    HttpRequest request;
+    size_t consumed = 0;
+    EXPECT_EQ(ParseHttpRequest(wire.substr(0, cut), kMax, &request, &consumed),
+              HttpParseStatus::kNeedMore)
+        << "cut=" << cut;
+  }
+}
+
+TEST(HttpTest, PipelinedRequestsConsumeOneAtATime) {
+  const std::string one = "GET /healthz HTTP/1.1\r\n\r\n";
+  const std::string wire = one + one;
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(wire, kMax, &request, &consumed),
+            HttpParseStatus::kOk);
+  EXPECT_EQ(consumed, one.size());
+}
+
+TEST(HttpTest, MalformedRequestsAreBad) {
+  HttpRequest request;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest("NOT_HTTP\r\n\r\n", kMax, &request, &consumed),
+            HttpParseStatus::kBad);
+  EXPECT_EQ(ParseHttpRequest("GET /x SPDY/9\r\n\r\n", kMax, &request,
+                             &consumed),
+            HttpParseStatus::kBad);
+  EXPECT_EQ(ParseHttpRequest("GET /x HTTP/1.1\r\nbroken header\r\n\r\n", kMax,
+                             &request, &consumed),
+            HttpParseStatus::kBad);
+  EXPECT_EQ(
+      ParseHttpRequest("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+                       kMax, &request, &consumed),
+      HttpParseStatus::kBad);
+  EXPECT_EQ(
+      ParseHttpRequest(
+          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", kMax,
+          &request, &consumed),
+      HttpParseStatus::kBad);
+}
+
+TEST(HttpTest, OversizedRequestsAreTooLarge) {
+  HttpRequest request;
+  size_t consumed = 0;
+  // Headers alone exceed the cap without terminating.
+  const std::string headers = "GET /x HTTP/1.1\r\nX-Pad: " +
+                              std::string(128, 'a') + "\r\n";
+  EXPECT_EQ(ParseHttpRequest(headers, 64, &request, &consumed),
+            HttpParseStatus::kTooLarge);
+  // Declared body exceeds the cap even though little has arrived.
+  EXPECT_EQ(
+      ParseHttpRequest("POST /x HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n",
+                       64, &request, &consumed),
+      HttpParseStatus::kTooLarge);
+}
+
+TEST(HttpTest, ConnectionHeaderControlsKeepAlive) {
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(
+                "GET /x HTTP/1.1\r\nConnection: close\r\n\r\n", kMax,
+                &request, &consumed),
+            HttpParseStatus::kOk);
+  EXPECT_FALSE(request.keep_alive);
+  ASSERT_EQ(ParseHttpRequest("GET /x HTTP/1.0\r\n\r\n", kMax, &request,
+                             &consumed),
+            HttpParseStatus::kOk);
+  EXPECT_FALSE(request.keep_alive);
+  ASSERT_EQ(ParseHttpRequest(
+                "GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", kMax,
+                &request, &consumed),
+            HttpParseStatus::kOk);
+  EXPECT_TRUE(request.keep_alive);
+}
+
+TEST(HttpTest, UrlDecodeHandlesEscapesAndPlus) {
+  EXPECT_EQ(UrlDecode("a+b%20c%3A%2F"), "a b c:/");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");  // invalid escapes pass through
+  EXPECT_EQ(UrlDecode("%2"), "%2");    // truncated escape passes through
+}
+
+TEST(HttpTest, BuildResponseIsWellFormed) {
+  const std::string response =
+      BuildHttpResponse(200, "application/json", "{\"a\":1}", true);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n{\"a\":1}"), std::string::npos);
+  const std::string closed =
+      BuildHttpResponse(503, "application/json", "", false);
+  EXPECT_NE(closed.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(closed.find("Connection: close\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vbr::net

@@ -294,7 +294,7 @@ TEST_F(StressHarnessTest, QueueBoundRejectsAndShutdownShedsThePending) {
   FaultRegistry::Global().Arm(kFaultSite, FaultKind::kStageAbort, 1);
   PlanningService::PlanRequest blocker;
   blocker.query = fx.workload.query;
-  blocker.model = CostModel::kM2;
+  blocker.options.model = CostModel::kM2;
   auto blocker_future = service.Submit(std::move(blocker));
   gate.AwaitEntered();
 
@@ -362,7 +362,7 @@ TEST_F(StressHarnessTest, DeadlinesGateAdmissionAndShedStaleQueueEntries) {
   {
     PlanningService::PlanRequest request;
     request.query = fx.workload.query;
-    request.deadline_ms = 10.0;
+    request.options.deadline_ms = 10.0;
     const auto response = service.Submit(std::move(request)).get();
     EXPECT_EQ(response.status, ServiceStatus::kRejected);
     EXPECT_EQ(response.reject_reason, RejectReason::kDeadlineUnmeetable);
@@ -379,7 +379,7 @@ TEST_F(StressHarnessTest, DeadlinesGateAdmissionAndShedStaleQueueEntries) {
 
   PlanningService::PlanRequest stale;
   stale.query = fx.workload.query;
-  stale.deadline_ms = 60.0;  // one estimated service time: admitted
+  stale.options.deadline_ms = 60.0;  // one estimated service time: admitted
   auto stale_future = service.Submit(std::move(stale));
 
   // Let (more than) the deadline elapse while the request sits queued.
@@ -406,7 +406,7 @@ TEST_F(StressHarnessTest, TracingEmitsServiceSpansAtFullService) {
   MemoryTraceSink sink;
   PlanningService::PlanRequest request;
   request.query = fx.workload.query;
-  request.model = CostModel::kM2;
+  request.options.model = CostModel::kM2;
   request.trace = &sink;
   const auto response = service.Submit(std::move(request)).get();
   ASSERT_EQ(response.status, ServiceStatus::kOk);
@@ -473,8 +473,8 @@ TEST_F(StressHarnessTest, MixedOverloadKeepsAccountingExact) {
         const int pick = (t * kPerSubmitter + i) % static_cast<int>(pool.size());
         PlanningService::PlanRequest request;
         request.query = pool[static_cast<size_t>(pick)];
-        request.model = (i % 2 == 0) ? CostModel::kM1 : CostModel::kM2;
-        if (i % 10 == 9) request.deadline_ms = 0.0001;  // hopeless deadline
+        request.options.model = (i % 2 == 0) ? CostModel::kM1 : CostModel::kM2;
+        if (i % 10 == 9) request.options.deadline_ms = 0.0001;  // hopeless deadline
         futures[static_cast<size_t>(t)].push_back(
             service.Submit(std::move(request)));
         if (i % 7 == 3) {
@@ -565,7 +565,7 @@ TEST_F(StressHarnessTest, ConcurrentReplaceViewsKeepsRequestsConsistent) {
         Substitution renaming;
         request.query = RenameVariablesApart(
             fx.workload.query, "s" + std::to_string(t * 100 + i), &renaming);
-        request.model = CostModel::kM2;
+        request.options.model = CostModel::kM2;
         auto f = service.Submit(std::move(request));
         std::lock_guard<std::mutex> lock(futures_mu);
         futures.push_back(std::move(f));
