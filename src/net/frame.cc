@@ -1,5 +1,6 @@
 #include "net/frame.h"
 
+#include <cmath>
 #include <cstring>
 
 namespace vbr::net {
@@ -230,8 +231,8 @@ DecodeStatus DecodePlanRequest(std::string_view payload,
     return DecodeStatus::kMalformed;
   }
   // Reject non-finite deadlines: they would poison the admission estimate.
-  if (!(out->options.deadline_ms >= 0) ||
-      out->options.deadline_ms != out->options.deadline_ms) {
+  if (!std::isfinite(out->options.deadline_ms) ||
+      out->options.deadline_ms < 0) {
     return DecodeStatus::kMalformed;
   }
   if (out->query_is_handle) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace vbr::net {
@@ -155,10 +156,15 @@ HttpParseStatus ParseHttpRequest(std::string_view buffer, size_t max_bytes,
   if (const auto it = request.headers.find("content-length");
       it != request.headers.end()) {
     char* end = nullptr;
+    errno = 0;
     const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
     if (end == it->second.c_str() || *end != '\0') {
       return HttpParseStatus::kBad;
     }
+    // Bound before computing `total`: an ERANGE-clamped or near-SIZE_MAX
+    // value would wrap the addition below, bypass the cap, and desync
+    // *consumed from the bytes actually consumed.
+    if (errno == ERANGE || v > max_bytes) return HttpParseStatus::kTooLarge;
     body_len = static_cast<size_t>(v);
   }
   const size_t total = header_end + 4 + body_len;

@@ -84,9 +84,10 @@ std::optional<PlanRequestOptions> PlanRequestOptions::FromJson(
         return std::nullopt;
       }
     } else if (key == "deadline_ms") {
-      if (!member.is_number() || member.number_value() < 0) {
+      if (!member.is_number() || !std::isfinite(member.number_value()) ||
+          member.number_value() < 0) {
         if (error != nullptr) {
-          *error = "\"deadline_ms\" must be a non-negative number";
+          *error = "\"deadline_ms\" must be a finite non-negative number";
         }
         return std::nullopt;
       }

@@ -98,15 +98,17 @@ std::string PlanServerStats::ToJson() const {
   s += ",\"http_requests\":" + std::to_string(http_requests);
   s += ",\"handle_hits\":" + std::to_string(handle_hits);
   s += ",\"handle_misses\":" + std::to_string(handle_misses);
+  s += ",\"handle_collisions\":" + std::to_string(handle_collisions);
   s += "}";
   return s;
 }
 
-void PlanServer::CompletionQueue::Post(uint64_t conn_id, std::string wire) {
+void PlanServer::CompletionQueue::Post(uint64_t conn_id, std::string wire,
+                                       bool close_after_flush) {
   if (!open.load(std::memory_order_acquire)) return;
   {
     std::lock_guard<std::mutex> lock(mu);
-    ready.emplace_back(conn_id, std::move(wire));
+    ready.push_back({conn_id, std::move(wire), close_after_flush});
   }
   const char byte = 1;
   (void)net::WriteSome(wakeup_tx.get(), &byte, 1);
@@ -190,6 +192,7 @@ PlanServerStats PlanServer::stats() const {
   s.http_requests = http_requests_.load(std::memory_order_relaxed);
   s.handle_hits = handle_hits_.load(std::memory_order_relaxed);
   s.handle_misses = handle_misses_.load(std::memory_order_relaxed);
+  s.handle_collisions = handle_collisions_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -250,6 +253,13 @@ void PlanServer::AcceptAll(int listener_fd, ConnKind kind) {
 
 void PlanServer::CloseConn(Connection& conn) {
   if (!conn.fd.valid()) return;
+  // The two maps are the only owners of the Connection; hold a reference
+  // until cleanup is done touching it (a caller may only have a bare
+  // reference into the maps).
+  std::shared_ptr<Connection> keep;
+  if (const auto it = conns_by_id_.find(conn.id); it != conns_by_id_.end()) {
+    keep = it->second;
+  }
   // Responses still planning for this connection will find no entry in
   // conns_by_id_ and are counted as dropped when they arrive.
   poller_.Forget(conn.fd.get());
@@ -311,19 +321,23 @@ void PlanServer::HandleWritable(Connection& conn) {
 }
 
 void PlanServer::DrainCompletions() {
-  std::vector<std::pair<uint64_t, std::string>> batch;
+  std::vector<Completion> batch;
   {
     std::lock_guard<std::mutex> lock(completions_->mu);
     batch.swap(completions_->ready);
   }
-  for (auto& [conn_id, wire] : batch) {
+  for (auto& [conn_id, wire, close_after_flush] : batch) {
     const auto it = conns_by_id_.find(conn_id);
     if (it == conns_by_id_.end()) {
       dropped_responses_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    Connection& conn = *it->second;
+    // Own the connection across the flush: HandleWritable/ProcessHttp may
+    // CloseConn, which erases the maps' (otherwise only) references.
+    const std::shared_ptr<Connection> conn_ptr = it->second;
+    Connection& conn = *conn_ptr;
     conn.out.append(wire);
+    if (close_after_flush) conn.close_after_flush = true;
     responses_sent_.fetch_add(1, std::memory_order_relaxed);
     if (conn.in_flight > 0) --conn.in_flight;
     if (conn.kind == ConnKind::kHttp) {
@@ -404,7 +418,7 @@ void PlanServer::SubmitWireRequest(Connection& conn,
     }
     handle_hits_.fetch_add(1, std::memory_order_relaxed);
     handle = frame.query_handle;
-    query = it->second;
+    query = it->second.query;
   } else {
     std::string parse_error;
     std::optional<ConjunctiveQuery> parsed =
@@ -416,8 +430,18 @@ void PlanServer::SubmitWireRequest(Connection& conn,
     }
     query = std::move(*parsed);
     handle = net::HashQueryText(frame.query_text);
-    if (handles_.size() < options_.handle_capacity) {
-      handles_.emplace(handle, query);
+    if (const auto hit = handles_.find(handle); hit != handles_.end()) {
+      if (hit->second.text != frame.query_text) {
+        // 64-bit fingerprint collision: the stored query keeps the handle.
+        // Issue none for this text, or its reuse would silently plan a
+        // different query.
+        handle_collisions_.fetch_add(1, std::memory_order_relaxed);
+        handle = 0;
+      }
+    } else if (handles_.size() < options_.handle_capacity) {
+      handles_.emplace(handle, HandleEntry{frame.query_text, query});
+    } else {
+      handle = 0;  // map full: plan anyway, but the handle is not reusable
     }
   }
 
@@ -441,7 +465,7 @@ void PlanServer::SubmitWireRequest(Connection& conn,
             ToWire(response, request_id, want_certificate, handle);
         std::string wire;
         EncodePlanResponse(frame, &wire);
-        queue->Post(conn_id, std::move(wire));
+        queue->Post(conn_id, std::move(wire), /*close_after_flush=*/false);
       });
 }
 
@@ -591,7 +615,7 @@ void PlanServer::HandleHttpPlan(Connection& conn,
         std::string wire = net::BuildHttpResponse(
             HttpCodeFor(response), "application/json", response.ToJson(),
             keep_alive);
-        queue->Post(conn_id, std::move(wire));
+        queue->Post(conn_id, std::move(wire), /*close_after_flush=*/!keep_alive);
       });
 }
 
@@ -628,7 +652,8 @@ void PlanServer::DebugLoop() {
     std::string wire =
         net::BuildHttpResponse(code, "application/json", body,
                                job.keep_alive);
-    completions_->Post(job.conn_id, std::move(wire));
+    completions_->Post(job.conn_id, std::move(wire),
+                       /*close_after_flush=*/!job.keep_alive);
   }
 }
 

@@ -71,6 +71,9 @@ struct PlanServerStats {
   uint64_t http_requests = 0;
   uint64_t handle_hits = 0;
   uint64_t handle_misses = 0;
+  // Distinct query texts whose fingerprint collided with a stored one;
+  // such texts are planned but issued no reusable handle.
+  uint64_t handle_collisions = 0;
 
   std::string ToJson() const;
 };
@@ -121,13 +124,19 @@ class PlanServer {
   // Bytes ready to be written to connection `conn_id`, produced by service
   // workers (binary completions, HTTP plan completions) or the debug
   // thread.  Shared via shared_ptr so late completions outlive the server.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string wire;
+    // Close the connection once `wire` is flushed (HTTP Connection: close).
+    bool close_after_flush = false;
+  };
   struct CompletionQueue {
     std::mutex mu;
-    std::vector<std::pair<uint64_t, std::string>> ready;
+    std::vector<Completion> ready;
     net::OwnedFd wakeup_tx;
     std::atomic<bool> open{true};
 
-    void Post(uint64_t conn_id, std::string wire);
+    void Post(uint64_t conn_id, std::string wire, bool close_after_flush);
   };
 
   struct DebugJob {
@@ -176,8 +185,14 @@ class PlanServer {
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_by_id_;
   uint64_t next_conn_id_ = 1;
 
-  // Query-handle map: fingerprint -> parsed query, IO thread only.
-  std::unordered_map<uint64_t, ConjunctiveQuery> handles_;
+  // Query-handle map: fingerprint -> parsed query, IO thread only.  The
+  // exact text is kept so a 64-bit fingerprint collision is detected on
+  // insert instead of silently serving the first query to both clients.
+  struct HandleEntry {
+    std::string text;
+    ConjunctiveQuery query;
+  };
+  std::unordered_map<uint64_t, HandleEntry> handles_;
 
   // Debug worker state.
   std::mutex debug_mu_;
@@ -201,6 +216,7 @@ class PlanServer {
   mutable std::atomic<uint64_t> http_requests_{0};
   mutable std::atomic<uint64_t> handle_hits_{0};
   mutable std::atomic<uint64_t> handle_misses_{0};
+  mutable std::atomic<uint64_t> handle_collisions_{0};
 };
 
 }  // namespace vbr::server

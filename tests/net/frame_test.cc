@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <random>
 #include <string>
 
@@ -286,6 +287,28 @@ TEST(FrameTest, MalformedPayloadsAreRejected) {
   ASSERT_EQ(ExtractFrame(wire, kDefaultMaxPayload, &payload, &consumed),
             DecodeStatus::kOk);
   EXPECT_EQ(DecodePlanRequest(payload, &decoded), DecodeStatus::kMalformed);
+}
+
+// Deadlines must be finite and non-negative; +inf in particular satisfies
+// `>= 0` and `x == x`, so the decoder needs an explicit finiteness check.
+TEST(FrameTest, NonFiniteOrNegativeDeadlinesAreMalformed) {
+  for (const double bad :
+       {std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(), -1.0}) {
+    PlanRequestFrame frame;
+    frame.query_text = "q(X) :- r(X).";
+    frame.options.deadline_ms = bad;
+    std::string wire;
+    EncodePlanRequest(frame, &wire);
+    std::string_view payload;
+    size_t consumed = 0;
+    ASSERT_EQ(ExtractFrame(wire, kDefaultMaxPayload, &payload, &consumed),
+              DecodeStatus::kOk);
+    PlanRequestFrame decoded;
+    EXPECT_EQ(DecodePlanRequest(payload, &decoded),
+              DecodeStatus::kMalformed);
+  }
 }
 
 // Random garbage payloads: the decoder must return a status, not crash,

@@ -102,6 +102,24 @@ TEST(HttpTest, OversizedRequestsAreTooLarge) {
       HttpParseStatus::kTooLarge);
 }
 
+TEST(HttpTest, HugeContentLengthCannotWrapConsumed) {
+  HttpRequest request;
+  size_t consumed = 0;
+  // SIZE_MAX-scale lengths would wrap `header_end + 4 + body_len`, slip
+  // under the cap, and desync `consumed` from the bytes actually buffered.
+  EXPECT_EQ(ParseHttpRequest(
+                "POST /x HTTP/1.1\r\n"
+                "Content-Length: 18446744073709551615\r\n\r\nbody",
+                kMax, &request, &consumed),
+            HttpParseStatus::kTooLarge);
+  // Past ULLONG_MAX, strtoull clamps with ERANGE; also rejected.
+  EXPECT_EQ(ParseHttpRequest(
+                "POST /x HTTP/1.1\r\n"
+                "Content-Length: 99999999999999999999999999\r\n\r\n",
+                kMax, &request, &consumed),
+            HttpParseStatus::kTooLarge);
+}
+
 TEST(HttpTest, ConnectionHeaderControlsKeepAlive) {
   HttpRequest request;
   size_t consumed = 0;

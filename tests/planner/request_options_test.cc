@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/json.h"
 
 namespace vbr {
@@ -89,6 +91,25 @@ TEST(PlanRequestOptionsTest, RejectsWrongTypes) {
           .has_value());
   EXPECT_FALSE(PlanRequestOptions::FromJsonText("[1,2]", &error).has_value());
   EXPECT_FALSE(PlanRequestOptions::FromJsonText("not json", &error)
+                   .has_value());
+}
+
+TEST(PlanRequestOptionsTest, RejectsNonFiniteDeadlines) {
+  std::string error;
+  // NaN and ±inf would silently disable the deadline and make ToJson emit
+  // invalid JSON ("nan"/"inf").
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    const JsonValue value = JsonValue::Object(
+        {{"deadline_ms", JsonValue::Number(bad)}});
+    EXPECT_FALSE(PlanRequestOptions::FromJson(value, &error).has_value());
+    EXPECT_NE(error.find("deadline_ms"), std::string::npos) << error;
+  }
+  // An overflowing literal must not sneak through the text path either.
+  EXPECT_FALSE(PlanRequestOptions::FromJsonText(
+                   R"({"deadline_ms":1e999})", &error)
                    .has_value());
 }
 

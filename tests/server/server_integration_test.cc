@@ -520,6 +520,47 @@ TEST(PlanServerTest, LoadDriverFloodLosesNothing) {
   EXPECT_EQ(stats.admitted, stats.completed + stats.shed + stats.failed);
 }
 
+// HTTP "Connection: close" on /plan: the completion flush closes the
+// connection from inside DrainCompletions, where the ownership maps hold
+// the only references — regression test for a use-after-free in CloseConn.
+TEST(PlanServerTest, HttpConnectionCloseAfterPlanFlushStaysClean) {
+  ServerFixture fx(27);
+  std::string error;
+  const std::string body = "{\"query\":\"" + fx.workload.query.ToString() +
+                           "\",\"options\":{\"model\":\"m2\"}}";
+  const std::string request =
+      "POST /plan HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+  for (int round = 0; round < 3; ++round) {
+    net::OwnedFd fd =
+        net::ConnectTcp("127.0.0.1", fx.server->http_port(), &error);
+    ASSERT_TRUE(fd.valid()) << error;
+    ASSERT_TRUE(net::WriteAll(fd.get(), request.data(), request.size()));
+    // The server must deliver the full response, then close the socket.
+    std::string response;
+    char chunk[8192];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    bool eof = false;
+    while (!eof && std::chrono::steady_clock::now() < deadline) {
+      const net::IoResult r = net::ReadSome(fd.get(), chunk, sizeof(chunk));
+      if (r.status == net::IoStatus::kOk) {
+        response.append(chunk, r.n);
+      } else if (r.status == net::IoStatus::kWouldBlock) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      } else {
+        eof = r.status == net::IoStatus::kEof;
+        break;
+      }
+    }
+    ASSERT_TRUE(eof) << "server did not close after flushing round " << round;
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+    EXPECT_NE(response.find("Connection: close"), std::string::npos);
+    EXPECT_NE(response.find("\"service_status\":\"ok\""), std::string::npos);
+  }
+  EXPECT_EQ(fx.server->stats().active_connections, 0u);
+}
+
 TEST(PlanServerTest, HttpPlanAndHealthEndpointsAnswerOverRawSockets) {
   ServerFixture fx(26);
   std::string error;
