@@ -31,6 +31,10 @@
 // submission (0 = as fast as possible), --deadline-ms as the per-request
 // deadline. The run ends by printing the per-status totals and the
 // service's metrics snapshot (admission, shedding, retries, breaker state).
+// The replay file may also be a BINARY request log captured with
+// `vbr_server --request-log` (detected by the VBIN magic): each recorded
+// request is then re-submitted with the options it was recorded with, so
+// production traffic replays deterministically.
 //
 // --explain prints the planner's account of its decision (candidates with
 // costs and why they lost, the cache disposition, and a per-cost-model
@@ -72,6 +76,7 @@
 #include "planner/planner.h"
 #include "planner/request_options.h"
 #include "planner/service.h"
+#include "planner/snapshot.h"
 #include "rewrite/core_cover.h"
 
 namespace {
@@ -218,17 +223,49 @@ int main(int argc, char** argv) {
   // PlanningService over this program's views; the one-shot enumeration and
   // printing below are skipped entirely.
   if (replay_path != nullptr) {
-    std::ifstream replay_in(replay_path);
+    std::ifstream replay_in(replay_path, std::ios::binary);
     if (!replay_in) return Fail(std::string("cannot open ") + replay_path);
     std::stringstream replay_buffer;
     replay_buffer << replay_in.rdbuf();
-    std::string replay_error;
-    const auto replay_queries = ParseProgram(replay_buffer.str(), &replay_error);
-    if (!replay_queries.has_value()) {
-      return Fail("replay parse error: " + replay_error);
+    const std::string replay_bytes = replay_buffer.str();
+
+    // The replay stream: either a text file of query rules (each submitted
+    // with the CLI's options) or a binary request log captured by
+    // `vbr_server --request-log` (each record re-submitted with the
+    // OPTIONS IT WAS RECORDED WITH, for a deterministic re-run). Binary
+    // logs are length-prefixed VBIN frames, so the magic sits at offset 4.
+    std::vector<ConjunctiveQuery> replay_list;
+    std::vector<PlanRequestOptions> replay_options;
+    const bool is_binary_log =
+        replay_bytes.size() >= 8 && replay_bytes.compare(4, 4, "VBIN") == 0;
+    if (is_binary_log) {
+      std::vector<RequestLogRecord> records;
+      size_t truncated = 0;
+      const vbin::Status status =
+          ParseRequestLog(replay_bytes, &records, &truncated);
+      if (!status.ok()) return Fail("replay log: " + status.error);
+      if (truncated > 0) {
+        std::fprintf(stderr,
+                     "vbr_cli: replay log has a torn tail (%zu byte(s) "
+                     "dropped)\n",
+                     truncated);
+      }
+      if (records.empty()) return Fail("replay log has no records");
+      for (RequestLogRecord& record : records) {
+        replay_list.push_back(std::move(record.query));
+        replay_options.push_back(record.options);
+      }
+    } else {
+      std::string replay_error;
+      const auto parsed = ParseProgram(replay_bytes, &replay_error);
+      if (!parsed.has_value()) {
+        return Fail("replay parse error: " + replay_error);
+      }
+      if (parsed->empty()) return Fail("replay file has no queries");
+      replay_list = *parsed;
+      replay_options.assign(replay_list.size(), request_options);
     }
-    if (replay_queries->empty()) return Fail("replay file has no queries");
-    for (const ConjunctiveQuery& q : *replay_queries) {
+    for (const ConjunctiveQuery& q : replay_list) {
       if (!q.IsSafe()) return Fail("unsafe replay query: " + q.ToString());
     }
 
@@ -251,16 +288,17 @@ int main(int argc, char** argv) {
     const double inter_arrival_ms = qps > 0 ? 1000.0 / qps : 0;
     const Timer wall;
     std::vector<std::future<PlanningService::PlanResponse>> futures;
-    futures.reserve(replay_queries->size());
-    for (size_t i = 0; i < replay_queries->size(); ++i) {
+    futures.reserve(replay_list.size());
+    for (size_t i = 0; i < replay_list.size(); ++i) {
       PlanningService::PlanRequest request;
-      request.query = (*replay_queries)[i];
+      request.query = replay_list[i];
       // The unified options carry the model, the per-request deadline, and
       // the work/memory budget in one struct; the service derives its
-      // admission check and attempt governor from them.
-      request.options = request_options;
+      // admission check and attempt governor from them. A binary-log
+      // replay uses each record's RECORDED options instead of the CLI's.
+      request.options = replay_options[i];
       futures.push_back(service.Submit(std::move(request)));
-      if (inter_arrival_ms > 0 && i + 1 < replay_queries->size()) {
+      if (inter_arrival_ms > 0 && i + 1 < replay_list.size()) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(inter_arrival_ms));
       }

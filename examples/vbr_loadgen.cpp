@@ -14,14 +14,19 @@
 //   admitted  == completed + shed + failed
 // which is what the CI smoke job asserts end to end over the wire.
 //
+// With --handles the driver reuses server-issued query handles: after a
+// query's first response, later requests for it send the 8-byte handle
+// instead of the text, and every handle-path response is byte-compared
+// against the stored text-path response (a divergence fails the run).
+//
 // Usage:
 //   vbr_loadgen --port P --queries FILE [--connections N] [--qps Q]
 //               [--requests N] [--deadline-ms MS] [--model m1|m2|m3]
-//               [--options JSON] [--certificate] [--host H]
+//               [--options JSON] [--certificate] [--handles] [--host H]
 //               [--check-statz HTTP_PORT]
 //
 // Exit status: 0 on a clean run, 1 on setup errors, 2 on lost/duplicated
-// responses, 3 on an accounting violation.
+// responses, 3 on an accounting violation, 4 on a handle-path divergence.
 
 #include <poll.h>
 
@@ -133,6 +138,8 @@ int main(int argc, char** argv) {
       load.request = *parsed;
     } else if (std::strcmp(argv[i], "--certificate") == 0) {
       load.want_certificate = true;
+    } else if (std::strcmp(argv[i], "--handles") == 0) {
+      load.use_handles = true;
     } else if (std::strcmp(argv[i], "--queries") == 0) {
       queries_path = NeedsValue("--queries");
     } else if (std::strcmp(argv[i], "--check-statz") == 0) {
@@ -170,6 +177,13 @@ int main(int argc, char** argv) {
                  " (every request must be answered exactly once)\n",
                  report.lost, report.duplicated, report.decode_errors);
     exit_code = 2;
+  }
+  if (report.handle_mismatches != 0) {
+    std::fprintf(stderr,
+                 "vbr_loadgen: FAIL handle_mismatches=%zu (handle-path "
+                 "responses must be byte-identical to the text path)\n",
+                 report.handle_mismatches);
+    exit_code = 4;
   }
 
   if (statz_port >= 0) {

@@ -11,11 +11,25 @@
 //
 // Usage:
 //   vbr_server [--port P] [--http-port P] [--host H]
-//              [--workers N] [--queue N] [--data FACTS_FILE] [VIEWS_FILE]
+//              [--workers N] [--queue N] [--data FACTS_FILE]
+//              [--snapshot-path FILE] [--snapshot-interval-s S]
+//              [--request-log FILE] [VIEWS_FILE]
 //
 // Port 0 (the default) binds an ephemeral port; both bound ports are
 // printed on startup, one per line, as "binary_port=P" / "http_port=P", so
 // scripts can scrape them.  The server runs until SIGINT/SIGTERM.
+//
+// Persistence (planner/snapshot.h):
+//   --snapshot-path FILE   warm-start the plan cache from FILE at startup
+//                          (a mismatched or missing snapshot is a clean
+//                          cold start), save it back every
+//                          --snapshot-interval-s seconds (default 30, 0 =
+//                          only at shutdown), and save on drain — so a
+//                          restarted server serves cache hits from the
+//                          very first request;
+//   --request-log FILE     append every submitted request (query + options)
+//                          to FILE as length-prefixed VBIN records; replay
+//                          the stream later with `vbr_cli --replay FILE`.
 //
 // Try it:
 //   vbr_server --http-port 8080 views.dl &
@@ -26,20 +40,26 @@
 //   curl -s localhost:8080/metricz?format=text
 
 #include <csignal>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <semaphore>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "cq/parser.h"
 #include "engine/io.h"
 #include "engine/materialize.h"
 #include "planner/planner.h"
 #include "planner/service.h"
+#include "planner/snapshot.h"
 #include "server/plan_server.h"
 
 namespace {
@@ -65,6 +85,9 @@ int main(int argc, char** argv) {
   PlanningService::Options service_options;
   const char* path = nullptr;
   const char* data_path = nullptr;
+  const char* snapshot_path = nullptr;
+  const char* request_log_path = nullptr;
+  double snapshot_interval_s = 30;
   for (int i = 1; i < argc; ++i) {
     auto NeedsValue = [&](const char* flag) -> const char* {
       if (++i >= argc) {
@@ -95,6 +118,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--data") == 0) {
       data_path = NeedsValue("--data");
+    } else if (std::strcmp(argv[i], "--snapshot-path") == 0) {
+      snapshot_path = NeedsValue("--snapshot-path");
+    } else if (std::strcmp(argv[i], "--snapshot-interval-s") == 0) {
+      snapshot_interval_s = std::atof(NeedsValue("--snapshot-interval-s"));
+    } else if (std::strcmp(argv[i], "--request-log") == 0) {
+      request_log_path = NeedsValue("--request-log");
     } else if (argv[i][0] == '-') {
       return Fail(std::string("unknown flag ") + argv[i]);
     } else {
@@ -133,6 +162,33 @@ int main(int argc, char** argv) {
   }
 
   ViewPlanner planner(views, MaterializeViews(views, base));
+
+  // Warm-start: load the previous run's plan cache. A missing file or a
+  // snapshot of a different view set is a clean cold start; only a corrupt
+  // file is worth a warning (and still not fatal — we serve cold).
+  if (snapshot_path != nullptr) {
+    const SnapshotLoadResult load = planner.LoadSnapshot(snapshot_path);
+    if (!load.ok()) {
+      std::fprintf(stderr, "vbr_server: snapshot not loaded (%s); cold start\n",
+                   load.status.error.c_str());
+    } else if (!load.compatible) {
+      std::fprintf(stderr,
+                   "vbr_server: snapshot is for a different view set; "
+                   "cold start\n");
+    } else {
+      std::fprintf(stderr, "vbr_server: warm start, %zu cached plan(s)\n",
+                   load.entries_loaded);
+    }
+  }
+
+  std::shared_ptr<RequestLogWriter> request_log;
+  if (request_log_path != nullptr) {
+    request_log = std::make_shared<RequestLogWriter>();
+    const vbin::Status status = request_log->Open(request_log_path);
+    if (!status.ok()) return Fail("request log: " + status.error);
+    service_options.request_log = request_log;
+  }
+
   PlanningService service(&planner, service_options);
   server::PlanServer server(&service, server_options);
   if (!server.Start(&error)) return Fail("start: " + error);
@@ -143,11 +199,61 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  // Periodic snapshot saves, so a crash loses at most one interval of
+  // cache warmth. The thread wakes early on shutdown to exit promptly.
+  std::mutex saver_mu;
+  std::condition_variable saver_cv;
+  bool stopping = false;
+  std::thread saver;
+  if (snapshot_path != nullptr && snapshot_interval_s > 0) {
+    saver = std::thread([&] {
+      std::unique_lock<std::mutex> lock(saver_mu);
+      while (!saver_cv.wait_for(
+          lock, std::chrono::duration<double>(snapshot_interval_s),
+          [&] { return stopping; })) {
+        lock.unlock();
+        const vbin::Status status = planner.SaveSnapshot(snapshot_path);
+        if (!status.ok()) {
+          std::fprintf(stderr, "vbr_server: snapshot save failed: %s\n",
+                       status.error.c_str());
+        }
+        lock.lock();
+      }
+    });
+  }
+
   g_shutdown.acquire();
 
   std::fprintf(stderr, "vbr_server: shutting down\n");
   server.Stop();
   service.Shutdown();
+  if (saver.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(saver_mu);
+      stopping = true;
+    }
+    saver_cv.notify_all();
+    saver.join();
+  }
+  // Final save AFTER the drain, so everything planned this run persists.
+  if (snapshot_path != nullptr) {
+    const vbin::Status status = planner.SaveSnapshot(snapshot_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "vbr_server: snapshot saved to %s\n",
+                   snapshot_path);
+    } else {
+      std::fprintf(stderr, "vbr_server: final snapshot save failed: %s\n",
+                   status.error.c_str());
+    }
+  }
+  if (request_log != nullptr) {
+    request_log->Close();
+    if (!request_log->error().empty()) {
+      std::fprintf(stderr, "vbr_server: request log: %s\n",
+                   request_log->error().c_str());
+    }
+  }
   std::fprintf(stderr, "vbr_server: %s\n",
                service.stats().ToString().c_str());
   return 0;

@@ -60,4 +60,12 @@ HTTP_PORT=$(sed -n 's/^http_port=//p' "$PORTS_FILE")
   --connections 8 --qps 0 --requests 1000 --deadline-ms 50 \
   --check-statz "$HTTP_PORT"
 
+# Handle-caching run: after each query's first response the loadgen sends
+# the server-issued handle instead of the text, and byte-compares every
+# handle-path response against the text path (exit 4 on divergence).
+"$BUILD_DIR"/examples/vbr_loadgen --port "$BINARY_PORT" \
+  --queries examples/data/car_loc_part.replay \
+  --connections 4 --qps 200 --requests 400 --certificate --handles \
+  --check-statz "$HTTP_PORT"
+
 echo "check_net_smoke: wire accounting clean (no lost/duplicated responses)"

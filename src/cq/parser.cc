@@ -13,6 +13,8 @@ namespace {
 enum class TokenKind {
   kIdent,
   kNumber,
+  kVariable,  // "?name" / ?"name": explicitly-marked variable
+  kString,    // "name": explicitly-marked (quoted) constant
   kLParen,
   kRParen,
   kComma,
@@ -80,6 +82,27 @@ class Lexer {
         } else {
           return Fail(error, "expected '!='");
         }
+      } else if (c == '?') {
+        // Explicit variable marker (see FormatTermText): ?ident or ?"...".
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '"') {
+          std::string name;
+          if (!LexQuoted(&name, error)) return false;
+          out->push_back({TokenKind::kVariable, std::move(name), line_});
+        } else {
+          size_t start = pos_;
+          while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+          if (pos_ == start) {
+            return Fail(error, "expected a name after '?'");
+          }
+          out->push_back({TokenKind::kVariable,
+                          std::string(text_.substr(start, pos_ - start)),
+                          line_});
+        }
+      } else if (c == '"') {
+        std::string name;
+        if (!LexQuoted(&name, error)) return false;
+        out->push_back({TokenKind::kString, std::move(name), line_});
       } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         size_t start = pos_;
         while (pos_ < text_.size() &&
@@ -109,6 +132,49 @@ class Lexer {
   }
 
  private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+  }
+
+  // Consumes a double-quoted name (cursor on the opening quote).  Escapes
+  // match FormatTermText: \\ \" and \xNN.
+  bool LexQuoted(std::string* name, std::string* error) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\n') break;  // unterminated; keep line numbers honest
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char esc = text_[pos_ + 1];
+        if (esc == '\\' || esc == '"') {
+          name->push_back(esc);
+          pos_ += 2;
+          continue;
+        }
+        if (esc == 'x' && pos_ + 3 < text_.size() &&
+            std::isxdigit(static_cast<unsigned char>(text_[pos_ + 2])) &&
+            std::isxdigit(static_cast<unsigned char>(text_[pos_ + 3]))) {
+          auto hex = [](char h) {
+            return h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10;
+          };
+          name->push_back(static_cast<char>(hex(text_[pos_ + 2]) * 16 +
+                                            hex(text_[pos_ + 3])));
+          pos_ += 4;
+          continue;
+        }
+        return Fail(error, "bad escape in quoted name");
+      }
+      name->push_back(c);
+      ++pos_;
+    }
+    return Fail(error, "unterminated quoted name");
+  }
+
   bool Fail(std::string* error, const std::string& message) {
     if (error != nullptr) {
       *error = "line " + std::to_string(line_) + ": " + message;
@@ -121,15 +187,23 @@ class Lexer {
   size_t line_ = 1;
 };
 
-// A term identifier is a variable iff it starts with an upper-case letter or
-// underscore.
+// A plain identifier is a variable iff it starts with an upper-case letter
+// or underscore; ?-marked and quoted tokens carry their kind explicitly.
 Term MakeTerm(const Token& token) {
+  if (token.kind == TokenKind::kVariable) return Var(token.text);
+  if (token.kind == TokenKind::kString) return Const(token.text);
   if (token.kind == TokenKind::kNumber) return Const(token.text);
   const char first = token.text[0];
   if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
     return Var(token.text);
   }
   return Const(token.text);
+}
+
+// Token kinds that may appear where a term is expected.
+bool IsTermToken(TokenKind kind) {
+  return kind == TokenKind::kIdent || kind == TokenKind::kNumber ||
+         kind == TokenKind::kVariable || kind == TokenKind::kString;
 }
 
 class Parser {
@@ -199,7 +273,7 @@ class Parser {
   std::optional<Atom> ParseBodyAtom() {
     SkipNewlines();
     const Token& first = Peek();
-    if (first.kind != TokenKind::kIdent && first.kind != TokenKind::kNumber) {
+    if (!IsTermToken(first.kind)) {
       Fail("expected an atom, found '" + first.text + "'");
       return std::nullopt;
     }
@@ -215,8 +289,7 @@ class Parser {
     }
     const Token op = Advance();
     const Token& rhs_tok = Peek();
-    if (rhs_tok.kind != TokenKind::kIdent &&
-        rhs_tok.kind != TokenKind::kNumber) {
+    if (!IsTermToken(rhs_tok.kind)) {
       Fail("expected a term after '" + op.text + "'");
       return std::nullopt;
     }
@@ -237,7 +310,7 @@ class Parser {
       while (true) {
         SkipNewlines();
         const Token& t = Peek();
-        if (t.kind != TokenKind::kIdent && t.kind != TokenKind::kNumber) {
+        if (!IsTermToken(t.kind)) {
           Fail("expected a term, found '" + t.text + "'");
           return std::nullopt;
         }

@@ -16,9 +16,13 @@ namespace vbr {
 //
 // Conventions (following the paper): identifiers starting with an upper-case
 // letter or '_' are variables; identifiers starting with a lower-case letter
-// and integer literals are constants. Builtin comparison subgoals are
-// written infix: `X <= Y`. A program is a sequence of rules separated by
-// periods or newlines; `%` and `#` start comments that run to end of line.
+// and integer literals are constants. Terms whose names break the
+// convention use explicit markers — `?name` (or `?"name"`) is a variable
+// regardless of spelling, `"name"` is a constant — which is what
+// Term::ToString emits for such names, so ToString -> Parse preserves the
+// term kind for every name. Builtin comparison subgoals are written infix:
+// `X <= Y`. A program is a sequence of rules separated by periods or
+// newlines; `%` and `#` start comments that run to end of line.
 
 // Parses a single rule. On failure returns nullopt and, if `error` is
 // non-null, stores a message with position information.

@@ -1,0 +1,77 @@
+#include "cq/term.h"
+
+#include <cctype>
+
+namespace vbr {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool AllIdentChars(std::string_view name) {
+  for (char c : name) {
+    if (!IsIdentChar(c)) return false;
+  }
+  return true;
+}
+
+// Would the lexer read `name` back as a variable identifier?
+bool IsConventionalVariable(std::string_view name) {
+  if (name.empty()) return false;
+  const unsigned char first = static_cast<unsigned char>(name[0]);
+  return (std::isupper(first) || name[0] == '_') && AllIdentChars(name);
+}
+
+// Would the lexer read `name` back as a single constant token?  Lowercase
+// identifiers, digit runs, and '-'-prefixed digit runs do; anything else
+// (uppercase start, spaces, operators, a digit start with letters after)
+// would mis-lex or mis-kind.
+bool IsConventionalConstant(std::string_view name) {
+  if (name.empty()) return false;
+  const unsigned char first = static_cast<unsigned char>(name[0]);
+  if (std::islower(first)) return AllIdentChars(name);
+  if (std::isdigit(first) || name[0] == '-') {
+    for (size_t i = 1; i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string Quote(std::string_view name) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(name.size() + 2);
+  out.push_back('"');
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20 || u == 0x7F) {
+      out += "\\x";
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string FormatTermText(std::string_view name, bool is_variable) {
+  if (is_variable) {
+    if (IsConventionalVariable(name)) return std::string(name);
+    if (!name.empty() && AllIdentChars(name)) return "?" + std::string(name);
+    return "?" + Quote(name);
+  }
+  if (IsConventionalConstant(name)) return std::string(name);
+  return Quote(name);
+}
+
+}  // namespace vbr

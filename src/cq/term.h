@@ -17,6 +17,15 @@ namespace vbr {
 // Following the paper's convention, variables print with a leading
 // upper-case letter and constants with a lower-case letter or digit, but the
 // kind is carried explicitly so any spelling works.
+
+// Prints `name` so the parser reads back a term of the same kind.
+// Conventional spellings (upper/underscore-initial variables,
+// lower/digit-initial constants) print verbatim; anything else gets an
+// explicit marker: `?name` / `?"name"` for variables, `"name"` for
+// constants.  ToString uses this, so ToString -> Parse is total and
+// kind-faithful (defined in term.cc).
+std::string FormatTermText(std::string_view name, bool is_variable);
+
 class Term {
  public:
   // Default-constructed terms are invalid; is_valid() is false.
@@ -32,9 +41,12 @@ class Term {
   bool is_constant() const { return is_valid() && !is_var_; }
   Symbol symbol() const { return sym_; }
 
-  // Name as interned in the global symbol table.
+  // The interned name, escaped (FormatTermText) whenever the plain
+  // spelling would parse back as the wrong kind.
   std::string ToString() const {
-    return is_valid() ? SymbolTable::Global().NameOf(sym_) : "<invalid>";
+    return is_valid() ? FormatTermText(SymbolTable::Global().NameOf(sym_),
+                                       is_var_)
+                      : "<invalid>";
   }
 
   friend bool operator==(Term a, Term b) = default;

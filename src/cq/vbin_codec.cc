@@ -1,0 +1,253 @@
+#include "cq/vbin_codec.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vbr {
+namespace {
+
+// Term kind tags.  0 is deliberately unused so a zeroed buffer decodes to
+// an error, not a value.
+constexpr uint8_t kTermInvalid = 1;
+constexpr uint8_t kTermVariable = 2;
+constexpr uint8_t kTermConstant = 3;
+
+}  // namespace
+
+void EncodeTerm(const Term& term, vbin::FileWriter* writer) {
+  if (!term.is_valid()) {
+    writer->AppendU8(kTermInvalid);
+    return;
+  }
+  // The RAW interned name, never the display form: ToString may add
+  // escape markers for unconventional spellings, but the kind byte above
+  // already carries what escaping would re-derive.
+  writer->AppendU8(term.is_variable() ? kTermVariable : kTermConstant);
+  writer->AppendVarint(
+      writer->Intern(SymbolTable::Global().NameOf(term.symbol())));
+}
+
+bool DecodeTerm(vbin::Reader* reader, const vbin::FileView& file, Term* out) {
+  uint8_t kind = 0;
+  if (!reader->ReadU8(&kind)) return false;
+  if (kind == kTermInvalid) {
+    *out = Term();
+    return true;
+  }
+  if (kind != kTermVariable && kind != kTermConstant) {
+    reader->Fail("bad term kind");
+    return false;
+  }
+  uint64_t name_id = 0;
+  if (!reader->ReadVarint(&name_id)) return false;
+  std::string_view name;
+  if (!file.String(name_id, &name, reader)) return false;
+  if (name.empty()) {
+    reader->Fail("empty term name");
+    return false;
+  }
+  *out = kind == kTermVariable ? Var(name) : Const(name);
+  return true;
+}
+
+void EncodeAtom(const Atom& atom, vbin::FileWriter* writer) {
+  writer->AppendVarint(writer->Intern(atom.predicate_name()));
+  writer->AppendVarint(atom.arity());
+  for (const Term& t : atom.args()) {
+    EncodeTerm(t, writer);
+  }
+}
+
+bool DecodeAtom(vbin::Reader* reader, const vbin::FileView& file, Atom* out) {
+  uint64_t pred_id = 0, arity = 0;
+  if (!reader->ReadVarint(&pred_id) || !reader->ReadVarint(&arity)) {
+    return false;
+  }
+  std::string_view predicate;
+  if (!file.String(pred_id, &predicate, reader)) return false;
+  if (predicate.empty()) {
+    reader->Fail("empty predicate name");
+    return false;
+  }
+  // Every term costs at least two bytes, so an honest arity is bounded by
+  // the remaining body size — reject before reserving.
+  if (arity > reader->remaining()) {
+    reader->Fail("atom arity exceeds remaining bytes");
+    return false;
+  }
+  std::vector<Term> args;
+  args.reserve(arity);
+  for (uint64_t i = 0; i < arity; ++i) {
+    Term t;
+    if (!DecodeTerm(reader, file, &t)) return false;
+    args.push_back(t);
+  }
+  *out = Atom(SymbolTable::Global().Intern(predicate), std::move(args));
+  return true;
+}
+
+void EncodeQuery(const ConjunctiveQuery& query, vbin::FileWriter* writer) {
+  EncodeAtom(query.head(), writer);
+  EncodeAtoms(query.body(), writer);
+}
+
+bool DecodeQuery(vbin::Reader* reader, const vbin::FileView& file,
+                 ConjunctiveQuery* out) {
+  Atom head;
+  std::vector<Atom> body;
+  if (!DecodeAtom(reader, file, &head) || !DecodeAtoms(reader, file, &body)) {
+    return false;
+  }
+  *out = ConjunctiveQuery(std::move(head), std::move(body));
+  return true;
+}
+
+void EncodeAtoms(const std::vector<Atom>& atoms, vbin::FileWriter* writer) {
+  writer->AppendVarint(atoms.size());
+  for (const Atom& a : atoms) {
+    EncodeAtom(a, writer);
+  }
+}
+
+bool DecodeAtoms(vbin::Reader* reader, const vbin::FileView& file,
+                 std::vector<Atom>* out) {
+  uint64_t count = 0;
+  if (!reader->ReadVarint(&count)) return false;
+  if (count > reader->remaining()) {
+    reader->Fail("atom count exceeds remaining bytes");
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Atom a;
+    if (!DecodeAtom(reader, file, &a)) return false;
+    out->push_back(std::move(a));
+  }
+  return true;
+}
+
+void EncodeQueries(const std::vector<ConjunctiveQuery>& queries,
+                   vbin::FileWriter* writer) {
+  writer->AppendVarint(queries.size());
+  for (const ConjunctiveQuery& q : queries) {
+    EncodeQuery(q, writer);
+  }
+}
+
+bool DecodeQueries(vbin::Reader* reader, const vbin::FileView& file,
+                   std::vector<ConjunctiveQuery>* out) {
+  uint64_t count = 0;
+  if (!reader->ReadVarint(&count)) return false;
+  if (count > reader->remaining()) {
+    reader->Fail("query count exceeds remaining bytes");
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ConjunctiveQuery q;
+    if (!DecodeQuery(reader, file, &q)) return false;
+    out->push_back(std::move(q));
+  }
+  return true;
+}
+
+void EncodeSubstitution(const Substitution& subst, vbin::FileWriter* writer) {
+  // bindings() is an unordered_map; sort by variable name so the encoding
+  // is deterministic across processes and hash-seed changes.
+  std::vector<std::pair<std::string, Term>> sorted;
+  sorted.reserve(subst.bindings().size());
+  for (const auto& [var_sym, target] : subst.bindings()) {
+    sorted.emplace_back(SymbolTable::Global().NameOf(var_sym), target);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer->AppendVarint(sorted.size());
+  for (const auto& [var_name, target] : sorted) {
+    writer->AppendVarint(writer->Intern(var_name));
+    EncodeTerm(target, writer);
+  }
+}
+
+bool DecodeSubstitution(vbin::Reader* reader, const vbin::FileView& file,
+                        Substitution* out) {
+  uint64_t count = 0;
+  if (!reader->ReadVarint(&count)) return false;
+  if (count > reader->remaining()) {
+    reader->Fail("binding count exceeds remaining bytes");
+    return false;
+  }
+  *out = Substitution();
+  std::string_view previous_name;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t var_id = 0;
+    if (!reader->ReadVarint(&var_id)) return false;
+    std::string_view var_name;
+    if (!file.String(var_id, &var_name, reader)) return false;
+    if (var_name.empty()) {
+      reader->Fail("empty variable name");
+      return false;
+    }
+    // Enforce the canonical order so re-encoding is byte-identical and a
+    // hostile file cannot smuggle duplicate bindings.
+    if (i > 0 && !(previous_name < var_name)) {
+      reader->Fail("substitution bindings out of order");
+      return false;
+    }
+    previous_name = var_name;
+    Term target;
+    if (!DecodeTerm(reader, file, &target)) return false;
+    if (!target.is_valid()) {
+      reader->Fail("substitution target invalid");
+      return false;
+    }
+    if (!out->Bind(Var(var_name), target)) {
+      reader->Fail("duplicate substitution binding");
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Whole files
+
+std::string EncodeQueryFile(const ConjunctiveQuery& query) {
+  vbin::FileWriter writer(vbin::FileKind::kQuery);
+  EncodeQuery(query, &writer);
+  return std::move(writer).Finish();
+}
+
+vbin::Status DecodeQueryFile(std::string_view bytes, ConjunctiveQuery* out) {
+  vbin::FileView file;
+  vbin::Status status = vbin::OpenFile(bytes, &file, vbin::FileKind::kQuery);
+  if (!status.ok()) return status;
+  vbin::Reader reader(file.body);
+  if (!DecodeQuery(&reader, file, out) || !reader.AtEnd()) {
+    if (reader.ok()) reader.Fail("trailing bytes");
+    return reader.ToStatus("query body");
+  }
+  return vbin::Status::Ok();
+}
+
+std::string EncodeProgramFile(const std::vector<ConjunctiveQuery>& rules) {
+  vbin::FileWriter writer(vbin::FileKind::kProgram);
+  EncodeQueries(rules, &writer);
+  return std::move(writer).Finish();
+}
+
+vbin::Status DecodeProgramFile(std::string_view bytes,
+                               std::vector<ConjunctiveQuery>* out) {
+  vbin::FileView file;
+  vbin::Status status = vbin::OpenFile(bytes, &file, vbin::FileKind::kProgram);
+  if (!status.ok()) return status;
+  vbin::Reader reader(file.body);
+  if (!DecodeQueries(&reader, file, out) || !reader.AtEnd()) {
+    if (reader.ok()) reader.Fail("trailing bytes");
+    return reader.ToStatus("program body");
+  }
+  return vbin::Status::Ok();
+}
+
+}  // namespace vbr

@@ -1,0 +1,68 @@
+// VBIN value codecs for the CQ core types.
+//
+// Symbols are process-local interned ids, so the wire form stores NAMES
+// through the file's string pool and re-interns on decode — decoding in a
+// different process yields terms that compare equal to the originals.
+//
+// Encoding is deterministic: pool ids are assigned in traversal order and
+// Substitution bindings are sorted by variable name, so
+// encode(decode(bytes)) == bytes for every well-formed file (the
+// round-trip identity the differential harness asserts).
+#ifndef VBR_CQ_VBIN_CODEC_H_
+#define VBR_CQ_VBIN_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/vbin.h"
+#include "cq/atom.h"
+#include "cq/query.h"
+#include "cq/substitution.h"
+#include "cq/term.h"
+
+namespace vbr {
+
+// -- Body-level codecs (composable inside larger files) ---------------------
+//
+// Encoders append to the writer's body; decoders consume from `reader`
+// (which reads the enclosing body section) resolving names via `file`.
+// Decoders return false after latching an error on the reader.
+
+void EncodeTerm(const Term& term, vbin::FileWriter* writer);
+bool DecodeTerm(vbin::Reader* reader, const vbin::FileView& file, Term* out);
+
+void EncodeAtom(const Atom& atom, vbin::FileWriter* writer);
+bool DecodeAtom(vbin::Reader* reader, const vbin::FileView& file, Atom* out);
+
+void EncodeQuery(const ConjunctiveQuery& query, vbin::FileWriter* writer);
+bool DecodeQuery(vbin::Reader* reader, const vbin::FileView& file,
+                 ConjunctiveQuery* out);
+
+void EncodeAtoms(const std::vector<Atom>& atoms, vbin::FileWriter* writer);
+bool DecodeAtoms(vbin::Reader* reader, const vbin::FileView& file,
+                 std::vector<Atom>* out);
+
+void EncodeQueries(const std::vector<ConjunctiveQuery>& queries,
+                   vbin::FileWriter* writer);
+bool DecodeQueries(vbin::Reader* reader, const vbin::FileView& file,
+                   std::vector<ConjunctiveQuery>* out);
+
+void EncodeSubstitution(const Substitution& subst, vbin::FileWriter* writer);
+bool DecodeSubstitution(vbin::Reader* reader, const vbin::FileView& file,
+                        Substitution* out);
+
+// -- Whole-file conveniences -------------------------------------------------
+
+// kQuery file: one ConjunctiveQuery.
+std::string EncodeQueryFile(const ConjunctiveQuery& query);
+vbin::Status DecodeQueryFile(std::string_view bytes, ConjunctiveQuery* out);
+
+// kProgram file: an ordered rule list (view sets, workloads).
+std::string EncodeProgramFile(const std::vector<ConjunctiveQuery>& rules);
+vbin::Status DecodeProgramFile(std::string_view bytes,
+                               std::vector<ConjunctiveQuery>* out);
+
+}  // namespace vbr
+
+#endif  // VBR_CQ_VBIN_CODEC_H_

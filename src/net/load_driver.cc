@@ -33,11 +33,36 @@ double Percentile(const std::vector<double>& sorted, double p) {
 // atomic counter so duplicate detection is exact under concurrency.
 struct Ledger {
   explicit Ledger(size_t n)
-      : send_time(n), latency_ms(n, -1.0), answered(n) {}
+      : send_time(n), latency_ms(n, -1.0), answered(n), by_handle(n, 0) {}
   std::vector<Clock::time_point> send_time;
   std::vector<double> latency_ms;
   std::vector<std::atomic<uint32_t>> answered;
+  // 1 when the request went out carrying a handle instead of text (written
+  // by the owning sender before the send, read by receivers only after the
+  // response arrives).
+  std::vector<char> by_handle;
 };
+
+// Per-distinct-query handle state (use_handles). Senders read `handle`
+// with acquire and switch to the handle path once it is nonzero; receivers
+// store the reference response BEFORE publishing the handle, so any
+// handle-path response always has a reference to compare against.
+struct HandleBook {
+  explicit HandleBook(size_t num_queries)
+      : handles(num_queries), references(num_queries) {}
+  std::vector<std::atomic<uint64_t>> handles;
+  std::mutex mu;  // guards references
+  std::vector<std::string> references;
+};
+
+// The part of a response that identifies THE PLAN — equal for a text and a
+// handle request of the same query. Transport-level fields (cache_hit,
+// queue wait, request id) legitimately differ and stay out.
+std::string PlanPayloadKey(const PlanResponseFrame& response) {
+  return std::to_string(response.plan_status) + "|" +
+         std::to_string(response.cost) + "|" + response.rewriting + "|" +
+         response.certificate;
+}
 
 }  // namespace
 
@@ -47,12 +72,14 @@ std::string LoadReport::ToString() const {
       buf, sizeof(buf),
       "sent=%zu received=%zu lost=%zu dup=%zu decode_errors=%zu | "
       "ok=%zu rejected=%zu shed=%zu failed=%zu bad=%zu | "
+      "handle_reqs=%zu handle_mismatch=%zu | "
       "wall=%.2fs achieved=%.0f qps | "
       "p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
       sent, received, lost, duplicated, decode_errors, by_status[0],
       by_status[1], by_status[2], by_status[3],
-      by_status[4] + by_status[5] + by_status[6], wall_s, achieved_qps, p50_ms,
-      p90_ms, p99_ms, max_ms);
+      by_status[4] + by_status[5] + by_status[6], handle_requests,
+      handle_mismatches, wall_s, achieved_qps, p50_ms, p90_ms, p99_ms,
+      max_ms);
   return std::string(buf);
 }
 
@@ -74,10 +101,13 @@ bool RunLoad(const LoadDriverOptions& options, LoadReport* report,
   }
 
   Ledger ledger(total);
+  HandleBook handle_book(options.queries.size());
   std::atomic<size_t> sent{0};
   std::atomic<size_t> received{0};
   std::atomic<size_t> duplicated{0};
   std::atomic<size_t> decode_errors{0};
+  std::atomic<size_t> handle_requests{0};
+  std::atomic<size_t> handle_mismatches{0};
   std::atomic<size_t> by_status[7] = {};
   std::atomic<bool> drain_deadline_passed{false};
 
@@ -102,7 +132,20 @@ bool RunLoad(const LoadDriverOptions& options, LoadReport* report,
         frame.request_id = id;
         frame.options = options.request;
         frame.want_certificate = options.want_certificate;
-        frame.query_text = options.queries[id % options.queries.size()];
+        const size_t query_index = id % options.queries.size();
+        const uint64_t handle =
+            options.use_handles
+                ? handle_book.handles[query_index].load(
+                      std::memory_order_acquire)
+                : 0;
+        if (handle != 0) {
+          frame.query_is_handle = true;
+          frame.query_handle = handle;
+          ledger.by_handle[id] = 1;
+          handle_requests.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          frame.query_text = options.queries[query_index];
+        }
         wire.clear();
         EncodePlanRequest(frame, &wire);
         ledger.send_time[id] = Clock::now();
@@ -164,6 +207,34 @@ bool RunLoad(const LoadDriverOptions& options, LoadReport* report,
           ledger.latency_ms[id] = MsSince(ledger.send_time[id], Clock::now());
           by_status[static_cast<size_t>(response.status)].fetch_add(
               1, std::memory_order_relaxed);
+          if (options.use_handles && response.status == WireStatus::kOk &&
+              !response.degraded) {
+            const size_t query_index = id % options.queries.size();
+            if (ledger.by_handle[id]) {
+              // Handle path: must match the stored text-path response.
+              std::lock_guard<std::mutex> lock(handle_book.mu);
+              const std::string& reference =
+                  handle_book.references[query_index];
+              if (!reference.empty() &&
+                  reference != PlanPayloadKey(response)) {
+                handle_mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            } else if (response.query_handle != 0) {
+              // Text path: store the reference FIRST, then publish the
+              // handle so no handle request can outrun its reference.
+              {
+                std::lock_guard<std::mutex> lock(handle_book.mu);
+                if (handle_book.references[query_index].empty()) {
+                  handle_book.references[query_index] =
+                      PlanPayloadKey(response);
+                }
+              }
+              uint64_t expected = 0;
+              handle_book.handles[query_index].compare_exchange_strong(
+                  expected, response.query_handle,
+                  std::memory_order_release, std::memory_order_relaxed);
+            }
+          }
           received.fetch_add(1, std::memory_order_relaxed);
           ++answered_here;
         }
@@ -203,6 +274,8 @@ bool RunLoad(const LoadDriverOptions& options, LoadReport* report,
   report->lost = report->sent - report->received;
   report->duplicated = duplicated.load();
   report->decode_errors = decode_errors.load();
+  report->handle_requests = handle_requests.load();
+  report->handle_mismatches = handle_mismatches.load();
   for (size_t i = 0; i < 7; ++i) report->by_status[i] = by_status[i].load();
   report->wall_s = MsSince(start, end) / 1000.0;
   report->achieved_qps =

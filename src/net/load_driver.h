@@ -32,6 +32,13 @@ struct LoadDriverOptions {
   // Per-request options put on the wire (model, deadline, budget).
   PlanRequestOptions request;
   bool want_certificate = false;
+  // Client-side handle caching: once a query's first kOk response arrives,
+  // later requests for the SAME query send the server-issued handle
+  // (kFlagQueryIsHandle) instead of the text. The driver remembers the
+  // text-path response per query and byte-compares every non-degraded
+  // kOk handle-path response against it (rewriting, certificate, planner
+  // status, cost) — a divergence counts in LoadReport::handle_mismatches.
+  bool use_handles = false;
   // How long the receivers keep draining after the last send before
   // declaring the remaining requests lost.
   double drain_timeout_ms = 5000;
@@ -43,6 +50,11 @@ struct LoadReport {
   size_t lost = 0;        // sent, never answered within the drain timeout
   size_t duplicated = 0;  // answered more than once (protocol bug if != 0)
   size_t decode_errors = 0;
+  // Handle caching (use_handles): how many requests went out by handle,
+  // and how many handle-path responses diverged from the stored text-path
+  // response for the same query (0 on a correct server).
+  size_t handle_requests = 0;
+  size_t handle_mismatches = 0;
   // Responses by WireStatus (indexed by the enum's numeric value).
   size_t by_status[7] = {0, 0, 0, 0, 0, 0, 0};
   double wall_s = 0;

@@ -131,6 +131,21 @@ void PlanCache::Insert(CostModel model, EntryPtr entry, uint64_t epoch) {
   }
 }
 
+std::vector<std::pair<CostModel, PlanCache::EntryPtr>>
+PlanCache::ExportEntries() const {
+  const uint64_t current = epoch();
+  std::vector<std::pair<CostModel, EntryPtr>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Front = most recently used; walk back-to-front for coldest-first.
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      if (it->epoch != current) continue;
+      out.emplace_back(it->model, it->entry);
+    }
+  }
+  return out;
+}
+
 uint64_t PlanCache::BumpEpoch() {
   const uint64_t next = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   // Purge eagerly so invalidated entries stop occupying capacity. Lookup

@@ -136,6 +136,13 @@ class PlanCache {
   // purged (the dropped entries count as evictions). Returns the new epoch.
   uint64_t BumpEpoch();
 
+  // Snapshot support (planner/snapshot.h): every entry living under the
+  // CURRENT epoch, coldest-first per shard, so re-Inserting them in order
+  // into a fresh cache reproduces the recency order. Entries are shared
+  // (not copied); CachedPlan is immutable apart from its monotone
+  // certificate slots, so the export stays valid while the cache moves on.
+  std::vector<std::pair<CostModel, EntryPtr>> ExportEntries() const;
+
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   size_t size() const;
   size_t capacity() const { return capacity_; }

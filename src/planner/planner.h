@@ -11,6 +11,7 @@
 
 #include "common/budget.h"
 #include "common/trace.h"
+#include "common/vbin.h"
 #include "cost/cost_model.h"
 #include "cost/physical_plan.h"
 #include "cq/fingerprint.h"
@@ -25,6 +26,7 @@ namespace vbr {
 struct CachedPlan;
 class PlanCache;
 struct PlanCacheCounters;
+struct SnapshotLoadResult;  // planner/snapshot.h
 
 // Outcome classification of a planning request. Distinguishes "there
 // provably is no equivalent rewriting over these views" from "the query is
@@ -325,6 +327,20 @@ class ViewPlanner {
   const Database& view_instances() const {
     return CurrentSnapshot()->instances;
   }
+
+  // Persistence (planner/snapshot.h). SaveSnapshot writes every live
+  // plan-cache entry — fingerprints, rewritings, certificates — plus a
+  // fingerprint of the current view definitions as one VBIN file
+  // (atomically: temp file + rename). LoadSnapshot warms the cache from
+  // such a file: if the stored view fingerprint matches the current views,
+  // the entries are inserted under the current epoch and the very next
+  // Plan() of a snapshotted query is a cache hit with a byte-identical
+  // plan; if it does not match, the planner stays cold (compatible ==
+  // false, NOT an error). Corrupt/truncated/newer-versioned files are
+  // rejected with a clean status and leave the cache untouched. Both are
+  // safe to call while planning traffic is in flight.
+  vbin::Status SaveSnapshot(const std::string& path) const;
+  SnapshotLoadResult LoadSnapshot(const std::string& path);
 
   // Plan-cache observability (all zero when the cache is disabled).
   PlanCacheCounters cache_counters() const;

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/json.h"
 #include "common/metrics.h"
+#include "planner/snapshot.h"
 
 namespace vbr {
 
@@ -209,6 +210,11 @@ std::future<PlanningService::PlanResponse> PlanningService::SubmitInternal(
     PlanRequest request, std::function<void(PlanResponse)> done) {
   const ServiceMetrics& metrics = ServiceMetrics::Get();
   metrics.submitted->Increment();
+  if (options_.request_log != nullptr) {
+    // Record the request's OWN options, pre-merge, so a replay through a
+    // differently-configured service still submits what the client asked.
+    options_.request_log->Append(request.query, request.options);
+  }
   // The promise/future pair is only armed for future-style submissions;
   // callback submissions leave the future in a default (invalid) state the
   // caller never sees.

@@ -21,6 +21,10 @@
 #include "planner/planner.h"
 
 namespace vbr {
+class RequestLogWriter;  // planner/snapshot.h
+}
+
+namespace vbr {
 
 // Overload-safe serving layer over ViewPlanner (see DESIGN.md "Serving and
 // overload").
@@ -185,6 +189,13 @@ class PlanningService {
     // Injectable retry sleep, for tests; null sleeps the calling worker
     // with std::this_thread::sleep_for.
     std::function<void(double /*delay_ms*/)> sleep_ms;
+    // When set, every submission (admitted or not) appends one VBIN
+    // request record — query + its own PlanRequestOptions, pre-merge — to
+    // this log (planner/snapshot.h), giving a replayable trace of the
+    // live stream (`vbr_cli --replay <log>`). Appends are lock-protected
+    // and never fail the request path. Wire traffic is covered too: the
+    // PlanServer submits through this service.
+    std::shared_ptr<RequestLogWriter> request_log;
 
    private:
     static ResourceLimits ShrunkenDefault() {

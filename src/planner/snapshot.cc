@@ -1,0 +1,355 @@
+#include "planner/snapshot.h"
+
+#include <cmath>
+#include <utility>
+
+#include "cq/vbin_codec.h"
+#include "planner/planner.h"
+#include "rewrite/vbin_codec.h"
+
+namespace vbr {
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = kFnvOffset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PlanRequestOptions
+
+void EncodePlanRequestOptions(const PlanRequestOptions& options,
+                              vbin::FileWriter* writer) {
+  // 1-based model byte (matches the wire protocol: zeroed bytes are
+  // invalid, not M1).
+  writer->AppendU8(static_cast<uint8_t>(options.model) + 1);
+  writer->AppendF64(options.deadline_ms);
+  writer->AppendVarint(options.work_limit);
+  writer->AppendVarint(options.memory_limit_bytes);
+  writer->AppendVarint(options.search_node_cap);
+}
+
+bool DecodePlanRequestOptions(vbin::Reader* reader, PlanRequestOptions* out) {
+  uint8_t model = 0;
+  if (!reader->ReadU8(&model)) return false;
+  if (model < 1 || model > 3) {
+    reader->Fail("bad cost model");
+    return false;
+  }
+  out->model = static_cast<CostModel>(model - 1);
+  if (!reader->ReadF64(&out->deadline_ms)) return false;
+  if (std::isnan(out->deadline_ms) || std::isinf(out->deadline_ms) ||
+      out->deadline_ms < 0) {
+    reader->Fail("bad deadline");
+    return false;
+  }
+  return reader->ReadVarint(&out->work_limit) &&
+         reader->ReadVarint(&out->memory_limit_bytes) &&
+         reader->ReadVarint(&out->search_node_cap);
+}
+
+// ---------------------------------------------------------------------------
+// View-set fingerprint
+
+uint64_t ViewSetFingerprint(const ViewSet& views) {
+  return Fnv1a64(EncodeProgramFile(views));
+}
+
+// ---------------------------------------------------------------------------
+// Cache snapshot
+
+namespace {
+
+void EncodeCachedPlan(const CachedPlan& plan, uint64_t body_version,
+                      vbin::FileWriter* writer) {
+  writer->AppendVarint(plan.fingerprint.hash);
+  writer->AppendBytes(plan.fingerprint.canonical);
+  writer->AppendBool(plan.fingerprint.exact);
+  writer->AppendU8(static_cast<uint8_t>(plan.status));
+  writer->AppendBytes(plan.error);
+  writer->AppendBool(plan.has_rewriting);
+  EncodeQuery(plan.minimized, writer);
+  EncodeQueries(plan.rewritings, writer);
+  EncodeAtoms(plan.filter_atoms, writer);
+  EncodeCoreCoverStats(plan.stats, writer);
+  if (body_version >= 2) {
+    writer->AppendVarint(plan.rewritings.size());
+    for (size_t i = 0; i < plan.rewritings.size(); ++i) {
+      std::optional<EquivalenceCertificate> cert = plan.certificate(i);
+      writer->AppendBool(cert.has_value());
+      if (cert.has_value()) {
+        EncodeCertificate(*cert, writer);
+      }
+    }
+  }
+}
+
+bool DecodeCachedPlan(vbin::Reader* reader, const vbin::FileView& file,
+                      uint64_t body_version,
+                      std::shared_ptr<const CachedPlan>* out) {
+  auto plan = std::make_shared<CachedPlan>();
+  std::string_view canonical, error;
+  uint8_t status = 0;
+  if (!reader->ReadVarint(&plan->fingerprint.hash) ||
+      !reader->ReadBytes(&canonical) ||
+      !reader->ReadBool(&plan->fingerprint.exact) ||
+      !reader->ReadU8(&status) || !reader->ReadBytes(&error) ||
+      !reader->ReadBool(&plan->has_rewriting)) {
+    return false;
+  }
+  if (status > static_cast<uint8_t>(CoreCoverStatus::kBudgetExhausted)) {
+    reader->Fail("bad CoreCover status");
+    return false;
+  }
+  plan->fingerprint.canonical = std::string(canonical);
+  plan->status = static_cast<CoreCoverStatus>(status);
+  plan->error = std::string(error);
+  if (!DecodeQuery(reader, file, &plan->minimized) ||
+      !DecodeQueries(reader, file, &plan->rewritings) ||
+      !DecodeAtoms(reader, file, &plan->filter_atoms) ||
+      !DecodeCoreCoverStats(reader, &plan->stats)) {
+    return false;
+  }
+  if (body_version >= 2) {
+    uint64_t cert_count = 0;
+    if (!reader->ReadVarint(&cert_count)) return false;
+    if (cert_count != plan->rewritings.size()) {
+      reader->Fail("certificate count mismatch");
+      return false;
+    }
+    for (uint64_t i = 0; i < cert_count; ++i) {
+      bool present = false;
+      if (!reader->ReadBool(&present)) return false;
+      if (!present) continue;
+      EquivalenceCertificate cert;
+      if (!DecodeCertificate(reader, file, &cert)) return false;
+      plan->StoreCertificate(i, std::move(cert));
+    }
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeSnapshotBytes(const PlanCacheSnapshot& snapshot,
+                                uint64_t body_version) {
+  vbin::FileWriter writer(vbin::FileKind::kCacheSnapshot);
+  writer.AppendVarint(body_version);
+  writer.AppendVarint(snapshot.view_fingerprint);
+  writer.AppendVarint(snapshot.view_count);
+  writer.AppendVarint(snapshot.entries.size());
+  for (const PlanCacheSnapshot::Entry& entry : snapshot.entries) {
+    writer.AppendU8(static_cast<uint8_t>(entry.model) + 1);
+    EncodeCachedPlan(*entry.plan, body_version, &writer);
+  }
+  return std::move(writer).Finish();
+}
+
+vbin::Status DecodeSnapshotBytes(std::string_view bytes,
+                                 PlanCacheSnapshot* out) {
+  *out = PlanCacheSnapshot{};
+  vbin::FileView file;
+  vbin::Status status =
+      vbin::OpenFile(bytes, &file, vbin::FileKind::kCacheSnapshot);
+  if (!status.ok()) return status;
+  vbin::Reader reader(file.body);
+  uint64_t body_version = 0, entry_count = 0;
+  if (!reader.ReadVarint(&body_version)) {
+    return reader.ToStatus("snapshot body");
+  }
+  if (body_version == 0 || body_version > kSnapshotBodyVersion) {
+    return vbin::Status::Error("unsupported snapshot body version " +
+                               std::to_string(body_version));
+  }
+  if (!reader.ReadVarint(&out->view_fingerprint) ||
+      !reader.ReadVarint(&out->view_count) ||
+      !reader.ReadVarint(&entry_count)) {
+    return reader.ToStatus("snapshot body");
+  }
+  if (entry_count > reader.remaining()) {
+    return vbin::Status::Error("snapshot body: entry count exceeds file size");
+  }
+  out->entries.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    PlanCacheSnapshot::Entry entry;
+    uint8_t model = 0;
+    if (!reader.ReadU8(&model)) return reader.ToStatus("snapshot entry");
+    if (model < 1 || model > 3) {
+      return vbin::Status::Error("snapshot entry: bad cost model");
+    }
+    entry.model = static_cast<CostModel>(model - 1);
+    if (!DecodeCachedPlan(&reader, file, body_version, &entry.plan)) {
+      return reader.ToStatus("snapshot entry");
+    }
+    out->entries.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return vbin::Status::Error("snapshot body: trailing bytes");
+  }
+  return vbin::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ViewPlanner persistence (declared in planner/planner.h)
+
+vbin::Status ViewPlanner::SaveSnapshot(const std::string& path) const {
+  std::shared_ptr<const ViewSnapshot> vs = snapshot();
+  PlanCacheSnapshot snap;
+  snap.view_fingerprint = ViewSetFingerprint(vs->views);
+  snap.view_count = vs->views.size();
+  if (cache_ != nullptr) {
+    for (auto& [model, entry] : cache_->ExportEntries()) {
+      snap.entries.push_back({model, std::move(entry)});
+    }
+  }
+  return vbin::WriteFileAtomic(path, EncodeSnapshotBytes(snap));
+}
+
+SnapshotLoadResult ViewPlanner::LoadSnapshot(const std::string& path) {
+  SnapshotLoadResult result;
+  std::string bytes;
+  result.status = vbin::ReadWholeFile(path, &bytes);
+  if (!result.status.ok()) return result;
+  PlanCacheSnapshot snap;
+  result.status = DecodeSnapshotBytes(bytes, &snap);
+  if (!result.status.ok()) return result;
+
+  std::shared_ptr<const ViewSnapshot> vs = snapshot();
+  if (snap.view_fingerprint != ViewSetFingerprint(vs->views)) {
+    // The views changed while the snapshot sat on disk: its entries
+    // describe a retired view set. Cold start, not an error.
+    return result;
+  }
+  result.compatible = true;
+  if (cache_ == nullptr) return result;
+  for (PlanCacheSnapshot::Entry& entry : snap.entries) {
+    // Entries are coldest-first, so inserting in order restores recency;
+    // keyed to the CURRENT epoch because the fingerprint just proved the
+    // definitions match.
+    cache_->Insert(entry.model, std::move(entry.plan));
+    ++result.entries_loaded;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Request log
+
+std::string EncodeRequestLogRecord(const RequestLogRecord& record) {
+  vbin::FileWriter writer(vbin::FileKind::kRequestLog);
+  EncodePlanRequestOptions(record.options, &writer);
+  EncodeQuery(record.query, &writer);
+  return std::move(writer).Finish();
+}
+
+vbin::Status DecodeRequestLogRecord(std::string_view bytes,
+                                    RequestLogRecord* out) {
+  vbin::FileView file;
+  vbin::Status status =
+      vbin::OpenFile(bytes, &file, vbin::FileKind::kRequestLog);
+  if (!status.ok()) return status;
+  vbin::Reader reader(file.body);
+  if (!DecodePlanRequestOptions(&reader, &out->options) ||
+      !DecodeQuery(&reader, file, &out->query) || !reader.AtEnd()) {
+    if (reader.ok()) reader.Fail("trailing bytes");
+    return reader.ToStatus("request record");
+  }
+  return vbin::Status::Ok();
+}
+
+RequestLogWriter::~RequestLogWriter() { Close(); }
+
+vbin::Status RequestLogWriter::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    return vbin::Status::Error("request log already open");
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return vbin::Status::Error("cannot open request log " + path);
+  }
+  return vbin::Status::Ok();
+}
+
+void RequestLogWriter::Append(const ConjunctiveQuery& query,
+                              const PlanRequestOptions& options) {
+  const std::string record = EncodeRequestLogRecord({query, options});
+  std::string frame;
+  vbin::AppendU32(frame, static_cast<uint32_t>(record.size()));
+  frame += record;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr || !error_.empty()) return;
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    // Latch and stop: a sick disk must not break planning, but a half
+    // record must not be followed by more (the tail stays parseable).
+    error_ = "request log write failed";
+    return;
+  }
+  ++records_written_;
+}
+
+void RequestLogWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+uint64_t RequestLogWriter::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_written_;
+}
+
+std::string RequestLogWriter::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+vbin::Status ParseRequestLog(std::string_view bytes,
+                             std::vector<RequestLogRecord>* out,
+                             size_t* truncated_bytes) {
+  out->clear();
+  if (truncated_bytes != nullptr) *truncated_bytes = 0;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 4) break;  // torn length prefix
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + i]))
+                << (8 * i);
+    }
+    if (length > bytes.size() - pos - 4) break;  // torn record
+    RequestLogRecord record;
+    vbin::Status status =
+        DecodeRequestLogRecord(bytes.substr(pos + 4, length), &record);
+    if (!status.ok()) break;  // corrupt record: stop, keep the prefix
+    out->push_back(std::move(record));
+    pos += 4 + length;
+  }
+  if (truncated_bytes != nullptr) *truncated_bytes = bytes.size() - pos;
+  return vbin::Status::Ok();
+}
+
+vbin::Status ReadRequestLogFile(const std::string& path,
+                                std::vector<RequestLogRecord>* out,
+                                size_t* truncated_bytes) {
+  std::string bytes;
+  vbin::Status status = vbin::ReadWholeFile(path, &bytes);
+  if (!status.ok()) return status;
+  return ParseRequestLog(bytes, out, truncated_bytes);
+}
+
+}  // namespace vbr

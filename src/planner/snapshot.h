@@ -1,0 +1,152 @@
+// The persistence layer over VBIN (common/vbin.h): plan-cache snapshots
+// and binary request logs.
+//
+// SNAPSHOTS.  A kCacheSnapshot file holds every live plan-cache entry —
+// fingerprint, status, minimized core, rewritings, filter atoms, stats,
+// and (body version >= 2) the lazily-derived equivalence certificates —
+// plus a fingerprint of the view-set DEFINITIONS the entries were planned
+// against.  ViewPlanner::LoadSnapshot refuses nothing loudly: a matching
+// view fingerprint warms the cache so the first request is a hit; a
+// mismatched one (the views changed while the server was down) is a clean
+// cold start, not an error.  Corruption (CRC), truncation, and
+// newer-than-supported versions are status errors that leave the planner
+// untouched.
+//
+// Body versions: 1 = no persisted certificates (they re-derive lazily on
+// first use, exactly like a fresh planner), 2 = certificates included.
+// Writers emit version 2; version-1 files load fine (the version-skew
+// test pins this).
+//
+// REQUEST LOGS.  A log is a sequence of [u32 LE length][VBIN kRequestLog
+// record] frames, one per submitted request (query + its
+// PlanRequestOptions), appended by the PlanningService as traffic
+// arrives.  Each record is a complete, self-describing VBIN file, so a
+// torn tail truncates cleanly and `vbr_cli --replay` can re-submit the
+// stream deterministically with the recorded options.
+#ifndef VBR_PLANNER_SNAPSHOT_H_
+#define VBR_PLANNER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/vbin.h"
+#include "cost/cost_model.h"
+#include "cq/query.h"
+#include "planner/plan_cache.h"
+#include "planner/request_options.h"
+
+namespace vbr {
+
+// Current snapshot body version (see file comment).
+inline constexpr uint64_t kSnapshotBodyVersion = 2;
+
+// -- PlanRequestOptions codec -----------------------------------------------
+
+void EncodePlanRequestOptions(const PlanRequestOptions& options,
+                              vbin::FileWriter* writer);
+bool DecodePlanRequestOptions(vbin::Reader* reader, PlanRequestOptions* out);
+
+// -- View-set fingerprint ----------------------------------------------------
+
+// FNV-1a 64 over the VBIN encoding of the view DEFINITIONS, in order.
+// Name-based (stable across processes), order- and definition-sensitive,
+// instance-independent — exactly the inputs CoreCover's logical outcome
+// depends on, which is what makes a cache snapshot transferable.
+uint64_t ViewSetFingerprint(const ViewSet& views);
+
+// -- Cache snapshot ----------------------------------------------------------
+
+// The decoded content of a kCacheSnapshot file.
+struct PlanCacheSnapshot {
+  uint64_t view_fingerprint = 0;
+  // Number of view definitions (informational; compatibility is decided by
+  // the fingerprint).
+  uint64_t view_count = 0;
+  struct Entry {
+    CostModel model = CostModel::kM1;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+  // Coldest-first, so inserting in order reproduces the LRU recency.
+  std::vector<Entry> entries;
+};
+
+// `body_version` exists so tests (and a rollback story) can emit the older
+// certificate-free layout; everything else should pass the default.
+std::string EncodeSnapshotBytes(const PlanCacheSnapshot& snapshot,
+                                uint64_t body_version = kSnapshotBodyVersion);
+vbin::Status DecodeSnapshotBytes(std::string_view bytes,
+                                 PlanCacheSnapshot* out);
+
+// Outcome of ViewPlanner::LoadSnapshot.
+struct SnapshotLoadResult {
+  // Decode / IO failures. A view-set mismatch is NOT an error: the planner
+  // simply starts cold (compatible == false).
+  vbin::Status status;
+  bool compatible = false;
+  size_t entries_loaded = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+// -- Request log -------------------------------------------------------------
+
+struct RequestLogRecord {
+  ConjunctiveQuery query;
+  PlanRequestOptions options;
+
+  friend bool operator==(const RequestLogRecord&,
+                         const RequestLogRecord&) = default;
+};
+
+// One record as a complete VBIN kRequestLog file (no length prefix).
+std::string EncodeRequestLogRecord(const RequestLogRecord& record);
+vbin::Status DecodeRequestLogRecord(std::string_view bytes,
+                                    RequestLogRecord* out);
+
+// Thread-safe appender of length-prefixed records.  Append never fails the
+// request path: write errors latch into error() and further appends are
+// dropped (a full disk must not take planning down with it).
+class RequestLogWriter {
+ public:
+  RequestLogWriter() = default;
+  ~RequestLogWriter();
+
+  RequestLogWriter(const RequestLogWriter&) = delete;
+  RequestLogWriter& operator=(const RequestLogWriter&) = delete;
+
+  // Opens `path` for appending (existing records are preserved).
+  vbin::Status Open(const std::string& path);
+  void Append(const ConjunctiveQuery& query,
+              const PlanRequestOptions& options);
+  void Close();
+
+  uint64_t records_written() const;
+  // Empty while healthy; the first write error afterwards.
+  std::string error() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  uint64_t records_written_ = 0;
+  std::string error_;
+};
+
+// Parses a whole log image. A truncated or corrupt TAIL is tolerated: the
+// records before it are returned and `*truncated` (if non-null) reports
+// how many bytes were dropped. A corrupt record in the MIDDLE cannot be
+// distinguished from a tail, so parsing stops there too.
+vbin::Status ParseRequestLog(std::string_view bytes,
+                             std::vector<RequestLogRecord>* out,
+                             size_t* truncated_bytes = nullptr);
+vbin::Status ReadRequestLogFile(const std::string& path,
+                                std::vector<RequestLogRecord>* out,
+                                size_t* truncated_bytes = nullptr);
+
+}  // namespace vbr
+
+#endif  // VBR_PLANNER_SNAPSHOT_H_

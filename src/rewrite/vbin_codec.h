@@ -1,0 +1,52 @@
+// VBIN value codecs for the rewrite-layer types: expansions, equivalence
+// certificates, CoreCover stats, and whole-plan files.  Builds on the CQ
+// codecs (cq/vbin_codec.h); the same determinism and bounds-checking rules
+// apply.
+#ifndef VBR_REWRITE_VBIN_CODEC_H_
+#define VBR_REWRITE_VBIN_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/vbin.h"
+#include "cq/vbin_codec.h"
+#include "rewrite/certificate.h"
+#include "rewrite/core_cover.h"
+#include "rewrite/expansion.h"
+
+namespace vbr {
+
+void EncodeExpansion(const Expansion& expansion, vbin::FileWriter* writer);
+bool DecodeExpansion(vbin::Reader* reader, const vbin::FileView& file,
+                     Expansion* out);
+
+void EncodeCertificate(const EquivalenceCertificate& certificate,
+                       vbin::FileWriter* writer);
+bool DecodeCertificate(vbin::Reader* reader, const vbin::FileView& file,
+                       EquivalenceCertificate* out);
+
+void EncodeCoreCoverStats(const CoreCoverStats& stats,
+                          vbin::FileWriter* writer);
+bool DecodeCoreCoverStats(vbin::Reader* reader, CoreCoverStats* out);
+
+// -- Whole-file conveniences -------------------------------------------------
+
+// kCertificate file: one EquivalenceCertificate.
+std::string EncodeCertificateFile(const EquivalenceCertificate& certificate);
+vbin::Status DecodeCertificateFile(std::string_view bytes,
+                                   EquivalenceCertificate* out);
+
+// kPlan file: a chosen rewriting plus the filter atoms appended to it.
+struct PlanRecord {
+  ConjunctiveQuery rewriting;
+  std::vector<Atom> filter_atoms;
+
+  friend bool operator==(const PlanRecord&, const PlanRecord&) = default;
+};
+std::string EncodePlanFile(const PlanRecord& plan);
+vbin::Status DecodePlanFile(std::string_view bytes, PlanRecord* out);
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_VBIN_CODEC_H_

@@ -1,0 +1,234 @@
+// Container-level VBIN tests: primitives, CRC, the file envelope, and the
+// CQ/rewrite value codecs (round-trip identity + hostile-input rejection).
+#include "common/vbin.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "cq/vbin_codec.h"
+#include "rewrite/certificate.h"
+#include "rewrite/vbin_codec.h"
+
+namespace vbr {
+namespace {
+
+TEST(VbinPrimitives, VarintRoundTrip) {
+  const uint64_t values[] = {0,    1,    127,  128,   129,
+                             1000, 1u << 20, 0xFFFFFFFFu,
+                             0x1234567890ABCDEFull, UINT64_MAX};
+  for (uint64_t v : values) {
+    std::string buffer;
+    vbin::AppendVarint(buffer, v);
+    vbin::Reader reader(buffer);
+    uint64_t back = 0;
+    ASSERT_TRUE(reader.ReadVarint(&back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(VbinPrimitives, VarintRejectsOverlongAndTruncated) {
+  // 11 continuation bytes: longer than any 64-bit varint.
+  std::string overlong(11, '\x80');
+  vbin::Reader r1(overlong);
+  uint64_t v = 0;
+  EXPECT_FALSE(r1.ReadVarint(&v));
+
+  // 10 bytes whose 10th contributes more than the final bit: overflow.
+  std::string overflow(9, '\x80');
+  overflow.push_back('\x7F');
+  vbin::Reader r2(overflow);
+  EXPECT_FALSE(r2.ReadVarint(&v));
+
+  // Truncated mid-varint.
+  std::string truncated("\x80", 1);
+  vbin::Reader r3(truncated);
+  EXPECT_FALSE(r3.ReadVarint(&v));
+  EXPECT_FALSE(r3.ok());
+}
+
+TEST(VbinPrimitives, F64ExactBitPattern) {
+  const double values[] = {0.0, -0.0, 1.5, -273.15, 1e300, 5e-324};
+  for (double d : values) {
+    std::string buffer;
+    vbin::AppendF64(buffer, d);
+    ASSERT_EQ(buffer.size(), 8u);
+    vbin::Reader reader(buffer);
+    double back = 0;
+    ASSERT_TRUE(reader.ReadF64(&back));
+    // Bit-exact, including the sign of -0.0.
+    EXPECT_EQ(std::signbit(back), std::signbit(d));
+    EXPECT_EQ(back, d);
+  }
+}
+
+TEST(VbinPrimitives, Crc32KnownVector) {
+  // The standard zlib check value.
+  EXPECT_EQ(vbin::Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(vbin::Crc32(""), 0u);
+}
+
+TEST(VbinFile, EnvelopeRoundTrip) {
+  vbin::FileWriter writer(vbin::FileKind::kQuery);
+  const uint64_t id = writer.Intern("hello");
+  EXPECT_EQ(writer.Intern("hello"), id);  // interning is idempotent
+  writer.AppendVarint(id);
+  const std::string bytes = std::move(writer).Finish();
+
+  vbin::FileView file;
+  vbin::Status status = vbin::OpenFile(bytes, &file, vbin::FileKind::kQuery);
+  ASSERT_TRUE(status.ok()) << status.error;
+  EXPECT_EQ(file.container_version, vbin::kContainerVersion);
+  ASSERT_EQ(file.strings.size(), 1u);
+  EXPECT_EQ(file.strings[0], "hello");
+
+  vbin::Reader reader(file.body);
+  uint64_t back = 0;
+  ASSERT_TRUE(reader.ReadVarint(&back));
+  EXPECT_EQ(back, id);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VbinFile, RejectsWrongKind) {
+  vbin::FileWriter writer(vbin::FileKind::kQuery);
+  const std::string bytes = std::move(writer).Finish();
+  vbin::FileView file;
+  EXPECT_FALSE(vbin::OpenFile(bytes, &file, vbin::FileKind::kPlan).ok());
+  EXPECT_TRUE(vbin::OpenFileAnyKind(bytes, &file).ok());
+}
+
+TEST(VbinFile, RejectsCorruptionEverywhere) {
+  ConjunctiveQuery q = MustParseQuery("q(X,Y) :- e(X,Z), e(Z,Y).");
+  const std::string bytes = EncodeQueryFile(q);
+
+  // Every single-byte flip must be caught by the CRC (or the magic check),
+  // never crash, and never decode successfully into a different value.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] ^= 0x5A;
+    ConjunctiveQuery out;
+    vbin::Status status = DecodeQueryFile(mutated, &out);
+    EXPECT_FALSE(status.ok()) << "flip at byte " << i;
+  }
+
+  // Every truncation must fail cleanly too.
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    ConjunctiveQuery out;
+    EXPECT_FALSE(DecodeQueryFile(bytes.substr(0, keep), &out).ok())
+        << "truncated to " << keep;
+  }
+}
+
+TEST(VbinFile, RejectsNewerContainerVersion) {
+  ConjunctiveQuery q = MustParseQuery("q(X) :- e(X,X).");
+  std::string bytes = EncodeQueryFile(q);
+  bytes[4] = static_cast<char>(vbin::kContainerVersion + 1);
+  // Re-seal the CRC so only the version differs.
+  const uint32_t crc = vbin::Crc32(
+      std::string_view(bytes).substr(0, bytes.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  ConjunctiveQuery out;
+  vbin::Status status = DecodeQueryFile(bytes, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error.find("version"), std::string::npos) << status.error;
+}
+
+TEST(VbinCodec, QueryRoundTripIdentity) {
+  const char* texts[] = {
+      "q(X,Y) :- e(X,Z), e(Z,Y).",
+      "q(X) :- r(X,a), s(a,b,X).",
+      "q(X,Y) :- e(X,Y), X <= Y.",
+      "q() :- r(a).",
+  };
+  for (const char* text : texts) {
+    ConjunctiveQuery q = MustParseQuery(text);
+    const std::string bytes = EncodeQueryFile(q);
+    ConjunctiveQuery back;
+    vbin::Status status = DecodeQueryFile(bytes, &back);
+    ASSERT_TRUE(status.ok()) << status.error;
+    EXPECT_EQ(back, q) << text;
+    // decode(encode(x)) re-encodes byte-identically.
+    EXPECT_EQ(EncodeQueryFile(back), bytes) << text;
+  }
+}
+
+TEST(VbinCodec, UnconventionalNamesSurvive) {
+  // Lowercase-named variable, uppercase-named constant, spaces, quotes:
+  // the binary form stores raw names + kind, so none of this needs the
+  // text escaping path.
+  ConjunctiveQuery q(Atom("q", {Var("x lower"), Const("UPPER")}),
+                     {Atom("e", {Var("x lower"), Const("has \"quotes\"")})});
+  const std::string bytes = EncodeQueryFile(q);
+  ConjunctiveQuery back;
+  ASSERT_TRUE(DecodeQueryFile(bytes, &back).ok());
+  EXPECT_EQ(back, q);
+  EXPECT_EQ(EncodeQueryFile(back), bytes);
+  EXPECT_TRUE(back.head().arg(0).is_variable());
+  EXPECT_TRUE(back.head().arg(1).is_constant());
+}
+
+TEST(VbinCodec, ProgramRoundTrip) {
+  std::vector<ConjunctiveQuery> rules = MustParseProgram(
+      "v1(X,Y) :- e(X,Y).\n"
+      "v2(X,Z) :- e(X,Y), e(Y,Z).\n");
+  const std::string bytes = EncodeProgramFile(rules);
+  std::vector<ConjunctiveQuery> back;
+  ASSERT_TRUE(DecodeProgramFile(bytes, &back).ok());
+  EXPECT_EQ(back, rules);
+  EXPECT_EQ(EncodeProgramFile(back), bytes);
+}
+
+TEST(VbinCodec, CertificateRoundTrip) {
+  std::vector<ConjunctiveQuery> views = MustParseProgram(
+      "v1(X,Y) :- e(X,Y).\n"
+      "v2(X,Z) :- e(X,Y), e(Y,Z).\n");
+  ConjunctiveQuery query = MustParseQuery("q(X,Z) :- e(X,Y), e(Y,Z).");
+  ConjunctiveQuery rewriting = MustParseQuery("q(X,Z) :- v2(X,Z).");
+  std::optional<EquivalenceCertificate> cert =
+      CertifyEquivalentRewriting(rewriting, query, views);
+  ASSERT_TRUE(cert.has_value());
+
+  const std::string bytes = EncodeCertificateFile(*cert);
+  EquivalenceCertificate back;
+  ASSERT_TRUE(DecodeCertificateFile(bytes, &back).ok());
+  // The decoded certificate still verifies and re-encodes byte-identically
+  // (substitutions included — their canonical order is part of the format).
+  EXPECT_TRUE(VerifyCertificate(back, views));
+  EXPECT_EQ(EncodeCertificateFile(back), bytes);
+  EXPECT_EQ(back.query, cert->query);
+  EXPECT_EQ(back.rewriting, cert->rewriting);
+  EXPECT_EQ(back.expansion.query, cert->expansion.query);
+  EXPECT_EQ(back.expansion.origin, cert->expansion.origin);
+}
+
+TEST(VbinCodec, PlanFileRoundTrip) {
+  PlanRecord plan;
+  plan.rewriting = MustParseQuery("q(X) :- v1(X,Y), v2(Y,X).");
+  plan.filter_atoms = {Atom("v3", {Var("X")})};
+  const std::string bytes = EncodePlanFile(plan);
+  PlanRecord back;
+  ASSERT_TRUE(DecodePlanFile(bytes, &back).ok());
+  EXPECT_EQ(back, plan);
+  EXPECT_EQ(EncodePlanFile(back), bytes);
+}
+
+TEST(VbinFileIo, AtomicWriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/vbin_io_test.vbin";
+  ConjunctiveQuery q = MustParseQuery("q(X) :- e(X,X).");
+  const std::string bytes = EncodeQueryFile(q);
+  ASSERT_TRUE(vbin::WriteFileAtomic(path, bytes).ok());
+  std::string back;
+  ASSERT_TRUE(vbin::ReadWholeFile(path, &back).ok());
+  EXPECT_EQ(back, bytes);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vbr

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cq/rename.h"
 #include "cq/term.h"
 
 namespace vbr {
@@ -92,6 +93,70 @@ TEST(ParserTest, ZeroArityHead) {
   auto q = ParseQuery("q() :- r(X)");
   ASSERT_TRUE(q.has_value());
   EXPECT_EQ(q->head().arity(), 0u);
+}
+
+// Regression: a variable whose name starts with a lower-case letter used
+// to print as a bare identifier, which re-parsed as a CONSTANT — the term
+// kind was lost through ToString() -> Parse(). Such variables now print
+// ?-marked and round-trip with their kind intact.
+TEST(ParserTest, LowercaseNamedVariablesKeepTheirKind) {
+  const ConjunctiveQuery q(Atom("q", {Var("x"), Var("y")}),
+                           {Atom("e", {Var("x"), Var("y")})});
+  const std::string printed = q.ToString();
+  EXPECT_NE(printed.find("?x"), std::string::npos) << printed;
+  const auto back = ParseQuery(printed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, q);
+  EXPECT_TRUE(back->head().arg(0).is_variable());
+  EXPECT_TRUE(back->head().arg(1).is_variable());
+}
+
+TEST(ParserTest, ExplicitVariableMarker) {
+  const auto q = ParseQuery("q(?x) :- e(?x, ?x).");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->head().arg(0).is_variable());
+  // ?X and X are the SAME variable: the marker forces the kind, the name
+  // is just the name.
+  const auto mixed = ParseQuery("q(?X) :- e(?X, X).");
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(mixed->head().arg(0), mixed->body()[0].arg(1));
+}
+
+TEST(ParserTest, QuotedConstantsRoundTrip) {
+  // Upper-case, spaces, embedded quotes: all constant spellings that need
+  // the quoting path.
+  const ConjunctiveQuery q(
+      Atom("q", {Var("X")}),
+      {Atom("e", {Var("X"), Const("UPPER")}),
+       Atom("f", {Const("two words"), Const("has \"quotes\"")})});
+  const std::string printed = q.ToString();
+  const auto back = ParseQuery(printed);
+  ASSERT_TRUE(back.has_value()) << printed;
+  EXPECT_EQ(*back, q);
+  EXPECT_TRUE(back->body()[0].arg(1).is_constant());
+  EXPECT_TRUE(back->body()[1].arg(0).is_constant());
+  // And the round trip is a fixpoint.
+  EXPECT_EQ(back->ToString(), printed);
+}
+
+TEST(ParserTest, RenamedApartQueriesRoundTripRegardlessOfPrefixCase) {
+  const ConjunctiveQuery q =
+      MustParseQuery("q(X,Z) :- e(X,Y), e(Y,Z).");
+  for (const char* prefix : {"w7", "Upper", "_u"}) {
+    const ConjunctiveQuery renamed = RenameVariablesApart(q, prefix);
+    const auto back = ParseQuery(renamed.ToString());
+    ASSERT_TRUE(back.has_value()) << renamed.ToString();
+    EXPECT_EQ(*back, renamed) << renamed.ToString();
+  }
+}
+
+TEST(ParserTest, RejectsMalformedEscapes) {
+  std::string error;
+  EXPECT_FALSE(ParseQuery("q(X) :- e(X, \"unterminated).", &error)
+                   .has_value());
+  EXPECT_FALSE(ParseQuery("q(X) :- e(X, \"bad\\qescape\").", &error)
+                   .has_value());
+  EXPECT_FALSE(ParseQuery("q(?) :- e(X, X).", &error).has_value());
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+// Fuzz target for the VBIN binary format (common/vbin.h) and every codec
+// layered on it: query / program / plan / certificate files, cache
+// snapshots, and request logs.
+//
+// Invariants checked on every input:
+//   - no decoder ever crashes, aborts, or over-reads, whatever the bytes
+//     (truncations, bit flips, hostile section tables, huge varint counts
+//     — the seed corpus covers each class deliberately);
+//   - any input that DOES decode is canonical: re-encoding the decoded
+//     value reproduces the input byte for byte (queries, programs, plans,
+//     certificates), so there is exactly one encoding per value;
+//   - a parsed request log re-encodes to records that parse again.
+//
+// Built by tests/fuzz/CMakeLists.txt either against libFuzzer (clang) or
+// the standalone corpus-replay driver (gcc), like the other targets.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/vbin.h"
+#include "cq/vbin_codec.h"
+#include "planner/snapshot.h"
+#include "rewrite/vbin_codec.h"
+
+namespace {
+
+// decode(bytes) ok => encode(decode(bytes)) == bytes.
+template <typename Value, typename Decode, typename Encode>
+void CheckCanonical(std::string_view bytes, Decode decode, Encode encode,
+                    const char* what) {
+  Value value;
+  const vbr::vbin::Status status = decode(bytes, &value);
+  if (!status.ok()) return;
+  const std::string reencoded = encode(value);
+  VBR_CHECK_MSG(reencoded == bytes, what);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  CheckCanonical<vbr::ConjunctiveQuery>(
+      bytes, [](auto b, auto* v) { return vbr::DecodeQueryFile(b, v); },
+      [](const auto& v) { return vbr::EncodeQueryFile(v); },
+      "query file decode/encode is not canonical");
+
+  CheckCanonical<std::vector<vbr::ConjunctiveQuery>>(
+      bytes, [](auto b, auto* v) { return vbr::DecodeProgramFile(b, v); },
+      [](const auto& v) { return vbr::EncodeProgramFile(v); },
+      "program file decode/encode is not canonical");
+
+  CheckCanonical<vbr::PlanRecord>(
+      bytes, [](auto b, auto* v) { return vbr::DecodePlanFile(b, v); },
+      [](const auto& v) { return vbr::EncodePlanFile(v); },
+      "plan file decode/encode is not canonical");
+
+  CheckCanonical<vbr::EquivalenceCertificate>(
+      bytes, [](auto b, auto* v) { return vbr::DecodeCertificateFile(b, v); },
+      [](const auto& v) { return vbr::EncodeCertificateFile(v); },
+      "certificate file decode/encode is not canonical");
+
+  CheckCanonical<vbr::RequestLogRecord>(
+      bytes,
+      [](auto b, auto* v) { return vbr::DecodeRequestLogRecord(b, v); },
+      [](const auto& v) { return vbr::EncodeRequestLogRecord(v); },
+      "request log record decode/encode is not canonical");
+
+  // Snapshots persist shared_ptr-held cache entries, so equality is not
+  // byte-for-byte comparable here; assert decode → encode → decode settles.
+  {
+    vbr::PlanCacheSnapshot snapshot;
+    if (vbr::DecodeSnapshotBytes(bytes, &snapshot).ok()) {
+      const std::string reencoded = vbr::EncodeSnapshotBytes(snapshot);
+      vbr::PlanCacheSnapshot again;
+      VBR_CHECK_MSG(vbr::DecodeSnapshotBytes(reencoded, &again).ok(),
+                    "re-encoded snapshot failed to decode");
+      VBR_CHECK_MSG(again.entries.size() == snapshot.entries.size(),
+                    "re-encoded snapshot changed entry count");
+    }
+  }
+
+  // Request logs tolerate torn tails by design: whatever parses must
+  // re-encode into a log that parses to the same records.
+  {
+    std::vector<vbr::RequestLogRecord> records;
+    if (vbr::ParseRequestLog(bytes, &records).ok() && !records.empty()) {
+      std::string rebuilt;
+      for (const vbr::RequestLogRecord& record : records) {
+        const std::string frame = vbr::EncodeRequestLogRecord(record);
+        const uint32_t length = static_cast<uint32_t>(frame.size());
+        for (int b = 0; b < 4; ++b) {
+          rebuilt.push_back(static_cast<char>((length >> (8 * b)) & 0xFF));
+        }
+        rebuilt += frame;
+      }
+      std::vector<vbr::RequestLogRecord> again;
+      size_t truncated = 0;
+      VBR_CHECK_MSG(vbr::ParseRequestLog(rebuilt, &again, &truncated).ok(),
+                    "rebuilt request log failed to parse");
+      VBR_CHECK_MSG(truncated == 0 && again.size() == records.size(),
+                    "rebuilt request log lost records");
+    }
+  }
+  return 0;
+}

@@ -3,8 +3,9 @@
 // Invariants checked on every input:
 //   - ParseProgram never crashes, whatever the bytes;
 //   - anything that parses round-trips: each parsed rule's ToString()
-//     re-parses, and the re-parse prints identically (print/parse is a
-//     fixpoint).
+//     re-parses, the re-parse prints identically (print/parse is a
+//     fixpoint), and the re-parse is structurally EQUAL to the original
+//     (term kinds survive, not just spellings).
 //
 // Built two ways by tests/fuzz/CMakeLists.txt: against libFuzzer when the
 // toolchain has one (clang -fsanitize=fuzzer), and against the standalone
@@ -32,6 +33,10 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
                   "parsed rule failed to re-parse its own ToString()");
     VBR_CHECK_MSG(reparsed->ToString() == printed,
                   "print/parse round-trip is not a fixpoint");
+    // Structural, not just textual: every term must keep its KIND through
+    // the round trip (lower-case variable names escape as ?name now).
+    VBR_CHECK_MSG(*reparsed == rule,
+                  "re-parsed rule is not structurally equal to the original");
   }
   return 0;
 }

@@ -1,0 +1,203 @@
+// Deterministic seed-corpus generator for fuzz_vbin_decode.
+//
+// Usage: vbin_corpus_gen <output-dir>
+//
+// Emits one file per seed into <output-dir>:
+//   - VALID encodings of every VBIN file kind, drawn from the workload
+//     generators (queries, view programs, plans, certificates, a cache
+//     snapshot saved by a real ViewPlanner, a request log);
+//   - HOSTILE mutations of each class the decoder must reject cleanly:
+//     truncations, single-byte flips (CRC breakage), a corrupt CRC with
+//     valid content, hand-built section tables with huge claimed lengths,
+//     and overlong varints.
+//
+// Everything is seeded, so the corpus is bit-identical across runs: the
+// fuzz-smoke ctest regenerates it into the build tree and replays it.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/vbin.h"
+#include "cq/parser.h"
+#include "cq/vbin_codec.h"
+#include "engine/materialize.h"
+#include "planner/planner.h"
+#include "planner/snapshot.h"
+#include "rewrite/certificate.h"
+#include "rewrite/vbin_codec.h"
+#include "workload/generator.h"
+
+namespace vbr {
+namespace {
+
+bool WriteCase(const std::filesystem::path& dir, const std::string& name,
+               std::string_view bytes) {
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", (dir / name).string().c_str());
+    return false;
+  }
+  return true;
+}
+
+// Deterministic corruption variants of one valid file.
+void AddMutations(const std::filesystem::path& dir, const std::string& stem,
+                  const std::string& bytes, bool* ok) {
+  // Truncations: empty, header-only, mid-body, one byte short.
+  for (size_t keep : {size_t{0}, size_t{6}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    if (keep >= bytes.size()) continue;
+    *ok &= WriteCase(dir, stem + "_trunc" + std::to_string(keep),
+                     std::string_view(bytes).substr(0, keep));
+  }
+  // Bit flips across the regions: magic, version, section table, body, CRC.
+  for (size_t pos : {size_t{0}, size_t{4}, size_t{8}, bytes.size() / 2,
+                     bytes.size() - 2}) {
+    if (pos >= bytes.size()) continue;
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x5A);
+    *ok &= WriteCase(dir, stem + "_flip" + std::to_string(pos), flipped);
+  }
+  // Valid content, corrupt trailer only.
+  std::string bad_crc = bytes;
+  bad_crc[bad_crc.size() - 1] = static_cast<char>(~bad_crc.back());
+  *ok &= WriteCase(dir, stem + "_badcrc", bad_crc);
+}
+
+// Hand-built hostile containers: headers that lie about their sections.
+void AddHostileContainers(const std::filesystem::path& dir, bool* ok) {
+  auto seal = [](std::string bytes) {
+    vbin::AppendU32(bytes, vbin::Crc32(bytes));
+    return bytes;
+  };
+  const std::string header = std::string("VBIN") +
+                             static_cast<char>(vbin::kContainerVersion) +
+                             static_cast<char>(1) +  // kind = kQuery
+                             std::string(2, '\0');
+
+  // A section claiming ~16 EiB of payload in a 20-byte file.
+  {
+    std::string bytes = header;
+    vbin::AppendVarint(bytes, 1);  // one section
+    vbin::AppendVarint(bytes, 2);  // tag: body
+    vbin::AppendVarint(bytes, uint64_t{1} << 60);
+    *ok &= WriteCase(dir, "hostile_huge_section", seal(bytes));
+  }
+  // A section COUNT larger than the file, each entry tiny.
+  {
+    std::string bytes = header;
+    vbin::AppendVarint(bytes, uint64_t{1} << 40);
+    *ok &= WriteCase(dir, "hostile_huge_count", seal(bytes));
+  }
+  // Overlong varint (11 continuation bytes) where the count belongs.
+  {
+    std::string bytes = header + std::string(11, '\x80');
+    *ok &= WriteCase(dir, "hostile_overlong_varint", seal(bytes));
+  }
+  // A string pool whose element count lies.
+  {
+    vbin::FileWriter writer(vbin::FileKind::kQuery);
+    writer.Intern("x");
+    std::string bytes = std::move(writer).Finish();
+    // Inflate the pool's count varint (single byte 1 -> 0x7F) in place:
+    // find the pool payload right after the section table and bump it.
+    bytes[bytes.size() - 4 - 3] = '\x7F';
+    std::string resealed = bytes.substr(0, bytes.size() - 4);
+    *ok &= WriteCase(dir, "hostile_pool_count", seal(resealed));
+  }
+  // Not VBIN at all.
+  *ok &= WriteCase(dir, "not_vbin", "q(X) :- e(X,X).");
+  *ok &= WriteCase(dir, "zeros", std::string(64, '\0'));
+}
+
+int Generate(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  bool ok = true;
+
+  // -- Valid files from generated workloads ---------------------------------
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    WorkloadConfig config;
+    config.shape = (seed % 2 == 0) ? QueryShape::kChain : QueryShape::kStar;
+    config.num_query_subgoals = 3;
+    config.num_views = 6;
+    config.ensure_rewriting_exists = true;
+    config.seed = seed;
+    const Workload w = GenerateWorkload(config);
+    const std::string tag = std::to_string(seed);
+
+    const std::string query_bytes = EncodeQueryFile(w.query);
+    ok &= WriteCase(dir, "query_" + tag, query_bytes);
+    AddMutations(dir, "query_" + tag, query_bytes, &ok);
+
+    const std::string program_bytes = EncodeProgramFile(w.views);
+    ok &= WriteCase(dir, "program_" + tag, program_bytes);
+    AddMutations(dir, "program_" + tag, program_bytes, &ok);
+
+    // A snapshot from a real planner over this workload, plus the
+    // certificate and plan files of its chosen rewriting.
+    ViewPlanner planner(w.views, MaterializeViews(w.views, Database()));
+    const auto result = planner.Plan(w.query, CostModel::kM2);
+    if (result.ok()) {
+      const std::string cert_bytes =
+          EncodeCertificateFile(result.choice->certificate);
+      ok &= WriteCase(dir, "certificate_" + tag, cert_bytes);
+      AddMutations(dir, "certificate_" + tag, cert_bytes, &ok);
+
+      PlanRecord plan;
+      plan.rewriting = result.choice->logical;
+      ok &= WriteCase(dir, "plan_" + tag, EncodePlanFile(plan));
+    }
+    const std::string snapshot_path = (dir / ("snapshot_" + tag)).string();
+    if (!planner.SaveSnapshot(snapshot_path).ok()) ok = false;
+    std::string snapshot_bytes;
+    if (vbin::ReadWholeFile(snapshot_path, &snapshot_bytes).ok()) {
+      AddMutations(dir, "snapshot_" + tag, snapshot_bytes, &ok);
+    }
+  }
+
+  // A request log with mixed options, plus a torn tail variant.
+  {
+    std::string log;
+    for (int i = 0; i < 3; ++i) {
+      RequestLogRecord record;
+      std::string text = "q";
+      text += std::to_string(i);
+      text += "(X) :- e(X,X).";
+      record.query = *ParseQuery(text);
+      record.options.model = static_cast<CostModel>(i % 3);
+      record.options.work_limit = 1000 * i;
+      const std::string frame = EncodeRequestLogRecord(record);
+      const uint32_t length = static_cast<uint32_t>(frame.size());
+      for (int b = 0; b < 4; ++b) {
+        log.push_back(static_cast<char>((length >> (8 * b)) & 0xFF));
+      }
+      log += frame;
+      if (i == 0) ok &= WriteCase(dir, "request_record", frame);
+    }
+    ok &= WriteCase(dir, "request_log", log);
+    ok &= WriteCase(dir, "request_log_torn",
+                    std::string_view(log).substr(0, log.size() - 7));
+  }
+
+  AddHostileContainers(dir, &ok);
+  if (!ok) return 1;
+  std::printf("vbin corpus written to %s\n", dir.string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace vbr
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  return vbr::Generate(argv[1]);
+}

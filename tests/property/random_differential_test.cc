@@ -29,9 +29,11 @@
 #include "baseline/minicon.h"
 #include "common/budget.h"
 #include "common/trace.h"
+#include "cq/vbin_codec.h"
 #include "planner/service.h"
 #include "rewrite/certificate.h"
 #include "rewrite/core_cover.h"
+#include "rewrite/vbin_codec.h"
 #include "workload/generator.h"
 
 namespace vbr {
@@ -251,6 +253,88 @@ std::string PlanResultKey(const ViewPlanner::PlanResult& r) {
   return ::testing::AssertionSuccess();
 }
 
+// VBIN round-trip phase: every value the case produces — the query, the
+// view set, every rewriting, every certificate — must decode back EQUAL
+// from its VBIN encoding, and the decoded value must RE-ENCODE to the
+// exact same bytes (decode∘encode is the identity on bytes, so archived
+// corpora and snapshots are canonical).
+::testing::AssertionResult RunVbinRoundTripCase(QueryShape shape,
+                                                uint64_t seed) {
+  const Workload w = GenerateWorkload(DiffConfig(shape, seed));
+  const std::string label = "[vbin shape=" + std::string(ShapeName(shape)) +
+                            " seed=" + std::to_string(seed) + "] ";
+
+  auto fail = [&](const std::string& what) {
+    return ::testing::AssertionFailure()
+           << label << what << "\n" << ReplayHint(shape, seed);
+  };
+
+  auto check_query = [&](const ConjunctiveQuery& q, const char* source)
+      -> ::testing::AssertionResult {
+    const std::string bytes = EncodeQueryFile(q);
+    ConjunctiveQuery back;
+    const vbin::Status status = DecodeQueryFile(bytes, &back);
+    if (!status.ok()) {
+      return fail(std::string(source) + " failed to decode: " + status.error +
+                  "\nquery: " + q.ToString());
+    }
+    if (back != q) {
+      return fail(std::string(source) + " decoded unequal\nquery: " +
+                  q.ToString() + "\ndecoded: " + back.ToString());
+    }
+    if (EncodeQueryFile(back) != bytes) {
+      return fail(std::string(source) +
+                  " re-encode is not byte-identical\nquery: " + q.ToString());
+    }
+    return ::testing::AssertionSuccess();
+  };
+
+  if (auto r = check_query(w.query, "query"); !r) return r;
+
+  const std::string program_bytes = EncodeProgramFile(w.views);
+  std::vector<ConjunctiveQuery> views_back;
+  if (!DecodeProgramFile(program_bytes, &views_back).ok() ||
+      views_back != w.views ||
+      EncodeProgramFile(views_back) != program_bytes) {
+    return fail("view set did not round-trip");
+  }
+
+  const auto cc = CoreCoverStar(w.query, w.views, {});
+  if (!cc.ok()) return ::testing::AssertionSuccess();  // phase 1 covers this
+  for (const auto& p : cc.rewritings) {
+    if (auto r = check_query(p, "rewriting"); !r) return r;
+
+    PlanRecord plan;
+    plan.rewriting = p;
+    const std::string plan_bytes = EncodePlanFile(plan);
+    PlanRecord plan_back;
+    if (!DecodePlanFile(plan_bytes, &plan_back).ok() || plan_back != plan ||
+        EncodePlanFile(plan_back) != plan_bytes) {
+      return fail("plan record did not round-trip: " + p.ToString());
+    }
+
+    const auto cert = CertifyEquivalentRewriting(p, w.query, w.views);
+    if (!cert.has_value()) continue;  // phase 1 asserts certifiability
+    const std::string cert_bytes = EncodeCertificateFile(*cert);
+    EquivalenceCertificate cert_back;
+    const vbin::Status status = DecodeCertificateFile(cert_bytes, &cert_back);
+    if (!status.ok()) {
+      return fail("certificate failed to decode: " + status.error);
+    }
+    if (EncodeCertificateFile(cert_back) != cert_bytes) {
+      return fail("certificate re-encode is not byte-identical for " +
+                  p.ToString());
+    }
+    // The decoded certificate must still verify: the substitutions came
+    // through with their bindings intact.
+    if (!VerifyCertificate(cert_back, w.views)) {
+      return fail("decoded certificate failed verification for " +
+                  p.ToString());
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
 class RandomDifferentialTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(RandomDifferentialTest, GeneratorsAgreeAndCertify) {
@@ -280,6 +364,17 @@ TEST_P(RandomDifferentialTest, BudgetExhaustedResultsStillCertify) {
     for (QueryShape shape :
          {QueryShape::kStar, QueryShape::kChain, QueryShape::kRandom}) {
       EXPECT_TRUE(RunBudgetedCase(shape, seed));
+    }
+  }
+}
+
+TEST_P(RandomDifferentialTest, VbinRoundTripIsIdentity) {
+  const size_t block = GetParam();
+  for (size_t i = 0; i < kSeedsPerBlock; ++i) {
+    const uint64_t seed = 1 + block * kSeedsPerBlock + i;
+    for (QueryShape shape :
+         {QueryShape::kStar, QueryShape::kChain, QueryShape::kRandom}) {
+      EXPECT_TRUE(RunVbinRoundTripCase(shape, seed));
     }
   }
 }

@@ -140,11 +140,11 @@ TEST(PlanServerTest, WirePlansAreByteIdenticalToInProcessAcrossConnections) {
   std::vector<ConjunctiveQuery> queries;
   for (size_t i = 0; i < kConnections * kPerConnection; ++i) {
     Substitution renaming;
-    // Upper-case prefix: the parser's convention is that identifiers
-    // starting with a lower-case letter are constants, and these queries
-    // travel as text over the wire.
+    // Lower-case prefix on purpose: these variables print as ?-escaped
+    // names (lower-case identifiers read as constants by convention), so
+    // the wire round trip exercises the escape path end to end.
     queries.push_back(RenameVariablesApart(
-        fx.workload.query, "W" + std::to_string(i), &renaming));
+        fx.workload.query, "w" + std::to_string(i), &renaming));
   }
 
   std::vector<net::PlanResponseFrame> wire_responses(queries.size());
