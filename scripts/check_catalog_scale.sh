@@ -1,0 +1,65 @@
+#!/bin/sh
+# Catalog-scale smoke gate for the indexed candidate stage: runs
+# bench_view_index (planning latency over GenerateMassiveCatalog catalogs)
+# at 10^2 and 10^4 views and fails when the indexed planner stops being
+# sub-linear — concretely, when the considered/catalog ratio at 10^4 views
+# reaches 0.1, i.e. the candidate filter considers 10% or more of the
+# catalog per query. The ratio is a COUNT (views the CoreCover run
+# actually took past the candidate stage, straight from
+# CoreCoverStats::num_candidate_views), so unlike a latency gate it is
+# immune to CI machine jitter.
+#
+# Usage: scripts/check_catalog_scale.sh
+# The build tree is build-perf/ unless BUILD_DIR is set (shared with
+# check_perf_smoke.sh so CI can reuse one tree).
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-perf}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_view_index
+
+RESULTS=$(mktemp)
+trap 'rm -f "$RESULTS"' EXIT
+"$BUILD_DIR"/bench/bench_view_index \
+  --benchmark_filter='BM_PlanIndexed/(100|10000)$' \
+  --benchmark_format=json \
+  --benchmark_min_time=0.1 >"$RESULTS"
+
+RESULTS="$RESULTS" python3 - <<'EOF'
+import json
+import os
+import sys
+
+with open(os.environ["RESULTS"]) as f:
+    report = json.load(f)
+
+ratios = {}
+for bench in report["benchmarks"]:
+    name = bench["name"]
+    if not name.startswith("BM_PlanIndexed/"):
+        continue
+    catalog = int(name.split("/")[1])
+    ratios[catalog] = bench["considered_ratio"]
+
+missing = [c for c in (100, 10000) if c not in ratios]
+if missing:
+    sys.exit(f"catalog-scale smoke: missing benchmark points {missing}")
+
+for catalog in sorted(ratios):
+    print(f"  {catalog:>6} views: considered_ratio = {ratios[catalog]:.4f}")
+
+# At 10^2 random views the coverage singletons alone are a large fraction
+# of the catalog, so only sanity-check the small point; the sub-linearity
+# gate is the 10^4 point.
+if not 0 < ratios[100] <= 1:
+    sys.exit(f"catalog-scale smoke FAILED: nonsensical ratio {ratios[100]} "
+             "at 100 views")
+if ratios[10000] >= 0.1:
+    sys.exit("catalog-scale smoke FAILED: the indexed planner considered "
+             f"{ratios[10000]:.1%} of a 10^4-view catalog (gate: < 10%) — "
+             "the candidate index has stopped pruning")
+print(f"catalog scale smoke passed: {ratios[10000]:.2%} of the catalog "
+      "considered at 10^4 views (< 10%)")
+EOF

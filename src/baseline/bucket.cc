@@ -65,11 +65,21 @@ std::string CanonicalBodyKey(const std::vector<Atom>& body) {
 
 BucketResult BucketAlgorithm(const ConjunctiveQuery& query,
                              const ViewSet& views, size_t max_results,
-                             size_t max_combinations) {
+                             size_t max_combinations,
+                             const CandidateFilterOptions& filter) {
   VBR_CHECK_MSG(query.IsSafe(), "bucket algorithm requires a safe query");
   BucketResult result;
   const ConjunctiveQuery minimal = Minimize(query);
-  const std::vector<ViewTuple> tuples = ComputeViewTuples(minimal, views);
+
+  // Candidate selection (kCoverAll): a view whose summary fails the test
+  // produces zero view tuples, so running the tuple pass on the candidate
+  // subset yields the same tuples in the same (catalog) order.
+  const std::vector<size_t> cands =
+      SelectCandidates(views, minimal, CandidateMode::kCoverAll, filter);
+  ViewSet cviews;
+  cviews.reserve(cands.size());
+  for (size_t i : cands) cviews.push_back(views[i]);
+  const std::vector<ViewTuple> tuples = ComputeViewTuples(minimal, cviews);
 
   // Pre-expand and index each tuple once; every query subgoal probes the
   // same expansion, so the (predicate, arity) buckets amortize across the
@@ -78,7 +88,7 @@ BucketResult BucketAlgorithm(const ConjunctiveQuery& query,
   expansions.reserve(tuples.size());
   for (const ViewTuple& t : tuples) {
     expansions.push_back(
-        ExpandViewAtom(t.atom, views[t.view_index]));
+        ExpandViewAtom(t.atom, cviews[t.view_index]));
   }
   std::vector<AtomIndex> expansion_indexes;
   expansion_indexes.reserve(expansions.size());

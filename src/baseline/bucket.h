@@ -6,6 +6,7 @@
 
 #include "cq/atom.h"
 #include "cq/query.h"
+#include "rewrite/view_index.h"
 
 namespace vbr {
 
@@ -28,9 +29,13 @@ struct BucketResult {
   bool truncated = false;
 };
 
+// `filter` selects candidate views before the view-tuple pass (kCoverAll
+// mode — excluded views produce no view tuples, so the buckets and the
+// rewritings are byte-identical with the filter on or off).
 BucketResult BucketAlgorithm(const ConjunctiveQuery& query,
                              const ViewSet& views, size_t max_results = 1024,
-                             size_t max_combinations = 1u << 20);
+                             size_t max_combinations = 1u << 20,
+                             const CandidateFilterOptions& filter = {});
 
 }  // namespace vbr
 

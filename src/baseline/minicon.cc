@@ -108,8 +108,9 @@ struct McdState {
 
 class McdBuilder {
  public:
-  McdBuilder(const ConjunctiveQuery& query, const ViewSet& views)
-      : query_(query), views_(views) {
+  McdBuilder(const ConjunctiveQuery& query, const ViewSet& views,
+             std::vector<size_t> candidates)
+      : query_(query), views_(views), candidates_(std::move(candidates)) {
     for (size_t i = 0; i < query.num_subgoals(); ++i) {
       for (Term t : query.subgoal(i).args()) {
         if (t.is_variable()) {
@@ -125,7 +126,11 @@ class McdBuilder {
   std::vector<Mcd> BuildAll(bool* aborted) {
     std::vector<Mcd> result;
     std::set<std::string> seen;
-    for (size_t vi = 0; vi < views_.size() && !aborted_; ++vi) {
+    // Only candidate views (ascending original ids); a skipped view has no
+    // subgoal sharing any query (predicate, arity), so every one of its
+    // seed buckets below would have been empty — no governed work changes.
+    for (size_t ci = 0; ci < candidates_.size() && !aborted_; ++ci) {
+      const size_t vi = candidates_[ci];
       const View& view = views_[vi];
       // One (predicate, arity) index per view, shared by every seed and
       // every Grow branch. Constants are NOT filtered on: MiniCon lets a
@@ -293,6 +298,7 @@ class McdBuilder {
 
   const ConjunctiveQuery& query_;
   const ViewSet& views_;
+  const std::vector<size_t> candidates_;  // ascending original view ids
   std::unordered_map<Symbol, uint64_t> subgoals_of_var_;
   ResourceGovernor* const governor_ = ResourceGovernor::Current();
   bool aborted_ = false;
@@ -352,7 +358,7 @@ void CombineMcds(const ConjunctiveQuery& query, const std::vector<Mcd>& mcds,
 }  // namespace
 
 MiniConResult MiniCon(const ConjunctiveQuery& query, const ViewSet& views,
-                      size_t max_results) {
+                      size_t max_results, const CandidateFilterOptions& filter) {
   VBR_CHECK_MSG(query.IsSafe(), "MiniCon requires a safe query");
   VBR_CHECK_MSG(!query.HasBuiltins(),
                 "MiniCon requires comparison-free queries");
@@ -375,7 +381,10 @@ MiniConResult MiniCon(const ConjunctiveQuery& query, const ViewSet& views,
     VBR_CHECK_MSG(false, "queries are limited to 64 subgoals");
   }
 
-  McdBuilder builder(result.minimized_query, views);
+  McdBuilder builder(
+      result.minimized_query, views,
+      SelectCandidates(views, result.minimized_query, CandidateMode::kAnyOverlap,
+                       filter));
   result.mcds = builder.BuildAll(&result.aborted);
   CombineMcds(result.minimized_query, result.mcds, max_results, &result);
 

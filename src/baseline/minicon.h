@@ -8,6 +8,7 @@
 #include "cq/atom.h"
 #include "cq/query.h"
 #include "rewrite/union_rewriting.h"
+#include "rewrite/view_index.h"
 
 namespace vbr {
 
@@ -48,8 +49,14 @@ struct MiniConResult {
   bool aborted = false;
 };
 
+// `filter` selects candidate views before MCD construction (kAnyOverlap
+// mode: a view with no (predicate, arity) in common with the query can seed
+// no MCD — the same test BuildAll's empty-bucket check performs per seed,
+// hoisted to skip whole views). MCD view_index values always refer to the
+// ORIGINAL catalog positions in `views`, filtered or not.
 MiniConResult MiniCon(const ConjunctiveQuery& query, const ViewSet& views,
-                      size_t max_results = 1024);
+                      size_t max_results = 1024,
+                      const CandidateFilterOptions& filter = {});
 
 // The union of all contained rewritings MiniCon produced — its
 // maximally-contained rewriting, the open-world answer the paper contrasts

@@ -48,6 +48,16 @@ void Database::AddRow(Symbol predicate, std::span<const Value> row) {
   GetOrCreate(predicate, row.size()).Insert(row);
 }
 
+void Database::MergeFrom(const Database& other) {
+  for (const auto& [sym, rel] : other.relations_) {
+    relations_.insert_or_assign(sym, rel);
+  }
+}
+
+bool Database::Remove(Symbol predicate) {
+  return relations_.erase(predicate) > 0;
+}
+
 size_t Database::TotalRows() const {
   size_t total = 0;
   for (const auto& [sym, rel] : relations_) total += rel.size();

@@ -34,6 +34,15 @@ class Database {
 
   size_t NumRelations() const { return relations_.size(); }
 
+  // Copies every relation of `other` into this database, overwriting any
+  // relation stored under the same predicate (AddViews: the added views'
+  // instances join the snapshot's copy of the existing ones).
+  void MergeFrom(const Database& other);
+
+  // Drops the relation stored under `predicate`; returns whether one
+  // existed.
+  bool Remove(Symbol predicate);
+
   // Total number of rows across relations.
   size_t TotalRows() const;
 

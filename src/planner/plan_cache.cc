@@ -53,15 +53,47 @@ void PlanCache::Erase(Shard& shard, std::list<Node>::iterator it) {
   shard.lru.erase(it);
 }
 
+bool PlanCache::EntryValidAcrossDeltas(const CachedPlan& entry, uint64_t a,
+                                       uint64_t b) const {
+  if (a == b) return true;
+  const uint64_t lo = std::min(a, b);
+  const uint64_t hi = std::max(a, b);
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  // Part of the (lo, hi] range predates the retained fence history: the
+  // changed views are unknown, so the entry must read as invalidated.
+  if (lo < evicted_fences_upto_) return false;
+  std::optional<QueryBodySummary> q;
+  for (const DeltaFence& fence : fences_) {
+    if (fence.id <= lo || fence.id > hi) continue;
+    if (!q.has_value()) q = SummarizeQueryBody(entry.minimized);
+    for (const ViewSummary& changed : fence.changed) {
+      // A changed view that is a kCoverAll candidate for the entry's
+      // minimized query could appear in (or newly enable) a rewriting;
+      // anything else provably contributes no view tuple, so the cached
+      // outcome is identical on both sides of the fence. The minimized
+      // query's summary is renaming-invariant, so testing the cached
+      // canonical-space copy is exact. (MiniCon-fallback outcomes are
+      // never cached — planner.cc — so kCoverAll is the right mode.)
+      if (ViewMayContribute(changed, *q, CandidateMode::kCoverAll)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 PlanCache::EntryPtr PlanCache::Lookup(
     const QueryFingerprint& fp, CostModel model,
     const ConjunctiveQuery& minimized,
-    std::optional<Substitution>* fallback_transport, uint64_t epoch) {
+    std::optional<Substitution>* fallback_transport, uint64_t epoch,
+    uint64_t delta_epoch) {
   fallback_transport->reset();
   if (epoch == kCurrentEpoch) epoch = this->epoch();
+  if (delta_epoch == kCurrentDeltaEpoch) delta_epoch = this->delta_epoch();
   Shard& shard = ShardFor(fp.hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   const uint64_t current = this->epoch();
+  const uint64_t current_delta = this->delta_epoch();
   auto [begin, end] = shard.index.equal_range(fp.hash);
   for (auto idx = begin; idx != end;) {
     const auto it = idx->second;
@@ -87,6 +119,23 @@ PlanCache::EntryPtr PlanCache::Lookup(
           match = true;
         }
       }
+      if (match &&
+          !EntryValidAcrossDeltas(*it->entry, it->delta_epoch, delta_epoch)) {
+        // A delta between the entry's catalog and the caller's could have
+        // changed this query's candidate set: not servable here.
+        fallback_transport->reset();
+        ++idx;
+        if (!EntryValidAcrossDeltas(*it->entry, it->delta_epoch,
+                                    current_delta)) {
+          // ... and not servable to anyone at the current delta epoch
+          // either — permanently stale, drop it. (Kept when only the
+          // CALLER is pinned behind the delta; the entry still serves
+          // everyone else.)
+          evictions_.Increment();
+          Erase(shard, it);
+        }
+        continue;
+      }
       if (match) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it);
         hits_.Increment();
@@ -99,7 +148,8 @@ PlanCache::EntryPtr PlanCache::Lookup(
   return nullptr;
 }
 
-void PlanCache::Insert(CostModel model, EntryPtr entry, uint64_t epoch) {
+void PlanCache::Insert(CostModel model, EntryPtr entry, uint64_t epoch,
+                       uint64_t delta_epoch) {
   VBR_CHECK(entry != nullptr);
   if (epoch == kCurrentEpoch) {
     epoch = this->epoch();
@@ -108,6 +158,7 @@ void PlanCache::Insert(CostModel model, EntryPtr entry, uint64_t epoch) {
     // retired view set, so caching it would serve stale plans.
     return;
   }
+  if (delta_epoch == kCurrentDeltaEpoch) delta_epoch = this->delta_epoch();
   const uint64_t hash = entry->fingerprint.hash;
   Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -117,12 +168,16 @@ void PlanCache::Insert(CostModel model, EntryPtr entry, uint64_t epoch) {
     const auto it = idx->second;
     if (it->model == model && it->epoch == epoch &&
         it->entry->fingerprint.canonical == entry->fingerprint.canonical) {
+      // Entry and its delta epoch move together: stamping the old content
+      // with the new delta epoch (or vice versa) would launder a stale
+      // plan past the fence check.
       it->entry = std::move(entry);
+      it->delta_epoch = delta_epoch;
       shard.lru.splice(shard.lru.begin(), shard.lru, it);
       return;
     }
   }
-  shard.lru.push_front(Node{model, epoch, std::move(entry)});
+  shard.lru.push_front(Node{model, epoch, delta_epoch, std::move(entry)});
   shard.index.emplace(hash, shard.lru.begin());
   insertions_.Increment();
   while (shard.lru.size() > shard_capacity_) {
@@ -134,16 +189,45 @@ void PlanCache::Insert(CostModel model, EntryPtr entry, uint64_t epoch) {
 std::vector<std::pair<CostModel, PlanCache::EntryPtr>>
 PlanCache::ExportEntries() const {
   const uint64_t current = epoch();
+  const uint64_t current_delta = delta_epoch();
   std::vector<std::pair<CostModel, EntryPtr>> out;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     // Front = most recently used; walk back-to-front for coldest-first.
     for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
       if (it->epoch != current) continue;
+      // A fence-stale entry Lookup would refuse to serve must not escape
+      // into a snapshot (it would resurrect on load with a fresh delta
+      // epoch and no fence history to convict it).
+      if (!EntryValidAcrossDeltas(*it->entry, it->delta_epoch,
+                                  current_delta)) {
+        continue;
+      }
       out.emplace_back(it->model, it->entry);
     }
   }
   return out;
+}
+
+uint64_t PlanCache::RecordDelta(std::vector<ViewSummary> changed_views) {
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  const uint64_t next =
+      delta_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  fences_.push_back(DeltaFence{next, std::move(changed_views)});
+  while (fences_.size() > kMaxDeltaFences) {
+    evicted_fences_upto_ = fences_.front().id;
+    fences_.pop_front();
+  }
+  return next;
+}
+
+void PlanCache::AdvanceDeltaEpochTo(uint64_t delta_epoch) {
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  uint64_t cur = delta_epoch_.load(std::memory_order_acquire);
+  while (cur < delta_epoch &&
+         !delta_epoch_.compare_exchange_weak(cur, delta_epoch,
+                                             std::memory_order_acq_rel)) {
+  }
 }
 
 uint64_t PlanCache::BumpEpoch() {

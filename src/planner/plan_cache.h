@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -17,6 +18,7 @@
 #include "cq/query.h"
 #include "rewrite/certificate.h"
 #include "rewrite/core_cover.h"
+#include "rewrite/view_index.h"
 
 namespace vbr {
 
@@ -82,14 +84,28 @@ struct PlanCacheCounters {
 //    on distinct shard mutexes and the (atomic) counters.
 //  * LRU: each shard evicts its least-recently-used entry once past its
 //    share of the capacity.
-//  * Epoch: BumpEpoch() (called when the view set changes) invalidates
-//    every existing entry; entries carry the epoch they were inserted
-//    under, and a lookup never returns an entry from a different epoch.
-//    Callers that plan against an RCU view-set snapshot (planner.h) pass
-//    the snapshot's epoch explicitly, so a request that raced ReplaceViews
-//    stays internally consistent: its lookups and inserts are keyed to the
-//    view set it actually planned against, and an insert under a stale
-//    epoch is silently dropped.
+//  * Epoch: BumpEpoch() (called when the view set is replaced wholesale)
+//    invalidates every existing entry; entries carry the epoch they were
+//    inserted under, and a lookup never returns an entry from a different
+//    epoch. Callers that plan against an RCU view-set snapshot (planner.h)
+//    pass the snapshot's epoch explicitly, so a request that raced
+//    ReplaceViews stays internally consistent: its lookups and inserts are
+//    keyed to the view set it actually planned against, and an insert
+//    under a stale epoch is silently dropped.
+//  * Delta epoch: AddViews/RemoveViews are small catalog changes that
+//    leave most cached plans untouched, so instead of bumping the global
+//    epoch they call RecordDelta() with summaries of the CHANGED views
+//    only. That advances a second counter and pushes a "fence" carrying
+//    those summaries. An entry and a lookup at different delta epochs are
+//    reconciled per-entry: the entry stays valid iff NO fence between the
+//    two epochs (in either direction — the caller may be pinned to an
+//    older snapshot than the entry) carries a changed view that is a
+//    kCoverAll candidate for the entry's minimized query. A non-candidate
+//    view cannot appear in any rewriting of the query nor enable a new
+//    one (rewrite/view_index.h), so the cached outcome is unaffected by
+//    its arrival or departure. The fence history is bounded
+//    (kMaxDeltaFences); when a fence has been discarded the check turns
+//    conservative and treats the entry as invalid.
 //  * Collisions: a lookup matches on the full canonical string, not just
 //    the 64-bit hash. If either fingerprint is inexact (canonical-labeling
 //    budget exhausted — pathological symmetry), the match falls back to a
@@ -108,25 +124,38 @@ class PlanCache {
   // Sentinel for the epoch parameters below: "use the cache's current
   // epoch" (the right choice when the caller is not pinned to a snapshot).
   static constexpr uint64_t kCurrentEpoch = UINT64_MAX;
+  // Same sentinel for the delta-epoch parameters.
+  static constexpr uint64_t kCurrentDeltaEpoch = UINT64_MAX;
+  // Fences retained for the delta validity check; once a delta is older
+  // than the newest kMaxDeltaFences fences, entries from before it are
+  // conservatively treated as invalidated.
+  static constexpr size_t kMaxDeltaFences = 64;
 
   // Returns the entry for (fp, model) in `epoch`, or nullptr. `minimized`
   // is the caller's minimized query (its own variable names), used only for
   // the inexact-fingerprint isomorphism fallback; when the match came from
   // that fallback, *fallback_transport receives the renaming
   // entry-canonical-vars -> caller-vars (otherwise it is reset, and the
-  // caller's own from_canonical mapping applies).
+  // caller's own from_canonical mapping applies). `delta_epoch` is the
+  // caller's pinned delta epoch; an entry whose candidate set could have
+  // changed between its delta epoch and the caller's is never returned
+  // (and is dropped when it is also stale for the CURRENT delta epoch).
   EntryPtr Lookup(const QueryFingerprint& fp, CostModel model,
                   const ConjunctiveQuery& minimized,
                   std::optional<Substitution>* fallback_transport,
-                  uint64_t epoch = kCurrentEpoch);
+                  uint64_t epoch = kCurrentEpoch,
+                  uint64_t delta_epoch = kCurrentDeltaEpoch);
 
   // Inserts `entry` (keyed by entry->fingerprint) under `epoch`, evicting
   // LRU entries as needed. Re-inserting an existing key refreshes the
-  // stored entry. An insert under an epoch that is no longer current is a
-  // no-op: the planning run raced a ReplaceViews and its outcome describes
-  // a retired view set.
+  // stored entry (and its delta epoch). An insert under an epoch that is
+  // no longer current is a no-op: the planning run raced a ReplaceViews
+  // and its outcome describes a retired view set. An insert under a STALE
+  // delta epoch is kept — the fence check at lookup time decides, per
+  // query, whether the intervening deltas could have affected it.
   void Insert(CostModel model, EntryPtr entry,
-              uint64_t epoch = kCurrentEpoch);
+              uint64_t epoch = kCurrentEpoch,
+              uint64_t delta_epoch = kCurrentDeltaEpoch);
 
   // Records a deduplication hit served outside Lookup (PlanMany hands a
   // just-planned entry straight to batch duplicates).
@@ -135,6 +164,23 @@ class PlanCache {
   // Invalidates every entry: the epoch counter is bumped and all shards are
   // purged (the dropped entries count as evictions). Returns the new epoch.
   uint64_t BumpEpoch();
+
+  // Records one AddViews/RemoveViews delta: advances the delta epoch and
+  // fences it with the summaries of the changed views. Returns the new
+  // delta epoch. Callers MUST record the delta before publishing the new
+  // catalog snapshot, so no request can plan against the new catalog under
+  // a pre-fence delta epoch.
+  uint64_t RecordDelta(std::vector<ViewSummary> changed_views);
+
+  // Fast-forwards the delta epoch to at least `delta_epoch` without a
+  // fence (snapshot restore: the epochs in between carry no changes this
+  // process ever saw, and the restored entries describe the restored
+  // catalog). No-op when the counter is already past it.
+  void AdvanceDeltaEpochTo(uint64_t delta_epoch);
+
+  uint64_t delta_epoch() const {
+    return delta_epoch_.load(std::memory_order_acquire);
+  }
 
   // Snapshot support (planner/snapshot.h): every entry living under the
   // CURRENT epoch, coldest-first per shard, so re-Inserting them in order
@@ -153,7 +199,14 @@ class PlanCache {
   struct Node {
     CostModel model = CostModel::kM1;
     uint64_t epoch = 0;
+    uint64_t delta_epoch = 0;
     EntryPtr entry;
+  };
+  // One AddViews/RemoveViews mutation: everything at delta epoch `id` and
+  // later planned against a catalog where `changed` had been applied.
+  struct DeltaFence {
+    uint64_t id = 0;
+    std::vector<ViewSummary> changed;
   };
   struct Shard {
     mutable std::mutex mu;
@@ -166,6 +219,14 @@ class PlanCache {
   Shard& ShardFor(uint64_t hash) { return shards_[hash % shards_.size()]; }
   // Unlinks `it` from `shard` (index + list). Caller holds shard.mu.
   void Erase(Shard& shard, std::list<Node>::iterator it);
+
+  // True iff no delta fence strictly between min(a, b) and max(a, b)
+  // (inclusive on the high side) changed a view that is a kCoverAll
+  // candidate for `entry`'s minimized query; conservatively false when
+  // part of that range has been discarded from the fence history. Locks
+  // fence_mu_ (safe under shard.mu: fence_mu_ is a leaf lock).
+  bool EntryValidAcrossDeltas(const CachedPlan& entry, uint64_t a,
+                              uint64_t b) const;
 
   // Bumps a per-instance counter and its global "planner.cache.*" mirror.
   struct MirroredCounter {
@@ -182,6 +243,14 @@ class PlanCache {
   const size_t shard_capacity_;
   std::vector<Shard> shards_;
   std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> delta_epoch_{0};
+  // Guards fences_ / evicted_fences_upto_. Leaf lock: acquired under
+  // shard.mu (never the reverse).
+  mutable std::mutex fence_mu_;
+  std::deque<DeltaFence> fences_;
+  // Fences with id <= this value have been discarded; validity ranges
+  // reaching below it cannot be checked and read as invalid.
+  uint64_t evicted_fences_upto_ = 0;
   MirroredCounter hits_;
   MirroredCounter misses_;
   MirroredCounter insertions_;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "baseline/minicon.h"
@@ -146,6 +147,7 @@ std::string Quoted(std::string_view s) {
 std::string StatsToJson(const CoreCoverStats& stats) {
   std::string s = "{";
   s += "\"num_views\":" + std::to_string(stats.num_views);
+  s += ",\"num_candidate_views\":" + std::to_string(stats.num_candidate_views);
   s += ",\"num_view_classes\":" + std::to_string(stats.num_view_classes);
   s += ",\"num_view_tuples\":" + std::to_string(stats.num_view_tuples);
   s += ",\"num_tuple_classes\":" + std::to_string(stats.num_tuple_classes);
@@ -308,6 +310,10 @@ ViewPlanner::ViewPlanner(ViewSet views, Database view_instances,
   snapshot->views = std::move(views);
   snapshot->instances = std::move(view_instances);
   snapshot->epoch = cache_->epoch();
+  snapshot->delta_epoch = cache_->delta_epoch();
+  if (options_.core_cover.use_view_index) {
+    snapshot->index = std::make_shared<ViewIndex>(snapshot->views);
+  }
   snapshot_ = std::move(snapshot);
 }
 
@@ -466,8 +472,13 @@ ViewPlanner::PlanResult ViewPlanner::MiniConFallback(
   TraceSpan span(trace, "minicon_fallback");
   ResourceGovernor governor(GraceLimits(options_));
   GovernorScope scope(&governor);
+  // Same candidate discipline as the main pipeline, in MiniCon's
+  // kAnyOverlap mode (snapshot index when available).
+  CandidateFilterOptions filter;
+  filter.enabled = options_.core_cover.use_view_index;
+  filter.index = vs.index.get();
   const MiniConResult mc =
-      MiniCon(query, vs.views, options_.core_cover.max_rewritings);
+      MiniCon(query, vs.views, options_.core_cover.max_rewritings, filter);
   span.AddAttribute("equivalent_rewritings",
                     static_cast<uint64_t>(mc.equivalent_rewritings.size()));
   span.AddAttribute("aborted", mc.aborted);
@@ -507,10 +518,13 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
                                               : ResourceGovernor::Current());
   ResourceGovernor* const governor = ResourceGovernor::Current();
 
-  // M1 needs only the GMRs; M2/M3 search all minimal rewritings.
+  // M1 needs only the GMRs; M2/M3 search all minimal rewritings. The
+  // snapshot's candidate index rides along (same catalog by construction).
+  CoreCoverOptions cc = cc_options;
+  if (cc.use_view_index && vs.index != nullptr) cc.view_index = vs.index.get();
   const CoreCoverResult result =
-      model == CostModel::kM1 ? CoreCover(query, vs.views, cc_options)
-                              : CoreCoverStar(query, vs.views, cc_options);
+      model == CostModel::kM1 ? CoreCover(query, vs.views, cc)
+                              : CoreCoverStar(query, vs.views, cc);
   const bool exhausted_run =
       result.status == CoreCoverStatus::kBudgetExhausted;
 
@@ -616,8 +630,10 @@ ViewPlanner::PlanResult ViewPlanner::PlanViaCoreCover(
   if (entry != nullptr) {
     // Keyed to the snapshot's epoch: if a ReplaceViews landed while this
     // request planned, the insert is a silent no-op (the outcome describes
-    // the retired view set).
-    cache_->Insert(model, entry, vs.epoch);
+    // the retired view set). The snapshot's delta epoch rides along so an
+    // AddViews/RemoveViews that landed mid-plan is reconciled per-query at
+    // lookup time instead of silently serving a pre-delta plan.
+    cache_->Insert(model, entry, vs.epoch, vs.delta_epoch);
     if (out_entry != nullptr) *out_entry = entry;
   }
   return out;
@@ -774,7 +790,7 @@ std::optional<ViewPlanner::PlanResult> ViewPlanner::TryPlanFromCache(
   std::optional<Substitution> fallback;
   const PlanCache::EntryPtr entry =
       cache_->Lookup(canonical.fingerprint, model, canonical.minimized,
-                     &fallback, snapshot->epoch);
+                     &fallback, snapshot->epoch, snapshot->delta_epoch);
   if (entry == nullptr) return std::nullopt;
   return PlanFromEntry(*snapshot, query, model, *entry,
                        fallback ? *fallback : canonical.from_canonical);
@@ -814,7 +830,8 @@ ViewPlanner::PlanResult ViewPlanner::PlanInternal(
     {
       TraceSpan lookup_span(span.context(), "cache_lookup");
       entry = cache_->Lookup(canonical->fingerprint, model,
-                             canonical->minimized, &fallback, vs.epoch);
+                             canonical->minimized, &fallback, vs.epoch,
+                             vs.delta_epoch);
       lookup_span.AddAttribute("outcome",
                                entry != nullptr ? "hit" : "miss");
     }
@@ -995,7 +1012,8 @@ std::vector<ViewPlanner::PlanResult> ViewPlanner::PlanMany(
     if (canon[lead] != nullptr) {
       std::optional<Substitution> fallback;
       entry = cache_->Lookup(canon[lead]->fingerprint, model,
-                             canon[lead]->minimized, &fallback, vs.epoch);
+                             canon[lead]->minimized, &fallback, vs.epoch,
+                             vs.delta_epoch);
       if (entry != nullptr) {
         results[lead] =
             PlanFromEntry(vs, queries[lead], model, *entry,
@@ -1057,8 +1075,91 @@ void ViewPlanner::ReplaceViews(ViewSet views, Database view_instances) {
   snapshot->views = std::move(views);
   snapshot->instances = std::move(view_instances);
   snapshot->epoch = epoch;
+  snapshot->delta_epoch = cache_->delta_epoch();
+  if (options_.core_cover.use_view_index) {
+    snapshot->index = std::make_shared<ViewIndex>(snapshot->views);
+  }
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(snapshot);
+}
+
+void ViewPlanner::AddViews(ViewSet added, Database added_instances) {
+  for (const View& v : added) {
+    VBR_CHECK_MSG(v.IsSafe(), "unsafe view definition");
+  }
+  if (added.empty()) return;
+  // Serialized with ReplaceViews and other deltas: (fence, publish) pairs
+  // must not interleave.
+  std::lock_guard<std::mutex> replace_lock(replace_mu_);
+  const std::shared_ptr<const ViewSnapshot> cur = CurrentSnapshot();
+  std::vector<ViewSummary> changed;
+  changed.reserve(added.size());
+  for (const View& v : added) changed.push_back(SummarizeView(v));
+  // Fence BEFORE publish: once a request can pin the new catalog, any
+  // lookup it issues already sees the fence, so a pre-delta entry for a
+  // query the added views could serve is never returned to it.
+  const uint64_t delta_epoch = cache_->RecordDelta(std::move(changed));
+  auto snapshot = std::make_shared<ViewSnapshot>();
+  snapshot->views = cur->views;
+  snapshot->views.insert(snapshot->views.end(), added.begin(), added.end());
+  snapshot->instances = cur->instances;
+  snapshot->instances.MergeFrom(added_instances);
+  snapshot->epoch = cur->epoch;
+  snapshot->delta_epoch = delta_epoch;
+  if (options_.core_cover.use_view_index) {
+    // Incremental: existing views keep their summaries and postings; the
+    // added views append (their ids continue the catalog numbering).
+    snapshot->index = cur->index != nullptr
+                          ? cur->index->WithAdded(added)
+                          : std::make_shared<ViewIndex>(snapshot->views);
+  }
+  // The ContainmentMemo stays: its verdicts depend only on the two queries
+  // compared, and the surviving views keep recurring.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+}
+
+size_t ViewPlanner::RemoveViews(const std::vector<std::string>& names) {
+  if (names.empty()) return 0;
+  std::unordered_set<Symbol> doomed;
+  for (const std::string& name : names) {
+    doomed.insert(SymbolTable::Global().Intern(name));
+  }
+  std::lock_guard<std::mutex> replace_lock(replace_mu_);
+  const std::shared_ptr<const ViewSnapshot> cur = CurrentSnapshot();
+  std::vector<size_t> keep;
+  std::vector<ViewSummary> changed;
+  std::vector<Symbol> removed_predicates;
+  keep.reserve(cur->views.size());
+  for (size_t i = 0; i < cur->views.size(); ++i) {
+    const Symbol head = cur->views[i].head().predicate();
+    if (doomed.count(head) > 0) {
+      changed.push_back(SummarizeView(cur->views[i]));
+      removed_predicates.push_back(head);
+    } else {
+      keep.push_back(i);
+    }
+  }
+  const size_t removed = cur->views.size() - keep.size();
+  if (removed == 0) return 0;  // nothing matched: no fence, no new snapshot
+  const uint64_t delta_epoch = cache_->RecordDelta(std::move(changed));
+  auto snapshot = std::make_shared<ViewSnapshot>();
+  snapshot->views.reserve(keep.size());
+  for (size_t i : keep) snapshot->views.push_back(cur->views[i]);
+  snapshot->instances = cur->instances;
+  for (Symbol predicate : removed_predicates) {
+    snapshot->instances.Remove(predicate);
+  }
+  snapshot->epoch = cur->epoch;
+  snapshot->delta_epoch = delta_epoch;
+  if (options_.core_cover.use_view_index) {
+    snapshot->index = cur->index != nullptr
+                          ? cur->index->WithRemoved(keep)
+                          : std::make_shared<ViewIndex>(snapshot->views);
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+  return removed;
 }
 
 Relation ViewPlanner::Execute(const PlanChoice& choice) const {
@@ -1083,5 +1184,7 @@ PlanCacheCounters ViewPlanner::cache_counters() const {
 size_t ViewPlanner::cache_size() const { return cache_->size(); }
 
 uint64_t ViewPlanner::cache_epoch() const { return cache_->epoch(); }
+
+uint64_t ViewPlanner::delta_epoch() const { return cache_->delta_epoch(); }
 
 }  // namespace vbr

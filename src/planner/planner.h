@@ -85,11 +85,20 @@ const char* PlanStatusName(PlanStatus status);
 class ViewPlanner {
  public:
   // One immutable (views, instances, cache epoch) generation. Requests pin
-  // a snapshot for their whole lifetime; ReplaceViews publishes a new one.
+  // a snapshot for their whole lifetime; ReplaceViews publishes a new one,
+  // AddViews/RemoveViews publish a patched one (same epoch, next delta
+  // epoch).
   struct ViewSnapshot {
     ViewSet views;
     Database instances;
     uint64_t epoch = 0;
+    // Plan-cache delta epoch this catalog generation pairs with (see
+    // plan_cache.h): cache traffic for requests pinned here is reconciled
+    // per-query against catalogs one or more AddViews/RemoveViews away.
+    uint64_t delta_epoch = 0;
+    // Candidate index over `views` (null when use_view_index is off);
+    // shared by every request pinned to this snapshot.
+    std::shared_ptr<const ViewIndex> index;
   };
 
   struct PlanChoice {
@@ -307,6 +316,22 @@ class ViewPlanner {
   // traffic stays keyed to that snapshot's epoch.
   void ReplaceViews(ViewSet views, Database view_instances);
 
+  // Delta mutations: publish a patched snapshot (and candidate index)
+  // WITHOUT bumping the cache epoch. Instead, the plan cache records a
+  // fence carrying the changed views' summaries, and only cached plans
+  // whose candidate sets could include a changed view are invalidated —
+  // every other entry keeps serving hits across the delta (plan_cache.h
+  // "Delta epoch"). Same concurrency contract as ReplaceViews.
+  //
+  // AddViews appends `added` to the catalog (their ids continue the
+  // current numbering); `added_instances` holds their materialized
+  // relations, merged into the snapshot's instance copy.
+  void AddViews(ViewSet added, Database added_instances);
+  // RemoveViews drops every view whose HEAD PREDICATE name is listed
+  // (with its instance relation) and returns how many views were dropped;
+  // unknown names are ignored.
+  size_t RemoveViews(const std::vector<std::string>& names);
+
   // Executes a chosen plan against the view instances.
   Relation Execute(const PlanChoice& choice) const;
 
@@ -346,6 +371,8 @@ class ViewPlanner {
   PlanCacheCounters cache_counters() const;
   size_t cache_size() const;
   uint64_t cache_epoch() const;
+  // Current delta epoch (0 until the first AddViews/RemoveViews).
+  uint64_t delta_epoch() const;
 
  private:
   // The snapshot every helper below plans against: pinned ONCE at the

@@ -22,6 +22,17 @@ uint64_t Fnv1a64(std::string_view bytes) {
   return h;
 }
 
+// splitmix64 finalizer: spreads each per-view hash across all 64 bits so
+// the commutative sum below doesn't collapse structurally-similar views.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -61,7 +72,16 @@ bool DecodePlanRequestOptions(vbin::Reader* reader, PlanRequestOptions* out) {
 // View-set fingerprint
 
 uint64_t ViewSetFingerprint(const ViewSet& views) {
-  return Fnv1a64(EncodeProgramFile(views));
+  // Commutative combine (wrapping sum of finalized per-view hashes): the
+  // same SET of definitions fingerprints identically whether it arrived
+  // via one ReplaceViews or any sequence of AddViews/RemoveViews deltas.
+  // The count seeds the accumulator so the empty catalog and catalogs
+  // whose hashes happen to cancel still differ.
+  uint64_t h = Mix64(views.size() ^ kFnvOffset);
+  for (const View& v : views) {
+    h += Mix64(Fnv1a64(EncodeQueryFile(v)));
+  }
+  return h;
 }
 
 // ---------------------------------------------------------------------------
@@ -147,6 +167,9 @@ std::string EncodeSnapshotBytes(const PlanCacheSnapshot& snapshot,
   writer.AppendVarint(body_version);
   writer.AppendVarint(snapshot.view_fingerprint);
   writer.AppendVarint(snapshot.view_count);
+  if (body_version >= 3) {
+    writer.AppendVarint(snapshot.delta_epoch);
+  }
   writer.AppendVarint(snapshot.entries.size());
   for (const PlanCacheSnapshot::Entry& entry : snapshot.entries) {
     writer.AppendU8(static_cast<uint8_t>(entry.model) + 1);
@@ -172,8 +195,13 @@ vbin::Status DecodeSnapshotBytes(std::string_view bytes,
                                std::to_string(body_version));
   }
   if (!reader.ReadVarint(&out->view_fingerprint) ||
-      !reader.ReadVarint(&out->view_count) ||
-      !reader.ReadVarint(&entry_count)) {
+      !reader.ReadVarint(&out->view_count)) {
+    return reader.ToStatus("snapshot body");
+  }
+  if (body_version >= 3 && !reader.ReadVarint(&out->delta_epoch)) {
+    return reader.ToStatus("snapshot body");
+  }
+  if (!reader.ReadVarint(&entry_count)) {
     return reader.ToStatus("snapshot body");
   }
   if (entry_count > reader.remaining()) {
@@ -208,6 +236,7 @@ vbin::Status ViewPlanner::SaveSnapshot(const std::string& path) const {
   snap.view_fingerprint = ViewSetFingerprint(vs->views);
   snap.view_count = vs->views.size();
   if (cache_ != nullptr) {
+    snap.delta_epoch = cache_->delta_epoch();
     for (auto& [model, entry] : cache_->ExportEntries()) {
       snap.entries.push_back({model, std::move(entry)});
     }
@@ -232,6 +261,13 @@ SnapshotLoadResult ViewPlanner::LoadSnapshot(const std::string& path) {
   }
   result.compatible = true;
   if (cache_ == nullptr) return result;
+  // Fast-forward the delta counter to where the saver left it, so entries
+  // restored below are valid against it and the next AddViews/RemoveViews
+  // fence lands strictly after every restored entry. (Fences themselves
+  // are not persisted: a range with no recorded fences reads as
+  // no-change, which is correct — the fingerprint just proved the
+  // definitions match the save-time catalog.)
+  cache_->AdvanceDeltaEpochTo(snap.delta_epoch);
   for (PlanCacheSnapshot::Entry& entry : snap.entries) {
     // Entries are coldest-first, so inserting in order restores recency;
     // keyed to the CURRENT epoch because the fingerprint just proved the

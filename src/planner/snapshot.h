@@ -13,9 +13,10 @@
 // untouched.
 //
 // Body versions: 1 = no persisted certificates (they re-derive lazily on
-// first use, exactly like a fresh planner), 2 = certificates included.
-// Writers emit version 2; version-1 files load fine (the version-skew
-// test pins this).
+// first use, exactly like a fresh planner), 2 = certificates included,
+// 3 = adds the plan-cache delta epoch (AddViews/RemoveViews generation;
+// older files load at delta epoch 0). Writers emit version 3; version-1
+// and -2 files load fine (the version-skew test pins this).
 //
 // REQUEST LOGS.  A log is a sequence of [u32 LE length][VBIN kRequestLog
 // record] frames, one per submitted request (query + its
@@ -43,7 +44,7 @@
 namespace vbr {
 
 // Current snapshot body version (see file comment).
-inline constexpr uint64_t kSnapshotBodyVersion = 2;
+inline constexpr uint64_t kSnapshotBodyVersion = 3;
 
 // -- PlanRequestOptions codec -----------------------------------------------
 
@@ -53,10 +54,14 @@ bool DecodePlanRequestOptions(vbin::Reader* reader, PlanRequestOptions* out);
 
 // -- View-set fingerprint ----------------------------------------------------
 
-// FNV-1a 64 over the VBIN encoding of the view DEFINITIONS, in order.
-// Name-based (stable across processes), order- and definition-sensitive,
-// instance-independent — exactly the inputs CoreCover's logical outcome
-// depends on, which is what makes a cache snapshot transferable.
+// Commutative hash over the VBIN encodings of the view DEFINITIONS (plus
+// the count): name-based (stable across processes), definition-sensitive,
+// instance-independent, and ORDER-independent — a catalog reached by
+// AddViews/RemoveViews deltas fingerprints identically to the same set
+// handed wholesale to ReplaceViews, in any order, so warm starts survive
+// delta-built catalogs. CoreCover's logical outcome is also catalog-order-
+// independent up to cost ties (grouping elects the first representative in
+// catalog order), which is why order may safely drop out of the gate.
 uint64_t ViewSetFingerprint(const ViewSet& views);
 
 // -- Cache snapshot ----------------------------------------------------------
@@ -67,6 +72,10 @@ struct PlanCacheSnapshot {
   // Number of view definitions (informational; compatibility is decided by
   // the fingerprint).
   uint64_t view_count = 0;
+  // Plan-cache delta epoch at save time (body version >= 3; 0 before).
+  // Load fast-forwards the cache's delta counter here so restored entries
+  // and future deltas share one timeline.
+  uint64_t delta_epoch = 0;
   struct Entry {
     CostModel model = CostModel::kM1;
     std::shared_ptr<const CachedPlan> plan;

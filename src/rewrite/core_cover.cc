@@ -35,6 +35,10 @@ void RecordRunMetrics(const CoreCoverResult& result) {
       registry.GetCounter("corecover.tuple_cores");
   static Counter* const covers =
       registry.GetCounter("corecover.covers_enumerated");
+  static Counter* const candidate_views =
+      registry.GetCounter("corecover.candidate_views");
+  static Counter* const catalog_views =
+      registry.GetCounter("corecover.catalog_views");
   static Histogram* const minimize_us =
       registry.GetHistogram("corecover.stage.minimize_us");
   static Histogram* const view_tuple_us =
@@ -53,6 +57,8 @@ void RecordRunMetrics(const CoreCoverResult& result) {
     budget_aborts->Increment();
   }
   view_tuples->Add(result.stats.num_view_tuples);
+  candidate_views->Add(result.stats.num_candidate_views);
+  catalog_views->Add(result.stats.num_views);
   tuple_cores->Add(result.stats.tuple_core_tasks);
   covers->Add(result.rewritings.size());
   const auto to_us = [](double ms) {
@@ -173,24 +179,63 @@ CoreCoverResult RunCoreCover(const ConjunctiveQuery& query,
     return result;
   }
 
-  // Section 5.2: group equivalent views and keep one representative each.
+  // Candidate view selection: drop views that provably produce zero view
+  // tuples (kCoverAll summary test — see rewrite/view_index.h for the
+  // soundness argument) before the per-view containment work of grouping
+  // and tuple generation. Equivalence classes are kept or dropped
+  // wholesale (class members share summaries), so grouping below elects
+  // the same representatives among survivors and plans are byte-identical
+  // with the filter on or off. No budget checkpoint is added here: the
+  // summary scan is cheap and a new checkpoint would shift the exhaustion
+  // sites that existing budget tests pin.
   phase_timer.Reset();
+  ViewSet candidate_views;
+  std::vector<size_t> candidate_to_catalog;
+  const ViewSet* effective_views = &views;
+  const std::vector<size_t>* to_catalog = nullptr;
+  if (options.use_view_index) {
+    TraceSpan span(run_span, "candidates");
+    std::vector<size_t> cands;
+    if (options.view_index != nullptr) {
+      VBR_CHECK_MSG(options.view_index->num_views() == views.size(),
+                    "view_index describes a different catalog");
+      cands = options.view_index->Candidates(q, CandidateMode::kCoverAll);
+    } else {
+      cands = LinearCandidates(views, q, CandidateMode::kCoverAll);
+    }
+    candidate_views.reserve(cands.size());
+    candidate_to_catalog.reserve(cands.size());
+    for (size_t i : cands) {
+      candidate_views.push_back(views[i]);
+      candidate_to_catalog.push_back(i);
+    }
+    effective_views = &candidate_views;
+    to_catalog = &candidate_to_catalog;
+    span.AddAttribute("candidates", static_cast<uint64_t>(cands.size()));
+    span.AddAttribute("indexed", options.view_index != nullptr);
+  }
+  result.stats.num_candidate_views = effective_views->size();
+  run_span.AddAttribute(
+      "candidate_views",
+      static_cast<uint64_t>(result.stats.num_candidate_views));
+
+  // Section 5.2: group equivalent views and keep one representative each.
   ViewSet working_views;
-  std::vector<size_t> working_to_original;
+  std::vector<size_t> working_to_original;  // original catalog indices
   {
     TraceSpan span(run_span, "group_views");
     if (options.group_views) {
-      const ViewClasses classes = GroupViewsByEquivalence(views);
+      const ViewClasses classes = GroupViewsByEquivalence(*effective_views);
       result.stats.num_view_classes = classes.num_classes();
       for (size_t rep : classes.representatives) {
-        working_views.push_back(views[rep]);
-        working_to_original.push_back(rep);
+        working_views.push_back((*effective_views)[rep]);
+        working_to_original.push_back(to_catalog ? (*to_catalog)[rep] : rep);
       }
     } else {
-      result.stats.num_view_classes = views.size();
-      working_views = views;
-      for (size_t i = 0; i < views.size(); ++i) {
-        working_to_original.push_back(i);
+      result.stats.num_view_classes = effective_views->size();
+      working_views = *effective_views;
+      for (size_t i = 0; i < effective_views->size(); ++i) {
+        working_to_original.push_back(to_catalog ? (*to_catalog)[i] : i);
       }
     }
     span.AddAttribute("grouping", options.group_views);

@@ -11,6 +11,7 @@
 #include "cq/query.h"
 #include "rewrite/equivalence_classes.h"
 #include "rewrite/tuple_core.h"
+#include "rewrite/view_index.h"
 #include "rewrite/view_tuple.h"
 
 namespace vbr {
@@ -57,6 +58,16 @@ struct CoreCoverOptions {
   bool group_view_tuples = true;
   // Cap on the number of rewritings returned.
   size_t max_rewritings = 1024;
+  // Candidate view selection: restrict the pipeline to views that can
+  // possibly contribute a view tuple (kCoverAll summary test) before any
+  // per-view containment work runs. Sound — excluded views provably
+  // produce zero tuples — so plans are byte-identical on or off; the
+  // property suite pins that. `view_index` optionally supplies a prebuilt
+  // index over `views` (the planner shares one per catalog snapshot);
+  // when null the filter falls back to a linear summary scan, which still
+  // skips the per-view minimization work of grouping.
+  bool use_view_index = true;
+  const ViewIndex* view_index = nullptr;
   // Debug cross-check: verify every returned rewriting's expansion is
   // equivalent to the query (Theorem 4.1 makes this redundant; tests use
   // it).
@@ -76,6 +87,10 @@ struct CoreCoverOptions {
 
 struct CoreCoverStats {
   size_t num_views = 0;
+  // Views surviving candidate selection (== num_views when the filter is
+  // off). The views-considered-vs-catalog-size ratio that makes catalog
+  // scaling observable.
+  size_t num_candidate_views = 0;
   size_t num_view_classes = 0;
   size_t num_view_tuples = 0;       // after view grouping, before tuple grouping
   size_t num_tuple_classes = 0;

@@ -1,0 +1,189 @@
+#include "rewrite/view_index.h"
+
+#include <utility>
+
+#include "cq/signature.h"
+
+namespace vbr {
+
+namespace {
+
+// Shared by view and query summarization: sorted deduplicated body keys plus
+// a Bloom mask over body constants. Builtin subgoals participate like any
+// other atom — the comparison predicates are interned symbols, so a view
+// using "<" can only match a query that also uses "<".
+void SummarizeBody(const std::vector<Atom>& body, std::vector<uint64_t>* keys,
+                   uint64_t* constant_bloom) {
+  keys->clear();
+  keys->reserve(body.size());
+  *constant_bloom = 0;
+  for (const Atom& a : body) {
+    keys->push_back(BodyKey(a.predicate(), a.arity()));
+    for (const Term& t : a.args()) {
+      if (t.is_constant()) *constant_bloom |= SymbolBloomBit(t.symbol());
+    }
+  }
+  std::sort(keys->begin(), keys->end());
+  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+}
+
+}  // namespace
+
+ViewSummary SummarizeView(const View& view) {
+  ViewSummary s;
+  SummarizeBody(view.body(), &s.keys, &s.constant_bloom);
+  return s;
+}
+
+QueryBodySummary SummarizeQueryBody(const ConjunctiveQuery& query) {
+  QueryBodySummary s;
+  SummarizeBody(query.body(), &s.keys, &s.constant_bloom);
+  return s;
+}
+
+bool ViewMayContribute(const ViewSummary& view, const QueryBodySummary& query,
+                       CandidateMode mode) {
+  if (mode == CandidateMode::kAnyOverlap) {
+    // At least one shared (predicate, arity); both key lists are sorted.
+    auto vi = view.keys.begin();
+    auto qi = query.keys.begin();
+    while (vi != view.keys.end() && qi != query.keys.end()) {
+      if (*vi == *qi) return true;
+      if (*vi < *qi) {
+        ++vi;
+      } else {
+        ++qi;
+      }
+    }
+    return false;
+  }
+  // kCoverAll: every view key among the query keys, every view constant
+  // (possibly) among the query constants.
+  if ((view.constant_bloom & ~query.constant_bloom) != 0) return false;
+  return std::includes(query.keys.begin(), query.keys.end(),
+                       view.keys.begin(), view.keys.end());
+}
+
+std::vector<size_t> LinearCandidates(const ViewSet& views,
+                                     const ConjunctiveQuery& query,
+                                     CandidateMode mode) {
+  const QueryBodySummary q = SummarizeQueryBody(query);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (ViewMayContribute(SummarizeView(views[i]), q, mode)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> SelectCandidates(const ViewSet& views,
+                                     const ConjunctiveQuery& query,
+                                     CandidateMode mode,
+                                     const CandidateFilterOptions& filter) {
+  if (!filter.enabled) {
+    std::vector<size_t> all(views.size());
+    for (size_t i = 0; i < views.size(); ++i) all[i] = i;
+    return all;
+  }
+  if (filter.index != nullptr) return filter.index->Candidates(query, mode);
+  return LinearCandidates(views, query, mode);
+}
+
+ViewIndex::ViewIndex(const ViewSet& views) {
+  summaries_.reserve(views.size());
+  for (const View& v : views) summaries_.push_back(SummarizeView(v));
+  AppendPostings(0);
+}
+
+void ViewIndex::AppendPostings(size_t first_view) {
+  for (size_t i = first_view; i < summaries_.size(); ++i) {
+    const uint32_t id = static_cast<uint32_t>(i);
+    if (summaries_[i].keys.empty()) {
+      empty_body_views_.push_back(id);
+      continue;
+    }
+    for (uint64_t key : summaries_[i].keys) postings_[key].push_back(id);
+  }
+}
+
+std::vector<size_t> ViewIndex::Candidates(const ConjunctiveQuery& query,
+                                          CandidateMode mode) const {
+  return Candidates(SummarizeQueryBody(query), mode);
+}
+
+std::vector<size_t> ViewIndex::Candidates(const QueryBodySummary& query,
+                                          CandidateMode mode) const {
+  // Gather every posting hit for the query's keys. A view appears once per
+  // key it shares with the query, so after sorting, run lengths are exactly
+  // the shared-key counts — and because view keys are deduplicated subsets
+  // of the postings, count == keys.size() is the subset test.
+  std::vector<uint32_t> hits;
+  for (uint64_t key : query.keys) {
+    auto it = postings_.find(key);
+    if (it == postings_.end()) continue;
+    hits.insert(hits.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(hits.begin(), hits.end());
+
+  std::vector<size_t> out;
+  if (mode == CandidateMode::kAnyOverlap) {
+    // Any shared key qualifies; empty-body views share nothing and are
+    // excluded (an MCD needs a view atom to cover a query subgoal).
+    for (size_t i = 0; i < hits.size();) {
+      size_t j = i + 1;
+      while (j < hits.size() && hits[j] == hits[i]) ++j;
+      out.push_back(hits[i]);
+      i = j;
+    }
+    return out;
+  }
+
+  // kCoverAll: hit count must equal the view's full key count, plus the
+  // constant-Bloom subset test. Empty-body views pass vacuously and are
+  // merged back in ascending id order.
+  auto empty_it = empty_body_views_.begin();
+  auto emit_empty_below = [&](uint32_t bound) {
+    while (empty_it != empty_body_views_.end() && *empty_it < bound) {
+      if ((summaries_[*empty_it].constant_bloom & ~query.constant_bloom) == 0) {
+        out.push_back(*empty_it);
+      }
+      ++empty_it;
+    }
+  };
+  for (size_t i = 0; i < hits.size();) {
+    size_t j = i + 1;
+    while (j < hits.size() && hits[j] == hits[i]) ++j;
+    const uint32_t id = hits[i];
+    emit_empty_below(id);
+    const ViewSummary& s = summaries_[id];
+    if (j - i == s.keys.size() &&
+        (s.constant_bloom & ~query.constant_bloom) == 0) {
+      out.push_back(id);
+    }
+    i = j;
+  }
+  emit_empty_below(static_cast<uint32_t>(summaries_.size()));
+  return out;
+}
+
+std::shared_ptr<const ViewIndex> ViewIndex::WithAdded(
+    const ViewSet& added) const {
+  auto next = std::shared_ptr<ViewIndex>(new ViewIndex());
+  next->summaries_ = summaries_;
+  next->postings_ = postings_;
+  next->empty_body_views_ = empty_body_views_;
+  next->summaries_.reserve(summaries_.size() + added.size());
+  for (const View& v : added) next->summaries_.push_back(SummarizeView(v));
+  next->AppendPostings(summaries_.size());
+  return next;
+}
+
+std::shared_ptr<const ViewIndex> ViewIndex::WithRemoved(
+    const std::vector<size_t>& keep) const {
+  auto next = std::shared_ptr<ViewIndex>(new ViewIndex());
+  next->summaries_.reserve(keep.size());
+  for (size_t id : keep) next->summaries_.push_back(summaries_[id]);
+  next->AppendPostings(0);
+  return next;
+}
+
+}  // namespace vbr

@@ -1,0 +1,162 @@
+#ifndef VBR_REWRITE_VIEW_INDEX_H_
+#define VBR_REWRITE_VIEW_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace vbr {
+
+// Sub-linear candidate view selection (DESIGN.md "View catalog indexing").
+//
+// Every rewriting algorithm in this codebase starts by asking, per view,
+// "can this view contribute anything to this query?" — and at catalog
+// scale (10^5-10^6 views) even asking the question linearly caps
+// throughput: CoreCover minimizes every view while grouping equivalence
+// classes, MiniCon builds a per-view atom index, Bucket computes view
+// tuples per view. The ViewIndex answers the question for the whole
+// catalog at once: views are keyed by the (predicate, arity) shapes of
+// their body atoms, and a query retrieves exactly the views whose shapes
+// are compatible, in time proportional to the CANDIDATES rather than the
+// catalog.
+//
+// Soundness (why a filtered run plans byte-identically to a full scan):
+//
+//  * kCoverAll (CoreCover, Bucket): a view contributes a view tuple only
+//    if its body maps homomorphically into the query's canonical database,
+//    whose facts are the frozen query body atoms. A homomorphism preserves
+//    (predicate, arity) and fixes constants, and frozen constants are
+//    FRESH symbols that can never equal a view constant — so every body
+//    key of a contributing view appears among the query's body keys, and
+//    every view constant appears among the query's constants. Views
+//    failing either test produce zero tuples; dropping them changes
+//    nothing downstream.
+//  * kAnyOverlap (MiniCon): an MCD exists only if some query subgoal maps
+//    onto some view body atom of the same (predicate, arity). Constants
+//    are NOT filtered: MiniCon lets a query constant select on a view
+//    variable (AttachConstant), so only shape overlap is sound here.
+//  * Equivalence-class atomicity: views equivalent as queries have equal
+//    body key sets and equal constant sets (containment mappings preserve
+//    predicates and fix constants, in both directions), so the filter
+//    keeps or drops every class wholesale and GroupViewsByEquivalence
+//    elects the same representatives among survivors.
+//
+// Both properties are pinned by tests/property/view_index_equivalence_test
+// against the unfiltered pipeline.
+
+// Which necessary condition the candidate set realizes.
+enum class CandidateMode {
+  // Views whose body keys are a subset of the query's body keys and whose
+  // constants all appear in the query (CoreCover / Bucket view tuples).
+  kCoverAll,
+  // Views sharing at least one body key with the query (MiniCon MCDs).
+  kAnyOverlap,
+};
+
+// One view's index entry: the sorted, deduplicated (predicate, arity) keys
+// of its body and a Bloom mask over its body constants. Invariant under
+// variable renaming, and identical for all members of a view equivalence
+// class — which is what makes candidate filtering class-atomic.
+struct ViewSummary {
+  std::vector<uint64_t> keys;
+  uint64_t constant_bloom = 0;
+};
+
+// The same summary for a query body (the minimized query, in the pipeline).
+struct QueryBodySummary {
+  std::vector<uint64_t> keys;
+  uint64_t constant_bloom = 0;
+};
+
+// (predicate, arity) packed into one posting key.
+inline uint64_t BodyKey(Symbol predicate, size_t arity) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(predicate)) << 32) |
+         static_cast<uint32_t>(arity);
+}
+
+ViewSummary SummarizeView(const View& view);
+QueryBodySummary SummarizeQueryBody(const ConjunctiveQuery& query);
+
+// The single candidate predicate both the index and the linear fallback
+// evaluate — one definition, so the two retrieval paths cannot diverge.
+bool ViewMayContribute(const ViewSummary& view, const QueryBodySummary& query,
+                       CandidateMode mode);
+
+// Linear reference implementation: summarize every view and test it.
+// Produces EXACTLY the candidate set ViewIndex::Candidates returns (the
+// property suite compares them); used when no prebuilt index is at hand.
+std::vector<size_t> LinearCandidates(const ViewSet& views,
+                                     const ConjunctiveQuery& query,
+                                     CandidateMode mode);
+
+class ViewIndex;
+
+// How an algorithm taking a catalog should select candidates: on/off, and
+// optionally a prebuilt index over exactly that catalog (the planner passes
+// the snapshot's). Default-constructed == filter on, linear summary scan.
+struct CandidateFilterOptions {
+  bool enabled = true;
+  const ViewIndex* index = nullptr;
+};
+
+// Candidate views of `views` for `query` under `mode`, honoring `filter`:
+// all views when disabled, `filter.index->Candidates` when an index is
+// supplied (it must describe `views`), LinearCandidates otherwise.
+std::vector<size_t> SelectCandidates(const ViewSet& views,
+                                     const ConjunctiveQuery& query,
+                                     CandidateMode mode,
+                                     const CandidateFilterOptions& filter);
+
+// An immutable inverted index over one view catalog: body key -> sorted
+// view ids. Built once per catalog generation and shared read-only across
+// requests (the planner hangs one off each RCU ViewSnapshot); delta
+// mutations derive a patched copy via WithAdded / WithRemoved without
+// re-summarizing unchanged views.
+class ViewIndex {
+ public:
+  explicit ViewIndex(const ViewSet& views);
+
+  size_t num_views() const { return summaries_.size(); }
+  const ViewSummary& summary(size_t view) const { return summaries_[view]; }
+
+  // Candidate view indices for `query` under `mode`, sorted ascending —
+  // ascending order preserves catalog order, which downstream grouping and
+  // tuple generation rely on for byte-identical plans. Cost is
+  // O(candidates + postings touched), independent of catalog size.
+  std::vector<size_t> Candidates(const ConjunctiveQuery& query,
+                                 CandidateMode mode) const;
+  std::vector<size_t> Candidates(const QueryBodySummary& query,
+                                 CandidateMode mode) const;
+
+  // A new index describing this catalog with `added` appended (their ids
+  // continue the current numbering). Summaries of existing views are
+  // shared, postings are extended in place on the copy.
+  std::shared_ptr<const ViewIndex> WithAdded(const ViewSet& added) const;
+
+  // A new index over the subset of views in `keep` (ascending original
+  // ids); kept views are renumbered 0..keep.size()-1 in order. Summaries
+  // are reused; postings are rebuilt from them.
+  std::shared_ptr<const ViewIndex> WithRemoved(
+      const std::vector<size_t>& keep) const;
+
+ private:
+  ViewIndex() = default;
+
+  void AppendPostings(size_t first_view);
+
+  std::vector<ViewSummary> summaries_;
+  // Body key -> ascending view ids. Ids are 32-bit: the catalog cap this
+  // index exists for (10^6) is far below 2^32.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
+  // Views with an empty body have no postings but trivially pass the
+  // kCoverAll subset test; kept separately (ascending) and merged in.
+  std::vector<uint32_t> empty_body_views_;
+};
+
+}  // namespace vbr
+
+#endif  // VBR_REWRITE_VIEW_INDEX_H_

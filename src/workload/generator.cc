@@ -1,7 +1,10 @@
 #include "workload/generator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -16,6 +19,43 @@ Term PoolPredicateVar(const std::string& prefix, size_t i) {
 }
 
 std::string PredicateName(size_t i) { return "p" + std::to_string(i); }
+
+// Draws predicate indices from the pool, uniformly (s == 0) or with Zipf
+// skew P(k) proportional to 1/(k+1)^s. The uniform path calls UniformInt
+// exactly as the pre-skew generator did, so existing seeds keep producing
+// bit-identical workloads.
+class PredicatePicker {
+ public:
+  PredicatePicker(size_t num_predicates, double zipf_s)
+      : num_predicates_(num_predicates) {
+    VBR_CHECK(num_predicates >= 1);
+    VBR_CHECK(zipf_s >= 0);
+    if (zipf_s == 0) return;
+    cdf_.reserve(num_predicates);
+    double total = 0;
+    for (size_t k = 0; k < num_predicates; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), zipf_s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Pick(Rng* rng) const {
+    if (cdf_.empty()) {
+      return static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(num_predicates_) - 1));
+    }
+    const double u = rng->UniformDouble();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return std::min<size_t>(it - cdf_.begin(), num_predicates_ - 1);
+  }
+
+  size_t num_predicates() const { return num_predicates_; }
+
+ private:
+  size_t num_predicates_;
+  std::vector<double> cdf_;  // empty = uniform
+};
 
 // Removes `count` randomly chosen variables from `head_vars` (never below
 // one variable, so heads stay nonempty and queries meaningful).
@@ -33,12 +73,11 @@ std::vector<Term> DropVars(std::vector<Term> head_vars, size_t count,
 // Builds a star-shaped body: each subgoal is p_k(C, X_i) sharing the center
 // C. Variable names are namespaced by `ns` so views and query stay apart.
 std::vector<Atom> StarBody(const std::string& ns, size_t num_subgoals,
-                           size_t num_predicates, Rng* rng) {
+                           const PredicatePicker& picker, Rng* rng) {
   std::vector<Atom> body;
   const Term center = Var(ns + "C");
   for (size_t i = 0; i < num_subgoals; ++i) {
-    const size_t p = static_cast<size_t>(
-        rng->UniformInt(0, static_cast<int64_t>(num_predicates) - 1));
+    const size_t p = picker.Pick(rng);
     body.emplace_back(PredicateName(p),
                       std::vector<Term>{center, PoolPredicateVar(ns + "X", i)});
   }
@@ -47,11 +86,10 @@ std::vector<Atom> StarBody(const std::string& ns, size_t num_subgoals,
 
 // Builds a chain body p_k1(X0,X1), p_k2(X1,X2), ...
 std::vector<Atom> ChainBody(const std::string& ns, size_t num_subgoals,
-                            size_t num_predicates, Rng* rng) {
+                            const PredicatePicker& picker, Rng* rng) {
   std::vector<Atom> body;
   for (size_t i = 0; i < num_subgoals; ++i) {
-    const size_t p = static_cast<size_t>(
-        rng->UniformInt(0, static_cast<int64_t>(num_predicates) - 1));
+    const size_t p = picker.Pick(rng);
     body.emplace_back(PredicateName(p),
                       std::vector<Term>{PoolPredicateVar(ns + "X", i),
                                         PoolPredicateVar(ns + "X", i + 1)});
@@ -61,12 +99,11 @@ std::vector<Atom> ChainBody(const std::string& ns, size_t num_subgoals,
 
 // Random binary subgoals over a pool of num_subgoals + 1 variables.
 std::vector<Atom> RandomBody(const std::string& ns, size_t num_subgoals,
-                             size_t num_predicates, Rng* rng) {
+                             const PredicatePicker& picker, Rng* rng) {
   std::vector<Atom> body;
   const int64_t pool = static_cast<int64_t>(num_subgoals) + 1;
   for (size_t i = 0; i < num_subgoals; ++i) {
-    const size_t p = static_cast<size_t>(
-        rng->UniformInt(0, static_cast<int64_t>(num_predicates) - 1));
+    const size_t p = picker.Pick(rng);
     const size_t a = static_cast<size_t>(rng->UniformInt(0, pool - 1));
     size_t b = static_cast<size_t>(rng->UniformInt(0, pool - 1));
     body.emplace_back(PredicateName(p),
@@ -77,15 +114,15 @@ std::vector<Atom> RandomBody(const std::string& ns, size_t num_subgoals,
 }
 
 std::vector<Atom> MakeBody(QueryShape shape, const std::string& ns,
-                           size_t num_subgoals, size_t num_predicates,
+                           size_t num_subgoals, const PredicatePicker& picker,
                            Rng* rng) {
   switch (shape) {
     case QueryShape::kStar:
-      return StarBody(ns, num_subgoals, num_predicates, rng);
+      return StarBody(ns, num_subgoals, picker, rng);
     case QueryShape::kChain:
-      return ChainBody(ns, num_subgoals, num_predicates, rng);
+      return ChainBody(ns, num_subgoals, picker, rng);
     case QueryShape::kRandom:
-      return RandomBody(ns, num_subgoals, num_predicates, rng);
+      return RandomBody(ns, num_subgoals, picker, rng);
   }
   return {};
 }
@@ -98,6 +135,7 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
   VBR_CHECK(config.min_view_subgoals >= 1);
   VBR_CHECK(config.max_view_subgoals >= config.min_view_subgoals);
   Rng rng(config.seed);
+  const PredicatePicker picker(config.num_predicates, config.predicate_zipf_s);
 
   Workload workload;
 
@@ -106,7 +144,7 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
 
   // The query.
   std::vector<Atom> body = MakeBody(config.shape, "Q", config.num_query_subgoals,
-                                    config.num_predicates, &rng);
+                                    picker, &rng);
   std::vector<Term> head_vars;
   if (endpoints_only) {
     head_vars = {body.front().arg(0), body.back().arg(1)};
@@ -142,7 +180,7 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
         static_cast<int64_t>(config.max_view_subgoals)));
     const std::string ns = "V" + std::to_string(view_counter) + "_";
     std::vector<Atom> vbody =
-        MakeBody(config.shape, ns, subgoals, config.num_predicates, &rng);
+        MakeBody(config.shape, ns, subgoals, picker, &rng);
     // Single-subgoal views keep every variable distinguished (paper note).
     std::vector<Term> vhead;
     if (endpoints_only && subgoals > 1) {
@@ -155,6 +193,83 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
     workload.views.emplace_back(Atom(view_name(), vhead), std::move(vbody));
   }
   return workload;
+}
+
+// ---------------------------------------------------------------------------
+// Massive catalogs
+
+namespace {
+
+// One all-distinguished query for the scenario, deterministic in
+// (config, seed, index). Namespacing variables by the index keeps queries
+// from different indices structurally independent.
+ConjunctiveQuery MakeCatalogQuery(const MassiveCatalogConfig& config,
+                                  const PredicatePicker& picker,
+                                  uint64_t seed, size_t index) {
+  Rng root(seed);
+  Rng rng = root.Fork(index);
+  const std::string ns = "Q" + std::to_string(index) + "_";
+  std::vector<Atom> body =
+      MakeBody(config.shape, ns, config.num_query_subgoals, picker, &rng);
+  std::vector<Term> head_vars = CollectVariables(body);
+  return ConjunctiveQuery(Atom("q" + std::to_string(index), head_vars),
+                          std::move(body));
+}
+
+}  // namespace
+
+Workload GenerateMassiveCatalog(const MassiveCatalogConfig& config) {
+  VBR_CHECK(config.num_query_subgoals >= 1);
+  VBR_CHECK(config.num_predicates >= 1);
+  VBR_CHECK(config.min_view_subgoals >= 1);
+  VBR_CHECK(config.max_view_subgoals >= config.min_view_subgoals);
+  const PredicatePicker picker(config.num_predicates, config.predicate_zipf_s);
+  Rng rng(config.seed);
+
+  Workload workload;
+  workload.views.reserve(config.num_views + (config.cover_all_predicates
+                                                 ? config.num_predicates
+                                                 : 0));
+  for (size_t i = 0; i < config.num_views; ++i) {
+    const size_t subgoals = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(config.min_view_subgoals),
+        static_cast<int64_t>(config.max_view_subgoals)));
+    const std::string ns = "V" + std::to_string(i) + "_";
+    std::vector<Atom> vbody =
+        MakeBody(config.shape, ns, subgoals, picker, &rng);
+    // All-distinguished heads: keeps every random view usable in a
+    // rewriting and the catalog maximally adversarial for candidate
+    // selection (nothing is pruned for head reasons, only by body keys).
+    std::vector<Term> vhead = CollectVariables(vbody);
+    workload.views.emplace_back(Atom("w" + std::to_string(i), vhead),
+                                std::move(vbody));
+  }
+  if (config.cover_all_predicates) {
+    // One singleton identity view per pool predicate, so any query over
+    // the pool has a rewriting regardless of what the random draw above
+    // happened to cover.
+    for (size_t p = 0; p < config.num_predicates; ++p) {
+      const Term x = Var("CA");
+      const Term y = Var("CB");
+      std::vector<Atom> vbody = {Atom(PredicateName(p), {x, y})};
+      workload.views.emplace_back(
+          Atom("w" + std::to_string(config.num_views + p), {x, y}),
+          std::move(vbody));
+    }
+  }
+  workload.query = MakeCatalogQuery(config, picker, config.seed, 0);
+  return workload;
+}
+
+std::vector<ConjunctiveQuery> GenerateCatalogQueries(
+    const MassiveCatalogConfig& config, size_t count, uint64_t seed) {
+  const PredicatePicker picker(config.num_predicates, config.predicate_zipf_s);
+  std::vector<ConjunctiveQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(MakeCatalogQuery(config, picker, seed, i));
+  }
+  return queries;
 }
 
 }  // namespace vbr

@@ -2,6 +2,7 @@
 #define VBR_WORKLOAD_GENERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "cq/query.h"
 
@@ -45,6 +46,11 @@ struct WorkloadConfig {
   // predicate so that a rewriting is guaranteed to exist (the paper ignores
   // queries without rewritings; this realizes the same population).
   bool ensure_rewriting_exists = true;
+  // Zipf exponent for predicate choice. 0 keeps the exact legacy uniform
+  // draw (bit-for-bit identical streams for existing seeds); s > 0 skews
+  // subgoals toward low-numbered predicates with P(p_k) proportional to
+  // 1/(k+1)^s, modelling hot relations in a large schema.
+  double predicate_zipf_s = 0.0;
   uint64_t seed = 1;
 };
 
@@ -56,6 +62,43 @@ struct Workload {
 // Generates a workload. View head predicates are named w0, w1, ...; base
 // predicates p0, p1, ... within the configured pool.
 Workload GenerateWorkload(const WorkloadConfig& config);
+
+// -- Massive catalogs --------------------------------------------------------
+
+// Scenario for the 10^2..10^6-view scaling experiments: a very large view
+// catalog over a wide predicate pool, with Zipf-skewed predicate
+// popularity so that realistic queries touch a small hot subset of the
+// schema and most catalog views are irrelevant to any one query — the
+// regime where indexed candidate selection beats a linear scan.
+struct MassiveCatalogConfig {
+  // Number of RANDOM views. When cover_all_predicates is set, one
+  // single-subgoal all-distinguished view per pool predicate is appended
+  // on top, so the generated catalog holds num_views + num_predicates
+  // views total and every query is guaranteed a rewriting.
+  size_t num_views = 10'000;
+  size_t num_predicates = 256;
+  // Zipf exponent shared by view and query predicate draws (see
+  // WorkloadConfig::predicate_zipf_s). 1.0 is classic Zipf.
+  double predicate_zipf_s = 1.0;
+  QueryShape shape = QueryShape::kStar;
+  size_t num_query_subgoals = 6;
+  size_t min_view_subgoals = 1;
+  size_t max_view_subgoals = 3;
+  uint64_t seed = 1;
+  bool cover_all_predicates = true;
+};
+
+// Generates the catalog plus one representative query (all-distinguished,
+// as GenerateCatalogQueries would produce for index 0). Deterministic in
+// the config.
+Workload GenerateMassiveCatalog(const MassiveCatalogConfig& config);
+
+// `count` independent all-distinguished queries against the same catalog
+// scenario (each is deterministic in (config, seed, its index), so callers
+// can pregenerate a batch and cycle it). All-distinguished heads keep
+// every query rewritable whenever cover_all_predicates is set.
+std::vector<ConjunctiveQuery> GenerateCatalogQueries(
+    const MassiveCatalogConfig& config, size_t count, uint64_t seed);
 
 }  // namespace vbr
 

@@ -335,6 +335,34 @@ std::string PlanResultKey(const ViewPlanner::PlanResult& r) {
   return ::testing::AssertionSuccess();
 }
 
+// Indexed-candidate phase: CoreCover* with the candidate filter ON (the
+// default) must be byte-identical — status, minimized core, rewritings,
+// order — to a filter-OFF run of the same case. This is the differential
+// harness's own lockdown of ISSUE 9's candidate stage; the dedicated
+// view_index_equivalence_test covers the index/scan agreement and the
+// threaded planner facade.
+::testing::AssertionResult RunIndexedParityCase(QueryShape shape,
+                                                uint64_t seed) {
+  const Workload w = GenerateWorkload(DiffConfig(shape, seed));
+  const std::string label = "[indexed shape=" + std::string(ShapeName(shape)) +
+                            " seed=" + std::to_string(seed) + "] ";
+  CoreCoverOptions off;
+  off.use_view_index = false;
+  const auto full = CoreCoverStar(w.query, w.views, off);
+  const auto filtered = CoreCoverStar(w.query, w.views, {});
+  if (full.status != filtered.status ||
+      full.has_rewriting != filtered.has_rewriting ||
+      EncodeQueryFile(full.minimized_query) !=
+          EncodeQueryFile(filtered.minimized_query) ||
+      EncodeProgramFile(full.rewritings) !=
+          EncodeProgramFile(filtered.rewritings)) {
+    return ::testing::AssertionFailure()
+           << label << "candidate filter changed CoreCover* output\nquery: "
+           << w.query.ToString() << "\n" << ReplayHint(shape, seed);
+  }
+  return ::testing::AssertionSuccess();
+}
+
 class RandomDifferentialTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(RandomDifferentialTest, GeneratorsAgreeAndCertify) {
@@ -364,6 +392,17 @@ TEST_P(RandomDifferentialTest, BudgetExhaustedResultsStillCertify) {
     for (QueryShape shape :
          {QueryShape::kStar, QueryShape::kChain, QueryShape::kRandom}) {
       EXPECT_TRUE(RunBudgetedCase(shape, seed));
+    }
+  }
+}
+
+TEST_P(RandomDifferentialTest, IndexedCandidatesMatchFullScan) {
+  const size_t block = GetParam();
+  for (size_t i = 0; i < kSeedsPerBlock; ++i) {
+    const uint64_t seed = 1 + block * kSeedsPerBlock + i;
+    for (QueryShape shape :
+         {QueryShape::kStar, QueryShape::kChain, QueryShape::kRandom}) {
+      EXPECT_TRUE(RunIndexedParityCase(shape, seed));
     }
   }
 }

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <unordered_set>
 
+#include "cq/vbin_codec.h"
 #include "rewrite/core_cover.h"
 
 namespace vbr {
@@ -149,6 +152,127 @@ TEST(GeneratorTest, RandomShapeIsSafeAndBounded) {
   const Workload w = GenerateWorkload(Base(QueryShape::kRandom, 9));
   EXPECT_TRUE(w.query.IsSafe());
   EXPECT_EQ(w.query.num_subgoals(), 8u);
+}
+
+TEST(GeneratorTest, ZeroZipfKeepsLegacyStreamsBitIdentical) {
+  // predicate_zipf_s == 0 must take the exact legacy UniformInt path, so
+  // existing seeds keep generating the same workloads byte for byte.
+  WorkloadConfig legacy = Base(QueryShape::kRandom, 42);
+  WorkloadConfig zero = legacy;
+  zero.predicate_zipf_s = 0.0;
+  const Workload a = GenerateWorkload(legacy);
+  const Workload b = GenerateWorkload(zero);
+  EXPECT_EQ(a.query, b.query);
+  EXPECT_EQ(a.views, b.views);
+}
+
+TEST(GeneratorTest, ZipfSkewConcentratesPredicateMass) {
+  WorkloadConfig config = Base(QueryShape::kStar, 21);
+  config.num_views = 400;
+  config.num_predicates = 50;
+  config.ensure_rewriting_exists = false;
+  config.predicate_zipf_s = 1.5;
+  const Workload skewed = GenerateWorkload(config);
+  config.predicate_zipf_s = 0.0;
+  const Workload uniform = GenerateWorkload(config);
+
+  auto mass_on_hottest_decile = [](const Workload& w, size_t num_predicates) {
+    std::map<std::string, size_t> counts;
+    size_t total = 0;
+    for (const View& v : w.views) {
+      for (const Atom& a : v.body()) {
+        ++counts[std::string(SymbolTable::Global().NameOf(a.predicate()))];
+        ++total;
+      }
+    }
+    // Zipf puts its mass on the LOW-numbered predicates specifically.
+    size_t hot = 0;
+    for (size_t p = 0; p < num_predicates / 10; ++p) {
+      const auto it = counts.find("p" + std::to_string(p));
+      if (it != counts.end()) hot += it->second;
+    }
+    return static_cast<double>(hot) / static_cast<double>(total);
+  };
+
+  const double skewed_mass =
+      mass_on_hottest_decile(skewed, config.num_predicates);
+  const double uniform_mass =
+      mass_on_hottest_decile(uniform, config.num_predicates);
+  // s = 1.5 over 50 predicates puts the majority of draws on the top 5;
+  // uniform puts ~10% there.
+  EXPECT_GT(skewed_mass, 0.5);
+  EXPECT_LT(uniform_mass, 0.25);
+}
+
+// -- Massive catalogs --------------------------------------------------------
+
+MassiveCatalogConfig MassiveBase(uint64_t seed) {
+  MassiveCatalogConfig config;
+  config.num_views = 500;
+  config.num_predicates = 64;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GeneratorTest, MassiveCatalogIsDeterministicAndCounted) {
+  const Workload a = GenerateMassiveCatalog(MassiveBase(5));
+  const Workload b = GenerateMassiveCatalog(MassiveBase(5));
+  EXPECT_EQ(a.query, b.query);
+  EXPECT_EQ(a.views, b.views);
+  // num_views random views + one coverage singleton per pool predicate.
+  EXPECT_EQ(a.views.size(), 500u + 64u);
+  const Workload c = GenerateMassiveCatalog(MassiveBase(6));
+  EXPECT_NE(a.views, c.views);
+
+  MassiveCatalogConfig uncovered = MassiveBase(5);
+  uncovered.cover_all_predicates = false;
+  EXPECT_EQ(GenerateMassiveCatalog(uncovered).views.size(), 500u);
+}
+
+TEST(GeneratorTest, MassiveCatalogViewsAreSafeUniqueAndBounded) {
+  const Workload w = GenerateMassiveCatalog(MassiveBase(7));
+  std::unordered_set<Symbol> names;
+  for (const View& v : w.views) {
+    EXPECT_TRUE(v.IsSafe()) << v.ToString();
+    EXPECT_GE(v.num_subgoals(), 1u);
+    EXPECT_LE(v.num_subgoals(), 3u);
+    EXPECT_TRUE(names.insert(v.head().predicate()).second) << v.ToString();
+  }
+}
+
+TEST(GeneratorTest, CatalogQueriesAreIndependentAndRewritable) {
+  const MassiveCatalogConfig config = MassiveBase(8);
+  const Workload w = GenerateMassiveCatalog(config);
+  const auto queries = GenerateCatalogQueries(config, 6, /*seed=*/99);
+  ASSERT_EQ(queries.size(), 6u);
+  // The workload's own query is catalog-query index 0 under the config seed.
+  EXPECT_EQ(GenerateCatalogQueries(config, 1, config.seed)[0], w.query);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(queries[i].IsSafe());
+    EXPECT_EQ(queries[i].num_subgoals(), config.num_query_subgoals);
+    for (size_t j = i + 1; j < queries.size(); ++j) {
+      EXPECT_NE(queries[i], queries[j]);
+    }
+    // Coverage singletons guarantee a rewriting for every query.
+    CoreCoverOptions options;
+    options.max_rewritings = 4;
+    EXPECT_TRUE(CoreCover(queries[i], w.views, options).has_rewriting)
+        << queries[i].ToString();
+  }
+  // A different seed yields a different batch; the same seed repeats it.
+  EXPECT_EQ(GenerateCatalogQueries(config, 6, 99), queries);
+  EXPECT_NE(GenerateCatalogQueries(config, 6, 100), queries);
+}
+
+TEST(GeneratorTest, MassiveCatalogViewsRoundTripThroughVbin) {
+  MassiveCatalogConfig config = MassiveBase(9);
+  config.num_views = 200;
+  const Workload w = GenerateMassiveCatalog(config);
+  const std::string bytes = EncodeProgramFile(w.views);
+  std::vector<ConjunctiveQuery> back;
+  ASSERT_TRUE(DecodeProgramFile(bytes, &back).ok());
+  EXPECT_EQ(back, w.views);
+  EXPECT_EQ(EncodeProgramFile(back), bytes);
 }
 
 }  // namespace
