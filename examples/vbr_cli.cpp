@@ -12,7 +12,8 @@
 //           [--no-cache] [--explain[=json]] [--trace]
 //           [--deadline-ms MS] [--work-budget N] [--options JSON]
 //           [--data FACTS_FILE [--model m1|m2|m3]]
-//           [--replay QUERIES_FILE [--qps N] [--concurrency K]] [file]
+//           [--replay QUERIES_FILE [--qps N] [--concurrency K]
+//            [--connect HOST:PORT]] [file]
 //
 // --deadline-ms bounds the run by a wall-clock deadline and --work-budget by
 // a deterministic work-unit budget (see DESIGN.md "Resource governance");
@@ -34,7 +35,15 @@
 // The replay file may also be a BINARY request log captured with
 // `vbr_server --request-log` (detected by the VBIN magic): each recorded
 // request is then re-submitted with the options it was recorded with, so
-// production traffic replays deterministically.
+// production traffic replays deterministically.  A rotated log set
+// (file.2, file.1, file) replays in capture order when the base path is
+// given and rotated siblings exist.
+//
+// --replay --connect HOST:PORT replays over the wire instead: each request
+// goes to a running vbr_server through the resilient client
+// (net/resilient_client.h) — connect/request timeouts, reconnects, and
+// idempotent retries — so a replay survives a flaky network or a server
+// restart mid-run.
 //
 // --explain prints the planner's account of its decision (candidates with
 // costs and why they lost, the cache disposition, and a per-cost-model
@@ -55,6 +64,8 @@
 //
 //   car(toyota, a).  loc(a, sf).  part(store1, toyota, sf).
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -73,6 +84,7 @@
 #include "cq/parser.h"
 #include "engine/io.h"
 #include "engine/materialize.h"
+#include "net/resilient_client.h"
 #include "planner/planner.h"
 #include "planner/request_options.h"
 #include "planner/service.h"
@@ -102,6 +114,7 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   const char* data_path = nullptr;
   const char* replay_path = nullptr;
+  const char* connect_spec = nullptr;
   double qps = 0;
   size_t concurrency = 2;
   for (int i = 1; i < argc; ++i) {
@@ -159,6 +172,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--replay") == 0) {
       if (++i >= argc) return Fail("--replay needs a queries file");
       replay_path = argv[i];
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      if (++i >= argc) return Fail("--connect needs HOST:PORT");
+      connect_spec = argv[i];
     } else if (std::strcmp(argv[i], "--qps") == 0) {
       if (++i >= argc) return Fail("--qps needs a rate (0 = unpaced)");
       char* end = nullptr;
@@ -236,13 +252,27 @@ int main(int argc, char** argv) {
     // logs are length-prefixed VBIN frames, so the magic sits at offset 4.
     std::vector<ConjunctiveQuery> replay_list;
     std::vector<PlanRequestOptions> replay_options;
-    const bool is_binary_log =
+    bool is_binary_log =
         replay_bytes.size() >= 8 && replay_bytes.compare(4, 4, "VBIN") == 0;
+    if (!is_binary_log && replay_bytes.empty()) {
+      // A crash right after rotation leaves an empty live file; the
+      // newest rotated sibling carries the magic instead.
+      std::ifstream sibling_in(std::string(replay_path) + ".1",
+                               std::ios::binary);
+      if (sibling_in) {
+        char head[8] = {0};
+        sibling_in.read(head, sizeof(head));
+        is_binary_log = sibling_in.gcount() == 8 &&
+                        std::memcmp(head + 4, "VBIN", 4) == 0;
+      }
+    }
     if (is_binary_log) {
+      // Read the whole rotated set (path.K .. path.1, then the live file)
+      // so a rotated capture replays in order from just the base path.
       std::vector<RequestLogRecord> records;
       size_t truncated = 0;
       const vbin::Status status =
-          ParseRequestLog(replay_bytes, &records, &truncated);
+          ReadRequestLogSet(replay_path, &records, &truncated);
       if (!status.ok()) return Fail("replay log: " + status.error);
       if (truncated > 0) {
         std::fprintf(stderr,
@@ -267,6 +297,90 @@ int main(int argc, char** argv) {
     }
     for (const ConjunctiveQuery& q : replay_list) {
       if (!q.IsSafe()) return Fail("unsafe replay query: " + q.ToString());
+    }
+
+    // --connect: replay over the wire through the resilient client instead
+    // of an in-process service.  Workers stripe the request ids; --qps
+    // paces on the ABSOLUTE schedule (request i due at start + i/qps).  A
+    // request whose retry budget runs out counts as lost and fails the
+    // run; rejected/shed responses are the server's business and do not.
+    if (connect_spec != nullptr) {
+      const char* colon = std::strrchr(connect_spec, ':');
+      if (colon == nullptr || colon == connect_spec || colon[1] == '\0') {
+        return Fail("--connect needs HOST:PORT");
+      }
+      const std::string host(connect_spec, colon - connect_spec);
+      const int port = std::atoi(colon + 1);
+      if (port <= 0 || port > 65535) {
+        return Fail(std::string("--connect: bad port in ") + connect_spec);
+      }
+
+      const double inter_arrival_ms = qps > 0 ? 1000.0 / qps : 0;
+      const size_t workers =
+          std::max<size_t>(1, std::min(concurrency, replay_list.size()));
+      std::atomic<size_t> by_status[7] = {};
+      std::atomic<size_t> lost{0}, retries{0}, reconnects{0}, timeouts{0};
+      const auto start = std::chrono::steady_clock::now();
+      const Timer wall;
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          net::ResilientClientOptions copts;
+          copts.host = host;
+          copts.port = static_cast<uint16_t>(port);
+          copts.backoff_seed = 0x9e3779b97f4a7c15ULL * (w + 1);
+          net::ResilientClient client(copts);
+          for (size_t id = w; id < replay_list.size(); id += workers) {
+            if (inter_arrival_ms > 0) {
+              std::this_thread::sleep_until(
+                  start +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          inter_arrival_ms * static_cast<double>(id))));
+            }
+            net::PlanRequestFrame request;
+            request.request_id = static_cast<uint64_t>(id) + 1;
+            request.options = replay_options[id];
+            request.query_text = replay_list[id].ToString();
+            net::PlanResponseFrame response;
+            std::string call_error;
+            if (!client.Call(request, &response, &call_error)) {
+              lost.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            const size_t s = static_cast<size_t>(response.status);
+            if (s < 7) by_status[s].fetch_add(1, std::memory_order_relaxed);
+          }
+          const net::ResilientClient::Stats cs = client.stats();
+          retries.fetch_add(cs.retries, std::memory_order_relaxed);
+          reconnects.fetch_add(cs.reconnects, std::memory_order_relaxed);
+          timeouts.fetch_add(cs.timeouts, std::memory_order_relaxed);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double elapsed_ms = wall.ElapsedMillis();
+      const size_t total = replay_list.size();
+      std::printf(
+          "%% replayed %zu request(s) over the wire to %s in %.2f ms "
+          "(%.1f qps achieved, %zu worker(s))\n",
+          total, connect_spec, elapsed_ms,
+          elapsed_ms > 0
+              ? 1000.0 * static_cast<double>(total - lost.load()) / elapsed_ms
+              : 0.0,
+          workers);
+      std::printf("%% ok %zu  rejected %zu  shed %zu  failed %zu  "
+                  "bad_request %zu  unknown_handle %zu  lost %zu\n",
+                  by_status[0].load(), by_status[1].load(),
+                  by_status[2].load(), by_status[3].load(),
+                  by_status[4].load() + by_status[5].load(),
+                  by_status[6].load(), lost.load());
+      std::printf("%% transport: retries %zu  reconnects %zu  timeouts %zu\n",
+                  retries.load(), reconnects.load(), timeouts.load());
+      const size_t hard_failures = by_status[3].load() + by_status[4].load() +
+                                   by_status[5].load() + by_status[6].load();
+      return (lost.load() != 0 || hard_failures != 0) ? 2 : 0;
     }
 
     Database base;

@@ -19,11 +19,19 @@
 // instead of the text, and every handle-path response is byte-compared
 // against the stored text-path response (a divergence fails the run).
 //
+// With --chaos SEED the run switches to the closed-loop resilient driver
+// and enables the seeded socket chaos layer (net/chaos_socket.h) for the
+// client side: injected short reads/writes, spurious EAGAIN, delayed
+// flushes, disconnects, and connect failures, all replayable from the
+// seed.  Duplicates still fail the run; losses are tolerated (a request
+// whose retry budget ran out) but reported.  --resilient alone uses the
+// resilient driver without injecting faults.
+//
 // Usage:
 //   vbr_loadgen --port P --queries FILE [--connections N] [--qps Q]
 //               [--requests N] [--deadline-ms MS] [--model m1|m2|m3]
 //               [--options JSON] [--certificate] [--handles] [--host H]
-//               [--check-statz HTTP_PORT]
+//               [--check-statz HTTP_PORT] [--chaos SEED] [--resilient]
 //
 // Exit status: 0 on a clean run, 1 on setup errors, 2 on lost/duplicated
 // responses, 3 on an accounting violation, 4 on a handle-path divergence.
@@ -41,6 +49,7 @@
 
 #include "common/json.h"
 #include "cq/parser.h"
+#include "net/chaos_socket.h"
 #include "net/http.h"
 #include "net/load_driver.h"
 #include "net/socket.h"
@@ -104,6 +113,8 @@ int main(int argc, char** argv) {
   net::LoadDriverOptions load;
   const char* queries_path = nullptr;
   int statz_port = -1;
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     auto NeedsValue = [&](const char* flag) -> const char* {
       if (++i >= argc) {
@@ -144,6 +155,12 @@ int main(int argc, char** argv) {
       queries_path = NeedsValue("--queries");
     } else if (std::strcmp(argv[i], "--check-statz") == 0) {
       statz_port = std::atoi(NeedsValue("--check-statz"));
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
+      load.resilient = true;
+      chaos_seed = std::strtoull(NeedsValue("--chaos"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--resilient") == 0) {
+      load.resilient = true;
     } else {
       return Fail(std::string("unknown flag ") + argv[i]);
     }
@@ -165,12 +182,35 @@ int main(int argc, char** argv) {
     load.queries.push_back(q.ToString());
   }
 
+  if (chaos) net::ChaosSocket::Enable(net::ChaosOptions::Soak(chaos_seed));
   net::LoadReport report;
-  if (!net::RunLoad(load, &report, &error)) return Fail(error);
+  const bool load_ok = net::RunLoad(load, &report, &error);
+  if (chaos) {
+    // Disable before the /statz fetch: that check must see a calm network.
+    const net::ChaosSocket::Stats cs = net::ChaosSocket::stats();
+    net::ChaosSocket::Disable();
+    std::printf(
+        "chaos: seed=%llu short_r=%llu short_w=%llu eagain_r=%llu "
+        "eagain_w=%llu delays=%llu disc_r=%llu disc_w=%llu resets=%llu "
+        "connect_fail=%llu\n",
+        static_cast<unsigned long long>(chaos_seed),
+        static_cast<unsigned long long>(cs.short_reads),
+        static_cast<unsigned long long>(cs.short_writes),
+        static_cast<unsigned long long>(cs.read_eagains),
+        static_cast<unsigned long long>(cs.write_eagains),
+        static_cast<unsigned long long>(cs.write_delays),
+        static_cast<unsigned long long>(cs.read_disconnects),
+        static_cast<unsigned long long>(cs.write_disconnects),
+        static_cast<unsigned long long>(cs.accept_resets),
+        static_cast<unsigned long long>(cs.connect_failures));
+  }
+  if (!load_ok) return Fail(error);
   std::printf("%s\n", report.ToString().c_str());
 
   int exit_code = 0;
-  if (report.lost != 0 || report.duplicated != 0 ||
+  // Under chaos a request can exhaust its retry budget: losses are
+  // reported but tolerated.  Duplicates never are.
+  if ((report.lost != 0 && !chaos) || report.duplicated != 0 ||
       report.decode_errors != 0) {
     std::fprintf(stderr,
                  "vbr_loadgen: FAIL lost=%zu duplicated=%zu decode_errors=%zu"

@@ -12,12 +12,27 @@
 // Usage:
 //   vbr_server [--port P] [--http-port P] [--host H]
 //              [--workers N] [--queue N] [--data FACTS_FILE]
+//              [--max-connections N] [--reject-over-capacity]
+//              [--idle-timeout-ms MS] [--progress-timeout-ms MS]
+//              [--write-stall-timeout-ms MS] [--drain-grace-ms MS]
 //              [--snapshot-path FILE] [--snapshot-interval-s S]
-//              [--request-log FILE] [VIEWS_FILE]
+//              [--request-log FILE] [--request-log-max-mb MB]
+//              [--request-log-keep K] [VIEWS_FILE]
 //
 // Port 0 (the default) binds an ephemeral port; both bound ports are
 // printed on startup, one per line, as "binary_port=P" / "http_port=P", so
-// scripts can scrape them.  The server runs until SIGINT/SIGTERM.
+// scripts can scrape them.  The server runs until SIGINT/SIGTERM; on
+// signal it first DRAINS — stops accepting, lets in-flight requests
+// finish and their responses flush, up to --drain-grace-ms (default 2000,
+// 0 = stop immediately) — then force-closes whatever remains.
+//
+// Connection hygiene (see server/plan_server.h): --idle-timeout-ms evicts
+// connections with nothing going on, --progress-timeout-ms evicts clients
+// that dribble a request byte-by-byte without ever completing one
+// (slowloris), --write-stall-timeout-ms evicts peers that stopped reading
+// their responses.  All default to 0 (off).  At --max-connections the
+// server pauses accepting (kernel-backlog backpressure) unless
+// --reject-over-capacity, which accepts-and-closes instead.
 //
 // Persistence (planner/snapshot.h):
 //   --snapshot-path FILE   warm-start the plan cache from FILE at startup
@@ -30,6 +45,11 @@
 //   --request-log FILE     append every submitted request (query + options)
 //                          to FILE as length-prefixed VBIN records; replay
 //                          the stream later with `vbr_cli --replay FILE`.
+//   --request-log-max-mb M rotate the log when it would pass M MiB
+//                          (FILE -> FILE.1 -> FILE.2 ..., atomic renames
+//                          at record boundaries; 0 = never, the default);
+//   --request-log-keep K   keep at most K rotated files (default 3);
+//                          `vbr_cli --replay FILE` reads the whole set.
 //
 // Try it:
 //   vbr_server --http-port 8080 views.dl &
@@ -87,7 +107,9 @@ int main(int argc, char** argv) {
   const char* data_path = nullptr;
   const char* snapshot_path = nullptr;
   const char* request_log_path = nullptr;
+  RequestLogOptions request_log_options;
   double snapshot_interval_s = 30;
+  int drain_grace_ms = 2000;
   for (int i = 1; i < argc; ++i) {
     auto NeedsValue = [&](const char* flag) -> const char* {
       if (++i >= argc) {
@@ -124,6 +146,31 @@ int main(int argc, char** argv) {
       snapshot_interval_s = std::atof(NeedsValue("--snapshot-interval-s"));
     } else if (std::strcmp(argv[i], "--request-log") == 0) {
       request_log_path = NeedsValue("--request-log");
+    } else if (std::strcmp(argv[i], "--request-log-max-mb") == 0) {
+      request_log_options.max_bytes =
+          static_cast<size_t>(std::atof(NeedsValue("--request-log-max-mb")) *
+                              1024.0 * 1024.0);
+    } else if (std::strcmp(argv[i], "--request-log-keep") == 0) {
+      request_log_options.keep =
+          static_cast<size_t>(std::atoi(NeedsValue("--request-log-keep")));
+    } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+      server_options.max_connections =
+          static_cast<size_t>(std::atoi(NeedsValue("--max-connections")));
+      if (server_options.max_connections == 0) {
+        return Fail("--max-connections needs a positive count");
+      }
+    } else if (std::strcmp(argv[i], "--reject-over-capacity") == 0) {
+      server_options.reject_over_capacity = true;
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      server_options.idle_timeout_ms = std::atoi(NeedsValue("--idle-timeout-ms"));
+    } else if (std::strcmp(argv[i], "--progress-timeout-ms") == 0) {
+      server_options.progress_timeout_ms =
+          std::atoi(NeedsValue("--progress-timeout-ms"));
+    } else if (std::strcmp(argv[i], "--write-stall-timeout-ms") == 0) {
+      server_options.write_stall_timeout_ms =
+          std::atoi(NeedsValue("--write-stall-timeout-ms"));
+    } else if (std::strcmp(argv[i], "--drain-grace-ms") == 0) {
+      drain_grace_ms = std::atoi(NeedsValue("--drain-grace-ms"));
     } else if (argv[i][0] == '-') {
       return Fail(std::string("unknown flag ") + argv[i]);
     } else {
@@ -184,7 +231,8 @@ int main(int argc, char** argv) {
   std::shared_ptr<RequestLogWriter> request_log;
   if (request_log_path != nullptr) {
     request_log = std::make_shared<RequestLogWriter>();
-    const vbin::Status status = request_log->Open(request_log_path);
+    const vbin::Status status =
+        request_log->Open(request_log_path, request_log_options);
     if (!status.ok()) return Fail("request log: " + status.error);
     service_options.request_log = request_log;
   }
@@ -226,6 +274,16 @@ int main(int argc, char** argv) {
   g_shutdown.acquire();
 
   std::fprintf(stderr, "vbr_server: shutting down\n");
+  if (drain_grace_ms > 0) {
+    // Graceful drain first: stop accepting, flush what's in flight, then
+    // Stop() force-closes whatever the grace period didn't cover.
+    if (server.Drain(drain_grace_ms)) {
+      std::fprintf(stderr, "vbr_server: drained cleanly\n");
+    } else {
+      std::fprintf(stderr,
+                   "vbr_server: drain grace expired with connections open\n");
+    }
+  }
   server.Stop();
   service.Shutdown();
   if (saver.joinable()) {

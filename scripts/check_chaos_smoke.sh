@@ -1,0 +1,111 @@
+#!/bin/sh
+# End-to-end chaos smoke of the wire path (net/chaos_socket.h +
+# server connection hygiene):
+#
+#   1. start vbr_server with every hygiene limit armed (idle / progress /
+#      write-stall deadlines, connection cap) and a tightly rotated binary
+#      request log (--request-log-max-mb / --request-log-keep);
+#   2. drive it with vbr_loadgen --chaos SEED for several fixed seeds —
+#      the seeded client-side fault layer injects short reads/writes,
+#      EAGAINs, mid-stream disconnects and connect failures while the
+#      resilient driver retries.  Losses (retry budget exhausted) are
+#      tolerated; duplicated or misdecoded responses never are;
+#   3. a clean (chaos-off) run with the /statz accounting cross-check must
+#      still be spotless — chaos must not leak state into the server;
+#   4. the captured request log must have rotated, and the rotated SET
+#      (path.N .. path.1 + live file) must replay over the wire through
+#      `vbr_cli --replay --connect` without a single hard failure;
+#   5. SIGTERM the server and require a clean drain.
+#
+# Usage: scripts/check_chaos_smoke.sh
+# The build tree is build/ unless BUILD_DIR is set (so CI can point it at
+# a sanitizer tree: BUILD_DIR=build-asan scripts/check_chaos_smoke.sh).
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+CHAOS_SEEDS=${CHAOS_SEEDS:-"1 2 3"}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target vbr_server vbr_loadgen vbr_cli
+
+WORK_DIR=$(mktemp -d)
+REQUEST_LOG="$WORK_DIR/requests.vbrlog"
+PORTS_FILE="$WORK_DIR/ports"
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT INT TERM
+
+# --- Start: hygiene limits armed, request log rotating at ~8 KiB ----------
+: > "$PORTS_FILE"
+"$BUILD_DIR"/examples/vbr_server --port 0 --http-port 0 --workers 2 \
+  --data examples/data/car_loc_part.facts \
+  --request-log "$REQUEST_LOG" \
+  --request-log-max-mb 0.008 --request-log-keep 8 \
+  --max-connections 64 \
+  --idle-timeout-ms 10000 --progress-timeout-ms 5000 \
+  --write-stall-timeout-ms 5000 --drain-grace-ms 5000 \
+  examples/data/car_loc_part.program > "$PORTS_FILE" 2> "$WORK_DIR/server.log" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  grep -q '^http_port=' "$PORTS_FILE" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "check_chaos_smoke: server exited early" >&2
+    cat "$WORK_DIR/server.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+BINARY_PORT=$(sed -n 's/^binary_port=//p' "$PORTS_FILE")
+HTTP_PORT=$(sed -n 's/^http_port=//p' "$PORTS_FILE")
+[ -n "$BINARY_PORT" ] && [ -n "$HTTP_PORT" ] || {
+  echo "check_chaos_smoke: could not scrape ports" >&2
+  exit 1
+}
+
+# --- Chaos runs: fixed seeds, exact accounting required -------------------
+for SEED in $CHAOS_SEEDS; do
+  echo "check_chaos_smoke: chaos run seed=$SEED"
+  "$BUILD_DIR"/examples/vbr_loadgen --port "$BINARY_PORT" \
+    --queries examples/data/car_loc_part.replay \
+    --connections 4 --qps 400 --requests 80 \
+    --chaos "$SEED" || {
+    echo "check_chaos_smoke: FAIL chaos run seed=$SEED" >&2
+    cat "$WORK_DIR/server.log" >&2
+    exit 1
+  }
+done
+
+# --- Clean run: chaos off, /statz accounting must balance exactly ---------
+"$BUILD_DIR"/examples/vbr_loadgen --port "$BINARY_PORT" \
+  --queries examples/data/car_loc_part.replay \
+  --connections 2 --qps 200 --requests 60 \
+  --check-statz "$HTTP_PORT"
+
+# --- The request log must have rotated under that traffic -----------------
+[ -s "$REQUEST_LOG.1" ] || {
+  echo "check_chaos_smoke: FAIL request log never rotated" \
+       "(no $REQUEST_LOG.1)" >&2
+  ls -l "$WORK_DIR" >&2
+  exit 1
+}
+
+# --- Replay the rotated set over the wire against the live server ---------
+"$BUILD_DIR"/examples/vbr_cli --replay "$REQUEST_LOG" \
+  --connect "127.0.0.1:$BINARY_PORT" --concurrency 2 \
+  examples/data/car_loc_part.program
+
+# --- Graceful shutdown: SIGTERM must drain, not sever ---------------------
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+grep -q 'drained cleanly' "$WORK_DIR/server.log" || {
+  echo "check_chaos_smoke: FAIL server did not drain cleanly on SIGTERM" >&2
+  cat "$WORK_DIR/server.log" >&2
+  exit 1
+}
+
+echo "check_chaos_smoke: chaos runs, rotated-log wire replay, and drain clean"

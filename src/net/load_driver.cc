@@ -64,22 +64,170 @@ std::string PlanPayloadKey(const PlanResponseFrame& response) {
          response.certificate;
 }
 
+void FillLatencyPercentiles(const Ledger& ledger, LoadReport* report) {
+  std::vector<double> latencies;
+  latencies.reserve(report->received);
+  for (const double l : ledger.latency_ms) {
+    if (l >= 0) latencies.push_back(l);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report->p50_ms = Percentile(latencies, 0.50);
+  report->p90_ms = Percentile(latencies, 0.90);
+  report->p99_ms = Percentile(latencies, 0.99);
+  report->max_ms = latencies.empty() ? 0 : latencies.back();
+}
+
+// Closed-loop resilient mode (options.resilient): one ResilientClient per
+// connection, one request in flight per client, retries and reconnects
+// inside the client.  Accounting invariant: received + lost == sent and
+// duplicated == 0, regardless of the fault schedule.
+bool RunLoadResilient(const LoadDriverOptions& options, LoadReport* report,
+                      std::string* error) {
+  const size_t connections = std::max<size_t>(1, options.connections);
+  const size_t total = options.total_requests;
+
+  Ledger ledger(total);
+  HandleBook handle_book(options.queries.size());
+  std::atomic<size_t> sent{0};
+  std::atomic<size_t> received{0};
+  std::atomic<size_t> duplicated{0};
+  std::atomic<size_t> handle_requests{0};
+  std::atomic<size_t> handle_mismatches{0};
+  std::atomic<size_t> by_status[7] = {};
+  std::atomic<size_t> retries{0};
+  std::atomic<size_t> reconnects{0};
+  std::atomic<size_t> timeouts{0};
+  std::atomic<size_t> io_errors{0};
+
+  const Clock::time_point start = Clock::now();
+  const double interval_ms = options.qps > 0 ? 1000.0 / options.qps : 0.0;
+
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      ResilientClientOptions copts = options.resilient_client;
+      copts.host = options.host;
+      copts.port = options.port;
+      // Distinct per-connection schedules that still replay from the seed.
+      copts.backoff_seed ^= 0x9e3779b97f4a7c15ULL * (c + 1);
+      ResilientClient client(copts);
+      for (size_t id = c; id < total; id += connections) {
+        if (interval_ms > 0) {
+          const Clock::time_point due =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              interval_ms * static_cast<double>(id)));
+          std::this_thread::sleep_until(due);
+        }
+        PlanRequestFrame frame;
+        frame.request_id = id;
+        frame.options = options.request;
+        frame.want_certificate = options.want_certificate;
+        const size_t query_index = id % options.queries.size();
+        const uint64_t handle =
+            options.use_handles
+                ? handle_book.handles[query_index].load(
+                      std::memory_order_acquire)
+                : 0;
+        if (handle != 0) {
+          frame.query_is_handle = true;
+          frame.query_handle = handle;
+          ledger.by_handle[id] = 1;
+          handle_requests.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          frame.query_text = options.queries[query_index];
+        }
+        ledger.send_time[id] = Clock::now();
+        sent.fetch_add(1, std::memory_order_relaxed);
+        PlanResponseFrame response;
+        std::string call_error;
+        if (!client.Call(frame, &response, &call_error)) {
+          continue;  // every attempt failed: this id counts as lost
+        }
+        const uint32_t prior =
+            ledger.answered[id].fetch_add(1, std::memory_order_relaxed);
+        if (prior > 0) {
+          duplicated.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ledger.latency_ms[id] = MsSince(ledger.send_time[id], Clock::now());
+        by_status[static_cast<size_t>(response.status)].fetch_add(
+            1, std::memory_order_relaxed);
+        if (options.use_handles && response.status == WireStatus::kOk &&
+            !response.degraded) {
+          if (ledger.by_handle[id]) {
+            std::lock_guard<std::mutex> lock(handle_book.mu);
+            const std::string& reference =
+                handle_book.references[query_index];
+            if (!reference.empty() &&
+                reference != PlanPayloadKey(response)) {
+              handle_mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (response.query_handle != 0) {
+            {
+              std::lock_guard<std::mutex> lock(handle_book.mu);
+              if (handle_book.references[query_index].empty()) {
+                handle_book.references[query_index] =
+                    PlanPayloadKey(response);
+              }
+            }
+            uint64_t expected = 0;
+            handle_book.handles[query_index].compare_exchange_strong(
+                expected, response.query_handle, std::memory_order_release,
+                std::memory_order_relaxed);
+          }
+        }
+        received.fetch_add(1, std::memory_order_relaxed);
+      }
+      const ResilientClient::Stats& cs = client.stats();
+      retries.fetch_add(cs.retries, std::memory_order_relaxed);
+      reconnects.fetch_add(cs.reconnects, std::memory_order_relaxed);
+      timeouts.fetch_add(cs.timeouts, std::memory_order_relaxed);
+      io_errors.fetch_add(cs.io_errors, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Clock::time_point end = Clock::now();
+
+  (void)error;
+  report->sent = sent.load();
+  report->received = received.load();
+  report->lost = report->sent - report->received;
+  report->duplicated = duplicated.load();
+  report->decode_errors = 0;
+  report->handle_requests = handle_requests.load();
+  report->handle_mismatches = handle_mismatches.load();
+  for (size_t i = 0; i < 7; ++i) report->by_status[i] = by_status[i].load();
+  report->retries = retries.load();
+  report->reconnects = reconnects.load();
+  report->timeouts = timeouts.load();
+  report->io_errors = io_errors.load();
+  report->wall_s = MsSince(start, end) / 1000.0;
+  report->achieved_qps =
+      report->wall_s > 0
+          ? static_cast<double>(report->received) / report->wall_s
+          : 0;
+  FillLatencyPercentiles(ledger, report);
+  return true;
+}
+
 }  // namespace
 
 std::string LoadReport::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "sent=%zu received=%zu lost=%zu dup=%zu decode_errors=%zu | "
       "ok=%zu rejected=%zu shed=%zu failed=%zu bad=%zu | "
       "handle_reqs=%zu handle_mismatch=%zu | "
+      "retries=%zu reconnects=%zu timeouts=%zu io_errors=%zu | "
       "wall=%.2fs achieved=%.0f qps | "
       "p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
       sent, received, lost, duplicated, decode_errors, by_status[0],
       by_status[1], by_status[2], by_status[3],
       by_status[4] + by_status[5] + by_status[6], handle_requests,
-      handle_mismatches, wall_s, achieved_qps, p50_ms, p90_ms, p99_ms,
-      max_ms);
+      handle_mismatches, retries, reconnects, timeouts, io_errors, wall_s,
+      achieved_qps, p50_ms, p90_ms, p99_ms, max_ms);
   return std::string(buf);
 }
 
@@ -89,6 +237,7 @@ bool RunLoad(const LoadDriverOptions& options, LoadReport* report,
     if (error != nullptr) *error = "load driver needs at least one query";
     return false;
   }
+  if (options.resilient) return RunLoadResilient(options, report, error);
   const size_t connections = std::max<size_t>(1, options.connections);
   const size_t total = options.total_requests;
 
@@ -283,16 +432,7 @@ bool RunLoad(const LoadDriverOptions& options, LoadReport* report,
                                report->wall_s
                          : 0;
 
-  std::vector<double> latencies;
-  latencies.reserve(report->received);
-  for (const double l : ledger.latency_ms) {
-    if (l >= 0) latencies.push_back(l);
-  }
-  std::sort(latencies.begin(), latencies.end());
-  report->p50_ms = Percentile(latencies, 0.50);
-  report->p90_ms = Percentile(latencies, 0.90);
-  report->p99_ms = Percentile(latencies, 0.99);
-  report->max_ms = latencies.empty() ? 0 : latencies.back();
+  FillLatencyPercentiles(ledger, report);
   return true;
 }
 

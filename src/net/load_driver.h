@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/resilient_client.h"
 #include "planner/request_options.h"
 
 namespace vbr::net {
@@ -42,6 +43,16 @@ struct LoadDriverOptions {
   // How long the receivers keep draining after the last send before
   // declaring the remaining requests lost.
   double drain_timeout_ms = 5000;
+  // Closed-loop resilient mode: each connection drives one request at a
+  // time through a ResilientClient (timeouts, reconnects, idempotent
+  // retries).  The open-loop schedule and the sender/receiver split do not
+  // survive a flaky transport; this mode does — it is what --chaos uses.
+  // A request whose attempts all fail counts as lost; duplicates cannot
+  // occur (the client consumes exactly one response per request).
+  bool resilient = false;
+  // host/port/backoff_seed are overridden per connection from the fields
+  // above; the rest (timeouts, max_attempts, backoff) apply as given.
+  ResilientClientOptions resilient_client;
 };
 
 struct LoadReport {
@@ -57,6 +68,11 @@ struct LoadReport {
   size_t handle_mismatches = 0;
   // Responses by WireStatus (indexed by the enum's numeric value).
   size_t by_status[7] = {0, 0, 0, 0, 0, 0, 0};
+  // Resilient mode only: transport recoveries summed across connections.
+  size_t retries = 0;
+  size_t reconnects = 0;
+  size_t timeouts = 0;
+  size_t io_errors = 0;
   double wall_s = 0;
   double achieved_qps = 0;  // received / wall_s
   // Latency percentiles over answered requests, milliseconds.

@@ -1,5 +1,6 @@
 #include "net/poller.h"
 
+#include <errno.h>
 #include <poll.h>
 
 #include <algorithm>
@@ -23,7 +24,7 @@ void Poller::Forget(int fd) {
                  entries_.end());
 }
 
-std::vector<PollEntry> Poller::Wait(int timeout_ms) {
+std::vector<PollEntry> Poller::Wait(int timeout_ms, PollStatus* status) {
   std::vector<pollfd> fds;
   fds.reserve(entries_.size());
   for (const PollEntry& entry : entries_) {
@@ -34,7 +35,22 @@ std::vector<PollEntry> Poller::Wait(int timeout_ms) {
   }
   std::vector<PollEntry> ready;
   const int n = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (n <= 0) return ready;  // timeout, EINTR, or error: caller just re-waits
+  if (n <= 0) {
+    if (status != nullptr) {
+      if (n == 0) {
+        *status = PollStatus::kTimeout;
+      } else if (errno == EINTR) {
+        *status = PollStatus::kInterrupted;
+      } else {
+        last_errno_ = errno;
+        *status = PollStatus::kError;
+      }
+    } else if (n < 0 && errno != EINTR) {
+      last_errno_ = errno;
+    }
+    return ready;
+  }
+  if (status != nullptr) *status = PollStatus::kReady;
   for (const pollfd& pfd : fds) {
     if (pfd.revents == 0) continue;
     PollEntry entry;

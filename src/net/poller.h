@@ -24,6 +24,12 @@ struct PollEntry {
   PollEvents events;
 };
 
+// Why Wait returned.  kTimeout and kInterrupted are benign (re-wait);
+// kError means poll(2) itself failed — a loop that ignores it spins hot on
+// a persistent errno (e.g. EINVAL from an fd limit), so callers should at
+// least log last_error() once.
+enum class PollStatus : uint8_t { kReady, kTimeout, kInterrupted, kError };
+
 class Poller {
  public:
   // Registers fd (or updates its interest set if already watched).
@@ -32,11 +38,16 @@ class Poller {
   size_t watched() const { return entries_.size(); }
 
   // Blocks up to timeout_ms (-1 = forever) and returns the descriptors with
-  // pending events.  Returns an empty vector on timeout or EINTR.
-  std::vector<PollEntry> Wait(int timeout_ms);
+  // pending events.  Returns an empty vector on timeout, EINTR, or error;
+  // *status (when non-null) says which, and last_error() holds the errno of
+  // the most recent kError.
+  std::vector<PollEntry> Wait(int timeout_ms, PollStatus* status = nullptr);
+
+  int last_error() const { return last_errno_; }
 
  private:
   std::vector<PollEntry> entries_;
+  int last_errno_ = 0;
 };
 
 }  // namespace vbr::net

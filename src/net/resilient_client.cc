@@ -1,0 +1,154 @@
+#include "net/resilient_client.h"
+
+#include <poll.h>
+
+#include <chrono>
+#include <thread>
+
+namespace vbr::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(left.count());
+}
+
+// Waits for readiness, bounded by the attempt deadline.  Returns false
+// when the deadline passed before the fd became ready.
+bool PollUntil(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    const int left = RemainingMs(deadline);
+    if (left <= 0) return false;
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, left);
+    if (n > 0) return true;
+    if (n == 0) return false;
+    // EINTR: re-poll with the recomputed remaining budget.
+  }
+}
+
+}  // namespace
+
+bool ResilientClient::EnsureConnected(std::string* error) {
+  if (fd_.valid()) return true;
+  rx_.clear();
+  fd_ = ConnectTcpTimeout(options_.host, options_.port,
+                          options_.connect_timeout_ms, error);
+  if (!fd_.valid()) return false;
+  ++stats_.connects;
+  if (stats_.connects > 1) ++stats_.reconnects;
+  return true;
+}
+
+bool ResilientClient::Attempt(const std::string& encoded, uint64_t request_id,
+                              PlanResponseFrame* response,
+                              std::string* error) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.request_timeout_ms);
+
+  // Send the whole frame, polling for writability under the deadline.
+  size_t sent = 0;
+  while (sent < encoded.size()) {
+    const IoResult r =
+        WriteSome(fd_.get(), encoded.data() + sent, encoded.size() - sent);
+    if (r.status == IoStatus::kOk) {
+      sent += r.n;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) {
+      if (!PollUntil(fd_.get(), POLLOUT, deadline)) {
+        ++stats_.timeouts;
+        *error = "send timed out";
+        return false;
+      }
+      continue;
+    }
+    ++stats_.io_errors;
+    *error = "send failed";
+    return false;
+  }
+
+  // Read frames until the one answering this request arrives.
+  char buf[4096];
+  while (true) {
+    std::string_view payload;
+    size_t consumed = 0;
+    const DecodeStatus ds =
+        ExtractFrame(rx_, kDefaultMaxPayload, &payload, &consumed);
+    if (ds == DecodeStatus::kOk) {
+      PlanResponseFrame frame;
+      const DecodeStatus body = DecodePlanResponse(payload, &frame);
+      rx_.erase(0, consumed);
+      if (body != DecodeStatus::kOk) {
+        ++stats_.io_errors;
+        *error = std::string("undecodable response: ") +
+                 DecodeStatusName(body);
+        return false;
+      }
+      if (frame.request_id != request_id) {
+        // A response to an attempt this client already gave up on.
+        ++stats_.stale_responses;
+        continue;
+      }
+      *response = std::move(frame);
+      return true;
+    }
+    if (ds != DecodeStatus::kNeedMore) {
+      ++stats_.io_errors;
+      *error = std::string("corrupt stream: ") + DecodeStatusName(ds);
+      return false;
+    }
+    const IoResult r = ReadSome(fd_.get(), buf, sizeof(buf));
+    if (r.status == IoStatus::kOk) {
+      rx_.append(buf, r.n);
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) {
+      if (!PollUntil(fd_.get(), POLLIN, deadline)) {
+        ++stats_.timeouts;
+        *error = "response timed out";
+        return false;
+      }
+      continue;
+    }
+    ++stats_.io_errors;
+    *error = r.status == IoStatus::kEof ? "connection closed by server"
+                                        : "recv failed";
+    return false;
+  }
+}
+
+bool ResilientClient::Call(const PlanRequestFrame& request,
+                           PlanResponseFrame* response, std::string* error) {
+  std::string encoded;
+  EncodePlanRequest(request, &encoded);
+  std::string last_error = "no attempts made";
+  const int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retries;
+      const double delay_ms = options_.backoff.DelayMs(
+          static_cast<uint32_t>(attempt - 1),
+          options_.backoff_seed ^ request.request_id);
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            delay_ms));
+      }
+    }
+    if (!EnsureConnected(&last_error)) continue;
+    if (Attempt(encoded, request.request_id, response, &last_error)) {
+      return true;
+    }
+    // Failed attempt: drop the connection so a half-sent request or a
+    // half-read frame cannot bleed into the next incarnation.
+    Close();
+  }
+  if (error != nullptr) *error = last_error;
+  return false;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,88 @@
+// A fault-tolerant blocking client for the binary plan protocol.
+//
+// The plain wire helpers (ConnectTcp + WriteAll/ReadAll) give up on the
+// first short read; this client survives the failures chaos_socket.h
+// injects and hostile networks produce for real: connect timeouts,
+// mid-frame disconnects, stalled responses.  On any failure it closes the
+// connection, clears its receive buffer (a half-frame from a dead
+// incarnation must never desynchronize the next one), sleeps a jittered
+// backoff, reconnects, and RESENDS the request.
+//
+// Resending is safe because plan requests are idempotent: planning is a
+// pure function of (query, options) and the server's cache plus query
+// handles make the resubmission exact — the server may plan twice, but both
+// responses are byte-identical and the client consumes exactly one.  See
+// docs/PROTOCOL.md "Retry & idempotency".  The one caveat: a request_id is
+// never reused across attempts of DIFFERENT requests, and responses whose
+// request_id does not match the in-flight request are discarded as stale.
+#ifndef VBR_NET_RESILIENT_CLIENT_H_
+#define VBR_NET_RESILIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/backoff.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace vbr::net {
+
+struct ResilientClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 1000;
+  // Per-attempt deadline covering send + wait-for-response.
+  int request_timeout_ms = 2000;
+  // Total attempts per Call (connect + send + receive each count once).
+  int max_attempts = 8;
+  // Reconnect/retry delay schedule; seeded so chaos runs replay.
+  BackoffPolicy backoff{/*max_attempts=*/8, /*base_ms=*/1.0,
+                        /*multiplier=*/2.0, /*max_ms=*/50.0,
+                        /*jitter=*/0.5};
+  uint64_t backoff_seed = 1;
+};
+
+class ResilientClient {
+ public:
+  struct Stats {
+    uint64_t connects = 0;    // successful connection establishments
+    uint64_t reconnects = 0;  // connects after the first
+    uint64_t retries = 0;     // request resends (attempts beyond the first)
+    uint64_t timeouts = 0;    // per-attempt deadlines that expired
+    uint64_t io_errors = 0;   // send/recv failures (incl. injected)
+    uint64_t stale_responses = 0;  // discarded mismatched request_ids
+  };
+
+  explicit ResilientClient(ResilientClientOptions options)
+      : options_(std::move(options)) {}
+
+  // Sends one request and blocks until its response arrives or attempts
+  // run out.  Returns false and fills *error only when every attempt
+  // failed; the caller decides whether that counts as "lost".
+  bool Call(const PlanRequestFrame& request, PlanResponseFrame* response,
+            std::string* error);
+
+  bool connected() const { return fd_.valid(); }
+  void Close() {
+    fd_.reset();
+    rx_.clear();
+  }
+  const Stats& stats() const { return stats_; }
+  const ResilientClientOptions& options() const { return options_; }
+
+ private:
+  bool EnsureConnected(std::string* error);
+  // One attempt: send the encoded frame and wait for the matching
+  // response within deadline_ms.  Any failure closes the connection.
+  bool Attempt(const std::string& encoded, uint64_t request_id,
+               PlanResponseFrame* response, std::string* error);
+
+  ResilientClientOptions options_;
+  OwnedFd fd_;
+  std::string rx_;
+  Stats stats_;
+};
+
+}  // namespace vbr::net
+
+#endif  // VBR_NET_RESILIENT_CLIENT_H_

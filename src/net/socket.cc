@@ -13,6 +13,8 @@
 
 #include <cstring>
 
+#include "net/chaos_socket.h"
+
 namespace vbr::net {
 
 namespace {
@@ -36,7 +38,12 @@ bool ParseHost(const std::string& host, in_addr* out) {
 }  // namespace
 
 void OwnedFd::reset(int fd) {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    // Untrack before close: once the kernel reuses this fd number the
+    // chaos layer must not perturb the unrelated new owner.
+    if (ChaosSocket::enabled()) ChaosSocket::Untrack(fd_);
+    ::close(fd_);
+  }
   fd_ = fd;
 }
 
@@ -76,19 +83,34 @@ OwnedFd ListenTcp(const std::string& host, uint16_t port, std::string* error) {
   return fd;
 }
 
-OwnedFd ConnectTcp(const std::string& host, uint16_t port, std::string* error) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
+namespace {
+
+bool ResolveConnectAddr(const std::string& host, uint16_t port,
+                        sockaddr_in* addr, std::string* error) {
+  *addr = sockaddr_in{};
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
   in_addr parsed{};
   if (!ParseHost(host, &parsed)) {
     if (error != nullptr) *error = "unparseable IPv4 host: " + host;
-    return OwnedFd();
+    return false;
   }
   // "any" is not a connectable address; treat it as loopback for clients.
-  addr.sin_addr.s_addr = parsed.s_addr == htonl(INADDR_ANY)
-                             ? htonl(INADDR_LOOPBACK)
-                             : parsed.s_addr;
+  addr->sin_addr.s_addr = parsed.s_addr == htonl(INADDR_ANY)
+                              ? htonl(INADDR_LOOPBACK)
+                              : parsed.s_addr;
+  return true;
+}
+
+}  // namespace
+
+OwnedFd ConnectTcp(const std::string& host, uint16_t port, std::string* error) {
+  sockaddr_in addr{};
+  if (!ResolveConnectAddr(host, port, &addr, error)) return OwnedFd();
+  if (ChaosSocket::enabled() && ChaosSocket::OnConnect()) {
+    if (error != nullptr) *error = "chaos: injected connect failure";
+    return OwnedFd();
+  }
   OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
     if (error != nullptr) *error = Errno("socket");
@@ -102,6 +124,55 @@ OwnedFd ConnectTcp(const std::string& host, uint16_t port, std::string* error) {
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (!SetNonBlocking(fd.get(), error)) return OwnedFd();
+  if (ChaosSocket::enabled()) ChaosSocket::Track(fd.get());
+  return fd;
+}
+
+OwnedFd ConnectTcpTimeout(const std::string& host, uint16_t port,
+                          int timeout_ms, std::string* error) {
+  sockaddr_in addr{};
+  if (!ResolveConnectAddr(host, port, &addr, error)) return OwnedFd();
+  if (ChaosSocket::enabled() && ChaosSocket::OnConnect()) {
+    if (error != nullptr) *error = "chaos: injected connect failure";
+    return OwnedFd();
+  }
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return OwnedFd();
+  }
+  if (!SetNonBlocking(fd.get(), error)) return OwnedFd();
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) {
+      if (error != nullptr) *error = Errno("connect");
+      return OwnedFd();
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    int n;
+    do {
+      n = ::poll(&pfd, 1, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      if (error != nullptr) {
+        *error = n == 0 ? "connect: timed out" : Errno("poll");
+      }
+      return OwnedFd();
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      if (error != nullptr) {
+        errno = so_error != 0 ? so_error : errno;
+        *error = Errno("connect");
+      }
+      return OwnedFd();
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (ChaosSocket::enabled()) ChaosSocket::Track(fd.get());
   return fd;
 }
 
@@ -115,6 +186,13 @@ OwnedFd AcceptConn(int listener_fd) {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (ChaosSocket::enabled()) {
+    if (ChaosSocket::OnAccept(fd)) {
+      ::close(fd);  // OnAccept armed SO_LINGER(0): the client sees an RST.
+      return OwnedFd();
+    }
+    ChaosSocket::Track(fd);
+  }
   return OwnedFd(fd);
 }
 
@@ -128,6 +206,11 @@ uint16_t LocalPort(int fd) {
 }
 
 IoResult ReadSome(int fd, void* buf, size_t len) {
+  if (ChaosSocket::enabled()) {
+    const ChaosVerdict verdict = ChaosSocket::BeforeRead(fd, len);
+    if (verdict.forced.has_value()) return *verdict.forced;
+    if (verdict.max_len < len) len = verdict.max_len;
+  }
   while (true) {
     const ssize_t n = ::recv(fd, buf, len, 0);
     if (n > 0) return {IoStatus::kOk, static_cast<size_t>(n)};
@@ -141,6 +224,11 @@ IoResult ReadSome(int fd, void* buf, size_t len) {
 }
 
 IoResult WriteSome(int fd, const void* buf, size_t len) {
+  if (ChaosSocket::enabled()) {
+    const ChaosVerdict verdict = ChaosSocket::BeforeWrite(fd, len);
+    if (verdict.forced.has_value()) return *verdict.forced;
+    if (verdict.max_len < len) len = verdict.max_len;
+  }
   while (true) {
     const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
     if (n >= 0) return {IoStatus::kOk, static_cast<size_t>(n)};

@@ -64,6 +64,12 @@ OwnedFd ListenTcp(const std::string& host, uint16_t port, std::string* error);
 // establishment latency is uninteresting.
 OwnedFd ConnectTcp(const std::string& host, uint16_t port, std::string* error);
 
+// Non-blocking connect that gives up after timeout_ms (poll on POLLOUT,
+// then SO_ERROR).  Used by the resilient client, where a black-holed SYN
+// must not stall the retry loop.
+OwnedFd ConnectTcpTimeout(const std::string& host, uint16_t port,
+                          int timeout_ms, std::string* error);
+
 // Accepts one pending connection from a non-blocking listener.  Returns an
 // invalid fd when the accept queue is empty (EAGAIN) or on error.
 OwnedFd AcceptConn(int listener_fd);

@@ -1,8 +1,12 @@
 #include "planner/snapshot.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <iterator>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "cq/vbin_codec.h"
 #include "planner/planner.h"
 #include "rewrite/vbin_codec.h"
@@ -305,7 +309,8 @@ vbin::Status DecodeRequestLogRecord(std::string_view bytes,
 
 RequestLogWriter::~RequestLogWriter() { Close(); }
 
-vbin::Status RequestLogWriter::Open(const std::string& path) {
+vbin::Status RequestLogWriter::Open(const std::string& path,
+                                    const RequestLogOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {
     return vbin::Status::Error("request log already open");
@@ -314,7 +319,39 @@ vbin::Status RequestLogWriter::Open(const std::string& path) {
   if (file_ == nullptr) {
     return vbin::Status::Error("cannot open request log " + path);
   }
+  path_ = path;
+  options_ = options;
+  // "ab" positions at the end; the offset is the live file's size.
+  const long at = std::ftell(file_);
+  bytes_written_ = at > 0 ? static_cast<uint64_t>(at) : 0;
   return vbin::Status::Ok();
+}
+
+void RequestLogWriter::RotateLocked() {
+  std::fclose(file_);
+  file_ = nullptr;
+  if (options_.keep == 0) {
+    std::remove(path_.c_str());
+  } else {
+    // Shift oldest-first so each rename's target is free (or the oldest,
+    // which rename(2) atomically replaces).
+    for (size_t k = options_.keep; k > 1; --k) {
+      const std::string from = path_ + "." + std::to_string(k - 1);
+      const std::string to = path_ + "." + std::to_string(k);
+      std::rename(from.c_str(), to.c_str());  // ENOENT when the slot is empty
+    }
+    if (std::rename(path_.c_str(), (path_ + ".1").c_str()) != 0) {
+      error_ = "request log rotation rename failed";
+      return;
+    }
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    error_ = "request log reopen after rotation failed";
+    return;
+  }
+  bytes_written_ = 0;
+  ++rotations_;
 }
 
 void RequestLogWriter::Append(const ConjunctiveQuery& query,
@@ -326,6 +363,21 @@ void RequestLogWriter::Append(const ConjunctiveQuery& query,
 
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr || !error_.empty()) return;
+  if (options_.max_bytes > 0 && bytes_written_ > 0 &&
+      bytes_written_ + frame.size() > options_.max_bytes) {
+    // Rotate only at record boundaries: every file in the set is a valid
+    // log image on its own.
+    RotateLocked();
+    if (file_ == nullptr || !error_.empty()) return;
+  }
+  if (FaultCheck("persist.request_log.append").has_value()) {
+    // Deterministic torn write: half the frame reaches the disk, then the
+    // writer latches — exactly what a crash mid-append leaves behind.
+    std::fwrite(frame.data(), 1, frame.size() / 2, file_);
+    std::fflush(file_);
+    error_ = "request log append aborted by injected fault";
+    return;
+  }
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
       std::fflush(file_) != 0) {
     // Latch and stop: a sick disk must not break planning, but a half
@@ -333,6 +385,7 @@ void RequestLogWriter::Append(const ConjunctiveQuery& query,
     error_ = "request log write failed";
     return;
   }
+  bytes_written_ += frame.size();
   ++records_written_;
 }
 
@@ -347,6 +400,11 @@ void RequestLogWriter::Close() {
 uint64_t RequestLogWriter::records_written() const {
   std::lock_guard<std::mutex> lock(mu_);
   return records_written_;
+}
+
+uint64_t RequestLogWriter::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
 }
 
 std::string RequestLogWriter::error() const {
@@ -386,6 +444,36 @@ vbin::Status ReadRequestLogFile(const std::string& path,
   vbin::Status status = vbin::ReadWholeFile(path, &bytes);
   if (!status.ok()) return status;
   return ParseRequestLog(bytes, out, truncated_bytes);
+}
+
+vbin::Status ReadRequestLogSet(const std::string& path,
+                               std::vector<RequestLogRecord>* out,
+                               size_t* truncated_bytes) {
+  out->clear();
+  if (truncated_bytes != nullptr) *truncated_bytes = 0;
+  // Probe path.1, path.2, ... until the first gap; the highest index is
+  // the oldest file, so read in descending order, live file last.
+  std::vector<std::string> rotated;
+  for (size_t k = 1;; ++k) {
+    const std::string sibling = path + "." + std::to_string(k);
+    std::FILE* probe = std::fopen(sibling.c_str(), "rb");
+    if (probe == nullptr) break;
+    std::fclose(probe);
+    rotated.push_back(sibling);
+  }
+  std::reverse(rotated.begin(), rotated.end());
+  rotated.push_back(path);
+  for (const std::string& file : rotated) {
+    std::vector<RequestLogRecord> records;
+    size_t truncated = 0;
+    const vbin::Status status =
+        ReadRequestLogFile(file, &records, &truncated);
+    if (!status.ok()) return status;
+    out->insert(out->end(), std::make_move_iterator(records.begin()),
+                std::make_move_iterator(records.end()));
+    if (truncated_bytes != nullptr) *truncated_bytes += truncated;
+  }
+  return vbin::Status::Ok();
 }
 
 }  // namespace vbr

@@ -117,6 +117,21 @@ std::string EncodeRequestLogRecord(const RequestLogRecord& record);
 vbin::Status DecodeRequestLogRecord(std::string_view bytes,
                                     RequestLogRecord* out);
 
+// Size-based rotation policy for RequestLogWriter.  When an append would
+// push the live file past max_bytes, the set shifts by rename —
+// path.(keep-1) -> path.keep, ..., path.1 -> path.2, path -> path.1 — and
+// a fresh live file opens at `path`.  rename(2) is atomic, rotation
+// happens only at record boundaries, and the shift runs oldest-first, so
+// a crash at any point leaves every file a valid (possibly torn-tailed)
+// log and at worst duplicates one file under two names — never loses a
+// fully-written record.  keep bounds the rotated siblings: the oldest is
+// overwritten by the shift (keep == 0 discards the full file instead of
+// renaming it).
+struct RequestLogOptions {
+  size_t max_bytes = 0;  // 0 = never rotate
+  size_t keep = 3;
+};
+
 // Thread-safe appender of length-prefixed records.  Append never fails the
 // request path: write errors latch into error() and further appends are
 // dropped (a full disk must not take planning down with it).
@@ -129,19 +144,28 @@ class RequestLogWriter {
   RequestLogWriter& operator=(const RequestLogWriter&) = delete;
 
   // Opens `path` for appending (existing records are preserved).
-  vbin::Status Open(const std::string& path);
+  vbin::Status Open(const std::string& path,
+                    const RequestLogOptions& options = {});
   void Append(const ConjunctiveQuery& query,
               const PlanRequestOptions& options);
   void Close();
 
   uint64_t records_written() const;
+  uint64_t rotations() const;
   // Empty while healthy; the first write error afterwards.
   std::string error() const;
 
  private:
+  // mu_ held.  Closes the live file, shifts the rotated set, reopens.
+  void RotateLocked();
+
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;
+  std::string path_;
+  RequestLogOptions options_;
+  uint64_t bytes_written_ = 0;  // live file size (from ftell at Open)
   uint64_t records_written_ = 0;
+  uint64_t rotations_ = 0;
   std::string error_;
 };
 
@@ -155,6 +179,15 @@ vbin::Status ParseRequestLog(std::string_view bytes,
 vbin::Status ReadRequestLogFile(const std::string& path,
                                 std::vector<RequestLogRecord>* out,
                                 size_t* truncated_bytes = nullptr);
+
+// Reads a rotated log SET in capture order: path.K (largest existing K,
+// i.e. oldest) down through path.1, then the live file at `path`.  Missing
+// rotated siblings are skipped; `*truncated_bytes` sums over the files
+// read.  The live file must exist (its read status is returned); with no
+// rotated siblings this degenerates to ReadRequestLogFile(path).
+vbin::Status ReadRequestLogSet(const std::string& path,
+                               std::vector<RequestLogRecord>* out,
+                               size_t* truncated_bytes = nullptr);
 
 }  // namespace vbr
 

@@ -2,6 +2,9 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "common/json.h"
@@ -15,6 +18,18 @@ namespace {
 
 using net::DecodeStatus;
 using net::WireStatus;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Maps a terminal PlanResponse onto the wire representation.
 net::PlanResponseFrame ToWire(const PlanningService::PlanResponse& response,
@@ -99,6 +114,9 @@ std::string PlanServerStats::ToJson() const {
   s += ",\"handle_hits\":" + std::to_string(handle_hits);
   s += ",\"handle_misses\":" + std::to_string(handle_misses);
   s += ",\"handle_collisions\":" + std::to_string(handle_collisions);
+  s += ",\"evicted_idle\":" + std::to_string(evicted_idle);
+  s += ",\"evicted_slowloris\":" + std::to_string(evicted_slowloris);
+  s += ",\"evicted_write_stall\":" + std::to_string(evicted_write_stall);
   s += "}";
   return s;
 }
@@ -115,7 +133,10 @@ void PlanServer::CompletionQueue::Post(uint64_t conn_id, std::string wire,
 }
 
 PlanServer::PlanServer(PlanningService* service, PlanServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service),
+      options_(std::move(options)),
+      write_stall_us_(
+          MetricsRegistry::Global().GetHistogram("server.write_stall_us")) {}
 
 PlanServer::~PlanServer() { Stop(); }
 
@@ -150,9 +171,23 @@ bool PlanServer::Start(std::string* error) {
   running_.store(true, std::memory_order_release);
   started_ = true;
   debug_stop_ = false;
+  accept_paused_ = false;
+  draining_.store(false, std::memory_order_release);
+  drain_listeners_closed_ = false;
+  drain_done_ = false;
   io_thread_ = std::thread([this] { IoLoop(); });
   debug_thread_ = std::thread([this] { DebugLoop(); });
   return true;
+}
+
+bool PlanServer::Drain(int grace_ms) {
+  if (!started_) return true;
+  draining_.store(true, std::memory_order_release);
+  const char byte = 1;
+  (void)net::WriteSome(completions_->wakeup_tx.get(), &byte, 1);
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  return drain_cv_.wait_for(lock, std::chrono::milliseconds(grace_ms),
+                            [this] { return drain_done_; });
 }
 
 void PlanServer::Stop() {
@@ -193,12 +228,27 @@ PlanServerStats PlanServer::stats() const {
   s.handle_hits = handle_hits_.load(std::memory_order_relaxed);
   s.handle_misses = handle_misses_.load(std::memory_order_relaxed);
   s.handle_collisions = handle_collisions_.load(std::memory_order_relaxed);
+  s.evicted_idle = evicted_idle_.load(std::memory_order_relaxed);
+  s.evicted_slowloris = evicted_slowloris_.load(std::memory_order_relaxed);
+  s.evicted_write_stall =
+      evicted_write_stall_.load(std::memory_order_relaxed);
   return s;
 }
 
 void PlanServer::IoLoop() {
+  int logged_poll_errno = 0;
   while (running_.load(std::memory_order_acquire)) {
-    std::vector<net::PollEntry> ready = poller_.Wait(/*timeout_ms=*/200);
+    net::PollStatus poll_status = net::PollStatus::kReady;
+    std::vector<net::PollEntry> ready =
+        poller_.Wait(/*timeout_ms=*/200, &poll_status);
+    if (poll_status == net::PollStatus::kError &&
+        poller_.last_error() != logged_poll_errno) {
+      // Log each distinct errno once; a persistent poll error otherwise
+      // spins this loop silently at full speed.
+      logged_poll_errno = poller_.last_error();
+      std::fprintf(stderr, "plan_server: poll failed: %s\n",
+                   std::strerror(logged_poll_errno));
+    }
     for (const net::PollEntry& entry : ready) {
       if (entry.fd == binary_listener_.get()) {
         AcceptAll(entry.fd, ConnKind::kBinary);
@@ -227,11 +277,91 @@ void PlanServer::IoLoop() {
     }
     // Flush completions posted by workers while we were handling events.
     DrainCompletions();
+    EnforceDeadlines();
+    if (draining_.load(std::memory_order_acquire)) DrainTick();
   }
+}
+
+void PlanServer::EnforceDeadlines() {
+  if (options_.idle_timeout_ms <= 0 && options_.progress_timeout_ms <= 0 &&
+      options_.write_stall_timeout_ms <= 0) {
+    return;
+  }
+  const int64_t now = NowMs();
+  // Snapshot: CloseConn mutates conns_by_fd_.
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(conns_by_fd_.size());
+  for (const auto& [fd, conn] : conns_by_fd_) conns.push_back(conn);
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    if (!conn->fd.valid()) continue;
+    const bool out_pending = conn->out_offset < conn->out.size();
+    if (options_.write_stall_timeout_ms > 0 && out_pending &&
+        now - conn->last_write_progress_ms > options_.write_stall_timeout_ms) {
+      evicted_write_stall_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(*conn);
+      continue;
+    }
+    if (options_.progress_timeout_ms > 0 && conn->partial_since_ms != 0 &&
+        now - conn->partial_since_ms > options_.progress_timeout_ms) {
+      evicted_slowloris_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(*conn);
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0 && conn->in_flight == 0 &&
+        !out_pending && conn->partial_since_ms == 0 &&
+        now - conn->last_activity_ms > options_.idle_timeout_ms) {
+      evicted_idle_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(*conn);
+    }
+  }
+}
+
+void PlanServer::DrainTick() {
+  if (!drain_listeners_closed_) {
+    poller_.Forget(binary_listener_.get());
+    poller_.Forget(http_listener_.get());
+    drain_listeners_closed_ = true;
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(conns_by_fd_.size());
+  for (const auto& [fd, conn] : conns_by_fd_) conns.push_back(conn);
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    if (!conn->fd.valid()) continue;
+    // A connection still owes responses (planning, or buffered output);
+    // keep it until the completion flushes.
+    if (conn->in_flight > 0 || conn->out_offset < conn->out.size()) continue;
+    CloseConn(*conn);
+  }
+  if (conns_by_fd_.empty()) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_done_ = true;
+    drain_cv_.notify_all();
+  }
+}
+
+void PlanServer::PauseAccept() {
+  if (accept_paused_) return;
+  poller_.Forget(binary_listener_.get());
+  poller_.Forget(http_listener_.get());
+  accept_paused_ = true;
+}
+
+void PlanServer::ResumeAccept() {
+  if (!accept_paused_) return;
+  poller_.Watch(binary_listener_.get(), /*want_read=*/true, false);
+  poller_.Watch(http_listener_.get(), /*want_read=*/true, false);
+  accept_paused_ = false;
 }
 
 void PlanServer::AcceptAll(int listener_fd, ConnKind kind) {
   while (true) {
+    if (conns_by_fd_.size() >= options_.max_connections &&
+        !options_.reject_over_capacity) {
+      // Accept-backpressure: stop watching the listeners; new clients wait
+      // in the kernel backlog until a connection closes (ResumeAccept).
+      PauseAccept();
+      return;
+    }
     net::OwnedFd fd = net::AcceptConn(listener_fd);
     if (!fd.valid()) return;
     if (conns_by_fd_.size() >= options_.max_connections) {
@@ -243,6 +373,7 @@ void PlanServer::AcceptAll(int listener_fd, ConnKind kind) {
     conn->kind = kind;
     const int raw = fd.get();
     conn->fd = std::move(fd);
+    conn->last_activity_ms = NowMs();
     conns_by_fd_[raw] = conn;
     conns_by_id_[conn->id] = conn;
     poller_.Watch(raw, /*want_read=*/true, /*want_write=*/false);
@@ -267,6 +398,10 @@ void PlanServer::CloseConn(Connection& conn) {
   conns_by_id_.erase(conn.id);
   conn.fd.reset();
   active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  if (accept_paused_ && !draining_.load(std::memory_order_acquire) &&
+      conns_by_fd_.size() < options_.max_connections) {
+    ResumeAccept();
+  }
 }
 
 void PlanServer::UpdateInterest(Connection& conn) {
@@ -276,22 +411,40 @@ void PlanServer::UpdateInterest(Connection& conn) {
 }
 
 void PlanServer::HandleReadable(Connection& conn) {
+  // Per-event input cap: a firehose client must not let one readable
+  // event grow `in` without bound and monopolize the IO loop (deadline
+  // enforcement and completion flushing run between events).  The poll is
+  // level-triggered, so unread kernel data re-fires the event next tick.
+  constexpr size_t kMaxBufferedInput = 256 * 1024;
   char chunk[16 * 1024];
-  while (conn.fd.valid()) {
+  bool got_bytes = false;
+  while (conn.fd.valid() && conn.in.size() < kMaxBufferedInput) {
     const net::IoResult r =
         net::ReadSome(conn.fd.get(), chunk, sizeof(chunk));
     if (r.status == net::IoStatus::kOk) {
       conn.in.append(chunk, r.n);
+      got_bytes = true;
       continue;
     }
     if (r.status == net::IoStatus::kWouldBlock) break;
     CloseConn(conn);  // EOF or error
     return;
   }
+  if (got_bytes) conn.last_activity_ms = NowMs();
+  bool progressed;
   if (conn.kind == ConnKind::kBinary) {
-    ProcessBinary(conn);
+    progressed = ProcessBinary(conn);
   } else {
-    ProcessHttp(conn);
+    progressed = ProcessHttp(conn);
+  }
+  if (conn.fd.valid()) {
+    // Slowloris watermark: consuming a complete request (or emptying the
+    // buffer) restarts the clock; a lingering partial keeps its start time.
+    if (conn.in.empty() || progressed) {
+      conn.partial_since_ms = conn.in.empty() ? 0 : NowMs();
+    } else if (!conn.in.empty() && conn.partial_since_ms == 0) {
+      conn.partial_since_ms = NowMs();
+    }
   }
   UpdateInterest(conn);
 }
@@ -303,6 +456,7 @@ void PlanServer::HandleWritable(Connection& conn) {
                        conn.out.size() - conn.out_offset);
     if (r.status == net::IoStatus::kOk) {
       conn.out_offset += r.n;
+      conn.last_write_progress_ms = NowMs();
       continue;
     }
     if (r.status == net::IoStatus::kWouldBlock) break;
@@ -310,14 +464,31 @@ void PlanServer::HandleWritable(Connection& conn) {
     return;
   }
   if (conn.out_offset >= conn.out.size()) {
-    conn.out.clear();
-    conn.out_offset = 0;
+    if (!conn.out.empty()) {
+      conn.out.clear();
+      conn.out_offset = 0;
+      conn.last_activity_ms = NowMs();
+      if (conn.write_pending_us != 0) {
+        const int64_t waited = NowUs() - conn.write_pending_us;
+        write_stall_us_->Record(waited < 0 ? 0 : waited);
+        conn.write_pending_us = 0;
+      }
+    }
     if (conn.close_after_flush) {
       CloseConn(conn);
       return;
     }
   }
   UpdateInterest(conn);
+}
+
+void PlanServer::AppendOutput(Connection& conn, std::string_view wire) {
+  if (conn.out_offset >= conn.out.size()) {
+    // Buffer transitions flushed -> pending: start the stall clocks.
+    conn.write_pending_us = NowUs();
+    conn.last_write_progress_ms = NowMs();
+  }
+  conn.out.append(wire);
 }
 
 void PlanServer::DrainCompletions() {
@@ -336,7 +507,7 @@ void PlanServer::DrainCompletions() {
     // CloseConn, which erases the maps' (otherwise only) references.
     const std::shared_ptr<Connection> conn_ptr = it->second;
     Connection& conn = *conn_ptr;
-    conn.out.append(wire);
+    AppendOutput(conn, wire);
     if (close_after_flush) conn.close_after_flush = true;
     responses_sent_.fetch_add(1, std::memory_order_relaxed);
     if (conn.in_flight > 0) --conn.in_flight;
@@ -361,27 +532,34 @@ void PlanServer::SendWireError(Connection& conn, uint64_t request_id,
   frame.error = error;
   std::string wire;
   EncodePlanResponse(frame, &wire);
-  conn.out.append(wire);
+  AppendOutput(conn, wire);
   responses_sent_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void PlanServer::ProcessBinary(Connection& conn) {
+bool PlanServer::ProcessBinary(Connection& conn) {
+  bool progressed = false;
+  // Consume frames from a moving offset and erase the prefix ONCE at the
+  // end: erasing per frame is a memmove of the whole remaining buffer,
+  // which goes quadratic exactly when a flood client piles frames up.
+  size_t pos = 0;
   while (conn.fd.valid()) {
     std::string_view payload;
     size_t consumed = 0;
-    const DecodeStatus es = net::ExtractFrame(
-        conn.in, options_.max_frame_payload, &payload, &consumed);
-    if (es == DecodeStatus::kNeedMore) return;
+    const DecodeStatus es =
+        net::ExtractFrame(std::string_view(conn.in).substr(pos),
+                          options_.max_frame_payload, &payload, &consumed);
+    if (es == DecodeStatus::kNeedMore) break;
     if (es != DecodeStatus::kOk) {
       // Oversized length prefix: the stream cannot be resynchronized.
       bad_frames_.fetch_add(1, std::memory_order_relaxed);
       CloseConn(conn);
-      return;
+      return progressed;
     }
+    progressed = true;
     frames_received_.fetch_add(1, std::memory_order_relaxed);
     net::PlanRequestFrame frame;
     const DecodeStatus ds = net::DecodePlanRequest(payload, &frame);
-    conn.in.erase(0, consumed);
+    pos += consumed;
     switch (ds) {
       case DecodeStatus::kOk:
         SubmitWireRequest(conn, frame);
@@ -402,6 +580,8 @@ void PlanServer::ProcessBinary(Connection& conn) {
         break;
     }
   }
+  if (conn.fd.valid() && pos > 0) conn.in.erase(0, pos);
+  return progressed;
 }
 
 void PlanServer::SubmitWireRequest(Connection& conn,
@@ -473,33 +653,36 @@ void PlanServer::SubmitWireRequest(Connection& conn,
 
 void PlanServer::QueueHttpResponse(Connection& conn, int status_code,
                                    std::string_view body, bool keep_alive) {
-  conn.out.append(net::BuildHttpResponse(status_code, "application/json",
-                                         body, keep_alive));
+  AppendOutput(conn, net::BuildHttpResponse(status_code, "application/json",
+                                            body, keep_alive));
   responses_sent_.fetch_add(1, std::memory_order_relaxed);
   if (!keep_alive) conn.close_after_flush = true;
 }
 
-void PlanServer::ProcessHttp(Connection& conn) {
+bool PlanServer::ProcessHttp(Connection& conn) {
+  bool progressed = false;
   while (conn.fd.valid() && !conn.busy) {
     net::HttpRequest request;
     size_t consumed = 0;
     const net::HttpParseStatus ps = net::ParseHttpRequest(
         conn.in, options_.max_http_request_bytes, &request, &consumed);
-    if (ps == net::HttpParseStatus::kNeedMore) return;
+    if (ps == net::HttpParseStatus::kNeedMore) return progressed;
     if (ps == net::HttpParseStatus::kTooLarge) {
       QueueHttpResponse(conn, 413, JsonError("request too large"),
                         /*keep_alive=*/false);
-      return;
+      return progressed;
     }
     if (ps == net::HttpParseStatus::kBad) {
       QueueHttpResponse(conn, 400, JsonError("malformed HTTP request"),
                         /*keep_alive=*/false);
-      return;
+      return progressed;
     }
     conn.in.erase(0, consumed);
+    progressed = true;
     http_requests_.fetch_add(1, std::memory_order_relaxed);
     RouteHttp(conn, std::move(request));
   }
+  return progressed;
 }
 
 void PlanServer::RouteHttp(Connection& conn, net::HttpRequest request) {
@@ -515,7 +698,7 @@ void PlanServer::RouteHttp(Connection& conn, net::HttpRequest request) {
     const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
     const auto format = request.params.find("format");
     if (format != request.params.end() && format->second == "text") {
-      conn.out.append(net::BuildHttpResponse(
+      AppendOutput(conn, net::BuildHttpResponse(
           200, "text/plain; charset=utf-8", snapshot.ToText(), keep_alive));
       responses_sent_.fetch_add(1, std::memory_order_relaxed);
       if (!keep_alive) conn.close_after_flush = true;

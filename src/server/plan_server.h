@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/frame.h"
 #include "net/http.h"
 #include "net/poller.h"
@@ -51,11 +52,33 @@ struct PlanServerOptions {
   uint16_t binary_port = 0;
   uint16_t http_port = 0;
   size_t max_connections = 256;
+  // At the connection cap: false (default) pauses the listeners so new
+  // clients queue in the kernel backlog (accept-backpressure, resumed when
+  // a connection closes); true accepts and immediately closes, which the
+  // client observes as rejection (counted in rejected_connections).
+  bool reject_over_capacity = false;
   uint32_t max_frame_payload = net::kDefaultMaxPayload;
   size_t max_http_request_bytes = 1 << 20;
   // Bounded query-handle map (fingerprint -> parsed query); once full, new
   // texts still plan but are no longer issued handles clients can reuse.
   size_t handle_capacity = 65536;
+
+  // Connection hygiene deadlines, enforced from the poll loop each tick
+  // (~200ms granularity).  0 disables the corresponding eviction.
+  //
+  // A connection with no read activity, no request in flight, and nothing
+  // buffered to write for this long is evicted (counted evicted_idle).
+  int idle_timeout_ms = 0;
+  // Slowloris defense — the progress watermark: once a partial request sits
+  // buffered, the client has this long to complete SOME request before the
+  // connection is evicted (counted evicted_slowloris).  The watermark
+  // resets every time a complete request is consumed, so a slow-but-
+  // pipelining client is fine; a client dribbling one byte per second is
+  // not.
+  int progress_timeout_ms = 0;
+  // A connection whose buffered output makes no progress for this long is
+  // evicted (counted evicted_write_stall) — the peer stopped reading.
+  int write_stall_timeout_ms = 0;
 };
 
 // Monotone counters; readable while the server runs.
@@ -74,6 +97,10 @@ struct PlanServerStats {
   // Distinct query texts whose fingerprint collided with a stored one;
   // such texts are planned but issued no reusable handle.
   uint64_t handle_collisions = 0;
+  // Hygiene evictions (see PlanServerOptions deadlines).
+  uint64_t evicted_idle = 0;
+  uint64_t evicted_slowloris = 0;
+  uint64_t evicted_write_stall = 0;
 
   std::string ToJson() const;
 };
@@ -90,6 +117,13 @@ class PlanServer {
   // Binds both listeners and starts the IO + debug threads.  Returns false
   // and fills *error on bind failure (nothing is left running).
   bool Start(std::string* error);
+
+  // Graceful drain: stops accepting new connections, keeps flushing
+  // in-flight completions, closes each connection once it has nothing
+  // pending, and returns when all connections are gone or grace_ms
+  // elapsed (true = drained cleanly).  Call Stop() afterwards; Stop
+  // force-closes whatever the grace period left behind.
+  bool Drain(int grace_ms);
 
   // Idempotent.  Closes listeners and connections, joins threads.  Plan
   // completions arriving after Stop are dropped (never crash).
@@ -119,6 +153,11 @@ class PlanServer {
     // Requests submitted minus responses delivered, for dropped-response
     // accounting when the connection dies early.
     uint64_t in_flight = 0;
+    // Hygiene clocks (steady-clock milliseconds; 0 = not pending).
+    int64_t last_activity_ms = 0;      // last read bytes / full flush
+    int64_t partial_since_ms = 0;      // progress watermark (slowloris)
+    int64_t write_pending_us = 0;      // when `out` last became non-empty
+    int64_t last_write_progress_ms = 0;  // last byte accepted by the kernel
   };
 
   // Bytes ready to be written to connection `conn_id`, produced by service
@@ -154,15 +193,29 @@ class PlanServer {
   void CloseConn(Connection& conn);
   void UpdateInterest(Connection& conn);
   void DrainCompletions();
+  // Appends wire bytes to conn.out, stamping the write-stall clock when the
+  // buffer transitions from flushed to pending.
+  void AppendOutput(Connection& conn, std::string_view wire);
+  // One poll-loop tick of hygiene: evicts idle / stalled / slowloris
+  // connections per the options' deadlines.
+  void EnforceDeadlines();
+  // One poll-loop tick of graceful drain: closes listeners, then closes
+  // every connection with nothing pending; signals Drain() when none left.
+  void DrainTick();
+  void PauseAccept();
+  void ResumeAccept();
 
   // Binary path: decodes and dispatches every complete frame in conn.in.
-  void ProcessBinary(Connection& conn);
+  // Returns true when at least one complete frame was consumed (progress
+  // for the slowloris watermark).
+  bool ProcessBinary(Connection& conn);
   void SubmitWireRequest(Connection& conn, const net::PlanRequestFrame& frame);
   void SendWireError(Connection& conn, uint64_t request_id,
                      net::WireStatus status, const std::string& error);
 
-  // HTTP path: parses and routes at most one request ahead.
-  void ProcessHttp(Connection& conn);
+  // HTTP path: parses and routes at most one request ahead.  Returns true
+  // when at least one complete request was consumed.
+  bool ProcessHttp(Connection& conn);
   void RouteHttp(Connection& conn, net::HttpRequest request);
   void HandleHttpPlan(Connection& conn, const net::HttpRequest& request);
   void QueueHttpResponse(Connection& conn, int status_code,
@@ -205,6 +258,20 @@ class PlanServer {
   std::thread io_thread_;
   std::thread debug_thread_;
 
+  // Accept-backpressure state (IO thread only).
+  bool accept_paused_ = false;
+
+  // Graceful-drain state.
+  std::atomic<bool> draining_{false};
+  bool drain_listeners_closed_ = false;  // IO thread only
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool drain_done_ = false;
+
+  // Time buffered output waited before it was fully flushed, microseconds
+  // (near zero on the happy path; the tail is the write-stall signal).
+  Histogram* write_stall_us_ = nullptr;
+
   // Stats counters (atomics: written by IO/debug/worker threads).
   mutable std::atomic<uint64_t> accepted_{0};
   mutable std::atomic<uint64_t> rejected_connections_{0};
@@ -217,6 +284,9 @@ class PlanServer {
   mutable std::atomic<uint64_t> handle_hits_{0};
   mutable std::atomic<uint64_t> handle_misses_{0};
   mutable std::atomic<uint64_t> handle_collisions_{0};
+  mutable std::atomic<uint64_t> evicted_idle_{0};
+  mutable std::atomic<uint64_t> evicted_slowloris_{0};
+  mutable std::atomic<uint64_t> evicted_write_stall_{0};
 };
 
 }  // namespace vbr::server
